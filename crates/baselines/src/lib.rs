@@ -1,0 +1,78 @@
+//! Comparison baselines for Table 1 of the paper (§6.2).
+//!
+//! The paper compares CBox's L1 miss-rate prediction against:
+//!
+//! * **HRD** — [Hierarchical Reuse Distance](hrd): predict from a lossy
+//!   (log₂-bucketed) reuse-distance profile with a uniform set-pressure
+//!   assumption.
+//! * **STM** — [Spatio-Temporal Memory cloning](stm): profile the trace's
+//!   stride/temporal structure, generate a synthetic *clone* trace, and
+//!   simulate the clone.
+//! * **REaLTabFormer** (three variants) — here [`TabSynth`](tabsynth), a
+//!   tabular autoregressive trace synthesizer standing in for the
+//!   transformer: per-column sampling (*Base*), reuse-bucket-conditioned
+//!   (*RD*), and short-history in-context (*IC*) variants.
+//!
+//! All baselines implement [`MissRatePredictor`], so the Table 1 harness
+//! treats them and CBox uniformly.
+
+pub mod hrd;
+pub mod stm;
+pub mod tabsynth;
+
+pub use hrd::Hrd;
+pub use stm::Stm;
+pub use tabsynth::{TabSynth, TabVariant};
+
+use cachebox_sim::CacheConfig;
+use cachebox_trace::Trace;
+
+/// A model that predicts a cache's miss rate for a trace without exactly
+/// simulating the trace.
+pub trait MissRatePredictor: std::fmt::Debug {
+    /// Short display name (for result tables).
+    fn name(&self) -> &'static str;
+
+    /// Predicted miss rate in `[0, 1]` for `trace` on `config`.
+    fn predict_miss_rate(&self, trace: &Trace, config: &CacheConfig) -> f64;
+}
+
+/// Ground truth helper: the exact simulated miss rate.
+pub fn true_miss_rate(trace: &Trace, config: &CacheConfig) -> f64 {
+    let mut cache = cachebox_sim::Cache::new(*config);
+    cache.run(trace).stats.miss_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_trace::{Address, MemoryAccess};
+
+    fn streaming_trace(n: u64) -> Trace {
+        (0..n).map(|i| MemoryAccess::load(i, Address::new(i * 64))).collect()
+    }
+
+    #[test]
+    fn all_predictors_return_valid_rates() {
+        let trace = streaming_trace(4000);
+        let config = CacheConfig::new(64, 4);
+        let predictors: Vec<Box<dyn MissRatePredictor>> = vec![
+            Box::new(Hrd::new()),
+            Box::new(Stm::new(1)),
+            Box::new(TabSynth::new(TabVariant::Base, 1)),
+            Box::new(TabSynth::new(TabVariant::ReuseDistance, 1)),
+            Box::new(TabSynth::new(TabVariant::InContext, 1)),
+        ];
+        for p in &predictors {
+            let rate = p.predict_miss_rate(&trace, &config);
+            assert!((0.0..=1.0).contains(&rate), "{} returned {rate}", p.name());
+        }
+    }
+
+    #[test]
+    fn streaming_trace_is_all_misses_in_truth() {
+        let trace = streaming_trace(2000);
+        let rate = true_miss_rate(&trace, &CacheConfig::new(16, 2));
+        assert_eq!(rate, 1.0);
+    }
+}

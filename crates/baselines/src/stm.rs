@@ -1,0 +1,229 @@
+//! Spatio-Temporal Memory (STM) cloning.
+//!
+//! After Awad & Solihin (HPCA 2014): STM profiles a trace's *spatial*
+//! behaviour (stride-transition statistics) and *temporal* behaviour
+//! (reuse of recently touched blocks), generates a synthetic **clone**
+//! trace from the profile, and predicts the miss rate by simulating the
+//! clone. Accuracy is bounded by how much structure survives the
+//! profile's compression.
+
+use crate::MissRatePredictor;
+use cachebox_sim::{Cache, CacheConfig};
+use cachebox_trace::{Address, MemoryAccess, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Number of stride buckets retained in the spatial profile.
+const MAX_STRIDES: usize = 16;
+/// Temporal-reuse window (blocks of history the clone can re-reference).
+const REUSE_WINDOW: usize = 256;
+
+/// The trace profile STM extracts.
+#[derive(Debug, Clone)]
+pub struct StmProfile {
+    /// Top block-stride values and their probabilities.
+    strides: Vec<(i64, f64)>,
+    /// Probability that an access re-references a recently used block
+    /// rather than following a stride.
+    temporal_reuse: f64,
+    /// Distribution of reuse depths within the window (log₂ buckets).
+    reuse_depths: Vec<f64>,
+    /// Footprint in blocks (for cold-start placement).
+    footprint: u64,
+}
+
+impl StmProfile {
+    /// Profiles a trace at 64-byte block granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has fewer than two accesses.
+    pub fn from_trace(trace: &Trace) -> Self {
+        assert!(trace.len() >= 2, "trace too short to profile");
+        let blocks: Vec<u64> = trace.iter().map(|a| a.address.block(6)).collect();
+        // Temporal: how often does the next access hit the recent-window?
+        let mut recent: Vec<u64> = Vec::new();
+        let mut reuse_count = 0usize;
+        let mut reuse_depths = vec![0f64; 16];
+        let mut stride_counts: HashMap<i64, u64> = HashMap::new();
+        for w in blocks.windows(2) {
+            let (prev, cur) = (w[0], w[1]);
+            if let Some(pos) = recent.iter().rev().position(|&b| b == cur) {
+                reuse_count += 1;
+                let bucket = (usize::BITS - (pos + 1).leading_zeros()) as usize;
+                reuse_depths[bucket.min(15)] += 1.0;
+            } else {
+                *stride_counts.entry(cur as i64 - prev as i64).or_insert(0) += 1;
+            }
+            recent.push(cur);
+            if recent.len() > REUSE_WINDOW {
+                recent.remove(0);
+            }
+        }
+        let transitions = (blocks.len() - 1) as f64;
+        let temporal_reuse = reuse_count as f64 / transitions;
+        let mut strides: Vec<(i64, u64)> = stride_counts.into_iter().collect();
+        strides.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        strides.truncate(MAX_STRIDES);
+        let stride_total: u64 = strides.iter().map(|&(_, c)| c).sum::<u64>().max(1);
+        let strides: Vec<(i64, f64)> =
+            strides.into_iter().map(|(s, c)| (s, c as f64 / stride_total as f64)).collect();
+        let depth_total: f64 = reuse_depths.iter().sum::<f64>().max(1.0);
+        for d in &mut reuse_depths {
+            *d /= depth_total;
+        }
+        StmProfile {
+            strides,
+            temporal_reuse,
+            reuse_depths,
+            footprint: trace.footprint_blocks(6).len() as u64,
+        }
+    }
+
+    /// Generates a synthetic clone trace of `len` accesses.
+    pub fn clone_trace(&self, len: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57a7);
+        let mut recent: Vec<u64> = Vec::with_capacity(REUSE_WINDOW);
+        // Keep the walk inside a region proportional to the real
+        // footprint so the clone's cold-miss volume matches.
+        let region = (self.footprint.max(1)) * 4;
+        let mut cur: u64 = region / 2;
+        let mut out = Trace::with_capacity(len);
+        for i in 0..len as u64 {
+            let block = if !recent.is_empty() && rng.gen_bool(self.temporal_reuse.clamp(0.0, 1.0))
+            {
+                // Temporal path: re-reference at a sampled depth.
+                let depth = self.sample_depth(&mut rng).min(recent.len() - 1);
+                recent[recent.len() - 1 - depth]
+            } else if !self.strides.is_empty() {
+                // Spatial path: follow a sampled stride.
+                let s = self.sample_stride(&mut rng);
+                cur.saturating_add_signed(s).min(region)
+            } else {
+                rng.gen_range(0..self.footprint.max(1))
+            };
+            cur = block;
+            recent.push(block);
+            if recent.len() > REUSE_WINDOW {
+                recent.remove(0);
+            }
+            out.push(MemoryAccess::load(i, Address::new(block * 64)));
+        }
+        out
+    }
+
+    fn sample_stride(&self, rng: &mut StdRng) -> i64 {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for &(s, p) in &self.strides {
+            acc += p;
+            if u < acc {
+                return s;
+            }
+        }
+        self.strides.last().map(|&(s, _)| s).unwrap_or(1)
+    }
+
+    fn sample_depth(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (bucket, &p) in self.reuse_depths.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                let lo = if bucket == 0 { 0usize } else { 1 << (bucket - 1) };
+                let hi = 1usize << bucket;
+                return rng.gen_range(lo..hi.max(lo + 1));
+            }
+        }
+        0
+    }
+}
+
+/// The STM predictor: profile → clone → simulate.
+#[derive(Debug, Clone, Copy)]
+pub struct Stm {
+    seed: u64,
+}
+
+impl Stm {
+    /// Creates an STM predictor; `seed` drives clone generation.
+    pub fn new(seed: u64) -> Self {
+        Stm { seed }
+    }
+}
+
+impl MissRatePredictor for Stm {
+    fn name(&self) -> &'static str {
+        "STM"
+    }
+
+    fn predict_miss_rate(&self, trace: &Trace, config: &CacheConfig) -> f64 {
+        let profile = StmProfile::from_trace(trace);
+        let clone = profile.clone_trace(trace.len(), self.seed);
+        let mut cache = Cache::new(*config);
+        cache.run(&clone).stats.miss_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::true_miss_rate;
+
+    fn cyclic_trace(blocks: u64, n: usize) -> Trace {
+        (0..n as u64).map(|i| MemoryAccess::load(i, Address::new((i % blocks) * 64))).collect()
+    }
+
+    #[test]
+    fn profile_captures_streaming_stride() {
+        let trace: Trace =
+            (0..2000u64).map(|i| MemoryAccess::load(i, Address::new(i * 64))).collect();
+        let p = StmProfile::from_trace(&trace);
+        assert_eq!(p.strides[0].0, 1, "dominant stride must be +1 block");
+        assert!(p.strides[0].1 > 0.9);
+        assert!(p.temporal_reuse < 0.05);
+    }
+
+    #[test]
+    fn profile_captures_tight_reuse() {
+        let trace = cyclic_trace(4, 2000);
+        let p = StmProfile::from_trace(&trace);
+        assert!(p.temporal_reuse > 0.9, "cyclic trace is all reuse: {}", p.temporal_reuse);
+    }
+
+    #[test]
+    fn clone_is_deterministic_per_seed() {
+        let p = StmProfile::from_trace(&cyclic_trace(8, 500));
+        assert_eq!(p.clone_trace(100, 5), p.clone_trace(100, 5));
+        assert_ne!(p.clone_trace(100, 5), p.clone_trace(100, 6));
+    }
+
+    #[test]
+    fn prediction_is_close_for_small_working_set() {
+        // Tight cyclic working set: truth is ~100% hits; the clone's
+        // reuse structure must reproduce that.
+        let trace = cyclic_trace(8, 5000);
+        let config = CacheConfig::new(16, 4);
+        let predicted = Stm::new(3).predict_miss_rate(&trace, &config);
+        let truth = true_miss_rate(&trace, &config);
+        assert!(
+            (predicted - truth).abs() < 0.15,
+            "predicted {predicted:.3} vs true {truth:.3}"
+        );
+    }
+
+    #[test]
+    fn prediction_is_high_for_streaming() {
+        let trace: Trace =
+            (0..4000u64).map(|i| MemoryAccess::load(i, Address::new(i * 64))).collect();
+        let predicted = Stm::new(3).predict_miss_rate(&trace, &CacheConfig::new(16, 4));
+        assert!(predicted > 0.8, "streaming clone should mostly miss: {predicted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn profile_rejects_tiny_trace() {
+        StmProfile::from_trace(&Trace::new());
+    }
+}

@@ -1,0 +1,253 @@
+//! Tabular autoregressive trace synthesis (REaLTabFormer stand-in).
+//!
+//! Shi et al. (MEMSYS 2023) synthesize memory workloads with a tabular
+//! transformer and validate the synthetic traces by comparing miss
+//! ratios. A transformer is out of scope here, so `TabSynth` reproduces
+//! the *evaluation contract* with a tabular frequency model in three
+//! fidelity tiers mirroring the paper's columns:
+//!
+//! * [`TabVariant::Base`] — each trace column (block delta) is sampled
+//!   independently from its marginal distribution.
+//! * [`TabVariant::ReuseDistance`] — deltas are conditioned on a coarse
+//!   reuse-distance bucket of the previous access.
+//! * [`TabVariant::InContext`] — deltas are conditioned on the previous
+//!   delta (a first-order in-context model).
+//!
+//! Prediction = synthesize a trace, simulate it, report its miss rate.
+
+use crate::MissRatePredictor;
+use cachebox_sim::{Cache, CacheConfig};
+use cachebox_trace::{Address, MemoryAccess, ReuseDistanceEngine, Trace, INFINITE_DISTANCE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Fidelity tier of the tabular synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TabVariant {
+    /// Independent marginal sampling (`Tab-Base`).
+    Base,
+    /// Reuse-bucket conditioning (`Tab-RD`).
+    ReuseDistance,
+    /// Previous-delta conditioning (`Tab-IC`).
+    InContext,
+}
+
+impl TabVariant {
+    /// Table 1 column label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TabVariant::Base => "Tab-Base",
+            TabVariant::ReuseDistance => "Tab-RD",
+            TabVariant::InContext => "Tab-IC",
+        }
+    }
+}
+
+/// Coarse context bucket for conditioned variants.
+fn reuse_bucket(distance: u64) -> u8 {
+    if distance == INFINITE_DISTANCE {
+        return 7;
+    }
+    (64 - distance.leading_zeros()).min(6) as u8
+}
+
+fn delta_bucket(delta: i64) -> i64 {
+    // Quantize large deltas; keep small ones exact.
+    if delta.abs() <= 8 {
+        delta
+    } else {
+        let mag = 63 - (delta.unsigned_abs()).leading_zeros() as i64;
+        delta.signum() * (1 << mag)
+    }
+}
+
+/// The tabular synthesizer/predictor.
+#[derive(Debug, Clone, Copy)]
+pub struct TabSynth {
+    variant: TabVariant,
+    seed: u64,
+}
+
+impl TabSynth {
+    /// Creates a synthesizer of the given fidelity tier.
+    pub fn new(variant: TabVariant, seed: u64) -> Self {
+        TabSynth { variant, seed }
+    }
+
+    /// Learns the frequency table and synthesizes a trace of the same
+    /// length as `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has fewer than two accesses.
+    pub fn synthesize(&self, trace: &Trace) -> Trace {
+        assert!(trace.len() >= 2, "trace too short to model");
+        let blocks: Vec<u64> = trace.iter().map(|a| a.address.block(6)).collect();
+        // Context key per transition.
+        let mut reuse = ReuseDistanceEngine::new();
+        let mut contexts: Vec<u64> = Vec::with_capacity(blocks.len());
+        let mut prev_delta: i64 = 0;
+        for (i, &b) in blocks.iter().enumerate() {
+            let d = reuse.access(b);
+            let ctx = match self.variant {
+                TabVariant::Base => 0u64,
+                TabVariant::ReuseDistance => reuse_bucket(d) as u64,
+                TabVariant::InContext => delta_bucket(prev_delta) as u64 ^ 0x8000_0000,
+            };
+            contexts.push(ctx);
+            if i > 0 {
+                prev_delta = b as i64 - blocks[i - 1] as i64;
+            }
+        }
+        // Frequency table: context -> (delta bucket -> count).
+        let mut table: HashMap<u64, HashMap<i64, u64>> = HashMap::new();
+        for i in 1..blocks.len() {
+            let delta = delta_bucket(blocks[i] as i64 - blocks[i - 1] as i64);
+            *table.entry(contexts[i]).or_default().entry(delta).or_insert(0) += 1;
+        }
+        // Flatten to sampling vectors.
+        let sampling: HashMap<u64, (Vec<i64>, Vec<f64>)> = table
+            .into_iter()
+            .map(|(ctx, counts)| {
+                let total: u64 = counts.values().sum();
+                let mut deltas = Vec::with_capacity(counts.len());
+                let mut cdf = Vec::with_capacity(counts.len());
+                let mut acc = 0.0;
+                for (d, c) in counts {
+                    acc += c as f64 / total as f64;
+                    deltas.push(d);
+                    cdf.push(acc);
+                }
+                (ctx, (deltas, cdf))
+            })
+            .collect();
+        // Generate.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7ab5);
+        let mut cur = blocks[0];
+        let mut prev_delta = 0i64;
+        let mut reuse_gen = ReuseDistanceEngine::new();
+        let mut out = Trace::with_capacity(trace.len());
+        out.push(MemoryAccess::load(0, Address::new(cur * 64)));
+        let mut last_rd = reuse_gen.access(cur);
+        for i in 1..trace.len() as u64 {
+            let ctx = match self.variant {
+                TabVariant::Base => 0u64,
+                TabVariant::ReuseDistance => reuse_bucket(last_rd) as u64,
+                TabVariant::InContext => delta_bucket(prev_delta) as u64 ^ 0x8000_0000,
+            };
+            // Unknown contexts fall back to any learned distribution.
+            let (deltas, cdf) = sampling
+                .get(&ctx)
+                .or_else(|| sampling.values().next())
+                .expect("table has at least one context");
+            let u: f64 = rng.gen();
+            let idx = cdf.partition_point(|&c| c < u).min(deltas.len() - 1);
+            let delta = deltas[idx];
+            cur = cur.saturating_add_signed(delta);
+            prev_delta = delta;
+            last_rd = reuse_gen.access(cur);
+            out.push(MemoryAccess::load(i, Address::new(cur * 64)));
+        }
+        out
+    }
+}
+
+impl MissRatePredictor for TabSynth {
+    fn name(&self) -> &'static str {
+        self.variant.label()
+    }
+
+    fn predict_miss_rate(&self, trace: &Trace, config: &CacheConfig) -> f64 {
+        let synthetic = self.synthesize(trace);
+        let mut cache = Cache::new(*config);
+        cache.run(&synthetic).stats.miss_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::true_miss_rate;
+
+    fn cyclic(blocks: u64, n: usize) -> Trace {
+        (0..n as u64).map(|i| MemoryAccess::load(i, Address::new((i % blocks) * 64))).collect()
+    }
+
+    fn streaming(n: usize) -> Trace {
+        (0..n as u64).map(|i| MemoryAccess::load(i, Address::new(i * 64))).collect()
+    }
+
+    #[test]
+    fn synthesize_preserves_length() {
+        let t = cyclic(16, 1000);
+        for variant in [TabVariant::Base, TabVariant::ReuseDistance, TabVariant::InContext] {
+            let s = TabSynth::new(variant, 1).synthesize(&t);
+            assert_eq!(s.len(), t.len(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_trace_synthesis_streams() {
+        // All deltas are +1, so every variant reproduces a stream.
+        let t = streaming(2000);
+        let s = TabSynth::new(TabVariant::Base, 2).synthesize(&t);
+        let stats = s.stats();
+        assert_eq!(stats.dominant_stride(), Some(64));
+    }
+
+    #[test]
+    fn in_context_beats_base_on_phase_structured_trace() {
+        // A trace alternating long streaming runs with tight loops: the
+        // first-order model preserves run structure, the marginal one
+        // scrambles it.
+        let mut accesses = Vec::new();
+        let mut instr = 0u64;
+        for phase in 0..20u64 {
+            if phase % 2 == 0 {
+                for i in 0..500u64 {
+                    accesses.push(MemoryAccess::load(instr, Address::new((100_000 + phase * 2000 + i) * 64)));
+                    instr += 1;
+                }
+            } else {
+                for i in 0..500u64 {
+                    accesses.push(MemoryAccess::load(instr, Address::new((i % 4) * 64)));
+                    instr += 1;
+                }
+            }
+        }
+        let trace: Trace = accesses.into();
+        let config = CacheConfig::new(16, 4);
+        let truth = true_miss_rate(&trace, &config);
+        let base_err =
+            (TabSynth::new(TabVariant::Base, 3).predict_miss_rate(&trace, &config) - truth).abs();
+        let ic_err = (TabSynth::new(TabVariant::InContext, 3).predict_miss_rate(&trace, &config)
+            - truth)
+            .abs();
+        assert!(
+            ic_err <= base_err + 0.02,
+            "IC ({ic_err:.3}) should not be clearly worse than Base ({base_err:.3})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = cyclic(32, 500);
+        let a = TabSynth::new(TabVariant::ReuseDistance, 9).synthesize(&t);
+        let b = TabSynth::new(TabVariant::ReuseDistance, 9).synthesize(&t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TabVariant::Base.label(), "Tab-Base");
+        assert_eq!(TabVariant::ReuseDistance.label(), "Tab-RD");
+        assert_eq!(TabVariant::InContext.label(), "Tab-IC");
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_tiny_trace() {
+        TabSynth::new(TabVariant::Base, 0).synthesize(&Trace::new());
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion benchmark behind Fig. 11: generator inference time per
+//! image as a function of batch size.
+
+use cachebox_gan::data::Normalizer;
+use cachebox_gan::infer::infer_batched;
+use cachebox_gan::{CacheParams, UNetConfig, UNetGenerator};
+use cachebox_heatmap::Heatmap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn access_maps(n: usize, size: usize) -> Vec<Heatmap> {
+    (0..n)
+        .map(|k| {
+            let mut h = Heatmap::zeros(size, size);
+            for i in 0..size {
+                h.set((i + k) % size, i, ((k + i) % 5) as f32);
+            }
+            h
+        })
+        .collect()
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let size = 32;
+    let maps = access_maps(32, size);
+    let norm = Normalizer::new(16);
+    let params = CacheParams::new(64, 12);
+    let mut group = c.benchmark_group("infer/batch_size");
+    group.throughput(Throughput::Elements(maps.len() as u64));
+    for batch in [1usize, 2, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let config = UNetConfig::for_image_size(size, 8).with_param_features(2);
+            let mut generator = UNetGenerator::new(config, 1);
+            b.iter(|| infer_batched(&mut generator, &maps, Some(params), &norm, batch));
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_widths(c: &mut Criterion) {
+    let size = 32;
+    let maps = access_maps(8, size);
+    let norm = Normalizer::new(16);
+    let mut group = c.benchmark_group("infer/ngf");
+    group.throughput(Throughput::Elements(maps.len() as u64));
+    for ngf in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(ngf), &ngf, |b, &ngf| {
+            let mut generator = UNetGenerator::new(UNetConfig::for_image_size(size, ngf), 1);
+            b.iter(|| infer_batched(&mut generator, &maps, None, &norm, 8));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_sizes, bench_model_widths
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmarks for the cache simulator substrate: replay
+//! throughput across configurations, policies, and the hierarchy, plus
+//! the MultiCacheSim baseline (supporting Fig. 11's comparison).
+
+use cachebox_sim::multicache::MultiCacheSim;
+use cachebox_sim::{Cache, CacheConfig, CacheHierarchy, HierarchyConfig, ReplacementPolicyKind};
+use cachebox_trace::{Address, MemoryAccess, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn mixed_trace(len: usize, seed: u64) -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len as u64)
+        .map(|i| {
+            let block: u64 = if rng.gen_bool(0.8) {
+                rng.gen_range(0..512)
+            } else {
+                rng.gen_range(0..65_536)
+            };
+            MemoryAccess::new(
+                i,
+                Address::new(block * 64),
+                if rng.gen_bool(0.3) {
+                    cachebox_trace::AccessKind::Store
+                } else {
+                    cachebox_trace::AccessKind::Load
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_single_level(c: &mut Criterion) {
+    let trace = mixed_trace(100_000, 1);
+    let mut group = c.benchmark_group("cache/replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for config in [CacheConfig::new(64, 12), CacheConfig::new(1024, 8), CacheConfig::new(2048, 16)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(config.name()), &config, |b, &cfg| {
+            let mut cache = Cache::new(cfg);
+            b.iter(|| cache.run(&trace));
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = mixed_trace(50_000, 2);
+    let mut group = c.benchmark_group("cache/policy");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for policy in [
+        ReplacementPolicyKind::Lru,
+        ReplacementPolicyKind::Fifo,
+        ReplacementPolicyKind::Random,
+        ReplacementPolicyKind::TreePlru,
+        ReplacementPolicyKind::Srrip,
+    ] {
+        let config = CacheConfig::new(64, 12).with_policy(policy);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.to_string()),
+            &config,
+            |b, &cfg| {
+                let mut cache = Cache::new(cfg);
+                b.iter(|| cache.run(&trace));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let trace = mixed_trace(50_000, 3);
+    let mut group = c.benchmark_group("cache/hierarchy");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("l1_l2_l3", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default());
+        b.iter(|| h.run(&trace));
+    });
+    group.finish();
+}
+
+fn bench_multicache(c: &mut Criterion) {
+    let trace = mixed_trace(20_000, 4);
+    let mut group = c.benchmark_group("cache/multicachesim");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("64set-12way", |b| {
+        let mut sim = MultiCacheSim::new(vec![CacheConfig::new(64, 12)]);
+        b.iter(|| sim.run(&trace));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_level, bench_policies, bench_hierarchy, bench_multicache
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for heatmap construction (§4.2: heatmap
+//! generation is the trace-side cost of the pipeline).
+
+use cachebox_heatmap::{HeatmapBuilder, HeatmapGeometry};
+use cachebox_trace::{Address, MemoryAccess, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn trace(len: usize) -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    (0..len as u64)
+        .map(|i| MemoryAccess::load(i, Address::new(rng.gen_range(0..1u64 << 24))))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let t = trace(200_000);
+    let mut group = c.benchmark_group("heatmap/build");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    for (name, geometry) in [
+        ("64x64w32", HeatmapGeometry::new(64, 64, 32)),
+        ("128x128w64", HeatmapGeometry::new(128, 128, 64)),
+        ("512x512w100", HeatmapGeometry::paper()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &geometry, |b, &g| {
+            let builder = HeatmapBuilder::new(g);
+            b.iter(|| builder.build(&t));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_pairs(c: &mut Criterion) {
+    let t = trace(200_000);
+    let flags: Vec<bool> = (0..t.len()).map(|i| i % 5 != 0).collect();
+    let mut group = c.benchmark_group("heatmap/build_pairs");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    group.bench_function("64x64w32", |b| {
+        let builder = HeatmapBuilder::new(HeatmapGeometry::new(64, 64, 32));
+        b.iter(|| builder.build_pairs(&t, &flags));
+    });
+    group.finish();
+}
+
+fn bench_overlap_cost(c: &mut Criterion) {
+    let t = trace(100_000);
+    let mut group = c.benchmark_group("heatmap/overlap");
+    for overlap in [0.0, 0.3, 0.6] {
+        let g = HeatmapGeometry::new(64, 64, 32).with_overlap(overlap);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{overlap:.1}")), &g, |b, &g| {
+            let builder = HeatmapBuilder::new(g);
+            b.iter(|| builder.build(&t));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_build_pairs, bench_overlap_cost
+}
+criterion_main!(benches);

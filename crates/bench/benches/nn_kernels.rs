@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks for the neural-network substrate: GEMM,
+//! im2col, and the convolution layers that dominate CB-GAN's runtime.
+
+use cachebox_nn::gemm::{gemm, im2col, PatchGrid};
+use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer};
+use cachebox_nn::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn/gemm");
+    for n in [64usize, 128, 256] {
+        let a = vec![1.0f32; n * n];
+        let b = vec![0.5f32; n * n];
+        let mut out = vec![0.0f32; n * n];
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| gemm(&a, &b, n, n, n, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let grid = PatchGrid { channels: 16, height: 64, width: 64, kernel: 4, stride: 2, pad: 1 };
+    let image = vec![1.0f32; grid.channels * grid.height * grid.width];
+    let mut cols = vec![0.0f32; grid.patch_rows() * grid.positions()];
+    c.bench_function("nn/im2col/16x64x64_k4s2", |b| {
+        b.iter(|| im2col(&image, &grid, &mut cols));
+    });
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn/conv_forward");
+    for (cin, cout, size) in [(1usize, 16usize, 64usize), (16, 32, 32), (32, 64, 16)] {
+        let label = format!("{cin}->{cout}@{size}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            let mut conv = Conv2d::new(cin, cout, 4, 2, 1, 0);
+            let x = Tensor::zeros([4, cin, size, size]);
+            b.iter(|| conv.forward(&x, false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    c.bench_function("nn/conv_backward/16->32@32", |b| {
+        let mut conv = Conv2d::new(16, 32, 4, 2, 1, 0);
+        let x = Tensor::zeros([4, 16, 32, 32]);
+        let y = conv.forward(&x, true);
+        let g = Tensor::full(y.shape(), 1.0);
+        b.iter(|| {
+            conv.zero_grad();
+            conv.backward(&g)
+        });
+    });
+}
+
+fn bench_convtranspose_forward(c: &mut Criterion) {
+    c.bench_function("nn/convT_forward/32->16@16", |b| {
+        let mut up = ConvTranspose2d::new(32, 16, 4, 2, 1, 0);
+        let x = Tensor::zeros([4, 32, 16, 16]);
+        b.iter(|| up.forward(&x, false));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_im2col, bench_conv_forward, bench_conv_backward,
+              bench_convtranspose_forward
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the reuse-distance engine and the HRD/STM
+//! baselines (the "traditional" column of Table 1).
+
+use cachebox_baselines::{Hrd, MissRatePredictor, Stm, TabSynth, TabVariant};
+use cachebox_sim::CacheConfig;
+use cachebox_trace::{reuse::reuse_distances, Address, MemoryAccess, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn trace(len: usize, blocks: u64) -> Trace {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    (0..len as u64)
+        .map(|i| MemoryAccess::load(i, Address::new(rng.gen_range(0..blocks) * 64)))
+        .collect()
+}
+
+fn bench_reuse_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reuse/engine");
+    for len in [10_000usize, 100_000] {
+        let t = trace(len, 4096);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &t, |b, t| {
+            b.iter(|| reuse_distances(t, 6));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_predictors(c: &mut Criterion) {
+    let t = trace(30_000, 8192);
+    let config = CacheConfig::new(64, 12);
+    let mut group = c.benchmark_group("baselines/predict");
+    group.bench_function("hrd", |b| {
+        let hrd = Hrd::new();
+        b.iter(|| hrd.predict_miss_rate(&t, &config));
+    });
+    group.bench_function("stm", |b| {
+        let stm = Stm::new(1);
+        b.iter(|| stm.predict_miss_rate(&t, &config));
+    });
+    group.bench_function("tab_ic", |b| {
+        let tab = TabSynth::new(TabVariant::InContext, 1);
+        b.iter(|| tab.predict_miss_rate(&t, &config));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reuse_engine, bench_baseline_predictors
+}
+criterion_main!(benches);

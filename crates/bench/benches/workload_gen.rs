@@ -1,0 +1,41 @@
+//! Criterion benchmarks for synthetic trace generation — the
+//! reproduction's substitute for Pin trace collection (§4.2 notes
+//! heatmap generation from traces is the data-side cost).
+
+use cachebox_workloads::{Suite, SuiteId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_suite_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads/generate");
+    let accesses = 20_000usize;
+    group.throughput(Throughput::Elements(accesses as u64));
+    for suite_id in SuiteId::ALL {
+        let suite = Suite::build(suite_id, 4, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(suite_id.to_string()),
+            &suite,
+            |b, suite| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let bench = &suite.benchmarks()[i % suite.benchmarks().len()];
+                    i += 1;
+                    bench.generate(accesses)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_suite_build(c: &mut Criterion) {
+    c.bench_function("workloads/suite_build/spec_100", |b| {
+        b.iter(|| Suite::build(SuiteId::Spec, 100, 3));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_suite_generation, bench_suite_build
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Ablation of the heatmap modulo height (paper §4.2: modulo 512 with
+//! window 100 at full scale).
+
+use cachebox::experiments::ablation;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Ablation: heatmap modulo height at fixed access budget",
+        "the paper finds modulo 512 with 100-unit windows most accurate at 512x512",
+        &args.scale,
+    );
+    let size = args.scale.image_size();
+    let result =
+        ablation::geometry_sweep(&args.scale, &[size / 2, size, size * 2]);
+    println!("{:<16} {:>10} {:>10}", "setting", "avg %diff", "worst");
+    for p in &result.points {
+        println!("{:<16} {:>10.2} {:>10.2}", p.setting, p.summary.average, p.summary.worst);
+    }
+    args.maybe_save(&result);
+}

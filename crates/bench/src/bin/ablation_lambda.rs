@@ -1,0 +1,19 @@
+//! Ablation of the reconstruction weight λ (paper §4.3: λ = 150).
+
+use cachebox::experiments::ablation;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Ablation: L1 reconstruction weight lambda",
+        "the paper balances adversarial and L1 losses with lambda = 150",
+        &args.scale,
+    );
+    let result = ablation::lambda_sweep(&args.scale, &[5.0, 20.0, 50.0, 150.0]);
+    println!("{:<16} {:>10} {:>10}", "setting", "avg %diff", "worst");
+    for p in &result.points {
+        println!("{:<16} {:>10.2} {:>10.2}", p.setting, p.summary.average, p.summary.worst);
+    }
+    args.maybe_save(&result);
+}

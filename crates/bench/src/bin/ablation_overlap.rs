@@ -1,0 +1,20 @@
+//! Ablation of the inter-heatmap overlap fraction (paper §3.1.1: 30 %
+//! overlap yields the best results).
+
+use cachebox::experiments::ablation;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Ablation: heatmap overlap fraction",
+        "a 30% overlap between consecutive heatmaps yields the best accuracy",
+        &args.scale,
+    );
+    let result = ablation::overlap_sweep(&args.scale, &[0.0, 0.15, 0.30, 0.45]);
+    println!("{:<16} {:>10} {:>10}", "setting", "avg %diff", "worst");
+    for p in &result.points {
+        println!("{:<16} {:>10.2} {:>10.2}", p.setting, p.summary.average, p.summary.worst);
+    }
+    args.maybe_save(&result);
+}

@@ -1,0 +1,21 @@
+//! Ablation of the per-column window size (paper §4.2: 100-unit windows
+//! balance compactness against lossiness at 512×512).
+
+use cachebox::experiments::ablation;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Ablation: accesses per heatmap column (window size)",
+        "the paper finds 100-unit windows a compact, lossy sweet spot",
+        &args.scale,
+    );
+    let base = args.scale.geometry.window;
+    let result = ablation::window_sweep(&args.scale, &[base / 2, base, base * 2]);
+    println!("{:<16} {:>10} {:>10}", "setting", "avg %diff", "worst");
+    for p in &result.points {
+        println!("{:<16} {:>10.2} {:>10.2}", p.setting, p.summary.average, p.summary.worst);
+    }
+    args.maybe_save(&result);
+}

@@ -1,0 +1,23 @@
+//! Extension beyond the paper (§6.3): how well does a CB-GAN trained on
+//! LRU miss behaviour predict other replacement policies?
+
+use cachebox::experiments::extension;
+use cachebox::report;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Extension: replacement-policy transfer (paper §6.3 future work)",
+        "paper trains and evaluates on LRU only; this measures zero-shot policy transfer",
+        &args.scale,
+    );
+    let result = extension::policy_transfer(&args.scale);
+    for p in &result.per_policy {
+        let tag = if p.policy == "lru" { " (training policy)" } else { " (transfer)" };
+        println!("--- {}{} ---", p.policy, tag);
+        println!("{}", report::accuracy_table(&p.records));
+        println!("summary: {}\n", report::summary_line(&p.summary));
+    }
+    args.maybe_save(&result);
+}

@@ -1,0 +1,31 @@
+//! Reproduction robustness: reruns the RQ1 experiment across several
+//! seeds (fresh dataset split, initialization, and batching per seed)
+//! and reports the spread of the headline metric.
+
+use cachebox::experiments::rq1;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Extension: seed sensitivity of the RQ1 headline metric",
+        "the paper reports single-seed results; this measures run-to-run spread",
+        &args.scale,
+    );
+    let seeds = [args.scale.seed, args.scale.seed + 1, args.scale.seed + 2];
+    let mut averages = Vec::new();
+    for seed in seeds {
+        let scale = args.scale.with_seed(seed);
+        let result = rq1::run(&scale);
+        println!(
+            "seed {seed}: avg {:.2}% worst {:.2}% over n={}",
+            result.summary.average, result.summary.worst, result.summary.count
+        );
+        averages.push(result.summary.average);
+    }
+    let mean = averages.iter().sum::<f64>() / averages.len() as f64;
+    let var = averages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
+        / averages.len() as f64;
+    println!("\nheadline average across seeds: {:.2}% ± {:.2} (std)", mean, var.sqrt());
+    args.maybe_save(&averages);
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 7: true/predicted hit rates across benchmark suites.
+
+use cachebox::experiments::rq1;
+use cachebox::report;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 7 (RQ1: unseen applications across SPEC/Ligra/Polybench)",
+        "average absolute hit-rate difference 3.05% on a 64set-12way L1",
+        &args.scale,
+    );
+    let result = rq1::run(&args.scale);
+    println!("{}", report::accuracy_table(&result.records));
+    println!("summary: {}", report::summary_line(&result.summary));
+    if let Some(last) = result.history.last() {
+        println!(
+            "final losses: D={:.3} G_adv={:.3} G_L1={:.4}",
+            last.d_loss, last.g_adv, last.g_l1
+        );
+    }
+    args.maybe_save(&result);
+}

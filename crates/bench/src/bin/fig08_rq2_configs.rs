@@ -1,0 +1,23 @@
+//! Regenerates Fig. 8: one model over four L1 configurations.
+
+use cachebox::experiments::rq2;
+use cachebox::report;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 8 (RQ2: one CB-GAN, four L1 configurations)",
+        "averages 2.79/2.06/2.59/2.46% for 64s12w/128s12w/128s6w/128s3w",
+        &args.scale,
+    );
+    let mut artifacts = rq2::train_or_load(&args.scale, &cachebox_bench::rq2_cache_path(&args.scale));
+    let configs = artifacts.train_configs.clone();
+    let result = rq2::evaluate_configs(&mut artifacts, &configs);
+    for config in &result.per_config {
+        println!("--- {} ---", config.config);
+        println!("{}", report::accuracy_table(&config.records));
+        println!("summary: {}\n", report::summary_line(&config.summary));
+    }
+    args.maybe_save(&result);
+}

@@ -1,0 +1,24 @@
+//! Regenerates Fig. 9: zero-shot generalization to unseen cache
+//! configurations.
+
+use cachebox::experiments::{rq2, rq3};
+use cachebox::report;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 9 (RQ3: configurations absent from training)",
+        "averages 1.96/1.26/3.28% for 256s6w/256s12w/32s12w",
+        &args.scale,
+    );
+    let mut artifacts =
+        rq2::train_or_load(&args.scale, &cachebox_bench::rq2_cache_path(&args.scale));
+    let result = rq3::evaluate(&mut artifacts);
+    for config in &result.per_config {
+        println!("--- {} (unseen) ---", config.config);
+        println!("{}", report::accuracy_table(&config.records));
+        println!("summary: {}\n", report::summary_line(&config.summary));
+    }
+    args.maybe_save(&result);
+}

@@ -1,0 +1,32 @@
+//! Regenerates Fig. 10: L1/L2/L3 — combined vs standalone models.
+
+use cachebox::experiments::rq4;
+use cachebox::report;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 10 (RQ4: cache hierarchy levels, combined vs standalone)",
+        "combined 3.23/17.63/14.06%, standalone 3.70/11.40/15.89% for L1/L2/L3",
+        &args.scale,
+    );
+    let result = rq4::run(&args.scale);
+    for (label, levels) in
+        [("combined (no cache params)", &result.combined), ("standalone", &result.standalone)]
+    {
+        println!("==== {label} ====");
+        for level in levels {
+            println!("--- {} ---", level.level);
+            println!("{}", report::accuracy_table(&level.records));
+            if !level.excluded.is_empty() {
+                println!("excluded (low data regime): {}", level.excluded.join(", "));
+            }
+            if level.threshold_relaxed {
+                println!("note: threshold relaxed — every benchmark was below the §6.1 cut at this level");
+            }
+            println!("summary: {}\n", report::summary_line(&level.summary));
+        }
+    }
+    args.maybe_save(&result);
+}

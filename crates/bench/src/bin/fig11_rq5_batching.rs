@@ -1,0 +1,33 @@
+//! Regenerates Fig. 11: inference time vs batch size, and the
+//! MultiCacheSim comparison.
+
+use cachebox::experiments::{rq2, rq5};
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 11 (RQ5: parallelized inference)",
+        "2.4x speedup at batch 32 vs batch 1; sequential CBox 1.61-1.81x vs MultiCacheSim",
+        &args.scale,
+    );
+    let mut artifacts =
+        rq2::train_or_load(&args.scale, &cachebox_bench::rq2_cache_path(&args.scale));
+    let result = rq5::run_with(&mut artifacts);
+    println!("{:>6} {:>14} {:>9}", "batch", "mean time", "speedup");
+    for b in &result.batches {
+        println!(
+            "{:>6} {:>12.2?} {:>8.2}x",
+            b.batch_size,
+            b.mean_time,
+            b.speedup
+        );
+    }
+    println!();
+    println!("MultiCacheSim mean per-benchmark time: {:.2?}", result.multicache_time);
+    println!(
+        "sequential CBox / MultiCacheSim time ratio: {:.2} (paper reports CBox 1.61-1.81x faster on GPU)",
+        result.cbox_over_multicache
+    );
+    args.maybe_save(&result);
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 12: true-vs-predicted hit-rate scatter.
+
+use cachebox::experiments::{rq2, rq6};
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 12 (RQ6: cache response characteristics)",
+        "dense cluster above 90% true hit rate; positive bias in the 70-90% band",
+        &args.scale,
+    );
+    let mut artifacts =
+        rq2::train_or_load(&args.scale, &cachebox_bench::rq2_cache_path(&args.scale));
+    let result = rq6::run_with(&mut artifacts);
+    println!("{:<14} {:<24} {:>8} {:>8}", "config", "benchmark", "true%", "pred%");
+    for p in &result.points {
+        println!(
+            "{:<14} {:<24} {:>8.2} {:>8.2}",
+            p.config,
+            p.record.name,
+            p.record.true_rate * 100.0,
+            p.record.predicted_rate * 100.0
+        );
+    }
+    println!();
+    println!(
+        "mean signed bias (pred - true): high band [90,100]%: {:+.2} pp, mid band [70,90)%: {:+.2} pp",
+        result.bias_high_band * 100.0,
+        result.bias_mid_band * 100.0
+    );
+    args.maybe_save(&result);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 13: next-line prefetcher modelling (MSE + SSIM).
+
+use cachebox::experiments::rq7;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 13 (RQ7: learning prefetcher behaviour)",
+        "consistently low MSE and high SSIM for next-line prefetch heatmaps",
+        &args.scale,
+    );
+    let result = rq7::run(&args.scale);
+    println!("{:<28} {:>10} {:>8}", "benchmark", "MSE", "SSIM");
+    for r in &result.records {
+        println!("{:<28} {:>10.4} {:>8.3}", r.name, r.mse, r.ssim);
+    }
+    println!();
+    println!("means: MSE {:.4}, SSIM {:.3}", result.mean_mse, result.mean_ssim);
+    args.maybe_save(&result);
+}

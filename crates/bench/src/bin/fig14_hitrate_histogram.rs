@@ -1,0 +1,33 @@
+//! Regenerates Fig. 14: histogram of true hit rates across the dataset.
+
+use cachebox::experiments::ecosystem;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Figure 14 (data ecosystem: true hit-rate distribution)",
+        ">95% of SPEC above 65% L1 hit rate; 70%/55% of SPEC above the L2/L3 thresholds",
+        &args.scale,
+    );
+    let result = ecosystem::run(&args.scale);
+    println!("SPEC true hit rates on 64set-12way L1:");
+    println!("{}", result.spec_l1_histogram.render(40));
+    println!(
+        "SPEC benchmarks above 65% L1 hit rate: {:.1}% (paper: >95%)",
+        result.spec_above_65 * 100.0
+    );
+    println!(
+        "all benchmarks above 65% L1 hit rate:  {:.1}% (paper: >92%)",
+        result.all_above_65 * 100.0
+    );
+    println!(
+        "SPEC above 40% L2 hit rate:            {:.1}% (paper: 70%)",
+        result.spec_l2_above_40 * 100.0
+    );
+    println!(
+        "SPEC above 35% L3 hit rate:            {:.1}% (paper: 55%)",
+        result.spec_l3_above_35 * 100.0
+    );
+    args.maybe_save(&result);
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table 1: CBox vs HRD, STM, and tabular synthesis on L1
+//! miss-rate prediction.
+
+use cachebox::experiments::table1;
+use cachebox_bench::{banner, HarnessArgs};
+
+fn print_row(r: &table1::Table1Row) {
+    println!(
+        "{:<6} {:>9.2} {:>8.2} {:>8.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
+        r.app,
+        r.tabular[0],
+        r.tabular[1],
+        r.tabular[2],
+        r.hrd,
+        r.stm,
+        r.cbox_best,
+        r.cbox_worst,
+        r.cbox_avg
+    );
+}
+
+fn main() {
+    let args = HarnessArgs::parse("small");
+    banner(
+        "Table 1 (CBox vs REaLTabFormer variants, HRD, STM)",
+        "CBox lowest average abs % diff: best 0.39, worst 6.15, average 3.68",
+        &args.scale,
+    );
+    let result = table1::run(&args.scale);
+    println!(
+        "{:<6} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "app", "Tab-Base", "Tab-RD", "Tab-IC", "HRD", "STM", "best", "worst", "average"
+    );
+    for row in &result.rows {
+        print_row(row);
+    }
+    print_row(&result.averages);
+    args.maybe_save(&result);
+}

@@ -1,0 +1,47 @@
+//! Developer utility: diagnose training quality — sweep epochs/ngf and
+//! report accuracy on both the TRAINING and TEST benchmarks.
+
+use cachebox::dataset::Pipeline;
+use cachebox::experiments::{filter_with_fallback, LEVEL_THRESHOLDS};
+use cachebox::Scale;
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::Dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // args: epochs ngf [lambda-unused]
+    let epochs: usize = args.first().map(|a| a.parse().unwrap()).unwrap_or(30);
+    let ngf: usize = args.get(1).map(|a| a.parse().unwrap()).unwrap_or(8);
+    let norm_scale: f32 = args.get(2).map(|a| a.parse().unwrap()).unwrap_or(4.0);
+    let lambda: f32 = args.get(3).map(|a| a.parse().unwrap()).unwrap_or(150.0);
+    let mut scale = Scale::small();
+    scale.epochs = epochs;
+    scale.ngf = ngf;
+    scale.ndf = ngf;
+    scale.norm_scale = norm_scale;
+    let pipeline = Pipeline::new(&scale);
+    let config = CacheConfig::new(64, 12);
+    let dataset = Dataset::build(
+        scale.spec_benchmarks,
+        scale.ligra_benchmarks,
+        scale.polybench_benchmarks,
+        scale.seed,
+    );
+    let train = filter_with_fallback(&pipeline, &dataset.split.train, &config, LEVEL_THRESHOLDS[0]);
+    let test = filter_with_fallback(&pipeline, &dataset.split.test, &config, LEVEL_THRESHOLDS[0]);
+    let samples = pipeline.training_samples(&train, &[config]);
+    eprintln!("epochs={epochs} ngf={ngf} norm_scale={norm_scale} lambda={lambda} train_benches={} samples={}", train.len(), samples.len());
+    let (mut generator, history) = cachebox::experiments::train_cbgan_with(&scale, &samples, true, lambda);
+    for (i, h) in history.iter().enumerate() {
+        if i % 10 == 0 || i + 1 == history.len() {
+            eprintln!("  epoch {i}: D={:.3} G_adv={:.3} G_L1={:.4}", h.d_loss, h.g_adv, h.g_l1);
+        }
+    }
+    for (label, set) in [("TRAIN", &train), ("TEST", &test)] {
+        println!("--- {label} ---");
+        for b in set.iter().take(6) {
+            let r = pipeline.evaluate(&mut generator, b, &config, true, scale.batch_size);
+            println!("   {:<28} true {:>6.2} pred {:>6.2}", r.name, r.true_rate*100.0, r.predicted_rate*100.0);
+        }
+    }
+}

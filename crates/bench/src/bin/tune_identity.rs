@@ -1,0 +1,47 @@
+//! Developer utility: probe UNet identity-learning across image sizes
+//! and learning rates.
+
+use cachebox::dataset::Pipeline;
+use cachebox::Scale;
+use cachebox_gan::data::Normalizer;
+use cachebox_gan::unet::UNetAsLayer;
+use cachebox_gan::{UNetConfig, UNetGenerator};
+use cachebox_heatmap::HeatmapGeometry;
+use cachebox_nn::loss;
+use cachebox_nn::optim::Adam;
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Suite, SuiteId};
+
+fn main() {
+    let config = CacheConfig::new(64, 12);
+    let suite = Suite::build(SuiteId::Spec, 2, 42);
+    for size in [32usize] {
+        let mut scale = Scale::small();
+        scale.geometry = HeatmapGeometry::new(size, size, 16);
+        let pipeline = Pipeline::new(&scale);
+        let norm = Normalizer::new(16).with_scale(4.0);
+        let mut tensors = Vec::new();
+        for b in suite.benchmarks() {
+            for p in pipeline.heatmap_pairs(b, &config).into_iter().take(8) {
+                tensors.push(norm.heatmap_to_tensor(&p.access));
+            }
+        }
+        for lr in [2e-3f32, 5e-3] {
+            let cfg = UNetConfig::for_image_size(size, 8).with_dropout(false);
+            let mut g = UNetGenerator::new(cfg, 1);
+            let mut adam = Adam::new(lr);
+            let mut final_l1 = 0.0;
+            for step in 0..3000 {
+                let x = &tensors[step % tensors.len()];
+                let y = g.forward(x, None, true);
+                let (l, grad) = loss::l1(&y, x);
+                final_l1 = l;
+                if step % 500 == 0 { eprintln!("  step {step}: L1 {l:.4}"); }
+                g.zero_grad();
+                g.backward(&grad.scale(150.0));
+                adam.step_layer(&mut UNetAsLayer(&mut g));
+            }
+            println!("size={size} lr={lr}: identity L1 after 3000 steps = {final_l1:.4}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation and
+//! accepts the same flags:
+//!
+//! ```text
+//! --scale tiny|small|experiment   experiment size (default: small)
+//! --seed N                        master seed (default: 42)
+//! --epochs N                      override training epochs
+//! --out PATH                      also write the result as JSON
+//! ```
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `fig07_rq1_suites` | Fig. 7 |
+//! | `fig08_rq2_configs` | Fig. 8 |
+//! | `fig09_rq3_unseen_configs` | Fig. 9 |
+//! | `fig10_rq4_levels` | Fig. 10 |
+//! | `fig11_rq5_batching` | Fig. 11 |
+//! | `fig12_rq6_scatter` | Fig. 12 |
+//! | `fig13_rq7_prefetch` | Fig. 13 |
+//! | `fig14_hitrate_histogram` | Fig. 14 |
+//! | `table1_baselines` | Table 1 |
+//! | `ablation_overlap`, `ablation_lambda`, `ablation_geometry` | §3.1.1/§4.2/§4.3 |
+
+use cachebox::Scale;
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Optional JSON output path.
+    pub out: Option<PathBuf>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    /// `default_scale` names the scale used when `--scale` is absent.
+    pub fn parse(default_scale: &str) -> HarnessArgs {
+        Self::parse_from(std::env::args().skip(1), default_scale).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: [--scale tiny|small|experiment] [--seed N] [--epochs N] [--out PATH]"
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses an explicit argument iterator (testable form).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed flag.
+    pub fn parse_from(
+        args: impl IntoIterator<Item = String>,
+        default_scale: &str,
+    ) -> Result<HarnessArgs, String> {
+        let mut scale_name = default_scale.to_string();
+        let mut seed: Option<u64> = None;
+        let mut epochs: Option<usize> = None;
+        let mut out = None;
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => scale_name = value("--scale")?,
+                "--seed" => {
+                    seed = Some(
+                        value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                    )
+                }
+                "--epochs" => {
+                    epochs = Some(
+                        value("--epochs")?.parse().map_err(|e| format!("bad --epochs: {e}"))?,
+                    )
+                }
+                "--out" => out = Some(PathBuf::from(value("--out")?)),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        let mut scale = match scale_name.as_str() {
+            "tiny" => Scale::tiny(),
+            "small" => Scale::small(),
+            "experiment" => Scale::experiment(),
+            other => return Err(format!("unknown scale {other:?}")),
+        };
+        if let Some(seed) = seed {
+            scale = scale.with_seed(seed);
+        }
+        if let Some(epochs) = epochs {
+            scale = scale.with_epochs(epochs);
+        }
+        Ok(HarnessArgs { scale, out })
+    }
+
+    /// Writes `value` as JSON to `--out` if given, logging the path.
+    pub fn maybe_save<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.out {
+            match cachebox::report::save_json(path, value) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Canonical cache path for the shared RQ2 model at a given scale.
+/// fig08/fig09/fig11/fig12 all build on the same four-configuration
+/// model; the first binary to run trains and caches it, the rest load.
+pub fn rq2_cache_path(scale: &Scale) -> PathBuf {
+    PathBuf::from(format!(
+        "results/rq2_model_{}x{}_ngf{}_e{}_n{}_s{}.json",
+        scale.geometry.height,
+        scale.geometry.width,
+        scale.ngf,
+        scale.epochs,
+        scale.spec_benchmarks,
+        scale.seed
+    ))
+}
+
+/// Prints a banner naming the artifact being regenerated.
+pub fn banner(artifact: &str, claim: &str, scale: &Scale) {
+    println!("=== CacheBox reproduction: {artifact} ===");
+    println!("paper claim: {claim}");
+    println!(
+        "scale: {}x{} heatmaps, window {}, {} accesses/trace, ngf {}, {} epochs, seed {}",
+        scale.geometry.height,
+        scale.geometry.width,
+        scale.geometry.window,
+        scale.trace_accesses,
+        scale.ngf,
+        scale.epochs,
+        scale.seed,
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()), "small")
+    }
+
+    #[test]
+    fn defaults_to_named_scale() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.scale, Scale::small());
+        assert_eq!(args.out, None);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args =
+            parse(&["--scale", "tiny", "--seed", "7", "--epochs", "3", "--out", "/tmp/x.json"])
+                .unwrap();
+        assert_eq!(args.scale.seed, 7);
+        assert_eq!(args.scale.epochs, 3);
+        assert_eq!(args.scale.image_size(), Scale::tiny().image_size());
+        assert_eq!(args.out, Some(PathBuf::from("/tmp/x.json")));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_scale() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale", "huge"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+}

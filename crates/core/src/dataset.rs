@@ -1,0 +1,237 @@
+//! Benchmark → trace → simulation → heatmap-pair datasets, and model
+//! evaluation against simulated ground truth.
+
+use crate::scale::Scale;
+use cachebox_gan::data::{Normalizer, Sample};
+use cachebox_gan::infer::infer_batched;
+use cachebox_gan::{CacheParams, UNetGenerator};
+use cachebox_heatmap::builder::HeatmapPair;
+use cachebox_heatmap::{hitrate, Heatmap, HeatmapBuilder, HeatmapGeometry};
+use cachebox_metrics::BenchmarkAccuracy;
+use cachebox_sim::{Cache, CacheConfig};
+use cachebox_workloads::Benchmark;
+
+/// The data pipeline: fixed geometry and trace length, shared by
+/// training-set construction and evaluation.
+///
+/// See the [crate-level quickstart](crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pipeline {
+    geometry: HeatmapGeometry,
+    trace_accesses: usize,
+    norm_scale: f32,
+}
+
+impl Pipeline {
+    /// Creates a pipeline from an experiment scale.
+    pub fn new(scale: &Scale) -> Self {
+        Pipeline {
+            geometry: scale.geometry,
+            trace_accesses: scale.trace_accesses,
+            norm_scale: scale.norm_scale,
+        }
+    }
+
+    /// The heatmap geometry in use.
+    pub fn geometry(&self) -> &HeatmapGeometry {
+        &self.geometry
+    }
+
+    /// The normalizer matching this geometry's window size (used for
+    /// training batches).
+    pub fn normalizer(&self) -> Normalizer {
+        Normalizer::new(self.geometry.window).with_scale(self.norm_scale)
+    }
+
+    /// The evaluation-side normalizer. Background noise in generated
+    /// maps is handled structurally — synthetic miss pixels are clamped
+    /// to the access ceiling in
+    /// [`predicted_hit_rate`](cachebox_heatmap::hitrate::predicted_hit_rate) —
+    /// so counts are left unrounded to preserve weak real-miss signal.
+    pub fn eval_normalizer(&self) -> Normalizer {
+        self.normalizer()
+    }
+
+    /// Generates the benchmark's trace, simulates `config`, and renders
+    /// the paired access/miss heatmaps.
+    pub fn heatmap_pairs(&self, bench: &Benchmark, config: &CacheConfig) -> Vec<HeatmapPair> {
+        let trace = bench.generate(self.trace_accesses);
+        let mut cache = Cache::new(*config);
+        let result = cache.run(&trace);
+        HeatmapBuilder::new(self.geometry).build_pairs(&trace, &result.hit_flags)
+    }
+
+    /// Like [`Pipeline::heatmap_pairs`] but producing GAN training
+    /// [`Sample`]s carrying the cache parameters.
+    pub fn samples(&self, bench: &Benchmark, config: &CacheConfig) -> Vec<Sample> {
+        let params = CacheParams::new(config.sets as u32, config.ways as u32);
+        self.heatmap_pairs(bench, config)
+            .into_iter()
+            .map(|p| Sample { access: p.access, miss: p.miss, params })
+            .collect()
+    }
+
+    /// Builds the full training set: every benchmark × every
+    /// configuration, batched together (the paper's multi-config
+    /// training, §5.2).
+    pub fn training_samples(
+        &self,
+        benchmarks: &[Benchmark],
+        configs: &[CacheConfig],
+    ) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for bench in benchmarks {
+            for config in configs {
+                out.extend(self.samples(bench, config));
+            }
+        }
+        out
+    }
+
+    /// Replays the benchmark through a multi-level hierarchy and renders
+    /// per-level access/miss heatmap pairs: index 0 is L1's bus, index 1
+    /// the L1→L2 bus, and so on (the paper's "every bus is a heatmap"
+    /// observation, §2).
+    pub fn hierarchy_pairs(
+        &self,
+        bench: &Benchmark,
+        hierarchy: &cachebox_sim::HierarchyConfig,
+    ) -> Vec<Vec<HeatmapPair>> {
+        let trace = bench.generate(self.trace_accesses);
+        let mut sim = cachebox_sim::CacheHierarchy::new(hierarchy.clone());
+        let result = sim.run(&trace);
+        let builder = HeatmapBuilder::new(self.geometry);
+        result
+            .levels
+            .iter()
+            .map(|level| builder.build_pairs(&level.accesses, &level.hit_flags))
+            .collect()
+    }
+
+    /// True per-level hit rates for a hierarchy run.
+    pub fn hierarchy_true_rates(
+        &self,
+        bench: &Benchmark,
+        hierarchy: &cachebox_sim::HierarchyConfig,
+    ) -> Vec<f64> {
+        let trace = bench.generate(self.trace_accesses);
+        let mut sim = cachebox_sim::CacheHierarchy::new(hierarchy.clone());
+        sim.run(&trace).levels.iter().map(|l| l.hit_rate()).collect()
+    }
+
+    /// Replays the benchmark with a prefetcher attached and renders the
+    /// RQ7 access/prefetch heatmap pairs on a shared instruction
+    /// timeline.
+    pub fn prefetch_pairs(
+        &self,
+        bench: &Benchmark,
+        config: &CacheConfig,
+        prefetcher: &mut dyn cachebox_sim::Prefetcher,
+    ) -> Vec<(Heatmap, Heatmap)> {
+        let trace = bench.generate(self.trace_accesses);
+        let mut cache = Cache::new(*config);
+        let (_result, prefetch_trace) = cache.run_with_prefetcher(&trace, prefetcher);
+        HeatmapBuilder::new(self.geometry)
+            .with_axis(cachebox_heatmap::TimeAxis::Instructions)
+            .build_aligned(&trace, &prefetch_trace)
+    }
+
+    /// Exact simulated hit rate (the experiments' ground truth).
+    pub fn true_hit_rate(&self, bench: &Benchmark, config: &CacheConfig) -> f64 {
+        let trace = bench.generate(self.trace_accesses);
+        let mut cache = Cache::new(*config);
+        cache.run(&trace).hit_rate()
+    }
+
+    /// Evaluates a trained generator on one benchmark/configuration:
+    /// renders the access heatmaps, generates synthetic miss heatmaps,
+    /// and recovers both the *true* and the *predicted* hit rate via the
+    /// overlap-deduplicated pixel sums of §4.4.
+    ///
+    /// `conditioned` must match how the generator was built (with or
+    /// without the cache-parameter head).
+    pub fn evaluate(
+        &self,
+        generator: &mut UNetGenerator,
+        bench: &Benchmark,
+        config: &CacheConfig,
+        conditioned: bool,
+        batch_size: usize,
+    ) -> BenchmarkAccuracy {
+        let pairs = self.heatmap_pairs(bench, config);
+        let access: Vec<Heatmap> = pairs.iter().map(|p| p.access.clone()).collect();
+        let real_miss: Vec<Heatmap> = pairs.iter().map(|p| p.miss.clone()).collect();
+        let norm = self.eval_normalizer();
+        let params = conditioned
+            .then(|| CacheParams::new(config.sets as u32, config.ways as u32));
+        let synthetic = infer_batched(generator, &access, params, &norm, batch_size);
+        let true_rate = hitrate::hit_rate_from_sequences(&access, &real_miss, &self.geometry);
+        let predicted = hitrate::predicted_hit_rate(&access, &synthetic, &self.geometry);
+        BenchmarkAccuracy {
+            name: bench.display_name().to_string(),
+            true_rate: true_rate.hit_rate(),
+            predicted_rate: predicted.hit_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_gan::{UNetConfig, UNetGenerator};
+    use cachebox_workloads::{Suite, SuiteId};
+
+    fn pipeline_and_bench() -> (Pipeline, Benchmark) {
+        let scale = Scale::tiny();
+        let suite = Suite::build(SuiteId::Polybench, 2, 3);
+        (Pipeline::new(&scale), suite.benchmarks()[0].clone())
+    }
+
+    #[test]
+    fn pairs_have_miss_subset_of_access() {
+        let (p, b) = pipeline_and_bench();
+        let pairs = p.heatmap_pairs(&b, &CacheConfig::new(16, 2));
+        assert!(!pairs.is_empty());
+        for pair in &pairs {
+            assert!(pair.miss.pixel_sum() <= pair.access.pixel_sum());
+        }
+    }
+
+    #[test]
+    fn heatmap_hit_rate_matches_simulator_hit_rate() {
+        // The §4.4 recovery from heatmap pixel sums must agree exactly
+        // with the simulator's counters.
+        let (p, b) = pipeline_and_bench();
+        let config = CacheConfig::new(16, 2);
+        let pairs = p.heatmap_pairs(&b, &config);
+        let truth = p.true_hit_rate(&b, &config);
+        let from_maps = hitrate::hit_rate_from_pairs(&pairs, p.geometry());
+        assert!(
+            (from_maps.hit_rate() - truth).abs() < 1e-9,
+            "heatmap {} vs sim {truth}",
+            from_maps.hit_rate()
+        );
+    }
+
+    #[test]
+    fn training_samples_cross_product() {
+        let (p, b) = pipeline_and_bench();
+        let configs = [CacheConfig::new(16, 2), CacheConfig::new(32, 4)];
+        let per_config = p.samples(&b, &configs[0]).len();
+        let all = p.training_samples(&[b], &configs);
+        assert_eq!(all.len(), 2 * per_config);
+    }
+
+    #[test]
+    fn evaluate_produces_valid_rates() {
+        let (p, b) = pipeline_and_bench();
+        let mut g = UNetGenerator::new(
+            UNetConfig::for_image_size(16, 4).with_param_features(2),
+            1,
+        );
+        let acc = p.evaluate(&mut g, &b, &CacheConfig::new(16, 2), true, 4);
+        assert!((0.0..=1.0).contains(&acc.true_rate));
+        assert!((0.0..=1.0).contains(&acc.predicted_rate));
+        assert!(!acc.name.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Design-choice ablations backing the paper's stated choices:
+//! the 30 % overlap (§3.1.1), the modulo-512/window-100 geometry (§4.2),
+//! and the λ = 150 loss weight (§4.3).
+
+use crate::dataset::Pipeline;
+use crate::experiments::{generator_config, LEVEL_THRESHOLDS};
+use crate::scale::Scale;
+use cachebox_gan::data::Normalizer;
+use cachebox_gan::{GanTrainer, PatchGan, PatchGanConfig, TrainConfig, UNetGenerator};
+use cachebox_heatmap::HeatmapGeometry;
+use cachebox_metrics::{AccuracySummary, BenchmarkAccuracy};
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Suite, SuiteId};
+use serde::{Deserialize, Serialize};
+
+/// One ablation setting's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Human-readable setting (e.g. `overlap=0.30`).
+    pub setting: String,
+    /// Accuracy summary at this setting.
+    pub summary: AccuracySummary,
+}
+
+/// A full sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Which knob was swept.
+    pub knob: String,
+    /// One point per setting, in sweep order.
+    pub points: Vec<AblationPoint>,
+}
+
+fn train_and_eval(scale: &Scale, lambda: f32) -> AccuracySummary {
+    let pipeline = Pipeline::new(scale);
+    let config = CacheConfig::new(64, 12);
+    let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
+    let split = suite.split_80_20(scale.seed);
+    let train = crate::experiments::filter_by_hit_rate(
+        &pipeline,
+        &split.train,
+        &config,
+        LEVEL_THRESHOLDS[0],
+    );
+    let test = crate::experiments::filter_by_hit_rate(
+        &pipeline,
+        &split.test,
+        &config,
+        LEVEL_THRESHOLDS[0],
+    );
+    let samples = pipeline.training_samples(&train, &[config]);
+    let generator = UNetGenerator::new(generator_config(scale, true), scale.seed);
+    let discriminator =
+        PatchGan::new(PatchGanConfig::new(2, scale.ndf, scale.d_layers), scale.seed + 1);
+    let train_config = TrainConfig {
+        epochs: scale.epochs,
+        batch_size: scale.batch_size,
+        seed: scale.seed,
+        lambda,
+        ..TrainConfig::default()
+    };
+    let mut trainer = GanTrainer::new(generator, discriminator, train_config);
+    trainer.fit(&samples, &Normalizer::new(scale.geometry.window).with_scale(scale.norm_scale));
+    let (mut generator, _) = trainer.into_networks();
+    let records: Vec<BenchmarkAccuracy> = test
+        .iter()
+        .map(|b| pipeline.evaluate(&mut generator, b, &config, true, scale.batch_size))
+        .collect();
+    AccuracySummary::from_records(&records)
+}
+
+/// Sweeps the inter-heatmap overlap fraction (§3.1.1; the paper lands on
+/// 30 %).
+pub fn overlap_sweep(scale: &Scale, overlaps: &[f64]) -> AblationResult {
+    let points = overlaps
+        .iter()
+        .map(|&overlap| {
+            let mut s = *scale;
+            s.geometry = s.geometry.with_overlap(overlap);
+            AblationPoint {
+                setting: format!("overlap={overlap:.2}"),
+                summary: train_and_eval(&s, s.lambda),
+            }
+        })
+        .collect();
+    AblationResult { knob: "overlap".to_string(), points }
+}
+
+/// Sweeps the reconstruction weight λ (§4.3; the paper uses 150).
+pub fn lambda_sweep(scale: &Scale, lambdas: &[f32]) -> AblationResult {
+    let points = lambdas
+        .iter()
+        .map(|&lambda| AblationPoint {
+            setting: format!("lambda={lambda}"),
+            summary: train_and_eval(scale, lambda),
+        })
+        .collect();
+    AblationResult { knob: "lambda".to_string(), points }
+}
+
+/// Sweeps the per-column window size at fixed image size (§4.2; the
+/// paper finds 100-unit windows "compact but lossy" at 512×512).
+pub fn window_sweep(scale: &Scale, windows: &[u64]) -> AblationResult {
+    let points = windows
+        .iter()
+        .map(|&window| {
+            let mut s = *scale;
+            s.geometry = HeatmapGeometry::new(
+                scale.geometry.height,
+                scale.geometry.width,
+                window,
+            )
+            .with_overlap(scale.geometry.overlap_frac);
+            AblationPoint {
+                setting: format!("window={window}"),
+                summary: train_and_eval(&s, s.lambda),
+            }
+        })
+        .collect();
+    AblationResult { knob: "window".to_string(), points }
+}
+
+/// Sweeps the heatmap modulo height at a fixed pixel budget (§4.2; the
+/// paper finds modulo 512 best at full scale).
+pub fn geometry_sweep(scale: &Scale, heights: &[usize]) -> AblationResult {
+    let points = heights
+        .iter()
+        .map(|&height| {
+            let mut s = *scale;
+            // Keep images square and the per-map access budget constant.
+            let budget = scale.geometry.units_per_heatmap();
+            s.geometry = HeatmapGeometry::new(height, height, (budget / height as u64).max(1))
+                .with_overlap(scale.geometry.overlap_frac);
+            AblationPoint {
+                setting: format!("modulo={height}"),
+                summary: train_and_eval(&s, s.lambda),
+            }
+        })
+        .collect();
+    AblationResult { knob: "geometry".to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_sweep_runs_at_tiny_scale() {
+        let scale = Scale::tiny().with_epochs(1);
+        let result = overlap_sweep(&scale, &[0.0, 0.3]);
+        assert_eq!(result.points.len(), 2);
+        assert_eq!(result.points[1].setting, "overlap=0.30");
+        for p in &result.points {
+            assert!(p.summary.average.is_finite());
+        }
+    }
+
+    #[test]
+    fn lambda_sweep_runs_at_tiny_scale() {
+        let scale = Scale::tiny().with_epochs(1);
+        let result = lambda_sweep(&scale, &[150.0]);
+        assert_eq!(result.points.len(), 1);
+        assert_eq!(result.knob, "lambda");
+    }
+
+    #[test]
+    fn geometry_sweep_preserves_power_of_two() {
+        let scale = Scale::tiny().with_epochs(1);
+        let result = geometry_sweep(&scale, &[8, 16]);
+        assert_eq!(result.points.len(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Data-ecosystem analysis (Fig. 14, §6.1).
+//!
+//! Histograms the *true* hit rates of the whole benchmark pool and
+//! checks the paper's distribution claims: the SPEC-dominated dataset is
+//! heavily skewed toward high hit rates (over 95 % of SPEC benchmarks
+//! above a 65 % L1 hit rate; over 92 % of all benchmarks combined).
+
+use crate::dataset::Pipeline;
+use crate::scale::Scale;
+use cachebox_metrics::Histogram;
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 14 output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EcosystemResult {
+    /// Histogram of SPEC true hit rates on the 64set-12way L1 (20 bins).
+    pub spec_l1_histogram: Histogram,
+    /// Fraction of SPEC benchmarks above 65 % L1 hit rate.
+    pub spec_above_65: f64,
+    /// Fraction of *all* benchmarks above 65 % L1 hit rate.
+    pub all_above_65: f64,
+    /// Fraction of SPEC benchmarks above 40 % hit rate on the L2.
+    pub spec_l2_above_40: f64,
+    /// Fraction of SPEC benchmarks above 35 % hit rate on the L3.
+    pub spec_l3_above_35: f64,
+}
+
+/// Runs the analysis at the given scale.
+pub fn run(scale: &Scale) -> EcosystemResult {
+    let pipeline = Pipeline::new(scale);
+    let l1 = CacheConfig::new(64, 12);
+    let hierarchy = scale.hierarchy();
+    let dataset = Dataset::build(
+        scale.spec_benchmarks,
+        scale.ligra_benchmarks,
+        scale.polybench_benchmarks,
+        scale.seed,
+    );
+    let mut spec_l1_histogram = Histogram::new(0.0, 1.0, 20);
+    let mut spec_above = 0usize;
+    let mut spec_total = 0usize;
+    let mut all_above = 0usize;
+    let mut all_total = 0usize;
+    let mut l2_above = 0usize;
+    let mut l3_above = 0usize;
+    for suite in &dataset.suites {
+        let is_spec = suite.id() == cachebox_workloads::SuiteId::Spec;
+        for bench in suite.benchmarks() {
+            let rate = pipeline.true_hit_rate(bench, &l1);
+            all_total += 1;
+            if rate > 0.65 {
+                all_above += 1;
+            }
+            if is_spec {
+                spec_total += 1;
+                spec_l1_histogram.record(rate);
+                if rate > 0.65 {
+                    spec_above += 1;
+                }
+                let rates = pipeline.hierarchy_true_rates(bench, &hierarchy);
+                if rates[1] > 0.40 {
+                    l2_above += 1;
+                }
+                if rates[2] > 0.35 {
+                    l3_above += 1;
+                }
+            }
+        }
+    }
+    let frac = |n: usize, d: usize| n as f64 / d.max(1) as f64;
+    EcosystemResult {
+        spec_l1_histogram,
+        spec_above_65: frac(spec_above, spec_total),
+        all_above_65: frac(all_above, all_total),
+        spec_l2_above_40: frac(l2_above, spec_total),
+        spec_l3_above_35: frac(l3_above, spec_total),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_ecosystem_reports_fractions() {
+        let result = run(&Scale::tiny());
+        assert!(result.spec_l1_histogram.total() > 0);
+        for f in [
+            result.spec_above_65,
+            result.all_above_65,
+            result.spec_l2_above_40,
+            result.spec_l3_above_35,
+        ] {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn distribution_skews_high_at_small_scale() {
+        // The suites are built to mirror Fig. 14: a solid majority of
+        // SPEC benchmarks must land above the 65 % threshold.
+        let mut scale = Scale::tiny();
+        scale.spec_benchmarks = 12;
+        let result = run(&scale);
+        assert!(
+            result.spec_above_65 >= 0.5,
+            "spec_above_65 = {}",
+            result.spec_above_65
+        );
+    }
+}

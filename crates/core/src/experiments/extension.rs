@@ -1,0 +1,127 @@
+//! Extension experiment beyond the paper (§6.3 future work):
+//! replacement-policy transfer.
+//!
+//! The paper's ground truth is always LRU. A natural question its future
+//!-work section raises is how far a CB-GAN trained on one policy's miss
+//! behaviour transfers to others. This experiment trains on LRU miss
+//! heatmaps (the paper's setting) and evaluates the same model against
+//! ground truth produced under FIFO, tree-PLRU, SRRIP, and Random
+//! replacement — quantifying how policy-specific the learned filter is.
+
+use crate::dataset::Pipeline;
+use crate::experiments::{filter_with_fallback, train_cbgan, LEVEL_THRESHOLDS};
+use crate::scale::Scale;
+use cachebox_gan::infer::infer_batched;
+use cachebox_gan::CacheParams;
+use cachebox_heatmap::{hitrate, Heatmap, HeatmapBuilder};
+use cachebox_metrics::{AccuracySummary, BenchmarkAccuracy};
+use cachebox_sim::{Cache, CacheConfig, ReplacementPolicyKind};
+use cachebox_workloads::{Benchmark, Suite, SuiteId};
+use serde::{Deserialize, Serialize};
+
+/// Transfer accuracy against one target policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTransfer {
+    /// Ground-truth replacement policy evaluated against.
+    pub policy: String,
+    /// Per-benchmark records.
+    pub records: Vec<BenchmarkAccuracy>,
+    /// Aggregate statistics.
+    pub summary: AccuracySummary,
+}
+
+/// Policy-transfer experiment output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyTransferResult {
+    /// One entry per target policy; the first is LRU (the training
+    /// policy, i.e. the in-distribution reference).
+    pub per_policy: Vec<PolicyTransfer>,
+}
+
+/// Policies evaluated, training policy first.
+pub const POLICIES: [ReplacementPolicyKind; 5] = [
+    ReplacementPolicyKind::Lru,
+    ReplacementPolicyKind::Fifo,
+    ReplacementPolicyKind::TreePlru,
+    ReplacementPolicyKind::Srrip,
+    ReplacementPolicyKind::Random,
+];
+
+fn evaluate_against_policy(
+    pipeline: &Pipeline,
+    generator: &mut cachebox_gan::UNetGenerator,
+    bench: &Benchmark,
+    config: CacheConfig,
+    scale: &Scale,
+) -> BenchmarkAccuracy {
+    // Ground truth under the *target* policy.
+    let trace = bench.generate(scale.trace_accesses);
+    let mut cache = Cache::new(config);
+    let result = cache.run(&trace);
+    let pairs = HeatmapBuilder::new(*pipeline.geometry()).build_pairs(&trace, &result.hit_flags);
+    let access: Vec<Heatmap> = pairs.iter().map(|p| p.access.clone()).collect();
+    let real: Vec<Heatmap> = pairs.iter().map(|p| p.miss.clone()).collect();
+    // Prediction from the LRU-trained model.
+    let params = CacheParams::new(config.sets as u32, config.ways as u32);
+    let synthetic = infer_batched(
+        generator,
+        &access,
+        Some(params),
+        &pipeline.eval_normalizer(),
+        scale.batch_size,
+    );
+    BenchmarkAccuracy {
+        name: bench.display_name().to_string(),
+        true_rate: hitrate::hit_rate_from_sequences(&access, &real, pipeline.geometry())
+            .hit_rate(),
+        predicted_rate: hitrate::predicted_hit_rate(&access, &synthetic, pipeline.geometry())
+            .hit_rate(),
+    }
+}
+
+/// Runs the policy-transfer experiment at the given scale.
+pub fn policy_transfer(scale: &Scale) -> PolicyTransferResult {
+    let pipeline = Pipeline::new(scale);
+    let lru_config = CacheConfig::new(64, 12);
+    let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
+    let split = suite.split_80_20(scale.seed);
+    let train =
+        filter_with_fallback(&pipeline, &split.train, &lru_config, LEVEL_THRESHOLDS[0]);
+    let test = filter_with_fallback(&pipeline, &split.test, &lru_config, LEVEL_THRESHOLDS[0]);
+    let samples = pipeline.training_samples(&train, &[lru_config]);
+    let (mut generator, _) = train_cbgan(scale, &samples, true);
+    let per_policy = POLICIES
+        .iter()
+        .map(|&policy| {
+            let config = CacheConfig::new(64, 12).with_policy(policy);
+            let records: Vec<BenchmarkAccuracy> = test
+                .iter()
+                .map(|b| evaluate_against_policy(&pipeline, &mut generator, b, config, scale))
+                .collect();
+            PolicyTransfer {
+                policy: policy.to_string(),
+                summary: AccuracySummary::from_records(&records),
+                records,
+            }
+        })
+        .collect();
+    PolicyTransferResult { per_policy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_policy_transfer_covers_all_policies() {
+        let result = policy_transfer(&Scale::tiny().with_epochs(1));
+        assert_eq!(result.per_policy.len(), POLICIES.len());
+        assert_eq!(result.per_policy[0].policy, "lru");
+        for p in &result.per_policy {
+            for r in &p.records {
+                assert!((0.0..=1.0).contains(&r.true_rate));
+                assert!((0.0..=1.0).contains(&r.predicted_rate));
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Runnable reproductions of every evaluation in the paper.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`rq1`] | Fig. 7 — generalization across benchmark suites |
+//! | [`rq2`] | Fig. 8 — one model, four L1 configurations |
+//! | [`rq3`] | Fig. 9 — zero-shot unseen configurations |
+//! | [`rq4`] | Fig. 10 — L1/L2/L3, combined vs standalone models |
+//! | [`rq5`] | Fig. 11 — batched inference + MultiCacheSim comparison |
+//! | [`rq6`] | Fig. 12 — true-vs-predicted scatter |
+//! | [`rq7`] | Fig. 13 — next-line prefetcher modelling (MSE/SSIM) |
+//! | [`ecosystem`] | Fig. 14 — hit-rate distribution of the dataset |
+//! | [`table1`] | Table 1 — CBox vs HRD, STM, tabular synthesis |
+//! | [`ablation`] | §3.1.1/§4.2/§4.3 design-choice sweeps |
+//! | [`extension`] | §6.3 future work: replacement-policy transfer |
+//!
+//! Every `run` function takes a [`Scale`], so the same experiment runs in
+//! seconds (`Scale::tiny`) for tests or at full fidelity for figures.
+
+pub mod ablation;
+pub mod ecosystem;
+pub mod extension;
+pub mod rq1;
+pub mod rq2;
+pub mod rq3;
+pub mod rq4;
+pub mod rq5;
+pub mod rq6;
+pub mod rq7;
+pub mod table1;
+
+use crate::dataset::Pipeline;
+use crate::scale::Scale;
+use cachebox_gan::data::{Normalizer, Sample};
+use cachebox_gan::{
+    GanTrainer, PatchGan, PatchGanConfig, TrainConfig, TrainStats, UNetConfig, UNetGenerator,
+};
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::Benchmark;
+
+/// Builds the generator architecture for a scale.
+pub fn generator_config(scale: &Scale, conditioned: bool) -> UNetConfig {
+    let mut config = UNetConfig::for_image_size(scale.image_size(), scale.ngf);
+    if conditioned {
+        config = config.with_param_features(2);
+    }
+    config
+}
+
+/// Trains a CB-GAN on prepared samples, returning the generator and the
+/// per-epoch loss history.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn train_cbgan(
+    scale: &Scale,
+    samples: &[Sample],
+    conditioned: bool,
+) -> (UNetGenerator, Vec<TrainStats>) {
+    train_cbgan_with(scale, samples, conditioned, scale.lambda)
+}
+
+/// [`train_cbgan`] with an explicit reconstruction weight λ (used by the
+/// λ ablation).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn train_cbgan_with(
+    scale: &Scale,
+    samples: &[Sample],
+    conditioned: bool,
+    lambda: f32,
+) -> (UNetGenerator, Vec<TrainStats>) {
+    let generator = UNetGenerator::new(generator_config(scale, conditioned), scale.seed);
+    let discriminator =
+        PatchGan::new(PatchGanConfig::new(2, scale.ndf, scale.d_layers), scale.seed + 1);
+    let train_config = TrainConfig {
+        epochs: scale.epochs,
+        batch_size: scale.batch_size,
+        seed: scale.seed,
+        lambda,
+        ..TrainConfig::default()
+    };
+    let mut trainer = GanTrainer::new(generator, discriminator, train_config);
+    let norm = Normalizer::new(scale.geometry.window).with_scale(scale.norm_scale);
+    let history = trainer.fit(samples, &norm);
+    let (generator, _) = trainer.into_networks();
+    (generator, history)
+}
+
+
+/// The paper's low-data-regime rule (§6.1): keep only benchmarks whose
+/// *true* hit rate on `config` exceeds `threshold`.
+pub fn filter_by_hit_rate(
+    pipeline: &Pipeline,
+    benchmarks: &[Benchmark],
+    config: &CacheConfig,
+    threshold: f64,
+) -> Vec<Benchmark> {
+    benchmarks
+        .iter()
+        .filter(|b| pipeline.true_hit_rate(b, config) > threshold)
+        .cloned()
+        .collect()
+}
+
+/// The paper's per-level thresholds: 65 % (L1), 40 % (L2), 35 % (L3).
+pub const LEVEL_THRESHOLDS: [f64; 3] = [0.65, 0.40, 0.35];
+
+/// [`filter_by_hit_rate`] with a fallback: if the filter would empty the
+/// set (possible at small scales), the original set is returned so the
+/// experiment remains runnable.
+pub fn filter_with_fallback(
+    pipeline: &Pipeline,
+    benchmarks: &[Benchmark],
+    config: &CacheConfig,
+    threshold: f64,
+) -> Vec<Benchmark> {
+    let filtered = filter_by_hit_rate(pipeline, benchmarks, config, threshold);
+    if filtered.is_empty() {
+        benchmarks.to_vec()
+    } else {
+        filtered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_workloads::{Suite, SuiteId};
+
+    #[test]
+    fn train_cbgan_runs_at_tiny_scale() {
+        let scale = Scale::tiny().with_epochs(1);
+        let pipeline = Pipeline::new(&scale);
+        let suite = Suite::build(SuiteId::Polybench, 2, 1);
+        let samples =
+            pipeline.training_samples(suite.benchmarks(), &[CacheConfig::new(64, 12)]);
+        let (mut g, history) = train_cbgan(&scale, &samples, true);
+        assert_eq!(history.len(), 1);
+        assert!(g.param_count() > 0);
+    }
+
+    #[test]
+    fn filter_keeps_only_high_hit_rates() {
+        let scale = Scale::tiny();
+        let pipeline = Pipeline::new(&scale);
+        let suite = Suite::build(SuiteId::Spec, 6, 3);
+        let config = CacheConfig::new(64, 12);
+        let kept = filter_by_hit_rate(&pipeline, suite.benchmarks(), &config, 0.65);
+        for b in &kept {
+            assert!(pipeline.true_hit_rate(b, &config) > 0.65);
+        }
+        let none = filter_by_hit_rate(&pipeline, suite.benchmarks(), &config, 1.1);
+        assert!(none.is_empty());
+    }
+}

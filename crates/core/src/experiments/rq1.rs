@@ -1,0 +1,66 @@
+//! RQ1 (Fig. 7): generalizing to unseen applications across suites.
+//!
+//! One CB-GAN is trained on a mixture of SPEC-, Ligra-, and
+//! Polybench-like benchmarks for the 64set-12way L1 configuration; every
+//! inference benchmark comes from an application never seen in training.
+
+use crate::dataset::Pipeline;
+use crate::experiments::{filter_with_fallback, train_cbgan, LEVEL_THRESHOLDS};
+use crate::scale::Scale;
+use cachebox_gan::TrainStats;
+use cachebox_metrics::{AccuracySummary, BenchmarkAccuracy};
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 7 output: per-benchmark true/predicted hit rates and the summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rq1Result {
+    /// Per-benchmark accuracies (test set only).
+    pub records: Vec<BenchmarkAccuracy>,
+    /// Aggregate statistics (the paper reports 3.05 % average).
+    pub summary: AccuracySummary,
+    /// Per-epoch training losses.
+    pub history: Vec<TrainStats>,
+}
+
+/// Runs the experiment at the given scale.
+pub fn run(scale: &Scale) -> Rq1Result {
+    let pipeline = Pipeline::new(scale);
+    let config = CacheConfig::new(64, 12);
+    let dataset = Dataset::build(
+        scale.spec_benchmarks,
+        scale.ligra_benchmarks,
+        scale.polybench_benchmarks,
+        scale.seed,
+    );
+    // §6.1: train and evaluate in the high-data regime only.
+    let train = filter_with_fallback(&pipeline, &dataset.split.train, &config, LEVEL_THRESHOLDS[0]);
+    let test = filter_with_fallback(&pipeline, &dataset.split.test, &config, LEVEL_THRESHOLDS[0]);
+    let samples = pipeline.training_samples(&train, &[config]);
+    let (mut generator, history) = train_cbgan(scale, &samples, true);
+    let records: Vec<BenchmarkAccuracy> = test
+        .iter()
+        .map(|b| pipeline.evaluate(&mut generator, b, &config, true, scale.batch_size))
+        .collect();
+    let summary = AccuracySummary::from_records(&records);
+    Rq1Result { records, summary, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rq1_end_to_end() {
+        let scale = Scale::tiny().with_epochs(1);
+        let result = run(&scale);
+        assert!(!result.records.is_empty(), "test set must survive filtering");
+        assert_eq!(result.summary.count, result.records.len());
+        for r in &result.records {
+            assert!(r.true_rate > 0.65, "filter must hold for {}", r.name);
+            assert!((0.0..=1.0).contains(&r.predicted_rate));
+        }
+        assert_eq!(result.history.len(), 1);
+    }
+}

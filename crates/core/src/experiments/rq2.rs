@@ -1,0 +1,180 @@
+//! RQ2 (Fig. 8): one model, four L1 configurations.
+//!
+//! A single CB-GAN is trained on SPEC-like benchmarks with the
+//! access/miss pairs of *four* L1 configurations batched together; the
+//! cache-parameter inputs let it tell the configurations apart.
+
+use crate::dataset::Pipeline;
+use crate::experiments::{filter_with_fallback, train_cbgan, LEVEL_THRESHOLDS};
+use crate::scale::Scale;
+use cachebox_gan::{TrainStats, UNetGenerator};
+use cachebox_metrics::{AccuracySummary, BenchmarkAccuracy};
+use cachebox_sim::config::presets;
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Benchmark, Suite, SuiteId};
+use serde::{Deserialize, Serialize};
+
+/// The trained multi-configuration model plus its evaluation context.
+/// RQ3, RQ5, and RQ6 reuse these artifacts.
+#[derive(Debug)]
+pub struct Rq2Artifacts {
+    /// The trained conditioned generator.
+    pub generator: UNetGenerator,
+    /// Held-out test benchmarks (unseen applications, high-data regime).
+    pub test: Vec<Benchmark>,
+    /// The four training configurations.
+    pub train_configs: Vec<CacheConfig>,
+    /// Scale used for training (evaluation must match).
+    pub scale: Scale,
+    /// Per-epoch training losses.
+    pub history: Vec<TrainStats>,
+}
+
+/// Accuracy of one cache configuration's predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigAccuracy {
+    /// Configuration name (`64set-12way`, …).
+    pub config: String,
+    /// Per-benchmark records.
+    pub records: Vec<BenchmarkAccuracy>,
+    /// Aggregate statistics.
+    pub summary: AccuracySummary,
+}
+
+/// Fig. 8 output: accuracy per training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rq2Result {
+    /// One entry per configuration, in preset order.
+    pub per_config: Vec<ConfigAccuracy>,
+}
+
+/// Trains the four-configuration model.
+pub fn train(scale: &Scale) -> Rq2Artifacts {
+    let pipeline = Pipeline::new(scale);
+    let configs = presets::rq2_train_configs();
+    let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
+    let split = suite.split_80_20(scale.seed);
+    let reference = CacheConfig::new(64, 12);
+    let train =
+        filter_with_fallback(&pipeline, &split.train, &reference, LEVEL_THRESHOLDS[0]);
+    let test = filter_with_fallback(&pipeline, &split.test, &reference, LEVEL_THRESHOLDS[0]);
+    let samples = pipeline.training_samples(&train, &configs);
+    let (generator, history) = train_cbgan(scale, &samples, true);
+    Rq2Artifacts { generator, test, train_configs: configs, scale: *scale, history }
+}
+
+/// Like [`train`], but caching the trained generator at `cache_path`:
+/// if a checkpoint trained at an identical [`Scale`] exists there it is
+/// loaded instead of retraining (the dataset and split are deterministic
+/// in the scale, so only the weights need caching). Used by the RQ3/
+/// RQ5/RQ6 harness binaries, which all build on the RQ2 model.
+pub fn train_or_load(scale: &Scale, cache_path: &std::path::Path) -> Rq2Artifacts {
+    use cachebox_gan::checkpoint::Checkpoint;
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct CachedModel {
+        scale: Scale,
+        checkpoint: Checkpoint,
+    }
+    if let Ok(file) = std::fs::File::open(cache_path) {
+        if let Ok(cached) =
+            serde_json::from_reader::<_, CachedModel>(std::io::BufReader::new(file))
+        {
+            if cached.scale == *scale {
+                if let Ok(generator) = cached.checkpoint.restore() {
+                    eprintln!("loaded cached RQ2 model from {}", cache_path.display());
+                    // Rebuild the deterministic evaluation context.
+                    let pipeline = Pipeline::new(scale);
+                    let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
+                    let split = suite.split_80_20(scale.seed);
+                    let reference = CacheConfig::new(64, 12);
+                    let test = filter_with_fallback(
+                        &pipeline,
+                        &split.test,
+                        &reference,
+                        LEVEL_THRESHOLDS[0],
+                    );
+                    return Rq2Artifacts {
+                        generator,
+                        test,
+                        train_configs: presets::rq2_train_configs(),
+                        scale: *scale,
+                        history: Vec::new(),
+                    };
+                }
+            }
+        }
+    }
+    let mut artifacts = train(scale);
+    let cached = CachedModel {
+        scale: *scale,
+        checkpoint: Checkpoint::capture(&mut artifacts.generator),
+    };
+    if let Some(parent) = cache_path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match std::fs::File::create(cache_path) {
+        Ok(file) => {
+            if serde_json::to_writer(std::io::BufWriter::new(file), &cached).is_ok() {
+                eprintln!("cached RQ2 model at {}", cache_path.display());
+            }
+        }
+        Err(e) => eprintln!("could not cache RQ2 model: {e}"),
+    }
+    artifacts
+}
+
+/// Evaluates a trained model over a set of configurations (used by both
+/// RQ2 on the training configs and RQ3 on unseen ones).
+pub fn evaluate_configs(artifacts: &mut Rq2Artifacts, configs: &[CacheConfig]) -> Rq2Result {
+    let pipeline = Pipeline::new(&artifacts.scale);
+    let per_config = configs
+        .iter()
+        .map(|config| {
+            let records: Vec<BenchmarkAccuracy> = artifacts
+                .test
+                .iter()
+                .map(|b| {
+                    pipeline.evaluate(
+                        &mut artifacts.generator,
+                        b,
+                        config,
+                        true,
+                        artifacts.scale.batch_size,
+                    )
+                })
+                .collect();
+            ConfigAccuracy {
+                config: config.name(),
+                summary: AccuracySummary::from_records(&records),
+                records,
+            }
+        })
+        .collect();
+    Rq2Result { per_config }
+}
+
+/// Runs the full RQ2 experiment: train once, evaluate on the four
+/// training configurations.
+pub fn run(scale: &Scale) -> (Rq2Artifacts, Rq2Result) {
+    let mut artifacts = train(scale);
+    let configs = artifacts.train_configs.clone();
+    let result = evaluate_configs(&mut artifacts, &configs);
+    (artifacts, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rq2_trains_and_evaluates_four_configs() {
+        let scale = Scale::tiny().with_epochs(1);
+        let (artifacts, result) = run(&scale);
+        assert_eq!(result.per_config.len(), 4);
+        assert_eq!(result.per_config[0].config, "64set-12way");
+        assert!(!artifacts.test.is_empty());
+        for c in &result.per_config {
+            assert_eq!(c.records.len(), artifacts.test.len());
+        }
+    }
+}

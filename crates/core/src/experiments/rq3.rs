@@ -1,0 +1,38 @@
+//! RQ3 (Fig. 9): zero-shot generalization to unseen cache
+//! configurations.
+//!
+//! The RQ2 model (trained on four L1 configurations) is evaluated on
+//! three configurations entirely absent from training: 256set-6way,
+//! 256set-12way, and 32set-12way.
+
+use crate::experiments::rq2::{evaluate_configs, Rq2Artifacts, Rq2Result};
+use crate::scale::Scale;
+use cachebox_sim::config::presets;
+
+/// Evaluates RQ2 artifacts on the unseen configurations.
+pub fn evaluate(artifacts: &mut Rq2Artifacts) -> Rq2Result {
+    evaluate_configs(artifacts, &presets::rq3_unseen_configs())
+}
+
+/// Convenience: train the RQ2 model and run the RQ3 evaluation.
+pub fn run(scale: &Scale) -> Rq2Result {
+    let mut artifacts = crate::experiments::rq2::train(scale);
+    evaluate(&mut artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rq3_covers_unseen_configs() {
+        let result = run(&Scale::tiny().with_epochs(1));
+        let names: Vec<&str> = result.per_config.iter().map(|c| c.config.as_str()).collect();
+        assert_eq!(names, ["256set-6way", "256set-12way", "32set-12way"]);
+        for c in &result.per_config {
+            for r in &c.records {
+                assert!((0.0..=1.0).contains(&r.predicted_rate));
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! RQ5 (Fig. 11): parallelized inference through batching.
+//!
+//! The paper measures per-benchmark inference time at batch sizes 1–32
+//! (2.4× speedup at 32 on an A6000) and compares sequential CBox against
+//! MultiCacheSim (1.61–1.81×). This harness reproduces both series on
+//! CPU: batching amortizes per-call buffer and dispatch costs, and the
+//! MultiCacheSim-style baseline simulates the same traces.
+
+use crate::dataset::Pipeline;
+use crate::experiments::rq2::Rq2Artifacts;
+use crate::scale::Scale;
+use cachebox_gan::infer::timed_inference;
+use cachebox_gan::CacheParams;
+use cachebox_heatmap::Heatmap;
+use cachebox_sim::multicache::MultiCacheSim;
+use cachebox_sim::CacheConfig;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Timing at one batch size, averaged over benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchTiming {
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Mean per-benchmark inference time.
+    pub mean_time: Duration,
+    /// Speedup relative to batch size 1.
+    pub speedup: f64,
+}
+
+/// Fig. 11 output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rq5Result {
+    /// CBox inference time per batch size.
+    pub batches: Vec<BatchTiming>,
+    /// Mean MultiCacheSim simulation time per benchmark (same traces).
+    pub multicache_time: Duration,
+    /// Sequential CBox time / MultiCacheSim time context for the paper's
+    /// 1.61–1.81× discussion (values < 1 mean CBox is faster).
+    pub cbox_over_multicache: f64,
+}
+
+/// Batch sizes measured in the paper's sweep.
+pub const BATCH_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the sweep using a trained RQ2 model.
+pub fn run_with(artifacts: &mut Rq2Artifacts) -> Rq5Result {
+    let scale = artifacts.scale;
+    let pipeline = Pipeline::new(&scale);
+    let config = CacheConfig::new(64, 12);
+    let params = CacheParams::new(64, 12);
+    let norm = pipeline.normalizer();
+    // Pre-render every test benchmark's access heatmaps.
+    let benchmark_maps: Vec<Vec<Heatmap>> = artifacts
+        .test
+        .iter()
+        .map(|b| pipeline.heatmap_pairs(b, &config).into_iter().map(|p| p.access).collect())
+        .collect();
+    let mut batches = Vec::with_capacity(BATCH_SIZES.len());
+    let mut base = Duration::ZERO;
+    for &batch_size in &BATCH_SIZES {
+        let mut total = Duration::ZERO;
+        for maps in &benchmark_maps {
+            let (_, timing) = timed_inference(
+                &mut artifacts.generator,
+                maps,
+                Some(params),
+                &norm,
+                batch_size,
+            );
+            total += timing.total;
+        }
+        let mean_time = total / benchmark_maps.len().max(1) as u32;
+        if batch_size == 1 {
+            base = mean_time;
+        }
+        let speedup = base.as_secs_f64() / mean_time.as_secs_f64().max(1e-12);
+        batches.push(BatchTiming { batch_size, mean_time, speedup });
+    }
+    // MultiCacheSim over the same traces.
+    let start = std::time::Instant::now();
+    for bench in &artifacts.test {
+        let trace = bench.generate(scale.trace_accesses);
+        let mut sim = MultiCacheSim::new(vec![config]);
+        sim.run(&trace);
+    }
+    let multicache_time = start.elapsed() / artifacts.test.len().max(1) as u32;
+    let cbox_over_multicache =
+        base.as_secs_f64() / multicache_time.as_secs_f64().max(1e-12);
+    Rq5Result { batches, multicache_time, cbox_over_multicache }
+}
+
+/// Convenience: train the RQ2 model and run the sweep.
+pub fn run(scale: &Scale) -> Rq5Result {
+    let mut artifacts = crate::experiments::rq2::train(scale);
+    run_with(&mut artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rq5_sweeps_batch_sizes() {
+        let result = run(&Scale::tiny().with_epochs(1));
+        assert_eq!(result.batches.len(), BATCH_SIZES.len());
+        assert_eq!(result.batches[0].batch_size, 1);
+        assert!((result.batches[0].speedup - 1.0).abs() < 1e-9);
+        for b in &result.batches {
+            assert!(b.mean_time > Duration::ZERO);
+            assert!(b.speedup > 0.0);
+        }
+        assert!(result.multicache_time > Duration::ZERO);
+    }
+}

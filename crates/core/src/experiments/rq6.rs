@@ -1,0 +1,87 @@
+//! RQ6 (Fig. 12): true-vs-predicted scatter and the positive-correlation
+//! bias.
+//!
+//! Every (benchmark, configuration) pair evaluated with the RQ2 model
+//! becomes one scatter point. The paper observes tight clustering above
+//! 90 % true hit rate and a positive bias in the 70–90 % band, caused by
+//! the dataset's skew toward high hit rates.
+
+use crate::experiments::rq2::{evaluate_configs, Rq2Artifacts};
+use crate::scale::Scale;
+use cachebox_metrics::BenchmarkAccuracy;
+use serde::{Deserialize, Serialize};
+
+/// One scatter point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    /// Configuration name.
+    pub config: String,
+    /// Benchmark/accuracy record.
+    pub record: BenchmarkAccuracy,
+}
+
+/// Fig. 12 output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rq6Result {
+    /// All scatter points.
+    pub points: Vec<ScatterPoint>,
+    /// Mean signed bias (predicted − true) for points with true rate in
+    /// `[0.9, 1.0]`.
+    pub bias_high_band: f64,
+    /// Mean signed bias for points with true rate in `[0.7, 0.9)`.
+    pub bias_mid_band: f64,
+}
+
+fn mean_bias<'a>(points: impl Iterator<Item = &'a ScatterPoint>) -> f64 {
+    let collected: Vec<f64> =
+        points.map(|p| p.record.predicted_rate - p.record.true_rate).collect();
+    if collected.is_empty() {
+        0.0
+    } else {
+        collected.iter().sum::<f64>() / collected.len() as f64
+    }
+}
+
+/// Builds the scatter from a trained RQ2 model.
+pub fn run_with(artifacts: &mut Rq2Artifacts) -> Rq6Result {
+    let configs = artifacts.train_configs.clone();
+    let result = evaluate_configs(artifacts, &configs);
+    let points: Vec<ScatterPoint> = result
+        .per_config
+        .into_iter()
+        .flat_map(|c| {
+            let config = c.config;
+            c.records
+                .into_iter()
+                .map(move |record| ScatterPoint { config: config.clone(), record })
+        })
+        .collect();
+    let bias_high_band = mean_bias(points.iter().filter(|p| p.record.true_rate >= 0.9));
+    let bias_mid_band = mean_bias(
+        points.iter().filter(|p| (0.7..0.9).contains(&p.record.true_rate)),
+    );
+    Rq6Result { points, bias_high_band, bias_mid_band }
+}
+
+/// Convenience: train the RQ2 model and build the scatter.
+pub fn run(scale: &Scale) -> Rq6Result {
+    let mut artifacts = crate::experiments::rq2::train(scale);
+    run_with(&mut artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rq6_builds_scatter() {
+        let result = run(&Scale::tiny().with_epochs(1));
+        assert!(!result.points.is_empty());
+        for p in &result.points {
+            assert!((0.0..=1.0).contains(&p.record.true_rate));
+            assert!((0.0..=1.0).contains(&p.record.predicted_rate));
+        }
+        assert!(result.bias_high_band.is_finite());
+        assert!(result.bias_mid_band.is_finite());
+    }
+}

@@ -1,0 +1,109 @@
+//! RQ7 (Fig. 13): learning prefetcher behaviour.
+//!
+//! The heatmap framing extends beyond caches: the prefetcher's input
+//! address stream and its emitted prefetch addresses form paired images
+//! on a shared instruction timeline. CB-GAN is trained on
+//! access→prefetch pairs for a next-line prefetcher on the 64set-12way
+//! L1, and judged per benchmark by MSE and SSIM between real and
+//! synthetic prefetch heatmaps.
+
+use crate::dataset::Pipeline;
+use crate::experiments::train_cbgan;
+use crate::scale::Scale;
+use cachebox_gan::data::Sample;
+use cachebox_gan::infer::infer_batched;
+use cachebox_gan::CacheParams;
+use cachebox_metrics::image::{mse, ssim};
+use cachebox_sim::{CacheConfig, NextLinePrefetcher, PrefetchTrigger};
+use cachebox_workloads::{Suite, SuiteId};
+use serde::{Deserialize, Serialize};
+
+/// Image-space accuracy for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchAccuracy {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean squared error over all heatmaps, averaged.
+    pub mse: f64,
+    /// Structural similarity, averaged.
+    pub ssim: f64,
+}
+
+/// Fig. 13 output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rq7Result {
+    /// Per-benchmark records (test set).
+    pub records: Vec<PrefetchAccuracy>,
+    /// Mean MSE across benchmarks.
+    pub mean_mse: f64,
+    /// Mean SSIM across benchmarks.
+    pub mean_ssim: f64,
+}
+
+/// Runs the experiment at the given scale (SPEC-2017-like subset, as the
+/// paper restricts RQ7 to SPEC 2017 for compute reasons).
+pub fn run(scale: &Scale) -> Rq7Result {
+    let pipeline = Pipeline::new(scale);
+    let config = CacheConfig::new(64, 12);
+    let params = CacheParams::new(64, 12);
+    let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
+    let split = suite.split_80_20(scale.seed);
+    let make_pairs = |bench: &cachebox_workloads::Benchmark| {
+        let mut prefetcher =
+            NextLinePrefetcher::new(config.block_offset_bits, PrefetchTrigger::OnAccess);
+        pipeline.prefetch_pairs(bench, &config, &mut prefetcher)
+    };
+    let samples: Vec<Sample> = split
+        .train
+        .iter()
+        .flat_map(|b| {
+            make_pairs(b)
+                .into_iter()
+                .map(|(access, prefetch)| Sample { access, miss: prefetch, params })
+        })
+        .collect();
+    let (mut generator, _) = train_cbgan(scale, &samples, true);
+    let norm = pipeline.eval_normalizer();
+    let mut records = Vec::new();
+    for bench in &split.test {
+        let pairs = make_pairs(bench);
+        if pairs.is_empty() {
+            continue;
+        }
+        let access: Vec<_> = pairs.iter().map(|(a, _)| a.clone()).collect();
+        let real: Vec<_> = pairs.iter().map(|(_, p)| p.clone()).collect();
+        let synthetic =
+            infer_batched(&mut generator, &access, Some(params), &norm, scale.batch_size);
+        let mut total_mse = 0.0;
+        let mut total_ssim = 0.0;
+        for (r, s) in real.iter().zip(&synthetic) {
+            total_mse += mse(r, &s.relu());
+            total_ssim += ssim(r, &s.relu());
+        }
+        records.push(PrefetchAccuracy {
+            name: bench.display_name().to_string(),
+            mse: total_mse / real.len() as f64,
+            ssim: total_ssim / real.len() as f64,
+        });
+    }
+    let n = records.len().max(1) as f64;
+    let mean_mse = records.iter().map(|r| r.mse).sum::<f64>() / n;
+    let mean_ssim = records.iter().map(|r| r.ssim).sum::<f64>() / n;
+    Rq7Result { records, mean_mse, mean_ssim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rq7_produces_image_metrics() {
+        let result = run(&Scale::tiny().with_epochs(1));
+        assert!(!result.records.is_empty());
+        for r in &result.records {
+            assert!(r.mse >= 0.0, "{}: mse {}", r.name, r.mse);
+            assert!((-1.0..=1.0).contains(&r.ssim), "{}: ssim {}", r.name, r.ssim);
+        }
+        assert!(result.mean_mse.is_finite());
+    }
+}

@@ -1,0 +1,161 @@
+//! Table 1 (§6.2): CBox vs baselines on L1 miss-rate prediction.
+//!
+//! Five SPEC-2017-like applications with multiple traced phases each.
+//! The baselines (three tabular-synthesis variants, HRD, STM) predict a
+//! miss rate per phase; their per-application score is the mean absolute
+//! percentage difference across phases. CBox reports the *best*, *worst*,
+//! and *average* phase, as in the paper.
+
+use crate::dataset::Pipeline;
+use crate::experiments::train_cbgan;
+use crate::scale::Scale;
+use cachebox_baselines::{Hrd, MissRatePredictor, Stm, TabSynth, TabVariant};
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Benchmark, BenchmarkId, Recipe, Suite, SuiteId};
+use serde::{Deserialize, Serialize};
+
+/// The five evaluated applications (paper rows 600–638).
+pub const APPS: [&str; 5] =
+    ["600.perlbench_s", "602.gcc_s", "607.cactuBSSN_s", "631.deepsjeng_s", "638.imagick_s"];
+
+/// Phases evaluated per application.
+pub const PHASES_PER_APP: u32 = 3;
+
+/// One row of Table 1 (absolute percentage differences of miss rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Application short name (e.g. `600`).
+    pub app: String,
+    /// Tab-Base, Tab-RD, Tab-IC mean differences.
+    pub tabular: [f64; 3],
+    /// HRD mean difference.
+    pub hrd: f64,
+    /// STM mean difference.
+    pub stm: f64,
+    /// CBox best phase.
+    pub cbox_best: f64,
+    /// CBox worst phase.
+    pub cbox_worst: f64,
+    /// CBox phase average.
+    pub cbox_avg: f64,
+}
+
+/// Table 1 output: one row per application plus the averages row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Per-application rows.
+    pub rows: Vec<Table1Row>,
+    /// Column means (the paper's `avg % diff` row), in the same order as
+    /// the row fields.
+    pub averages: Table1Row,
+}
+
+fn phase_benchmarks(seed: u64) -> Vec<Benchmark> {
+    APPS.iter()
+        .flat_map(|&app| {
+            (0..PHASES_PER_APP).map(move |phase| {
+                Benchmark::new(
+                    BenchmarkId { suite: SuiteId::Spec, app: app.to_string(), phase },
+                    cachebox_workloads::spec::phase_name(app, phase),
+                    Recipe::Spec { seed },
+                )
+            })
+        })
+        .collect()
+}
+
+/// Runs the comparison at the given scale.
+pub fn run(scale: &Scale) -> Table1Result {
+    let pipeline = Pipeline::new(scale);
+    let config = CacheConfig::new(64, 12);
+    // CBox training set: SPEC-like benchmarks *excluding* the five
+    // evaluated applications (strict train/test separation).
+    let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
+    let train: Vec<Benchmark> = suite
+        .benchmarks()
+        .iter()
+        .filter(|b| !APPS.contains(&b.id().app.as_str()))
+        .cloned()
+        .collect();
+    let samples = pipeline.training_samples(&train, &[config]);
+    let (mut generator, _) = train_cbgan(scale, &samples, true);
+
+    let baselines: Vec<Box<dyn MissRatePredictor>> = vec![
+        Box::new(TabSynth::new(TabVariant::Base, scale.seed)),
+        Box::new(TabSynth::new(TabVariant::ReuseDistance, scale.seed)),
+        Box::new(TabSynth::new(TabVariant::InContext, scale.seed)),
+        Box::new(Hrd::new()),
+        Box::new(Stm::new(scale.seed)),
+    ];
+
+    let mut rows = Vec::with_capacity(APPS.len());
+    for app in APPS {
+        let phases: Vec<Benchmark> = phase_benchmarks(scale.seed)
+            .into_iter()
+            .filter(|b| b.id().app == app)
+            .collect();
+        // Baseline error per phase (miss-rate absolute % difference).
+        let mut baseline_errors = vec![Vec::new(); baselines.len()];
+        let mut cbox_errors = Vec::new();
+        for bench in &phases {
+            let trace = bench.generate(scale.trace_accesses);
+            let truth = cachebox_baselines::true_miss_rate(&trace, &config);
+            for (i, b) in baselines.iter().enumerate() {
+                let predicted = b.predict_miss_rate(&trace, &config);
+                baseline_errors[i].push((predicted - truth).abs() * 100.0);
+            }
+            let acc = pipeline.evaluate(&mut generator, bench, &config, true, scale.batch_size);
+            // Hit-rate difference equals miss-rate difference in magnitude.
+            cbox_errors.push(acc.abs_pct_diff());
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        rows.push(Table1Row {
+            app: app.split('.').next().unwrap_or(app).to_string(),
+            tabular: [
+                mean(&baseline_errors[0]),
+                mean(&baseline_errors[1]),
+                mean(&baseline_errors[2]),
+            ],
+            hrd: mean(&baseline_errors[3]),
+            stm: mean(&baseline_errors[4]),
+            cbox_best: cbox_errors.iter().cloned().fold(f64::INFINITY, f64::min),
+            cbox_worst: cbox_errors.iter().cloned().fold(0.0, f64::max),
+            cbox_avg: mean(&cbox_errors),
+        });
+    }
+    let col = |f: &dyn Fn(&Table1Row) -> f64| {
+        rows.iter().map(f).sum::<f64>() / rows.len() as f64
+    };
+    let averages = Table1Row {
+        app: "avg".to_string(),
+        tabular: [
+            col(&|r| r.tabular[0]),
+            col(&|r| r.tabular[1]),
+            col(&|r| r.tabular[2]),
+        ],
+        hrd: col(&|r| r.hrd),
+        stm: col(&|r| r.stm),
+        cbox_best: col(&|r| r.cbox_best),
+        cbox_worst: col(&|r| r.cbox_worst),
+        cbox_avg: col(&|r| r.cbox_avg),
+    };
+    Table1Result { rows, averages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_table1_has_all_rows() {
+        let result = run(&Scale::tiny().with_epochs(1));
+        assert_eq!(result.rows.len(), 5);
+        assert_eq!(result.rows[0].app, "600");
+        for row in &result.rows {
+            assert!(row.cbox_best <= row.cbox_avg + 1e-9);
+            assert!(row.cbox_avg <= row.cbox_worst + 1e-9);
+            assert!(row.hrd >= 0.0 && row.stm >= 0.0);
+        }
+        assert_eq!(result.averages.app, "avg");
+    }
+}

@@ -1,0 +1,42 @@
+//! # CacheBox
+//!
+//! A from-scratch Rust reproduction of *"Learning Architectural Cache
+//! Simulator Behaviour"* (IISWC 2025): cache simulation reframed as
+//! image-to-image translation over memory-access heatmaps, learned by a
+//! conditional GAN (**CB-GAN**).
+//!
+//! This crate is the public façade tying the substrates together:
+//!
+//! * [`scale`] — experiment sizing presets (the paper runs 512×512
+//!   heatmaps on an A6000; the presets here scale every knob for
+//!   single-core CPU execution while preserving the pipeline).
+//! * [`dataset`] — benchmark ⇒ trace ⇒ ground-truth simulation ⇒
+//!   heatmap-pair datasets, and model evaluation against ground truth.
+//! * [`experiments`] — runnable reproductions of every evaluation in the
+//!   paper: RQ1–RQ7, the data-ecosystem analysis (Fig. 14), Table 1, and
+//!   the design-choice ablations.
+//! * [`report`] — result rendering and JSON export.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cachebox::dataset::Pipeline;
+//! use cachebox::scale::Scale;
+//! use cachebox_sim::CacheConfig;
+//! use cachebox_workloads::{Suite, SuiteId};
+//!
+//! // Generate a benchmark, simulate the cache, and inspect ground truth.
+//! let scale = Scale::tiny();
+//! let pipeline = Pipeline::new(&scale);
+//! let suite = Suite::build(SuiteId::Polybench, 1, 7);
+//! let truth = pipeline.true_hit_rate(&suite.benchmarks()[0], &CacheConfig::new(64, 12));
+//! assert!((0.0..=1.0).contains(&truth));
+//! ```
+
+pub mod dataset;
+pub mod experiments;
+pub mod report;
+pub mod scale;
+
+pub use dataset::Pipeline;
+pub use scale::Scale;

@@ -1,0 +1,112 @@
+//! Result rendering and JSON export for the experiment binaries.
+
+use cachebox_metrics::{AccuracySummary, BenchmarkAccuracy};
+use serde::Serialize;
+use std::path::Path;
+
+/// Renders per-benchmark accuracies as a fixed-width text table with the
+/// paper's `<1 %` / `1–2 %` markers (● and ★).
+pub fn accuracy_table(records: &[BenchmarkAccuracy]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>9} {:>9}  \n",
+        "benchmark", "true%", "pred%", "|diff|"
+    ));
+    for r in records {
+        let diff = r.abs_pct_diff();
+        let marker = if diff < 1.0 {
+            "●"
+        } else if diff < 2.0 {
+            "★"
+        } else {
+            " "
+        };
+        out.push_str(&format!(
+            "{:<28} {:>8.2} {:>9.2} {:>8.2} {}\n",
+            truncate(&r.name, 28),
+            r.true_rate * 100.0,
+            r.predicted_rate * 100.0,
+            diff,
+            marker
+        ));
+    }
+    out
+}
+
+/// Renders an accuracy summary line.
+pub fn summary_line(summary: &AccuracySummary) -> String {
+    format!(
+        "n={} avg={:.2}% best={:.2}% worst={:.2}% (<1%: {}, 1-2%: {})",
+        summary.count,
+        summary.average,
+        if summary.count == 0 { 0.0 } else { summary.best },
+        summary.worst,
+        summary.under_1pct,
+        summary.between_1_and_2pct
+    )
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+/// Serializes any experiment result to pretty JSON at `path`, creating
+/// parent directories as needed.
+///
+/// # Errors
+///
+/// Returns I/O or serialization failures.
+pub fn save_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), value)
+        .map_err(std::io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<BenchmarkAccuracy> {
+        vec![
+            BenchmarkAccuracy {
+                name: "a-very-long-benchmark-name-overflowing".into(),
+                true_rate: 0.95,
+                predicted_rate: 0.952,
+            },
+            BenchmarkAccuracy { name: "b".into(), true_rate: 0.8, predicted_rate: 0.75 },
+        ]
+    }
+
+    #[test]
+    fn table_marks_accuracy_tiers() {
+        let text = accuracy_table(&records());
+        assert!(text.contains('●'));
+        assert!(text.lines().count() == 3);
+        assert!(text.contains('…'), "long names are truncated");
+    }
+
+    #[test]
+    fn summary_line_formats() {
+        let s = AccuracySummary::from_records(&records());
+        let line = summary_line(&s);
+        assert!(line.contains("n=2"));
+        assert!(line.contains("avg="));
+    }
+
+    #[test]
+    fn save_json_roundtrip() {
+        let dir = std::env::temp_dir().join("cachebox_report_test");
+        let path = dir.join("out.json");
+        save_json(&path, &records()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("true_rate"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,209 @@
+//! Experiment sizing.
+//!
+//! The paper trains Unet256/Unet512 models on 512×512 heatmaps of
+//! billion-instruction traces using an RTX A6000. This reproduction runs
+//! on a single CPU core, so every dimension — image size, trace length,
+//! model width, dataset size, epochs — is a tunable [`Scale`]. The
+//! *pipeline* is identical at every scale; only the sizes change.
+
+use cachebox_heatmap::HeatmapGeometry;
+use serde::{Deserialize, Serialize};
+
+/// All experiment size knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Heatmap geometry (image size, window, overlap).
+    pub geometry: HeatmapGeometry,
+    /// Accesses generated per benchmark trace.
+    pub trace_accesses: usize,
+    /// Generator base width (paper: 128).
+    pub ngf: usize,
+    /// Discriminator base width (paper: 64).
+    pub ndf: usize,
+    /// Discriminator depth (paper: 1 ⇒ 16×16 patches; 4 ⇒ 142×142).
+    pub d_layers: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Training batch size.
+    pub batch_size: usize,
+    /// SPEC-like benchmarks in the experiment pool.
+    pub spec_benchmarks: usize,
+    /// Ligra-like benchmarks in the pool.
+    pub ligra_benchmarks: usize,
+    /// Polybench-like benchmarks in the pool.
+    pub polybench_benchmarks: usize,
+    /// Pixel pre-scale fed to the normalizer (the paper scales pixel
+    /// values by two; larger values boost the contrast of sparse miss
+    /// pixels at the cost of earlier saturation of dense access pixels).
+    pub norm_scale: f32,
+    /// Reconstruction weight λ. The paper uses 150; the scaled-down
+    /// presets use 20 — at small model/step budgets a large λ lets the
+    /// L1 term's "all-background" optimum drown the adversarial
+    /// gradient and the generator never learns miss structure (see the
+    /// `ablation_lambda` harness).
+    pub lambda: f32,
+    /// Master seed for dataset construction and training.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Minimal scale for unit/integration tests: 16×16 heatmaps, a
+    /// handful of benchmarks, seconds of CPU time.
+    pub fn tiny() -> Self {
+        Scale {
+            geometry: HeatmapGeometry::new(16, 16, 8),
+            trace_accesses: 2_000,
+            ngf: 4,
+            ndf: 4,
+            d_layers: 1,
+            epochs: 2,
+            batch_size: 4,
+            spec_benchmarks: 6,
+            ligra_benchmarks: 3,
+            polybench_benchmarks: 3,
+            norm_scale: 4.0,
+            lambda: 20.0,
+            seed: 42,
+        }
+    }
+
+    /// Small demo scale: 32×32 heatmaps, a few minutes of CPU time.
+    pub fn small() -> Self {
+        Scale {
+            geometry: HeatmapGeometry::new(32, 32, 16),
+            trace_accesses: 8_000,
+            ngf: 8,
+            ndf: 8,
+            d_layers: 1,
+            epochs: 60,
+            batch_size: 8,
+            spec_benchmarks: 16,
+            ligra_benchmarks: 6,
+            polybench_benchmarks: 6,
+            norm_scale: 4.0,
+            lambda: 20.0,
+            seed: 42,
+        }
+    }
+
+    /// The default experiment scale used by the `cachebox-bench` figure
+    /// binaries: 64×64 heatmaps, tens of minutes of CPU time per figure.
+    pub fn experiment() -> Self {
+        Scale {
+            geometry: HeatmapGeometry::new(64, 64, 32),
+            trace_accesses: 14_000,
+            ngf: 16,
+            ndf: 16,
+            d_layers: 1,
+            epochs: 40,
+            batch_size: 8,
+            spec_benchmarks: 20,
+            ligra_benchmarks: 10,
+            polybench_benchmarks: 8,
+            norm_scale: 4.0,
+            lambda: 20.0,
+            seed: 42,
+        }
+    }
+
+    /// The paper's full scale (for reference and for users with time to
+    /// burn): 512×512 heatmaps, paper-sized suites and model widths.
+    pub fn paper() -> Self {
+        Scale {
+            geometry: HeatmapGeometry::paper(),
+            trace_accesses: 50_000_000,
+            ngf: 128,
+            ndf: 64,
+            d_layers: 1,
+            epochs: 100,
+            batch_size: 16,
+            spec_benchmarks: 189,
+            ligra_benchmarks: 100,
+            polybench_benchmarks: 32,
+            norm_scale: 2.0,
+            lambda: 150.0,
+            seed: 42,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different epoch count.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Image side length (heatmaps are square at every preset).
+    pub fn image_size(&self) -> usize {
+        self.geometry.height
+    }
+
+    /// The cache hierarchy matching this scale. At paper scale this is
+    /// the paper's 64s12w / 1024s8w / 2048s16w hierarchy; the CPU-scale
+    /// presets shrink L2/L3 proportionally to their much shorter traces
+    /// so the outer levels see meaningful reuse (with billion-access
+    /// traces, L1 misses recirculate at a 8192-block L2; with 8k-access
+    /// traces they would all be cold).
+    pub fn hierarchy(&self) -> cachebox_sim::HierarchyConfig {
+        if self.geometry.height >= 512 {
+            cachebox_sim::HierarchyConfig::paper_default()
+        } else {
+            cachebox_sim::HierarchyConfig::three_level(
+                cachebox_sim::CacheConfig::new(64, 12),
+                cachebox_sim::CacheConfig::new(256, 4),
+                cachebox_sim::CacheConfig::new(512, 8),
+            )
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::experiment()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_square_power_of_two_images() {
+        for scale in [Scale::tiny(), Scale::small(), Scale::experiment(), Scale::paper()] {
+            assert_eq!(scale.geometry.height, scale.geometry.width);
+            assert!(scale.image_size().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn presets_grow_monotonically() {
+        let t = Scale::tiny();
+        let s = Scale::small();
+        let e = Scale::experiment();
+        assert!(t.image_size() < s.image_size());
+        assert!(s.image_size() < e.image_size());
+        assert!(t.trace_accesses < e.trace_accesses);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let s = Scale::tiny().with_seed(7).with_epochs(9);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.epochs, 9);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_constants() {
+        let p = Scale::paper();
+        assert_eq!(p.geometry.height, 512);
+        assert_eq!(p.geometry.window, 100);
+        assert_eq!(p.ngf, 128);
+        assert_eq!(p.ndf, 64);
+        assert_eq!(p.spec_benchmarks, 189);
+    }
+}

@@ -1,0 +1,160 @@
+//! Model checkpoints: persist a trained generator to disk.
+
+use crate::unet::{UNetAsLayer, UNetConfig, UNetGenerator};
+use cachebox_nn::serialize::StateDict;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A serializable snapshot of a generator: its architecture plus weights.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cachebox_gan::{checkpoint::Checkpoint, UNetConfig, UNetGenerator};
+/// use cachebox_nn::Tensor;
+///
+/// let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 7);
+/// let ckpt = Checkpoint::capture(&mut g);
+/// let mut restored = ckpt.restore()?;
+/// let x = Tensor::zeros([1, 1, 8, 8]);
+/// assert_eq!(
+///     g.forward(&x, None, false),
+///     restored.forward(&x, None, false),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Generator architecture.
+    pub config: UNetConfig,
+    /// Flattened weights in visit order.
+    pub state: StateDict,
+}
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed checkpoint file.
+    Decode(serde_json::Error),
+    /// Weights do not fit the declared architecture.
+    Mismatch(cachebox_nn::serialize::LoadStateError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            CheckpointError::Decode(e) => write!(f, "checkpoint decode failed: {e}"),
+            CheckpointError::Mismatch(e) => write!(f, "checkpoint incompatible: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Decode(e) => Some(e),
+            CheckpointError::Mismatch(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Decode(e)
+    }
+}
+
+impl Checkpoint {
+    /// Snapshots a generator's architecture and weights.
+    pub fn capture(generator: &mut UNetGenerator) -> Self {
+        let config = *generator.config();
+        let state = StateDict::from_layer(&mut UNetAsLayer(generator));
+        Checkpoint { config, state }
+    }
+
+    /// Rebuilds the generator from the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] if the stored weights do not
+    /// fit the stored architecture (a corrupted checkpoint).
+    pub fn restore(&self) -> Result<UNetGenerator, CheckpointError> {
+        let mut generator = UNetGenerator::new(self.config, 0);
+        self.state
+            .load_into(&mut UNetAsLayer(&mut generator))
+            .map_err(CheckpointError::Mismatch)?;
+        Ok(generator)
+    }
+
+    /// Writes the checkpoint as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or encoding failures.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint previously written by [`Checkpoint::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or decoding failures.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let file = std::fs::File::open(path)?;
+        Ok(serde_json::from_reader(std::io::BufReader::new(file))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_nn::Tensor;
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut g =
+            UNetGenerator::new(UNetConfig::for_image_size(8, 2).with_param_features(2), 3);
+        let ckpt = Checkpoint::capture(&mut g);
+        let dir = std::env::temp_dir().join("cachebox_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        let mut restored = loaded.restore().unwrap();
+        let x = Tensor::zeros([1, 1, 8, 8]);
+        let p = crate::condition::CacheParams::new(64, 12).batch(1);
+        assert_eq!(g.forward(&x, Some(&p), false), restored.forward(&x, Some(&p), false));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_fails() {
+        let err = Checkpoint::load(Path::new("/nonexistent/cachebox.json")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn corrupted_state_is_rejected() {
+        let mut small = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 1);
+        let mut big_cfg = Checkpoint::capture(&mut small);
+        big_cfg.config.ngf = 16; // architecture no longer matches weights
+        assert!(matches!(big_cfg.restore(), Err(CheckpointError::Mismatch(_))));
+    }
+}

@@ -1,0 +1,196 @@
+//! Cache-parameter conditioning inputs.
+
+use cachebox_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The numeric cache parameters CB-GAN is conditioned on: the number of
+/// sets and ways (§3.2.3).
+///
+/// Raw counts span orders of magnitude (32–2048 sets), so the features
+/// fed to the embedding head are log₂-scaled, which keeps unseen
+/// configurations (RQ3) within the numeric range spanned by training
+/// configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Number of sets.
+    pub sets: u32,
+    /// Number of ways.
+    pub ways: u32,
+}
+
+impl CacheParams {
+    /// Creates the parameter pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(sets: u32, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "cache parameters must be non-zero");
+        CacheParams { sets, ways }
+    }
+
+    /// The two normalized features: `log2(sets)/12`, `log2(ways)/5`.
+    pub fn features(&self) -> [f32; 2] {
+        [(self.sets as f32).log2() / 12.0, (self.ways as f32).log2() / 5.0]
+    }
+
+    /// A `[n, 2, 1, 1]` tensor repeating the features `n` times — the
+    /// shape the generator's parameter head expects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn batch(&self, n: usize) -> Tensor {
+        assert!(n > 0, "batch size must be non-zero");
+        let f = self.features();
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            data.extend_from_slice(&f);
+        }
+        Tensor::from_vec([n, 2, 1, 1], data)
+    }
+
+    /// Stacks per-sample parameters into a `[n, 2, 1, 1]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is empty.
+    pub fn batch_of(params: &[CacheParams]) -> Tensor {
+        assert!(!params.is_empty(), "need at least one parameter pair");
+        let mut data = Vec::with_capacity(params.len() * 2);
+        for p in params {
+            data.extend_from_slice(&p.features());
+        }
+        Tensor::from_vec([params.len(), 2, 1, 1], data)
+    }
+}
+
+impl std::fmt::Display for CacheParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}set-{}way", self.sets, self.ways)
+    }
+}
+
+/// Extended conditioning with the block size as a third feature —
+/// the paper notes further parameters "can easily be added" (§3.2.3)
+/// and lists block-size parameterisation as future work (§6.3). Use
+/// with a generator built with `param_features = 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtendedCacheParams {
+    /// The base (sets, ways) pair.
+    pub base: CacheParams,
+    /// log2 of the block size in bytes (6 ⇒ 64-byte blocks).
+    pub block_offset_bits: u32,
+}
+
+impl ExtendedCacheParams {
+    /// Creates the extended parameter triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a count is zero or `block_offset_bits > 20`.
+    pub fn new(sets: u32, ways: u32, block_offset_bits: u32) -> Self {
+        assert!(block_offset_bits <= 20, "unreasonable block size");
+        ExtendedCacheParams { base: CacheParams::new(sets, ways), block_offset_bits }
+    }
+
+    /// The three normalized features: the base pair plus a centred,
+    /// scaled block-size term (zero at the paper's 64-byte default).
+    pub fn features(&self) -> [f32; 3] {
+        let [s, w] = self.base.features();
+        [s, w, (self.block_offset_bits as f32 - 6.0) / 4.0]
+    }
+
+    /// A `[n, 3, 1, 1]` tensor repeating the features `n` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn batch(&self, n: usize) -> Tensor {
+        assert!(n > 0, "batch size must be non-zero");
+        let f = self.features();
+        let mut data = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            data.extend_from_slice(&f);
+        }
+        Tensor::from_vec([n, 3, 1, 1], data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_are_log_scaled() {
+        let p = CacheParams::new(64, 12);
+        let f = p.features();
+        assert!((f[0] - 6.0 / 12.0).abs() < 1e-6);
+        assert!((f[1] - (12.0f32).log2() / 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distinct_configs_have_distinct_features() {
+        let a = CacheParams::new(64, 12).features();
+        let b = CacheParams::new(128, 6).features();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_repeats_features() {
+        let t = CacheParams::new(64, 12).batch(3);
+        assert_eq!(t.shape(), [3, 2, 1, 1]);
+        assert_eq!(t.sample(0), t.sample(2));
+    }
+
+    #[test]
+    fn batch_of_mixes_configs() {
+        let t = CacheParams::batch_of(&[CacheParams::new(64, 12), CacheParams::new(128, 3)]);
+        assert_eq!(t.shape(), [2, 2, 1, 1]);
+        assert_ne!(t.sample(0), t.sample(1));
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(CacheParams::new(64, 12).to_string(), "64set-12way");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_sets() {
+        CacheParams::new(0, 1);
+    }
+
+    #[test]
+    fn extended_params_center_default_block_size() {
+        let p = ExtendedCacheParams::new(64, 12, 6);
+        let f = p.features();
+        assert_eq!(f[2], 0.0, "64-byte blocks are the zero point");
+        assert_eq!(&f[..2], &p.base.features());
+        let bigger = ExtendedCacheParams::new(64, 12, 8);
+        assert!(bigger.features()[2] > 0.0);
+    }
+
+    #[test]
+    fn extended_batch_shape() {
+        let t = ExtendedCacheParams::new(64, 12, 7).batch(2);
+        assert_eq!(t.shape(), [2, 3, 1, 1]);
+        assert_eq!(t.sample(0), t.sample(1));
+    }
+
+    #[test]
+    fn three_feature_generator_accepts_extended_params() {
+        use crate::unet::{UNetConfig, UNetGenerator};
+        let mut g = UNetGenerator::new(
+            UNetConfig::for_image_size(8, 2).with_param_features(3),
+            1,
+        );
+        let x = cachebox_nn::Tensor::zeros([1, 1, 8, 8]);
+        let small_blocks = ExtendedCacheParams::new(64, 12, 5).batch(1);
+        let large_blocks = ExtendedCacheParams::new(64, 12, 8).batch(1);
+        let y1 = g.forward(&x, Some(&small_blocks), false);
+        let y2 = g.forward(&x, Some(&large_blocks), false);
+        assert_eq!(y1.shape(), [1, 1, 8, 8]);
+        assert_ne!(y1, y2, "block size must influence the output");
+    }
+}

@@ -1,0 +1,216 @@
+//! Heatmap ⇄ tensor conversion and training batches.
+
+use crate::condition::CacheParams;
+use cachebox_heatmap::Heatmap;
+use cachebox_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Maps raw heatmap pixel counts to the `[-1, 1]` model domain and back.
+///
+/// Counts are first multiplied by `scale` (the paper scales pixel values
+/// by two, §4.3), divided by the per-column maximum possible count
+/// (`window`), clamped to `[0, 1]`, then affinely mapped to `[-1, 1]`
+/// to match the generator's `tanh` output.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_gan::data::Normalizer;
+///
+/// let norm = Normalizer::new(100);
+/// assert_eq!(norm.to_model(0.0), -1.0);
+/// let roundtrip = norm.from_model(norm.to_model(20.0));
+/// assert!((roundtrip - 20.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    window: f32,
+    scale: f32,
+    round: bool,
+}
+
+impl Normalizer {
+    /// Creates a normalizer for heatmaps with `window` accesses per
+    /// column, using the paper's ×2 pixel scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        Normalizer { window: window as f32, scale: 2.0, round: false }
+    }
+
+    /// Returns a copy with a custom pixel pre-scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn with_scale(mut self, scale: f32) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Returns a copy that rounds recovered counts to the nearest
+    /// integer. Real heatmap pixels are integer access counts, so
+    /// rounding is an unbiased de-noiser for generated maps: residual
+    /// background noise below 0.5 counts vanishes instead of
+    /// accumulating over thousands of pixels.
+    pub fn with_rounding(mut self, round: bool) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Count → model domain (`[-1, 1]`).
+    pub fn to_model(&self, count: f32) -> f32 {
+        ((count * self.scale / self.window).clamp(0.0, 1.0)) * 2.0 - 1.0
+    }
+
+    /// Model domain → count (non-negative; rounded to the nearest
+    /// integer when [`Normalizer::with_rounding`] is enabled).
+    pub fn from_model(&self, value: f32) -> f32 {
+        let count = ((value + 1.0) / 2.0).clamp(0.0, 1.0) * self.window / self.scale;
+        if self.round {
+            count.round()
+        } else {
+            count
+        }
+    }
+
+    /// Converts a heatmap into a `[1, 1, h, w]` model tensor.
+    pub fn heatmap_to_tensor(&self, heatmap: &Heatmap) -> Tensor {
+        Tensor::from_vec(
+            [1, 1, heatmap.height(), heatmap.width()],
+            heatmap.data().iter().map(|&v| self.to_model(v)).collect(),
+        )
+    }
+
+    /// Converts a batch of heatmaps into a `[n, 1, h, w]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heatmaps` is empty or shapes differ.
+    pub fn heatmaps_to_batch(&self, heatmaps: &[&Heatmap]) -> Tensor {
+        assert!(!heatmaps.is_empty(), "need at least one heatmap");
+        let (h, w) = (heatmaps[0].height(), heatmaps[0].width());
+        let mut data = Vec::with_capacity(heatmaps.len() * h * w);
+        for m in heatmaps {
+            assert_eq!((m.height(), m.width()), (h, w), "heatmap shape mismatch");
+            data.extend(m.data().iter().map(|&v| self.to_model(v)));
+        }
+        Tensor::from_vec([heatmaps.len(), 1, h, w], data)
+    }
+
+    /// Converts one sample of a `[n, 1, h, w]` tensor back to a heatmap
+    /// of counts (negatives clamp to zero through the mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample` is out of range or `tensor.c() != 1`.
+    pub fn tensor_to_heatmap(&self, tensor: &Tensor, sample: usize) -> Heatmap {
+        assert_eq!(tensor.c(), 1, "expected single-channel tensor");
+        assert!(sample < tensor.n(), "sample out of range");
+        let data: Vec<f32> =
+            tensor.sample(sample).iter().map(|&v| self.from_model(v)).collect();
+        Heatmap::from_vec(tensor.h(), tensor.w(), data)
+    }
+}
+
+/// One training sample: an access/miss heatmap pair plus the cache
+/// parameters that produced the miss behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The access heatmap (model input).
+    pub access: Heatmap,
+    /// The real miss heatmap (target).
+    pub miss: Heatmap,
+    /// The cache configuration's parameters.
+    pub params: CacheParams,
+}
+
+/// Assembles `(input, target, params)` tensors from a list of samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn collate(samples: &[&Sample], norm: &Normalizer) -> (Tensor, Tensor, Tensor) {
+    assert!(!samples.is_empty(), "empty batch");
+    let access: Vec<&Heatmap> = samples.iter().map(|s| &s.access).collect();
+    let miss: Vec<&Heatmap> = samples.iter().map(|s| &s.miss).collect();
+    let params: Vec<CacheParams> = samples.iter().map(|s| s.params).collect();
+    (
+        norm.heatmaps_to_batch(&access),
+        norm.heatmaps_to_batch(&miss),
+        CacheParams::batch_of(&params),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_unsaturated_range() {
+        let n = Normalizer::new(100);
+        for count in [0.0, 1.0, 7.0, 25.0, 49.9] {
+            let rt = n.from_model(n.to_model(count));
+            assert!((rt - count).abs() < 1e-3, "count {count} -> {rt}");
+        }
+    }
+
+    #[test]
+    fn saturation_above_half_window_with_scale_two() {
+        let n = Normalizer::new(100);
+        assert_eq!(n.to_model(50.0), 1.0);
+        assert_eq!(n.to_model(100.0), 1.0);
+    }
+
+    #[test]
+    fn custom_scale_extends_range() {
+        let n = Normalizer::new(100).with_scale(1.0);
+        assert!((n.from_model(n.to_model(99.0)) - 99.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn heatmap_tensor_roundtrip() {
+        let n = Normalizer::new(10);
+        let h = Heatmap::from_vec(2, 2, vec![0.0, 1.0, 2.0, 4.0]);
+        let t = n.heatmap_to_tensor(&h);
+        assert_eq!(t.shape(), [1, 1, 2, 2]);
+        let back = n.tensor_to_heatmap(&t, 0);
+        for (a, b) in h.data().iter().zip(back.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batch_layout() {
+        let n = Normalizer::new(10);
+        let a = Heatmap::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Heatmap::from_vec(1, 2, vec![2.0, 3.0]);
+        let t = n.heatmaps_to_batch(&[&a, &b]);
+        assert_eq!(t.shape(), [2, 1, 1, 2]);
+        let back = n.tensor_to_heatmap(&t, 1);
+        assert!((back.get(0, 1) - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn collate_shapes() {
+        let sample = Sample {
+            access: Heatmap::zeros(4, 4),
+            miss: Heatmap::zeros(4, 4),
+            params: CacheParams::new(64, 12),
+        };
+        let (x, y, p) = collate(&[&sample, &sample], &Normalizer::new(8));
+        assert_eq!(x.shape(), [2, 1, 4, 4]);
+        assert_eq!(y.shape(), [2, 1, 4, 4]);
+        assert_eq!(p.shape(), [2, 2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn collate_rejects_empty() {
+        collate(&[], &Normalizer::new(8));
+    }
+}

@@ -1,0 +1,233 @@
+//! Batched inference over heatmap sequences (RQ5).
+//!
+//! Inference over a benchmark means generating one synthetic miss
+//! heatmap per access heatmap. Processing `batch_size` images per
+//! generator call amortizes the per-call costs (buffer allocation,
+//! weight repacking, dispatch) — the same mechanism that gives the
+//! paper's 2.4× GPU speedup at batch 32, reproduced here on CPU.
+
+use crate::condition::CacheParams;
+use crate::data::Normalizer;
+use crate::unet::UNetGenerator;
+use cachebox_heatmap::Heatmap;
+use cachebox_nn::Tensor;
+
+/// Generates synthetic miss heatmaps for every access heatmap, in order,
+/// processing `batch_size` images per forward pass.
+///
+/// # Panics
+///
+/// Panics if `access_maps` is empty or `batch_size` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_gan::{infer::infer_batched, CacheParams, UNetConfig, UNetGenerator};
+/// use cachebox_gan::data::Normalizer;
+/// use cachebox_heatmap::Heatmap;
+///
+/// let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 0);
+/// let maps = vec![Heatmap::zeros(8, 8); 5];
+/// let norm = Normalizer::new(4);
+/// let out = infer_batched(&mut g, &maps, None, &norm, 2);
+/// assert_eq!(out.len(), 5);
+/// ```
+pub fn infer_batched(
+    generator: &mut UNetGenerator,
+    access_maps: &[Heatmap],
+    params: Option<CacheParams>,
+    norm: &Normalizer,
+    batch_size: usize,
+) -> Vec<Heatmap> {
+    assert!(!access_maps.is_empty(), "no heatmaps to infer");
+    assert!(batch_size > 0, "batch size must be non-zero");
+    let mut out = Vec::with_capacity(access_maps.len());
+    for chunk in access_maps.chunks(batch_size) {
+        let refs: Vec<&Heatmap> = chunk.iter().collect();
+        let input = norm.heatmaps_to_batch(&refs);
+        let param_batch: Option<Tensor> = params.map(|p| p.batch(chunk.len()));
+        let y = generator.forward(&input, param_batch.as_ref(), false);
+        for i in 0..chunk.len() {
+            out.push(norm.tensor_to_heatmap(&y, i));
+        }
+    }
+    out
+}
+
+/// Multi-worker inference: splits the heatmap sequence across `workers`
+/// threads, each running its own copy of the generator (weights are
+/// snapshotted once and restored per worker). Output order matches the
+/// input order.
+///
+/// On a multi-core host this parallelizes across images the same way the
+/// paper's GPU batching parallelizes within a batch; on a single core it
+/// degrades gracefully to sequential throughput.
+///
+/// # Panics
+///
+/// Panics if `access_maps` is empty or `workers`/`batch_size` is zero.
+///
+/// # Errors
+///
+/// Returns an error if a worker thread panics or the model snapshot
+/// cannot be restored.
+pub fn infer_parallel(
+    generator: &mut UNetGenerator,
+    access_maps: &[Heatmap],
+    params: Option<CacheParams>,
+    norm: &Normalizer,
+    batch_size: usize,
+    workers: usize,
+) -> Result<Vec<Heatmap>, String> {
+    assert!(!access_maps.is_empty(), "no heatmaps to infer");
+    assert!(batch_size > 0, "batch size must be non-zero");
+    assert!(workers > 0, "worker count must be non-zero");
+    if workers == 1 {
+        return Ok(infer_batched(generator, access_maps, params, norm, batch_size));
+    }
+    let snapshot = crate::checkpoint::Checkpoint::capture(generator);
+    let chunk_len = access_maps.len().div_ceil(workers);
+    let chunks: Vec<&[Heatmap]> = access_maps.chunks(chunk_len).collect();
+    let norm = *norm;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let snapshot = &snapshot;
+                scope.spawn(move |_| -> Result<Vec<Heatmap>, String> {
+                    let mut local = snapshot.restore().map_err(|e| e.to_string())?;
+                    Ok(infer_batched(&mut local, chunk, params, &norm, batch_size))
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(access_maps.len());
+        for handle in handles {
+            out.extend(handle.join().map_err(|_| "worker thread panicked".to_string())??);
+        }
+        Ok(out)
+    })
+    .map_err(|_| "inference scope panicked".to_string())?
+}
+
+/// Timing result of one batched-inference run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceTiming {
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Total wall-clock time for all images.
+    pub total: std::time::Duration,
+    /// Images processed.
+    pub images: usize,
+}
+
+impl InferenceTiming {
+    /// Average time per image.
+    pub fn per_image(&self) -> std::time::Duration {
+        self.total / self.images.max(1) as u32
+    }
+}
+
+/// Runs [`infer_batched`] and measures wall-clock time (the Fig. 11
+/// harness).
+pub fn timed_inference(
+    generator: &mut UNetGenerator,
+    access_maps: &[Heatmap],
+    params: Option<CacheParams>,
+    norm: &Normalizer,
+    batch_size: usize,
+) -> (Vec<Heatmap>, InferenceTiming) {
+    let start = std::time::Instant::now();
+    let out = infer_batched(generator, access_maps, params, norm, batch_size);
+    let total = start.elapsed();
+    (out, InferenceTiming { batch_size, total, images: access_maps.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unet::UNetConfig;
+
+    fn maps(n: usize) -> Vec<Heatmap> {
+        (0..n)
+            .map(|k| {
+                let mut h = Heatmap::zeros(8, 8);
+                h.set(k % 8, (k * 3) % 8, 2.0);
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_sequential() {
+        // Same model, same inputs: output must not depend on batch size
+        // (dropout disabled; batch norm in eval mode uses running stats).
+        let config = UNetConfig::for_image_size(8, 4).with_dropout(false);
+        let mut g = UNetGenerator::new(config, 4);
+        let norm = Normalizer::new(4);
+        let inputs = maps(6);
+        let seq = infer_batched(&mut g, &inputs, None, &norm, 1);
+        let batched = infer_batched(&mut g, &inputs, None, &norm, 3);
+        assert_eq!(seq.len(), batched.len());
+        for (a, b) in seq.iter().zip(&batched) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-5, "batching changed the output");
+            }
+        }
+    }
+
+    #[test]
+    fn conditioned_inference() {
+        let config = UNetConfig::for_image_size(8, 2).with_param_features(2);
+        let mut g = UNetGenerator::new(config, 1);
+        let out =
+            infer_batched(&mut g, &maps(3), Some(CacheParams::new(64, 12)), &Normalizer::new(4), 2);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn ragged_final_batch() {
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 1);
+        let out = infer_batched(&mut g, &maps(7), None, &Normalizer::new(4), 4);
+        assert_eq!(out.len(), 7);
+    }
+
+    #[test]
+    fn timing_reports_counts() {
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 1);
+        let (out, t) = timed_inference(&mut g, &maps(4), None, &Normalizer::new(4), 2);
+        assert_eq!(out.len(), 4);
+        assert_eq!(t.images, 4);
+        assert_eq!(t.batch_size, 2);
+        assert!(t.per_image() <= t.total);
+    }
+
+    #[test]
+    #[should_panic(expected = "no heatmaps")]
+    fn rejects_empty_input() {
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 1);
+        infer_batched(&mut g, &[], None, &Normalizer::new(4), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let config = UNetConfig::for_image_size(8, 4).with_dropout(false);
+        let mut g = UNetGenerator::new(config, 6);
+        let norm = Normalizer::new(4);
+        let inputs = maps(9);
+        let seq = infer_batched(&mut g, &inputs, None, &norm, 2);
+        let par = infer_parallel(&mut g, &inputs, None, &norm, 2, 3).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-5, "parallel output diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_worker_is_sequential_path() {
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 1);
+        let out = infer_parallel(&mut g, &maps(3), None, &Normalizer::new(4), 2, 1).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+}

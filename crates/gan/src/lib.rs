@@ -1,0 +1,44 @@
+//! CB-GAN: the CacheBox generative model (paper §3.2).
+//!
+//! CB-GAN is a Pix2Pix-style conditional GAN specialised for cache
+//! behaviour:
+//!
+//! * [`UNetGenerator`] — an encoder/decoder U-Net with skip connections
+//!   whose bottleneck is augmented with an embedding of the numeric
+//!   *cache parameters* (sets, ways) produced by three fully connected
+//!   layers (§3.2.3, Fig. 5a).
+//! * [`PatchGan`] — a patch-level discriminator judging
+//!   (access, miss) image pairs at a configurable receptive field
+//!   (16×16 in the main experiments, 142×142 for RQ4; Fig. 5b).
+//! * [`GanTrainer`] — alternating optimization of the adversarial +
+//!   λ·L1 objective (Eq. 1, λ = 150) with Adam.
+//! * [`data`] — heatmap ⇄ tensor conversion with the paper's ×2 pixel
+//!   scaling, and dataset batching.
+//! * [`infer`] — batched inference over many access heatmaps (RQ5).
+//!
+//! # Example
+//!
+//! ```
+//! use cachebox_gan::{CacheParams, UNetConfig, UNetGenerator};
+//! use cachebox_nn::Tensor;
+//!
+//! // A tiny conditioned U-Net over 16×16 heatmaps.
+//! let mut g = UNetGenerator::new(UNetConfig::for_image_size(16, 8).with_param_features(2), 0);
+//! let x = Tensor::zeros([2, 1, 16, 16]);
+//! let params = CacheParams::new(64, 12).batch(2);
+//! let y = g.forward(&x, Some(&params), false);
+//! assert_eq!(y.shape(), [2, 1, 16, 16]);
+//! ```
+
+pub mod checkpoint;
+pub mod condition;
+pub mod data;
+pub mod infer;
+pub mod patchgan;
+pub mod trainer;
+pub mod unet;
+
+pub use condition::{CacheParams, ExtendedCacheParams};
+pub use patchgan::{PatchGan, PatchGanConfig};
+pub use trainer::{GanTrainer, TrainConfig, TrainSample, TrainStats};
+pub use unet::{UNetConfig, UNetGenerator};

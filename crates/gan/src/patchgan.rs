@@ -1,0 +1,164 @@
+//! The CB-GAN discriminator: a PatchGAN.
+
+use cachebox_nn::graph::Sequential;
+use cachebox_nn::layers::{BatchNorm2d, Conv2d, Layer, LeakyRelu};
+use cachebox_nn::{Param, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the PatchGAN discriminator (Fig. 5b).
+///
+/// `n_layers` stride-2 stages set the receptive field of each output
+/// patch: 1 → 16×16 (the paper's main experiments), 4 → 142×142 (RQ4's
+/// larger models); the classic Pix2Pix 70×70 is `n_layers = 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchGanConfig {
+    /// Input channels: access heatmap + (real or synthetic) miss heatmap.
+    pub in_channels: usize,
+    /// Base discriminator filter count (the paper uses ndf = 64).
+    pub ndf: usize,
+    /// Number of stride-2 down-sampling stages.
+    pub n_layers: usize,
+}
+
+impl PatchGanConfig {
+    /// Creates a configuration; `in_channels` is typically 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero.
+    pub fn new(in_channels: usize, ndf: usize, n_layers: usize) -> Self {
+        assert!(in_channels > 0 && ndf > 0 && n_layers > 0, "invalid discriminator config");
+        PatchGanConfig { in_channels, ndf, n_layers }
+    }
+
+    /// Receptive field of one output patch:
+    /// `rf(n) = 4 + Σ_{i<n} 3·2^i + 3·2^n + 3·2^n` simplifies to the
+    /// Pix2Pix series 16, 34, 70, 142, 286 for n = 1…5.
+    pub fn receptive_field(&self) -> usize {
+        // Built backwards: rf = ((1*1 conv) expanded through each conv).
+        let mut rf = 1usize;
+        // Final 1-stride conv (k4) and the stride-1 feature conv (k4).
+        rf += 3; // k4 s1
+        rf += 3; // k4 s1
+        for _ in 0..self.n_layers {
+            rf = rf * 2 + 2; // k4 s2
+        }
+        rf
+    }
+}
+
+/// The PatchGAN discriminator: maps an image pair to a grid of per-patch
+/// real/fake *logits*.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_gan::{PatchGan, PatchGanConfig};
+/// use cachebox_nn::{Tensor, layers::Layer};
+///
+/// let mut d = PatchGan::new(PatchGanConfig::new(2, 8, 1), 0);
+/// assert_eq!(d.config().receptive_field(), 16);
+/// let logits = d.forward(&Tensor::zeros([1, 2, 16, 16]), false);
+/// assert_eq!(logits.c(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PatchGan {
+    config: PatchGanConfig,
+    net: Sequential,
+}
+
+impl PatchGan {
+    /// Builds the discriminator; `seed` drives weight initialization.
+    pub fn new(config: PatchGanConfig, seed: u64) -> Self {
+        let mut net = Sequential::new()
+            .push(Conv2d::new(config.in_channels, config.ndf, 4, 2, 1, seed * 151))
+            .push(LeakyRelu::new(0.2));
+        let mut ch = config.ndf;
+        for i in 1..config.n_layers {
+            let next = (config.ndf * (1 << i)).min(config.ndf * 8);
+            net = net
+                .push(Conv2d::new(ch, next, 4, 2, 1, seed * 151 + i as u64))
+                .push(BatchNorm2d::new(next))
+                .push(LeakyRelu::new(0.2));
+            ch = next;
+        }
+        // Stride-1 feature stage then the 1-channel logit head.
+        let next = (ch * 2).min(config.ndf * 8);
+        net = net
+            .push(Conv2d::new(ch, next, 4, 1, 1, seed * 151 + 97))
+            .push(BatchNorm2d::new(next))
+            .push(LeakyRelu::new(0.2))
+            .push(Conv2d::new(next, 1, 4, 1, 1, seed * 151 + 98));
+        PatchGan { config, net }
+    }
+
+    /// The discriminator's configuration.
+    pub fn config(&self) -> &PatchGanConfig {
+        &self.config
+    }
+}
+
+impl Layer for PatchGan {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c(), self.config.in_channels, "input channel mismatch");
+        self.net.forward(input, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.net.backward(grad_out)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.net.visit_params(visitor);
+    }
+
+    fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.net.visit_buffers(visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receptive_fields_match_pix2pix_series() {
+        let rf = |n| PatchGanConfig::new(2, 8, n).receptive_field();
+        assert_eq!(rf(1), 16);
+        assert_eq!(rf(2), 34);
+        assert_eq!(rf(3), 70);
+        assert_eq!(rf(4), 142);
+        assert_eq!(rf(5), 286);
+    }
+
+    #[test]
+    fn output_is_patch_grid_of_logits() {
+        let mut d = PatchGan::new(PatchGanConfig::new(2, 4, 2), 1);
+        let out = d.forward(&Tensor::zeros([3, 2, 32, 32]), false);
+        assert_eq!(out.n(), 3);
+        assert_eq!(out.c(), 1);
+        assert!(out.h() > 1, "patch grid, not a single scalar");
+    }
+
+    #[test]
+    fn gradients_flow_to_input() {
+        let mut d = PatchGan::new(PatchGanConfig::new(2, 4, 1), 2);
+        let x = Tensor::from_vec(
+            [1, 2, 16, 16],
+            (0..512).map(|i| ((i % 7) as f32 - 3.0) / 3.0).collect(),
+        );
+        let y = d.forward(&x, true);
+        d.zero_grad();
+        let gx = d.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gx.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn deeper_discriminators_shrink_the_grid() {
+        let mut d1 = PatchGan::new(PatchGanConfig::new(2, 4, 1), 3);
+        let mut d2 = PatchGan::new(PatchGanConfig::new(2, 4, 2), 3);
+        let x = Tensor::zeros([1, 2, 64, 64]);
+        assert!(d2.forward(&x, false).h() < d1.forward(&x, false).h());
+    }
+}

@@ -1,0 +1,476 @@
+//! The CB-GAN generator: a cache-parameter-conditioned U-Net.
+
+use cachebox_nn::graph::Sequential;
+use cachebox_nn::layers::{
+    BatchNorm2d, Conv2d, ConvTranspose2d, Dropout, Layer, LeakyRelu, Linear, Relu, Tanh,
+};
+use cachebox_nn::{Param, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the U-Net generator.
+///
+/// `depth` down-sampling blocks halve the spatial size from `image_size`
+/// down to 1×1, mirroring the paper's Unet256/Unet512 (8 or 9 blocks over
+/// 256/512-pixel images); channel widths grow `ngf, 2·ngf, 4·ngf, 8·ngf`
+/// and cap at `8·ngf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UNetConfig {
+    /// Input image channels (1: the access heatmap).
+    pub in_channels: usize,
+    /// Output image channels (1: the synthetic miss heatmap).
+    pub out_channels: usize,
+    /// Base generator filter count (the paper uses ngf = 128).
+    pub ngf: usize,
+    /// Number of down/up blocks; `image_size` must equal `2^depth`.
+    pub depth: usize,
+    /// Square input image size.
+    pub image_size: usize,
+    /// Numeric conditioning features (2 = sets & ways; 0 disables the
+    /// parameter head as in RQ4's combined model).
+    pub param_features: usize,
+    /// Width of the parameter embedding appended to the bottleneck.
+    pub param_embed: usize,
+    /// Whether the inner decoder blocks use dropout (Pix2Pix default).
+    pub dropout: bool,
+}
+
+impl UNetConfig {
+    /// Builds the natural configuration for a given image size: depth
+    /// `log2(image_size)`, no parameter conditioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `image_size` is a power of two ≥ 4.
+    pub fn for_image_size(image_size: usize, ngf: usize) -> Self {
+        assert!(image_size.is_power_of_two() && image_size >= 4, "image size must be a power of two ≥ 4");
+        assert!(ngf > 0, "ngf must be non-zero");
+        UNetConfig {
+            in_channels: 1,
+            out_channels: 1,
+            ngf,
+            depth: image_size.trailing_zeros() as usize,
+            image_size,
+            param_features: 0,
+            param_embed: ngf,
+            dropout: true,
+        }
+    }
+
+    /// Enables or disables decoder dropout.
+    pub fn with_dropout(mut self, dropout: bool) -> Self {
+        self.dropout = dropout;
+        self
+    }
+
+    /// Enables cache-parameter conditioning with `features` inputs.
+    pub fn with_param_features(mut self, features: usize) -> Self {
+        self.param_features = features;
+        self
+    }
+
+    /// Sets the parameter-embedding width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embed` is zero.
+    pub fn with_param_embed(mut self, embed: usize) -> Self {
+        assert!(embed > 0, "embedding width must be non-zero");
+        self.param_embed = embed;
+        self
+    }
+
+    /// Channel width after down block `i`.
+    fn channels(&self, i: usize) -> usize {
+        self.ngf * (1 << i.min(3))
+    }
+}
+
+/// The conditioned U-Net generator (Fig. 5a).
+///
+/// Unlike ordinary layers this model takes *two* inputs — the access
+/// heatmap batch and (optionally) the cache-parameter batch — so it
+/// exposes its own `forward`/`backward` rather than implementing
+/// [`Layer`]. See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct UNetGenerator {
+    config: UNetConfig,
+    downs: Vec<Sequential>,
+    ups: Vec<Sequential>,
+    param_head: Option<Sequential>,
+    // Backward bookkeeping from the last training forward.
+    cache: Option<ForwardCache>,
+}
+
+#[derive(Debug)]
+struct ForwardCache {
+    /// Output channel width of each up block (for concat splits).
+    up_out_channels: Vec<usize>,
+    /// Channel width of the bottleneck (for the parameter split).
+    bottleneck_channels: usize,
+    had_params: bool,
+}
+
+impl UNetGenerator {
+    /// Builds the generator; `seed` drives all weight initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.image_size != 2^config.depth` or `depth < 2`.
+    pub fn new(config: UNetConfig, seed: u64) -> Self {
+        assert!(config.depth >= 2, "need at least two down blocks");
+        assert_eq!(config.image_size, 1 << config.depth, "image size must equal 2^depth");
+        let d = config.depth;
+        let mut downs = Vec::with_capacity(d);
+        for i in 0..d {
+            let in_c = if i == 0 { config.in_channels } else { config.channels(i - 1) };
+            let out_c = config.channels(i);
+            let mut block = Sequential::new().push(Conv2d::new(in_c, out_c, 4, 2, 1, seed * 131 + i as u64));
+            // Pix2Pix omits normalization on the outermost and innermost
+            // blocks (the innermost sees 1×1 activations).
+            if i != 0 && i != d - 1 {
+                block = block.push(BatchNorm2d::new(out_c));
+            }
+            block = block.push(LeakyRelu::new(0.2));
+            downs.push(block);
+        }
+        let bottleneck_c = config.channels(d - 1);
+        let embed = if config.param_features > 0 { config.param_embed } else { 0 };
+        let mut ups = Vec::with_capacity(d);
+        for i in 0..d {
+            let in_c = if i == 0 {
+                bottleneck_c + embed
+            } else {
+                2 * config.channels(d - 1 - i)
+            };
+            let last = i == d - 1;
+            let out_c = if last { config.out_channels } else { config.channels(d - 2 - i) };
+            let mut block = Sequential::new()
+                .push(ConvTranspose2d::new(in_c, out_c, 4, 2, 1, seed * 137 + i as u64));
+            if last {
+                block = block.push(Tanh::new());
+            } else {
+                block = block.push(BatchNorm2d::new(out_c)).push(Relu::new());
+                if config.dropout && i < 3 {
+                    block = block.push(Dropout::new(0.5, seed * 139 + i as u64));
+                }
+            }
+            ups.push(block);
+        }
+        // Three fully connected layers (§3.2.3). No activation after the
+        // last layer: a trailing ReLU can zero the whole embedding for
+        // unlucky initializations, silencing the conditioning path.
+        let param_head = (config.param_features > 0).then(|| {
+            Sequential::new()
+                .push(Linear::new(config.param_features, 16, seed * 149 + 1))
+                .push(Relu::new())
+                .push(Linear::new(16, 32, seed * 149 + 2))
+                .push(Relu::new())
+                .push(Linear::new(32, config.param_embed, seed * 149 + 3))
+        });
+        UNetGenerator { config, downs, ups, param_head, cache: None }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &UNetConfig {
+        &self.config
+    }
+
+    /// Runs the generator.
+    ///
+    /// `params` must be `Some` with shape `[n, param_features, 1, 1]`
+    /// when the model was built with conditioning, `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input shape mismatch or a missing/superfluous parameter
+    /// batch.
+    pub fn forward(&mut self, input: &Tensor, params: Option<&Tensor>, train: bool) -> Tensor {
+        assert_eq!(input.c(), self.config.in_channels, "input channel mismatch");
+        assert_eq!(input.h(), self.config.image_size, "input height mismatch");
+        assert_eq!(input.w(), self.config.image_size, "input width mismatch");
+        assert_eq!(
+            params.is_some(),
+            self.param_head.is_some(),
+            "model conditioning and params argument disagree"
+        );
+        let d = self.config.depth;
+        let mut skips: Vec<Tensor> = Vec::with_capacity(d);
+        let mut h = input.clone();
+        for down in &mut self.downs {
+            h = down.forward(&h, train);
+            skips.push(h.clone());
+        }
+        let bottleneck_channels = h.c();
+        if let (Some(head), Some(p)) = (self.param_head.as_mut(), params) {
+            let e = head.forward(p, train);
+            let e = e.reshape([h.n(), self.config.param_embed, 1, 1]);
+            h = h.concat_channels(&e);
+        }
+        let mut up_out_channels = Vec::with_capacity(d);
+        for i in 0..d {
+            h = self.ups[i].forward(&h, train);
+            up_out_channels.push(h.c());
+            if i + 1 < d {
+                h = h.concat_channels(&skips[d - 2 - i]);
+            }
+        }
+        self.cache = train.then(|| ForwardCache {
+            up_out_channels,
+            bottleneck_channels,
+            had_params: params.is_some(),
+        });
+        h
+    }
+
+    /// Back-propagates through the whole network, accumulating parameter
+    /// gradients, and returns the gradient w.r.t. the input image batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode [`UNetGenerator::forward`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward before training forward");
+        let d = self.config.depth;
+        let mut skip_grads: Vec<Option<Tensor>> = (0..d).map(|_| None).collect();
+        let mut g = grad_out.clone();
+        for i in (0..d).rev() {
+            if i + 1 < d {
+                let (g_up, g_skip) = g.split_channels(cache.up_out_channels[i]);
+                skip_grads[d - 2 - i] = Some(g_skip);
+                g = self.ups[i].backward(&g_up);
+            } else {
+                g = self.ups[i].backward(&g);
+            }
+        }
+        if cache.had_params {
+            let (g_b, g_e) = g.split_channels(cache.bottleneck_channels);
+            let head = self.param_head.as_mut().expect("cache says params were used");
+            let n = g_e.n();
+            head.backward(&g_e.reshape([n, self.config.param_embed, 1, 1]));
+            g = g_b;
+        }
+        for i in (0..d).rev() {
+            if let Some(sg) = skip_grads[i].take() {
+                g = g.add(&sg);
+            }
+            g = self.downs[i].backward(&g);
+        }
+        g
+    }
+
+    /// Visits every learnable parameter (for optimizers/checkpoints).
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for block in &mut self.downs {
+            block.visit_params(visitor);
+        }
+        for block in &mut self.ups {
+            block.visit_params(visitor);
+        }
+        if let Some(head) = &mut self.param_head {
+            head.visit_params(visitor);
+        }
+    }
+
+    /// Visits every non-learnable state buffer (batch-norm running
+    /// statistics) for checkpointing.
+    pub fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
+        for block in &mut self.downs {
+            block.visit_buffers(visitor);
+        }
+        for block in &mut self.ups {
+            block.visit_buffers(visitor);
+        }
+        if let Some(head) = &mut self.param_head {
+            head.visit_buffers(visitor);
+        }
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total learnable scalar count.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.len());
+        count
+    }
+}
+
+/// Adapter letting optimizers (which take [`Layer`]) drive the two-input
+/// generator.
+#[derive(Debug)]
+pub struct UNetAsLayer<'a>(pub &'a mut UNetGenerator);
+
+impl Layer for UNetAsLayer<'_> {
+    fn forward(&mut self, _input: &Tensor, _train: bool) -> Tensor {
+        unimplemented!("UNetAsLayer only exposes parameters; call UNetGenerator::forward")
+    }
+
+    fn backward(&mut self, _grad_out: &Tensor) -> Tensor {
+        unimplemented!("UNetAsLayer only exposes parameters; call UNetGenerator::backward")
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        self.0.visit_params(visitor);
+    }
+
+    fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
+        self.0.visit_buffers(visitor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::CacheParams;
+
+    fn tiny_config() -> UNetConfig {
+        UNetConfig::for_image_size(8, 4)
+    }
+
+    fn ramp(shape: [usize; 4]) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..len).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect())
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut g = UNetGenerator::new(tiny_config(), 1);
+        let x = Tensor::zeros([2, 1, 8, 8]);
+        let y = g.forward(&x, None, false);
+        assert_eq!(y.shape(), [2, 1, 8, 8]);
+        // Tanh output range.
+        assert!(y.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn conditioned_model_requires_params() {
+        let mut g = UNetGenerator::new(tiny_config().with_param_features(2), 2);
+        let x = Tensor::zeros([1, 1, 8, 8]);
+        let p = CacheParams::new(64, 12).batch(1);
+        let y = g.forward(&x, Some(&p), false);
+        assert_eq!(y.shape(), [1, 1, 8, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn missing_params_rejected() {
+        let mut g = UNetGenerator::new(tiny_config().with_param_features(2), 2);
+        g.forward(&Tensor::zeros([1, 1, 8, 8]), None, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn superfluous_params_rejected() {
+        let mut g = UNetGenerator::new(tiny_config(), 2);
+        let p = CacheParams::new(64, 12).batch(1);
+        g.forward(&Tensor::zeros([1, 1, 8, 8]), Some(&p), false);
+    }
+
+    #[test]
+    fn params_change_output() {
+        let mut g = UNetGenerator::new(tiny_config().with_param_features(2), 3);
+        let x = ramp([1, 1, 8, 8]);
+        let y1 = g.forward(&x, Some(&CacheParams::new(64, 12).batch(1)), false);
+        let y2 = g.forward(&x, Some(&CacheParams::new(32, 1).batch(1)), false);
+        assert_ne!(y1, y2, "conditioning must influence the output");
+    }
+
+    #[test]
+    fn backward_produces_input_gradient_and_param_grads() {
+        let mut g = UNetGenerator::new(tiny_config().with_param_features(2), 4);
+        let x = ramp([2, 1, 8, 8]);
+        let p = CacheParams::new(64, 12).batch(2);
+        let y = g.forward(&x, Some(&p), true);
+        g.zero_grad();
+        let gx = g.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(gx.shape(), x.shape());
+        let mut any_nonzero = false;
+        g.visit_params(&mut |pp| {
+            if pp.grad.iter().any(|&v| v != 0.0) {
+                any_nonzero = true;
+            }
+        });
+        assert!(any_nonzero, "some parameter must receive gradient");
+    }
+
+    #[test]
+    fn full_gradient_check_on_micro_unet() {
+        // Finite-difference check of d(sum(out*coeff))/d(input) through
+        // the entire network (depth 2, 4×4 images, dropout disabled so
+        // the function is deterministic).
+        let config = UNetConfig::for_image_size(4, 2).with_dropout(false);
+        let mut g = UNetGenerator::new(config, 9);
+        let x = ramp([1, 1, 4, 4]);
+        let y = g.forward(&x, None, true);
+        let coeff: Vec<f32> = (0..y.len()).map(|i| 1.0 + 0.05 * (i % 5) as f32).collect();
+        let grad_out = Tensor::from_vec(y.shape(), coeff.clone());
+        g.zero_grad();
+        let gx = g.backward(&grad_out);
+        let eps = 1e-2f32;
+        let f = |t: &Tensor, g: &mut UNetGenerator| -> f32 {
+            let o = g.forward(t, None, true);
+            o.data().iter().zip(&coeff).map(|(a, b)| a * b).sum()
+        };
+        for i in (0..x.len()).step_by(3) {
+            let mut plus = x.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[i] -= eps;
+            let numeric = (f(&plus, &mut g) - f(&minus, &mut g)) / (2.0 * eps);
+            let analytic = gx.data()[i];
+            assert!(
+                (numeric - analytic).abs() <= 3e-2 * (1.0 + numeric.abs().max(analytic.abs())),
+                "grad mismatch at {i}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn conditioned_gradient_check_on_micro_unet() {
+        // Same finite-difference check but with the parameter head active,
+        // exercising the bottleneck concat/split path.
+        let config =
+            UNetConfig::for_image_size(4, 2).with_dropout(false).with_param_features(2);
+        let mut g = UNetGenerator::new(config, 13);
+        let x = ramp([2, 1, 4, 4]);
+        let p = CacheParams::new(64, 12).batch(2);
+        let y = g.forward(&x, Some(&p), true);
+        let coeff: Vec<f32> = (0..y.len()).map(|i| 1.0 + 0.05 * (i % 5) as f32).collect();
+        let grad_out = Tensor::from_vec(y.shape(), coeff.clone());
+        g.zero_grad();
+        let gx = g.backward(&grad_out);
+        let eps = 1e-2f32;
+        let f = |t: &Tensor, g: &mut UNetGenerator| -> f32 {
+            let o = g.forward(t, Some(&p), true);
+            o.data().iter().zip(&coeff).map(|(a, b)| a * b).sum()
+        };
+        for i in (0..x.len()).step_by(5) {
+            let mut plus = x.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = x.clone();
+            minus.data_mut()[i] -= eps;
+            let numeric = (f(&plus, &mut g) - f(&minus, &mut g)) / (2.0 * eps);
+            let analytic = gx.data()[i];
+            assert!(
+                (numeric - analytic).abs() <= 3e-2 * (1.0 + numeric.abs().max(analytic.abs())),
+                "grad mismatch at {i}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_grows_with_ngf() {
+        let mut small = UNetGenerator::new(UNetConfig::for_image_size(8, 4), 0);
+        let mut big = UNetGenerator::new(UNetConfig::for_image_size(8, 8), 0);
+        assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_image() {
+        UNetConfig::for_image_size(24, 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for CB-GAN components.
+
+use cachebox_gan::data::Normalizer;
+use cachebox_gan::{CacheParams, PatchGan, PatchGanConfig, UNetConfig, UNetGenerator};
+use cachebox_heatmap::Heatmap;
+use cachebox_nn::layers::Layer;
+use cachebox_nn::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Normalizer round-trips counts below the saturation point.
+    #[test]
+    fn normalizer_roundtrip(
+        window in 1u64..200,
+        scale in 1.0f32..8.0,
+        frac in 0.0f32..0.99,
+    ) {
+        let norm = Normalizer::new(window).with_scale(scale);
+        let max_unsaturated = window as f32 / scale;
+        let count = frac * max_unsaturated;
+        let rt = norm.from_model(norm.to_model(count));
+        prop_assert!((rt - count).abs() < 1e-2 * (1.0 + count), "{count} -> {rt}");
+    }
+
+    /// to_model is monotone in the count and bounded in [-1, 1].
+    #[test]
+    fn to_model_monotone(window in 1u64..100, scale in 1.0f32..8.0) {
+        let norm = Normalizer::new(window).with_scale(scale);
+        let mut prev = -1.0f32;
+        for c in 0..(2 * window) {
+            let v = norm.to_model(c as f32);
+            prop_assert!((-1.0..=1.0).contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Rounded recovery always yields integral non-negative counts.
+    #[test]
+    fn rounding_yields_integers(window in 2u64..100, value in -1.0f32..1.0) {
+        let norm = Normalizer::new(window).with_rounding(true);
+        let count = norm.from_model(value);
+        prop_assert!(count >= 0.0);
+        prop_assert!((count - count.round()).abs() < 1e-6);
+    }
+
+    /// Cache-parameter features are distinct for distinct configurations
+    /// over the paper's range.
+    #[test]
+    fn cache_params_injective(
+        s1 in 0u32..7,
+        w1 in 1u32..17,
+        s2 in 0u32..7,
+        w2 in 1u32..17,
+    ) {
+        let a = CacheParams::new(1 << (s1 + 4), w1);
+        let b = CacheParams::new(1 << (s2 + 4), w2);
+        if (a.sets, a.ways) != (b.sets, b.ways) {
+            prop_assert_ne!(a.features(), b.features());
+        } else {
+            prop_assert_eq!(a.features(), b.features());
+        }
+    }
+
+    /// Generator output is always within tanh range and input-shaped,
+    /// for any valid ngf/size combination.
+    #[test]
+    fn generator_output_well_formed(
+        size_pow in 2u32..5,
+        ngf in 1usize..5,
+        batch in 1usize..3,
+        seed in 0u64..50,
+    ) {
+        let size = 1usize << size_pow;
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(size, ngf), seed);
+        let x = Tensor::full([batch, 1, size, size], 0.25);
+        let y = g.forward(&x, None, false);
+        prop_assert_eq!(y.shape(), [batch, 1, size, size]);
+        prop_assert!(y.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    /// Discriminator output grid size follows the stride-2 stage count.
+    #[test]
+    fn discriminator_grid_size(n_layers in 1usize..3, ndf in 1usize..6) {
+        let mut d = PatchGan::new(PatchGanConfig::new(2, ndf, n_layers), 1);
+        let size = 64usize;
+        let out = d.forward(&Tensor::zeros([1, 2, size, size]), false);
+        // Each stride-2 stage halves; the two stride-1 k4 convs each
+        // shave 1 pixel (pad 1).
+        let expected = size / (1 << n_layers) - 2;
+        prop_assert_eq!(out.h(), expected);
+    }
+
+    /// Heatmap batch conversion round-trips sample order.
+    #[test]
+    fn batch_roundtrip_order(count in 1usize..6) {
+        let norm = Normalizer::new(32);
+        let maps: Vec<Heatmap> = (0..count)
+            .map(|k| {
+                let mut h = Heatmap::zeros(4, 4);
+                h.set(k % 4, (k * 2) % 4, (k + 1) as f32);
+                h
+            })
+            .collect();
+        let refs: Vec<&Heatmap> = maps.iter().collect();
+        let batch = norm.heatmaps_to_batch(&refs);
+        for (k, original) in maps.iter().enumerate() {
+            let back = norm.tensor_to_heatmap(&batch, k);
+            for (a, b) in original.data().iter().zip(back.data()) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Rendering traces into heatmap sequences.
+
+use crate::geometry::HeatmapGeometry;
+use crate::image::Heatmap;
+use cachebox_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// What one heatmap column bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TimeAxis {
+    /// Columns bin consecutive *accesses* (Fig. 3's "100 accesses per
+    /// column"). Pixel sums then equal access counts exactly, which is
+    /// what the hit-rate arithmetic of §4.4 relies on.
+    #[default]
+    Accesses,
+    /// Columns bin *instruction* slots (§3.1's description). Required when
+    /// aligning two different streams — e.g. demand accesses and prefetch
+    /// addresses in RQ7 — on a common timeline.
+    Instructions,
+}
+
+/// A paired access/miss heatmap covering the same time span — one CB-GAN
+/// training (or evaluation) sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapPair {
+    /// Accesses entering the cache.
+    pub access: Heatmap,
+    /// Accesses that missed.
+    pub miss: Heatmap,
+    /// Index of this pair within its sequence (0 = first, no overlap).
+    pub index: usize,
+}
+
+/// Renders traces into sequences of overlapping heatmaps.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeatmapBuilder {
+    geometry: HeatmapGeometry,
+    axis: TimeAxis,
+}
+
+impl HeatmapBuilder {
+    /// Creates a builder binning by [`TimeAxis::Accesses`].
+    pub fn new(geometry: HeatmapGeometry) -> Self {
+        HeatmapBuilder { geometry, axis: TimeAxis::default() }
+    }
+
+    /// Returns a copy binning by the given axis.
+    pub fn with_axis(mut self, axis: TimeAxis) -> Self {
+        self.axis = axis;
+        self
+    }
+
+    /// The builder's geometry.
+    pub fn geometry(&self) -> &HeatmapGeometry {
+        &self.geometry
+    }
+
+    /// Time unit of access `i` of `trace` under the configured axis.
+    fn unit(&self, trace: &Trace, i: usize) -> u64 {
+        match self.axis {
+            TimeAxis::Accesses => i as u64,
+            TimeAxis::Instructions => {
+                let first = trace.accesses().first().map_or(0, |a| a.instr);
+                trace[i].instr - first
+            }
+        }
+    }
+
+    /// Total time units spanned by the trace.
+    fn total_units(&self, trace: &Trace) -> u64 {
+        match self.axis {
+            TimeAxis::Accesses => trace.len() as u64,
+            TimeAxis::Instructions => trace.instruction_count(),
+        }
+    }
+
+    /// Renders the whole trace into its overlapping heatmap sequence.
+    pub fn build(&self, trace: &Trace) -> Vec<Heatmap> {
+        let units = self.total_units(trace);
+        let count = self.geometry.heatmap_count(units);
+        let mut maps = vec![Heatmap::zeros(self.geometry.height, self.geometry.width); count];
+        for i in 0..trace.len() {
+            let u = self.unit(trace, i);
+            let row = self.geometry.projection.row(trace[i].address, self.geometry.height);
+            self.splat(&mut maps, u, row, 1.0);
+        }
+        maps
+    }
+
+    /// Renders access/miss heatmap pairs from a trace plus per-access hit
+    /// flags (as produced by `cachebox-sim`). Both images share the time
+    /// axis of the *access* stream, so a miss is rendered at the same
+    /// column as the access that caused it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hit_flags.len() != trace.len()`.
+    pub fn build_pairs(&self, trace: &Trace, hit_flags: &[bool]) -> Vec<HeatmapPair> {
+        assert_eq!(trace.len(), hit_flags.len(), "trace/hit-flag length mismatch");
+        let units = self.total_units(trace);
+        let count = self.geometry.heatmap_count(units);
+        let mut access = vec![Heatmap::zeros(self.geometry.height, self.geometry.width); count];
+        let mut miss = access.clone();
+        for i in 0..trace.len() {
+            let u = self.unit(trace, i);
+            let row = self.geometry.projection.row(trace[i].address, self.geometry.height);
+            self.splat(&mut access, u, row, 1.0);
+            if !hit_flags[i] {
+                self.splat(&mut miss, u, row, 1.0);
+            }
+        }
+        access
+            .into_iter()
+            .zip(miss)
+            .enumerate()
+            .map(|(index, (access, miss))| HeatmapPair { access, miss, index })
+            .collect()
+    }
+
+    /// Renders two *different* streams onto the primary stream's
+    /// timeline — e.g. demand accesses and the prefetches they trigger
+    /// (RQ7). Requires [`TimeAxis::Instructions`], since the secondary
+    /// stream's events are positioned by instruction stamp.
+    ///
+    /// Secondary events outside the primary's instruction span are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder's axis is [`TimeAxis::Accesses`].
+    pub fn build_aligned(&self, primary: &Trace, secondary: &Trace) -> Vec<(Heatmap, Heatmap)> {
+        assert_eq!(
+            self.axis,
+            TimeAxis::Instructions,
+            "aligning two streams requires the instruction time axis"
+        );
+        let units = self.total_units(primary);
+        let count = self.geometry.heatmap_count(units);
+        let mut first_maps = vec![Heatmap::zeros(self.geometry.height, self.geometry.width); count];
+        let mut second_maps = first_maps.clone();
+        let first_instr = primary.accesses().first().map_or(0, |a| a.instr);
+        for a in primary {
+            let u = a.instr - first_instr;
+            let row = self.geometry.projection.row(a.address, self.geometry.height);
+            self.splat(&mut first_maps, u, row, 1.0);
+        }
+        for a in secondary {
+            if a.instr < first_instr {
+                continue;
+            }
+            let u = a.instr - first_instr;
+            if u >= units {
+                continue;
+            }
+            let row = self.geometry.projection.row(a.address, self.geometry.height);
+            self.splat(&mut second_maps, u, row, 1.0);
+        }
+        first_maps.into_iter().zip(second_maps).collect()
+    }
+
+    /// Adds `value` at time unit `u`, row `row`, in every heatmap whose
+    /// span covers `u` (overlapping maps each get a copy).
+    fn splat(&self, maps: &mut [Heatmap], u: u64, row: usize, value: f32) {
+        if maps.is_empty() {
+            return;
+        }
+        let stride_units = self.geometry.stride_windows() as u64 * self.geometry.window;
+        let span = self.geometry.units_per_heatmap();
+        let k_hi = ((u / stride_units) as usize).min(maps.len() - 1);
+        // Lowest k with k*stride + span > u  ⇔  k > (u - span) / stride.
+        let k_lo = if u < span { 0 } else { ((u - span) / stride_units + 1) as usize };
+        #[allow(clippy::needless_range_loop)] // k is the heatmap index, used in arithmetic
+        for k in k_lo..=k_hi {
+            let start = k as u64 * stride_units;
+            debug_assert!(u >= start && u < start + span);
+            let col = ((u - start) / self.geometry.window) as usize;
+            maps[k].add(row, col, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_trace::{Address, MemoryAccess};
+
+    fn seq_trace(len: u64) -> Trace {
+        (0..len).map(|i| MemoryAccess::load(i, Address::new(i * 64))).collect()
+    }
+
+    #[test]
+    fn single_heatmap_when_trace_fits() {
+        let g = HeatmapGeometry::new(8, 4, 4); // 16 accesses per map
+        let maps = HeatmapBuilder::new(g).build(&seq_trace(16));
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].pixel_sum(), 16.0);
+    }
+
+    #[test]
+    fn rows_follow_block_modulo() {
+        let g = HeatmapGeometry::new(8, 4, 4);
+        // Blocks 0..16 → rows 0..8 wrap twice.
+        let maps = HeatmapBuilder::new(g).build(&seq_trace(16));
+        // Access i has block i, row i % 8, column i / 4.
+        for i in 0..16usize {
+            assert!(maps[0].get(i % 8, i / 4) >= 1.0, "access {i} missing");
+        }
+    }
+
+    #[test]
+    fn overlap_duplicates_shared_region() {
+        // width 10, window 1, overlap 0.3 => overlap 3 cols, stride 7.
+        let g = HeatmapGeometry::new(4, 10, 1).with_overlap(0.3);
+        let maps = HeatmapBuilder::new(g).build(&seq_trace(17));
+        assert_eq!(maps.len(), 2);
+        // Units 7..10 appear in map0 cols 7..10 and map1 cols 0..3.
+        for u in 7..10usize {
+            let row = u % 4;
+            assert_eq!(maps[0].get(row, u), 1.0);
+            assert_eq!(maps[1].get(row, u - 7), 1.0);
+        }
+        // Total pixels = 17 + 3 duplicated.
+        let total: f64 = maps.iter().map(|m| m.pixel_sum()).sum();
+        assert_eq!(total, 20.0);
+    }
+
+    #[test]
+    fn pairs_share_columns_and_miss_subset() {
+        let g = HeatmapGeometry::new(4, 4, 2);
+        let trace = seq_trace(8);
+        let hits = vec![false, true, false, true, false, true, false, true];
+        let pairs = HeatmapBuilder::new(g).build_pairs(&trace, &hits);
+        assert_eq!(pairs.len(), 1);
+        let p = &pairs[0];
+        assert_eq!(p.access.pixel_sum(), 8.0);
+        assert_eq!(p.miss.pixel_sum(), 4.0);
+        // Miss pixels are a subset of access pixels.
+        for (a, m) in p.access.data().iter().zip(p.miss.data()) {
+            assert!(m <= a);
+        }
+    }
+
+    #[test]
+    fn instruction_axis_uses_stamps() {
+        let g = HeatmapGeometry::new(4, 4, 10); // 40 instr per map
+        let trace: Trace = vec![
+            MemoryAccess::load(0, Address::new(0)),
+            MemoryAccess::load(15, Address::new(64)),
+            MemoryAccess::load(39, Address::new(128)),
+        ]
+        .into();
+        let maps = HeatmapBuilder::new(g).with_axis(TimeAxis::Instructions).build(&trace);
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].get(0, 0), 1.0);
+        assert_eq!(maps[0].get(1, 1), 1.0);
+        assert_eq!(maps[0].get(2, 3), 1.0);
+    }
+
+    #[test]
+    fn aligned_streams_share_windows() {
+        let g = HeatmapGeometry::new(4, 4, 10);
+        let primary: Trace = (0..40u64)
+            .filter(|i| i % 2 == 0)
+            .map(|i| MemoryAccess::load(i, Address::new(0)))
+            .collect();
+        let secondary: Trace = vec![
+            MemoryAccess::load(5, Address::new(64)),
+            MemoryAccess::load(35, Address::new(64)),
+            MemoryAccess::load(99, Address::new(64)), // out of range: dropped
+        ]
+        .into();
+        let pairs = HeatmapBuilder::new(g)
+            .with_axis(TimeAxis::Instructions)
+            .build_aligned(&primary, &secondary);
+        assert_eq!(pairs.len(), 1);
+        let (p, s) = &pairs[0];
+        assert_eq!(p.pixel_sum(), 20.0);
+        assert_eq!(s.pixel_sum(), 2.0);
+        assert_eq!(s.get(1, 0), 1.0);
+        assert_eq!(s.get(1, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction time axis")]
+    fn aligned_requires_instruction_axis() {
+        let g = HeatmapGeometry::new(4, 4, 10);
+        HeatmapBuilder::new(g).build_aligned(&seq_trace(4), &seq_trace(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pairs_validate_flag_length() {
+        let g = HeatmapGeometry::new(4, 4, 10);
+        HeatmapBuilder::new(g).build_pairs(&seq_trace(4), &[true]);
+    }
+
+    #[test]
+    fn empty_trace_builds_nothing() {
+        let g = HeatmapGeometry::new(4, 4, 10);
+        assert!(HeatmapBuilder::new(g).build(&Trace::new()).is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Heatmap export: PGM images and CSV matrices.
+
+use crate::image::Heatmap;
+use std::io::Write;
+
+/// Writes the heatmap as a binary 8-bit PGM (P5) image, scaling pixels so
+/// the maximum maps to 255. All-zero maps export as all-black.
+///
+/// A `&mut` writer may be passed since `Write` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cachebox_heatmap::{Heatmap, export::write_pgm};
+///
+/// let h = Heatmap::from_vec(1, 2, vec![0.0, 4.0]);
+/// let mut buf = Vec::new();
+/// write_pgm(&mut buf, &h)?;
+/// assert!(buf.starts_with(b"P5\n2 1\n255\n"));
+/// assert_eq!(&buf[buf.len() - 2..], &[0u8, 255]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_pgm<W: Write>(mut writer: W, heatmap: &Heatmap) -> std::io::Result<()> {
+    let max = heatmap.max_pixel().max(1e-12);
+    write!(writer, "P5\n{} {}\n255\n", heatmap.width(), heatmap.height())?;
+    let bytes: Vec<u8> = heatmap
+        .data()
+        .iter()
+        .map(|&v| ((v.max(0.0) / max) * 255.0).round().clamp(0.0, 255.0) as u8)
+        .collect();
+    writer.write_all(&bytes)
+}
+
+/// Writes the heatmap as CSV, one row per line.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_csv<W: Write>(mut writer: W, heatmap: &Heatmap) -> std::io::Result<()> {
+    for row in 0..heatmap.height() {
+        let line: Vec<String> =
+            (0..heatmap.width()).map(|col| format!("{}", heatmap.get(row, col))).collect();
+        writeln!(writer, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV matrix previously written by [`write_csv`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed cell or an inconsistent
+/// row width.
+pub fn read_csv(text: &str) -> Result<Heatmap, String> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f32>, _> = line.split(',').map(|c| c.trim().parse::<f32>()).collect();
+        let row = row.map_err(|e| format!("line {}: {e}", i + 1))?;
+        if let Some(first) = rows.first() {
+            if first.len() != row.len() {
+                return Err(format!("line {}: inconsistent width", i + 1));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("empty csv".to_string());
+    }
+    let height = rows.len();
+    let width = rows[0].len();
+    Ok(Heatmap::from_vec(height, width, rows.into_iter().flatten().collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_scaling() {
+        let h = Heatmap::from_vec(2, 2, vec![0.0, 1.0, 2.0, 4.0]);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &h).unwrap();
+        let header_end = buf.windows(4).position(|w| w == b"255\n").unwrap() + 4;
+        assert_eq!(&buf[header_end..], &[0, 64, 128, 255]);
+    }
+
+    #[test]
+    fn pgm_all_zero_is_black() {
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &Heatmap::zeros(1, 3)).unwrap();
+        assert_eq!(&buf[buf.len() - 3..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let h = Heatmap::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.5, 6.0]);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &h).unwrap();
+        let parsed = read_csv(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        assert!(read_csv("1,2\n3\n").is_err());
+        assert!(read_csv("").is_err());
+        assert!(read_csv("1,x\n").is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Heatmap geometry: image size, window size, overlap, address mapping.
+
+use serde::{Deserialize, Serialize};
+
+/// How addresses project onto heatmap rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressProjection {
+    /// `row = byte_address % height` (the paper's literal description).
+    Byte,
+    /// `row = (address >> offset_bits) % height` — cache-block granular,
+    /// so each row is one block-aliasing class. The default, since cache
+    /// behaviour is block-granular.
+    Block(u32),
+}
+
+impl Default for AddressProjection {
+    fn default() -> Self {
+        AddressProjection::Block(6)
+    }
+}
+
+impl AddressProjection {
+    /// Projects an address onto `[0, height)`.
+    pub fn row(&self, address: cachebox_trace::Address, height: usize) -> usize {
+        let raw = match self {
+            AddressProjection::Byte => address.as_u64(),
+            AddressProjection::Block(bits) => address.block(*bits),
+        };
+        (raw % height as u64) as usize
+    }
+}
+
+/// Geometry of a heatmap sequence.
+///
+/// The paper fixes 512×512 images with 100-instruction windows and 30 %
+/// overlap; this type makes every knob a value so tests can run at 16×16
+/// while experiments use larger images.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_heatmap::HeatmapGeometry;
+///
+/// let g = HeatmapGeometry::paper();
+/// assert_eq!((g.height, g.width, g.window), (512, 512, 100));
+/// assert_eq!(g.overlap_windows(), 154); // ~30% of 512 columns
+/// assert_eq!(g.stride_windows(), 512 - 154);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapGeometry {
+    /// Image height: the address-modulo size.
+    pub height: usize,
+    /// Image width: number of time windows per heatmap.
+    pub width: usize,
+    /// Time units (accesses or instructions) per window/column.
+    pub window: u64,
+    /// Fraction of each heatmap duplicated from its predecessor.
+    pub overlap_frac: f64,
+    /// Address-to-row projection.
+    pub projection: AddressProjection,
+}
+
+impl HeatmapGeometry {
+    /// Creates a geometry with the paper's 30 % overlap and block-granular
+    /// address projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(height: usize, width: usize, window: u64) -> Self {
+        assert!(height > 0 && width > 0 && window > 0, "geometry dimensions must be non-zero");
+        HeatmapGeometry {
+            height,
+            width,
+            window,
+            overlap_frac: 0.3,
+            projection: AddressProjection::default(),
+        }
+    }
+
+    /// The paper's full-scale geometry: 512×512, 100-unit windows, 30 %
+    /// overlap.
+    pub fn paper() -> Self {
+        Self::new(512, 512, 100)
+    }
+
+    /// A scaled-down geometry suited to CPU-only experiments: 64×64 with
+    /// 32-access windows.
+    pub fn experiment_default() -> Self {
+        Self::new(64, 64, 32)
+    }
+
+    /// Returns a copy with a different overlap fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= overlap_frac < 1.0`.
+    pub fn with_overlap(mut self, overlap_frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&overlap_frac), "overlap must be in [0, 1)");
+        self.overlap_frac = overlap_frac;
+        self
+    }
+
+    /// Returns a copy with a different address projection.
+    pub fn with_projection(mut self, projection: AddressProjection) -> Self {
+        self.projection = projection;
+        self
+    }
+
+    /// Number of leading columns duplicated from the previous heatmap.
+    pub fn overlap_windows(&self) -> usize {
+        ((self.width as f64 * self.overlap_frac).round() as usize).min(self.width - 1)
+    }
+
+    /// Columns of fresh (non-duplicated) content per heatmap — the step
+    /// between consecutive heatmap origins.
+    pub fn stride_windows(&self) -> usize {
+        self.width - self.overlap_windows()
+    }
+
+    /// Time units covered by one full heatmap.
+    pub fn units_per_heatmap(&self) -> u64 {
+        self.width as u64 * self.window
+    }
+
+    /// Number of heatmaps generated for `units` time units.
+    ///
+    /// The first heatmap covers `units_per_heatmap()`; each subsequent one
+    /// adds `stride_windows() * window` fresh units. A trailing partial
+    /// heatmap is produced for any remainder.
+    pub fn heatmap_count(&self, units: u64) -> usize {
+        if units == 0 {
+            return 0;
+        }
+        let first = self.units_per_heatmap();
+        if units <= first {
+            return 1;
+        }
+        let stride_units = self.stride_windows() as u64 * self.window;
+        (1 + (units - first).div_ceil(stride_units)) as usize
+    }
+
+    /// Pixels per heatmap.
+    pub fn pixels(&self) -> usize {
+        self.height * self.width
+    }
+}
+
+impl Default for HeatmapGeometry {
+    fn default() -> Self {
+        Self::experiment_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_trace::Address;
+
+    #[test]
+    fn paper_geometry_overlap() {
+        let g = HeatmapGeometry::paper();
+        assert_eq!(g.overlap_windows(), 154_usize.min((512.0_f64 * 0.3).round() as usize));
+        assert_eq!(g.units_per_heatmap(), 51_200);
+        assert_eq!(g.pixels(), 512 * 512);
+    }
+
+    #[test]
+    fn zero_overlap() {
+        let g = HeatmapGeometry::new(8, 10, 5).with_overlap(0.0);
+        assert_eq!(g.overlap_windows(), 0);
+        assert_eq!(g.stride_windows(), 10);
+    }
+
+    #[test]
+    fn overlap_never_consumes_whole_width() {
+        let g = HeatmapGeometry::new(8, 4, 5).with_overlap(0.99);
+        assert!(g.overlap_windows() < g.width);
+        assert!(g.stride_windows() >= 1);
+    }
+
+    #[test]
+    fn heatmap_count_boundaries() {
+        let g = HeatmapGeometry::new(8, 10, 10).with_overlap(0.3); // 100 units/map, stride 70
+        assert_eq!(g.heatmap_count(0), 0);
+        assert_eq!(g.heatmap_count(1), 1);
+        assert_eq!(g.heatmap_count(100), 1);
+        assert_eq!(g.heatmap_count(101), 2);
+        assert_eq!(g.heatmap_count(170), 2);
+        assert_eq!(g.heatmap_count(171), 3);
+    }
+
+    #[test]
+    fn projections() {
+        let a = Address::new(0x1234);
+        assert_eq!(AddressProjection::Byte.row(a, 512), (0x1234 % 512) as usize);
+        assert_eq!(AddressProjection::Block(6).row(a, 512), (0x1234 >> 6) as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_height() {
+        HeatmapGeometry::new(0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn rejects_full_overlap() {
+        HeatmapGeometry::new(4, 4, 4).with_overlap(1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Hit-rate computation with overlap de-duplication (paper §4.4).
+//!
+//! The sum of a miss heatmap's pixels is the miss count in its window;
+//! the sum of the paired access heatmap's pixels is the access count.
+//! Because consecutive heatmaps share a 30 % overlap, the shared columns
+//! must be counted once: the first heatmap contributes all of its
+//! columns, every later heatmap only its fresh columns
+//! (`overlap_windows()..width`).
+
+use crate::builder::HeatmapPair;
+use crate::geometry::HeatmapGeometry;
+use crate::image::Heatmap;
+
+/// Sum of pixels over a heatmap sequence with overlap regions counted
+/// exactly once.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn dedup_pixel_sum(maps: &[Heatmap], geometry: &HeatmapGeometry) -> f64 {
+    let overlap = geometry.overlap_windows();
+    maps.iter()
+        .enumerate()
+        .map(|(k, m)| {
+            let from = if k == 0 { 0 } else { overlap };
+            m.column_range_sum(from, m.width())
+        })
+        .sum()
+}
+
+/// Total accesses, misses, and the hit rate recovered from a sequence of
+/// access/miss heatmap pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HitRateSummary {
+    /// De-duplicated access count.
+    pub accesses: f64,
+    /// De-duplicated miss count.
+    pub misses: f64,
+}
+
+impl HitRateSummary {
+    /// Hit rate in `[0, 1]`; 0.0 when there are no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses <= 0.0 {
+            0.0
+        } else {
+            // Generated miss maps may slightly overshoot the access count;
+            // clamp so the rate stays in range.
+            (1.0 - self.misses / self.accesses).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses <= 0.0 {
+            0.0
+        } else {
+            (self.misses / self.accesses).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Computes the hit rate from paired access/miss heatmaps.
+pub fn hit_rate_from_pairs(pairs: &[HeatmapPair], geometry: &HeatmapGeometry) -> HitRateSummary {
+    let access: Vec<Heatmap> = pairs.iter().map(|p| p.access.clone()).collect();
+    let miss: Vec<Heatmap> = pairs.iter().map(|p| p.miss.clone()).collect();
+    hit_rate_from_sequences(&access, &miss, geometry)
+}
+
+/// Computes the hit rate from separate access and (possibly synthetic)
+/// miss heatmap sequences.
+///
+/// Synthetic miss maps are rectified (negative pixels clamped to zero)
+/// before summation, as §4.4's pipeline does.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+pub fn hit_rate_from_sequences(
+    access: &[Heatmap],
+    miss: &[Heatmap],
+    geometry: &HeatmapGeometry,
+) -> HitRateSummary {
+    assert_eq!(access.len(), miss.len(), "access/miss sequence length mismatch");
+    let overlap = geometry.overlap_windows();
+    let mut accesses = 0.0;
+    let mut misses = 0.0;
+    for (k, (a, m)) in access.iter().zip(miss).enumerate() {
+        let from = if k == 0 { 0 } else { overlap };
+        accesses += a.column_range_sum(from, a.width());
+        misses += m.relu().column_range_sum(from, m.width());
+    }
+    HitRateSummary { accesses, misses }
+}
+
+/// Computes the *predicted* hit rate from generated miss heatmaps,
+/// applying the physical constraint that a miss map is a sub-image of
+/// its access map: each synthetic pixel is rectified and clamped to the
+/// corresponding access pixel before summation.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths or shapes.
+pub fn predicted_hit_rate(
+    access: &[Heatmap],
+    synthetic: &[Heatmap],
+    geometry: &HeatmapGeometry,
+) -> HitRateSummary {
+    assert_eq!(access.len(), synthetic.len(), "access/synthetic sequence length mismatch");
+    let clamped: Vec<Heatmap> =
+        synthetic.iter().zip(access).map(|(s, a)| s.relu().clamp_to(a)).collect();
+    hit_rate_from_sequences(access, &clamped, geometry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HeatmapBuilder;
+    use cachebox_trace::{Address, MemoryAccess, Trace};
+
+    fn trace_with_hits(len: u64, miss_every: u64) -> (Trace, Vec<bool>) {
+        let trace: Trace =
+            (0..len).map(|i| MemoryAccess::load(i, Address::new(i % 32 * 64))).collect();
+        let flags = (0..len).map(|i| i % miss_every != 0).collect();
+        (trace, flags)
+    }
+
+    #[test]
+    fn dedup_sum_equals_trace_len_across_overlaps() {
+        for overlap in [0.0, 0.2, 0.3, 0.5, 0.7] {
+            let g = HeatmapGeometry::new(8, 10, 3).with_overlap(overlap);
+            let (trace, _) = trace_with_hits(517, 4);
+            let maps = HeatmapBuilder::new(g).build(&trace);
+            let total = dedup_pixel_sum(&maps, &g);
+            assert_eq!(total as u64, 517, "overlap {overlap}");
+        }
+    }
+
+    #[test]
+    fn hit_rate_recovers_ground_truth_exactly() {
+        let g = HeatmapGeometry::new(8, 10, 3).with_overlap(0.3);
+        let (trace, flags) = trace_with_hits(600, 5); // 120 misses
+        let pairs = HeatmapBuilder::new(g).build_pairs(&trace, &flags);
+        let summary = hit_rate_from_pairs(&pairs, &g);
+        assert_eq!(summary.accesses, 600.0);
+        assert_eq!(summary.misses, 120.0);
+        assert!((summary.hit_rate() - 0.8).abs() < 1e-12);
+        assert!((summary.miss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_negative_pixels_are_rectified() {
+        let g = HeatmapGeometry::new(2, 2, 1).with_overlap(0.0);
+        let access = vec![Heatmap::from_vec(2, 2, vec![2.0, 2.0, 2.0, 2.0])];
+        let miss = vec![Heatmap::from_vec(2, 2, vec![-5.0, 1.0, 0.0, 1.0])];
+        let s = hit_rate_from_sequences(&access, &miss, &g);
+        assert_eq!(s.misses, 2.0, "negative pixel must not subtract misses");
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_clamps_overshoot() {
+        let s = HitRateSummary { accesses: 10.0, misses: 15.0 };
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = HitRateSummary::default();
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sequences_validate_lengths() {
+        let g = HeatmapGeometry::new(2, 2, 1);
+        hit_rate_from_sequences(&[Heatmap::zeros(2, 2)], &[], &g);
+    }
+
+    #[test]
+    fn predicted_hit_rate_clamps_hallucinated_misses() {
+        let g = HeatmapGeometry::new(2, 2, 1).with_overlap(0.0);
+        // Access: 2 accesses in one pixel. Synthetic misses hallucinate 5
+        // misses there and 3 in an untouched pixel.
+        let access = vec![Heatmap::from_vec(2, 2, vec![2.0, 0.0, 0.0, 0.0])];
+        let synthetic = vec![Heatmap::from_vec(2, 2, vec![5.0, 3.0, -1.0, 0.0])];
+        let s = predicted_hit_rate(&access, &synthetic, &g);
+        assert_eq!(s.misses, 2.0, "misses clamp to the access ceiling");
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The [`Heatmap`] pixel buffer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense `height × width` image of non-negative access counts,
+/// stored row-major in `f32`.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_heatmap::Heatmap;
+///
+/// let mut h = Heatmap::zeros(4, 4);
+/// h.add(1, 2, 3.0);
+/// assert_eq!(h.get(1, 2), 3.0);
+/// assert_eq!(h.pixel_sum(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    height: usize,
+    width: usize,
+    data: Vec<f32>,
+}
+
+impl Heatmap {
+    /// Creates an all-zero heatmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "heatmap dimensions must be non-zero");
+        Heatmap { height, width, data: vec![0.0; height * width] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != height * width` or a dimension is zero.
+    pub fn from_vec(height: usize, width: usize, data: Vec<f32>) -> Self {
+        assert!(height > 0 && width > 0, "heatmap dimensions must be non-zero");
+        assert_eq!(data.len(), height * width, "buffer length mismatch");
+        Heatmap { height, width, data }
+    }
+
+    /// Image height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The raw row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the heatmap, returning the buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Pixel value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.data[row * self.width + col]
+    }
+
+    /// Sets the pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.data[row * self.width + col] = value;
+    }
+
+    /// Adds `delta` to the pixel at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, delta: f32) {
+        assert!(row < self.height && col < self.width, "pixel out of bounds");
+        self.data[row * self.width + col] += delta;
+    }
+
+    /// Sum of all pixels — the access (or miss) count the image encodes.
+    pub fn pixel_sum(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+
+    /// Sum of the pixels in columns `[from_col, to_col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the width or is inverted.
+    pub fn column_range_sum(&self, from_col: usize, to_col: usize) -> f64 {
+        assert!(from_col <= to_col && to_col <= self.width, "invalid column range");
+        let mut sum = 0.0;
+        for row in 0..self.height {
+            let base = row * self.width;
+            for col in from_col..to_col {
+                sum += self.data[base + col] as f64;
+            }
+        }
+        sum
+    }
+
+    /// Largest pixel value (0.0 for the all-zero map).
+    pub fn max_pixel(&self) -> f32 {
+        self.data.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Returns a new heatmap with every pixel transformed by `f`.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Heatmap {
+        Heatmap {
+            height: self.height,
+            width: self.width,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Clamps every pixel to be non-negative (useful after generation,
+    /// since a GAN may emit small negative values).
+    pub fn relu(&self) -> Heatmap {
+        self.map(|v| v.max(0.0))
+    }
+
+    /// Element-wise minimum with `ceiling`.
+    ///
+    /// A cache's miss heatmap is physically a sub-image of its access
+    /// heatmap (a pixel cannot miss more times than it was accessed), so
+    /// generated miss maps are clamped to the access map before hit-rate
+    /// recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn clamp_to(&self, ceiling: &Heatmap) -> Heatmap {
+        assert_eq!(
+            (self.height, self.width),
+            (ceiling.height, ceiling.width),
+            "heatmap shape mismatch"
+        );
+        Heatmap {
+            height: self.height,
+            width: self.width,
+            data: self.data.iter().zip(&ceiling.data).map(|(&a, &c)| a.min(c)).collect(),
+        }
+    }
+
+    /// Mean squared error against another heatmap of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mse(&self, other: &Heatmap) -> f64 {
+        assert_eq!(
+            (self.height, self.width),
+            (other.height, other.width),
+            "heatmap shape mismatch"
+        );
+        let n = self.data.len() as f64;
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n
+    }
+}
+
+impl fmt::Display for Heatmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Heatmap {}x{} (sum={:.0}, max={:.0})",
+            self.height,
+            self.width,
+            self.pixel_sum(),
+            self.max_pixel()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_sums() {
+        let h = Heatmap::zeros(3, 5);
+        assert_eq!(h.pixel_sum(), 0.0);
+        assert_eq!(h.height(), 3);
+        assert_eq!(h.width(), 5);
+    }
+
+    #[test]
+    fn get_set_add() {
+        let mut h = Heatmap::zeros(2, 2);
+        h.set(0, 1, 2.0);
+        h.add(0, 1, 0.5);
+        assert_eq!(h.get(0, 1), 2.5);
+        assert_eq!(h.pixel_sum(), 2.5);
+    }
+
+    #[test]
+    fn column_range_sum_slices_correctly() {
+        let mut h = Heatmap::zeros(2, 4);
+        for col in 0..4 {
+            h.set(0, col, 1.0);
+            h.set(1, col, 2.0);
+        }
+        assert_eq!(h.column_range_sum(0, 4), 12.0);
+        assert_eq!(h.column_range_sum(1, 3), 6.0);
+        assert_eq!(h.column_range_sum(2, 2), 0.0);
+    }
+
+    #[test]
+    fn map_and_relu() {
+        let h = Heatmap::from_vec(1, 3, vec![-1.0, 0.0, 2.0]);
+        assert_eq!(h.relu().data(), &[0.0, 0.0, 2.0]);
+        assert_eq!(h.map(|v| v * 2.0).data(), &[-2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn clamp_to_takes_elementwise_min() {
+        let miss = Heatmap::from_vec(1, 3, vec![5.0, 0.5, 2.0]);
+        let access = Heatmap::from_vec(1, 3, vec![3.0, 1.0, 2.0]);
+        assert_eq!(miss.clamp_to(&access).data(), &[3.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn clamp_to_validates_shape() {
+        Heatmap::zeros(1, 2).clamp_to(&Heatmap::zeros(2, 1));
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let h = Heatmap::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(h.mse(&h), 0.0);
+        let z = Heatmap::zeros(2, 2);
+        assert!((h.mse(&z) - (1.0 + 4.0 + 9.0 + 16.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        Heatmap::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_validates() {
+        Heatmap::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mse_validates_shape() {
+        Heatmap::zeros(2, 2).mse(&Heatmap::zeros(2, 3));
+    }
+}

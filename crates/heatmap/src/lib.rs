@@ -1,0 +1,39 @@
+//! Heatmap representation of memory access traces (paper §3.1).
+//!
+//! A heatmap projects a trace onto a fixed-size 2D image: the **y-axis**
+//! is a modulo mapping of the address space and the **x-axis** is time,
+//! binned into fixed-size windows. Each pixel counts the accesses to that
+//! modulo-address during that window, so the sum of all pixels equals the
+//! number of accesses rendered — the property the paper exploits to
+//! recover hit rates from generated miss heatmaps (§4.4).
+//!
+//! Long traces are split into a sequence of heatmaps with a configurable
+//! **overlap** (30 % in the paper) acting as per-image warmup context
+//! (§3.1.1); [`hitrate`] de-duplicates the overlap when aggregating.
+//!
+//! # Example
+//!
+//! ```
+//! use cachebox_heatmap::{HeatmapBuilder, HeatmapGeometry};
+//! use cachebox_trace::{Address, MemoryAccess, Trace};
+//!
+//! let geometry = HeatmapGeometry::new(16, 16, 4);
+//! let trace: Trace = (0..1024u64)
+//!     .map(|i| MemoryAccess::load(i, Address::new((i % 16) * 64)))
+//!     .collect();
+//! let maps = HeatmapBuilder::new(geometry).build(&trace);
+//! assert!(!maps.is_empty());
+//! // Every access lands in exactly one pixel of one (deduplicated) map.
+//! let total: f64 = cachebox_heatmap::hitrate::dedup_pixel_sum(&maps, &geometry);
+//! assert_eq!(total as usize, trace.len());
+//! ```
+
+pub mod builder;
+pub mod export;
+pub mod geometry;
+pub mod hitrate;
+pub mod image;
+
+pub use builder::{HeatmapBuilder, HeatmapPair, TimeAxis};
+pub use geometry::{AddressProjection, HeatmapGeometry};
+pub use image::Heatmap;

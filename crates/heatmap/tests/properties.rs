@@ -1,0 +1,109 @@
+//! Property-based tests for heatmap construction and hit-rate recovery.
+
+use cachebox_heatmap::{hitrate, AddressProjection, HeatmapBuilder, HeatmapGeometry, TimeAxis};
+use cachebox_trace::{Address, MemoryAccess, Trace};
+use proptest::prelude::*;
+
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(0u64..1 << 32, 1..400).prop_map(|addrs| {
+        addrs
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| MemoryAccess::load(i as u64, Address::new(a)))
+            .collect()
+    })
+}
+
+fn arbitrary_geometry() -> impl Strategy<Value = HeatmapGeometry> {
+    (2usize..64, 2usize..24, 1u64..10, 0.0f64..0.8).prop_map(|(h, w, win, ov)| {
+        HeatmapGeometry::new(h, w, win).with_overlap(ov)
+    })
+}
+
+proptest! {
+    /// Every access lands in exactly one deduplicated pixel, for any
+    /// geometry, overlap, and projection.
+    #[test]
+    fn dedup_sum_is_exact(
+        trace in arbitrary_trace(),
+        geometry in arbitrary_geometry(),
+        byte_projection in prop::bool::ANY,
+    ) {
+        let geometry = if byte_projection {
+            geometry.with_projection(AddressProjection::Byte)
+        } else {
+            geometry
+        };
+        let maps = HeatmapBuilder::new(geometry).build(&trace);
+        let total = hitrate::dedup_pixel_sum(&maps, &geometry);
+        prop_assert_eq!(total as usize, trace.len());
+    }
+
+    /// Pixel sums per map never exceed the map's time span, and no pixel
+    /// is negative.
+    #[test]
+    fn maps_are_nonnegative_and_bounded(
+        trace in arbitrary_trace(),
+        geometry in arbitrary_geometry(),
+    ) {
+        let maps = HeatmapBuilder::new(geometry).build(&trace);
+        for m in &maps {
+            prop_assert!(m.data().iter().all(|&v| v >= 0.0));
+            prop_assert!(m.pixel_sum() <= geometry.units_per_heatmap() as f64);
+        }
+    }
+
+    /// Pair building: miss pixel counts are dominated by access counts
+    /// everywhere, and recovered rates respect the flags exactly.
+    #[test]
+    fn pair_domination_and_rate(
+        entries in prop::collection::vec((0u64..1024, prop::bool::ANY), 1..300),
+        geometry in arbitrary_geometry(),
+    ) {
+        let trace: Trace = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, _))| MemoryAccess::load(i as u64, Address::new(b * 64)))
+            .collect();
+        let flags: Vec<bool> = entries.iter().map(|&(_, hit)| hit).collect();
+        let pairs = HeatmapBuilder::new(geometry).build_pairs(&trace, &flags);
+        for p in &pairs {
+            for (m, a) in p.miss.data().iter().zip(p.access.data()) {
+                prop_assert!(m <= a);
+            }
+        }
+        let summary = hitrate::hit_rate_from_pairs(&pairs, &geometry);
+        let true_hits = flags.iter().filter(|&&f| f).count() as f64;
+        prop_assert!((summary.hit_rate() - true_hits / flags.len() as f64).abs() < 1e-9);
+    }
+
+    /// Instruction-axis binning agrees with access-axis binning when
+    /// every access occupies one instruction slot.
+    #[test]
+    fn axes_agree_on_dense_traces(
+        blocks in prop::collection::vec(0u64..512, 1..200),
+        geometry in arbitrary_geometry(),
+    ) {
+        let trace: Trace = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| MemoryAccess::load(i as u64, Address::new(b * 64)))
+            .collect();
+        let by_access = HeatmapBuilder::new(geometry).build(&trace);
+        let by_instr =
+            HeatmapBuilder::new(geometry).with_axis(TimeAxis::Instructions).build(&trace);
+        prop_assert_eq!(by_access, by_instr);
+    }
+
+    /// The number of maps matches the geometry's predicted count.
+    #[test]
+    fn map_count_matches_prediction(
+        len in 1usize..500,
+        geometry in arbitrary_geometry(),
+    ) {
+        let trace: Trace =
+            (0..len as u64).map(|i| MemoryAccess::load(i, Address::new(i))).collect();
+        let maps = HeatmapBuilder::new(geometry).build(&trace);
+        prop_assert_eq!(maps.len(), geometry.heatmap_count(len as u64));
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixed-bin histograms (Fig. 14).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins; values outside the
+/// range clamp into the first/last bin.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 10);
+/// h.record(0.95);
+/// h.record(0.97);
+/// h.record(0.30);
+/// assert_eq!(h.count(9), 2);
+/// assert_eq!(h.total(), 3);
+/// assert!((h.fraction_at_or_above(0.9) - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "range must be non-empty");
+        assert!(bins > 0, "need at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins] }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: f64) {
+        let idx = self.bin_of(value);
+        self.bins[idx] += 1;
+    }
+
+    /// Index of the bin a value falls into (clamped).
+    pub fn bin_of(&self, value: f64) -> usize {
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        ((frac * self.bins.len() as f64).floor() as isize)
+            .clamp(0, self.bins.len() as isize - 1) as usize
+    }
+
+    /// Count in bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// All bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The `[lo, hi)` edges of bin `idx`.
+    pub fn bin_range(&self, idx: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + idx as f64 * width, self.lo + (idx + 1) as f64 * width)
+    }
+
+    /// Fraction of recorded values at or above `threshold` (by bin lower
+    /// edge).
+    pub fn fraction_at_or_above(&self, threshold: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = (0..self.bins.len())
+            .filter(|&i| self.bin_range(i).0 >= threshold - 1e-12)
+            .map(|i| self.bins[i])
+            .sum();
+        sum as f64 / total as f64
+    }
+
+    /// Renders an ASCII bar chart (for experiment binaries).
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar = "#".repeat((count as usize * width).div_ceil(max as usize));
+            out.push_str(&format!("[{lo:6.2}, {hi:6.2}) {count:6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.1); // bin 0
+        h.record(0.30); // bin 1
+        h.record(0.99); // bin 3
+        assert_eq!(h.counts(), &[1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-5.0);
+        h.record(7.0);
+        h.record(1.0); // exactly hi clamps into last bin
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(0.0, 100.0, 5);
+        assert_eq!(h.bin_range(0), (0.0, 20.0));
+        assert_eq!(h.bin_range(4), (80.0, 100.0));
+    }
+
+    #[test]
+    fn fraction_threshold() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for v in [0.05, 0.55, 0.65, 0.75, 0.95] {
+            h.record(v);
+        }
+        assert!((h.fraction_at_or_above(0.6) - 3.0 / 5.0).abs() < 1e-9);
+        assert_eq!(Histogram::new(0.0, 1.0, 2).fraction_at_or_above(0.0), 0.0);
+    }
+
+    #[test]
+    fn render_produces_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.record(0.5);
+        let text = h.render(10);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,154 @@
+//! Image-space metrics: MSE and SSIM (paper §5.7).
+
+use cachebox_heatmap::Heatmap;
+
+/// Mean squared error between two heatmaps.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(a: &Heatmap, b: &Heatmap) -> f64 {
+    a.mse(b)
+}
+
+/// Structural similarity (SSIM) between two heatmaps, computed globally
+/// with the standard constants (`k₁ = 0.01`, `k₂ = 0.03`) over a dynamic
+/// range inferred from the data.
+///
+/// Returns a value in `[-1, 1]`; identical images score 1.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_heatmap::Heatmap;
+/// use cachebox_metrics::image::ssim;
+///
+/// let a = Heatmap::from_vec(2, 2, vec![0.0, 1.0, 2.0, 3.0]);
+/// assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+/// ```
+pub fn ssim(a: &Heatmap, b: &Heatmap) -> f64 {
+    assert_eq!(
+        (a.height(), a.width()),
+        (b.height(), b.width()),
+        "heatmap shape mismatch"
+    );
+    let n = (a.height() * a.width()) as f64;
+    let mean = |h: &Heatmap| h.pixel_sum() / n;
+    let (mu_a, mu_b) = (mean(a), mean(b));
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    let mut cov = 0.0;
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let (dx, dy) = (x as f64 - mu_a, y as f64 - mu_b);
+        var_a += dx * dx;
+        var_b += dy * dy;
+        cov += dx * dy;
+    }
+    var_a /= n;
+    var_b /= n;
+    cov /= n;
+    // Dynamic range: max observed value across both images (at least 1).
+    let range = a.max_pixel().max(b.max_pixel()).max(1.0) as f64;
+    let c1 = (0.01 * range).powi(2);
+    let c2 = (0.03 * range).powi(2);
+    ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+        / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2))
+}
+
+/// Windowed SSIM: mean of [`ssim`] over non-overlapping `window`-sized
+/// tiles, the common local formulation. Partial edge tiles are included.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero window.
+pub fn ssim_windowed(a: &Heatmap, b: &Heatmap, window: usize) -> f64 {
+    assert!(window > 0, "window must be non-zero");
+    assert_eq!(
+        (a.height(), a.width()),
+        (b.height(), b.width()),
+        "heatmap shape mismatch"
+    );
+    let mut total = 0.0;
+    let mut tiles = 0usize;
+    let mut row = 0;
+    while row < a.height() {
+        let rh = window.min(a.height() - row);
+        let mut col = 0;
+        while col < a.width() {
+            let cw = window.min(a.width() - col);
+            let tile = |h: &Heatmap| {
+                let mut data = Vec::with_capacity(rh * cw);
+                for r in row..row + rh {
+                    for c in col..col + cw {
+                        data.push(h.get(r, c));
+                    }
+                }
+                Heatmap::from_vec(rh, cw, data)
+            };
+            total += ssim(&tile(a), &tile(b));
+            tiles += 1;
+            col += window;
+        }
+        row += window;
+    }
+    total / tiles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(h: usize, w: usize, offset: f32) -> Heatmap {
+        Heatmap::from_vec(h, w, (0..h * w).map(|i| (i % 5) as f32 + offset).collect())
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let a = ramp(8, 8, 0.0);
+        assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+        assert!((ssim_windowed(&a, &a, 4) - 1.0).abs() < 1e-9);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dissimilar_images_score_lower() {
+        let a = ramp(8, 8, 0.0);
+        let zero = Heatmap::zeros(8, 8);
+        let inverted = a.map(|v| 4.0 - v);
+        assert!(ssim(&a, &zero) < 0.9);
+        assert!(ssim(&a, &inverted) < ssim(&a, &a));
+    }
+
+    #[test]
+    fn ssim_orders_by_similarity() {
+        let a = ramp(8, 8, 0.0);
+        let slightly_off = a.map(|v| v + 0.1);
+        let very_off = a.map(|v| v * 3.0 + 2.0);
+        assert!(ssim(&a, &slightly_off) > ssim(&a, &very_off));
+    }
+
+    #[test]
+    fn ssim_in_valid_range() {
+        let a = ramp(6, 6, 0.0);
+        let b = ramp(6, 6, 2.5);
+        let s = ssim(&a, &b);
+        assert!((-1.0..=1.0).contains(&s), "ssim {s}");
+    }
+
+    #[test]
+    fn windowed_handles_partial_tiles() {
+        let a = ramp(5, 7, 0.0);
+        let s = ssim_windowed(&a, &a, 4);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn ssim_validates_shape() {
+        ssim(&Heatmap::zeros(2, 2), &Heatmap::zeros(2, 3));
+    }
+}

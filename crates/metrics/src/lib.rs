@@ -1,0 +1,137 @@
+//! Evaluation metrics for CacheBox (paper §4.4, §5.7).
+//!
+//! * [`abs_pct_diff`] / [`average_abs_pct_diff`] — the paper's headline
+//!   accuracy metric: the absolute percentage-point difference between
+//!   *true* and *predicted* hit rates.
+//! * [`image::ssim`] and [`image::mse`] — the structural-similarity and
+//!   mean-squared-error metrics used for prefetcher heatmaps (RQ7).
+//! * [`Histogram`] — fixed-bin histograms for the Fig. 14 hit-rate
+//!   distribution analysis.
+
+pub mod histogram;
+pub mod image;
+
+pub use histogram::Histogram;
+
+use serde::{Deserialize, Serialize};
+
+/// Absolute difference between two rates, expressed in percentage points.
+///
+/// The paper reports hit rates as percentages; a *true* hit rate of 0.93
+/// and a *predicted* one of 0.90 differ by 3 percentage points.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_metrics::abs_pct_diff;
+///
+/// assert!((abs_pct_diff(0.93, 0.90) - 3.0).abs() < 1e-9);
+/// ```
+pub fn abs_pct_diff(true_rate: f64, predicted_rate: f64) -> f64 {
+    (true_rate - predicted_rate).abs() * 100.0
+}
+
+/// Mean of [`abs_pct_diff`] over paired rates; `0.0` for empty input.
+pub fn average_abs_pct_diff(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(t, p)| abs_pct_diff(t, p)).sum::<f64>() / pairs.len() as f64
+}
+
+/// A per-benchmark accuracy record, the row type of most result tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkAccuracy {
+    /// Display name of the benchmark.
+    pub name: String,
+    /// Ground-truth hit rate in `[0, 1]`.
+    pub true_rate: f64,
+    /// Model-predicted hit rate in `[0, 1]`.
+    pub predicted_rate: f64,
+}
+
+impl BenchmarkAccuracy {
+    /// Absolute percentage-point difference for this benchmark.
+    pub fn abs_pct_diff(&self) -> f64 {
+        abs_pct_diff(self.true_rate, self.predicted_rate)
+    }
+}
+
+/// Summary over a set of benchmark accuracies.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccuracySummary {
+    /// Mean absolute percentage-point difference.
+    pub average: f64,
+    /// Worst-case difference.
+    pub worst: f64,
+    /// Best-case difference.
+    pub best: f64,
+    /// Number of benchmarks under 1 percentage point (the paper's black
+    /// dots).
+    pub under_1pct: usize,
+    /// Number between 1 and 2 percentage points (the green stars).
+    pub between_1_and_2pct: usize,
+    /// Benchmarks summarized.
+    pub count: usize,
+}
+
+impl AccuracySummary {
+    /// Summarizes a slice of per-benchmark accuracies.
+    pub fn from_records(records: &[BenchmarkAccuracy]) -> Self {
+        if records.is_empty() {
+            return AccuracySummary::default();
+        }
+        let diffs: Vec<f64> = records.iter().map(BenchmarkAccuracy::abs_pct_diff).collect();
+        AccuracySummary {
+            average: diffs.iter().sum::<f64>() / diffs.len() as f64,
+            worst: diffs.iter().cloned().fold(0.0, f64::max),
+            best: diffs.iter().cloned().fold(f64::INFINITY, f64::min),
+            under_1pct: diffs.iter().filter(|&&d| d < 1.0).count(),
+            between_1_and_2pct: diffs.iter().filter(|&&d| (1.0..2.0).contains(&d)).count(),
+            count: diffs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_pct_diff_is_symmetric() {
+        assert_eq!(abs_pct_diff(0.9, 0.8), abs_pct_diff(0.8, 0.9));
+        assert!((abs_pct_diff(0.9, 0.8) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_over_empty_is_zero() {
+        assert_eq!(average_abs_pct_diff(&[]), 0.0);
+    }
+
+    #[test]
+    fn average_is_mean_of_diffs() {
+        let avg = average_abs_pct_diff(&[(0.9, 0.88), (0.5, 0.54)]);
+        assert!((avg - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_buckets() {
+        let records = vec![
+            BenchmarkAccuracy { name: "a".into(), true_rate: 0.90, predicted_rate: 0.905 }, // 0.5
+            BenchmarkAccuracy { name: "b".into(), true_rate: 0.90, predicted_rate: 0.915 }, // 1.5
+            BenchmarkAccuracy { name: "c".into(), true_rate: 0.90, predicted_rate: 0.95 },  // 5.0
+        ];
+        let s = AccuracySummary::from_records(&records);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.under_1pct, 1);
+        assert_eq!(s.between_1_and_2pct, 1);
+        assert!((s.worst - 5.0).abs() < 1e-9);
+        assert!((s.best - 0.5).abs() < 1e-9);
+        assert!((s.average - 7.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_default() {
+        assert_eq!(AccuracySummary::from_records(&[]), AccuracySummary::default());
+    }
+}

@@ -1,0 +1,317 @@
+//! Small dense matrix kernels: GEMM, im2col, col2im.
+//!
+//! Convolutions are lowered to matrix multiplication over patch matrices
+//! (im2col), the standard CPU strategy. The GEMM uses an i-k-j loop order
+//! over contiguous rows so the inner loop auto-vectorizes.
+
+/// `out += a × b` for row-major `a: m×k`, `b: k×n`, `out: m×n`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `out = a × b` (overwrites `out`).
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    gemm_acc(a, b, m, k, n, out);
+}
+
+/// `out += aᵀ × b` for row-major `a: k×m`, `b: k×n`, `out: m×n`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_at_b_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+}
+
+/// `out += a × bᵀ` for row-major `a: m×k`, `b: n×k`, `out: m×n`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_a_bt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), n * k, "rhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// Geometry of a conv patch grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchGrid {
+    /// Input channels of the patch source image.
+    pub channels: usize,
+    /// Source image height.
+    pub height: usize,
+    /// Source image width.
+    pub width: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on every edge.
+    pub pad: usize,
+}
+
+impl PatchGrid {
+    /// Output (patch-grid) height: `(h + 2p - k)/s + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded image.
+    pub fn out_h(&self) -> usize {
+        assert!(self.height + 2 * self.pad >= self.kernel, "kernel larger than padded input");
+        (self.height + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output (patch-grid) width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded image.
+    pub fn out_w(&self) -> usize {
+        assert!(self.width + 2 * self.pad >= self.kernel, "kernel larger than padded input");
+        (self.width + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix: `channels * kernel²`.
+    pub fn patch_rows(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+
+    /// Columns of the patch matrix: number of patch positions.
+    pub fn positions(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Unfolds one image `[C, H, W]` into a patch matrix
+/// `[C*k*k, out_h*out_w]`; out-of-bounds (padding) elements are zero.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the grid.
+pub fn im2col(image: &[f32], grid: &PatchGrid, cols: &mut [f32]) {
+    let (oh, ow) = (grid.out_h(), grid.out_w());
+    assert_eq!(image.len(), grid.channels * grid.height * grid.width, "image size mismatch");
+    assert_eq!(cols.len(), grid.patch_rows() * oh * ow, "cols size mismatch");
+    let positions = oh * ow;
+    cols.fill(0.0);
+    for c in 0..grid.channels {
+        let img_plane = &image[c * grid.height * grid.width..(c + 1) * grid.height * grid.width];
+        for kh in 0..grid.kernel {
+            for kw in 0..grid.kernel {
+                let row = (c * grid.kernel + kh) * grid.kernel + kw;
+                let out_row = &mut cols[row * positions..(row + 1) * positions];
+                for oy in 0..oh {
+                    let iy = (oy * grid.stride + kh) as isize - grid.pad as isize;
+                    if iy < 0 || iy >= grid.height as isize {
+                        continue;
+                    }
+                    let src_row = &img_plane[iy as usize * grid.width..];
+                    for ox in 0..ow {
+                        let ix = (ox * grid.stride + kw) as isize - grid.pad as isize;
+                        if ix < 0 || ix >= grid.width as isize {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] = src_row[ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a patch matrix back into an image.
+///
+/// # Panics
+///
+/// Panics if buffer sizes do not match the grid.
+pub fn col2im(cols: &[f32], grid: &PatchGrid, image: &mut [f32]) {
+    let (oh, ow) = (grid.out_h(), grid.out_w());
+    assert_eq!(image.len(), grid.channels * grid.height * grid.width, "image size mismatch");
+    assert_eq!(cols.len(), grid.patch_rows() * oh * ow, "cols size mismatch");
+    let positions = oh * ow;
+    image.fill(0.0);
+    for c in 0..grid.channels {
+        let img_plane =
+            &mut image[c * grid.height * grid.width..(c + 1) * grid.height * grid.width];
+        for kh in 0..grid.kernel {
+            for kw in 0..grid.kernel {
+                let row = (c * grid.kernel + kh) * grid.kernel + kw;
+                let col_row = &cols[row * positions..(row + 1) * positions];
+                for oy in 0..oh {
+                    let iy = (oy * grid.stride + kh) as isize - grid.pad as isize;
+                    if iy < 0 || iy >= grid.height as isize {
+                        continue;
+                    }
+                    let base = iy as usize * grid.width;
+                    for ox in 0..ow {
+                        let ix = (ox * grid.stride + kw) as isize - grid.pad as isize;
+                        if ix < 0 || ix >= grid.width as isize {
+                            continue;
+                        }
+                        img_plane[base + ix as usize] += col_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_small_known_product() {
+        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        gemm(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_variants_agree() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut reference = vec![0.0; m * n];
+        gemm(&a, &b, m, k, n, &mut reference);
+
+        // aᵀ stored as k×m then multiplied with gemm_at_b must match.
+        let mut a_t = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                a_t[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut out2 = vec![0.0; m * n];
+        gemm_at_b_acc(&a_t, &b, m, k, n, &mut out2);
+        for (x, y) in reference.iter().zip(&out2) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        // bᵀ stored as n×k with gemm_a_bt must match.
+        let mut b_t = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut out3 = vec![0.0; m * n];
+        gemm_a_bt_acc(&a, &b_t, m, k, n, &mut out3);
+        for (x, y) in reference.iter().zip(&out3) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: cols == image.
+        let grid = PatchGrid { channels: 2, height: 2, width: 3, kernel: 1, stride: 1, pad: 0 };
+        let image: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let mut cols = vec![0.0; grid.patch_rows() * grid.positions()];
+        im2col(&image, &grid, &mut cols);
+        assert_eq!(cols, image);
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let grid = PatchGrid { channels: 1, height: 2, width: 2, kernel: 3, stride: 1, pad: 1 };
+        let image = vec![1.0, 2.0, 3.0, 4.0];
+        let mut cols = vec![0.0; grid.patch_rows() * grid.positions()];
+        im2col(&image, &grid, &mut cols);
+        // Patch at position (0,0) has the image's (0,0)=1.0 at kernel
+        // center (kh=1,kw=1) and zeros on the padded border (kh=0 row).
+        let positions = grid.positions();
+        assert_eq!(positions, 4);
+        let center_row = 3 + 1;
+        assert_eq!(cols[center_row * positions], 1.0);
+        let top_left_row = 0;
+        assert_eq!(cols[top_left_row * positions], 0.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let grid = PatchGrid { channels: 2, height: 5, width: 4, kernel: 3, stride: 2, pad: 1 };
+        let img_len = grid.channels * grid.height * grid.width;
+        let col_len = grid.patch_rows() * grid.positions();
+        let x: Vec<f32> = (0..img_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..col_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut cols = vec![0.0; col_len];
+        im2col(&x, &grid, &mut cols);
+        let lhs: f64 = cols.iter().zip(&y).map(|(a, b)| (a * b) as f64).sum();
+        let mut img = vec![0.0; img_len];
+        col2im(&y, &grid, &mut img);
+        let rhs: f64 = x.iter().zip(&img).map(|(a, b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-4, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn patch_grid_dims() {
+        let g = PatchGrid { channels: 3, height: 8, width: 8, kernel: 4, stride: 2, pad: 1 };
+        assert_eq!(g.out_h(), 4);
+        assert_eq!(g.out_w(), 4);
+        assert_eq!(g.patch_rows(), 48);
+        assert_eq!(g.positions(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn kernel_must_fit() {
+        let g = PatchGrid { channels: 1, height: 2, width: 2, kernel: 5, stride: 1, pad: 0 };
+        g.out_h();
+    }
+}

@@ -1,0 +1,144 @@
+//! Layer composition.
+
+use crate::layers::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A straight-line stack of layers, itself a [`Layer`].
+///
+/// CB-GAN's encoder/decoder *blocks* are `Sequential`s; the U-Net's skip
+/// connections are wired explicitly above this level.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::{Tensor, graph::Sequential, layers::{Conv2d, Layer, LeakyRelu}};
+///
+/// let mut block = Sequential::new()
+///     .push(Conv2d::new(1, 4, 4, 2, 1, 0))
+///     .push(LeakyRelu::new(0.2));
+/// let out = block.forward(&Tensor::zeros([1, 1, 8, 8]), false);
+/// assert_eq!(out.shape(), [1, 4, 4, 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the stack holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_buffers(visitor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{gradcheck, BatchNorm2d, Conv2d, LeakyRelu, Linear, Relu, Tanh};
+    use crate::loss;
+    use crate::optim::Adam;
+
+    #[test]
+    fn forward_composes_shapes() {
+        let mut s = Sequential::new()
+            .push(Conv2d::new(1, 4, 4, 2, 1, 0))
+            .push(BatchNorm2d::new(4))
+            .push(LeakyRelu::new(0.2))
+            .push(Conv2d::new(4, 8, 4, 2, 1, 1));
+        let out = s.forward(&Tensor::zeros([2, 1, 16, 16]), false);
+        assert_eq!(out.shape(), [2, 8, 4, 4]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn gradients_flow_through_stack() {
+        let mut s = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, 1, 1, 3))
+            .push(Tanh::new())
+            .push(Conv2d::new(2, 1, 3, 1, 1, 4));
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|i| (i as f32 - 8.0) / 8.0).collect());
+        gradcheck::check_input_gradient(&mut s, &x, 2e-2);
+        gradcheck::check_param_gradients(&mut s, &x, 2e-2);
+    }
+
+    #[test]
+    fn small_mlp_learns_xor() {
+        let mut mlp = Sequential::new()
+            .push(Linear::new(2, 8, 1))
+            .push(Relu::new())
+            .push(Linear::new(8, 1, 2))
+            .push(Tanh::new());
+        let x = Tensor::from_vec([4, 2, 1, 1], vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let target = Tensor::from_vec([4, 1, 1, 1], vec![-0.9, 0.9, 0.9, -0.9]);
+        let mut adam = Adam::new(0.03);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..800 {
+            let y = mlp.forward(&x, true);
+            let (l, g) = loss::mse(&y, &target);
+            final_loss = l;
+            mlp.zero_grad();
+            mlp.backward(&g);
+            adam.step_layer(&mut mlp);
+        }
+        assert!(final_loss < 0.05, "xor loss {final_loss}");
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut s = Sequential::new().push(Linear::new(2, 3, 0)).push(Linear::new(3, 1, 1));
+        assert_eq!(s.param_count(), (2 * 3 + 3) + (3 + 1));
+    }
+}

@@ -1,0 +1,85 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic Gaussian sampler (Box–Muller over a seeded PRNG).
+#[derive(Debug, Clone)]
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Creates an initializer with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Initializer { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Samples one normal value with the given mean and standard
+    /// deviation.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        // Box–Muller transform.
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        mean + std * z
+    }
+
+    /// Fills a buffer with `N(mean, std²)` samples.
+    pub fn fill_normal(&mut self, buf: &mut [f32], mean: f32, std: f32) {
+        for v in buf {
+            *v = self.normal(mean, std);
+        }
+    }
+
+    /// DCGAN/Pix2Pix convolution init: `N(0, 0.02²)`.
+    pub fn conv_weights(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = vec![0.0; len];
+        self.fill_normal(&mut buf, 0.0, 0.02);
+        buf
+    }
+
+    /// Kaiming-style init for linear layers: `N(0, sqrt(2/fan_in)²)`.
+    pub fn linear_weights(&mut self, fan_in: usize, len: usize) -> Vec<f32> {
+        let std = (2.0 / fan_in as f32).sqrt();
+        let mut buf = vec![0.0; len];
+        self.fill_normal(&mut buf, 0.0, std);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Initializer::new(7);
+        let mut b = Initializer::new(7);
+        let va: Vec<f32> = (0..10).map(|_| a.normal(0.0, 1.0)).collect();
+        let vb: Vec<f32> = (0..10).map(|_| b.normal(0.0, 1.0)).collect();
+        assert_eq!(va, vb);
+        let mut c = Initializer::new(8);
+        let vc: Vec<f32> = (0..10).map(|_| c.normal(0.0, 1.0)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn moments_are_roughly_correct() {
+        let mut init = Initializer::new(3);
+        let mut buf = vec![0.0; 20_000];
+        init.fill_normal(&mut buf, 1.0, 2.0);
+        let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
+        let var: f32 = buf.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / buf.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn conv_weights_are_small() {
+        let mut init = Initializer::new(5);
+        let w = init.conv_weights(5000);
+        let max = w.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(max < 0.2, "0.02-std weights should stay small, max {max}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Element-wise activation layers.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `max(0, x)`.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = Tensor::from_vec(
+            input.shape(),
+            input.data().iter().map(|&v| v.max(0.0)).collect(),
+        );
+        self.mask = train.then(|| input.data().iter().map(|&v| v > 0.0).collect());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before training forward");
+        assert_eq!(grad_out.len(), mask.len(), "grad shape mismatch");
+        Tensor::from_vec(
+            grad_out.shape(),
+            grad_out.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect(),
+        )
+    }
+}
+
+/// Leaky ReLU: `x` for positive inputs, `slope * x` otherwise.
+/// CB-GAN's encoder and discriminator use slope 0.2.
+#[derive(Debug)]
+pub struct LeakyRelu {
+    slope: f32,
+    mask: Option<Vec<bool>>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative slope.
+    pub fn new(slope: f32) -> Self {
+        LeakyRelu { slope, mask: None }
+    }
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        LeakyRelu::new(0.2)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let slope = self.slope;
+        let out = Tensor::from_vec(
+            input.shape(),
+            input.data().iter().map(|&v| if v > 0.0 { v } else { slope * v }).collect(),
+        );
+        self.mask = train.then(|| input.data().iter().map(|&v| v > 0.0).collect());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before training forward");
+        assert_eq!(grad_out.len(), mask.len(), "grad shape mismatch");
+        let slope = self.slope;
+        Tensor::from_vec(
+            grad_out.shape(),
+            grad_out
+                .data()
+                .iter()
+                .zip(mask)
+                .map(|(&g, &m)| if m { g } else { slope * g })
+                .collect(),
+        )
+    }
+}
+
+/// Hyperbolic tangent; the generator's output activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Option<Vec<f32>>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let data: Vec<f32> = input.data().iter().map(|&v| v.tanh()).collect();
+        self.output = train.then(|| data.clone());
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self.output.as_ref().expect("backward before training forward");
+        assert_eq!(grad_out.len(), out.len(), "grad shape mismatch");
+        Tensor::from_vec(
+            grad_out.shape(),
+            grad_out.data().iter().zip(out).map(|(&g, &y)| g * (1.0 - y * y)).collect(),
+        )
+    }
+}
+
+/// Logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Option<Vec<f32>>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let data: Vec<f32> = input.data().iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
+        self.output = train.then(|| data.clone());
+        Tensor::from_vec(input.shape(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let out = self.output.as_ref().expect("backward before training forward");
+        assert_eq!(grad_out.len(), out.len(), "grad shape mismatch");
+        Tensor::from_vec(
+            grad_out.shape(),
+            grad_out.data().iter().zip(out).map(|(&g, &y)| g * y * (1.0 - y)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn input() -> Tensor {
+        Tensor::from_vec([1, 1, 2, 3], vec![-2.0, -0.5, 0.0, 0.5, 1.0, 2.0])
+    }
+
+    #[test]
+    fn relu_values() {
+        let out = Relu::new().forward(&input(), false);
+        assert_eq!(out.data(), &[0.0, 0.0, 0.0, 0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn leaky_relu_values() {
+        let out = LeakyRelu::new(0.2).forward(&input(), false);
+        assert_eq!(out.data(), &[-0.4, -0.1, 0.0, 0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_ranges() {
+        let t = Tanh::new().forward(&input(), false);
+        assert!(t.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+        let s = Sigmoid::new().forward(&input(), false);
+        assert!(s.data().iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!((s.data()[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Avoid the ReLU kink at 0 by offsetting inputs.
+        let x = Tensor::from_vec([1, 1, 2, 3], vec![-2.0, -0.6, 0.1, 0.5, 1.0, 2.0]);
+        gradcheck::check_input_gradient(&mut Relu::new(), &x, 1e-2);
+        gradcheck::check_input_gradient(&mut LeakyRelu::new(0.2), &x, 1e-2);
+        gradcheck::check_input_gradient(&mut Tanh::new(), &x, 1e-2);
+        gradcheck::check_input_gradient(&mut Sigmoid::new(), &x, 1e-2);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        assert_eq!(Relu::new().param_count(), 0);
+        assert_eq!(Tanh::new().param_count(), 0);
+    }
+}

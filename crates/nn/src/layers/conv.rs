@@ -1,0 +1,212 @@
+//! 2-D convolution.
+
+use crate::gemm::{self, PatchGrid};
+use crate::init::Initializer;
+use crate::layers::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A 2-D convolution with square kernel, stride, and zero padding.
+///
+/// Weights are laid out `[out_c, in_c, k, k]` (flattened) and initialized
+/// `N(0, 0.02²)` as in Pix2Pix. The forward pass lowers to GEMM over an
+/// im2col patch matrix.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::{Tensor, layers::{Conv2d, Layer}};
+///
+/// // CB-GAN's down-sampling block shape: kernel 4, stride 2, pad 1.
+/// let mut conv = Conv2d::new(1, 8, 4, 2, 1, 0);
+/// let out = conv.forward(&Tensor::zeros([2, 1, 16, 16]), false);
+/// assert_eq!(out.shape(), [2, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution; `seed` drives weight initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0, "invalid conv dimensions");
+        let mut init = Initializer::new(seed ^ 0xc04f);
+        Conv2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            weight: Param::new(init.conv_weights(out_c * in_c * kernel * kernel)),
+            bias: Param::zeros(out_c),
+            cached_input: None,
+        }
+    }
+
+    fn grid(&self, h: usize, w: usize) -> PatchGrid {
+        PatchGrid {
+            channels: self.in_c,
+            height: h,
+            width: w,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let g = self.grid(h, w);
+        (g.out_h(), g.out_w())
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c(), self.in_c, "input channel mismatch");
+        let grid = self.grid(input.h(), input.w());
+        let (oh, ow) = (grid.out_h(), grid.out_w());
+        let positions = oh * ow;
+        let rows = grid.patch_rows();
+        let mut out = Tensor::zeros([input.n(), self.out_c, oh, ow]);
+        let mut cols = vec![0.0f32; rows * positions];
+        for n in 0..input.n() {
+            gemm::im2col(input.sample(n), &grid, &mut cols);
+            let out_sample = out.sample_mut(n);
+            gemm::gemm(&self.weight.value, &cols, self.out_c, rows, positions, out_sample);
+            for c in 0..self.out_c {
+                let b = self.bias.value[c];
+                for v in &mut out_sample[c * positions..(c + 1) * positions] {
+                    *v += b;
+                }
+            }
+        }
+        self.cached_input = if train { Some(input.clone()) } else { None };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before training forward");
+        let grid = self.grid(input.h(), input.w());
+        let (oh, ow) = (grid.out_h(), grid.out_w());
+        assert_eq!(grad_out.shape(), [input.n(), self.out_c, oh, ow], "grad shape mismatch");
+        let positions = oh * ow;
+        let rows = grid.patch_rows();
+        let mut grad_in = Tensor::zeros(input.shape());
+        let mut cols = vec![0.0f32; rows * positions];
+        let mut gcols = vec![0.0f32; rows * positions];
+        for n in 0..input.n() {
+            let g = grad_out.sample(n);
+            // Weight gradient: gW += g × colsᵀ.
+            gemm::im2col(input.sample(n), &grid, &mut cols);
+            gemm::gemm_a_bt_acc(g, &cols, self.out_c, positions, rows, &mut self.weight.grad);
+            // Bias gradient: per-channel sums.
+            for c in 0..self.out_c {
+                self.bias.grad[c] += g[c * positions..(c + 1) * positions].iter().sum::<f32>();
+            }
+            // Input gradient: col2im(Wᵀ × g).
+            gcols.fill(0.0);
+            gemm::gemm_at_b_acc(&self.weight.value, g, rows, self.out_c, positions, &mut gcols);
+            gemm::col2im(&gcols, &grid, grad_in.sample_mut(n));
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn filled_input(shape: [usize; 4]) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..len).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect())
+    }
+
+    #[test]
+    fn output_shape_4_2_1() {
+        let mut conv = Conv2d::new(3, 5, 4, 2, 1, 0);
+        let out = conv.forward(&Tensor::zeros([2, 3, 8, 8]), false);
+        assert_eq!(out.shape(), [2, 5, 4, 4]);
+        assert_eq!(conv.output_size(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        // 1 input channel, 1 output channel, 2x2 kernel of ones, stride 1,
+        // no pad: each output = sum of the 2x2 patch.
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 0);
+        conv.visit_params(&mut |p| {
+            if p.len() == 4 {
+                p.value = vec![1.0; 4];
+            } else {
+                p.value = vec![0.5];
+            }
+        });
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = conv.forward(&input, false);
+        assert_eq!(out.shape(), [1, 1, 1, 1]);
+        assert!((out.data()[0] - 10.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bias_broadcasts_per_channel() {
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, 0);
+        conv.visit_params(&mut |p| {
+            if p.len() == 2 && p.value.iter().all(|&v| v == 0.0) {
+                p.value = vec![1.0, -1.0]; // bias
+            } else {
+                p.value = vec![0.0, 0.0]; // weights zeroed
+            }
+        });
+        let out = conv.forward(&Tensor::zeros([1, 1, 2, 2]), false);
+        assert_eq!(&out.data()[..4], &[1.0; 4]);
+        assert_eq!(&out.data()[4..], &[-1.0; 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, 42);
+        let input = filled_input([2, 2, 5, 5]);
+        gradcheck::check_input_gradient(&mut conv, &input, 2e-2);
+        gradcheck::check_param_gradients(&mut conv, &input, 2e-2);
+    }
+
+    #[test]
+    fn gradients_with_stride_one_no_pad() {
+        let mut conv = Conv2d::new(1, 2, 2, 1, 0, 7);
+        let input = filled_input([1, 1, 4, 4]);
+        gradcheck::check_input_gradient(&mut conv, &input, 2e-2);
+        gradcheck::check_param_gradients(&mut conv, &input, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before training forward")]
+    fn backward_requires_forward() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 0);
+        conv.backward(&Tensor::zeros([1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut conv = Conv2d::new(2, 3, 4, 2, 1, 0);
+        assert_eq!(conv.param_count(), 3 * 2 * 16 + 3);
+    }
+}

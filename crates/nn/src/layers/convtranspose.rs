@@ -1,0 +1,254 @@
+//! 2-D transposed convolution (up-sampling).
+
+use crate::gemm::{self, PatchGrid};
+use crate::init::Initializer;
+use crate::layers::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A 2-D transposed convolution, the adjoint of [`Conv2d`] with the same
+/// kernel/stride/pad — the U-Net decoder's up-sampling block
+/// (kernel 4, stride 2, pad 1 exactly doubles the spatial size).
+///
+/// Weights are laid out `[in_c, out_c, k, k]` (PyTorch's
+/// `ConvTranspose2d` convention), initialized `N(0, 0.02²)`.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::{Tensor, layers::{ConvTranspose2d, Layer}};
+///
+/// let mut up = ConvTranspose2d::new(8, 4, 4, 2, 1, 0);
+/// let out = up.forward(&Tensor::zeros([1, 8, 8, 8]), false);
+/// assert_eq!(out.shape(), [1, 4, 16, 16]);
+/// ```
+///
+/// [`Conv2d`]: crate::layers::Conv2d
+#[derive(Debug)]
+pub struct ConvTranspose2d {
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed convolution; `seed` drives initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0, "invalid convT dimensions");
+        let mut init = Initializer::new(seed ^ 0x7c04);
+        ConvTranspose2d {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            weight: Param::new(init.conv_weights(in_c * out_c * kernel * kernel)),
+            bias: Param::zeros(out_c),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input:
+    /// `(h-1)*stride - 2*pad + kernel`.
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h - 1) * self.stride + self.kernel - 2 * self.pad,
+            (w - 1) * self.stride + self.kernel - 2 * self.pad,
+        )
+    }
+
+    /// The equivalent forward-conv patch grid over the *output* image,
+    /// whose patch positions are this layer's input pixels.
+    fn grid(&self, in_h: usize, in_w: usize) -> PatchGrid {
+        let (oh, ow) = self.output_size(in_h, in_w);
+        let grid = PatchGrid {
+            channels: self.out_c,
+            height: oh,
+            width: ow,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        };
+        debug_assert_eq!(grid.out_h(), in_h);
+        debug_assert_eq!(grid.out_w(), in_w);
+        grid
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c(), self.in_c, "input channel mismatch");
+        let grid = self.grid(input.h(), input.w());
+        let positions = input.h() * input.w();
+        let rows = grid.patch_rows(); // out_c * k * k
+        let mut out = Tensor::zeros([input.n(), self.out_c, grid.height, grid.width]);
+        let mut cols = vec![0.0f32; rows * positions];
+        for n in 0..input.n() {
+            // cols = Wᵀ × x  (W: [in_c, rows], x: [in_c, positions]).
+            cols.fill(0.0);
+            gemm::gemm_at_b_acc(
+                &self.weight.value,
+                input.sample(n),
+                rows,
+                self.in_c,
+                positions,
+                &mut cols,
+            );
+            let out_sample = out.sample_mut(n);
+            gemm::col2im(&cols, &grid, out_sample);
+            let plane = grid.height * grid.width;
+            for c in 0..self.out_c {
+                let b = self.bias.value[c];
+                for v in &mut out_sample[c * plane..(c + 1) * plane] {
+                    *v += b;
+                }
+            }
+        }
+        self.cached_input = if train { Some(input.clone()) } else { None };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before training forward");
+        let grid = self.grid(input.h(), input.w());
+        assert_eq!(
+            grad_out.shape(),
+            [input.n(), self.out_c, grid.height, grid.width],
+            "grad shape mismatch"
+        );
+        let positions = input.h() * input.w();
+        let rows = grid.patch_rows();
+        let mut grad_in = Tensor::zeros(input.shape());
+        let mut gcols = vec![0.0f32; rows * positions];
+        let plane = grid.height * grid.width;
+        for n in 0..input.n() {
+            let g = grad_out.sample(n);
+            gemm::im2col(g, &grid, &mut gcols);
+            // Input gradient: gx = W × im2col(g).
+            gemm::gemm(
+                &self.weight.value,
+                &gcols,
+                self.in_c,
+                rows,
+                positions,
+                grad_in.sample_mut(n),
+            );
+            // Weight gradient: gW += x × im2col(g)ᵀ.
+            gemm::gemm_a_bt_acc(
+                input.sample(n),
+                &gcols,
+                self.in_c,
+                positions,
+                rows,
+                &mut self.weight.grad,
+            );
+            // Bias gradient: per-output-channel sums.
+            for c in 0..self.out_c {
+                self.bias.grad[c] += g[c * plane..(c + 1) * plane].iter().sum::<f32>();
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+    use crate::layers::Conv2d;
+
+    fn filled_input(shape: [usize; 4]) -> Tensor {
+        let len: usize = shape.iter().product();
+        Tensor::from_vec(shape, (0..len).map(|i| ((i * 5 % 11) as f32 - 5.0) / 5.0).collect())
+    }
+
+    #[test]
+    fn doubles_spatial_size_with_4_2_1() {
+        let mut up = ConvTranspose2d::new(4, 2, 4, 2, 1, 0);
+        let out = up.forward(&Tensor::zeros([1, 4, 3, 5]), false);
+        assert_eq!(out.shape(), [1, 2, 6, 10]);
+    }
+
+    #[test]
+    fn is_adjoint_of_conv() {
+        // <conv(x), y> == <x, convT(y)> when both share weights and zero
+        // bias. Conv weight [out_c, in_c, k, k]; convT weight
+        // [in_c=conv.out_c, out_c=conv.in_c, k, k] — same buffer works
+        // because convT(in_c,out_c) flattens identically to
+        // conv(out_c,in_c).
+        let (cin, cout, k, s, p) = (2usize, 3usize, 3usize, 2usize, 1usize);
+        let mut conv = Conv2d::new(cin, cout, k, s, p, 1);
+        let mut convt = ConvTranspose2d::new(cout, cin, k, s, p, 2);
+        // Share weights: copy conv's into convT.
+        let mut w = Vec::new();
+        conv.visit_params(&mut |pp| {
+            if w.is_empty() {
+                w = pp.value.clone();
+            } else {
+                pp.value.fill(0.0); // zero conv bias
+            }
+        });
+        let mut first = true;
+        convt.visit_params(&mut |pp| {
+            if first {
+                pp.value = w.clone();
+                first = false;
+            } else {
+                pp.value.fill(0.0);
+            }
+        });
+        let x = filled_input([1, cin, 5, 5]);
+        let cx = conv.forward(&x, false);
+        let y = filled_input(cx.shape());
+        let cty = convt.forward(&y, false);
+        assert_eq!(cty.shape(), x.shape());
+        let lhs: f64 = cx.data().iter().zip(y.data()).map(|(a, b)| (a * b) as f64).sum();
+        let rhs: f64 = x.data().iter().zip(cty.data()).map(|(a, b)| (a * b) as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut up = ConvTranspose2d::new(3, 2, 4, 2, 1, 11);
+        let input = filled_input([2, 3, 3, 3]);
+        gradcheck::check_input_gradient(&mut up, &input, 2e-2);
+        gradcheck::check_param_gradients(&mut up, &input, 2e-2);
+    }
+
+    #[test]
+    fn bias_applied_per_channel() {
+        let mut up = ConvTranspose2d::new(1, 2, 2, 2, 0, 0);
+        up.visit_params(&mut |p| {
+            if p.len() == 2 {
+                p.value = vec![3.0, -3.0];
+            } else {
+                p.value.fill(0.0);
+            }
+        });
+        let out = up.forward(&Tensor::zeros([1, 1, 2, 2]), false);
+        let plane = out.h() * out.w();
+        assert!(out.data()[..plane].iter().all(|&v| v == 3.0));
+        assert!(out.data()[plane..].iter().all(|&v| v == -3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before training forward")]
+    fn backward_requires_forward() {
+        let mut up = ConvTranspose2d::new(1, 1, 2, 2, 0, 0);
+        up.backward(&Tensor::zeros([1, 1, 2, 2]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Inverted dropout.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training, each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is
+/// the identity. The U-Net's inner decoder blocks use `p = 0.5`.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a
+    /// deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, rng: StdRng::seed_from_u64(seed ^ 0xd409), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = train.then(|| vec![1.0; input.len()]);
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let out = Tensor::from_vec(
+            input.shape(),
+            input.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect(),
+        );
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before training forward");
+        assert_eq!(grad_out.len(), mask.len(), "grad shape mismatch");
+        Tensor::from_vec(
+            grad_out.shape(),
+            grad_out.data().iter().zip(mask).map(|(&g, &m)| g * m).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec([1, 1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn train_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::full([1, 1, 100, 100], 1.0);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((3500..6500).contains(&zeros), "zeroed {zeros}/10000");
+        // Survivors are scaled to preserve the expectation.
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full([1, 1, 4, 4], 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full([1, 1, 4, 4], 1.0));
+        // Gradient is zero exactly where the output was zeroed.
+        for (o, gi) in y.data().iter().zip(g.data()) {
+            assert_eq!(*o == 0.0, *gi == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_passes_through_in_training() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_vec([1, 1, 1, 3], vec![1.0, -2.0, 3.0]);
+        assert_eq!(d.forward(&x, true), x);
+        let g = d.backward(&x);
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_one() {
+        Dropout::new(1.0, 0);
+    }
+}

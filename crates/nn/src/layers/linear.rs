@@ -1,0 +1,152 @@
+//! Fully connected layer.
+
+use crate::gemm;
+use crate::init::Initializer;
+use crate::layers::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A fully connected layer over `[n, in_features, 1, 1]` tensors.
+///
+/// CB-GAN uses three of these to embed the numeric cache parameters
+/// (sets, ways) before concatenating them onto the U-Net bottleneck.
+#[derive(Debug)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Param, // [out, in]
+    bias: Param,   // [out]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "feature counts must be non-zero");
+        let mut init = Initializer::new(seed ^ 0x11ea);
+        Linear {
+            in_features,
+            out_features,
+            weight: Param::new(init.linear_weights(in_features, out_features * in_features)),
+            bias: Param::zeros(out_features),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            input.c() * input.h() * input.w(),
+            self.in_features,
+            "input feature mismatch"
+        );
+        let n = input.n();
+        let mut out = Tensor::zeros([n, self.out_features, 1, 1]);
+        // out[n, o] = Σ_i x[n, i] * W[o, i] + b[o]  ⇔  out = x × Wᵀ.
+        gemm::gemm_a_bt_acc(
+            input.data(),
+            &self.weight.value,
+            n,
+            self.in_features,
+            self.out_features,
+            out.data_mut(),
+        );
+        for ni in 0..n {
+            let row = &mut out.sample_mut(ni)[..];
+            for (o, b) in row.iter_mut().zip(&self.bias.value) {
+                *o += b;
+            }
+        }
+        self.cached_input = if train { Some(input.clone()) } else { None };
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before training forward");
+        let n = input.n();
+        assert_eq!(grad_out.shape(), [n, self.out_features, 1, 1], "grad shape mismatch");
+        // gW[o, i] += Σ_n g[n, o] x[n, i]  ⇔  gW += gᵀ × x.
+        gemm::gemm_at_b_acc(
+            grad_out.data(),
+            input.data(),
+            self.out_features,
+            n,
+            self.in_features,
+            &mut self.weight.grad,
+        );
+        for ni in 0..n {
+            for (gb, g) in self.bias.grad.iter_mut().zip(grad_out.sample(ni)) {
+                *gb += g;
+            }
+        }
+        // gx = g × W.
+        let mut grad_in = Tensor::zeros(input.shape());
+        gemm::gemm_acc(
+            grad_out.data(),
+            &self.weight.value,
+            n,
+            self.out_features,
+            self.in_features,
+            grad_in.data_mut(),
+        );
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.weight);
+        visitor(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn forward_known_values() {
+        let mut l = Linear::new(2, 2, 0);
+        l.visit_params(&mut |p| {
+            if p.len() == 4 {
+                p.value = vec![1.0, 2.0, 3.0, 4.0]; // W = [[1,2],[3,4]]
+            } else {
+                p.value = vec![10.0, 20.0];
+            }
+        });
+        let x = Tensor::from_vec([1, 2, 1, 1], vec![1.0, 1.0]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.data(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn accepts_flattened_spatial_input() {
+        let mut l = Linear::new(8, 3, 1);
+        let x = Tensor::zeros([2, 2, 2, 2]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.shape(), [2, 3, 1, 1]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut l = Linear::new(3, 4, 5);
+        let x = Tensor::from_vec([2, 3, 1, 1], vec![0.1, -0.4, 0.8, 1.2, -0.2, 0.3]);
+        gradcheck::check_input_gradient(&mut l, &x, 1e-2);
+        gradcheck::check_param_gradients(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn param_count() {
+        assert_eq!(Linear::new(3, 4, 0).param_count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn validates_input_features() {
+        Linear::new(3, 2, 0).forward(&Tensor::zeros([1, 4, 1, 1]), false);
+    }
+}

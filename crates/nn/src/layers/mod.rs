@@ -1,0 +1,165 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Every layer caches what its backward pass needs during `forward`, so
+//! the usage contract is: `forward(…, train=true)` → compute loss grad →
+//! `zero_grad` (once per step) → `backward` → optimizer step.
+
+mod activation;
+mod conv;
+mod convtranspose;
+mod dropout;
+mod linear;
+mod norm;
+
+pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use convtranspose::ConvTranspose2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use norm::{BatchNorm2d, InstanceNorm2d};
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// `forward` must be called (with `train = true`) before `backward`;
+/// layers cache intermediate state between the two calls. `backward`
+/// *accumulates* into parameter gradients and returns the gradient with
+/// respect to the layer input.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (batch statistics, active dropout) and enables caching for
+    /// `backward`.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Back-propagates `grad_out` (gradient w.r.t. the last `forward`
+    /// output), accumulating parameter gradients and returning the
+    /// gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a training-mode
+    /// `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every learnable parameter in a stable order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        let _ = visitor;
+    }
+
+    /// Visits every non-learnable state buffer (e.g. batch-norm running
+    /// statistics) in a stable order. Buffers are part of a model's
+    /// serialized state but receive no gradients.
+    fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
+        let _ = visitor;
+    }
+
+    /// Clears all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total learnable scalar count.
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.len());
+        count
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by layer tests.
+
+    use super::Layer;
+    use crate::tensor::Tensor;
+
+    /// Checks `d loss / d input` where `loss = Σ out·coeff` for a fixed
+    /// random coefficient tensor, comparing analytic backward against
+    /// central finite differences.
+    pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tolerance: f32) {
+        let out = layer.forward(input, true);
+        // loss = sum(out * coeff) with coeff = 1 + 0.1*i (deterministic).
+        let coeff: Vec<f32> =
+            (0..out.len()).map(|i| 1.0 + 0.1 * (i % 7) as f32).collect();
+        let grad_out = Tensor::from_vec(out.shape(), coeff.clone());
+        layer.zero_grad();
+        let grad_in = layer.backward(&grad_out);
+
+        let eps = 1e-2f32;
+        for i in (0..input.len()).step_by(input.len().div_ceil(24).max(1)) {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let f = |t: &Tensor, layer: &mut dyn Layer| -> f32 {
+                let o = layer.forward(t, true);
+                o.data().iter().zip(&coeff).map(|(a, b)| a * b).sum()
+            };
+            let numeric = (f(&plus, layer) - f(&minus, layer)) / (2.0 * eps);
+            let analytic = grad_in.data()[i];
+            assert!(
+                (numeric - analytic).abs() <= tolerance * (1.0 + numeric.abs().max(analytic.abs())),
+                "input grad mismatch at {i}: numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+
+    /// Checks `d loss / d params` similarly.
+    pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, tolerance: f32) {
+        let out = layer.forward(input, true);
+        let coeff: Vec<f32> =
+            (0..out.len()).map(|i| 1.0 + 0.1 * (i % 7) as f32).collect();
+        let grad_out = Tensor::from_vec(out.shape(), coeff.clone());
+        layer.zero_grad();
+        layer.backward(&grad_out);
+
+        // Snapshot analytic gradients.
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |p| analytic.push(p.grad.clone()));
+
+        let eps = 1e-2f32;
+        #[allow(clippy::needless_range_loop)] // pi pairs visit_params order with analytic
+        for pi in 0..analytic.len() {
+            let len = analytic[pi].len();
+            for i in (0..len).step_by(len.div_ceil(12).max(1)) {
+                let mut idx = 0;
+                layer.visit_params(&mut |p| {
+                    if idx == pi {
+                        p.value[i] += eps;
+                    }
+                    idx += 1;
+                });
+                let f_plus: f32 = {
+                    let o = layer.forward(input, true);
+                    o.data().iter().zip(&coeff).map(|(a, b)| a * b).sum()
+                };
+                let mut idx = 0;
+                layer.visit_params(&mut |p| {
+                    if idx == pi {
+                        p.value[i] -= 2.0 * eps;
+                    }
+                    idx += 1;
+                });
+                let f_minus: f32 = {
+                    let o = layer.forward(input, true);
+                    o.data().iter().zip(&coeff).map(|(a, b)| a * b).sum()
+                };
+                let mut idx = 0;
+                layer.visit_params(&mut |p| {
+                    if idx == pi {
+                        p.value[i] += eps;
+                    }
+                    idx += 1;
+                });
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                let a = analytic[pi][i];
+                assert!(
+                    (numeric - a).abs() <= tolerance * (1.0 + numeric.abs().max(a.abs())),
+                    "param {pi} grad mismatch at {i}: numeric {numeric}, analytic {a}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Normalization layers.
+
+use crate::layers::Layer;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Batch normalization over `(N, H, W)` per channel, with affine
+/// parameters and running statistics for evaluation mode.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::{Tensor, layers::{BatchNorm2d, Layer}};
+///
+/// let mut bn = BatchNorm2d::new(2);
+/// let x = Tensor::from_vec([2, 2, 1, 1], vec![1.0, 10.0, 3.0, 30.0]);
+/// let y = bn.forward(&x, true);
+/// // Each channel is normalized to zero mean.
+/// assert!((y.at(0, 0, 0, 0) + y.at(1, 0, 0, 0)).abs() < 1e-5);
+/// ```
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    channels: usize,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch norm over `channels` channels (γ=1, β=0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be non-zero");
+        BatchNorm2d {
+            channels,
+            gamma: Param::new(vec![1.0; channels]),
+            beta: Param::zeros(channels),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    fn channel_stats(&self, input: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let [n, c, h, w] = input.shape();
+        let m = (n * h * w) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        let plane = h * w;
+        for ni in 0..n {
+            let s = input.sample(ni);
+            for ci in 0..c {
+                mean[ci] += s[ci * plane..(ci + 1) * plane].iter().sum::<f32>();
+            }
+        }
+        for v in &mut mean {
+            *v /= m;
+        }
+        for ni in 0..n {
+            let s = input.sample(ni);
+            for ci in 0..c {
+                let mu = mean[ci];
+                var[ci] += s[ci * plane..(ci + 1) * plane].iter().map(|&x| (x - mu) * (x - mu)).sum::<f32>();
+            }
+        }
+        for v in &mut var {
+            *v /= m;
+        }
+        (mean, var)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c(), self.channels, "channel mismatch");
+        let [n, c, h, w] = input.shape();
+        let plane = h * w;
+        let (mean, var) = if train {
+            let (mean, var) = self.channel_stats(input);
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+        let mut normalized = Tensor::zeros(input.shape());
+        let mut out = Tensor::zeros(input.shape());
+        for ni in 0..n {
+            let src = input.sample(ni);
+            let dst_norm = normalized.sample_mut(ni);
+            for ci in 0..c {
+                let (mu, is) = (mean[ci], inv_std[ci]);
+                for i in ci * plane..(ci + 1) * plane {
+                    dst_norm[i] = (src[i] - mu) * is;
+                }
+            }
+        }
+        for ni in 0..n {
+            let xn = normalized.sample(ni).to_vec();
+            let dst = out.sample_mut(ni);
+            for ci in 0..c {
+                let (g, b) = (self.gamma.value[ci], self.beta.value[ci]);
+                for i in ci * plane..(ci + 1) * plane {
+                    dst[i] = g * xn[i] + b;
+                }
+            }
+        }
+        self.cache = train.then_some(BnCache { normalized, inv_std });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before training forward");
+        let [n, c, h, w] = grad_out.shape();
+        assert_eq!(cache.normalized.shape(), grad_out.shape(), "grad shape mismatch");
+        let plane = h * w;
+        let m = (n * h * w) as f32;
+        // Per-channel reductions.
+        let mut sum_g = vec![0.0f32; c];
+        let mut sum_gx = vec![0.0f32; c];
+        for ni in 0..n {
+            let g = grad_out.sample(ni);
+            let xn = cache.normalized.sample(ni);
+            for ci in 0..c {
+                for i in ci * plane..(ci + 1) * plane {
+                    sum_g[ci] += g[i];
+                    sum_gx[ci] += g[i] * xn[i];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.beta.grad[ci] += sum_g[ci];
+            self.gamma.grad[ci] += sum_gx[ci];
+        }
+        let mut grad_in = Tensor::zeros(grad_out.shape());
+        for ni in 0..n {
+            let g = grad_out.sample(ni);
+            let xn = cache.normalized.sample(ni);
+            let dst = grad_in.sample_mut(ni);
+            for ci in 0..c {
+                let scale = self.gamma.value[ci] * cache.inv_std[ci];
+                let mg = sum_g[ci] / m;
+                let mgx = sum_gx[ci] / m;
+                for i in ci * plane..(ci + 1) * plane {
+                    dst[i] = scale * (g[i] - mg - xn[i] * mgx);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+
+    fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
+        visitor(&mut self.running_mean);
+        visitor(&mut self.running_var);
+    }
+}
+
+/// Instance normalization: like batch norm but statistics are computed
+/// per `(sample, channel)` over `(H, W)` only, with no running state.
+#[derive(Debug)]
+pub struct InstanceNorm2d {
+    channels: usize,
+    gamma: Param,
+    beta: Param,
+    cache: Option<InCache>,
+}
+
+#[derive(Debug)]
+struct InCache {
+    normalized: Tensor,
+    inv_std: Vec<f32>, // per (n, c)
+}
+
+impl InstanceNorm2d {
+    /// Creates an instance norm over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channels must be non-zero");
+        InstanceNorm2d {
+            channels,
+            gamma: Param::new(vec![1.0; channels]),
+            beta: Param::zeros(channels),
+            cache: None,
+        }
+    }
+}
+
+impl Layer for InstanceNorm2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.c(), self.channels, "channel mismatch");
+        let [n, c, h, w] = input.shape();
+        let plane = (h * w) as f32;
+        let mut normalized = Tensor::zeros(input.shape());
+        let mut inv_std = vec![0.0f32; n * c];
+        for ni in 0..n {
+            let src = input.sample(ni).to_vec();
+            let dst = normalized.sample_mut(ni);
+            for ci in 0..c {
+                let s = &src[ci * (h * w)..(ci + 1) * (h * w)];
+                let mu = s.iter().sum::<f32>() / plane;
+                let var = s.iter().map(|&x| (x - mu) * (x - mu)).sum::<f32>() / plane;
+                let is = 1.0 / (var + EPS).sqrt();
+                inv_std[ni * c + ci] = is;
+                for (d, &x) in dst[ci * (h * w)..(ci + 1) * (h * w)].iter_mut().zip(s) {
+                    *d = (x - mu) * is;
+                }
+            }
+        }
+        let mut out = Tensor::zeros(input.shape());
+        for ni in 0..n {
+            let xn = normalized.sample(ni).to_vec();
+            let dst = out.sample_mut(ni);
+            for ci in 0..c {
+                let (g, b) = (self.gamma.value[ci], self.beta.value[ci]);
+                for i in ci * (h * w)..(ci + 1) * (h * w) {
+                    dst[i] = g * xn[i] + b;
+                }
+            }
+        }
+        self.cache = train.then_some(InCache { normalized, inv_std });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before training forward");
+        let [n, c, h, w] = grad_out.shape();
+        assert_eq!(cache.normalized.shape(), grad_out.shape(), "grad shape mismatch");
+        let plane = h * w;
+        let m = plane as f32;
+        let mut grad_in = Tensor::zeros(grad_out.shape());
+        for ni in 0..n {
+            let g = grad_out.sample(ni);
+            let xn = cache.normalized.sample(ni);
+            let dst = grad_in.sample_mut(ni);
+            for ci in 0..c {
+                let range = ci * plane..(ci + 1) * plane;
+                let mut sum_g = 0.0;
+                let mut sum_gx = 0.0;
+                for i in range.clone() {
+                    sum_g += g[i];
+                    sum_gx += g[i] * xn[i];
+                }
+                self.beta.grad[ci] += sum_g;
+                self.gamma.grad[ci] += sum_gx;
+                let scale = self.gamma.value[ci] * cache.inv_std[ni * c + ci];
+                let (mg, mgx) = (sum_g / m, sum_gx / m);
+                for i in range {
+                    dst[i] = scale * (g[i] - mg - xn[i] * mgx);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
+        visitor(&mut self.gamma);
+        visitor(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn input() -> Tensor {
+        let data: Vec<f32> = (0..24).map(|i| ((i * 11 % 17) as f32 - 8.0) / 4.0).collect();
+        Tensor::from_vec([2, 3, 2, 2], data)
+    }
+
+    #[test]
+    fn batchnorm_normalizes_each_channel() {
+        let mut bn = BatchNorm2d::new(3);
+        let y = bn.forward(&input(), true);
+        let [n, c, h, w] = y.shape();
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        vals.push(y.at(ni, ci, hi, wi));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-5, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(3);
+        // Train repeatedly on the same batch so running stats converge.
+        for _ in 0..200 {
+            bn.forward(&input(), true);
+        }
+        let train_out = bn.forward(&input(), true);
+        let eval_out = bn.forward(&input(), false);
+        for (a, b) in train_out.data().iter().zip(eval_out.data()) {
+            assert!((a - b).abs() < 0.05, "train {a} vs eval {b}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradients() {
+        let mut bn = BatchNorm2d::new(3);
+        gradcheck::check_input_gradient(&mut bn, &input(), 3e-2);
+        gradcheck::check_param_gradients(&mut bn, &input(), 3e-2);
+    }
+
+    #[test]
+    fn instancenorm_normalizes_per_sample() {
+        let mut inorm = InstanceNorm2d::new(3);
+        let y = inorm.forward(&input(), true);
+        let [n, c, h, w] = y.shape();
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut vals = Vec::new();
+                for hi in 0..h {
+                    for wi in 0..w {
+                        vals.push(y.at(ni, ci, hi, wi));
+                    }
+                }
+                let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+                assert!(mean.abs() < 1e-5, "sample {ni} channel {ci} mean {mean}");
+            }
+        }
+    }
+
+    #[test]
+    fn instancenorm_gradients() {
+        let mut inorm = InstanceNorm2d::new(3);
+        gradcheck::check_input_gradient(&mut inorm, &input(), 3e-2);
+        gradcheck::check_param_gradients(&mut inorm, &input(), 3e-2);
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(BatchNorm2d::new(4).param_count(), 8);
+        assert_eq!(InstanceNorm2d::new(4).param_count(), 8);
+    }
+}

@@ -1,0 +1,55 @@
+//! A minimal CPU deep-learning framework for CacheBox.
+//!
+//! The paper implements CB-GAN in PyTorch; mature image-to-image GAN
+//! training stacks do not exist in pure Rust, so this crate provides the
+//! required subset from scratch:
+//!
+//! * [`Tensor`] — dense NCHW `f32` tensors.
+//! * [`layers`] — `Conv2d`, `ConvTranspose2d`, `BatchNorm2d`,
+//!   `InstanceNorm2d`, `Linear`, `ReLU`/`LeakyReLU`/`Tanh`/`Sigmoid`,
+//!   `Dropout`, each with hand-derived backward passes (validated by
+//!   finite-difference tests).
+//! * [`loss`] — L1, MSE, and numerically stable BCE-with-logits.
+//! * [`optim`] — Adam (Pix2Pix defaults) and SGD.
+//! * [`graph::Sequential`] — a layer container for straight-line models;
+//!   CB-GAN's U-Net wires its skip connections explicitly on top of the
+//!   layer primitives.
+//!
+//! Design note: models here are two fixed DAGs, so the crate uses explicit
+//! per-layer `forward`/`backward` methods rather than a general autograd
+//! tape — smaller, fully testable, and fast enough for single-core CPU
+//! training at the reproduction's scale.
+//!
+//! # Example
+//!
+//! ```
+//! use cachebox_nn::{Tensor, layers::{Layer, Linear}, loss, optim::Adam};
+//!
+//! // Fit y = 2x with one linear layer.
+//! let mut layer = Linear::new(1, 1, 0);
+//! let mut adam = Adam::new(0.1);
+//! for _ in 0..1000 {
+//!     let x = Tensor::from_vec([4, 1, 1, 1], vec![0.0, 1.0, 2.0, 3.0]);
+//!     let target = Tensor::from_vec([4, 1, 1, 1], vec![0.0, 2.0, 4.0, 6.0]);
+//!     let y = layer.forward(&x, true);
+//!     let (_, grad) = loss::mse(&y, &target);
+//!     layer.zero_grad();
+//!     layer.backward(&grad);
+//!     adam.step_layer(&mut layer);
+//! }
+//! let probe = layer.forward(&Tensor::from_vec([1, 1, 1, 1], vec![5.0]), false);
+//! assert!((probe.data()[0] - 10.0).abs() < 0.3);
+//! ```
+
+pub mod gemm;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+pub mod tensor;
+
+pub use param::Param;
+pub use tensor::Tensor;

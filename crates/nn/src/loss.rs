@@ -1,0 +1,154 @@
+//! Loss functions. Each returns `(loss_value, gradient_w.r.t._prediction)`.
+
+use crate::tensor::Tensor;
+
+/// Mean absolute error — the paper's reconstruction loss `L_L1` (§3.2.2).
+///
+/// The gradient at exact ties (`pred == target`) is zero.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn l1(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let n = pred.len() as f32;
+    let mut loss = 0.0;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d.abs();
+            if d > 0.0 {
+                1.0 / n
+            } else if d < 0.0 {
+                -1.0 / n
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    (loss / n, Tensor::from_vec(pred.shape(), grad))
+}
+
+/// Mean squared error.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let n = pred.len() as f32;
+    let mut loss = 0.0;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d * d;
+            2.0 * d / n
+        })
+        .collect();
+    (loss / n, Tensor::from_vec(pred.shape(), grad))
+}
+
+/// Numerically stable binary cross-entropy on *logits* — the adversarial
+/// loss of §3.2.2. `target` is typically all-ones (real) or all-zeros
+/// (fake).
+///
+/// Uses `max(x,0) - x·t + ln(1 + e^{-|x|})`; the gradient is
+/// `(σ(x) - t) / n`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn bce_with_logits(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    let n = pred.len() as f32;
+    let mut loss = 0.0;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&x, &t)| {
+            loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+            let sigma = 1.0 / (1.0 + (-x).exp());
+            (sigma - t) / n
+        })
+        .collect();
+    (loss / n, Tensor::from_vec(pred.shape(), grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_vec([1, 1, 1, n], v)
+    }
+
+    #[test]
+    fn l1_values_and_grad() {
+        let (loss, grad) = l1(&t(vec![1.0, -1.0, 0.0]), &t(vec![0.0, 0.0, 0.0]));
+        assert!((loss - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0 / 3.0, -1.0 / 3.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_values_and_grad() {
+        let (loss, grad) = mse(&t(vec![2.0, 0.0]), &t(vec![0.0, 0.0]));
+        assert!((loss - 2.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn bce_at_zero_logit() {
+        // σ(0)=0.5: loss = ln2 for either label; grad = ±0.5/n.
+        let (loss_real, grad_real) = bce_with_logits(&t(vec![0.0]), &t(vec![1.0]));
+        assert!((loss_real - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((grad_real.data()[0] + 0.5).abs() < 1e-6);
+        let (loss_fake, grad_fake) = bce_with_logits(&t(vec![0.0]), &t(vec![0.0]));
+        assert!((loss_fake - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!((grad_fake.data()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let (loss, grad) = bce_with_logits(&t(vec![80.0, -80.0]), &t(vec![1.0, 0.0]));
+        assert!(loss.is_finite() && loss < 1e-6);
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+        let (loss_bad, _) = bce_with_logits(&t(vec![-80.0, 80.0]), &t(vec![1.0, 0.0]));
+        assert!(loss_bad.is_finite() && loss_bad > 50.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let pred = t(vec![0.3, -0.7, 1.5]);
+        let target = t(vec![1.0, 0.0, 1.0]);
+        for loss_fn in [l1, mse, bce_with_logits] {
+            let (_, grad) = loss_fn(&pred, &target);
+            for i in 0..3 {
+                let eps = 1e-3;
+                let mut plus = pred.clone();
+                plus.data_mut()[i] += eps;
+                let mut minus = pred.clone();
+                minus.data_mut()[i] -= eps;
+                let numeric = (loss_fn(&plus, &target).0 - loss_fn(&minus, &target).0) / (2.0 * eps);
+                assert!(
+                    (numeric - grad.data()[i]).abs() < 1e-2,
+                    "i={i}: numeric {numeric} vs {}",
+                    grad.data()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn validates_shapes() {
+        l1(&t(vec![0.0]), &t(vec![0.0, 1.0]));
+    }
+}

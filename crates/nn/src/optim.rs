@@ -1,0 +1,218 @@
+//! Optimizers.
+
+use crate::layers::Layer;
+use crate::param::Param;
+
+/// Adam with Pix2Pix's defaults (`β₁ = 0.5`, `β₂ = 0.999`).
+///
+/// Moment state is keyed by parameter *visit order*, which is stable for
+/// a given model, so one `Adam` instance must be paired with one model.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the GAN-standard betas (0.5, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.5, beta2: 0.999, eps: 1e-8, step: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Returns a copy with custom betas.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both betas are in `[0, 1)`.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for linear decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam step to every parameter of `layer`.
+    pub fn step_layer(&mut self, layer: &mut dyn Layer) {
+        self.step += 1;
+        let t = self.step;
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        layer.visit_params(&mut |p: &mut Param| {
+            if idx == m.len() {
+                m.push(vec![0.0; p.len()]);
+                v.push(vec![0.0; p.len()]);
+            }
+            assert_eq!(m[idx].len(), p.len(), "parameter layout changed between steps");
+            let (pm, pv) = (&mut m[idx], &mut v[idx]);
+            for i in 0..p.len() {
+                let g = p.grad[i];
+                pm[i] = b1 * pm[i] + (1.0 - b1) * g;
+                pv[i] = b2 * pv[i] + (1.0 - b2) * g * g;
+                let m_hat = pm[i] / bias1;
+                let v_hat = pv[i] / bias2;
+                p.value[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer without momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Returns a copy with momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `momentum` is in `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Applies one SGD step to every parameter of `layer`.
+    pub fn step_layer(&mut self, layer: &mut dyn Layer) {
+        let (lr, mu) = (self.lr, self.momentum);
+        let velocity = &mut self.velocity;
+        let mut idx = 0;
+        layer.visit_params(&mut |p: &mut Param| {
+            if idx == velocity.len() {
+                velocity.push(vec![0.0; p.len()]);
+            }
+            let vel = &mut velocity[idx];
+            for ((v, &g), value) in vel.iter_mut().zip(&p.grad).zip(&mut p.value) {
+                *v = mu * *v + g;
+                *value -= lr * *v;
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Linear};
+    use crate::loss;
+    use crate::tensor::Tensor;
+
+    fn train(optim_step: &mut dyn FnMut(&mut Linear), steps: usize) -> f32 {
+        let mut layer = Linear::new(1, 1, 3);
+        let x = Tensor::from_vec([4, 1, 1, 1], vec![-1.0, 0.0, 1.0, 2.0]);
+        let target = Tensor::from_vec([4, 1, 1, 1], vec![-3.0, -1.0, 1.0, 3.0]); // y = 2x - 1
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..steps {
+            let y = layer.forward(&x, true);
+            let (l, grad) = loss::mse(&y, &target);
+            final_loss = l;
+            layer.zero_grad();
+            layer.backward(&grad);
+            optim_step(&mut layer);
+        }
+        final_loss
+    }
+
+    #[test]
+    fn adam_fits_linear_function() {
+        let mut adam = Adam::new(0.05);
+        let loss = train(&mut |l| adam.step_layer(l), 400);
+        assert!(loss < 1e-3, "final loss {loss}");
+    }
+
+    #[test]
+    fn sgd_fits_linear_function() {
+        let mut sgd = Sgd::new(0.05).with_momentum(0.9);
+        let loss = train(&mut |l| sgd.step_layer(l), 400);
+        assert!(loss < 1e-3, "final loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_faster_than_plain_sgd_here() {
+        let mut adam = Adam::new(0.05);
+        let adam_loss = train(&mut |l| adam.step_layer(l), 60);
+        let mut sgd = Sgd::new(0.005);
+        let sgd_loss = train(&mut |l| sgd.step_layer(l), 60);
+        assert!(adam_loss < sgd_loss, "adam {adam_loss} vs sgd {sgd_loss}");
+    }
+
+    #[test]
+    fn set_lr_changes_rate() {
+        let mut adam = Adam::new(0.1);
+        adam.set_lr(0.01);
+        assert_eq!(adam.lr(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_lr() {
+        Adam::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter layout changed")]
+    fn detects_layout_change() {
+        let mut adam = Adam::new(0.01);
+        let mut a = Linear::new(2, 2, 0);
+        let mut b = Linear::new(3, 3, 0);
+        let xa = Tensor::zeros([1, 2, 1, 1]);
+        let ya = a.forward(&xa, true);
+        a.zero_grad();
+        a.backward(&ya);
+        adam.step_layer(&mut a);
+        // Feeding a different model into the same optimizer must fail.
+        let xb = Tensor::zeros([1, 3, 1, 1]);
+        let yb = b.forward(&xb, true);
+        b.zero_grad();
+        b.backward(&yb);
+        adam.step_layer(&mut b);
+    }
+}

@@ -1,0 +1,72 @@
+//! Learnable parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// A learnable parameter tensor: its values and accumulated gradient.
+///
+/// Layers own their `Param`s and expose them to optimizers through
+/// [`Layer::visit_params`](crate::layers::Layer::visit_params); visiting
+/// order is stable, which is how [`Adam`](crate::optim::Adam) associates
+/// moment state with parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter values.
+    pub value: Vec<f32>,
+    /// Accumulated gradient (same length as `value`).
+    pub grad: Vec<f32>,
+}
+
+impl Param {
+    /// Creates a parameter from initial values with a zero gradient.
+    pub fn new(value: Vec<f32>) -> Self {
+        let grad = vec![0.0; value.len()];
+        Param { value, grad }
+    }
+
+    /// Creates an all-zero parameter of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Param::new(vec![0.0; len])
+    }
+
+    /// Number of scalars.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` when the parameter holds no scalars.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// L2 norm of the gradient (diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.grad.iter().map(|g| g * g).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(vec![1.0, 2.0]);
+        assert_eq!(p.grad, vec![0.0, 0.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(vec![1.0]);
+        p.grad[0] = 5.0;
+        assert_eq!(p.grad_norm(), 5.0);
+        p.zero_grad();
+        assert_eq!(p.grad_norm(), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Model parameter snapshots (checkpointing).
+
+use crate::layers::Layer;
+use serde::{Deserialize, Serialize};
+
+/// A flat snapshot of a model's parameters, in visit order.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::{layers::{Layer, Linear}, serialize::StateDict, Tensor};
+///
+/// let mut a = Linear::new(2, 2, 1);
+/// let state = StateDict::from_layer(&mut a);
+/// let mut b = Linear::new(2, 2, 999); // different init
+/// state.load_into(&mut b).unwrap();
+/// let x = Tensor::zeros([1, 2, 1, 1]);
+/// assert_eq!(a.forward(&x, false), b.forward(&x, false));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StateDict {
+    tensors: Vec<Vec<f32>>,
+    /// Non-learnable state (batch-norm running statistics).
+    #[serde(default)]
+    buffers: Vec<Vec<f32>>,
+}
+
+/// Error returned when a snapshot does not fit a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadStateError {
+    expected: usize,
+    found: usize,
+    detail: String,
+}
+
+impl std::fmt::Display for LoadStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "state dict mismatch: model has {} parameter tensors, snapshot has {} ({})",
+            self.expected, self.found, self.detail
+        )
+    }
+}
+
+impl std::error::Error for LoadStateError {}
+
+impl StateDict {
+    /// Captures a snapshot of `layer`'s parameters and state buffers.
+    pub fn from_layer(layer: &mut dyn Layer) -> Self {
+        let mut tensors = Vec::new();
+        layer.visit_params(&mut |p| tensors.push(p.value.clone()));
+        let mut buffers = Vec::new();
+        layer.visit_buffers(&mut |b| buffers.push(b.clone()));
+        StateDict { tensors, buffers }
+    }
+
+    /// Restores a snapshot into `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadStateError`] if the tensor count or any tensor length
+    /// differs from the model's layout.
+    pub fn load_into(&self, layer: &mut dyn Layer) -> Result<(), LoadStateError> {
+        // Validate before mutating.
+        let mut lengths = Vec::new();
+        layer.visit_params(&mut |p| lengths.push(p.len()));
+        if lengths.len() != self.tensors.len() {
+            return Err(LoadStateError {
+                expected: lengths.len(),
+                found: self.tensors.len(),
+                detail: "tensor count differs".to_string(),
+            });
+        }
+        for (i, (len, t)) in lengths.iter().zip(&self.tensors).enumerate() {
+            if *len != t.len() {
+                return Err(LoadStateError {
+                    expected: lengths.len(),
+                    found: self.tensors.len(),
+                    detail: format!("tensor {i} has length {} but model expects {len}", t.len()),
+                });
+            }
+        }
+        let mut buffer_lengths = Vec::new();
+        layer.visit_buffers(&mut |b| buffer_lengths.push(b.len()));
+        if buffer_lengths.len() != self.buffers.len() {
+            return Err(LoadStateError {
+                expected: buffer_lengths.len(),
+                found: self.buffers.len(),
+                detail: "buffer count differs".to_string(),
+            });
+        }
+        for (i, (len, b)) in buffer_lengths.iter().zip(&self.buffers).enumerate() {
+            if *len != b.len() {
+                return Err(LoadStateError {
+                    expected: buffer_lengths.len(),
+                    found: self.buffers.len(),
+                    detail: format!("buffer {i} has length {} but model expects {len}", b.len()),
+                });
+            }
+        }
+        let mut idx = 0;
+        layer.visit_params(&mut |p| {
+            p.value.copy_from_slice(&self.tensors[idx]);
+            idx += 1;
+        });
+        let mut idx = 0;
+        layer.visit_buffers(&mut |b| {
+            b.copy_from_slice(&self.buffers[idx]);
+            idx += 1;
+        });
+        Ok(())
+    }
+
+    /// Number of parameter tensors.
+    pub fn len(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Returns `true` when the snapshot holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.tensors.is_empty()
+    }
+
+    /// Total scalar count.
+    pub fn scalar_count(&self) -> usize {
+        self.tensors.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Sequential;
+    use crate::layers::{Conv2d, Linear};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn roundtrip_through_clone() {
+        let mut model =
+            Sequential::new().push(Conv2d::new(1, 2, 3, 1, 1, 5)).push(Linear::new(2 * 4 * 4, 3, 6));
+        let state = StateDict::from_layer(&mut model);
+        let restored = state.clone();
+        let mut model2 =
+            Sequential::new().push(Conv2d::new(1, 2, 3, 1, 1, 50)).push(Linear::new(2 * 4 * 4, 3, 60));
+        restored.load_into(&mut model2).unwrap();
+        let x = Tensor::zeros([1, 1, 4, 4]);
+        assert_eq!(model.forward(&x, false), model2.forward(&x, false));
+    }
+
+    #[test]
+    fn rejects_wrong_model() {
+        let mut a = Linear::new(2, 2, 0);
+        let state = StateDict::from_layer(&mut a);
+        let mut b = Linear::new(3, 3, 0);
+        let err = state.load_into(&mut b).unwrap_err();
+        assert!(err.to_string().contains("mismatch"));
+        // b is untouched on failure path (validated before mutation).
+    }
+
+    #[test]
+    fn scalar_count() {
+        let mut a = Linear::new(2, 3, 0);
+        let state = StateDict::from_layer(&mut a);
+        assert_eq!(state.scalar_count(), 2 * 3 + 3);
+        assert_eq!(state.len(), 2);
+        assert!(!state.is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Dense NCHW tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense 4-D tensor in NCHW layout (batch, channels, height, width).
+///
+/// Vectors and matrices are represented with trailing singleton
+/// dimensions (e.g. a batch of feature vectors is `[n, c, 1, 1]`).
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::Tensor;
+///
+/// let t = Tensor::zeros([2, 3, 4, 4]);
+/// assert_eq!(t.len(), 96);
+/// assert_eq!(t.shape(), [2, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: [usize; 4],
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates an all-zero tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(shape: [usize; 4]) -> Self {
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        Tensor { shape, data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: [usize; 4], value: f32) -> Self {
+        let mut t = Tensor::zeros(shape);
+        t.data.fill(value);
+        t
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: [usize; 4], data: Vec<f32>) -> Self {
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        assert_eq!(data.len(), shape.iter().product::<usize>(), "buffer length mismatch");
+        Tensor { shape, data }
+    }
+
+    /// The NCHW shape.
+    pub fn shape(&self) -> [usize; 4] {
+        self.shape
+    }
+
+    /// Batch size.
+    pub fn n(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Channel count.
+    pub fn c(&self) -> usize {
+        self.shape[1]
+    }
+
+    /// Height.
+    pub fn h(&self) -> usize {
+        self.shape[2]
+    }
+
+    /// Width.
+    pub fn w(&self) -> usize {
+        self.shape[3]
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` only for the (unrepresentable) empty tensor; kept
+    /// for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Linear index of `(n, c, h, w)`.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.shape[0] && c < self.shape[1] && h < self.shape[2] && w < self.shape[3]
+        );
+        ((n * self.shape[1] + c) * self.shape[2] + h) * self.shape[3] + w
+    }
+
+    /// Element at `(n, c, h, w)`.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.index(n, c, h, w)]
+    }
+
+    /// Sets the element at `(n, c, h, w)`.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) {
+        let i = self.index(n, c, h, w);
+        self.data[i] = value;
+    }
+
+    /// The contiguous slice holding sample `n` (all channels).
+    pub fn sample(&self, n: usize) -> &[f32] {
+        let stride = self.shape[1] * self.shape[2] * self.shape[3];
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Mutable slice for sample `n`.
+    pub fn sample_mut(&mut self, n: usize) -> &mut [f32] {
+        let stride = self.shape[1] * self.shape[2] * self.shape[3];
+        &mut self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: [usize; 4]) -> Tensor {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape must preserve element count"
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Concatenates along the channel axis (dim 1). All other dims must
+    /// match.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any non-channel shape mismatch.
+    pub fn concat_channels(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape[0], other.shape[0], "batch mismatch");
+        assert_eq!(self.shape[2], other.shape[2], "height mismatch");
+        assert_eq!(self.shape[3], other.shape[3], "width mismatch");
+        let [n, c1, h, w] = self.shape;
+        let c2 = other.shape[1];
+        let mut out = Tensor::zeros([n, c1 + c2, h, w]);
+        let plane = h * w;
+        for i in 0..n {
+            let dst = out.sample_mut(i);
+            dst[..c1 * plane].copy_from_slice(self.sample(i));
+            dst[c1 * plane..].copy_from_slice(other.sample(i));
+        }
+        out
+    }
+
+    /// Splits a channel-concatenated tensor back into `(first c1, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c1 >= self.c()`.
+    pub fn split_channels(&self, c1: usize) -> (Tensor, Tensor) {
+        assert!(c1 < self.shape[1], "split point must leave both halves non-empty");
+        let [n, c, h, w] = self.shape;
+        let c2 = c - c1;
+        let plane = h * w;
+        let mut a = Tensor::zeros([n, c1, h, w]);
+        let mut b = Tensor::zeros([n, c2, h, w]);
+        for i in 0..n {
+            let src = self.sample(i);
+            a.sample_mut(i).copy_from_slice(&src[..c1 * plane]);
+            b.sample_mut(i).copy_from_slice(&src[c1 * plane..]);
+        }
+        (a, b)
+    }
+
+    /// Element-wise sum; shapes must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { shape: self.shape, data }
+    }
+
+    /// Element-wise scale by a constant.
+    pub fn scale(&self, factor: f32) -> Tensor {
+        Tensor { shape: self.shape, data: self.data.iter().map(|v| v * factor).collect() }
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Extracts samples `[from, to)` as a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slice_batch(&self, from: usize, to: usize) -> Tensor {
+        assert!(from < to && to <= self.shape[0], "invalid batch range");
+        let stride = self.shape[1] * self.shape[2] * self.shape[3];
+        Tensor {
+            shape: [to - from, self.shape[1], self.shape[2], self.shape[3]],
+            data: self.data[from * stride..to * stride].to_vec(),
+        }
+    }
+
+    /// Stacks tensors along the batch axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or non-batch dims differ.
+    pub fn stack_batch(parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cannot stack zero tensors");
+        let [_, c, h, w] = parts[0].shape;
+        let n: usize = parts.iter().map(|p| p.shape[0]).sum();
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for p in parts {
+            assert_eq!([p.shape[1], p.shape[2], p.shape[3]], [c, h, w], "shape mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { shape: [n, c, h, w], data }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor[{}x{}x{}x{}] mean={:.4}",
+            self.shape[0],
+            self.shape[1],
+            self.shape[2],
+            self.shape[3],
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_row_major_nchw() {
+        let mut t = Tensor::zeros([2, 3, 4, 5]);
+        t.set(1, 2, 3, 4, 7.0);
+        assert_eq!(t.at(1, 2, 3, 4), 7.0);
+        assert_eq!(t.index(1, 2, 3, 4), ((3 + 2) * 4 + 3) * 5 + 4);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let a = Tensor::from_vec([2, 2, 1, 2], (0..8).map(|v| v as f32).collect());
+        let b = Tensor::from_vec([2, 1, 1, 2], (8..12).map(|v| v as f32).collect());
+        let cat = a.concat_channels(&b);
+        assert_eq!(cat.shape(), [2, 3, 1, 2]);
+        let (a2, b2) = cat.split_channels(2);
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn concat_interleaves_per_sample() {
+        let a = Tensor::from_vec([2, 1, 1, 1], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([2, 1, 1, 1], vec![10.0, 20.0]);
+        let cat = a.concat_channels(&b);
+        assert_eq!(cat.data(), &[1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    fn slice_and_stack_batch() {
+        let t = Tensor::from_vec([3, 1, 1, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = t.slice_batch(1, 3);
+        assert_eq!(s.shape(), [2, 1, 1, 2]);
+        assert_eq!(s.data(), &[2.0, 3.0, 4.0, 5.0]);
+        let restored = Tensor::stack_batch(&[t.slice_batch(0, 1), s]);
+        assert_eq!(restored, t);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([1, 1, 1, 2], vec![3.0, 4.0]);
+        assert_eq!(a.add(&b).data(), &[4.0, 6.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.mean(), 1.5);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([1, 4, 1, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = t.clone().reshape([1, 1, 2, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), [1, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_vec_validates() {
+        Tensor::from_vec([1, 1, 1, 2], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count")]
+    fn reshape_validates() {
+        Tensor::zeros([1, 1, 1, 2]).reshape([1, 1, 1, 3]);
+    }
+}

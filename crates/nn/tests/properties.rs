@@ -1,0 +1,165 @@
+//! Property-based tests for the neural-network substrate.
+
+use cachebox_nn::gemm::{col2im, gemm, gemm_a_bt_acc, gemm_at_b_acc, im2col, PatchGrid};
+use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer, Linear};
+use cachebox_nn::Tensor;
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, len..=len)
+}
+
+proptest! {
+    /// GEMM is linear in its left operand: (αA)B = α(AB).
+    #[test]
+    fn gemm_left_linearity(
+        a in small_vec(6),
+        b in small_vec(8),
+        alpha in -3.0f32..3.0,
+    ) {
+        let (m, k, n) = (3, 2, 4);
+        let mut ab = vec![0.0; m * n];
+        gemm(&a, &b, m, k, n, &mut ab);
+        let scaled_a: Vec<f32> = a.iter().map(|v| v * alpha).collect();
+        let mut sab = vec![0.0; m * n];
+        gemm(&scaled_a, &b, m, k, n, &mut sab);
+        for (x, y) in ab.iter().zip(&sab) {
+            prop_assert!((x * alpha - y).abs() < 1e-3, "{x} * {alpha} != {y}");
+        }
+    }
+
+    /// The transposed GEMM variants agree with explicit transposition.
+    #[test]
+    fn gemm_transpose_variants_consistent(
+        a in small_vec(12),
+        b in small_vec(20),
+    ) {
+        let (m, k, n) = (3, 4, 5);
+        let mut reference = vec![0.0; m * n];
+        gemm(&a, &b, m, k, n, &mut reference);
+        // aᵀ path.
+        let mut a_t = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                a_t[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut out = vec![0.0; m * n];
+        gemm_at_b_acc(&a_t, &b, m, k, n, &mut out);
+        for (x, y) in reference.iter().zip(&out) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        // bᵀ path.
+        let mut b_t = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut out2 = vec![0.0; m * n];
+        gemm_a_bt_acc(&a, &b_t, m, k, n, &mut out2);
+        for (x, y) in reference.iter().zip(&out2) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// col2im is the exact adjoint of im2col for random geometries:
+    /// ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩.
+    #[test]
+    fn imcol_adjointness(
+        channels in 1usize..3,
+        height in 3usize..8,
+        width in 3usize..8,
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let grid = PatchGrid { channels, height, width, kernel, stride, pad };
+        prop_assume!(height + 2 * pad >= kernel && width + 2 * pad >= kernel);
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let img_len = channels * height * width;
+        let col_len = grid.patch_rows() * grid.positions();
+        let x: Vec<f32> = (0..img_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f32> = (0..col_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut cols = vec![0.0; col_len];
+        im2col(&x, &grid, &mut cols);
+        let lhs: f64 = cols.iter().zip(&y).map(|(a, b)| (a * b) as f64).sum();
+        let mut img = vec![0.0; img_len];
+        col2im(&y, &grid, &mut img);
+        let rhs: f64 = x.iter().zip(&img).map(|(a, b)| (a * b) as f64).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Zero-bias convolutions are homogeneous: conv(αx) = α·conv(x).
+    #[test]
+    fn conv_homogeneity(seed in 0u64..500, alpha in -2.0f32..2.0) {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, seed);
+        // Zero the bias (second parameter).
+        let mut idx = 0;
+        conv.visit_params(&mut |p| {
+            if idx == 1 {
+                p.value.fill(0.0);
+            }
+            idx += 1;
+        });
+        let x = Tensor::from_vec(
+            [1, 2, 4, 4],
+            (0..32).map(|i| ((i * 7 % 11) as f32 - 5.0) / 5.0).collect(),
+        );
+        let y = conv.forward(&x, false);
+        let y_scaled = conv.forward(&x.scale(alpha), false);
+        for (a, b) in y.data().iter().zip(y_scaled.data()) {
+            prop_assert!((a * alpha - b).abs() < 1e-3);
+        }
+    }
+
+    /// Conv followed by its mirror ConvTranspose restores spatial shape
+    /// for arbitrary valid geometry.
+    #[test]
+    fn conv_convt_shape_inverse(
+        cin in 1usize..3,
+        cout in 1usize..4,
+        size_pow in 2u32..5,
+    ) {
+        let size = 1usize << size_pow;
+        let mut down = Conv2d::new(cin, cout, 4, 2, 1, 1);
+        let mut up = ConvTranspose2d::new(cout, cin, 4, 2, 1, 2);
+        let x = Tensor::zeros([1, cin, size, size]);
+        let mid = down.forward(&x, false);
+        prop_assert_eq!(mid.shape(), [1, cout, size / 2, size / 2]);
+        let back = up.forward(&mid, false);
+        prop_assert_eq!(back.shape(), x.shape());
+    }
+
+    /// Linear layers are affine: f(x+y) - f(y) = f(x) - f(0).
+    #[test]
+    fn linear_affinity(seed in 0u64..500) {
+        let mut l = Linear::new(3, 2, seed);
+        let x = Tensor::from_vec([1, 3, 1, 1], vec![0.3, -0.7, 1.1]);
+        let y = Tensor::from_vec([1, 3, 1, 1], vec![-0.2, 0.5, 0.9]);
+        let zero = Tensor::zeros([1, 3, 1, 1]);
+        let f = |t: &Tensor, l: &mut Linear| l.forward(t, false);
+        let lhs = f(&x.add(&y), &mut l).add(&f(&zero, &mut l).scale(-1.0));
+        let rhs = f(&x, &mut l).add(&f(&y, &mut l)).add(&f(&zero, &mut l).scale(-2.0));
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Tensor concat/split are mutually inverse for arbitrary shapes.
+    #[test]
+    fn concat_split_inverse(
+        n in 1usize..4,
+        c1 in 1usize..5,
+        c2 in 1usize..5,
+        hw in 1usize..5,
+    ) {
+        let a = Tensor::full([n, c1, hw, hw], 1.5);
+        let b = Tensor::full([n, c2, hw, hw], -0.5);
+        let (a2, b2) = a.concat_channels(&b).split_channels(c1);
+        prop_assert_eq!(a2, a);
+        prop_assert_eq!(b2, b);
+    }
+}

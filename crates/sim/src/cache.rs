@@ -1,0 +1,445 @@
+//! The set-associative cache core.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::prefetch::Prefetcher;
+use crate::replacement::{new_set_replacer, SetReplacer};
+use crate::result::SimResult;
+use crate::stats::CacheStats;
+use cachebox_trace::{Address, MemoryAccess, Trace};
+
+
+/// A line evicted or invalidated from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Block number of the departing line.
+    pub block: u64,
+    /// Whether the line was dirty (requires a writeback).
+    pub dirty: bool,
+}
+
+/// Outcome of a single demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was present.
+    Hit,
+    /// The block was absent and has been filled, possibly evicting a line.
+    Miss {
+        /// Line evicted to make room, if the set was full.
+        evicted: Option<EvictedLine>,
+    },
+}
+
+impl AccessOutcome {
+    /// Returns `true` for [`AccessOutcome::Hit`].
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+#[derive(Debug)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    prefetched: bool,
+}
+
+#[derive(Debug)]
+struct CacheSet {
+    lines: Vec<Option<Line>>,
+    replacer: Box<dyn SetReplacer>,
+}
+
+impl CacheSet {
+    fn find(&self, tag: u64) -> Option<usize> {
+        self.lines
+            .iter()
+            .position(|line| line.as_ref().is_some_and(|l| l.tag == tag))
+    }
+
+    fn free_way(&self) -> Option<usize> {
+        self.lines.iter().position(Option::is_none)
+    }
+}
+
+/// A single set-associative, write-allocate, write-back cache.
+///
+/// Replays demand accesses and optional prefetch fills; see the
+/// [crate-level example](crate) for basic usage.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.sets)
+            .map(|i| CacheSet {
+                lines: (0..config.ways).map(|_| None).collect(),
+                replacer: new_set_replacer(config.policy, config.ways, i as u64 + 1),
+            })
+            .collect();
+        Cache { config, sets, stats: CacheStats::default() }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the counters (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache (contents and counters).
+    pub fn flush(&mut self) {
+        *self = Cache::new(self.config);
+    }
+
+    /// Performs one demand access to a byte address.
+    pub fn access(&mut self, address: Address, is_store: bool) -> AccessOutcome {
+        self.access_block(address.block(self.config.block_offset_bits), is_store)
+    }
+
+    /// Performs one demand access to a block number.
+    pub fn access_block(&mut self, block: u64, is_store: bool) -> AccessOutcome {
+        let write_through = self.config.write_policy == WritePolicy::WriteThroughNoAllocate;
+        let set_idx = self.config.set_index_of_block(block);
+        let tag = self.config.tag_of_block(block);
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.find(tag) {
+            self.stats.hits += 1;
+            let line = set.lines[way].as_mut().expect("found way is occupied");
+            if line.prefetched {
+                line.prefetched = false;
+                self.stats.useful_prefetches += 1;
+            }
+            if is_store {
+                if write_through {
+                    self.stats.write_throughs += 1;
+                } else {
+                    line.dirty = true;
+                }
+            }
+            set.replacer.on_hit(way);
+            return AccessOutcome::Hit;
+        }
+        self.stats.misses += 1;
+        if is_store && write_through {
+            // No-write-allocate: the store goes straight through without
+            // filling the cache.
+            self.stats.write_throughs += 1;
+            return AccessOutcome::Miss { evicted: None };
+        }
+        let evicted = self.fill(block, is_store && !write_through, false);
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Checks presence without disturbing replacement state or counters.
+    pub fn contains_block(&self, block: u64) -> bool {
+        let set = &self.sets[self.config.set_index_of_block(block)];
+        set.find(self.config.tag_of_block(block)).is_some()
+    }
+
+    /// Fills `block` as a prefetch. Returns the evicted line, if any.
+    /// Does nothing (and returns `None`) when the block is already present.
+    pub fn fill_prefetch(&mut self, block: u64) -> Option<EvictedLine> {
+        if self.contains_block(block) {
+            return None;
+        }
+        self.stats.prefetches += 1;
+        self.fill(block, false, true)
+    }
+
+    /// Removes `block` if present (back-invalidation from an outer level).
+    pub fn invalidate_block(&mut self, block: u64) -> Option<EvictedLine> {
+        let set_idx = self.config.set_index_of_block(block);
+        let tag = self.config.tag_of_block(block);
+        let set = &mut self.sets[set_idx];
+        let way = set.find(tag)?;
+        let line = set.lines[way].take().expect("found way is occupied");
+        self.stats.invalidations += 1;
+        if line.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(EvictedLine { block, dirty: line.dirty })
+    }
+
+    fn fill(&mut self, block: u64, dirty: bool, prefetched: bool) -> Option<EvictedLine> {
+        let set_idx = self.config.set_index_of_block(block);
+        let tag = self.config.tag_of_block(block);
+        let set = &mut self.sets[set_idx];
+        let (way, evicted) = match set.free_way() {
+            Some(way) => (way, None),
+            None => {
+                let way = set.replacer.victim();
+                let old = set.lines[way].take().expect("victim way is occupied");
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (way, Some(EvictedLine { block: self.config.block_of(set_idx, old.tag), dirty: old.dirty }))
+            }
+        };
+        set.lines[way] = Some(Line { tag, dirty, prefetched });
+        set.replacer.on_fill(way);
+        evicted
+    }
+
+    /// Replays a whole trace, returning per-access hit flags and stats.
+    ///
+    /// Counters are reset at the start of the run so the result reflects
+    /// exactly this trace.
+    pub fn run(&mut self, trace: &Trace) -> SimResult {
+        self.reset_stats();
+        let hit_flags =
+            trace.iter().map(|a| self.access(a.address, a.kind.is_store()).is_hit()).collect();
+        SimResult { hit_flags, stats: self.stats }
+    }
+
+    /// Replays a trace with a prefetcher attached.
+    ///
+    /// On every demand access the prefetcher observes the access (and
+    /// whether it hit) and may return candidate addresses which are filled
+    /// into the cache. Returns the simulation result plus the trace of
+    /// issued prefetch addresses (stamped with the triggering access's
+    /// instruction number) — the "prefetch heatmap" stream of RQ7.
+    pub fn run_with_prefetcher(
+        &mut self,
+        trace: &Trace,
+        prefetcher: &mut dyn Prefetcher,
+    ) -> (SimResult, Trace) {
+        self.reset_stats();
+        let mut hit_flags = Vec::with_capacity(trace.len());
+        let mut prefetch_trace = Trace::with_capacity(trace.len() / 4);
+        let mut candidates = Vec::new();
+        for a in trace {
+            let hit = self.access(a.address, a.kind.is_store()).is_hit();
+            hit_flags.push(hit);
+            candidates.clear();
+            prefetcher.observe(a, hit, &mut candidates);
+            for &addr in &candidates {
+                let block = addr.block(self.config.block_offset_bits);
+                if !self.contains_block(block) {
+                    self.fill_prefetch(block);
+                    prefetch_trace.push(MemoryAccess::load(a.instr, addr));
+                }
+            }
+        }
+        (SimResult { hit_flags, stats: self.stats }, prefetch_trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplacementPolicyKind;
+    use cachebox_trace::trace::TraceBuilder;
+
+    fn addr(block: u64) -> Address {
+        Address::new(block * 64)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::new(4, 2));
+        assert!(!c.access(addr(0), false).is_hit());
+        assert!(c.access(addr(0), false).is_hit());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn same_block_different_offsets_hit() {
+        let mut c = Cache::new(CacheConfig::new(4, 2));
+        c.access(Address::new(0), false);
+        assert!(c.access(Address::new(63), false).is_hit());
+        assert!(!c.access(Address::new(64), false).is_hit());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Direct-mapped within one set: 1 set, 2 ways.
+        let mut c = Cache::new(CacheConfig::new(1, 2));
+        c.access(addr(0), false);
+        c.access(addr(1), false);
+        c.access(addr(0), false); // 1 is now LRU
+        match c.access(addr(2), false) {
+            AccessOutcome::Miss { evicted: Some(e) } => assert_eq!(e.block, 1),
+            other => panic!("expected eviction of block 1, got {other:?}"),
+        }
+        assert!(c.access(addr(0), false).is_hit());
+        assert!(!c.contains_block(1));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = Cache::new(CacheConfig::new(1, 1));
+        c.access(addr(0), true); // store => dirty
+        c.access(addr(1), false); // evicts dirty block 0
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = Cache::new(CacheConfig::new(1, 1));
+        c.access(addr(0), false);
+        c.access(addr(0), true); // hit, now dirty
+        c.access(addr(1), false);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = Cache::new(CacheConfig::new(4, 2));
+        c.access(addr(0), true);
+        let ev = c.invalidate_block(0).expect("block present");
+        assert!(ev.dirty);
+        assert!(!c.contains_block(0));
+        assert_eq!(c.invalidate_block(0), None);
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn prefetch_fill_and_usefulness() {
+        let mut c = Cache::new(CacheConfig::new(4, 2));
+        c.fill_prefetch(5);
+        assert!(c.contains_block(5));
+        assert_eq!(c.stats().prefetches, 1);
+        assert!(c.access(addr(5), false).is_hit());
+        assert_eq!(c.stats().useful_prefetches, 1);
+        // A second hit must not double-count usefulness.
+        c.access(addr(5), false);
+        assert_eq!(c.stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn prefetch_of_present_block_is_noop() {
+        let mut c = Cache::new(CacheConfig::new(4, 2));
+        c.access(addr(3), false);
+        assert_eq!(c.fill_prefetch(3), None);
+        assert_eq!(c.stats().prefetches, 0);
+    }
+
+    #[test]
+    fn run_resets_stats_between_calls() {
+        let mut c = Cache::new(CacheConfig::new(4, 2));
+        let mut b = TraceBuilder::new();
+        b.load(addr(0)).load(addr(0));
+        let t = b.finish();
+        let r1 = c.run(&t);
+        let r2 = c.run(&t);
+        assert_eq!(r1.stats.misses, 1);
+        // Second run: block already resident, no misses.
+        assert_eq!(r2.stats.misses, 0);
+        assert_eq!(r2.stats.accesses(), 2);
+    }
+
+    #[test]
+    fn flush_empties_contents() {
+        let mut c = Cache::new(CacheConfig::new(4, 2));
+        c.access(addr(0), false);
+        c.flush();
+        assert!(!c.contains_block(0));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes_with_lru() {
+        // 1 set, 4 ways, cyclic over 5 blocks: LRU always evicts the next
+        // block to be used => 0% hit rate after warmup.
+        let mut c = Cache::new(CacheConfig::new(1, 4));
+        let mut b = TraceBuilder::new();
+        for i in 0..50u64 {
+            b.load(addr(i % 5));
+        }
+        let r = c.run(&b.finish());
+        assert_eq!(r.stats.hits, 0, "LRU must thrash on cyclic overcapacity pattern");
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = Cache::new(CacheConfig::new(1, 8));
+        let mut b = TraceBuilder::new();
+        for i in 0..80u64 {
+            b.load(addr(i % 5));
+        }
+        let r = c.run(&b.finish());
+        assert_eq!(r.stats.misses, 5, "only cold misses expected");
+    }
+
+    #[test]
+    fn set_indexing_separates_conflicting_blocks() {
+        // Blocks 0 and 4 map to set 0 of a 4-set cache; 1 maps to set 1.
+        let mut c = Cache::new(CacheConfig::new(4, 1));
+        c.access(addr(0), false);
+        c.access(addr(1), false);
+        c.access(addr(4), false); // evicts 0, not 1
+        assert!(!c.contains_block(0));
+        assert!(c.contains_block(1));
+        assert!(c.contains_block(4));
+    }
+
+    #[test]
+    fn write_through_no_allocate_semantics() {
+        use crate::config::WritePolicy;
+        let config =
+            CacheConfig::new(4, 2).with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut c = Cache::new(config);
+        // Store miss: does not fill.
+        assert!(!c.access(addr(0), true).is_hit());
+        assert!(!c.contains_block(0));
+        assert_eq!(c.stats().write_throughs, 1);
+        // Load fills; subsequent store hit writes through, no dirty line.
+        c.access(addr(0), false);
+        assert!(c.access(addr(0), true).is_hit());
+        assert_eq!(c.stats().write_throughs, 2);
+        // Evicting the line must not cause a writeback (never dirty).
+        c.access(addr(4), false);
+        c.access(addr(8), false);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_through_loads_unaffected() {
+        use crate::config::WritePolicy;
+        let wt = CacheConfig::new(8, 2).with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let wb = CacheConfig::new(8, 2);
+        let trace: Trace = (0..200u64)
+            .map(|i| MemoryAccess::load(i, Address::new((i % 24) * 64)))
+            .collect();
+        let mut a = Cache::new(wt);
+        let mut b = Cache::new(wb);
+        assert_eq!(a.run(&trace).stats.hits, b.run(&trace).stats.hits);
+    }
+
+    #[test]
+    fn policies_all_simulate() {
+        for policy in [
+            ReplacementPolicyKind::Lru,
+            ReplacementPolicyKind::Fifo,
+            ReplacementPolicyKind::Random,
+            ReplacementPolicyKind::TreePlru,
+            ReplacementPolicyKind::Srrip,
+        ] {
+            let mut c = Cache::new(CacheConfig::new(2, 2).with_policy(policy));
+            let mut b = TraceBuilder::new();
+            for i in 0..100u64 {
+                b.load(addr(i % 7));
+            }
+            let r = c.run(&b.finish());
+            assert_eq!(r.stats.accesses(), 100);
+            assert!(r.stats.misses >= 7, "at least cold misses for {policy}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Cache configuration types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Replacement policy selector.
+///
+/// The paper's ground-truth data is collected with LRU (ChampSim's
+/// default); the other policies support ablations and the multi-policy
+/// extension discussed in §6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReplacementPolicyKind {
+    /// Least recently used (paper default).
+    #[default]
+    Lru,
+    /// First in, first out.
+    Fifo,
+    /// Uniform random victim (deterministic per-seed).
+    Random,
+    /// Tree-based pseudo-LRU.
+    TreePlru,
+    /// Static re-reference interval prediction (2-bit RRPV).
+    Srrip,
+}
+
+impl fmt::Display for ReplacementPolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplacementPolicyKind::Lru => "lru",
+            ReplacementPolicyKind::Fifo => "fifo",
+            ReplacementPolicyKind::Random => "random",
+            ReplacementPolicyKind::TreePlru => "tree-plru",
+            ReplacementPolicyKind::Srrip => "srrip",
+        })
+    }
+}
+
+/// Write handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Write-back, write-allocate (ChampSim's and the paper's setting):
+    /// stores dirty the line; misses on stores fill the cache.
+    #[default]
+    WriteBackAllocate,
+    /// Write-through, no-write-allocate: stores propagate immediately
+    /// (counted in [`CacheStats::write_throughs`]) and store misses do
+    /// not fill the cache.
+    ///
+    /// [`CacheStats::write_throughs`]: crate::CacheStats::write_throughs
+    WriteThroughNoAllocate,
+}
+
+/// Hierarchy inclusion policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum InclusionPolicy {
+    /// Lower levels may hold blocks absent from upper levels
+    /// (ChampSim's default behaviour).
+    #[default]
+    NonInclusive,
+    /// Evicting a block from an outer level back-invalidates inner levels.
+    Inclusive,
+}
+
+/// Geometry and policy of a single cache level.
+///
+/// The paper identifies configurations by `<sets>set-<ways>way` with a
+/// fixed 64-byte block; [`CacheConfig::name`] renders that form.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_sim::CacheConfig;
+///
+/// let l1 = CacheConfig::new(64, 12);
+/// assert_eq!(l1.name(), "64set-12way");
+/// assert_eq!(l1.capacity_bytes(), 64 * 12 * 64);
+/// assert_eq!(l1.capacity_blocks(), 768);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// log2 of the block size in bytes (6 ⇒ 64-byte blocks, the paper's
+    /// fixed choice).
+    pub block_offset_bits: u32,
+    /// Replacement policy.
+    pub policy: ReplacementPolicyKind,
+    /// Write handling policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// Creates a configuration with 64-byte blocks and LRU replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a non-zero power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a non-zero power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        CacheConfig {
+            sets,
+            ways,
+            block_offset_bits: 6,
+            policy: ReplacementPolicyKind::Lru,
+            write_policy: WritePolicy::default(),
+        }
+    }
+
+    /// Returns a copy with the given write policy.
+    pub fn with_write_policy(mut self, write_policy: WritePolicy) -> Self {
+        self.write_policy = write_policy;
+        self
+    }
+
+    /// Returns a copy with the given replacement policy.
+    pub fn with_policy(mut self, policy: ReplacementPolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Returns a copy with a block size of `2^block_offset_bits` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_offset_bits` exceeds 20 (1 MiB blocks).
+    pub fn with_block_offset_bits(mut self, block_offset_bits: u32) -> Self {
+        assert!(block_offset_bits <= 20, "unreasonable block size");
+        self.block_offset_bits = block_offset_bits;
+        self
+    }
+
+    /// Block size in bytes.
+    pub const fn block_bytes(&self) -> u64 {
+        1 << self.block_offset_bits
+    }
+
+    /// Total capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.block_bytes()
+    }
+
+    /// Total capacity in blocks (sets × ways).
+    pub const fn capacity_blocks(&self) -> u64 {
+        (self.sets * self.ways) as u64
+    }
+
+    /// The paper's `<sets>set-<ways>way` naming.
+    pub fn name(&self) -> String {
+        format!("{}set-{}way", self.sets, self.ways)
+    }
+
+    /// The set index for a block number.
+    pub const fn set_index_of_block(&self, block: u64) -> usize {
+        (block & (self.sets as u64 - 1)) as usize
+    }
+
+    /// The tag for a block number.
+    pub const fn tag_of_block(&self, block: u64) -> u64 {
+        block >> self.sets.trailing_zeros()
+    }
+
+    /// Reconstructs the block number from a set index and tag.
+    pub const fn block_of(&self, set: usize, tag: u64) -> u64 {
+        (tag << self.sets.trailing_zeros()) | set as u64
+    }
+
+    /// The cache parameters fed to CB-GAN: `(sets, ways)`.
+    pub const fn gan_parameters(&self) -> (f32, f32) {
+        (self.sets as f32, self.ways as f32)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} B blocks, {})", self.name(), self.block_bytes(), self.policy)
+    }
+}
+
+/// The paper's standard configurations (§5).
+pub mod presets {
+    use super::CacheConfig;
+
+    /// L1D baseline: 64 sets × 12 ways (48 KiB).
+    pub fn l1_64s_12w() -> CacheConfig {
+        CacheConfig::new(64, 12)
+    }
+
+    /// RQ2 set: the four L1 configurations one model is trained on.
+    pub fn rq2_train_configs() -> Vec<CacheConfig> {
+        vec![
+            CacheConfig::new(64, 12),
+            CacheConfig::new(128, 12),
+            CacheConfig::new(128, 6),
+            CacheConfig::new(128, 3),
+        ]
+    }
+
+    /// RQ3 set: the three configurations never seen in training.
+    pub fn rq3_unseen_configs() -> Vec<CacheConfig> {
+        vec![CacheConfig::new(256, 6), CacheConfig::new(256, 12), CacheConfig::new(32, 12)]
+    }
+
+    /// L2 baseline: 1024 sets × 8 ways (512 KiB).
+    pub fn l2_1024s_8w() -> CacheConfig {
+        CacheConfig::new(1024, 8)
+    }
+
+    /// L3 baseline: 2048 sets × 16 ways (2 MiB).
+    pub fn l3_2048s_16w() -> CacheConfig {
+        CacheConfig::new(2048, 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_matches_paper_format() {
+        assert_eq!(CacheConfig::new(128, 6).name(), "128set-6way");
+    }
+
+    #[test]
+    fn geometry_roundtrip() {
+        let c = CacheConfig::new(64, 12);
+        for block in [0u64, 1, 63, 64, 12345, u64::MAX >> 7] {
+            let set = c.set_index_of_block(block);
+            let tag = c.tag_of_block(block);
+            assert_eq!(c.block_of(set, tag), block);
+            assert!(set < c.sets);
+        }
+    }
+
+    #[test]
+    fn capacities() {
+        let c = CacheConfig::new(1024, 8);
+        assert_eq!(c.capacity_bytes(), 512 * 1024);
+        assert_eq!(c.capacity_blocks(), 8192);
+        assert_eq!(c.block_bytes(), 64);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = CacheConfig::new(64, 4)
+            .with_policy(ReplacementPolicyKind::Fifo)
+            .with_block_offset_bits(7);
+        assert_eq!(c.policy, ReplacementPolicyKind::Fifo);
+        assert_eq!(c.block_bytes(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        CacheConfig::new(100, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways")]
+    fn rejects_zero_ways() {
+        CacheConfig::new(64, 0);
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        assert_eq!(presets::l1_64s_12w().name(), "64set-12way");
+        let names: Vec<String> = presets::rq2_train_configs().iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["64set-12way", "128set-12way", "128set-6way", "128set-3way"]);
+        let unseen: Vec<String> = presets::rq3_unseen_configs().iter().map(|c| c.name()).collect();
+        assert_eq!(unseen, ["256set-6way", "256set-12way", "32set-12way"]);
+        assert_eq!(presets::l2_1024s_8w().capacity_bytes(), 512 * 1024);
+        assert_eq!(presets::l3_2048s_16w().capacity_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn display_includes_policy() {
+        let s = CacheConfig::new(64, 12).to_string();
+        assert!(s.contains("64set-12way") && s.contains("lru"));
+    }
+}

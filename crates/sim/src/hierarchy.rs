@@ -1,0 +1,300 @@
+//! Multi-level cache hierarchy simulation.
+//!
+//! The paper's key observation (§2) is that *every bus* between memory
+//! components carries a trace renderable as a heatmap: the stream entering
+//! L1 is the program's access trace; the stream entering L2 is L1's miss
+//! trace; and so on. [`CacheHierarchy::run`] replays a trace through up to
+//! three levels and returns, for each level, both streams.
+
+use crate::cache::Cache;
+use crate::config::{CacheConfig, InclusionPolicy};
+use crate::stats::CacheStats;
+use cachebox_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a multi-level hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_sim::{CacheConfig, HierarchyConfig};
+///
+/// let config = HierarchyConfig::three_level(
+///     CacheConfig::new(64, 12),
+///     CacheConfig::new(1024, 8),
+///     CacheConfig::new(2048, 16),
+/// );
+/// assert_eq!(config.levels.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Per-level configurations, innermost (L1) first.
+    pub levels: Vec<CacheConfig>,
+    /// Inclusion policy between adjacent levels.
+    pub inclusion: InclusionPolicy,
+}
+
+impl HierarchyConfig {
+    /// Builds a hierarchy from innermost-first level configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<CacheConfig>) -> Self {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        HierarchyConfig { levels, inclusion: InclusionPolicy::default() }
+    }
+
+    /// Convenience constructor for the paper's L1/L2/L3 setup.
+    pub fn three_level(l1: CacheConfig, l2: CacheConfig, l3: CacheConfig) -> Self {
+        Self::new(vec![l1, l2, l3])
+    }
+
+    /// Returns a copy with the given inclusion policy.
+    pub fn with_inclusion(mut self, inclusion: InclusionPolicy) -> Self {
+        self.inclusion = inclusion;
+        self
+    }
+
+    /// The paper's default hierarchy: 64set-12way L1, 1024set-8way L2,
+    /// 2048set-16way L3.
+    pub fn paper_default() -> Self {
+        Self::three_level(
+            CacheConfig::new(64, 12),
+            CacheConfig::new(1024, 8),
+            CacheConfig::new(2048, 16),
+        )
+    }
+}
+
+/// The two streams observed at one cache level.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LevelStreams {
+    /// Accesses entering the level (its demand stream).
+    pub accesses: Trace,
+    /// Accesses that missed (the stream leaving toward the next level).
+    pub misses: Trace,
+    /// Per-access hit flags aligned with `accesses`.
+    pub hit_flags: Vec<bool>,
+    /// The level's counters for this run.
+    pub stats: CacheStats,
+}
+
+impl LevelStreams {
+    /// Hit rate at this level for this run.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hit_rate()
+    }
+}
+
+/// Result of replaying a trace through the full hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HierarchyResult {
+    /// Per-level streams, innermost (L1) first.
+    pub levels: Vec<LevelStreams>,
+}
+
+impl HierarchyResult {
+    /// Streams at `level` (0 = L1).
+    pub fn level(&self, level: usize) -> &LevelStreams {
+        &self.levels[level]
+    }
+}
+
+/// A multi-level cache hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_sim::{CacheHierarchy, HierarchyConfig, CacheConfig};
+/// use cachebox_trace::{Address, MemoryAccess, Trace};
+///
+/// let mut hierarchy = CacheHierarchy::new(HierarchyConfig::new(vec![
+///     CacheConfig::new(2, 1),
+///     CacheConfig::new(8, 2),
+/// ]));
+/// let trace: Trace = (0..64u64)
+///     .map(|i| MemoryAccess::load(i, Address::new((i % 8) * 64)))
+///     .collect();
+/// let result = hierarchy.run(&trace);
+/// // L2 sees exactly L1's misses.
+/// assert_eq!(
+///     result.level(1).accesses.len(),
+///     result.level(0).misses.len(),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    caches: Vec<Cache>,
+}
+
+impl CacheHierarchy {
+    /// Creates an all-cold hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        let caches = config.levels.iter().map(|&c| Cache::new(c)).collect();
+        CacheHierarchy { config, caches }
+    }
+
+    /// The hierarchy's configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Empties every level.
+    pub fn flush(&mut self) {
+        for cache in &mut self.caches {
+            cache.flush();
+        }
+    }
+
+    /// Replays `trace` through every level, threading each level's miss
+    /// stream into the next, and returns the per-level streams.
+    ///
+    /// All caches start cold for this run (the hierarchy is flushed
+    /// first), matching the paper's warmup-free ChampSim runs.
+    pub fn run(&mut self, trace: &Trace) -> HierarchyResult {
+        self.flush();
+        let n = self.caches.len();
+        let mut accesses: Vec<Trace> = (0..n).map(|_| Trace::new()).collect();
+        let mut misses: Vec<Trace> = (0..n).map(|_| Trace::new()).collect();
+        let mut hit_flags: Vec<Vec<bool>> = (0..n).map(|_| Vec::new()).collect();
+        // Thread each access through the levels immediately so inclusive
+        // back-invalidations are ordered correctly relative to later
+        // accesses.
+        for access in trace {
+            for level in 0..n {
+                accesses[level].push(*access);
+                let outcome = self.caches[level].access(access.address, access.kind.is_store());
+                hit_flags[level].push(outcome.is_hit());
+                match outcome {
+                    crate::cache::AccessOutcome::Hit => break,
+                    crate::cache::AccessOutcome::Miss { evicted } => {
+                        if self.config.inclusion == InclusionPolicy::Inclusive {
+                            if let Some(ev) = evicted {
+                                for inner in 0..level {
+                                    self.caches[inner].invalidate_block(ev.block);
+                                }
+                            }
+                        }
+                        misses[level].push(*access);
+                    }
+                }
+            }
+        }
+        let levels = accesses
+            .into_iter()
+            .zip(misses)
+            .zip(hit_flags)
+            .zip(&self.caches)
+            .map(|(((accesses, misses), hit_flags), cache)| LevelStreams {
+                accesses,
+                misses,
+                hit_flags,
+                stats: *cache.stats(),
+            })
+            .collect();
+        HierarchyResult { levels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_trace::{Address, MemoryAccess};
+
+    fn cyclic_trace(blocks: u64, len: u64) -> Trace {
+        (0..len).map(|i| MemoryAccess::load(i, Address::new((i % blocks) * 64))).collect()
+    }
+
+    #[test]
+    fn miss_stream_threads_between_levels() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::new(vec![
+            CacheConfig::new(1, 2), // 2 blocks
+            CacheConfig::new(1, 8), // 8 blocks
+        ]));
+        let r = h.run(&cyclic_trace(4, 400));
+        // L1 (2 blocks, cyclic 4 with LRU) thrashes: every access misses.
+        assert_eq!(r.level(0).stats.hits, 0);
+        // L2 holds all 4 blocks: only cold misses escape.
+        assert_eq!(r.level(1).stats.misses, 4);
+        assert_eq!(r.level(1).accesses.len(), r.level(0).misses.len());
+        assert_eq!(r.level(1).hit_rate(), (400.0 - 4.0) / 400.0);
+    }
+
+    #[test]
+    fn l1_hit_suppresses_l2_traffic() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::new(vec![
+            CacheConfig::new(4, 2),
+            CacheConfig::new(16, 2),
+        ]));
+        let r = h.run(&cyclic_trace(2, 100));
+        assert_eq!(r.level(0).stats.misses, 2);
+        assert_eq!(r.level(1).accesses.len(), 2);
+    }
+
+    #[test]
+    fn three_level_monotone_traffic() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default());
+        let trace = cyclic_trace(2000, 20_000);
+        let r = h.run(&trace);
+        assert_eq!(r.levels.len(), 3);
+        for w in r.levels.windows(2) {
+            assert!(
+                w[1].accesses.len() <= w[0].accesses.len(),
+                "traffic must shrink (or stay equal) moving outward"
+            );
+            assert_eq!(w[1].accesses, w[0].misses);
+        }
+    }
+
+    #[test]
+    fn inclusive_back_invalidation() {
+        // L1 big, L2 tiny: L2 evictions must kick blocks out of L1.
+        let config = HierarchyConfig::new(vec![CacheConfig::new(16, 4), CacheConfig::new(1, 1)])
+            .with_inclusion(InclusionPolicy::Inclusive);
+        let mut h = CacheHierarchy::new(config);
+        // Access block 0 then block 1: block 1's L2 fill evicts block 0
+        // from L2, which must invalidate block 0 in L1 as well.
+        let trace: Trace = vec![
+            MemoryAccess::load(0, Address::new(0)),
+            MemoryAccess::load(1, Address::new(64)),
+            MemoryAccess::load(2, Address::new(0)),
+        ]
+        .into();
+        let r = h.run(&trace);
+        // Third access re-misses in L1 because of the back-invalidation.
+        assert_eq!(r.level(0).stats.misses, 3);
+    }
+
+    #[test]
+    fn non_inclusive_keeps_inner_copies() {
+        let config = HierarchyConfig::new(vec![CacheConfig::new(16, 4), CacheConfig::new(1, 1)]);
+        let mut h = CacheHierarchy::new(config);
+        let trace: Trace = vec![
+            MemoryAccess::load(0, Address::new(0)),
+            MemoryAccess::load(1, Address::new(64)),
+            MemoryAccess::load(2, Address::new(0)),
+        ]
+        .into();
+        let r = h.run(&trace);
+        // Third access hits in L1: L2's eviction does not disturb L1.
+        assert_eq!(r.level(0).stats.misses, 2);
+        assert_eq!(r.level(0).stats.hits, 1);
+    }
+
+    #[test]
+    fn run_is_cold_start_each_time() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::new(vec![CacheConfig::new(4, 2)]));
+        let t = cyclic_trace(2, 10);
+        let r1 = h.run(&t);
+        let r2 = h.run(&t);
+        assert_eq!(r1, r2, "runs must be independent (cold start)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_rejected() {
+        HierarchyConfig::new(vec![]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Trace-driven cache simulation for CacheBox.
+//!
+//! This crate is the reproduction's substitute for ChampSim: it replays a
+//! memory access [`Trace`](cachebox_trace::Trace) through a set-associative
+//! cache (or a full L1/L2/L3 [hierarchy]) and records, for every
+//! access, whether it hit or missed. Those per-access outcomes are the
+//! ground truth from which `cachebox-heatmap` builds the *miss heatmaps*
+//! CB-GAN is trained on.
+//!
+//! Provided components:
+//!
+//! * [`Cache`] — a single set-associative cache with pluggable
+//!   [replacement policies](replacement) (LRU, FIFO, Random, tree-PLRU,
+//!   SRRIP), write-allocate/write-back semantics, and optional
+//!   [prefetching](prefetch).
+//! * [`CacheHierarchy`] — a multi-level hierarchy producing the per-level
+//!   access and miss streams the paper renders as bus heatmaps.
+//! * [`multicache`] — a deliberately simple "MultiCacheSim-style" simulator
+//!   used as the throughput comparison point in Figure 11.
+//!
+//! # Example
+//!
+//! ```
+//! use cachebox_sim::{Cache, CacheConfig};
+//! use cachebox_trace::{Address, MemoryAccess, Trace};
+//!
+//! // A small direct-mapped cache: 4 sets, 1 way, 64-byte blocks.
+//! let config = CacheConfig::new(4, 1);
+//! let mut cache = Cache::new(config);
+//! let trace: Trace = (0..8u64)
+//!     .map(|i| MemoryAccess::load(i, Address::new((i % 2) * 64)))
+//!     .collect();
+//! let result = cache.run(&trace);
+//! // Two cold misses, then alternating hits.
+//! assert_eq!(result.stats.misses, 2);
+//! assert_eq!(result.stats.hits, 6);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod multicache;
+pub mod prefetch;
+pub mod replacement;
+pub mod result;
+pub mod stats;
+pub mod victim;
+
+pub use cache::{AccessOutcome, Cache, EvictedLine};
+pub use config::{CacheConfig, InclusionPolicy, ReplacementPolicyKind};
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyResult, LevelStreams};
+pub use prefetch::{NextLinePrefetcher, PrefetchTrigger, Prefetcher, StridePrefetcher};
+pub use result::SimResult;
+pub use stats::CacheStats;

@@ -1,0 +1,237 @@
+//! A MultiCacheSim-style baseline simulator.
+//!
+//! Figure 11 of the paper compares CBox inference time against
+//! [MultiCacheSim](https://github.com/blucia0a/MultiCacheSim), a simple,
+//! high-throughput multiprocessor cache simulator. This module mirrors
+//! that simulator's design decisions — a per-cache vector of line objects
+//! scanned linearly on every access, MSI-style coherence bookkeeping, and
+//! the ability to simulate several caches over the same reference stream
+//! simultaneously — so the throughput comparison has a realistic,
+//! similarly-engineered counterpart.
+//!
+//! It intentionally does *not* reuse the optimized [`crate::Cache`]
+//! core: the point of the baseline is to model the constant factors of a
+//! straightforward implementation.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+use cachebox_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// MSI coherence states kept per line, as MultiCacheSim does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoherenceState {
+    Modified,
+    Shared,
+    Invalid,
+}
+
+#[derive(Debug, Clone)]
+struct SimpleLine {
+    tag: u64,
+    set: usize,
+    state: CoherenceState,
+    last_use: u64,
+}
+
+/// One cache inside the multi-cache simulator.
+#[derive(Debug)]
+struct SimpleCache {
+    config: CacheConfig,
+    // A flat vector of lines, scanned linearly — MultiCacheSim's layout.
+    lines: Vec<SimpleLine>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SimpleCache {
+    fn new(config: CacheConfig) -> Self {
+        SimpleCache { config, lines: Vec::new(), clock: 0, stats: CacheStats::default() }
+    }
+
+    fn access(&mut self, block: u64, is_store: bool) -> bool {
+        self.clock += 1;
+        let set = self.config.set_index_of_block(block);
+        let tag = self.config.tag_of_block(block);
+        // Linear scan over every resident line (the baseline's signature
+        // inefficiency, faithful to the original's per-access search).
+        let mut found = None;
+        for (i, line) in self.lines.iter().enumerate() {
+            if line.set == set && line.tag == tag && line.state != CoherenceState::Invalid {
+                found = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = found {
+            self.stats.hits += 1;
+            self.lines[i].last_use = self.clock;
+            if is_store {
+                self.lines[i].state = CoherenceState::Modified;
+            }
+            return true;
+        }
+        self.stats.misses += 1;
+        // Count lines in this set; evict LRU if the set is full.
+        let in_set: Vec<usize> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.set == set && l.state != CoherenceState::Invalid)
+            .map(|(i, _)| i)
+            .collect();
+        if in_set.len() >= self.config.ways {
+            let victim = in_set
+                .into_iter()
+                .min_by_key(|&i| self.lines[i].last_use)
+                .expect("set is non-empty");
+            self.stats.evictions += 1;
+            if self.lines[victim].state == CoherenceState::Modified {
+                self.stats.writebacks += 1;
+            }
+            self.lines.swap_remove(victim);
+        }
+        self.lines.push(SimpleLine {
+            tag,
+            set,
+            state: if is_store { CoherenceState::Modified } else { CoherenceState::Shared },
+            last_use: self.clock,
+        });
+        false
+    }
+}
+
+/// Result of a [`MultiCacheSim`] run: per-config stats, aligned with the
+/// configurations passed at construction.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MultiCacheResult {
+    /// One stats record per simulated cache configuration.
+    pub per_cache: Vec<CacheStats>,
+}
+
+/// Simulates one reference stream through several caches simultaneously,
+/// in MultiCacheSim's style.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_sim::{CacheConfig, multicache::MultiCacheSim};
+/// use cachebox_trace::{Address, MemoryAccess, Trace};
+///
+/// let mut sim = MultiCacheSim::new(vec![
+///     CacheConfig::new(2, 1),
+///     CacheConfig::new(8, 4),
+/// ]);
+/// let trace: Trace = (0..100u64)
+///     .map(|i| MemoryAccess::load(i, Address::new((i % 16) * 64)))
+///     .collect();
+/// let result = sim.run(&trace);
+/// // The larger cache can only do better.
+/// assert!(result.per_cache[1].hit_rate() >= result.per_cache[0].hit_rate());
+/// ```
+#[derive(Debug)]
+pub struct MultiCacheSim {
+    caches: Vec<SimpleCache>,
+}
+
+impl MultiCacheSim {
+    /// Creates a simulator running every configuration in parallel over
+    /// the same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        assert!(!configs.is_empty(), "need at least one cache configuration");
+        MultiCacheSim { caches: configs.into_iter().map(SimpleCache::new).collect() }
+    }
+
+    /// Replays the trace through every cache, returning per-cache stats.
+    /// Caches start cold on each call.
+    pub fn run(&mut self, trace: &Trace) -> MultiCacheResult {
+        for cache in &mut self.caches {
+            *cache = SimpleCache::new(cache.config);
+        }
+        for access in trace {
+            for cache in &mut self.caches {
+                let block = access.address.block(cache.config.block_offset_bits);
+                cache.access(block, access.kind.is_store());
+            }
+        }
+        MultiCacheResult { per_cache: self.caches.iter().map(|c| c.stats).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cache;
+    use cachebox_trace::{Address, MemoryAccess};
+    use rand::{Rng, SeedableRng};
+
+    fn random_trace(seed: u64, len: usize, blocks: u64) -> Trace {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len as u64)
+            .map(|i| {
+                let b: u64 = rng.gen_range(0..blocks);
+                if rng.gen_bool(0.3) {
+                    MemoryAccess::store(i, Address::new(b * 64))
+                } else {
+                    MemoryAccess::load(i, Address::new(b * 64))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_optimized_cache_on_lru() {
+        // Both implement LRU write-allocate caches, so hit/miss counts
+        // must match exactly.
+        for seed in 0..5 {
+            let trace = random_trace(seed, 3000, 256);
+            let config = CacheConfig::new(16, 4);
+            let mut fast = Cache::new(config);
+            let fast_result = fast.run(&trace);
+            let mut slow = MultiCacheSim::new(vec![config]);
+            let slow_result = slow.run(&trace);
+            assert_eq!(fast_result.stats.hits, slow_result.per_cache[0].hits, "seed {seed}");
+            assert_eq!(fast_result.stats.misses, slow_result.per_cache[0].misses);
+        }
+    }
+
+    #[test]
+    fn simulates_multiple_configs_at_once() {
+        let trace = random_trace(9, 2000, 512);
+        let configs = vec![CacheConfig::new(4, 2), CacheConfig::new(64, 8)];
+        let mut sim = MultiCacheSim::new(configs);
+        let result = sim.run(&trace);
+        assert_eq!(result.per_cache.len(), 2);
+        assert!(result.per_cache[1].hits >= result.per_cache[0].hits);
+    }
+
+    #[test]
+    fn store_then_evict_writes_back() {
+        let mut sim = MultiCacheSim::new(vec![CacheConfig::new(1, 1)]);
+        let trace: Trace = vec![
+            MemoryAccess::store(0, Address::new(0)),
+            MemoryAccess::load(1, Address::new(64)),
+        ]
+        .into();
+        let result = sim.run(&trace);
+        assert_eq!(result.per_cache[0].writebacks, 1);
+    }
+
+    #[test]
+    fn runs_are_cold_start() {
+        let trace = random_trace(3, 500, 64);
+        let mut sim = MultiCacheSim::new(vec![CacheConfig::new(8, 2)]);
+        let a = sim.run(&trace);
+        let b = sim.run(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_config_list() {
+        MultiCacheSim::new(vec![]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulation result types.
+
+use crate::CacheStats;
+use cachebox_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of replaying a trace through one cache.
+///
+/// Carries the per-access hit flags (aligned with the input trace) plus
+/// aggregate [`CacheStats`]. The miss trace — the stream leaving this
+/// cache level — is derived with [`SimResult::miss_trace`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// `hit_flags[i]` is `true` iff access `i` of the input trace hit.
+    pub hit_flags: Vec<bool>,
+    /// Aggregate counters.
+    pub stats: CacheStats,
+}
+
+impl SimResult {
+    /// Builds the miss trace: the subset of `input` accesses that missed,
+    /// with their original instruction numbers preserved (the stream on
+    /// the bus *behind* this cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not have the same length as the hit flags.
+    pub fn miss_trace(&self, input: &Trace) -> Trace {
+        assert_eq!(input.len(), self.hit_flags.len(), "trace/hit-flag length mismatch");
+        input
+            .iter()
+            .zip(&self.hit_flags)
+            .filter(|(_, &hit)| !hit)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Builds the hit trace (complement of [`SimResult::miss_trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not have the same length as the hit flags.
+    pub fn hit_trace(&self, input: &Trace) -> Trace {
+        assert_eq!(input.len(), self.hit_flags.len(), "trace/hit-flag length mismatch");
+        input.iter().zip(&self.hit_flags).filter(|(_, &hit)| hit).map(|(a, _)| *a).collect()
+    }
+
+    /// Hit rate over the replayed trace.
+    pub fn hit_rate(&self) -> f64 {
+        self.stats.hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_trace::{Address, MemoryAccess};
+
+    #[test]
+    fn miss_and_hit_traces_partition_input() {
+        let input: Trace = (0..4u64).map(|i| MemoryAccess::load(i, Address::new(i))).collect();
+        let result = SimResult {
+            hit_flags: vec![false, true, true, false],
+            stats: CacheStats { hits: 2, misses: 2, ..Default::default() },
+        };
+        let misses = result.miss_trace(&input);
+        let hits = result.hit_trace(&input);
+        assert_eq!(misses.len(), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(misses[0].instr, 0);
+        assert_eq!(misses[1].instr, 3);
+        assert_eq!(hits[0].instr, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn miss_trace_validates_length() {
+        let input: Trace = vec![MemoryAccess::load(0, Address::new(0))].into();
+        SimResult { hit_flags: vec![], stats: CacheStats::default() }.miss_trace(&input);
+    }
+}

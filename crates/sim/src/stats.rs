@@ -1,0 +1,139 @@
+//! Cache statistics counters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters collected while simulating a cache.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_sim::CacheStats;
+///
+/// let mut stats = CacheStats::default();
+/// stats.hits = 90;
+/// stats.misses = 10;
+/// assert_eq!(stats.accesses(), 100);
+/// assert!((stats.hit_rate() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Dirty lines written back on eviction or invalidation.
+    pub writebacks: u64,
+    /// Prefetch fills issued into the cache.
+    pub prefetches: u64,
+    /// Prefetched lines that were later hit by a demand access.
+    pub useful_prefetches: u64,
+    /// Lines removed by back-invalidation from an outer level.
+    pub invalidations: u64,
+    /// Stores propagated immediately under a write-through policy.
+    pub write_throughs: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses (hits + misses).
+    pub const fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 0.0 when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; 0.0 when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Fraction of issued prefetches that proved useful.
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.prefetches == 0 {
+            0.0
+        } else {
+            self.useful_prefetches as f64 / self.prefetches as f64
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+        self.writebacks += rhs.writebacks;
+        self.prefetches += rhs.prefetches;
+        self.useful_prefetches += rhs.useful_prefetches;
+        self.invalidations += rhs.invalidations;
+        self.write_throughs += rhs.write_throughs;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses={} hits={} misses={} hit_rate={:.4} evictions={} writebacks={} prefetches={}",
+            self.accesses(),
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.evictions,
+            self.writebacks,
+            self.prefetches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_rates_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.prefetch_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn rates_sum_to_one() {
+        let s = CacheStats { hits: 3, misses: 7, ..Default::default() };
+        assert!((s.hit_rate() + s.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = CacheStats { hits: 1, misses: 2, evictions: 3, ..Default::default() };
+        let b = CacheStats { hits: 10, misses: 20, writebacks: 5, ..Default::default() };
+        a += b;
+        assert_eq!(a.hits, 11);
+        assert_eq!(a.misses, 22);
+        assert_eq!(a.evictions, 3);
+        assert_eq!(a.writebacks, 5);
+    }
+
+    #[test]
+    fn display_mentions_hit_rate() {
+        let s = CacheStats { hits: 1, misses: 1, ..Default::default() };
+        assert!(s.to_string().contains("hit_rate=0.5000"));
+    }
+}

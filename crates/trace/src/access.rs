@@ -1,0 +1,124 @@
+//! Individual memory access records.
+
+use crate::Address;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A demand read (load).
+    Load,
+    /// A demand write (store).
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Store`].
+    pub const fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+
+    /// One-letter code used by the text trace format (`R`/`W`).
+    pub const fn code(self) -> char {
+        match self {
+            AccessKind::Load => 'R',
+            AccessKind::Store => 'W',
+        }
+    }
+
+    /// Parses the one-letter code used by the text trace format.
+    pub const fn from_code(c: char) -> Option<AccessKind> {
+        match c {
+            'R' | 'r' => Some(AccessKind::Load),
+            'W' | 'w' => Some(AccessKind::Store),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        })
+    }
+}
+
+/// One memory access: an instruction sequence number, a byte address, and
+/// a load/store kind.
+///
+/// The instruction sequence number (`instr`) positions the access on the
+/// heatmap x-axis; the address is projected onto the y-axis. Multiple
+/// accesses may share an `instr` value (one instruction can touch several
+/// operands).
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::{Address, AccessKind, MemoryAccess};
+///
+/// let acc = MemoryAccess::new(7, Address::new(0x40), AccessKind::Load);
+/// assert_eq!(acc.instr, 7);
+/// assert!(!acc.kind.is_store());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemoryAccess {
+    /// Instruction sequence number (monotonically non-decreasing in a trace).
+    pub instr: u64,
+    /// Byte address touched by the access.
+    pub address: Address,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemoryAccess {
+    /// Creates a new access record.
+    pub const fn new(instr: u64, address: Address, kind: AccessKind) -> Self {
+        MemoryAccess { instr, address, kind }
+    }
+
+    /// Convenience constructor for a load.
+    pub const fn load(instr: u64, address: Address) -> Self {
+        Self::new(instr, address, AccessKind::Load)
+    }
+
+    /// Convenience constructor for a store.
+    pub const fn store(instr: u64, address: Address) -> Self {
+        Self::new(instr, address, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x} {}", self.instr, self.address, self.kind.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for kind in [AccessKind::Load, AccessKind::Store] {
+            assert_eq!(AccessKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(AccessKind::from_code('x'), None);
+        assert_eq!(AccessKind::from_code('r'), Some(AccessKind::Load));
+        assert_eq!(AccessKind::from_code('w'), Some(AccessKind::Store));
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemoryAccess::load(0, Address::new(1)).kind, AccessKind::Load);
+        assert_eq!(MemoryAccess::store(0, Address::new(1)).kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn display_format() {
+        let acc = MemoryAccess::store(3, Address::new(0x80));
+        assert_eq!(acc.to_string(), "3 0x80 W");
+    }
+}

@@ -1,0 +1,147 @@
+//! Byte addresses and block/set arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte-granular memory address.
+///
+/// `Address` is a transparent newtype over `u64` providing the block and
+/// modulo arithmetic used throughout CacheBox: cache indexing in
+/// `cachebox-sim` and modulo projection onto heatmap rows in
+/// `cachebox-heatmap`.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::Address;
+///
+/// let a = Address::new(0x1234);
+/// // 64-byte blocks => 6 offset bits.
+/// assert_eq!(a.block(6), 0x48);
+/// assert_eq!(a.block_base(6).as_u64(), 0x1200);
+/// assert_eq!(a.modulo(512), 0x34 % 512 + 0x1200 % 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the block number for a block of `2^offset_bits` bytes.
+    ///
+    /// With the paper's fixed 64-byte blocks, `offset_bits` is 6.
+    pub const fn block(self, offset_bits: u32) -> u64 {
+        self.0 >> offset_bits
+    }
+
+    /// Returns the first byte address of the enclosing block.
+    pub const fn block_base(self, offset_bits: u32) -> Address {
+        Address((self.0 >> offset_bits) << offset_bits)
+    }
+
+    /// Returns the byte offset within the enclosing block.
+    pub const fn block_offset(self, offset_bits: u32) -> u64 {
+        self.0 & ((1 << offset_bits) - 1)
+    }
+
+    /// Projects the address onto `[0, modulus)` as used for heatmap rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub const fn modulo(self, modulus: u64) -> u64 {
+        self.0 % modulus
+    }
+
+    /// Returns the address advanced by `bytes` (wrapping on overflow).
+    pub const fn offset(self, bytes: i64) -> Address {
+        Address(self.0.wrapping_add_signed(bytes))
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_arithmetic_for_64_byte_blocks() {
+        let a = Address::new(0x1fff);
+        assert_eq!(a.block(6), 0x7f);
+        assert_eq!(a.block_base(6), Address::new(0x1fc0));
+        assert_eq!(a.block_offset(6), 0x3f);
+    }
+
+    #[test]
+    fn block_zero_offset_bits_is_identity() {
+        let a = Address::new(12345);
+        assert_eq!(a.block(0), 12345);
+        assert_eq!(a.block_base(0), a);
+        assert_eq!(a.block_offset(0), 0);
+    }
+
+    #[test]
+    fn modulo_projects_into_range() {
+        let a = Address::new(1000);
+        assert_eq!(a.modulo(512), 1000 % 512);
+    }
+
+    #[test]
+    fn offset_moves_forward_and_backward() {
+        let a = Address::new(0x100);
+        assert_eq!(a.offset(64), Address::new(0x140));
+        assert_eq!(a.offset(-64), Address::new(0xc0));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Address::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Address::new(255)), "ff");
+        assert_eq!(format!("{:X}", Address::new(255)), "FF");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a: Address = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+    }
+}

@@ -1,0 +1,226 @@
+//! Plain-text trace reading and writing.
+//!
+//! The format is one access per line: `instr hex-address kind`, e.g.
+//! `42 0x7fff0040 R`. Blank lines and lines starting with `#` are ignored
+//! when reading.
+
+use crate::{AccessKind, Address, MemoryAccess, Trace};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error returned when parsing a text trace fails.
+#[derive(Debug)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTraceError { line, message: message.into() }
+    }
+
+    /// 1-based line number at which parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Errors from [`read_trace`].
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed trace line.
+    Parse(ParseTraceError),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            ReadTraceError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+impl From<ParseTraceError> for ReadTraceError {
+    fn from(e: ParseTraceError) -> Self {
+        ReadTraceError::Parse(e)
+    }
+}
+
+/// Writes a trace in the text format.
+///
+/// A `&mut` writer may be passed since `Write` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cachebox_trace::{Address, MemoryAccess, Trace, io::write_trace};
+///
+/// let trace: Trace = vec![MemoryAccess::load(0, Address::new(0x40))].into();
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &trace)?;
+/// assert_eq!(String::from_utf8(buf)?, "0 0x40 R\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> std::io::Result<()> {
+    for a in trace {
+        writeln!(writer, "{} {:#x} {}", a.instr, a.address, a.kind.code())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format.
+///
+/// A `&mut` reader may be passed since `BufRead` is implemented for mutable
+/// references.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::Io`] for I/O failures and
+/// [`ReadTraceError::Parse`] for malformed lines.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cachebox_trace::io::read_trace;
+///
+/// let text = "# comment\n0 0x40 R\n1 0x80 W\n";
+/// let trace = read_trace(text.as_bytes())?;
+/// assert_eq!(trace.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ReadTraceError> {
+    let mut trace = Trace::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        trace.push(parse_line(trimmed, lineno)?);
+    }
+    Ok(trace)
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<MemoryAccess, ParseTraceError> {
+    let mut parts = line.split_whitespace();
+    let instr = parts
+        .next()
+        .ok_or_else(|| ParseTraceError::new(lineno, "missing instruction field"))?
+        .parse::<u64>()
+        .map_err(|e| ParseTraceError::new(lineno, format!("bad instruction count: {e}")))?;
+    let addr_str =
+        parts.next().ok_or_else(|| ParseTraceError::new(lineno, "missing address field"))?;
+    let addr_digits = addr_str.strip_prefix("0x").or_else(|| addr_str.strip_prefix("0X"));
+    let address = match addr_digits {
+        Some(hex) => u64::from_str_radix(hex, 16)
+            .map_err(|e| ParseTraceError::new(lineno, format!("bad hex address: {e}")))?,
+        None => addr_str
+            .parse::<u64>()
+            .map_err(|e| ParseTraceError::new(lineno, format!("bad address: {e}")))?,
+    };
+    let kind_str = parts.next().ok_or_else(|| ParseTraceError::new(lineno, "missing kind field"))?;
+    let kind_char = kind_str
+        .chars()
+        .next()
+        .ok_or_else(|| ParseTraceError::new(lineno, "empty kind field"))?;
+    let kind = AccessKind::from_code(kind_char)
+        .ok_or_else(|| ParseTraceError::new(lineno, format!("unknown access kind {kind_str:?}")))?;
+    if parts.next().is_some() {
+        return Err(ParseTraceError::new(lineno, "trailing fields after access kind"));
+    }
+    Ok(MemoryAccess::new(instr, Address::new(address), kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let trace: Trace = vec![
+            MemoryAccess::load(0, Address::new(0x1000)),
+            MemoryAccess::store(1, Address::new(0x1040)),
+            MemoryAccess::load(5, Address::new(0x2000)),
+        ]
+        .into();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn decimal_addresses_accepted() {
+        let trace = read_trace("0 4096 R\n".as_bytes()).unwrap();
+        assert_eq!(trace[0].address, Address::new(4096));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let trace = read_trace("# header\n\n0 0x10 R\n  \n".as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = read_trace("0 0x10 R\nnonsense\n".as_bytes()).unwrap_err();
+        match err {
+            ReadTraceError::Parse(p) => assert_eq!(p.line(), 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        assert!(read_trace("0 0x10 Z\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_fields() {
+        assert!(read_trace("0 0x10 R extra\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let err = read_trace("bad\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

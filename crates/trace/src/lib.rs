@@ -1,0 +1,39 @@
+//! Memory access trace model for CacheBox.
+//!
+//! This crate provides the foundational data model shared by every other
+//! CacheBox crate: byte [`Address`]es, individual [`MemoryAccess`] records,
+//! the [`Trace`] container with summary statistics, an exact LRU
+//! [reuse-distance](reuse) engine, and a plain-text trace
+//! [reader/writer](io) compatible with ChampSim-style `instr addr kind`
+//! lines.
+//!
+//! In the CacheBox paper, traces are collected with Pin and replayed through
+//! ChampSim; in this reproduction they are produced by the synthetic suites
+//! in `cachebox-workloads` and replayed through `cachebox-sim`, but the trace
+//! model is identical either way.
+//!
+//! # Example
+//!
+//! ```
+//! use cachebox_trace::{Address, AccessKind, MemoryAccess, Trace};
+//!
+//! let mut trace = Trace::new();
+//! trace.push(MemoryAccess::new(0, Address::new(0x1000), AccessKind::Load));
+//! trace.push(MemoryAccess::new(1, Address::new(0x1040), AccessKind::Store));
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace.stats().unique_blocks(6), 2);
+//! ```
+
+pub mod access;
+pub mod address;
+pub mod io;
+pub mod merge;
+pub mod reuse;
+pub mod stats;
+pub mod trace;
+
+pub use access::{AccessKind, MemoryAccess};
+pub use address::Address;
+pub use reuse::{ReuseDistanceEngine, ReuseHistogram, INFINITE_DISTANCE};
+pub use stats::TraceStats;
+pub use trace::Trace;

@@ -1,0 +1,131 @@
+//! Multi-program trace composition (the paper's "investigating multicore
+//! architectures" future-work direction).
+//!
+//! A shared cache in a multicore sees an interleaving of several
+//! programs' access streams over disjoint address spaces. [`interleave`]
+//! builds that combined stream from single-program traces.
+
+use crate::{Address, MemoryAccess, Trace};
+
+/// Interleaves traces round-robin, `granule` accesses at a time,
+/// offsetting each trace into its own address-space slab so programs
+/// never share blocks (distinct processes). Instruction numbers are
+/// renumbered to a shared timeline. The result ends when every input is
+/// exhausted.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty or `granule` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::{Address, MemoryAccess, Trace, merge::interleave};
+///
+/// let a: Trace = (0..4u64).map(|i| MemoryAccess::load(i, Address::new(0))).collect();
+/// let b: Trace = (0..2u64).map(|i| MemoryAccess::load(i, Address::new(0))).collect();
+/// let merged = interleave(&[a, b], 1);
+/// assert_eq!(merged.len(), 6);
+/// // Streams alternate until the shorter one runs out.
+/// assert_ne!(merged[0].address, merged[1].address);
+/// ```
+pub fn interleave(traces: &[Trace], granule: usize) -> Trace {
+    assert!(!traces.is_empty(), "need at least one trace");
+    assert!(granule > 0, "granule must be non-zero");
+    // Each program gets a 1 TiB slab, far beyond any generator footprint.
+    const SLAB: u64 = 1 << 40;
+    let total: usize = traces.iter().map(Trace::len).sum();
+    let mut cursors = vec![0usize; traces.len()];
+    let mut out = Trace::with_capacity(total);
+    let mut instr = 0u64;
+    while out.len() < total {
+        for (which, trace) in traces.iter().enumerate() {
+            let start = cursors[which];
+            let end = (start + granule).min(trace.len());
+            for i in start..end {
+                let a = trace[i];
+                out.push(MemoryAccess::new(
+                    instr,
+                    Address::new(a.address.as_u64() % SLAB + which as u64 * SLAB),
+                    a.kind,
+                ));
+                instr += 1;
+            }
+            cursors[which] = end;
+        }
+    }
+    out
+}
+
+/// Splits an interleaved trace back into its per-program streams by
+/// address slab (the inverse of [`interleave`]'s address mapping).
+pub fn split_by_program(merged: &Trace, programs: usize) -> Vec<Trace> {
+    const SLAB: u64 = 1 << 40;
+    let mut out = vec![Trace::new(); programs];
+    for a in merged {
+        let which = (a.address.as_u64() / SLAB) as usize;
+        if which < programs {
+            out[which].push(MemoryAccess::new(
+                a.instr,
+                Address::new(a.address.as_u64() % SLAB),
+                a.kind,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(len: u64, base: u64) -> Trace {
+        (0..len).map(|i| MemoryAccess::load(i, Address::new(base + i * 64))).collect()
+    }
+
+    #[test]
+    fn preserves_every_access() {
+        let merged = interleave(&[trace(10, 0), trace(7, 0), trace(3, 0)], 2);
+        assert_eq!(merged.len(), 20);
+    }
+
+    #[test]
+    fn programs_get_disjoint_address_spaces() {
+        let merged = interleave(&[trace(8, 0), trace(8, 0)], 1);
+        let spaces: std::collections::HashSet<u64> =
+            merged.iter().map(|a| a.address.as_u64() >> 40).collect();
+        assert_eq!(spaces.len(), 2);
+    }
+
+    #[test]
+    fn round_robin_order_at_granule() {
+        let merged = interleave(&[trace(4, 0), trace(4, 0)], 2);
+        let programs: Vec<u64> = merged.iter().map(|a| a.address.as_u64() >> 40).collect();
+        assert_eq!(programs, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn instructions_are_consecutive() {
+        let merged = interleave(&[trace(5, 0), trace(5, 0)], 3);
+        for (i, a) in merged.iter().enumerate() {
+            assert_eq!(a.instr, i as u64);
+        }
+    }
+
+    #[test]
+    fn split_recovers_programs() {
+        let a = trace(6, 128);
+        let b = trace(4, 4096);
+        let merged = interleave(&[a.clone(), b.clone()], 2);
+        let parts = split_by_program(&merged, 2);
+        let addrs = |t: &Trace| -> Vec<u64> { t.iter().map(|x| x.address.as_u64()).collect() };
+        assert_eq!(addrs(&parts[0]), addrs(&a));
+        assert_eq!(addrs(&parts[1]), addrs(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_input() {
+        interleave(&[], 1);
+    }
+}

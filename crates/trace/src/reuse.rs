@@ -1,0 +1,351 @@
+//! Exact LRU stack-distance (reuse-distance) computation.
+//!
+//! The reuse distance of an access is the number of *distinct* blocks
+//! referenced since the previous access to the same block. It is the
+//! foundation of the Hierarchical Reuse Distance baseline in
+//! `cachebox-baselines` and a useful workload characterization tool.
+//!
+//! The engine uses the classic Bennett–Kruskal algorithm: a Fenwick tree
+//! over access timestamps marks the most recent occurrence of each block,
+//! so each access is processed in `O(log n)`.
+
+use crate::Address;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Distance reported for a block's first (cold) access.
+pub const INFINITE_DISTANCE: u64 = u64::MAX;
+
+/// Append-only Fenwick (binary indexed) tree over timestamps.
+///
+/// Positions are 1-based internally; `tree[i - 1]` covers the element range
+/// `[i - lowbit(i) + 1, i]`. New positions are appended with their covered
+/// range sum computed from existing prefix queries, so the invariant holds
+/// without preallocating capacity.
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn with_capacity(n: usize) -> Self {
+        Fenwick { tree: Vec::with_capacity(n) }
+    }
+
+    /// Number of elements stored.
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Appends a new element (at 0-based index `self.len()`) with `value`.
+    fn append(&mut self, value: u64) {
+        let i = self.tree.len() + 1; // 1-based position of the new element
+        let lowbit = i & i.wrapping_neg();
+        // Sum of elements in [i - lowbit + 1, i - 1].
+        let below = self.prefix_count(i - 1).wrapping_sub(self.prefix_count(i - lowbit));
+        self.tree.push(below.wrapping_add(value));
+    }
+
+    /// Adds `delta` to the element at 0-based `index`.
+    fn add(&mut self, index: usize, delta: i64) {
+        let mut i = index + 1;
+        while i <= self.tree.len() {
+            self.tree[i - 1] = self.tree[i - 1].wrapping_add(delta as u64);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of the first `count` elements (0-based indices `[0, count)`).
+    fn prefix_count(&self, mut count: usize) -> u64 {
+        let mut sum = 0u64;
+        while count > 0 {
+            sum = sum.wrapping_add(self.tree[count - 1]);
+            count -= count & count.wrapping_neg();
+        }
+        sum
+    }
+}
+
+/// Streaming exact reuse-distance engine.
+///
+/// Feed block identifiers (e.g. `address.block(6)`) in access order;
+/// [`ReuseDistanceEngine::access`] returns each access's stack distance.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::{ReuseDistanceEngine, INFINITE_DISTANCE};
+///
+/// let mut engine = ReuseDistanceEngine::new();
+/// assert_eq!(engine.access(10), INFINITE_DISTANCE); // cold
+/// assert_eq!(engine.access(20), INFINITE_DISTANCE); // cold
+/// assert_eq!(engine.access(10), 1); // one distinct block (20) in between
+/// assert_eq!(engine.access(10), 0); // immediate re-reference
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseDistanceEngine {
+    last_seen: HashMap<u64, usize>,
+    fenwick: Fenwick,
+    time: usize,
+}
+
+impl ReuseDistanceEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        ReuseDistanceEngine::default()
+    }
+
+    /// Creates an engine sized for about `n` accesses.
+    pub fn with_capacity(n: usize) -> Self {
+        ReuseDistanceEngine {
+            last_seen: HashMap::with_capacity(n / 4),
+            fenwick: Fenwick::with_capacity(n),
+            time: 0,
+        }
+    }
+
+    /// Processes one access to `block`, returning its reuse distance
+    /// ([`INFINITE_DISTANCE`] for a cold access).
+    pub fn access(&mut self, block: u64) -> u64 {
+        let now = self.time;
+        self.time += 1;
+        let distance = match self.last_seen.insert(block, now) {
+            None => INFINITE_DISTANCE,
+            Some(prev) => {
+                // Distinct blocks marked in 0-based indices (prev, now).
+                let between =
+                    self.fenwick.prefix_count(now) - self.fenwick.prefix_count(prev + 1);
+                self.fenwick.add(prev, -1);
+                between
+            }
+        };
+        debug_assert_eq!(self.fenwick.len(), now);
+        self.fenwick.append(1);
+        distance
+    }
+
+    /// Number of accesses processed so far.
+    pub fn accesses(&self) -> usize {
+        self.time
+    }
+
+    /// Number of distinct blocks seen so far.
+    pub fn distinct_blocks(&self) -> usize {
+        self.last_seen.len()
+    }
+}
+
+/// A log₂-bucketed histogram of reuse distances.
+///
+/// Bucket `i` counts accesses with distance in `[2^(i-1), 2^i)`; bucket 0
+/// counts distance-0 accesses; cold accesses are counted separately.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::{Address, MemoryAccess, Trace, ReuseHistogram};
+///
+/// let trace: Trace = (0..32u64)
+///     .map(|i| MemoryAccess::load(i, Address::new((i % 4) * 64)))
+///     .collect();
+/// let hist = ReuseHistogram::from_trace(&trace, 6);
+/// assert_eq!(hist.cold(), 4);
+/// // Cyclic pattern over 4 blocks: every warm access has distance 3, so
+/// // a 4-block cache hits on all 28 warm accesses (28/32 = 0.875).
+/// assert_eq!(hist.hit_fraction_for_capacity(4), 0.875);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    buckets: Vec<u64>,
+    cold: u64,
+    total: u64,
+}
+
+impl ReuseHistogram {
+    /// Builds a histogram from a trace at `2^offset_bits`-byte block
+    /// granularity.
+    pub fn from_trace(trace: &crate::Trace, offset_bits: u32) -> Self {
+        Self::from_blocks(trace.iter().map(|a| a.address.block(offset_bits)))
+    }
+
+    /// Builds a histogram from an iterator of block numbers.
+    pub fn from_blocks<I: IntoIterator<Item = u64>>(blocks: I) -> Self {
+        let mut engine = ReuseDistanceEngine::new();
+        let mut hist = ReuseHistogram::default();
+        for block in blocks {
+            hist.record(engine.access(block));
+        }
+        hist
+    }
+
+    /// Records a single reuse distance.
+    pub fn record(&mut self, distance: u64) {
+        self.total += 1;
+        if distance == INFINITE_DISTANCE {
+            self.cold += 1;
+            return;
+        }
+        let bucket = if distance == 0 { 0 } else { 64 - distance.leading_zeros() as usize };
+        if bucket >= self.buckets.len() {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of cold (first-touch) accesses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total accesses recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The raw log₂ buckets.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Fraction of accesses whose reuse distance is `< capacity` blocks,
+    /// i.e. the hit rate of a fully associative LRU cache holding
+    /// `capacity` blocks (cold misses count against the hit rate).
+    pub fn hit_fraction_for_capacity(&self, capacity: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut hits = 0u64;
+        for (bucket, &count) in self.buckets.iter().enumerate() {
+            let lo = if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
+            let hi = if bucket == 0 { 0 } else { (1u64 << bucket) - 1 };
+            if hi < capacity {
+                hits += count;
+            } else if lo < capacity {
+                // Bucket straddles the capacity boundary: assume a uniform
+                // distribution within the bucket.
+                let width = (hi - lo + 1) as f64;
+                let covered = (capacity - lo) as f64;
+                hits += (count as f64 * covered / width).round() as u64;
+            }
+        }
+        hits as f64 / self.total as f64
+    }
+}
+
+/// Computes per-access reuse distances for an entire trace.
+///
+/// Returns one distance per access, in trace order.
+pub fn reuse_distances(trace: &crate::Trace, offset_bits: u32) -> Vec<u64> {
+    let mut engine = ReuseDistanceEngine::with_capacity(trace.len());
+    trace.iter().map(|a| engine.access(a.address.block(offset_bits))).collect()
+}
+
+/// Convenience: reuse distances for raw addresses (no block grouping).
+pub fn address_reuse_distances<I: IntoIterator<Item = Address>>(addresses: I) -> Vec<u64> {
+    let mut engine = ReuseDistanceEngine::new();
+    addresses.into_iter().map(|a| engine.access(a.as_u64())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryAccess, Trace};
+
+    /// O(n²) reference implementation.
+    fn naive_distances(blocks: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(blocks.len());
+        for (i, &b) in blocks.iter().enumerate() {
+            let mut prev = None;
+            for j in (0..i).rev() {
+                if blocks[j] == b {
+                    prev = Some(j);
+                    break;
+                }
+            }
+            match prev {
+                None => out.push(INFINITE_DISTANCE),
+                Some(j) => {
+                    let distinct: std::collections::HashSet<u64> =
+                        blocks[j + 1..i].iter().copied().collect();
+                    out.push(distinct.len() as u64);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_simple_patterns() {
+        let patterns: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![1],
+            vec![1, 1, 1],
+            vec![1, 2, 3, 1, 2, 3],
+            vec![1, 2, 1, 3, 1, 4, 1],
+            vec![5, 4, 3, 2, 1, 1, 2, 3, 4, 5],
+        ];
+        for p in patterns {
+            let mut engine = ReuseDistanceEngine::new();
+            let fast: Vec<u64> = p.iter().map(|&b| engine.access(b)).collect();
+            assert_eq!(fast, naive_distances(&p), "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_traces() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let blocks: Vec<u64> = (0..200).map(|_| rng.gen_range(0..32)).collect();
+            let mut engine = ReuseDistanceEngine::new();
+            let fast: Vec<u64> = blocks.iter().map(|&b| engine.access(b)).collect();
+            assert_eq!(fast, naive_distances(&blocks));
+        }
+    }
+
+    #[test]
+    fn histogram_capacity_sweep_is_monotone() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let blocks: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..128)).collect();
+        let hist = ReuseHistogram::from_blocks(blocks);
+        let mut prev = 0.0;
+        for cap in [1, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let h = hist.hit_fraction_for_capacity(cap);
+            assert!(h >= prev - 1e-9, "hit fraction must be monotone in capacity");
+            prev = h;
+        }
+        assert!(prev > 0.9, "capacity >= working set should hit almost always");
+    }
+
+    #[test]
+    fn engine_counters() {
+        let mut e = ReuseDistanceEngine::new();
+        e.access(1);
+        e.access(2);
+        e.access(1);
+        assert_eq!(e.accesses(), 3);
+        assert_eq!(e.distinct_blocks(), 2);
+    }
+
+    #[test]
+    fn trace_level_helper() {
+        let trace: Trace = [0u64, 64, 0].iter().map(|&a| MemoryAccess::load(a, a.into())).collect();
+        let d = reuse_distances(&trace, 6);
+        assert_eq!(d, vec![INFINITE_DISTANCE, INFINITE_DISTANCE, 1]);
+    }
+
+    #[test]
+    fn address_helper_no_blocking() {
+        let d = address_reuse_distances([Address::new(0), Address::new(1), Address::new(0)]);
+        // 0 and 1 are distinct addresses without block grouping.
+        assert_eq!(d, vec![INFINITE_DISTANCE, INFINITE_DISTANCE, 1]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = ReuseHistogram::default();
+        assert_eq!(h.hit_fraction_for_capacity(100), 0.0);
+        assert_eq!(h.total(), 0);
+    }
+}

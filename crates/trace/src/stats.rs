@@ -1,0 +1,173 @@
+//! Summary statistics over a trace.
+
+use crate::{AccessKind, MemoryAccess};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Summary statistics computed over a trace in one pass.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::{Address, MemoryAccess, Trace};
+///
+/// let trace: Trace = (0..100u64)
+///     .map(|i| MemoryAccess::load(i, Address::new(i * 8)))
+///     .collect();
+/// let stats = trace.stats();
+/// assert_eq!(stats.accesses, 100);
+/// assert_eq!(stats.dominant_stride(), Some(8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of accesses.
+    pub accesses: usize,
+    /// Number of store accesses.
+    pub stores: usize,
+    /// Distinct byte addresses touched.
+    pub unique_addresses: usize,
+    /// Lowest address touched (None when empty).
+    pub min_address: Option<u64>,
+    /// Highest address touched (None when empty).
+    pub max_address: Option<u64>,
+    /// Histogram of successive address deltas (stride -> count).
+    pub stride_histogram: BTreeMap<i64, usize>,
+    /// Distinct 64-byte blocks touched.
+    unique_blocks64: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics from a slice of accesses.
+    pub fn from_accesses(accesses: &[MemoryAccess]) -> Self {
+        let mut unique = HashSet::new();
+        let mut blocks64 = HashSet::new();
+        let mut stride_histogram = BTreeMap::new();
+        let mut stores = 0usize;
+        let mut min_address = None;
+        let mut max_address = None;
+        let mut prev: Option<u64> = None;
+        for a in accesses {
+            let raw = a.address.as_u64();
+            unique.insert(raw);
+            blocks64.insert(a.address.block(6));
+            if a.kind == AccessKind::Store {
+                stores += 1;
+            }
+            min_address = Some(min_address.map_or(raw, |m: u64| m.min(raw)));
+            max_address = Some(max_address.map_or(raw, |m: u64| m.max(raw)));
+            if let Some(p) = prev {
+                let stride = raw as i64 - p as i64;
+                *stride_histogram.entry(stride).or_insert(0) += 1;
+            }
+            prev = Some(raw);
+        }
+        TraceStats {
+            accesses: accesses.len(),
+            stores,
+            unique_addresses: unique.len(),
+            min_address,
+            max_address,
+            stride_histogram,
+            unique_blocks64: blocks64.len(),
+        }
+    }
+
+    /// Number of distinct blocks of `2^offset_bits` bytes.
+    ///
+    /// Only 64-byte blocks (`offset_bits == 6`) are precomputed; other
+    /// granularities return an estimate derived from the address span.
+    pub fn unique_blocks(&self, offset_bits: u32) -> usize {
+        if offset_bits == 6 {
+            self.unique_blocks64
+        } else {
+            // Conservative estimate: unique addresses cannot exceed unique
+            // blocks at a coarser granularity.
+            match (self.min_address, self.max_address) {
+                (Some(lo), Some(hi)) => {
+                    let span_blocks = ((hi >> offset_bits) - (lo >> offset_bits) + 1) as usize;
+                    span_blocks.min(self.unique_addresses)
+                }
+                _ => 0,
+            }
+        }
+    }
+
+    /// The most frequent successive-address stride, or `None` when the
+    /// trace has fewer than two accesses.
+    pub fn dominant_stride(&self) -> Option<i64> {
+        self.stride_histogram.iter().max_by_key(|(_, &count)| count).map(|(&s, _)| s)
+    }
+
+    /// Fraction of successive accesses with the dominant stride.
+    pub fn stride_regularity(&self) -> f64 {
+        let total: usize = self.stride_histogram.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let best = self.stride_histogram.values().copied().max().unwrap_or(0);
+        best as f64 / total as f64
+    }
+
+    /// Address span in bytes (`max - min`), or 0 when empty.
+    pub fn address_span(&self) -> u64 {
+        match (self.min_address, self.max_address) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Address, Trace};
+
+    #[test]
+    fn empty_trace_stats() {
+        let stats = Trace::new().stats();
+        assert_eq!(stats.accesses, 0);
+        assert_eq!(stats.unique_blocks(6), 0);
+        assert_eq!(stats.dominant_stride(), None);
+        assert_eq!(stats.address_span(), 0);
+        assert_eq!(stats.stride_regularity(), 0.0);
+    }
+
+    #[test]
+    fn streaming_trace_has_regular_stride() {
+        let trace: Trace =
+            (0..64u64).map(|i| MemoryAccess::load(i, Address::new(i * 64))).collect();
+        let stats = trace.stats();
+        assert_eq!(stats.dominant_stride(), Some(64));
+        assert!((stats.stride_regularity() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.unique_blocks(6), 64);
+        assert_eq!(stats.address_span(), 63 * 64);
+    }
+
+    #[test]
+    fn repeated_address_counts_once() {
+        let trace: Trace = (0..10u64).map(|i| MemoryAccess::load(i, Address::new(4096))).collect();
+        let stats = trace.stats();
+        assert_eq!(stats.unique_addresses, 1);
+        assert_eq!(stats.unique_blocks(6), 1);
+        assert_eq!(stats.dominant_stride(), Some(0));
+    }
+
+    #[test]
+    fn coarse_block_estimate_is_bounded() {
+        let trace: Trace =
+            (0..16u64).map(|i| MemoryAccess::load(i, Address::new(i * 64))).collect();
+        let stats = trace.stats();
+        // 16 accesses spanning 1024 bytes => at most 1 block of 4096 bytes.
+        assert_eq!(stats.unique_blocks(12), 1);
+    }
+
+    #[test]
+    fn store_count() {
+        let trace: Trace = vec![
+            MemoryAccess::load(0, Address::new(0)),
+            MemoryAccess::store(1, Address::new(8)),
+        ]
+        .into();
+        assert_eq!(trace.stats().stores, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! The [`Trace`] container.
+
+use crate::{AccessKind, Address, MemoryAccess, TraceStats};
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// An ordered sequence of memory accesses produced by one benchmark run.
+///
+/// A `Trace` is the unit of data flowing through CacheBox: workload
+/// generators produce traces, the cache simulator consumes a trace and
+/// yields a per-access hit/miss trace, and the heatmap builder renders
+/// traces into images.
+///
+/// Instruction numbers must be non-decreasing; [`Trace::push`] enforces
+/// this in debug builds.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::{Address, MemoryAccess, Trace};
+///
+/// let trace: Trace = (0..16u64)
+///     .map(|i| MemoryAccess::load(i, Address::new(i * 64)))
+///     .collect();
+/// assert_eq!(trace.len(), 16);
+/// assert_eq!(trace.instruction_count(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    accesses: Vec<MemoryAccess>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` accesses.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { accesses: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends an access.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `access.instr` is smaller than the last
+    /// pushed instruction number.
+    pub fn push(&mut self, access: MemoryAccess) {
+        debug_assert!(
+            self.accesses.last().is_none_or(|last| last.instr <= access.instr),
+            "instruction numbers must be non-decreasing"
+        );
+        self.accesses.push(access);
+    }
+
+    /// Number of accesses in the trace.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Returns `true` when the trace contains no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The accesses as a slice.
+    pub fn accesses(&self) -> &[MemoryAccess] {
+        &self.accesses
+    }
+
+    /// Iterates over the accesses.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemoryAccess> {
+        self.accesses.iter()
+    }
+
+    /// Number of distinct instruction slots spanned by the trace
+    /// (`last.instr - first.instr + 1`), or 0 for an empty trace.
+    pub fn instruction_count(&self) -> u64 {
+        match (self.accesses.first(), self.accesses.last()) {
+            (Some(first), Some(last)) => last.instr - first.instr + 1,
+            _ => 0,
+        }
+    }
+
+    /// Computes summary statistics over the whole trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_accesses(&self.accesses)
+    }
+
+    /// Returns a sub-trace containing accesses `range` (by index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Trace {
+        Trace { accesses: self.accesses[range].to_vec() }
+    }
+
+    /// Renumbers instructions so each access gets a consecutive
+    /// instruction number starting at 0.
+    ///
+    /// Useful after filtering a trace (e.g. keeping only misses) when the
+    /// downstream consumer expects densely packed instruction slots.
+    pub fn renumbered(&self) -> Trace {
+        let accesses = self
+            .accesses
+            .iter()
+            .enumerate()
+            .map(|(i, a)| MemoryAccess::new(i as u64, a.address, a.kind))
+            .collect();
+        Trace { accesses }
+    }
+
+    /// Consumes the trace, returning the underlying access vector.
+    pub fn into_inner(self) -> Vec<MemoryAccess> {
+        self.accesses
+    }
+
+    /// Fraction of accesses that are stores, or 0.0 for an empty trace.
+    pub fn store_fraction(&self) -> f64 {
+        if self.accesses.is_empty() {
+            return 0.0;
+        }
+        let stores = self.accesses.iter().filter(|a| a.kind == AccessKind::Store).count();
+        stores as f64 / self.accesses.len() as f64
+    }
+
+    /// Returns the set of distinct block numbers touched, for a block of
+    /// `2^offset_bits` bytes.
+    pub fn footprint_blocks(&self, offset_bits: u32) -> std::collections::HashSet<u64> {
+        self.accesses.iter().map(|a| a.address.block(offset_bits)).collect()
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = MemoryAccess;
+
+    fn index(&self, idx: usize) -> &MemoryAccess {
+        &self.accesses[idx]
+    }
+}
+
+impl FromIterator<MemoryAccess> for Trace {
+    fn from_iter<I: IntoIterator<Item = MemoryAccess>>(iter: I) -> Self {
+        Trace { accesses: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<MemoryAccess> for Trace {
+    fn extend<I: IntoIterator<Item = MemoryAccess>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl From<Vec<MemoryAccess>> for Trace {
+    fn from(accesses: Vec<MemoryAccess>) -> Self {
+        Trace { accesses }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MemoryAccess;
+    type IntoIter = std::slice::Iter<'a, MemoryAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = MemoryAccess;
+    type IntoIter = std::vec::IntoIter<MemoryAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+/// Helper for building traces where each access is one instruction.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_trace::{Address, trace::TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// b.load(Address::new(0));
+/// b.store(Address::new(64));
+/// let trace = b.finish();
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace[1].instr, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    next_instr: u64,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder starting at instruction 0.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Appends a load at the next instruction slot.
+    pub fn load(&mut self, address: Address) -> &mut Self {
+        self.access(address, AccessKind::Load)
+    }
+
+    /// Appends a store at the next instruction slot.
+    pub fn store(&mut self, address: Address) -> &mut Self {
+        self.access(address, AccessKind::Store)
+    }
+
+    /// Appends an access of the given kind at the next instruction slot.
+    pub fn access(&mut self, address: Address, kind: AccessKind) -> &mut Self {
+        let instr = self.next_instr;
+        self.next_instr += 1;
+        self.trace.push(MemoryAccess::new(instr, address, kind));
+        self
+    }
+
+    /// Advances the instruction counter without emitting a memory access,
+    /// modelling non-memory instructions.
+    pub fn skip_instructions(&mut self, count: u64) -> &mut Self {
+        self.next_instr += count;
+        self
+    }
+
+    /// Number of accesses recorded so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Returns `true` when no accesses have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Finishes the builder, returning the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        (0..8u64).map(|i| MemoryAccess::load(i, Address::new(i % 4 * 64))).collect()
+    }
+
+    #[test]
+    fn len_and_instruction_count() {
+        let t = sample();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.instruction_count(), 8);
+        assert!(!t.is_empty());
+        assert_eq!(Trace::new().instruction_count(), 0);
+    }
+
+    #[test]
+    fn slice_returns_subrange() {
+        let t = sample();
+        let s = t.slice(2..5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].instr, 2);
+    }
+
+    #[test]
+    fn renumbered_packs_instructions() {
+        let t: Trace =
+            [3u64, 9, 27].iter().map(|&i| MemoryAccess::load(i, Address::new(i))).collect();
+        let r = t.renumbered();
+        let instrs: Vec<u64> = r.iter().map(|a| a.instr).collect();
+        assert_eq!(instrs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn store_fraction() {
+        let mut b = TraceBuilder::new();
+        b.load(Address::new(0)).store(Address::new(1)).store(Address::new(2));
+        let t = b.finish();
+        assert!((t.store_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Trace::new().store_fraction(), 0.0);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_blocks() {
+        let t = sample();
+        assert_eq!(t.footprint_blocks(6).len(), 4);
+        assert_eq!(t.footprint_blocks(8).len(), 1);
+    }
+
+    #[test]
+    fn builder_skip_instructions() {
+        let mut b = TraceBuilder::new();
+        b.load(Address::new(0)).skip_instructions(10).load(Address::new(64));
+        let t = b.finish();
+        assert_eq!(t[1].instr, 11);
+        assert_eq!(t.instruction_count(), 12);
+    }
+
+    #[test]
+    fn iterators_and_conversions() {
+        let t = sample();
+        let v: Vec<MemoryAccess> = t.clone().into_iter().collect();
+        let t2: Trace = v.into();
+        assert_eq!(t, t2);
+        assert_eq!(t.iter().count(), 8);
+        let borrowed: Vec<_> = (&t).into_iter().collect();
+        assert_eq!(borrowed.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    #[cfg(debug_assertions)]
+    fn push_rejects_decreasing_instr() {
+        let mut t = Trace::new();
+        t.push(MemoryAccess::load(5, Address::new(0)));
+        t.push(MemoryAccess::load(4, Address::new(0)));
+    }
+}

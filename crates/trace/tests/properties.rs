@@ -1,0 +1,104 @@
+//! Property-based tests for the trace model.
+
+use cachebox_trace::io::{read_trace, write_trace};
+use cachebox_trace::{
+    Address, MemoryAccess, ReuseDistanceEngine, ReuseHistogram, Trace, INFINITE_DISTANCE,
+};
+use proptest::prelude::*;
+
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..1 << 40, prop::bool::ANY), 0..200).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (addr, store))| {
+                if store {
+                    MemoryAccess::store(i as u64, Address::new(addr))
+                } else {
+                    MemoryAccess::load(i as u64, Address::new(addr))
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Text serialization round-trips every trace exactly.
+    #[test]
+    fn io_roundtrip(trace in arbitrary_trace()) {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Block/base/offset decompose every address consistently.
+    #[test]
+    fn address_decomposition(raw in any::<u64>(), bits in 0u32..20) {
+        let a = Address::new(raw);
+        prop_assert_eq!(a.block_base(bits).as_u64() + a.block_offset(bits), raw);
+        prop_assert_eq!(a.block(bits), a.block_base(bits).as_u64() >> bits);
+    }
+
+    /// Cold accesses in the reuse engine equal the number of distinct
+    /// blocks; total distances recorded equal the access count.
+    #[test]
+    fn reuse_cold_count_is_distinct_blocks(blocks in prop::collection::vec(0u64..64, 1..300)) {
+        let mut engine = ReuseDistanceEngine::new();
+        let mut cold = 0usize;
+        for &b in &blocks {
+            if engine.access(b) == INFINITE_DISTANCE {
+                cold += 1;
+            }
+        }
+        let distinct: std::collections::HashSet<u64> = blocks.iter().copied().collect();
+        prop_assert_eq!(cold, distinct.len());
+        prop_assert_eq!(engine.accesses(), blocks.len());
+    }
+
+    /// Reuse distances never exceed the number of distinct blocks seen.
+    #[test]
+    fn reuse_distance_bounded(blocks in prop::collection::vec(0u64..32, 1..200)) {
+        let mut engine = ReuseDistanceEngine::new();
+        for &b in &blocks {
+            let d = engine.access(b);
+            if d != INFINITE_DISTANCE {
+                prop_assert!(d < 32, "distance {d} impossible with 32 blocks");
+            }
+        }
+    }
+
+    /// The histogram's hit fraction at "infinite" capacity equals
+    /// 1 − cold/total.
+    #[test]
+    fn histogram_saturates_at_full_capacity(blocks in prop::collection::vec(0u64..64, 1..300)) {
+        let hist = ReuseHistogram::from_blocks(blocks.iter().copied());
+        let warm = (hist.total() - hist.cold()) as f64 / hist.total() as f64;
+        let at_capacity = hist.hit_fraction_for_capacity(1 << 20);
+        prop_assert!((at_capacity - warm).abs() < 1e-9);
+    }
+
+    /// Trace statistics are consistent: store count, uniqueness bounds.
+    #[test]
+    fn stats_are_consistent(trace in arbitrary_trace()) {
+        let stats = trace.stats();
+        prop_assert_eq!(stats.accesses, trace.len());
+        prop_assert!(stats.stores <= stats.accesses);
+        prop_assert!(stats.unique_addresses <= stats.accesses.max(1));
+        prop_assert!(stats.unique_blocks(6) <= stats.unique_addresses.max(1));
+        if !trace.is_empty() {
+            prop_assert!(stats.min_address.unwrap() <= stats.max_address.unwrap());
+        }
+    }
+
+    /// `renumbered` preserves addresses and kinds while packing instrs.
+    #[test]
+    fn renumbered_preserves_content(trace in arbitrary_trace()) {
+        let r = trace.renumbered();
+        prop_assert_eq!(r.len(), trace.len());
+        for (a, b) in trace.iter().zip(r.iter()) {
+            prop_assert_eq!(a.address, b.address);
+            prop_assert_eq!(a.kind, b.kind);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`Benchmark`] type: a named, deterministic trace generator.
+
+use crate::ligra::{self, LigraAlgorithm};
+use crate::polybench::{self, PolyKernel};
+use crate::spec;
+use crate::suite::SuiteId;
+use cachebox_trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a benchmark: suite, application, and traced phase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BenchmarkId {
+    /// Owning suite.
+    pub suite: SuiteId,
+    /// Application name (phases of one application share this).
+    pub app: String,
+    /// Traced phase index within the application.
+    pub phase: u32,
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}#{}", self.suite, self.app, self.phase)
+    }
+}
+
+/// How a benchmark's trace is produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Recipe {
+    /// SPEC-like mixed-phase generator.
+    Spec {
+        /// Root seed for the generator.
+        seed: u64,
+    },
+    /// Ligra-like graph analytics.
+    Ligra {
+        /// Algorithm to run.
+        algorithm: LigraAlgorithm,
+        /// Graph vertex count.
+        vertices: usize,
+        /// Preferential-attachment degree.
+        attach: usize,
+        /// Root seed.
+        seed: u64,
+    },
+    /// Polybench-like affine kernel.
+    Polybench {
+        /// Kernel recipe.
+        kernel: PolyKernel,
+    },
+}
+
+/// A named, fully deterministic synthetic benchmark.
+///
+/// Generating the same benchmark twice yields identical traces, so
+/// ground-truth simulation, heatmap construction, and model evaluation
+/// are all reproducible without storing traces on disk.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_workloads::{Suite, SuiteId};
+///
+/// let suite = Suite::build(SuiteId::Spec, 4, 1);
+/// let b = &suite.benchmarks()[0];
+/// println!("{} ({})", b.display_name(), b.id());
+/// assert_eq!(b.id().suite, SuiteId::Spec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    id: BenchmarkId,
+    display_name: String,
+    recipe: Recipe,
+}
+
+impl Benchmark {
+    /// Creates a benchmark from its parts.
+    pub fn new(id: BenchmarkId, display_name: String, recipe: Recipe) -> Self {
+        Benchmark { id, display_name, recipe }
+    }
+
+    /// The benchmark's identity.
+    pub fn id(&self) -> &BenchmarkId {
+        &self.id
+    }
+
+    /// Human-readable trace name (e.g. `602.gcc_s-734B`,
+    /// `BFS_rMat_2000`, `jacobi-2d_m`).
+    pub fn display_name(&self) -> &str {
+        &self.display_name
+    }
+
+    /// The generator recipe.
+    pub fn recipe(&self) -> &Recipe {
+        &self.recipe
+    }
+
+    /// Generates the benchmark's trace with at least `target_accesses`
+    /// accesses. Deterministic: equal inputs give equal traces.
+    pub fn generate(&self, target_accesses: usize) -> Trace {
+        match &self.recipe {
+            Recipe::Spec { seed } => {
+                spec::generate(&self.id.app, self.id.phase, *seed, target_accesses)
+            }
+            Recipe::Ligra { algorithm, vertices, attach, seed } => ligra::generate(
+                *algorithm,
+                *vertices,
+                *attach,
+                seed.wrapping_add(self.id.phase as u64),
+                target_accesses,
+            ),
+            Recipe::Polybench { kernel } => polybench::generate(*kernel, target_accesses),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_bench() -> Benchmark {
+        Benchmark::new(
+            BenchmarkId { suite: SuiteId::Spec, app: "602.gcc_s".into(), phase: 0 },
+            "602.gcc_s-734B".into(),
+            Recipe::Spec { seed: 9 },
+        )
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let b = spec_bench();
+        assert_eq!(b.generate(4000), b.generate(4000));
+    }
+
+    #[test]
+    fn id_display() {
+        let b = spec_bench();
+        assert_eq!(b.id().to_string(), "spec/602.gcc_s#0");
+        assert_eq!(b.display_name(), "602.gcc_s-734B");
+    }
+
+    #[test]
+    fn ligra_recipe_phases_differ() {
+        let make = |phase| {
+            Benchmark::new(
+                BenchmarkId { suite: SuiteId::Ligra, app: "BFS".into(), phase },
+                format!("BFS#{phase}"),
+                Recipe::Ligra { algorithm: LigraAlgorithm::Bfs, vertices: 300, attach: 3, seed: 4 },
+            )
+        };
+        assert_ne!(make(0).generate(3000), make(1).generate(3000));
+    }
+}

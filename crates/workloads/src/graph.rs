@@ -1,0 +1,168 @@
+//! Synthetic power-law graphs for the Ligra-like suite.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A directed graph in compressed sparse row (CSR) form.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_workloads::graph::Csr;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = Csr::power_law(500, 4, &mut rng);
+/// assert_eq!(g.vertices(), 500);
+/// assert!(g.edges() >= 4 * 499);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an adjacency list.
+    pub fn from_adjacency(adj: &[Vec<u32>]) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0);
+        for neighbours in adj {
+            targets.extend_from_slice(neighbours);
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Generates a power-law graph by preferential attachment
+    /// (Barabási–Albert): each new vertex attaches `m` edges to existing
+    /// vertices chosen proportionally to their current degree. Edges are
+    /// stored in both directions so traversals reach hub vertices often.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices < 2` or `m == 0`.
+    pub fn power_law(vertices: usize, m: usize, rng: &mut StdRng) -> Self {
+        assert!(vertices >= 2, "need at least two vertices");
+        assert!(m > 0, "attachment degree must be non-zero");
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); vertices];
+        // Repeated-endpoint list: sampling uniformly from it implements
+        // degree-proportional selection.
+        let mut endpoints: Vec<u32> = vec![0, 1];
+        adj[0].push(1);
+        adj[1].push(0);
+        for v in 2..vertices {
+            for _ in 0..m.min(v) {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                adj[v].push(t);
+                adj[t as usize].push(v as u32);
+                endpoints.push(t);
+                endpoints.push(v as u32);
+            }
+        }
+        Csr::from_adjacency(&adj)
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbours(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbours(v).len()
+    }
+
+    /// Byte offset of `offsets[v]` within a CSR memory image, for trace
+    /// synthesis (4-byte entries).
+    pub fn offsets_byte(&self, v: u32) -> u64 {
+        v as u64 * 4
+    }
+
+    /// Byte offset of the edge-array entry `e` (4-byte entries).
+    pub fn edge_byte(&self, e: usize) -> u64 {
+        e as u64 * 4
+    }
+
+    /// Index of the first edge of vertex `v` in the edge array.
+    pub fn edge_start(&self, v: u32) -> usize {
+        self.offsets[v as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_degrees_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Csr::power_law(2000, 4, &mut rng);
+        let mut degrees: Vec<usize> = (0..g.vertices()).map(|v| g.degree(v as u32)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: usize = degrees[..20].iter().sum();
+        let total: usize = degrees.iter().sum();
+        assert!(
+            top1pct as f64 / total as f64 > 0.05,
+            "hubs should hold a disproportionate share of edges"
+        );
+        assert_eq!(total, g.edges());
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let adj = vec![vec![1, 2], vec![0], vec![]];
+        let g = Csr::from_adjacency(&adj);
+        assert_eq!(g.vertices(), 3);
+        assert_eq!(g.edges(), 3);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.neighbours(2), &[] as &[u32]);
+        assert_eq!(g.edge_start(1), 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Csr::power_law(300, 3, &mut StdRng::seed_from_u64(5));
+        let b = Csr::power_law(300, 3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_is_connected_by_construction() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = Csr::power_law(200, 2, &mut rng);
+        // BFS from 0 reaches everything (undirected edge insertion).
+        let mut seen = vec![false; g.vertices()];
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        seen[0] = true;
+        while let Some(v) = queue.pop_front() {
+            for &t in g.neighbours(v) {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "two vertices")]
+    fn rejects_tiny_graph() {
+        Csr::power_law(1, 1, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,469 @@
+//! Low-level memory access pattern emitters.
+//!
+//! Each kernel appends accesses to a [`TraceBuilder`] until it has emitted
+//! roughly the requested number of accesses. Kernels model the data-access
+//! skeleton of common computational idioms; arithmetic instructions are
+//! represented by [`TraceBuilder::skip_instructions`] gaps so the
+//! instruction axis of heatmaps advances realistically.
+
+use cachebox_trace::trace::TraceBuilder;
+use cachebox_trace::Address;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Element size used by numeric kernels (a double).
+pub const ELEM: u64 = 8;
+
+/// Hands out non-overlapping base addresses for synthetic arrays.
+///
+/// Regions are aligned to 4 KiB and separated by a guard page so distinct
+/// arrays never share a cache block.
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    next: u64,
+}
+
+impl RegionAllocator {
+    /// Creates an allocator starting at the conventional heap base.
+    pub fn new() -> Self {
+        RegionAllocator { next: 0x1000_0000 }
+    }
+
+    /// Reserves `bytes` and returns the region's base address.
+    pub fn alloc(&mut self, bytes: u64) -> Address {
+        let base = self.next;
+        let aligned = (bytes + 0xfff) & !0xfff;
+        self.next = base + aligned + 0x1000; // guard page
+        Address::new(base)
+    }
+}
+
+impl Default for RegionAllocator {
+    fn default() -> Self {
+        RegionAllocator::new()
+    }
+}
+
+/// STREAM-style triad: `c[i] = a[i] + s * b[i]` repeated over the arrays.
+pub fn stream_triad(b: &mut TraceBuilder, alloc: &mut RegionAllocator, n: u64, target: usize) {
+    let a = alloc.alloc(n * ELEM);
+    let bb = alloc.alloc(n * ELEM);
+    let c = alloc.alloc(n * ELEM);
+    while b.len() < target {
+        for i in 0..n {
+            b.load(a.offset((i * ELEM) as i64));
+            b.load(bb.offset((i * ELEM) as i64));
+            b.store(c.offset((i * ELEM) as i64));
+            b.skip_instructions(2);
+            if b.len() >= target {
+                return;
+            }
+        }
+    }
+}
+
+/// Blocked dense matrix multiply `C += A * B` over `n × n` doubles with
+/// `bs × bs` tiles (row-major).
+pub fn blocked_matmul(
+    b: &mut TraceBuilder,
+    alloc: &mut RegionAllocator,
+    n: u64,
+    bs: u64,
+    target: usize,
+) {
+    let a = alloc.alloc(n * n * ELEM);
+    let bm = alloc.alloc(n * n * ELEM);
+    let c = alloc.alloc(n * n * ELEM);
+    let idx = |i: u64, j: u64| ((i * n + j) * ELEM) as i64;
+    loop {
+        for ii in (0..n).step_by(bs as usize) {
+            for jj in (0..n).step_by(bs as usize) {
+                for kk in (0..n).step_by(bs as usize) {
+                    for i in ii..(ii + bs).min(n) {
+                        for j in jj..(jj + bs).min(n) {
+                            b.load(c.offset(idx(i, j)));
+                            for k in kk..(kk + bs).min(n) {
+                                b.load(a.offset(idx(i, k)));
+                                b.load(bm.offset(idx(k, j)));
+                                b.skip_instructions(1);
+                                if b.len() >= target {
+                                    return;
+                                }
+                            }
+                            b.store(c.offset(idx(i, j)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 5-point Jacobi stencil over an `n × n` grid, ping-ponging between two
+/// buffers for `target` accesses.
+pub fn jacobi_2d(b: &mut TraceBuilder, alloc: &mut RegionAllocator, n: u64, target: usize) {
+    let src = alloc.alloc(n * n * ELEM);
+    let dst = alloc.alloc(n * n * ELEM);
+    let bufs = [src, dst];
+    let idx = |i: u64, j: u64| ((i * n + j) * ELEM) as i64;
+    let mut step = 0usize;
+    loop {
+        let (from, to) = (bufs[step % 2], bufs[(step + 1) % 2]);
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b.load(from.offset(idx(i - 1, j)));
+                b.load(from.offset(idx(i + 1, j)));
+                b.load(from.offset(idx(i, j - 1)));
+                b.load(from.offset(idx(i, j + 1)));
+                b.load(from.offset(idx(i, j)));
+                b.store(to.offset(idx(i, j)));
+                b.skip_instructions(3);
+                if b.len() >= target {
+                    return;
+                }
+            }
+        }
+        step += 1;
+    }
+}
+
+/// Gauss–Seidel-style in-place sweep (strong sequential dependence, one
+/// buffer) over an `n × n` grid.
+pub fn seidel_2d(b: &mut TraceBuilder, alloc: &mut RegionAllocator, n: u64, target: usize) {
+    let g = alloc.alloc(n * n * ELEM);
+    let idx = |i: u64, j: u64| ((i * n + j) * ELEM) as i64;
+    loop {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for (di, dj) in [(0i64, -1i64), (-1, 0), (0, 0), (1, 0), (0, 1)] {
+                    let ii = (i as i64 + di) as u64;
+                    let jj = (j as i64 + dj) as u64;
+                    b.load(g.offset(idx(ii, jj)));
+                }
+                b.store(g.offset(idx(i, j)));
+                b.skip_instructions(2);
+                if b.len() >= target {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Matrix-vector product `y = A^T (A x)` (ATAX-like): a row-streaming pass
+/// with a reused vector.
+pub fn atax(b: &mut TraceBuilder, alloc: &mut RegionAllocator, n: u64, target: usize) {
+    let a = alloc.alloc(n * n * ELEM);
+    let x = alloc.alloc(n * ELEM);
+    let y = alloc.alloc(n * ELEM);
+    let tmp = alloc.alloc(n * ELEM);
+    let idx = |i: u64, j: u64| ((i * n + j) * ELEM) as i64;
+    loop {
+        for i in 0..n {
+            for j in 0..n {
+                b.load(a.offset(idx(i, j)));
+                b.load(x.offset((j * ELEM) as i64));
+                b.skip_instructions(1);
+                if b.len() >= target {
+                    return;
+                }
+            }
+            b.store(tmp.offset((i * ELEM) as i64));
+        }
+        for i in 0..n {
+            for j in 0..n {
+                b.load(a.offset(idx(i, j)));
+                b.load(tmp.offset((i * ELEM) as i64));
+                if b.len() >= target {
+                    return;
+                }
+            }
+            b.store(y.offset((i * ELEM) as i64));
+        }
+    }
+}
+
+/// Lower-triangular solve-like sweep (LU/trisolv family): triangular
+/// iteration space with row reuse.
+pub fn triangular_sweep(b: &mut TraceBuilder, alloc: &mut RegionAllocator, n: u64, target: usize) {
+    let a = alloc.alloc(n * n * ELEM);
+    let x = alloc.alloc(n * ELEM);
+    let idx = |i: u64, j: u64| ((i * n + j) * ELEM) as i64;
+    loop {
+        for i in 0..n {
+            for j in 0..=i {
+                b.load(a.offset(idx(i, j)));
+                b.load(x.offset((j * ELEM) as i64));
+                b.skip_instructions(1);
+                if b.len() >= target {
+                    return;
+                }
+            }
+            b.store(x.offset((i * ELEM) as i64));
+        }
+    }
+}
+
+/// Pointer chase over a random cycle of `nodes` 64-byte nodes.
+pub fn pointer_chase(
+    b: &mut TraceBuilder,
+    alloc: &mut RegionAllocator,
+    rng: &mut StdRng,
+    nodes: u64,
+    target: usize,
+) {
+    let base = alloc.alloc(nodes * 64);
+    // Sattolo's algorithm: a single random cycle through all nodes.
+    let mut next: Vec<u64> = (0..nodes).collect();
+    for i in (1..nodes as usize).rev() {
+        let j = rng.gen_range(0..i);
+        next.swap(i, j);
+    }
+    let mut cur = 0u64;
+    while b.len() < target {
+        b.load(base.offset((cur * 64) as i64));
+        b.skip_instructions(4);
+        cur = next[cur as usize];
+    }
+}
+
+/// GUPS-style random read-modify-write over a `table_blocks`-block table.
+pub fn gups(
+    b: &mut TraceBuilder,
+    alloc: &mut RegionAllocator,
+    rng: &mut StdRng,
+    table_blocks: u64,
+    target: usize,
+) {
+    let base = alloc.alloc(table_blocks * 64);
+    while b.len() < target {
+        let slot = rng.gen_range(0..table_blocks);
+        let addr = base.offset((slot * 64) as i64);
+        b.load(addr);
+        b.store(addr);
+        b.skip_instructions(2);
+    }
+}
+
+/// Precomputed zipfian sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler with exponent `s` over `n` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Zipfian working-set accesses over `blocks` 64-byte blocks with
+/// exponent `s` and `store_prob` probability of a store.
+pub fn zipf_working_set(
+    b: &mut TraceBuilder,
+    alloc: &mut RegionAllocator,
+    rng: &mut StdRng,
+    blocks: u64,
+    s: f64,
+    store_prob: f64,
+    target: usize,
+) {
+    let base = alloc.alloc(blocks * 64);
+    let zipf = Zipf::new(blocks as usize, s);
+    // A fixed random permutation decouples popularity rank from address
+    // order so the hot set is scattered in space.
+    let mut perm: Vec<u64> = (0..blocks).collect();
+    for i in (1..blocks as usize).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    while b.len() < target {
+        let rank = zipf.sample(rng);
+        let addr = base.offset((perm[rank] * 64) as i64);
+        if rng.gen_bool(store_prob) {
+            b.store(addr);
+        } else {
+            b.load(addr);
+        }
+        b.skip_instructions(3);
+    }
+}
+
+/// Hash-join-like phases: a sequential build over the small table then
+/// random probes of it driven by a streaming outer table.
+pub fn hash_join(
+    b: &mut TraceBuilder,
+    alloc: &mut RegionAllocator,
+    rng: &mut StdRng,
+    build_blocks: u64,
+    probe_rows: u64,
+    target: usize,
+) {
+    let ht = alloc.alloc(build_blocks * 64);
+    let outer = alloc.alloc(probe_rows * ELEM);
+    // Build phase.
+    for i in 0..build_blocks {
+        b.store(ht.offset((i * 64) as i64));
+        b.skip_instructions(2);
+        if b.len() >= target {
+            return;
+        }
+    }
+    // Probe phase.
+    let mut row = 0u64;
+    while b.len() < target {
+        b.load(outer.offset(((row % probe_rows) * ELEM) as i64));
+        let slot = rng.gen_range(0..build_blocks);
+        b.load(ht.offset((slot * 64) as i64));
+        b.skip_instructions(3);
+        row += 1;
+    }
+}
+
+/// Hot/cold mixture: accesses hit a small hot region with probability
+/// `hot_prob`, else a large cold region (both uniformly random).
+pub fn hot_cold(
+    b: &mut TraceBuilder,
+    alloc: &mut RegionAllocator,
+    rng: &mut StdRng,
+    hot_blocks: u64,
+    cold_blocks: u64,
+    hot_prob: f64,
+    target: usize,
+) {
+    let hot = alloc.alloc(hot_blocks * 64);
+    let cold = alloc.alloc(cold_blocks * 64);
+    while b.len() < target {
+        let addr = if rng.gen_bool(hot_prob) {
+            hot.offset((rng.gen_range(0..hot_blocks) * 64) as i64)
+        } else {
+            cold.offset((rng.gen_range(0..cold_blocks) * 64) as i64)
+        };
+        b.load(addr);
+        b.skip_instructions(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn run<F: FnOnce(&mut TraceBuilder, &mut RegionAllocator, &mut StdRng)>(
+        f: F,
+    ) -> cachebox_trace::Trace {
+        let mut b = TraceBuilder::new();
+        let mut alloc = RegionAllocator::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        f(&mut b, &mut alloc, &mut rng);
+        b.finish()
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut alloc = RegionAllocator::new();
+        let a = alloc.alloc(100);
+        let b = alloc.alloc(5000);
+        let c = alloc.alloc(1);
+        assert!(b.as_u64() >= a.as_u64() + 100);
+        assert!(c.as_u64() >= b.as_u64() + 5000);
+        assert_eq!(a.as_u64() % 0x1000, 0);
+    }
+
+    #[test]
+    fn kernels_reach_target_length() {
+        let target = 5000;
+        let traces = vec![
+            run(|b, a, _| stream_triad(b, a, 256, target)),
+            run(|b, a, _| blocked_matmul(b, a, 24, 8, target)),
+            run(|b, a, _| jacobi_2d(b, a, 24, target)),
+            run(|b, a, _| seidel_2d(b, a, 24, target)),
+            run(|b, a, _| atax(b, a, 32, target)),
+            run(|b, a, _| triangular_sweep(b, a, 32, target)),
+            run(|b, a, r| pointer_chase(b, a, r, 512, target)),
+            run(|b, a, r| gups(b, a, r, 1024, target)),
+            run(|b, a, r| zipf_working_set(b, a, r, 2048, 1.1, 0.2, target)),
+            run(|b, a, r| hash_join(b, a, r, 256, 4096, target)),
+            run(|b, a, r| hot_cold(b, a, r, 64, 8192, 0.9, target)),
+        ];
+        for (i, t) in traces.iter().enumerate() {
+            assert!(t.len() >= target, "kernel {i} produced only {} accesses", t.len());
+            assert!(t.len() < target + 16, "kernel {i} overshot wildly: {}", t.len());
+        }
+    }
+
+    #[test]
+    fn stream_triad_has_unit_stride_structure() {
+        let t = run(|b, a, _| stream_triad(b, a, 512, 3000));
+        let stats = t.stats();
+        // Three interleaved streams: dominant stride patterns exist.
+        assert!(stats.stride_regularity() > 0.2);
+    }
+
+    #[test]
+    fn pointer_chase_visits_whole_cycle() {
+        let t = run(|b, a, r| pointer_chase(b, a, r, 64, 64));
+        let blocks = t.footprint_blocks(6);
+        assert_eq!(blocks.len(), 64, "Sattolo cycle must visit every node once per lap");
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed() {
+        let zipf = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head > 20_000 / 4, "top-10 ranks should dominate, got {head}");
+        assert!(counts[0] > counts[500].max(1));
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let zipf = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*max < 2 * *min, "s=0 should be near-uniform");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = run(|b, al, r| zipf_working_set(b, al, r, 512, 1.0, 0.1, 2000));
+        let b = run(|b, al, r| zipf_working_set(b, al, r, 512, 1.0, 0.1, 2000));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hot_cold_footprint_spans_both_regions() {
+        let t = run(|b, a, r| hot_cold(b, a, r, 16, 4096, 0.5, 4000));
+        assert!(t.footprint_blocks(6).len() > 1000, "cold region must be exercised");
+    }
+}

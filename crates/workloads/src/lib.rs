@@ -1,0 +1,42 @@
+//! Synthetic benchmark suites for CacheBox.
+//!
+//! The paper trains and evaluates on Pin-collected traces of SPEC 2006/
+//! 2017, Ligra, and Polybench. Those traces are proprietary and tens of
+//! gigabytes, so this reproduction substitutes *synthetic suites* whose
+//! generators reproduce the same structural families of memory behaviour:
+//!
+//! * [`polybench`] — affine loop-nest kernels (GEMM, stencils,
+//!   matrix-vector, triangular solves) with regular streaming and banded
+//!   reuse, named after the 30 real Polybench kernels.
+//! * [`ligra`] — graph analytics (BFS, PageRank, label-propagation
+//!   components, betweenness-like sweeps) over synthetic power-law graphs
+//!   built by preferential attachment.
+//! * [`spec`] — mixed-phase programs composed of pointer chasing, GUPS,
+//!   streaming, zipfian working sets, blocked matmul and hash-join phases,
+//!   echoing SPEC's skew toward high L1 hit rates (paper Fig. 14).
+//!
+//! Every [`Benchmark`] is a pure function of its identity (suite, name,
+//! phase, seed): generating it twice yields the identical trace.
+//!
+//! # Example
+//!
+//! ```
+//! use cachebox_workloads::{Suite, SuiteId};
+//!
+//! let suite = Suite::build(SuiteId::Polybench, 8, 42);
+//! let bench = &suite.benchmarks()[0];
+//! let trace = bench.generate(10_000);
+//! assert!(trace.len() >= 10_000);
+//! assert_eq!(trace, bench.generate(10_000), "generation is deterministic");
+//! ```
+
+pub mod bench;
+pub mod graph;
+pub mod kernels;
+pub mod ligra;
+pub mod polybench;
+pub mod spec;
+pub mod suite;
+
+pub use bench::{Benchmark, BenchmarkId, Recipe};
+pub use suite::{Dataset, Split, Suite, SuiteId};

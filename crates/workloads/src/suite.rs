@@ -1,0 +1,281 @@
+//! Suite registry and train/test splitting.
+
+use crate::bench::{Benchmark, BenchmarkId, Recipe};
+use crate::ligra::LigraAlgorithm;
+use crate::polybench;
+use crate::spec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The three benchmark suites of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SuiteId {
+    /// SPEC CPU 2006/2017-like mixed-phase applications.
+    Spec,
+    /// Ligra-like graph analytics.
+    Ligra,
+    /// Polybench-like affine kernels.
+    Polybench,
+}
+
+impl SuiteId {
+    /// All suites in registry order.
+    pub const ALL: [SuiteId; 3] = [SuiteId::Spec, SuiteId::Ligra, SuiteId::Polybench];
+}
+
+impl fmt::Display for SuiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SuiteId::Spec => "spec",
+            SuiteId::Ligra => "ligra",
+            SuiteId::Polybench => "polybench",
+        })
+    }
+}
+
+/// A generated suite: an ordered list of benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_workloads::{Suite, SuiteId};
+///
+/// let suite = Suite::build(SuiteId::Ligra, 10, 7);
+/// assert_eq!(suite.benchmarks().len(), 10);
+/// let split = suite.split_80_20(1);
+/// assert_eq!(split.train.len() + split.test.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suite {
+    id: SuiteId,
+    benchmarks: Vec<Benchmark>,
+}
+
+impl Suite {
+    /// Builds `count` benchmarks of suite `id`, deterministically from
+    /// `seed`. Benchmarks cycle through the suite's applications,
+    /// assigning increasing phase indices, so large counts give multiple
+    /// traced phases per application (as in DPC3).
+    pub fn build(id: SuiteId, count: usize, seed: u64) -> Self {
+        let benchmarks = (0..count).map(|i| make_benchmark(id, i, seed)).collect();
+        Suite { id, benchmarks }
+    }
+
+    /// The suite's identity.
+    pub fn id(&self) -> SuiteId {
+        self.id
+    }
+
+    /// The benchmarks, in registry order.
+    pub fn benchmarks(&self) -> &[Benchmark] {
+        &self.benchmarks
+    }
+
+    /// Splits 80/20 into train and test sets, *grouping all phases of an
+    /// application on the same side* — the paper's rule that no program
+    /// appears in both sets (§4.1).
+    pub fn split_80_20(&self, seed: u64) -> Split {
+        let mut by_app: BTreeMap<&str, Vec<&Benchmark>> = BTreeMap::new();
+        for b in &self.benchmarks {
+            by_app.entry(&b.id().app).or_default().push(b);
+        }
+        let mut apps: Vec<&str> = by_app.keys().copied().collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee);
+        apps.shuffle(&mut rng);
+        // Cut at 80% of the *benchmark* count, walking whole apps. When
+        // more than one application exists, both sides are guaranteed
+        // non-empty.
+        let target_train = ((self.benchmarks.len() * 4) / 5).max(1);
+        let mut train: Vec<Benchmark> = Vec::new();
+        let mut test: Vec<Benchmark> = Vec::new();
+        let mut in_train = 0usize;
+        let last_app = apps.len().saturating_sub(1);
+        for (i, app) in apps.into_iter().enumerate() {
+            let group = &by_app[app];
+            let force_test = i == last_app && test.is_empty() && !train.is_empty();
+            if in_train < target_train && !force_test {
+                in_train += group.len();
+                train.extend(group.iter().map(|&b| b.clone()));
+            } else {
+                test.extend(group.iter().map(|&b| b.clone()));
+            }
+        }
+        Split { train, test }
+    }
+}
+
+/// A train/test partition of benchmarks.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Split {
+    /// Training benchmarks.
+    pub train: Vec<Benchmark>,
+    /// Held-out test benchmarks (unseen applications).
+    pub test: Vec<Benchmark>,
+}
+
+impl Split {
+    /// Merges another split into this one (suite-wise union).
+    pub fn merge(&mut self, other: Split) {
+        self.train.extend(other.train);
+        self.test.extend(other.test);
+    }
+}
+
+/// The full dataset: all three suites with a common split.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_workloads::Dataset;
+///
+/// // A scaled-down analogue of the paper's 189/100/32 suite sizes.
+/// let ds = Dataset::build(18, 10, 6, 42);
+/// assert_eq!(ds.split.train.len() + ds.split.test.len(), 34);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Per-suite registries.
+    pub suites: Vec<Suite>,
+    /// The combined 80/20 split.
+    pub split: Split,
+}
+
+impl Dataset {
+    /// Builds the three suites with the given sizes and a shared seed,
+    /// splitting each suite 80/20 and merging the splits (the paper's
+    /// procedure: each suite is split independently, then batches mix).
+    pub fn build(spec: usize, ligra: usize, polybench: usize, seed: u64) -> Self {
+        let suites = vec![
+            Suite::build(SuiteId::Spec, spec, seed),
+            Suite::build(SuiteId::Ligra, ligra, seed.wrapping_add(1)),
+            Suite::build(SuiteId::Polybench, polybench, seed.wrapping_add(2)),
+        ];
+        let mut split = Split::default();
+        for (i, suite) in suites.iter().enumerate() {
+            split.merge(suite.split_80_20(seed.wrapping_add(i as u64 * 101)));
+        }
+        Dataset { suites, split }
+    }
+
+    /// Paper-scale dataset: 189 SPEC, 100 Ligra, 32 Polybench.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::build(189, 100, 32, seed)
+    }
+}
+
+fn make_benchmark(id: SuiteId, index: usize, seed: u64) -> Benchmark {
+    match id {
+        SuiteId::Spec => {
+            let app = spec::APP_NAMES[index % spec::APP_NAMES.len()];
+            let phase = (index / spec::APP_NAMES.len()) as u32;
+            Benchmark::new(
+                BenchmarkId { suite: id, app: app.to_string(), phase },
+                spec::phase_name(app, phase),
+                Recipe::Spec { seed },
+            )
+        }
+        SuiteId::Ligra => {
+            let algorithms = LigraAlgorithm::ALL;
+            let sizes: [(usize, usize); 4] = [(400, 3), (800, 4), (1500, 4), (3000, 5)];
+            let alg = algorithms[index % algorithms.len()];
+            let size_idx = (index / algorithms.len()) % sizes.len();
+            let phase = (index / (algorithms.len() * sizes.len())) as u32;
+            let (vertices, attach) = sizes[size_idx];
+            let app = format!("{}_rMat_{}", alg.binary_name(), vertices);
+            Benchmark::new(
+                BenchmarkId { suite: id, app: app.clone(), phase },
+                if phase == 0 { app } else { format!("{}_p{}", alg.binary_name(), phase) },
+                Recipe::Ligra { algorithm: alg, vertices, attach, seed: seed.wrapping_add(index as u64) },
+            )
+        }
+        SuiteId::Polybench => {
+            let name = polybench::KERNEL_NAMES[index % polybench::KERNEL_NAMES.len()];
+            let size_class = ((index / polybench::KERNEL_NAMES.len()) % 3) as u8;
+            let phase = (index / polybench::KERNEL_NAMES.len()) as u32;
+            let suffix = ["s", "m", "l"][size_class as usize];
+            Benchmark::new(
+                BenchmarkId { suite: id, app: name.to_string(), phase },
+                format!("{name}_{suffix}"),
+                Recipe::Polybench { kernel: polybench::recipe_for(name, size_class) },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_sizes_are_exact() {
+        for id in SuiteId::ALL {
+            let suite = Suite::build(id, 13, 5);
+            assert_eq!(suite.benchmarks().len(), 13);
+        }
+    }
+
+    #[test]
+    fn split_never_divides_an_app() {
+        let suite = Suite::build(SuiteId::Spec, 60, 3);
+        let split = suite.split_80_20(1);
+        let train_apps: HashSet<&str> = split.train.iter().map(|b| b.id().app.as_str()).collect();
+        let test_apps: HashSet<&str> = split.test.iter().map(|b| b.id().app.as_str()).collect();
+        assert!(train_apps.is_disjoint(&test_apps), "apps leaked across the split");
+        assert_eq!(split.train.len() + split.test.len(), 60);
+    }
+
+    #[test]
+    fn split_ratio_is_roughly_80_20() {
+        let suite = Suite::build(SuiteId::Spec, 100, 3);
+        let split = suite.split_80_20(1);
+        let frac = split.train.len() as f64 / 100.0;
+        assert!((0.7..=0.95).contains(&frac), "train fraction {frac}");
+        assert!(!split.test.is_empty());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let suite = Suite::build(SuiteId::Ligra, 24, 9);
+        assert_eq!(suite.split_80_20(4), suite.split_80_20(4));
+    }
+
+    #[test]
+    fn phases_assigned_beyond_app_count() {
+        let suite = Suite::build(SuiteId::Spec, spec::APP_NAMES.len() * 2, 5);
+        let last = suite.benchmarks().last().unwrap();
+        assert_eq!(last.id().phase, 1, "second cycle gets phase 1");
+    }
+
+    #[test]
+    fn display_names_unique_within_suite() {
+        let suite = Suite::build(SuiteId::Spec, 52, 5);
+        let names: HashSet<&str> = suite.benchmarks().iter().map(|b| b.display_name()).collect();
+        assert_eq!(names.len(), 52, "display names must be unique");
+    }
+
+    #[test]
+    fn dataset_builds_all_suites() {
+        let ds = Dataset::build(10, 8, 6, 2);
+        assert_eq!(ds.suites.len(), 3);
+        assert_eq!(ds.suites[0].id(), SuiteId::Spec);
+        let total: usize = ds.suites.iter().map(|s| s.benchmarks().len()).sum();
+        assert_eq!(total, 24);
+        assert_eq!(ds.split.train.len() + ds.split.test.len(), 24);
+    }
+
+    #[test]
+    fn benchmarks_generate_nonempty_traces() {
+        let ds = Dataset::build(3, 3, 3, 11);
+        for suite in &ds.suites {
+            for b in suite.benchmarks() {
+                let t = b.generate(2000);
+                assert!(t.len() >= 2000, "{}", b.id());
+            }
+        }
+    }
+}

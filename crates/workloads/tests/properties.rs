@@ -1,0 +1,80 @@
+//! Property-based tests for the synthetic benchmark suites.
+
+use cachebox_workloads::{Suite, SuiteId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn any_suite() -> impl Strategy<Value = SuiteId> {
+    prop_oneof![Just(SuiteId::Spec), Just(SuiteId::Ligra), Just(SuiteId::Polybench)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Suites are deterministic in (id, count, seed) and sized exactly.
+    #[test]
+    fn suites_deterministic_and_sized(
+        suite_id in any_suite(),
+        count in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let a = Suite::build(suite_id, count, seed);
+        let b = Suite::build(suite_id, count, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.benchmarks().len(), count);
+    }
+
+    /// Traces reach the requested length and regenerate identically.
+    #[test]
+    fn traces_deterministic_and_long_enough(
+        suite_id in any_suite(),
+        index in 0usize..6,
+        target in 500usize..3000,
+    ) {
+        let suite = Suite::build(suite_id, 6, 7);
+        let bench = &suite.benchmarks()[index];
+        let t1 = bench.generate(target);
+        prop_assert!(t1.len() >= target, "{}: {}", bench.id(), t1.len());
+        prop_assert_eq!(t1, bench.generate(target));
+    }
+
+    /// The 80/20 split always covers every benchmark exactly once and
+    /// never divides an application, for any size and seed.
+    #[test]
+    fn split_partitions_and_respects_apps(
+        suite_id in any_suite(),
+        count in 2usize..40,
+        seed in 0u64..50,
+    ) {
+        let suite = Suite::build(suite_id, count, 3);
+        let split = suite.split_80_20(seed);
+        prop_assert_eq!(split.train.len() + split.test.len(), count);
+        let train_apps: HashSet<&str> =
+            split.train.iter().map(|b| b.id().app.as_str()).collect();
+        let test_apps: HashSet<&str> =
+            split.test.iter().map(|b| b.id().app.as_str()).collect();
+        prop_assert!(train_apps.is_disjoint(&test_apps));
+        // Non-degenerate whenever there are at least two applications.
+        let all_apps: HashSet<&str> =
+            suite.benchmarks().iter().map(|b| b.id().app.as_str()).collect();
+        if all_apps.len() >= 2 {
+            prop_assert!(!split.train.is_empty());
+            prop_assert!(!split.test.is_empty());
+        }
+    }
+
+    /// Instruction numbers are non-decreasing in every generated trace.
+    #[test]
+    fn traces_have_monotone_instructions(
+        suite_id in any_suite(),
+        index in 0usize..4,
+    ) {
+        let suite = Suite::build(suite_id, 4, 11);
+        let trace = suite.benchmarks()[index].generate(1500);
+        let mut prev = 0u64;
+        for a in &trace {
+            prop_assert!(a.instr >= prev);
+            prev = a.instr;
+        }
+    }
+}

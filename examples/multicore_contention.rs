@@ -1,0 +1,76 @@
+//! Multicore shared-cache contention (the conclusion's "investigating
+//! multicore architectures" direction).
+//!
+//! Interleaves two benchmarks' traces as co-running processes, replays
+//! the combined stream through a shared L2-sized cache, and compares
+//! each program's hit rate against running alone — then renders the
+//! shared-bus heatmap that a multicore CacheBox model would train on.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p cachebox --example multicore_contention
+//! ```
+
+use cachebox::dataset::Pipeline;
+use cachebox::Scale;
+use cachebox_heatmap::export::write_pgm;
+use cachebox_heatmap::HeatmapBuilder;
+use cachebox_sim::{Cache, CacheConfig};
+use cachebox_trace::merge::{interleave, split_by_program};
+use cachebox_workloads::{Suite, SuiteId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::small();
+    let pipeline = Pipeline::new(&scale);
+    let shared = CacheConfig::new(256, 8); // a small shared L2
+    let suite = Suite::build(SuiteId::Spec, 6, scale.seed);
+    let a = &suite.benchmarks()[0];
+    let b = &suite.benchmarks()[2];
+    let trace_a = a.generate(scale.trace_accesses);
+    let trace_b = b.generate(scale.trace_accesses);
+
+    // Solo runs.
+    let solo = |t: &cachebox_trace::Trace| Cache::new(shared).run(t).hit_rate();
+    let (solo_a, solo_b) = (solo(&trace_a), solo(&trace_b));
+
+    // Co-run: interleave 4 accesses at a time (a coarse fetch quantum).
+    let merged = interleave(&[trace_a, trace_b], 4);
+    let mut cache = Cache::new(shared);
+    let result = cache.run(&merged);
+    // Attribute each access's outcome back to its program.
+    let parts = split_by_program(&merged, 2);
+    let mut hits = [0usize; 2];
+    let mut counts = [0usize; 2];
+    for (access, &hit) in merged.iter().zip(&result.hit_flags) {
+        let which = (access.address.as_u64() >> 40) as usize;
+        counts[which] += 1;
+        hits[which] += hit as usize;
+    }
+    println!("shared cache: {} ({} KiB)", shared.name(), shared.capacity_bytes() / 1024);
+    println!(
+        "{:<28} solo {:>6.2}%  shared {:>6.2}%  (Δ {:+.2} pp)",
+        a.display_name(),
+        solo_a * 100.0,
+        hits[0] as f64 / counts[0] as f64 * 100.0,
+        (hits[0] as f64 / counts[0] as f64 - solo_a) * 100.0
+    );
+    println!(
+        "{:<28} solo {:>6.2}%  shared {:>6.2}%  (Δ {:+.2} pp)",
+        b.display_name(),
+        solo_b * 100.0,
+        hits[1] as f64 / counts[1] as f64 * 100.0,
+        (hits[1] as f64 / counts[1] as f64 - solo_b) * 100.0
+    );
+    let _ = parts; // per-program streams, available for deeper analysis
+
+    // The shared-bus heatmap pair a multicore CacheBox would learn from.
+    let pairs = HeatmapBuilder::new(*pipeline.geometry()).build_pairs(&merged, &result.hit_flags);
+    let out = std::path::Path::new("target/heatmaps");
+    std::fs::create_dir_all(out)?;
+    if let Some(pair) = pairs.first() {
+        write_pgm(std::fs::File::create(out.join("multicore.access.pgm"))?, &pair.access)?;
+        write_pgm(std::fs::File::create(out.join("multicore.miss.pgm"))?, &pair.miss)?;
+        println!("wrote target/heatmaps/multicore.{{access,miss}}.pgm ({} pairs)", pairs.len());
+    }
+    Ok(())
+}

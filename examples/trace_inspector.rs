@@ -1,0 +1,83 @@
+//! Trace inspector: explore the synthetic suites without any training.
+//!
+//! Generates one benchmark from each suite, prints trace statistics,
+//! simulated hit rates across the paper's cache configurations, a
+//! reuse-distance profile, and exports the first access/miss heatmap
+//! pair as PGM images under `target/heatmaps/`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p cachebox --example trace_inspector
+//! ```
+
+use cachebox::dataset::Pipeline;
+use cachebox::Scale;
+use cachebox_heatmap::export::write_pgm;
+use cachebox_sim::config::presets;
+use cachebox_sim::{Cache, CacheConfig};
+use cachebox_trace::ReuseHistogram;
+use cachebox_workloads::{Suite, SuiteId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = Scale::small();
+    let pipeline = Pipeline::new(&scale);
+    let out_dir = std::path::Path::new("target/heatmaps");
+    std::fs::create_dir_all(out_dir)?;
+
+    for suite_id in SuiteId::ALL {
+        let suite = Suite::build(suite_id, 3, scale.seed);
+        let bench = &suite.benchmarks()[0];
+        let trace = bench.generate(scale.trace_accesses);
+        let stats = trace.stats();
+        println!("=== {} :: {} ===", suite_id, bench.display_name());
+        println!(
+            "accesses: {}  stores: {:.1}%  footprint: {} blocks  span: {} KiB",
+            stats.accesses,
+            trace.store_fraction() * 100.0,
+            trace.footprint_blocks(6).len(),
+            stats.address_span() / 1024,
+        );
+        println!(
+            "dominant stride: {:?} bytes ({:.0}% of transitions)",
+            stats.dominant_stride(),
+            stats.stride_regularity() * 100.0
+        );
+
+        // Hit rate across the paper's configurations.
+        print!("hit rates:");
+        for config in
+            presets::rq2_train_configs().iter().chain(&[presets::l2_1024s_8w()])
+        {
+            let mut cache = Cache::new(*config);
+            let rate = cache.run(&trace).hit_rate();
+            print!("  {}={:.1}%", config.name(), rate * 100.0);
+        }
+        println!();
+
+        // Fully-associative miss curve from the reuse profile.
+        let hist = ReuseHistogram::from_trace(&trace, 6);
+        print!("LRU hit fraction by capacity:");
+        for capacity in [64u64, 256, 1024, 4096] {
+            print!("  {capacity}blk={:.1}%", hist.hit_fraction_for_capacity(capacity) * 100.0);
+        }
+        println!();
+
+        // Export the first heatmap pair.
+        let pairs = pipeline.heatmap_pairs(bench, &CacheConfig::new(64, 12));
+        if let Some(pair) = pairs.first() {
+            let base = out_dir.join(format!("{suite_id}"));
+            let access_path = base.with_extension("access.pgm");
+            let miss_path = base.with_extension("miss.pgm");
+            write_pgm(std::fs::File::create(&access_path)?, &pair.access)?;
+            write_pgm(std::fs::File::create(&miss_path)?, &pair.miss)?;
+            println!(
+                "wrote {} and {} ({} heatmaps total)",
+                access_path.display(),
+                miss_path.display(),
+                pairs.len()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

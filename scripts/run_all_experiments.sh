@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every figure and table of the paper at the given scale
+# (default: small). Results land in results/<artifact>.{txt,json}.
+set -u
+SCALE="${1:-small}"
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p cachebox-bench --bins
+BINARIES=(
+  fig07_rq1_suites
+  fig08_rq2_configs
+  fig09_rq3_unseen_configs
+  fig10_rq4_levels
+  fig11_rq5_batching
+  fig12_rq6_scatter
+  fig13_rq7_prefetch
+  fig14_hitrate_histogram
+  table1_baselines
+  ext_policy_transfer
+  ablation_window
+  ablation_overlap
+  ablation_lambda
+  ablation_geometry
+)
+for bin in "${BINARIES[@]}"; do
+  echo "=== $bin (scale: $SCALE) ==="
+  EXTRA=""
+  case "$bin" in
+    ablation_*|ext_seed*) EXTRA="--epochs 30" ;;  # sweeps train several models
+  esac
+  ./target/release/"$bin" --scale "$SCALE" $EXTRA --out "results/$bin.json" \
+    > "results/$bin.txt" 2>&1
+  echo "    done: results/$bin.txt"
+done

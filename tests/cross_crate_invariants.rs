@@ -1,0 +1,130 @@
+//! Property-based invariants that span multiple CacheBox crates.
+//!
+//! The strongest check here cross-validates two independently implemented
+//! components: the set-associative LRU simulator (`cachebox-sim`) against
+//! the exact reuse-distance engine (`cachebox-trace`). For LRU, an access
+//! hits **iff** the number of distinct blocks mapping to the same set
+//! since the previous access to that block is smaller than the
+//! associativity — so per-set reuse distances fully determine hit/miss.
+
+use cachebox_heatmap::{HeatmapBuilder, HeatmapGeometry};
+use cachebox_sim::{Cache, CacheConfig};
+use cachebox_trace::{Address, MemoryAccess, ReuseDistanceEngine, Trace, INFINITE_DISTANCE};
+use proptest::prelude::*;
+
+/// Reference LRU hit/miss oracle built on per-set reuse distances.
+fn reuse_distance_oracle(trace: &Trace, config: &CacheConfig) -> Vec<bool> {
+    let mut engines: Vec<ReuseDistanceEngine> =
+        (0..config.sets).map(|_| ReuseDistanceEngine::new()).collect();
+    trace
+        .iter()
+        .map(|a| {
+            let block = a.address.block(config.block_offset_bits);
+            let set = config.set_index_of_block(block);
+            let distance = engines[set].access(block);
+            distance != INFINITE_DISTANCE && distance < config.ways as u64
+        })
+        .collect()
+}
+
+fn arbitrary_trace(max_len: usize, max_block: u64) -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0..max_block, prop::bool::ANY), 1..max_len).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (block, store))| {
+                let addr = Address::new(block * 64 + (i as u64 % 64));
+                if store {
+                    MemoryAccess::store(i as u64, addr)
+                } else {
+                    MemoryAccess::load(i as u64, addr)
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulator's per-access hit flags match the reuse-distance
+    /// oracle exactly, for arbitrary traces and LRU geometries.
+    #[test]
+    fn lru_simulator_matches_reuse_distance_oracle(
+        trace in arbitrary_trace(400, 256),
+        sets_log2 in 0u32..5,
+        ways in 1usize..9,
+    ) {
+        let config = CacheConfig::new(1 << sets_log2, ways);
+        let mut cache = Cache::new(config);
+        let result = cache.run(&trace);
+        let oracle = reuse_distance_oracle(&trace, &config);
+        prop_assert_eq!(&result.hit_flags, &oracle);
+    }
+
+    /// Overlap-deduplicated pixel sums equal the trace length for any
+    /// geometry and overlap — the invariant §4.4's hit-rate recovery
+    /// rests on.
+    #[test]
+    fn heatmap_dedup_sum_equals_trace_length(
+        trace in arbitrary_trace(600, 4096),
+        height_log2 in 2u32..6,
+        width in 4usize..24,
+        window in 1u64..9,
+        overlap in 0.0f64..0.8,
+    ) {
+        let geometry = HeatmapGeometry::new(1 << height_log2, width, window)
+            .with_overlap(overlap);
+        let maps = HeatmapBuilder::new(geometry).build(&trace);
+        let total = cachebox_heatmap::hitrate::dedup_pixel_sum(&maps, &geometry);
+        prop_assert_eq!(total as usize, trace.len());
+    }
+
+    /// Hit rates recovered from heatmap pairs agree with the simulator's
+    /// counters to floating-point precision.
+    #[test]
+    fn heatmap_hit_rate_matches_simulator(
+        trace in arbitrary_trace(400, 512),
+        ways in 1usize..5,
+    ) {
+        let config = CacheConfig::new(16, ways);
+        let mut cache = Cache::new(config);
+        let result = cache.run(&trace);
+        let geometry = HeatmapGeometry::new(16, 8, 4).with_overlap(0.3);
+        let pairs = HeatmapBuilder::new(geometry).build_pairs(&trace, &result.hit_flags);
+        let summary = cachebox_heatmap::hitrate::hit_rate_from_pairs(&pairs, &geometry);
+        prop_assert!((summary.hit_rate() - result.hit_rate()).abs() < 1e-9);
+    }
+
+    /// Growing associativity (at fixed set count) never hurts LRU hit
+    /// counts on any trace (LRU's stack inclusion property per set).
+    #[test]
+    fn lru_hits_monotone_in_ways(
+        trace in arbitrary_trace(300, 128),
+        sets_log2 in 0u32..4,
+    ) {
+        let mut prev_hits = 0;
+        for ways in [1usize, 2, 4, 8] {
+            let mut cache = Cache::new(CacheConfig::new(1 << sets_log2, ways));
+            let hits = cache.run(&trace).stats.hits;
+            prop_assert!(hits >= prev_hits, "ways {ways}: {hits} < {prev_hits}");
+            prev_hits = hits;
+        }
+    }
+
+    /// Miss traces partition: misses + hits = accesses, and replaying
+    /// the miss trace against an infinite cache yields all-cold blocks
+    /// exactly once per distinct block of the miss trace.
+    #[test]
+    fn miss_trace_partitions_accesses(
+        trace in arbitrary_trace(300, 64),
+    ) {
+        let config = CacheConfig::new(4, 2);
+        let mut cache = Cache::new(config);
+        let result = cache.run(&trace);
+        let misses = result.miss_trace(&trace);
+        let hits = result.hit_trace(&trace);
+        prop_assert_eq!(misses.len() + hits.len(), trace.len());
+        prop_assert_eq!(misses.len() as u64, result.stats.misses);
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end integration tests: the full benchmark → simulator →
+//! heatmap → CB-GAN → metric pipeline at tiny scale, plus checkpoint
+//! round-trips and determinism guarantees.
+
+use cachebox::dataset::Pipeline;
+use cachebox::experiments::train_cbgan;
+use cachebox::Scale;
+use cachebox_gan::checkpoint::Checkpoint;
+use cachebox_gan::data::Normalizer;
+use cachebox_gan::infer::infer_batched;
+use cachebox_gan::CacheParams;
+use cachebox_heatmap::Heatmap;
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Suite, SuiteId};
+
+fn tiny() -> Scale {
+    Scale::tiny().with_epochs(1)
+}
+
+#[test]
+fn full_pipeline_trains_and_predicts() {
+    let scale = tiny();
+    let pipeline = Pipeline::new(&scale);
+    let config = CacheConfig::new(64, 12);
+    let suite = Suite::build(SuiteId::Polybench, 4, scale.seed);
+    let split = suite.split_80_20(scale.seed);
+    assert!(!split.train.is_empty() && !split.test.is_empty());
+    let samples = pipeline.training_samples(&split.train, &[config]);
+    assert!(!samples.is_empty());
+    let (mut generator, history) = train_cbgan(&scale, &samples, true);
+    assert_eq!(history.len(), scale.epochs);
+    for bench in &split.test {
+        let record = pipeline.evaluate(&mut generator, bench, &config, true, 4);
+        assert!((0.0..=1.0).contains(&record.true_rate), "{record:?}");
+        assert!((0.0..=1.0).contains(&record.predicted_rate), "{record:?}");
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let scale = tiny();
+    let run_once = || {
+        let pipeline = Pipeline::new(&scale);
+        let config = CacheConfig::new(64, 12);
+        let suite = Suite::build(SuiteId::Spec, 4, scale.seed);
+        let samples = pipeline.training_samples(suite.benchmarks(), &[config]);
+        let (mut generator, _) = train_cbgan(&scale, &samples, true);
+        pipeline
+            .evaluate(&mut generator, &suite.benchmarks()[0], &config, true, 4)
+            .predicted_rate
+    };
+    assert_eq!(run_once(), run_once(), "same seed must give identical predictions");
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_predictions() {
+    let scale = tiny();
+    let pipeline = Pipeline::new(&scale);
+    let config = CacheConfig::new(64, 12);
+    let suite = Suite::build(SuiteId::Ligra, 3, scale.seed);
+    let samples = pipeline.training_samples(suite.benchmarks(), &[config]);
+    let (mut generator, _) = train_cbgan(&scale, &samples, true);
+
+    let dir = std::env::temp_dir().join("cachebox_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e2e_model.json");
+    Checkpoint::capture(&mut generator).save(&path).unwrap();
+    let mut restored = Checkpoint::load(&path).unwrap().restore().unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let bench = &suite.benchmarks()[0];
+    let a = pipeline.evaluate(&mut generator, bench, &config, true, 4);
+    let b = pipeline.evaluate(&mut restored, bench, &config, true, 4);
+    assert_eq!(a.predicted_rate, b.predicted_rate);
+}
+
+#[test]
+fn conditioning_differentiates_configurations_after_training() {
+    // A model trained on two very different configurations should
+    // produce different synthetic miss maps for them on the same input.
+    let scale = tiny();
+    let pipeline = Pipeline::new(&scale);
+    let configs = [CacheConfig::new(16, 1), CacheConfig::new(256, 8)];
+    let suite = Suite::build(SuiteId::Spec, 4, scale.seed);
+    let samples = pipeline.training_samples(suite.benchmarks(), &configs);
+    let (mut generator, _) = train_cbgan(&scale, &samples, true);
+    let pairs = pipeline.heatmap_pairs(&suite.benchmarks()[0], &configs[0]);
+    let access: Vec<Heatmap> = pairs.iter().map(|p| p.access.clone()).collect();
+    let norm = Normalizer::new(scale.geometry.window);
+    let small = infer_batched(&mut generator, &access, Some(CacheParams::new(16, 1)), &norm, 4);
+    let large = infer_batched(&mut generator, &access, Some(CacheParams::new(256, 8)), &norm, 4);
+    let diff: f64 = small
+        .iter()
+        .zip(&large)
+        .map(|(a, b)| a.mse(b))
+        .sum::<f64>();
+    assert!(diff > 0.0, "cache parameters must influence generated maps");
+}
+
+#[test]
+fn hierarchy_streams_feed_the_gan_pipeline() {
+    let scale = tiny();
+    let pipeline = Pipeline::new(&scale);
+    let hierarchy = cachebox_sim::HierarchyConfig::paper_default();
+    let suite = Suite::build(SuiteId::Spec, 2, scale.seed);
+    let per_level = pipeline.hierarchy_pairs(&suite.benchmarks()[0], &hierarchy);
+    assert_eq!(per_level.len(), 3);
+    // L1 has data; deeper levels shrink but stay structurally valid.
+    assert!(!per_level[0].is_empty());
+    for (level, pairs) in per_level.iter().enumerate() {
+        for p in pairs {
+            assert!(
+                p.miss.pixel_sum() <= p.access.pixel_sum(),
+                "L{} miss exceeds access",
+                level + 1
+            );
+        }
+    }
+}

@@ -62,11 +62,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         (0..n as u64)
             .map(|i| {
-                let block = if rng.gen_bool(0.5) {
-                    rng.gen_range(0..32)
-                } else {
-                    rng.gen_range(0..4096)
-                };
+                let block =
+                    if rng.gen_bool(0.5) { rng.gen_range(0..32) } else { rng.gen_range(0..4096) };
                 MemoryAccess::load(i, Address::new(block * 64))
             })
             .collect()

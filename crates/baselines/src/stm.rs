@@ -91,8 +91,7 @@ impl StmProfile {
         let mut cur: u64 = region / 2;
         let mut out = Trace::with_capacity(len);
         for i in 0..len as u64 {
-            let block = if !recent.is_empty() && rng.gen_bool(self.temporal_reuse.clamp(0.0, 1.0))
-            {
+            let block = if !recent.is_empty() && rng.gen_bool(self.temporal_reuse.clamp(0.0, 1.0)) {
                 // Temporal path: re-reference at a sampled depth.
                 let depth = self.sample_depth(&mut rng).min(recent.len() - 1);
                 recent[recent.len() - 1 - depth]
@@ -207,10 +206,7 @@ mod tests {
         let config = CacheConfig::new(16, 4);
         let predicted = Stm::new(3).predict_miss_rate(&trace, &config);
         let truth = true_miss_rate(&trace, &config);
-        assert!(
-            (predicted - truth).abs() < 0.15,
-            "predicted {predicted:.3} vs true {truth:.3}"
-        );
+        assert!((predicted - truth).abs() < 0.15, "predicted {predicted:.3} vs true {truth:.3}");
     }
 
     #[test]

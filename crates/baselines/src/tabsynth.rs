@@ -206,7 +206,10 @@ mod tests {
         for phase in 0..20u64 {
             if phase % 2 == 0 {
                 for i in 0..500u64 {
-                    accesses.push(MemoryAccess::load(instr, Address::new((100_000 + phase * 2000 + i) * 64)));
+                    accesses.push(MemoryAccess::load(
+                        instr,
+                        Address::new((100_000 + phase * 2000 + i) * 64),
+                    ));
                     instr += 1;
                 }
             } else {

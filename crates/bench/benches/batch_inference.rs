@@ -2,7 +2,7 @@
 //! image as a function of batch size.
 
 use cachebox_gan::data::Normalizer;
-use cachebox_gan::infer::infer_batched;
+use cachebox_gan::infer::{infer_batched, infer_parallel};
 use cachebox_gan::{CacheParams, UNetConfig, UNetGenerator};
 use cachebox_heatmap::Heatmap;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -51,9 +51,41 @@ fn bench_model_widths(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial `infer_batched` vs multi-worker `infer_parallel` on the same
+/// workload, so the recorded figures show the end-to-end inference
+/// speedup per worker count.
+fn bench_parallel_workers(c: &mut Criterion) {
+    let size = 32;
+    let maps = access_maps(32, size);
+    let norm = Normalizer::new(16);
+    let params = CacheParams::new(64, 12);
+    let mut group = c.benchmark_group("infer/workers");
+    group.throughput(Throughput::Elements(maps.len() as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("serial"), &(), |b, _| {
+        let config = UNetConfig::for_image_size(size, 8).with_param_features(2);
+        let mut generator = UNetGenerator::new(config, 1);
+        b.iter(|| infer_batched(&mut generator, &maps, Some(params), &norm, 8));
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}w")),
+            &workers,
+            |b, &workers| {
+                let config = UNetConfig::for_image_size(size, 8).with_param_features(2);
+                let mut generator = UNetGenerator::new(config, 1);
+                b.iter(|| {
+                    infer_parallel(&mut generator, &maps, Some(params), &norm, 8, workers)
+                        .expect("parallel inference")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_batch_sizes, bench_model_widths
+    targets = bench_batch_sizes, bench_model_widths, bench_parallel_workers
 }
 criterion_main!(benches);

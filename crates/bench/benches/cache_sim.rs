@@ -12,11 +12,8 @@ fn mixed_trace(len: usize, seed: u64) -> Trace {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..len as u64)
         .map(|i| {
-            let block: u64 = if rng.gen_bool(0.8) {
-                rng.gen_range(0..512)
-            } else {
-                rng.gen_range(0..65_536)
-            };
+            let block: u64 =
+                if rng.gen_bool(0.8) { rng.gen_range(0..512) } else { rng.gen_range(0..65_536) };
             MemoryAccess::new(
                 i,
                 Address::new(block * 64),

@@ -47,10 +47,14 @@ fn bench_overlap_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("heatmap/overlap");
     for overlap in [0.0, 0.3, 0.6] {
         let g = HeatmapGeometry::new(64, 64, 32).with_overlap(overlap);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{overlap:.1}")), &g, |b, &g| {
-            let builder = HeatmapBuilder::new(g);
-            b.iter(|| builder.build(&t));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{overlap:.1}")),
+            &g,
+            |b, &g| {
+                let builder = HeatmapBuilder::new(g);
+                b.iter(|| builder.build(&t));
+            },
+        );
     }
     group.finish();
 }

@@ -3,6 +3,7 @@
 
 use cachebox_nn::gemm::{gemm, im2col, PatchGrid};
 use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer};
+use cachebox_nn::parallel::{gemm_with, Parallelism};
 use cachebox_nn::Tensor;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
@@ -16,6 +17,32 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
             bench.iter(|| gemm(&a, &b, n, n, n, &mut out));
         });
+    }
+    group.finish();
+}
+
+/// Serial vs row-partitioned GEMM at the paper-relevant 256³ shape, so
+/// `cargo bench` records the speedup per thread count next to the
+/// serial baseline.
+fn bench_gemm_parallel(c: &mut Criterion) {
+    let n = 256usize;
+    let a = vec![1.0f32; n * n];
+    let b = vec![0.5f32; n * n];
+    let mut out = vec![0.0f32; n * n];
+    let mut group = c.benchmark_group("nn/gemm_parallel/256");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    group.bench_with_input(BenchmarkId::from_parameter("serial"), &(), |bench, _| {
+        bench.iter(|| gemm(&a, &b, n, n, n, &mut out));
+    });
+    for threads in [2usize, 4, 8] {
+        let par = Parallelism::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}t")),
+            &(),
+            |bench, _| {
+                bench.iter(|| gemm_with(par, &a, &b, n, n, n, &mut out));
+            },
+        );
     }
     group.finish();
 }
@@ -66,7 +93,7 @@ fn bench_convtranspose_forward(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_gemm, bench_im2col, bench_conv_forward, bench_conv_backward,
-              bench_convtranspose_forward
+    targets = bench_gemm, bench_gemm_parallel, bench_im2col, bench_conv_forward,
+              bench_conv_backward, bench_convtranspose_forward
 }
 criterion_main!(benches);

@@ -12,8 +12,7 @@ fn main() {
         &args.scale,
     );
     let size = args.scale.image_size();
-    let result =
-        ablation::geometry_sweep(&args.scale, &[size / 2, size, size * 2]);
+    let result = ablation::geometry_sweep(&args.scale, &[size / 2, size, size * 2]);
     println!("{:<16} {:>10} {:>10}", "setting", "avg %diff", "worst");
     for p in &result.points {
         println!("{:<16} {:>10.2} {:>10.2}", p.setting, p.summary.average, p.summary.worst);

@@ -24,8 +24,7 @@ fn main() {
         averages.push(result.summary.average);
     }
     let mean = averages.iter().sum::<f64>() / averages.len() as f64;
-    let var = averages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
-        / averages.len() as f64;
+    let var = averages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / averages.len() as f64;
     println!("\nheadline average across seeds: {:.2}% ± {:.2} (std)", mean, var.sqrt());
     args.maybe_save(&averages);
 }

@@ -11,7 +11,8 @@ fn main() {
         "averages 2.79/2.06/2.59/2.46% for 64s12w/128s12w/128s6w/128s3w",
         &args.scale,
     );
-    let mut artifacts = rq2::train_or_load(&args.scale, &cachebox_bench::rq2_cache_path(&args.scale));
+    let mut artifacts =
+        rq2::train_or_load(&args.scale, &cachebox_bench::rq2_cache_path(&args.scale));
     let configs = artifacts.train_configs.clone();
     let result = rq2::evaluate_configs(&mut artifacts, &configs);
     for config in &result.per_config {

@@ -16,12 +16,7 @@ fn main() {
     let result = rq5::run_with(&mut artifacts);
     println!("{:>6} {:>14} {:>9}", "batch", "mean time", "speedup");
     for b in &result.batches {
-        println!(
-            "{:>6} {:>12.2?} {:>8.2}x",
-            b.batch_size,
-            b.mean_time,
-            b.speedup
-        );
+        println!("{:>6} {:>12.2?} {:>8.2}x", b.batch_size, b.mean_time, b.speedup);
     }
     println!();
     println!("MultiCacheSim mean per-benchmark time: {:.2?}", result.multicache_time);

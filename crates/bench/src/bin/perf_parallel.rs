@@ -1,0 +1,166 @@
+//! Measures the parallel GEMM kernel and the parallel dataset pipeline
+//! against their serial baselines, verifying numerical equivalence, and
+//! writes the results as JSON (see `BENCH_parallel.json` at the repo
+//! root for a recorded run).
+//!
+//! ```text
+//! cargo run --release -p cachebox-bench --bin perf_parallel -- \
+//!     [--threads N[,N...]] [--out PATH]
+//! ```
+
+use cachebox::{Pipeline, Scale};
+use cachebox_nn::gemm;
+use cachebox_nn::parallel::{gemm_with, Parallelism};
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Suite, SuiteId};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelRecord {
+    threads: usize,
+    seconds: f64,
+    speedup: f64,
+    max_abs_diff: f32,
+}
+
+#[derive(Serialize)]
+struct PipelineRecord {
+    threads: usize,
+    seconds: f64,
+    speedup: f64,
+    samples_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cpus: usize,
+    gemm_shape: [usize; 3],
+    gemm_serial_seconds: f64,
+    gemm: Vec<KernelRecord>,
+    pipeline_benchmarks: usize,
+    pipeline_configs: usize,
+    pipeline_serial_seconds: f64,
+    pipeline: Vec<PipelineRecord>,
+    note: String,
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn parse_args() -> (Vec<usize>, std::path::PathBuf) {
+    let mut threads = vec![2usize, 4, 8];
+    let mut out = std::path::PathBuf::from("BENCH_parallel.json");
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--threads" => {
+                threads = value("--threads")
+                    .split(',')
+                    .map(|t| {
+                        t.trim().parse().unwrap_or_else(|e| {
+                            eprintln!("error: bad --threads entry {t:?}: {e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .filter(|&n| n > 1)
+                    .collect();
+            }
+            "--out" => out = std::path::PathBuf::from(value("--out")),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!("usage: perf_parallel [--threads N[,N...]] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    (threads, out)
+}
+
+fn main() {
+    let (thread_counts, out) = parse_args();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("=== CacheBox parallel speedup measurement (host cpus: {host_cpus}) ===");
+
+    // ---- GEMM kernel: serial baseline vs row-partitioned parallel.
+    let (m, k, n) = (256usize, 256, 256);
+    let a: Vec<f32> = (0..m * k).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 % 11) as f32 - 5.0) / 5.0).collect();
+    let mut reference = vec![0.0f32; m * n];
+    let gemm_serial_seconds = best_of(5, || gemm::gemm(&a, &b, m, k, n, &mut reference));
+    println!("gemm {m}x{k}x{n} serial: {gemm_serial_seconds:.4}s");
+
+    let mut gemm_records = Vec::new();
+    for &threads in &thread_counts {
+        let par = Parallelism::new(threads);
+        let mut out_par = vec![0.0f32; m * n];
+        let seconds = best_of(5, || gemm_with(par, &a, &b, m, k, n, &mut out_par));
+        let max_abs_diff =
+            reference.iter().zip(&out_par).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
+        assert!(max_abs_diff <= 1e-5, "parallel GEMM diverged: {max_abs_diff}");
+        let speedup = gemm_serial_seconds / seconds;
+        println!(
+            "gemm {threads} threads: {seconds:.4}s ({speedup:.2}x, max diff {max_abs_diff:e})"
+        );
+        gemm_records.push(KernelRecord { threads, seconds, speedup, max_abs_diff });
+    }
+
+    // ---- Dataset pipeline: trace → simulate → heatmaps across a
+    // benchmark × config grid.
+    let scale = Scale::tiny();
+    let pipeline = Pipeline::new(&scale);
+    let suite = Suite::build(SuiteId::Polybench, 6, 3);
+    let benches = suite.benchmarks().to_vec();
+    let configs = [CacheConfig::new(16, 2), CacheConfig::new(32, 4), CacheConfig::new(64, 8)];
+    let serial_samples = pipeline.training_samples_with(Parallelism::serial(), &benches, &configs);
+    let pipeline_serial_seconds = best_of(3, || {
+        pipeline.training_samples_with(Parallelism::serial(), &benches, &configs);
+    });
+    println!("pipeline {}x{} serial: {pipeline_serial_seconds:.4}s", benches.len(), configs.len());
+
+    let mut pipeline_records = Vec::new();
+    for &threads in &thread_counts {
+        let par = Parallelism::new(threads);
+        let parallel_samples = pipeline.training_samples_with(par, &benches, &configs);
+        let samples_identical = parallel_samples == serial_samples;
+        assert!(samples_identical, "parallel pipeline diverged at {threads} threads");
+        let seconds = best_of(3, || {
+            pipeline.training_samples_with(par, &benches, &configs);
+        });
+        let speedup = pipeline_serial_seconds / seconds;
+        println!("pipeline {threads} threads: {seconds:.4}s ({speedup:.2}x)");
+        pipeline_records.push(PipelineRecord { threads, seconds, speedup, samples_identical });
+    }
+
+    let report = Report {
+        host_cpus,
+        gemm_shape: [m, k, n],
+        gemm_serial_seconds,
+        gemm: gemm_records,
+        pipeline_benchmarks: benches.len(),
+        pipeline_configs: configs.len(),
+        pipeline_serial_seconds,
+        pipeline: pipeline_records,
+        note: "best-of-N wall-clock; speedups are machine-dependent (see host_cpus)".to_string(),
+    };
+    match cachebox::report::save_json(&out, &report) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+    }
+}

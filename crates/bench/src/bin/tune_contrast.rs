@@ -31,7 +31,8 @@ fn main() {
     let test = filter_with_fallback(&pipeline, &dataset.split.test, &config, LEVEL_THRESHOLDS[0]);
     let samples = pipeline.training_samples(&train, &[config]);
     eprintln!("epochs={epochs} ngf={ngf} norm_scale={norm_scale} lambda={lambda} train_benches={} samples={}", train.len(), samples.len());
-    let (mut generator, history) = cachebox::experiments::train_cbgan_with(&scale, &samples, true, lambda);
+    let (mut generator, history) =
+        cachebox::experiments::train_cbgan_with(&scale, &samples, true, lambda);
     for (i, h) in history.iter().enumerate() {
         if i % 10 == 0 || i + 1 == history.len() {
             eprintln!("  epoch {i}: D={:.3} G_adv={:.3} G_L1={:.4}", h.d_loss, h.g_adv, h.g_l1);
@@ -41,7 +42,12 @@ fn main() {
         println!("--- {label} ---");
         for b in set.iter().take(6) {
             let r = pipeline.evaluate(&mut generator, b, &config, true, scale.batch_size);
-            println!("   {:<28} true {:>6.2} pred {:>6.2}", r.name, r.true_rate*100.0, r.predicted_rate*100.0);
+            println!(
+                "   {:<28} true {:>6.2} pred {:>6.2}",
+                r.name,
+                r.true_rate * 100.0,
+                r.predicted_rate * 100.0
+            );
         }
     }
 }

@@ -36,7 +36,9 @@ fn main() {
                 let y = g.forward(x, None, true);
                 let (l, grad) = loss::l1(&y, x);
                 final_l1 = l;
-                if step % 500 == 0 { eprintln!("  step {step}: L1 {l:.4}"); }
+                if step % 500 == 0 {
+                    eprintln!("  step {step}: L1 {l:.4}");
+                }
                 g.zero_grad();
                 g.backward(&grad.scale(150.0));
                 adam.step_layer(&mut UNetAsLayer(&mut g));

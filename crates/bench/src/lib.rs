@@ -7,6 +7,8 @@
 //! --scale tiny|small|experiment   experiment size (default: small)
 //! --seed N                        master seed (default: 42)
 //! --epochs N                      override training epochs
+//! --threads N                     worker threads (default: CACHEBOX_THREADS
+//!                                 or the machine's available parallelism)
 //! --out PATH                      also write the result as JSON
 //! ```
 //!
@@ -24,6 +26,7 @@
 //! | `ablation_overlap`, `ablation_lambda`, `ablation_geometry` | §3.1.1/§4.2/§4.3 |
 
 use cachebox::Scale;
+use cachebox_nn::Parallelism;
 use std::path::PathBuf;
 
 /// Parsed command-line options shared by all harness binaries.
@@ -31,6 +34,8 @@ use std::path::PathBuf;
 pub struct HarnessArgs {
     /// Experiment scale.
     pub scale: Scale,
+    /// Worker-thread budget for simulation and GEMM kernels.
+    pub parallelism: Parallelism,
     /// Optional JSON output path.
     pub out: Option<PathBuf>,
 }
@@ -38,14 +43,20 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Parses `std::env::args`, exiting with a usage message on error.
     /// `default_scale` names the scale used when `--scale` is absent.
+    ///
+    /// Installs the parsed thread budget process-wide, so pipeline and
+    /// trainer code picks it up via [`Parallelism::current`].
     pub fn parse(default_scale: &str) -> HarnessArgs {
-        Self::parse_from(std::env::args().skip(1), default_scale).unwrap_or_else(|e| {
+        let args = Self::parse_from(std::env::args().skip(1), default_scale).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: [--scale tiny|small|experiment] [--seed N] [--epochs N] [--out PATH]"
+                "usage: [--scale tiny|small|experiment] [--seed N] [--epochs N] \
+                 [--threads N] [--out PATH]"
             );
             std::process::exit(2);
-        })
+        });
+        args.parallelism.install();
+        args
     }
 
     /// Parses an explicit argument iterator (testable form).
@@ -60,23 +71,28 @@ impl HarnessArgs {
         let mut scale_name = default_scale.to_string();
         let mut seed: Option<u64> = None;
         let mut epochs: Option<usize> = None;
+        let mut threads: Option<usize> = None;
         let mut out = None;
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
-            let mut value = |name: &str| {
-                iter.next().ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| iter.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--scale" => scale_name = value("--scale")?,
                 "--seed" => {
-                    seed = Some(
-                        value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-                    )
+                    seed = Some(value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?)
                 }
                 "--epochs" => {
-                    epochs = Some(
-                        value("--epochs")?.parse().map_err(|e| format!("bad --epochs: {e}"))?,
-                    )
+                    epochs =
+                        Some(value("--epochs")?.parse().map_err(|e| format!("bad --epochs: {e}"))?)
+                }
+                "--threads" => {
+                    let n: usize =
+                        value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                    if n == 0 {
+                        return Err("bad --threads: must be at least 1".to_string());
+                    }
+                    threads = Some(n);
                 }
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
                 other => return Err(format!("unknown flag {other:?}")),
@@ -94,7 +110,11 @@ impl HarnessArgs {
         if let Some(epochs) = epochs {
             scale = scale.with_epochs(epochs);
         }
-        Ok(HarnessArgs { scale, out })
+        let parallelism = match threads {
+            Some(n) => Parallelism::new(n),
+            None => Parallelism::from_env(),
+        };
+        Ok(HarnessArgs { scale, parallelism, out })
     }
 
     /// Writes `value` as JSON to `--out` if given, logging the path.
@@ -172,5 +192,13 @@ mod tests {
         assert!(parse(&["--scale", "huge"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_thread_budget() {
+        let args = parse(&["--threads", "3"]).unwrap();
+        assert_eq!(args.parallelism.threads(), 3);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "lots"]).is_err());
     }
 }

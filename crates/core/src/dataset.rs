@@ -8,7 +8,9 @@ use cachebox_gan::{CacheParams, UNetGenerator};
 use cachebox_heatmap::builder::HeatmapPair;
 use cachebox_heatmap::{hitrate, Heatmap, HeatmapBuilder, HeatmapGeometry};
 use cachebox_metrics::BenchmarkAccuracy;
+use cachebox_nn::parallel::{par_map, Parallelism};
 use cachebox_sim::{Cache, CacheConfig};
+use cachebox_trace::Trace;
 use cachebox_workloads::Benchmark;
 
 /// The data pipeline: fixed geometry and trace length, shared by
@@ -52,20 +54,35 @@ impl Pipeline {
         self.normalizer()
     }
 
+    /// Generates the benchmark's access trace once, so callers sweeping
+    /// several configurations can share it instead of regenerating.
+    pub fn trace(&self, bench: &Benchmark) -> Trace {
+        bench.generate(self.trace_accesses)
+    }
+
     /// Generates the benchmark's trace, simulates `config`, and renders
     /// the paired access/miss heatmaps.
     pub fn heatmap_pairs(&self, bench: &Benchmark, config: &CacheConfig) -> Vec<HeatmapPair> {
-        let trace = bench.generate(self.trace_accesses);
+        self.pairs_from_trace(&self.trace(bench), config)
+    }
+
+    /// [`Pipeline::heatmap_pairs`] against an already generated trace.
+    pub fn pairs_from_trace(&self, trace: &Trace, config: &CacheConfig) -> Vec<HeatmapPair> {
         let mut cache = Cache::new(*config);
-        let result = cache.run(&trace);
-        HeatmapBuilder::new(self.geometry).build_pairs(&trace, &result.hit_flags)
+        let result = cache.run(trace);
+        HeatmapBuilder::new(self.geometry).build_pairs(trace, &result.hit_flags)
     }
 
     /// Like [`Pipeline::heatmap_pairs`] but producing GAN training
     /// [`Sample`]s carrying the cache parameters.
     pub fn samples(&self, bench: &Benchmark, config: &CacheConfig) -> Vec<Sample> {
+        self.samples_from_trace(&self.trace(bench), config)
+    }
+
+    /// [`Pipeline::samples`] against an already generated trace.
+    pub fn samples_from_trace(&self, trace: &Trace, config: &CacheConfig) -> Vec<Sample> {
         let params = CacheParams::new(config.sets as u32, config.ways as u32);
-        self.heatmap_pairs(bench, config)
+        self.pairs_from_trace(trace, config)
             .into_iter()
             .map(|p| Sample { access: p.access, miss: p.miss, params })
             .collect()
@@ -73,19 +90,35 @@ impl Pipeline {
 
     /// Builds the full training set: every benchmark × every
     /// configuration, batched together (the paper's multi-config
-    /// training, §5.2).
+    /// training, §5.2). Uses the process-wide
+    /// [`Parallelism::current`] thread budget.
     pub fn training_samples(
         &self,
         benchmarks: &[Benchmark],
         configs: &[CacheConfig],
     ) -> Vec<Sample> {
-        let mut out = Vec::new();
-        for bench in benchmarks {
-            for config in configs {
-                out.extend(self.samples(bench, config));
-            }
-        }
-        out
+        self.training_samples_with(Parallelism::current(), benchmarks, configs)
+    }
+
+    /// [`Pipeline::training_samples`] with an explicit thread budget.
+    ///
+    /// Each benchmark's trace is generated once and simulated against
+    /// every configuration; (benchmark, config) jobs run across `par`
+    /// threads. The sample order is identical to the serial nested loop
+    /// (benchmark-major, configuration-minor) for any thread count.
+    pub fn training_samples_with(
+        &self,
+        par: Parallelism,
+        benchmarks: &[Benchmark],
+        configs: &[CacheConfig],
+    ) -> Vec<Sample> {
+        let traces = par_map(par, benchmarks, |b| self.trace(b));
+        let jobs: Vec<(usize, CacheConfig)> =
+            (0..benchmarks.len()).flat_map(|bi| configs.iter().map(move |c| (bi, *c))).collect();
+        par_map(par, &jobs, |(bi, config)| self.samples_from_trace(&traces[*bi], config))
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Replays the benchmark through a multi-level hierarchy and renders
@@ -138,9 +171,23 @@ impl Pipeline {
 
     /// Exact simulated hit rate (the experiments' ground truth).
     pub fn true_hit_rate(&self, bench: &Benchmark, config: &CacheConfig) -> f64 {
-        let trace = bench.generate(self.trace_accesses);
-        let mut cache = Cache::new(*config);
-        cache.run(&trace).hit_rate()
+        self.true_hit_rate_from_trace(&self.trace(bench), config)
+    }
+
+    /// [`Pipeline::true_hit_rate`] against an already generated trace.
+    pub fn true_hit_rate_from_trace(&self, trace: &Trace, config: &CacheConfig) -> f64 {
+        Cache::new(*config).run(trace).hit_rate()
+    }
+
+    /// [`Pipeline::true_hit_rate`] for many benchmarks at once, with
+    /// trace generation and simulation spread across `par` threads.
+    pub fn true_hit_rates(
+        &self,
+        par: Parallelism,
+        benchmarks: &[Benchmark],
+        config: &CacheConfig,
+    ) -> Vec<f64> {
+        par_map(par, benchmarks, |b| self.true_hit_rate(b, config))
     }
 
     /// Evaluates a trained generator on one benchmark/configuration:
@@ -159,11 +206,71 @@ impl Pipeline {
         batch_size: usize,
     ) -> BenchmarkAccuracy {
         let pairs = self.heatmap_pairs(bench, config);
+        self.accuracy_from_pairs(generator, bench, config, &pairs, conditioned, batch_size)
+    }
+
+    /// Evaluates one configuration across many benchmarks. Trace
+    /// generation and simulation run across `par` threads; inference
+    /// stays serial because the generator is held exclusively.
+    pub fn evaluate_sweep(
+        &self,
+        par: Parallelism,
+        generator: &mut UNetGenerator,
+        benchmarks: &[Benchmark],
+        config: &CacheConfig,
+        conditioned: bool,
+        batch_size: usize,
+    ) -> Vec<BenchmarkAccuracy> {
+        let traces = par_map(par, benchmarks, |b| self.trace(b));
+        self.evaluate_sweep_traced(
+            par,
+            generator,
+            benchmarks,
+            &traces,
+            config,
+            conditioned,
+            batch_size,
+        )
+    }
+
+    /// [`Pipeline::evaluate_sweep`] against traces generated up front
+    /// (one per benchmark), so a multi-configuration sweep pays for
+    /// trace generation once.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_sweep_traced(
+        &self,
+        par: Parallelism,
+        generator: &mut UNetGenerator,
+        benchmarks: &[Benchmark],
+        traces: &[Trace],
+        config: &CacheConfig,
+        conditioned: bool,
+        batch_size: usize,
+    ) -> Vec<BenchmarkAccuracy> {
+        assert_eq!(benchmarks.len(), traces.len(), "one trace per benchmark");
+        let sims = par_map(par, traces, |t| self.pairs_from_trace(t, config));
+        benchmarks
+            .iter()
+            .zip(&sims)
+            .map(|(bench, pairs)| {
+                self.accuracy_from_pairs(generator, bench, config, pairs, conditioned, batch_size)
+            })
+            .collect()
+    }
+
+    fn accuracy_from_pairs(
+        &self,
+        generator: &mut UNetGenerator,
+        bench: &Benchmark,
+        config: &CacheConfig,
+        pairs: &[HeatmapPair],
+        conditioned: bool,
+        batch_size: usize,
+    ) -> BenchmarkAccuracy {
         let access: Vec<Heatmap> = pairs.iter().map(|p| p.access.clone()).collect();
         let real_miss: Vec<Heatmap> = pairs.iter().map(|p| p.miss.clone()).collect();
         let norm = self.eval_normalizer();
-        let params = conditioned
-            .then(|| CacheParams::new(config.sets as u32, config.ways as u32));
+        let params = conditioned.then(|| CacheParams::new(config.sets as u32, config.ways as u32));
         let synthetic = infer_batched(generator, &access, params, &norm, batch_size);
         let true_rate = hitrate::hit_rate_from_sequences(&access, &real_miss, &self.geometry);
         let predicted = hitrate::predicted_hit_rate(&access, &synthetic, &self.geometry);
@@ -223,12 +330,63 @@ mod tests {
     }
 
     #[test]
+    fn parallel_training_samples_match_serial_exactly() {
+        let scale = Scale::tiny();
+        let p = Pipeline::new(&scale);
+        let suite = Suite::build(SuiteId::Polybench, 3, 3);
+        let benches = suite.benchmarks().to_vec();
+        let configs = [CacheConfig::new(16, 2), CacheConfig::new(32, 4)];
+        let serial = p.training_samples_with(Parallelism::serial(), &benches, &configs);
+        for threads in [2, 3, 8] {
+            let parallel = p.training_samples_with(Parallelism::new(threads), &benches, &configs);
+            assert_eq!(serial, parallel, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn shared_trace_matches_regeneration() {
+        let (p, b) = pipeline_and_bench();
+        let config = CacheConfig::new(16, 2);
+        let trace = p.trace(&b);
+        assert_eq!(p.heatmap_pairs(&b, &config), p.pairs_from_trace(&trace, &config));
+        assert_eq!(p.true_hit_rate(&b, &config), p.true_hit_rate_from_trace(&trace, &config));
+    }
+
+    #[test]
+    fn true_hit_rates_match_individual_calls() {
+        let scale = Scale::tiny();
+        let p = Pipeline::new(&scale);
+        let suite = Suite::build(SuiteId::Polybench, 3, 3);
+        let benches = suite.benchmarks().to_vec();
+        let config = CacheConfig::new(16, 2);
+        let batch = p.true_hit_rates(Parallelism::new(4), &benches, &config);
+        let single: Vec<f64> = benches.iter().map(|b| p.true_hit_rate(b, &config)).collect();
+        assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn evaluate_sweep_matches_per_benchmark_evaluate() {
+        let scale = Scale::tiny();
+        let p = Pipeline::new(&scale);
+        let suite = Suite::build(SuiteId::Polybench, 2, 3);
+        let benches = suite.benchmarks().to_vec();
+        let config = CacheConfig::new(16, 2);
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(16, 4).with_param_features(2), 1);
+        let swept = p.evaluate_sweep(Parallelism::new(4), &mut g, &benches, &config, true, 4);
+        let single: Vec<_> =
+            benches.iter().map(|b| p.evaluate(&mut g, b, &config, true, 4)).collect();
+        assert_eq!(swept.len(), single.len());
+        for (s, e) in swept.iter().zip(&single) {
+            assert_eq!(s.name, e.name);
+            assert_eq!(s.true_rate, e.true_rate);
+            assert_eq!(s.predicted_rate, e.predicted_rate);
+        }
+    }
+
+    #[test]
     fn evaluate_produces_valid_rates() {
         let (p, b) = pipeline_and_bench();
-        let mut g = UNetGenerator::new(
-            UNetConfig::for_image_size(16, 4).with_param_features(2),
-            1,
-        );
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(16, 4).with_param_features(2), 1);
         let acc = p.evaluate(&mut g, &b, &CacheConfig::new(16, 2), true, 4);
         assert!((0.0..=1.0).contains(&acc.true_rate));
         assert!((0.0..=1.0).contains(&acc.predicted_rate));

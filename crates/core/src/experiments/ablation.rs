@@ -105,12 +105,8 @@ pub fn window_sweep(scale: &Scale, windows: &[u64]) -> AblationResult {
         .iter()
         .map(|&window| {
             let mut s = *scale;
-            s.geometry = HeatmapGeometry::new(
-                scale.geometry.height,
-                scale.geometry.width,
-                window,
-            )
-            .with_overlap(scale.geometry.overlap_frac);
+            s.geometry = HeatmapGeometry::new(scale.geometry.height, scale.geometry.width, window)
+                .with_overlap(scale.geometry.overlap_frac);
             AblationPoint {
                 setting: format!("window={window}"),
                 summary: train_and_eval(&s, s.lambda),

@@ -104,10 +104,6 @@ mod tests {
         let mut scale = Scale::tiny();
         scale.spec_benchmarks = 12;
         let result = run(&scale);
-        assert!(
-            result.spec_above_65 >= 0.5,
-            "spec_above_65 = {}",
-            result.spec_above_65
-        );
+        assert!(result.spec_above_65 >= 0.5, "spec_above_65 = {}", result.spec_above_65);
     }
 }

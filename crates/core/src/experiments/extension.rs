@@ -72,8 +72,7 @@ fn evaluate_against_policy(
     );
     BenchmarkAccuracy {
         name: bench.display_name().to_string(),
-        true_rate: hitrate::hit_rate_from_sequences(&access, &real, pipeline.geometry())
-            .hit_rate(),
+        true_rate: hitrate::hit_rate_from_sequences(&access, &real, pipeline.geometry()).hit_rate(),
         predicted_rate: hitrate::predicted_hit_rate(&access, &synthetic, pipeline.geometry())
             .hit_rate(),
     }
@@ -85,8 +84,7 @@ pub fn policy_transfer(scale: &Scale) -> PolicyTransferResult {
     let lru_config = CacheConfig::new(64, 12);
     let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
     let split = suite.split_80_20(scale.seed);
-    let train =
-        filter_with_fallback(&pipeline, &split.train, &lru_config, LEVEL_THRESHOLDS[0]);
+    let train = filter_with_fallback(&pipeline, &split.train, &lru_config, LEVEL_THRESHOLDS[0]);
     let test = filter_with_fallback(&pipeline, &split.test, &lru_config, LEVEL_THRESHOLDS[0]);
     let samples = pipeline.training_samples(&train, &[lru_config]);
     let (mut generator, _) = train_cbgan(scale, &samples, true);

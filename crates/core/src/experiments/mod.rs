@@ -90,7 +90,6 @@ pub fn train_cbgan_with(
     (generator, history)
 }
 
-
 /// The paper's low-data-regime rule (§6.1): keep only benchmarks whose
 /// *true* hit rate on `config` exceeds `threshold`.
 pub fn filter_by_hit_rate(
@@ -99,10 +98,12 @@ pub fn filter_by_hit_rate(
     config: &CacheConfig,
     threshold: f64,
 ) -> Vec<Benchmark> {
+    let rates = pipeline.true_hit_rates(cachebox_nn::Parallelism::current(), benchmarks, config);
     benchmarks
         .iter()
-        .filter(|b| pipeline.true_hit_rate(b, config) > threshold)
-        .cloned()
+        .zip(rates)
+        .filter(|(_, rate)| *rate > threshold)
+        .map(|(b, _)| b.clone())
         .collect()
 }
 
@@ -136,8 +137,7 @@ mod tests {
         let scale = Scale::tiny().with_epochs(1);
         let pipeline = Pipeline::new(&scale);
         let suite = Suite::build(SuiteId::Polybench, 2, 1);
-        let samples =
-            pipeline.training_samples(suite.benchmarks(), &[CacheConfig::new(64, 12)]);
+        let samples = pipeline.training_samples(suite.benchmarks(), &[CacheConfig::new(64, 12)]);
         let (mut g, history) = train_cbgan(&scale, &samples, true);
         assert_eq!(history.len(), 1);
         assert!(g.param_count() > 0);

@@ -9,6 +9,7 @@ use crate::experiments::{filter_with_fallback, train_cbgan, LEVEL_THRESHOLDS};
 use crate::scale::Scale;
 use cachebox_gan::{TrainStats, UNetGenerator};
 use cachebox_metrics::{AccuracySummary, BenchmarkAccuracy};
+use cachebox_nn::parallel::{par_map, Parallelism};
 use cachebox_sim::config::presets;
 use cachebox_sim::CacheConfig;
 use cachebox_workloads::{Benchmark, Suite, SuiteId};
@@ -55,8 +56,7 @@ pub fn train(scale: &Scale) -> Rq2Artifacts {
     let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
     let split = suite.split_80_20(scale.seed);
     let reference = CacheConfig::new(64, 12);
-    let train =
-        filter_with_fallback(&pipeline, &split.train, &reference, LEVEL_THRESHOLDS[0]);
+    let train = filter_with_fallback(&pipeline, &split.train, &reference, LEVEL_THRESHOLDS[0]);
     let test = filter_with_fallback(&pipeline, &split.test, &reference, LEVEL_THRESHOLDS[0]);
     let samples = pipeline.training_samples(&train, &configs);
     let (generator, history) = train_cbgan(scale, &samples, true);
@@ -76,8 +76,7 @@ pub fn train_or_load(scale: &Scale, cache_path: &std::path::Path) -> Rq2Artifact
         checkpoint: Checkpoint,
     }
     if let Ok(file) = std::fs::File::open(cache_path) {
-        if let Ok(cached) =
-            serde_json::from_reader::<_, CachedModel>(std::io::BufReader::new(file))
+        if let Ok(cached) = serde_json::from_reader::<_, CachedModel>(std::io::BufReader::new(file))
         {
             if cached.scale == *scale {
                 if let Ok(generator) = cached.checkpoint.restore() {
@@ -105,10 +104,8 @@ pub fn train_or_load(scale: &Scale, cache_path: &std::path::Path) -> Rq2Artifact
         }
     }
     let mut artifacts = train(scale);
-    let cached = CachedModel {
-        scale: *scale,
-        checkpoint: Checkpoint::capture(&mut artifacts.generator),
-    };
+    let cached =
+        CachedModel { scale: *scale, checkpoint: Checkpoint::capture(&mut artifacts.generator) };
     if let Some(parent) = cache_path.parent() {
         std::fs::create_dir_all(parent).ok();
     }
@@ -127,22 +124,22 @@ pub fn train_or_load(scale: &Scale, cache_path: &std::path::Path) -> Rq2Artifact
 /// RQ2 on the training configs and RQ3 on unseen ones).
 pub fn evaluate_configs(artifacts: &mut Rq2Artifacts, configs: &[CacheConfig]) -> Rq2Result {
     let pipeline = Pipeline::new(&artifacts.scale);
+    let par = Parallelism::current();
+    // One trace per test benchmark, shared by every configuration's
+    // simulation; the per-config sweeps then simulate in parallel.
+    let traces = par_map(par, &artifacts.test, |b| pipeline.trace(b));
     let per_config = configs
         .iter()
         .map(|config| {
-            let records: Vec<BenchmarkAccuracy> = artifacts
-                .test
-                .iter()
-                .map(|b| {
-                    pipeline.evaluate(
-                        &mut artifacts.generator,
-                        b,
-                        config,
-                        true,
-                        artifacts.scale.batch_size,
-                    )
-                })
-                .collect();
+            let records: Vec<BenchmarkAccuracy> = pipeline.evaluate_sweep_traced(
+                par,
+                &mut artifacts.generator,
+                &artifacts.test,
+                &traces,
+                config,
+                true,
+                artifacts.scale.batch_size,
+            );
             ConfigAccuracy {
                 config: config.name(),
                 summary: AccuracySummary::from_records(&records),

@@ -74,7 +74,12 @@ fn prepare(
         .collect()
 }
 
-fn level_samples(data: &[BenchData], level: usize, params: CacheParams, threshold: f64) -> Vec<Sample> {
+fn level_samples(
+    data: &[BenchData],
+    level: usize,
+    params: CacheParams,
+    threshold: f64,
+) -> Vec<Sample> {
     data.iter()
         .filter(|d| d.true_rates[level] > threshold)
         .flat_map(|d| {
@@ -140,11 +145,8 @@ pub fn run(scale: &Scale) -> Rq4Result {
     let split = suite.split_80_20(scale.seed);
     let train_data = prepare(&pipeline, &split.train, &hierarchy);
     let test_data = prepare(&pipeline, &split.test, &hierarchy);
-    let level_params: Vec<CacheParams> = hierarchy
-        .levels
-        .iter()
-        .map(|c| CacheParams::new(c.sets as u32, c.ways as u32))
-        .collect();
+    let level_params: Vec<CacheParams> =
+        hierarchy.levels.iter().map(|c| CacheParams::new(c.sets as u32, c.ways as u32)).collect();
 
     // Per-level training sets: filtered by the §6.1 thresholds, falling
     // back to the unfiltered level data when filtering empties a level
@@ -172,7 +174,14 @@ pub fn run(scale: &Scale) -> Rq4Result {
     let (mut combined_model, _) = train_cbgan(&big, &combined_samples, false);
     let combined = (0..3)
         .map(|level| {
-            evaluate_level(&mut combined_model, &pipeline, &test_data, level, None, scale.batch_size)
+            evaluate_level(
+                &mut combined_model,
+                &pipeline,
+                &test_data,
+                level,
+                None,
+                scale.batch_size,
+            )
         })
         .collect();
 

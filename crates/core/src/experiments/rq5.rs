@@ -61,13 +61,8 @@ pub fn run_with(artifacts: &mut Rq2Artifacts) -> Rq5Result {
     for &batch_size in &BATCH_SIZES {
         let mut total = Duration::ZERO;
         for maps in &benchmark_maps {
-            let (_, timing) = timed_inference(
-                &mut artifacts.generator,
-                maps,
-                Some(params),
-                &norm,
-                batch_size,
-            );
+            let (_, timing) =
+                timed_inference(&mut artifacts.generator, maps, Some(params), &norm, batch_size);
             total += timing.total;
         }
         let mean_time = total / benchmark_maps.len().max(1) as u32;
@@ -85,8 +80,7 @@ pub fn run_with(artifacts: &mut Rq2Artifacts) -> Rq5Result {
         sim.run(&trace);
     }
     let multicache_time = start.elapsed() / artifacts.test.len().max(1) as u32;
-    let cbox_over_multicache =
-        base.as_secs_f64() / multicache_time.as_secs_f64().max(1e-12);
+    let cbox_over_multicache = base.as_secs_f64() / multicache_time.as_secs_f64().max(1e-12);
     Rq5Result { batches, multicache_time, cbox_over_multicache }
 }
 

@@ -51,15 +51,12 @@ pub fn run_with(artifacts: &mut Rq2Artifacts) -> Rq6Result {
         .into_iter()
         .flat_map(|c| {
             let config = c.config;
-            c.records
-                .into_iter()
-                .map(move |record| ScatterPoint { config: config.clone(), record })
+            c.records.into_iter().map(move |record| ScatterPoint { config: config.clone(), record })
         })
         .collect();
     let bias_high_band = mean_bias(points.iter().filter(|p| p.record.true_rate >= 0.9));
-    let bias_mid_band = mean_bias(
-        points.iter().filter(|p| (0.7..0.9).contains(&p.record.true_rate)),
-    );
+    let bias_mid_band =
+        mean_bias(points.iter().filter(|p| (0.7..0.9).contains(&p.record.true_rate)));
     Rq6Result { points, bias_high_band, bias_mid_band }
 }
 

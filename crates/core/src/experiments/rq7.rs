@@ -57,9 +57,11 @@ pub fn run(scale: &Scale) -> Rq7Result {
         .train
         .iter()
         .flat_map(|b| {
-            make_pairs(b)
-                .into_iter()
-                .map(|(access, prefetch)| Sample { access, miss: prefetch, params })
+            make_pairs(b).into_iter().map(|(access, prefetch)| Sample {
+                access,
+                miss: prefetch,
+                params,
+            })
         })
         .collect();
     let (mut generator, _) = train_cbgan(scale, &samples, true);

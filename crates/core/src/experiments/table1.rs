@@ -90,10 +90,8 @@ pub fn run(scale: &Scale) -> Table1Result {
 
     let mut rows = Vec::with_capacity(APPS.len());
     for app in APPS {
-        let phases: Vec<Benchmark> = phase_benchmarks(scale.seed)
-            .into_iter()
-            .filter(|b| b.id().app == app)
-            .collect();
+        let phases: Vec<Benchmark> =
+            phase_benchmarks(scale.seed).into_iter().filter(|b| b.id().app == app).collect();
         // Baseline error per phase (miss-rate absolute % difference).
         let mut baseline_errors = vec![Vec::new(); baselines.len()];
         let mut cbox_errors = Vec::new();
@@ -123,16 +121,10 @@ pub fn run(scale: &Scale) -> Table1Result {
             cbox_avg: mean(&cbox_errors),
         });
     }
-    let col = |f: &dyn Fn(&Table1Row) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len() as f64
-    };
+    let col = |f: &dyn Fn(&Table1Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     let averages = Table1Row {
         app: "avg".to_string(),
-        tabular: [
-            col(&|r| r.tabular[0]),
-            col(&|r| r.tabular[1]),
-            col(&|r| r.tabular[2]),
-        ],
+        tabular: [col(&|r| r.tabular[0]), col(&|r| r.tabular[1]), col(&|r| r.tabular[2])],
         hrd: col(&|r| r.hrd),
         stm: col(&|r| r.stm),
         cbox_best: col(&|r| r.cbox_best),

@@ -8,10 +8,7 @@ use std::path::Path;
 /// paper's `<1 %` / `1–2 %` markers (● and ★).
 pub fn accuracy_table(records: &[BenchmarkAccuracy]) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "{:<28} {:>8} {:>9} {:>9}  \n",
-        "benchmark", "true%", "pred%", "|diff|"
-    ));
+    out.push_str(&format!("{:<28} {:>8} {:>9} {:>9}  \n", "benchmark", "true%", "pred%", "|diff|"));
     for r in records {
         let diff = r.abs_pct_diff();
         let marker = if diff < 1.0 {

@@ -127,8 +127,7 @@ mod tests {
 
     #[test]
     fn roundtrip_through_file() {
-        let mut g =
-            UNetGenerator::new(UNetConfig::for_image_size(8, 2).with_param_features(2), 3);
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2).with_param_features(2), 3);
         let ckpt = Checkpoint::capture(&mut g);
         let dir = std::env::temp_dir().join("cachebox_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();

@@ -181,10 +181,7 @@ mod tests {
     #[test]
     fn three_feature_generator_accepts_extended_params() {
         use crate::unet::{UNetConfig, UNetGenerator};
-        let mut g = UNetGenerator::new(
-            UNetConfig::for_image_size(8, 2).with_param_features(3),
-            1,
-        );
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2).with_param_features(3), 1);
         let x = cachebox_nn::Tensor::zeros([1, 1, 8, 8]);
         let small_blocks = ExtendedCacheParams::new(64, 12, 5).batch(1);
         let large_blocks = ExtendedCacheParams::new(64, 12, 8).batch(1);

@@ -111,8 +111,7 @@ impl Normalizer {
     pub fn tensor_to_heatmap(&self, tensor: &Tensor, sample: usize) -> Heatmap {
         assert_eq!(tensor.c(), 1, "expected single-channel tensor");
         assert!(sample < tensor.n(), "sample out of range");
-        let data: Vec<f32> =
-            tensor.sample(sample).iter().map(|&v| self.from_model(v)).collect();
+        let data: Vec<f32> = tensor.sample(sample).iter().map(|&v| self.from_model(v)).collect();
         Heatmap::from_vec(tensor.h(), tensor.w(), data)
     }
 }
@@ -139,11 +138,7 @@ pub fn collate(samples: &[&Sample], norm: &Normalizer) -> (Tensor, Tensor, Tenso
     let access: Vec<&Heatmap> = samples.iter().map(|s| &s.access).collect();
     let miss: Vec<&Heatmap> = samples.iter().map(|s| &s.miss).collect();
     let params: Vec<CacheParams> = samples.iter().map(|s| s.params).collect();
-    (
-        norm.heatmaps_to_batch(&access),
-        norm.heatmaps_to_batch(&miss),
-        CacheParams::batch_of(&params),
-    )
+    (norm.heatmaps_to_batch(&access), norm.heatmaps_to_batch(&miss), CacheParams::batch_of(&params))
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use crate::patchgan::PatchGan;
 use crate::unet::{UNetAsLayer, UNetGenerator};
 use cachebox_nn::layers::Layer;
 use cachebox_nn::optim::Adam;
-use cachebox_nn::{loss, Tensor};
+use cachebox_nn::{loss, Parallelism, Tensor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -36,7 +36,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lambda: 150.0, lr: 2e-3, batch_size: 4, epochs: 10, seed: 0, decay_after: 0.5 }
+        TrainConfig {
+            lambda: 150.0,
+            lr: 2e-3,
+            batch_size: 4,
+            epochs: 10,
+            seed: 0,
+            decay_after: 0.5,
+        }
     }
 }
 
@@ -103,6 +110,7 @@ pub struct GanTrainer {
     opt_g: Adam,
     opt_d: Adam,
     config: TrainConfig,
+    parallelism: Parallelism,
 }
 
 impl GanTrainer {
@@ -110,7 +118,21 @@ impl GanTrainer {
     pub fn new(generator: UNetGenerator, discriminator: PatchGan, config: TrainConfig) -> Self {
         let opt_g = Adam::new(config.lr);
         let opt_d = Adam::new(config.lr);
-        GanTrainer { generator, discriminator, opt_g, opt_d, config }
+        GanTrainer {
+            generator,
+            discriminator,
+            opt_g,
+            opt_d,
+            config,
+            parallelism: Parallelism::current(),
+        }
+    }
+
+    /// Sets the thread budget installed for the GEMM kernels while
+    /// fitting (defaults to the process-wide [`Parallelism::current`]).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// The training configuration.
@@ -144,15 +166,25 @@ impl GanTrainer {
         let fake_pair = input.concat_channels(&fake);
         let d_fake = self.discriminator.forward(&fake_pair, true);
         let (l_fake, g_fake) = loss::bce_with_logits(&d_fake, &Tensor::full(d_fake.shape(), 0.0));
+        // The generator's adversarial loss (label the fake "real") reuses
+        // the same logits and cached activations — a third D forward
+        // would waste the work and update every BatchNorm running stat a
+        // second time for the fake pair.
+        let (l_gan, g_gan) = loss::bce_with_logits(&d_fake, &Tensor::full(d_fake.shape(), 1.0));
+        // Backprop the adversarial signal for the generator before the
+        // fake-side D backward; snapshot/restore D's parameter gradients
+        // so the D step sees only its own two half-weighted terms.
+        let mut saved: Vec<Vec<f32>> = Vec::new();
+        self.discriminator.visit_params(&mut |p| saved.push(p.grad.clone()));
+        let g_pair = self.discriminator.backward(&g_gan);
+        let mut saved = saved.into_iter();
+        self.discriminator
+            .visit_params(&mut |p| p.grad = saved.next().expect("snapshot covers every param"));
         self.discriminator.backward(&g_fake.scale(0.5));
         self.opt_d.step_layer(&mut self.discriminator);
 
-        // ---- Generator update: adversarial (label the fake "real") plus
-        // λ-weighted L1 reconstruction.
-        let d_out = self.discriminator.forward(&fake_pair, true);
-        let (l_gan, g_gan) = loss::bce_with_logits(&d_out, &Tensor::full(d_out.shape(), 1.0));
-        self.discriminator.zero_grad();
-        let g_pair = self.discriminator.backward(&g_gan);
+        // ---- Generator update: adversarial plus λ-weighted L1
+        // reconstruction.
         let (_g_input_part, g_fake_part) = g_pair.split_channels(input.c());
         let (l_l1, g_l1) = loss::l1(&fake, target);
         let total = g_fake_part.add(&g_l1.scale(self.config.lambda));
@@ -186,6 +218,7 @@ impl GanTrainer {
         mut progress: impl FnMut(usize, TrainStats),
     ) -> Vec<TrainStats> {
         assert!(!samples.is_empty(), "training set is empty");
+        self.parallelism.install();
         let conditioned = self.generator.config().param_features > 0;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x6a17);
         let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -200,11 +233,7 @@ impl GanTrainer {
             for chunk in order.chunks(self.config.batch_size) {
                 let refs: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
                 let (input, target, params) = collate(&refs, norm);
-                let batch = TrainSample {
-                    input,
-                    target,
-                    params: conditioned.then_some(params),
-                };
+                let batch = TrainSample { input, target, params: conditioned.then_some(params) };
                 let stats = self.train_step(&batch);
                 sum.d_loss += stats.d_loss;
                 sum.g_adv += stats.g_adv;
@@ -243,11 +272,7 @@ mod tests {
         }
         let g = UNetGenerator::new(gc, seed);
         let d = PatchGan::new(PatchGanConfig::new(2, 4, 1), seed + 1);
-        GanTrainer::new(
-            g,
-            d,
-            TrainConfig { epochs, batch_size: 2, lr: 2e-3, ..Default::default() },
-        )
+        GanTrainer::new(g, d, TrainConfig { epochs, batch_size: 2, lr: 2e-3, ..Default::default() })
     }
 
     /// A toy "cache filter": the miss map keeps only the top half of the
@@ -299,10 +324,47 @@ mod tests {
         let out = norm.tensor_to_heatmap(&y, 0);
         let top: f32 = (0..4).map(|r| (0..8).map(|c| out.get(r, c)).sum::<f32>()).sum();
         let bottom: f32 = (4..8).map(|r| (0..8).map(|c| out.get(r, c)).sum::<f32>()).sum();
+        assert!(bottom < top * 0.6, "lower half should be suppressed: top {top}, bottom {bottom}");
+    }
+
+    #[test]
+    fn d_batchnorm_stats_match_two_forward_reference() {
+        // One train_step must update the discriminator's BatchNorm
+        // running statistics exactly as a reference discriminator that
+        // sees the real pair once and the fake pair once. The old
+        // implementation ran a third train-mode forward on the fake pair
+        // purely for generator gradients, double-counting its stats.
+        let seed = 33;
+        let mut trainer = tiny_trainer(1, false, seed);
+        let samples = toy_samples(2);
+        let norm = Normalizer::new(4);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (input, target, _params) = collate(&refs, &norm);
+
+        // Same seeds as tiny_trainer → identical initial weights.
+        let mut gen_ref =
+            UNetGenerator::new(UNetConfig::for_image_size(8, 4).with_dropout(false), seed);
+        let mut d_ref = PatchGan::new(PatchGanConfig::new(2, 4, 1), seed + 1);
+        let fake = gen_ref.forward(&input, None, true);
+        d_ref.forward(&input.concat_channels(&target), true);
+        d_ref.forward(&input.concat_channels(&fake), true);
+
+        trainer.train_step(&TrainSample { input, target, params: None });
+
+        let mut expected: Vec<Vec<f32>> = Vec::new();
+        d_ref.visit_buffers(&mut |b| expected.push(b.clone()));
+        let mut actual: Vec<Vec<f32>> = Vec::new();
+        trainer.discriminator.visit_buffers(&mut |b| actual.push(b.clone()));
+        assert_eq!(expected.len(), actual.len());
         assert!(
-            bottom < top * 0.6,
-            "lower half should be suppressed: top {top}, bottom {bottom}"
+            expected.iter().map(Vec::len).sum::<usize>() > 0,
+            "discriminator should expose BatchNorm running stats"
         );
+        for (e, a) in expected.iter().zip(&actual) {
+            for (x, y) in e.iter().zip(a) {
+                assert!((x - y).abs() < 1e-6, "running stats diverge: {x} vs {y}");
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl UNetConfig {
     ///
     /// Panics unless `image_size` is a power of two ≥ 4.
     pub fn for_image_size(image_size: usize, ngf: usize) -> Self {
-        assert!(image_size.is_power_of_two() && image_size >= 4, "image size must be a power of two ≥ 4");
+        assert!(
+            image_size.is_power_of_two() && image_size >= 4,
+            "image size must be a power of two ≥ 4"
+        );
         assert!(ngf > 0, "ngf must be non-zero");
         UNetConfig {
             in_channels: 1,
@@ -124,7 +127,8 @@ impl UNetGenerator {
         for i in 0..d {
             let in_c = if i == 0 { config.in_channels } else { config.channels(i - 1) };
             let out_c = config.channels(i);
-            let mut block = Sequential::new().push(Conv2d::new(in_c, out_c, 4, 2, 1, seed * 131 + i as u64));
+            let mut block =
+                Sequential::new().push(Conv2d::new(in_c, out_c, 4, 2, 1, seed * 131 + i as u64));
             // Pix2Pix omits normalization on the outermost and innermost
             // blocks (the innermost sees 1×1 activations).
             if i != 0 && i != d - 1 {
@@ -137,15 +141,17 @@ impl UNetGenerator {
         let embed = if config.param_features > 0 { config.param_embed } else { 0 };
         let mut ups = Vec::with_capacity(d);
         for i in 0..d {
-            let in_c = if i == 0 {
-                bottleneck_c + embed
-            } else {
-                2 * config.channels(d - 1 - i)
-            };
+            let in_c = if i == 0 { bottleneck_c + embed } else { 2 * config.channels(d - 1 - i) };
             let last = i == d - 1;
             let out_c = if last { config.out_channels } else { config.channels(d - 2 - i) };
-            let mut block = Sequential::new()
-                .push(ConvTranspose2d::new(in_c, out_c, 4, 2, 1, seed * 137 + i as u64));
+            let mut block = Sequential::new().push(ConvTranspose2d::new(
+                in_c,
+                out_c,
+                4,
+                2,
+                1,
+                seed * 137 + i as u64,
+            ));
             if last {
                 block = block.push(Tanh::new());
             } else {
@@ -432,8 +438,7 @@ mod tests {
     fn conditioned_gradient_check_on_micro_unet() {
         // Same finite-difference check but with the parameter head active,
         // exercising the bottleneck concat/split path.
-        let config =
-            UNetConfig::for_image_size(4, 2).with_dropout(false).with_param_features(2);
+        let config = UNetConfig::for_image_size(4, 2).with_dropout(false).with_param_features(2);
         let mut g = UNetGenerator::new(config, 13);
         let x = ramp([2, 1, 4, 4]);
         let p = CacheParams::new(64, 12).batch(2);

@@ -15,9 +15,8 @@ fn arbitrary_trace() -> impl Strategy<Value = Trace> {
 }
 
 fn arbitrary_geometry() -> impl Strategy<Value = HeatmapGeometry> {
-    (2usize..64, 2usize..24, 1u64..10, 0.0f64..0.8).prop_map(|(h, w, win, ov)| {
-        HeatmapGeometry::new(h, w, win).with_overlap(ov)
-    })
+    (2usize..64, 2usize..24, 1u64..10, 0.0f64..0.8)
+        .prop_map(|(h, w, win, ov)| HeatmapGeometry::new(h, w, win).with_overlap(ov))
 }
 
 proptest! {

@@ -46,8 +46,8 @@ impl Histogram {
     /// Index of the bin a value falls into (clamped).
     pub fn bin_of(&self, value: f64) -> usize {
         let frac = (value - self.lo) / (self.hi - self.lo);
-        ((frac * self.bins.len() as f64).floor() as isize)
-            .clamp(0, self.bins.len() as isize - 1) as usize
+        ((frac * self.bins.len() as f64).floor() as isize).clamp(0, self.bins.len() as isize - 1)
+            as usize
     }
 
     /// Count in bin `idx`.

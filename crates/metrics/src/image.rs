@@ -31,11 +31,7 @@ pub fn mse(a: &Heatmap, b: &Heatmap) -> f64 {
 /// assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
 /// ```
 pub fn ssim(a: &Heatmap, b: &Heatmap) -> f64 {
-    assert_eq!(
-        (a.height(), a.width()),
-        (b.height(), b.width()),
-        "heatmap shape mismatch"
-    );
+    assert_eq!((a.height(), a.width()), (b.height(), b.width()), "heatmap shape mismatch");
     let n = (a.height() * a.width()) as f64;
     let mean = |h: &Heatmap| h.pixel_sum() / n;
     let (mu_a, mu_b) = (mean(a), mean(b));
@@ -67,11 +63,7 @@ pub fn ssim(a: &Heatmap, b: &Heatmap) -> f64 {
 /// Panics on shape mismatch or a zero window.
 pub fn ssim_windowed(a: &Heatmap, b: &Heatmap, window: usize) -> f64 {
     assert!(window > 0, "window must be non-zero");
-    assert_eq!(
-        (a.height(), a.width()),
-        (b.height(), b.width()),
-        "heatmap shape mismatch"
-    );
+    assert_eq!((a.height(), a.width()), (b.height(), b.width()), "heatmap shape mismatch");
     let mut total = 0.0;
     let mut tiles = 0usize;
     let mut row = 0;

@@ -40,17 +40,42 @@ pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32])
 ///
 /// Panics if slice lengths do not match the dimensions.
 pub fn gemm_at_b_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    gemm_at_b_acc_rows(a, b, m, k, n, 0, m, out);
+}
+
+/// The row slice `i0..i1` of the [`gemm_at_b_acc`] product:
+/// `out_rows += (aᵀ × b)[i0..i1, :]` for `out_rows: (i1-i0)×n`.
+///
+/// The accumulation order per output element is identical to
+/// [`gemm_at_b_acc`], so partitioned results are bitwise equal to a full
+/// serial run — this is the unit the parallel dispatch hands each thread.
+///
+/// # Panics
+///
+/// Panics if the row range or slice lengths do not match the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_at_b_acc_rows(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    assert!(i0 <= i1 && i1 <= m, "row range out of bounds");
     assert_eq!(a.len(), k * m, "lhs size mismatch");
     assert_eq!(b.len(), k * n, "rhs size mismatch");
-    assert_eq!(out.len(), m * n, "out size mismatch");
+    assert_eq!(out_rows.len(), (i1 - i0) * n, "out size mismatch");
     for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
+        let a_row = &a[p * m + i0..p * m + i1];
         let b_row = &b[p * n..(p + 1) * n];
         for (i, &a_pi) in a_row.iter().enumerate() {
             if a_pi == 0.0 {
                 continue;
             }
-            let out_row = &mut out[i * n..(i + 1) * n];
+            let out_row = &mut out_rows[i * n..(i + 1) * n];
             for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
                 *o += a_pi * b_pj;
             }

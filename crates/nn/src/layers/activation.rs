@@ -18,10 +18,8 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let out = Tensor::from_vec(
-            input.shape(),
-            input.data().iter().map(|&v| v.max(0.0)).collect(),
-        );
+        let out =
+            Tensor::from_vec(input.shape(), input.data().iter().map(|&v| v.max(0.0)).collect());
         self.mask = train.then(|| input.data().iter().map(|&v| v > 0.0).collect());
         out
     }

@@ -3,6 +3,7 @@
 use crate::gemm::{self, PatchGrid};
 use crate::init::Initializer;
 use crate::layers::Layer;
+use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
 
@@ -40,7 +41,14 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         assert!(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0, "invalid conv dimensions");
         let mut init = Initializer::new(seed ^ 0xc04f);
         Conv2d {
@@ -85,7 +93,7 @@ impl Layer for Conv2d {
         for n in 0..input.n() {
             gemm::im2col(input.sample(n), &grid, &mut cols);
             let out_sample = out.sample_mut(n);
-            gemm::gemm(&self.weight.value, &cols, self.out_c, rows, positions, out_sample);
+            parallel::gemm(&self.weight.value, &cols, self.out_c, rows, positions, out_sample);
             for c in 0..self.out_c {
                 let b = self.bias.value[c];
                 for v in &mut out_sample[c * positions..(c + 1) * positions] {
@@ -111,14 +119,14 @@ impl Layer for Conv2d {
             let g = grad_out.sample(n);
             // Weight gradient: gW += g × colsᵀ.
             gemm::im2col(input.sample(n), &grid, &mut cols);
-            gemm::gemm_a_bt_acc(g, &cols, self.out_c, positions, rows, &mut self.weight.grad);
+            parallel::gemm_a_bt_acc(g, &cols, self.out_c, positions, rows, &mut self.weight.grad);
             // Bias gradient: per-channel sums.
             for c in 0..self.out_c {
                 self.bias.grad[c] += g[c * positions..(c + 1) * positions].iter().sum::<f32>();
             }
             // Input gradient: col2im(Wᵀ × g).
             gcols.fill(0.0);
-            gemm::gemm_at_b_acc(&self.weight.value, g, rows, self.out_c, positions, &mut gcols);
+            parallel::gemm_at_b_acc(&self.weight.value, g, rows, self.out_c, positions, &mut gcols);
             gemm::col2im(&gcols, &grid, grad_in.sample_mut(n));
         }
         grad_in

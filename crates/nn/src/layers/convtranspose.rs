@@ -3,6 +3,7 @@
 use crate::gemm::{self, PatchGrid};
 use crate::init::Initializer;
 use crate::layers::Layer;
+use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
 
@@ -42,7 +43,14 @@ impl ConvTranspose2d {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         assert!(in_c > 0 && out_c > 0 && kernel > 0 && stride > 0, "invalid convT dimensions");
         let mut init = Initializer::new(seed ^ 0x7c04);
         ConvTranspose2d {
@@ -95,7 +103,7 @@ impl Layer for ConvTranspose2d {
         for n in 0..input.n() {
             // cols = Wᵀ × x  (W: [in_c, rows], x: [in_c, positions]).
             cols.fill(0.0);
-            gemm::gemm_at_b_acc(
+            parallel::gemm_at_b_acc(
                 &self.weight.value,
                 input.sample(n),
                 rows,
@@ -134,7 +142,7 @@ impl Layer for ConvTranspose2d {
             let g = grad_out.sample(n);
             gemm::im2col(g, &grid, &mut gcols);
             // Input gradient: gx = W × im2col(g).
-            gemm::gemm(
+            parallel::gemm(
                 &self.weight.value,
                 &gcols,
                 self.in_c,
@@ -143,7 +151,7 @@ impl Layer for ConvTranspose2d {
                 grad_in.sample_mut(n),
             );
             // Weight gradient: gW += x × im2col(g)ᵀ.
-            gemm::gemm_a_bt_acc(
+            parallel::gemm_a_bt_acc(
                 input.sample(n),
                 &gcols,
                 self.in_c,

@@ -1,8 +1,8 @@
 //! Fully connected layer.
 
-use crate::gemm;
 use crate::init::Initializer;
 use crate::layers::Layer;
+use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
 
@@ -40,15 +40,11 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(
-            input.c() * input.h() * input.w(),
-            self.in_features,
-            "input feature mismatch"
-        );
+        assert_eq!(input.c() * input.h() * input.w(), self.in_features, "input feature mismatch");
         let n = input.n();
         let mut out = Tensor::zeros([n, self.out_features, 1, 1]);
         // out[n, o] = Σ_i x[n, i] * W[o, i] + b[o]  ⇔  out = x × Wᵀ.
-        gemm::gemm_a_bt_acc(
+        parallel::gemm_a_bt_acc(
             input.data(),
             &self.weight.value,
             n,
@@ -71,7 +67,7 @@ impl Layer for Linear {
         let n = input.n();
         assert_eq!(grad_out.shape(), [n, self.out_features, 1, 1], "grad shape mismatch");
         // gW[o, i] += Σ_n g[n, o] x[n, i]  ⇔  gW += gᵀ × x.
-        gemm::gemm_at_b_acc(
+        parallel::gemm_at_b_acc(
             grad_out.data(),
             input.data(),
             self.out_features,
@@ -86,7 +82,7 @@ impl Layer for Linear {
         }
         // gx = g × W.
         let mut grad_in = Tensor::zeros(input.shape());
-        gemm::gemm_acc(
+        parallel::gemm_acc(
             grad_out.data(),
             &self.weight.value,
             n,

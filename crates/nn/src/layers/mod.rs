@@ -81,8 +81,7 @@ pub(crate) mod gradcheck {
     pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tolerance: f32) {
         let out = layer.forward(input, true);
         // loss = sum(out * coeff) with coeff = 1 + 0.1*i (deterministic).
-        let coeff: Vec<f32> =
-            (0..out.len()).map(|i| 1.0 + 0.1 * (i % 7) as f32).collect();
+        let coeff: Vec<f32> = (0..out.len()).map(|i| 1.0 + 0.1 * (i % 7) as f32).collect();
         let grad_out = Tensor::from_vec(out.shape(), coeff.clone());
         layer.zero_grad();
         let grad_in = layer.backward(&grad_out);
@@ -109,8 +108,7 @@ pub(crate) mod gradcheck {
     /// Checks `d loss / d params` similarly.
     pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, tolerance: f32) {
         let out = layer.forward(input, true);
-        let coeff: Vec<f32> =
-            (0..out.len()).map(|i| 1.0 + 0.1 * (i % 7) as f32).collect();
+        let coeff: Vec<f32> = (0..out.len()).map(|i| 1.0 + 0.1 * (i % 7) as f32).collect();
         let grad_out = Tensor::from_vec(out.shape(), coeff.clone());
         layer.zero_grad();
         layer.backward(&grad_out);

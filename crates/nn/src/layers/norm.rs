@@ -75,7 +75,10 @@ impl BatchNorm2d {
             let s = input.sample(ni);
             for ci in 0..c {
                 let mu = mean[ci];
-                var[ci] += s[ci * plane..(ci + 1) * plane].iter().map(|&x| (x - mu) * (x - mu)).sum::<f32>();
+                var[ci] += s[ci * plane..(ci + 1) * plane]
+                    .iter()
+                    .map(|&x| (x - mu) * (x - mu))
+                    .sum::<f32>();
             }
         }
         for v in &mut var {

@@ -14,6 +14,9 @@
 //! * [`graph::Sequential`] — a layer container for straight-line models;
 //!   CB-GAN's U-Net wires its skip connections explicitly on top of the
 //!   layer primitives.
+//! * [`parallel`] — row-partitioned multithreaded GEMM dispatch plus the
+//!   [`Parallelism`] thread-count plumbing shared by the trainer, the
+//!   data pipeline, and the benchmark harness.
 //!
 //! Design note: models here are two fixed DAGs, so the crate uses explicit
 //! per-layer `forward`/`backward` methods rather than a general autograd
@@ -47,9 +50,11 @@ pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod parallel;
 pub mod param;
 pub mod serialize;
 pub mod tensor;
 
+pub use parallel::Parallelism;
 pub use param::Param;
 pub use tensor::Tensor;

@@ -136,7 +136,8 @@ mod tests {
                 plus.data_mut()[i] += eps;
                 let mut minus = pred.clone();
                 minus.data_mut()[i] -= eps;
-                let numeric = (loss_fn(&plus, &target).0 - loss_fn(&minus, &target).0) / (2.0 * eps);
+                let numeric =
+                    (loss_fn(&plus, &target).0 - loss_fn(&minus, &target).0) / (2.0 * eps);
                 assert!(
                     (numeric - grad.data()[i]).abs() < 1e-2,
                     "i={i}: numeric {numeric} vs {}",

@@ -39,7 +39,10 @@ impl Adam {
     ///
     /// Panics unless both betas are in `[0, 1)`.
     pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0,1)"
+        );
         self.beta1 = beta1;
         self.beta2 = beta2;
         self

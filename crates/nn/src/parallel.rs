@@ -1,0 +1,402 @@
+//! Thread-count plumbing and row-partitioned parallel GEMM.
+//!
+//! Every conv/deconv/linear forward and backward pass lowers to one of
+//! the [`crate::gemm`] kernels. This module wraps those kernels in a
+//! row-partitioned multithreaded dispatch: the `m` dimension (output
+//! rows) is split into contiguous chunks, one crossbeam scoped thread
+//! per chunk, each running the *unchanged* serial kernel on its slice.
+//! Because every output element is still produced by the same
+//! floating-point operations in the same order, the parallel results are
+//! bitwise identical to the serial ones — parallelism changes wall-clock
+//! time, never numerics.
+//!
+//! The thread count comes from a process-global [`Parallelism`]
+//! (env-var override `CACHEBOX_THREADS`, default
+//! `available_parallelism`), and problems below a FLOP threshold run the
+//! serial kernel directly so tiny test-scale shapes never pay thread
+//! spawn overhead.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the default thread count.
+pub const THREADS_ENV_VAR: &str = "CACHEBOX_THREADS";
+
+/// `m·k·n` below which the dispatching wrappers stay serial. Thread
+/// spawn costs tens of microseconds; a quarter-million MACs is roughly
+/// where the split starts paying for itself.
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Process-global thread count; `0` means "not yet initialised".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// A worker-thread budget for the parallel kernels and sweeps.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::parallel::Parallelism;
+///
+/// let p = Parallelism::new(4);
+/// assert_eq!(p.threads(), 4);
+/// assert_eq!(Parallelism::serial().threads(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// A budget of exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads: threads.max(1) }
+    }
+
+    /// Single-threaded execution: every kernel runs serially.
+    pub fn serial() -> Self {
+        Parallelism::new(1)
+    }
+
+    /// Reads `CACHEBOX_THREADS` if set to a positive integer, otherwise
+    /// falls back to [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        if let Ok(v) = std::env::var(THREADS_ENV_VAR) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return Parallelism::new(n);
+                }
+            }
+        }
+        Parallelism::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    /// The worker-thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Installs this budget as the process-wide default consulted by
+    /// [`current`](Parallelism::current) (and therefore by every layer's
+    /// GEMM dispatch).
+    pub fn install(self) {
+        GLOBAL_THREADS.store(self.threads, Ordering::Relaxed);
+    }
+
+    /// The installed process-wide budget, initialising it from
+    /// [`from_env`](Parallelism::from_env) on first use.
+    pub fn current() -> Self {
+        let t = GLOBAL_THREADS.load(Ordering::Relaxed);
+        if t == 0 {
+            let p = Parallelism::from_env();
+            p.install();
+            p
+        } else {
+            Parallelism::new(t)
+        }
+    }
+
+    /// Number of contiguous chunks to split `items` work items into:
+    /// never more than the budget, never more than the items.
+    pub fn chunk_count(&self, items: usize) -> usize {
+        self.threads.min(items).max(1)
+    }
+}
+
+/// Maps `f` over `items` on up to `par.threads()` scoped threads,
+/// preserving input order in the output. Items are split into contiguous
+/// chunks, so results are assembled deterministically regardless of
+/// scheduling.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunks = par.chunk_count(items.len());
+    if chunks <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk_len = items.len().div_ceil(chunks);
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            out.extend(handle.join().expect("par_map worker panicked"));
+        }
+        out
+    })
+    .expect("par_map scope panicked")
+}
+
+/// Rows-per-thread plan for an `m×k×n` product under `par`; `1` means
+/// "stay serial" (budget of one, degenerate shape, or below the FLOP
+/// threshold when `apply_threshold`).
+fn plan(par: Parallelism, m: usize, k: usize, n: usize, apply_threshold: bool) -> usize {
+    if par.threads() <= 1 || m < 2 || k == 0 || n == 0 {
+        return 1;
+    }
+    if apply_threshold && m.saturating_mul(k).saturating_mul(n) < PAR_FLOP_THRESHOLD {
+        return 1;
+    }
+    par.threads().min(m)
+}
+
+/// `out += a × b` with an explicit thread budget (no size threshold).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_acc_with(
+    par: Parallelism,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    gemm_acc_planned(par, false, a, b, m, k, n, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_acc_planned(
+    par: Parallelism,
+    apply_threshold: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let threads = plan(par, m, k, n, apply_threshold);
+    if threads <= 1 {
+        return crate::gemm::gemm_acc(a, b, m, k, n, out);
+    }
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    let rows = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (a_chunk, out_chunk) in a.chunks(rows * k).zip(out.chunks_mut(rows * n)) {
+            scope.spawn(move |_| {
+                let mi = out_chunk.len() / n;
+                crate::gemm::gemm_acc(a_chunk, b, mi, k, n, out_chunk);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// `out = a × b` with an explicit thread budget (no size threshold).
+pub fn gemm_with(
+    par: Parallelism,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    out.fill(0.0);
+    gemm_acc_with(par, a, b, m, k, n, out);
+}
+
+/// `out += aᵀ × b` with an explicit thread budget (no size threshold).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_at_b_acc_with(
+    par: Parallelism,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    gemm_at_b_acc_planned(par, false, a, b, m, k, n, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_at_b_acc_planned(
+    par: Parallelism,
+    apply_threshold: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let threads = plan(par, m, k, n, apply_threshold);
+    if threads <= 1 {
+        return crate::gemm::gemm_at_b_acc(a, b, m, k, n, out);
+    }
+    assert_eq!(a.len(), k * m, "lhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    let rows = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (ci, out_chunk) in out.chunks_mut(rows * n).enumerate() {
+            let i0 = ci * rows;
+            let i1 = i0 + out_chunk.len() / n;
+            scope.spawn(move |_| {
+                crate::gemm::gemm_at_b_acc_rows(a, b, m, k, n, i0, i1, out_chunk);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// `out += a × bᵀ` with an explicit thread budget (no size threshold).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_a_bt_acc_with(
+    par: Parallelism,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    gemm_a_bt_acc_planned(par, false, a, b, m, k, n, out);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_a_bt_acc_planned(
+    par: Parallelism,
+    apply_threshold: bool,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let threads = plan(par, m, k, n, apply_threshold);
+    if threads <= 1 {
+        return crate::gemm::gemm_a_bt_acc(a, b, m, k, n, out);
+    }
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    let rows = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (a_chunk, out_chunk) in a.chunks(rows * k).zip(out.chunks_mut(rows * n)) {
+            scope.spawn(move |_| {
+                let mi = out_chunk.len() / n;
+                crate::gemm::gemm_a_bt_acc(a_chunk, b, mi, k, n, out_chunk);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+}
+
+/// `out += a × b` under the installed global budget, serial below the
+/// FLOP threshold. This is what the layer crates call.
+pub fn gemm_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    gemm_acc_planned(Parallelism::current(), true, a, b, m, k, n, out);
+}
+
+/// `out = a × b` under the installed global budget.
+pub fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    gemm_acc(a, b, m, k, n, out);
+}
+
+/// `out += aᵀ × b` under the installed global budget.
+pub fn gemm_at_b_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    gemm_at_b_acc_planned(Parallelism::current(), true, a, b, m, k, n, out);
+}
+
+/// `out += a × bᵀ` under the installed global budget.
+pub fn gemm_a_bt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    gemm_a_bt_acc_planned(Parallelism::current(), true, a, b, m, k, n, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, phase: usize) -> Vec<f32> {
+        (0..len).map(|i| (((i * 7 + phase) % 13) as f32 - 6.0) / 6.0).collect()
+    }
+
+    #[test]
+    fn parallel_gemm_matches_serial_bitwise() {
+        let (m, k, n) = (13, 7, 9);
+        let a = filled(m * k, 1);
+        let b = filled(k * n, 2);
+        let mut reference = vec![0.0; m * n];
+        crate::gemm::gemm(&a, &b, m, k, n, &mut reference);
+        for threads in [2, 3, 4, 8] {
+            let mut out = vec![0.0; m * n];
+            gemm_with(Parallelism::new(threads), &a, &b, m, k, n, &mut out);
+            assert_eq!(reference, out, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_transpose_variants_match_serial_bitwise() {
+        let (m, k, n) = (11, 5, 6);
+        let at = filled(k * m, 3);
+        let bt = filled(n * k, 4);
+        let a = filled(m * k, 5);
+        let b = filled(k * n, 6);
+
+        let mut ref_atb = vec![0.1; m * n];
+        crate::gemm::gemm_at_b_acc(&at, &b, m, k, n, &mut ref_atb);
+        let mut ref_abt = vec![0.2; m * n];
+        crate::gemm::gemm_a_bt_acc(&a, &bt, m, k, n, &mut ref_abt);
+
+        for threads in [2, 4, 7] {
+            let mut out = vec![0.1; m * n];
+            gemm_at_b_acc_with(Parallelism::new(threads), &at, &b, m, k, n, &mut out);
+            assert_eq!(ref_atb, out, "atb threads = {threads}");
+            let mut out = vec![0.2; m * n];
+            gemm_a_bt_acc_with(Parallelism::new(threads), &a, &bt, m, k, n, &mut out);
+            assert_eq!(ref_abt, out, "abt threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let (m, k, n) = (3, 4, 5);
+        let a = filled(m * k, 7);
+        let b = filled(k * n, 8);
+        let mut reference = vec![0.0; m * n];
+        crate::gemm::gemm(&a, &b, m, k, n, &mut reference);
+        let mut out = vec![0.0; m * n];
+        gemm_with(Parallelism::new(16), &a, &b, m, k, n, &mut out);
+        assert_eq!(reference, out);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(Parallelism::new(4), &items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_serial_budget() {
+        let items = vec![1, 2, 3];
+        assert_eq!(par_map(Parallelism::serial(), &items, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert_eq!(Parallelism::serial().chunk_count(10), 1);
+        assert_eq!(Parallelism::new(8).chunk_count(3), 3);
+    }
+}

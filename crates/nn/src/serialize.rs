@@ -137,12 +137,18 @@ mod tests {
 
     #[test]
     fn roundtrip_through_clone() {
-        let mut model =
-            Sequential::new().push(Conv2d::new(1, 2, 3, 1, 1, 5)).push(Linear::new(2 * 4 * 4, 3, 6));
+        let mut model = Sequential::new().push(Conv2d::new(1, 2, 3, 1, 1, 5)).push(Linear::new(
+            2 * 4 * 4,
+            3,
+            6,
+        ));
         let state = StateDict::from_layer(&mut model);
         let restored = state.clone();
-        let mut model2 =
-            Sequential::new().push(Conv2d::new(1, 2, 3, 1, 1, 50)).push(Linear::new(2 * 4 * 4, 3, 60));
+        let mut model2 = Sequential::new().push(Conv2d::new(1, 2, 3, 1, 1, 50)).push(Linear::new(
+            2 * 4 * 4,
+            3,
+            60,
+        ));
         restored.load_into(&mut model2).unwrap();
         let x = Tensor::zeros([1, 1, 4, 4]);
         assert_eq!(model.forward(&x, false), model2.forward(&x, false));

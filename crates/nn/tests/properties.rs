@@ -2,6 +2,9 @@
 
 use cachebox_nn::gemm::{col2im, gemm, gemm_a_bt_acc, gemm_at_b_acc, im2col, PatchGrid};
 use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer, Linear};
+use cachebox_nn::parallel::{
+    gemm_a_bt_acc_with, gemm_acc_with, gemm_at_b_acc_with, gemm_with, Parallelism,
+};
 use cachebox_nn::Tensor;
 use proptest::prelude::*;
 
@@ -145,6 +148,61 @@ proptest! {
         let rhs = f(&x, &mut l).add(&f(&y, &mut l)).add(&f(&zero, &mut l).scale(-2.0));
         for (a, b) in lhs.data().iter().zip(rhs.data()) {
             prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Row-partitioned parallel GEMM matches the serial kernel for
+    /// ragged shapes (m not divisible by the thread count, thread
+    /// counts exceeding the row count) across every variant. The row
+    /// split reuses the serial kernel per chunk, so results should be
+    /// bitwise identical; 1e-5 is the documented contract.
+    #[test]
+    fn parallel_gemm_matches_serial(
+        m in 1usize..17,
+        k in 1usize..9,
+        n in 1usize..13,
+        threads in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let a_t: Vec<f32> = (0..k * m).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b_t: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let bias: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let par = Parallelism::new(threads);
+
+        let mut serial = vec![0.0f32; m * n];
+        gemm(&a, &b, m, k, n, &mut serial);
+        let mut parallel = vec![0.0f32; m * n];
+        gemm_with(par, &a, &b, m, k, n, &mut parallel);
+        for (x, y) in serial.iter().zip(&parallel) {
+            prop_assert!((x - y).abs() <= 1e-5, "gemm: {x} vs {y}");
+        }
+
+        let mut serial_acc = bias.clone();
+        cachebox_nn::gemm::gemm_acc(&a, &b, m, k, n, &mut serial_acc);
+        let mut parallel_acc = bias.clone();
+        gemm_acc_with(par, &a, &b, m, k, n, &mut parallel_acc);
+        for (x, y) in serial_acc.iter().zip(&parallel_acc) {
+            prop_assert!((x - y).abs() <= 1e-5, "gemm_acc: {x} vs {y}");
+        }
+
+        let mut serial_at = bias.clone();
+        gemm_at_b_acc(&a_t, &b, m, k, n, &mut serial_at);
+        let mut parallel_at = bias.clone();
+        gemm_at_b_acc_with(par, &a_t, &b, m, k, n, &mut parallel_at);
+        for (x, y) in serial_at.iter().zip(&parallel_at) {
+            prop_assert!((x - y).abs() <= 1e-5, "gemm_at_b_acc: {x} vs {y}");
+        }
+
+        let mut serial_bt = bias.clone();
+        gemm_a_bt_acc(&a, &b_t, m, k, n, &mut serial_bt);
+        let mut parallel_bt = bias;
+        gemm_a_bt_acc_with(par, &a, &b_t, m, k, n, &mut parallel_bt);
+        for (x, y) in serial_bt.iter().zip(&parallel_bt) {
+            prop_assert!((x - y).abs() <= 1e-5, "gemm_a_bt_acc: {x} vs {y}");
         }
     }
 

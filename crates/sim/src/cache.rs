@@ -7,7 +7,6 @@ use crate::result::SimResult;
 use crate::stats::CacheStats;
 use cachebox_trace::{Address, MemoryAccess, Trace};
 
-
 /// A line evicted or invalidated from the cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictedLine {
@@ -51,9 +50,7 @@ struct CacheSet {
 
 impl CacheSet {
     fn find(&self, tag: u64) -> Option<usize> {
-        self.lines
-            .iter()
-            .position(|line| line.as_ref().is_some_and(|l| l.tag == tag))
+        self.lines.iter().position(|line| line.as_ref().is_some_and(|l| l.tag == tag))
     }
 
     fn free_way(&self) -> Option<usize> {
@@ -186,7 +183,13 @@ impl Cache {
                 if old.dirty {
                     self.stats.writebacks += 1;
                 }
-                (way, Some(EvictedLine { block: self.config.block_of(set_idx, old.tag), dirty: old.dirty }))
+                (
+                    way,
+                    Some(EvictedLine {
+                        block: self.config.block_of(set_idx, old.tag),
+                        dirty: old.dirty,
+                    }),
+                )
             }
         };
         set.lines[way] = Some(Line { tag, dirty, prefetched });
@@ -393,8 +396,7 @@ mod tests {
     #[test]
     fn write_through_no_allocate_semantics() {
         use crate::config::WritePolicy;
-        let config =
-            CacheConfig::new(4, 2).with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let config = CacheConfig::new(4, 2).with_write_policy(WritePolicy::WriteThroughNoAllocate);
         let mut c = Cache::new(config);
         // Store miss: does not fill.
         assert!(!c.access(addr(0), true).is_hit());
@@ -415,9 +417,8 @@ mod tests {
         use crate::config::WritePolicy;
         let wt = CacheConfig::new(8, 2).with_write_policy(WritePolicy::WriteThroughNoAllocate);
         let wb = CacheConfig::new(8, 2);
-        let trace: Trace = (0..200u64)
-            .map(|i| MemoryAccess::load(i, Address::new((i % 24) * 64)))
-            .collect();
+        let trace: Trace =
+            (0..200u64).map(|i| MemoryAccess::load(i, Address::new((i % 24) * 64))).collect();
         let mut a = Cache::new(wt);
         let mut b = Cache::new(wb);
         assert_eq!(a.run(&trace).stats.hits, b.run(&trace).stats.hits);

@@ -211,11 +211,9 @@ mod tests {
     #[test]
     fn store_then_evict_writes_back() {
         let mut sim = MultiCacheSim::new(vec![CacheConfig::new(1, 1)]);
-        let trace: Trace = vec![
-            MemoryAccess::store(0, Address::new(0)),
-            MemoryAccess::load(1, Address::new(64)),
-        ]
-        .into();
+        let trace: Trace =
+            vec![MemoryAccess::store(0, Address::new(0)), MemoryAccess::load(1, Address::new(64))]
+                .into();
         let result = sim.run(&trace);
         assert_eq!(result.per_cache[0].writebacks, 1);
     }

@@ -156,7 +156,8 @@ impl Prefetcher for StridePrefetcher {
         let block_offset_bits = self.block_offset_bits;
         let entry = &mut self.table[slot];
         if !entry.valid || entry.region != region {
-            *entry = StrideEntry { region, last_block: block, stride: 0, confidence: 0, valid: true };
+            *entry =
+                StrideEntry { region, last_block: block, stride: 0, confidence: 0, valid: true };
             return;
         }
         let stride = block as i64 - entry.last_block as i64;

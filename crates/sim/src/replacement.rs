@@ -115,7 +115,15 @@ struct RandomVictim {
 
 impl RandomVictim {
     fn new(ways: usize, seed: u64) -> Self {
-        RandomVictim { ways, state: seed | 1 }
+        // The cache seeds sets 1, 2, 3, …; `seed | 1` would collapse each
+        // even/odd pair (2k, 2k+1) onto one xorshift state, correlating
+        // adjacent sets. Finalize with splitmix64 so nearby seeds land on
+        // unrelated (and always non-zero) states.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        RandomVictim { ways, state: z.max(1) }
     }
 
     fn next(&mut self) -> u64 {
@@ -142,8 +150,10 @@ impl SetReplacer for RandomVictim {
 ///
 /// Internal nodes hold one bit pointing toward the pseudo-least-recently
 /// used half. Hits and fills flip the bits along the way's path; the
-/// victim walk follows the bits. Victims landing on padding ways (when
-/// `ways` is not a power of two) are clamped to the last real way.
+/// victim walk follows the bits. When `ways` is not a power of two the
+/// walk treats padding leaves as most-recently-used and steers into the
+/// sibling subtree, so real ways keep their PLRU ordering instead of the
+/// last real way absorbing every padding-bound walk.
 #[derive(Debug)]
 struct TreePlru {
     ways: usize,
@@ -190,14 +200,18 @@ impl SetReplacer for TreePlru {
         let mut span = self.leaves;
         while span > 1 {
             let half = span / 2;
-            let go_right = self.bits[node];
+            // Never descend into a subtree holding only padding leaves
+            // (`lo + half >= ways`); padding counts as most-recently-used.
+            // The left subtree always contains a real way, so `lo < ways`
+            // holds throughout and the final leaf needs no clamping.
+            let go_right = self.bits[node] && lo + half < self.ways;
             node = 2 * node + if go_right { 2 } else { 1 };
             if go_right {
                 lo += half;
             }
             span = half;
         }
-        lo.min(self.ways - 1)
+        lo
     }
 }
 
@@ -283,6 +297,29 @@ mod tests {
     }
 
     #[test]
+    fn random_adjacent_seeds_diverge() {
+        // The cache seeds sets 1, 2, 3, …; a plain `seed | 1` collapsed
+        // each even/odd pair onto one state, so sets 2 and 3 made
+        // identical "random" choices.
+        let mut a = RandomVictim::new(8, 2);
+        let mut b = RandomVictim::new(8, 3);
+        let differs = (0..100).any(|_| a.victim() != b.victim());
+        assert!(differs, "adjacent seeds must yield distinct victim streams");
+    }
+
+    #[test]
+    fn random_all_adjacent_set_pairs_diverge() {
+        // Sweep the seed range a realistic cache uses (one per set) and
+        // require every adjacent pair to diverge within a few draws.
+        for seed in 1u64..64 {
+            let mut a = RandomVictim::new(16, seed);
+            let mut b = RandomVictim::new(16, seed + 1);
+            let differs = (0..64).any(|_| a.victim() != b.victim());
+            assert!(differs, "seeds {seed} and {} collide", seed + 1);
+        }
+    }
+
+    #[test]
     fn plru_victim_avoids_most_recent() {
         let mut r = TreePlru::new(4);
         fill_all(&mut r, 4);
@@ -299,6 +336,44 @@ mod tests {
             let v = r.victim();
             assert!(v < 3);
             r.on_fill(v);
+        }
+    }
+
+    #[test]
+    fn plru_padding_walk_does_not_evict_recent_way() {
+        // 6 ways → 8 leaves, padding 6 and 7. After hitting 4, 5, 0 the
+        // root and right-half bits point into the padding subtree; the
+        // old clamp then evicted way 5 — touched one step earlier — while
+        // steering picks way 4, the LRU way of the right half.
+        let mut r = TreePlru::new(6);
+        fill_all(&mut r, 6);
+        r.on_hit(4);
+        r.on_hit(5);
+        r.on_hit(0);
+        assert_eq!(r.victim(), 4);
+    }
+
+    #[test]
+    fn plru_victim_distribution_covers_all_ways() {
+        // Under steady evict/refill cycling every real way must take
+        // evictions. The old clamp starved way 4 of a 6-way set entirely
+        // (0 evictions) and routed half of all evictions to way 5.
+        for ways in [3usize, 6] {
+            let mut r = TreePlru::new(ways);
+            fill_all(&mut r, ways);
+            let rounds = ways * 64;
+            let mut counts = vec![0usize; ways];
+            for _ in 0..rounds {
+                let v = r.victim();
+                assert!(v < ways, "victim {v} out of range for {ways} ways");
+                counts[v] += 1;
+                r.on_fill(v);
+            }
+            assert!(counts.iter().all(|&c| c > 0), "{ways}-way starvation: {counts:?}");
+            if ways == 6 {
+                let max = *counts.iter().max().unwrap();
+                assert!(max <= rounds / 3, "{ways}-way skew: {counts:?}");
+            }
         }
     }
 

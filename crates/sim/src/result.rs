@@ -27,12 +27,7 @@ impl SimResult {
     /// Panics if `input` does not have the same length as the hit flags.
     pub fn miss_trace(&self, input: &Trace) -> Trace {
         assert_eq!(input.len(), self.hit_flags.len(), "trace/hit-flag length mismatch");
-        input
-            .iter()
-            .zip(&self.hit_flags)
-            .filter(|(_, &hit)| !hit)
-            .map(|(a, _)| *a)
-            .collect()
+        input.iter().zip(&self.hit_flags).filter(|(_, &hit)| !hit).map(|(a, _)| *a).collect()
     }
 
     /// Builds the hit trace (complement of [`SimResult::miss_trace`]).

@@ -21,7 +21,9 @@ use std::fmt;
 /// assert_eq!(a.block_base(6).as_u64(), 0x1200);
 /// assert_eq!(a.modulo(512), 0x34 % 512 + 0x1200 % 512);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Address(u64);
 

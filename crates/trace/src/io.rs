@@ -156,11 +156,10 @@ fn parse_line(line: &str, lineno: usize) -> Result<MemoryAccess, ParseTraceError
             .parse::<u64>()
             .map_err(|e| ParseTraceError::new(lineno, format!("bad address: {e}")))?,
     };
-    let kind_str = parts.next().ok_or_else(|| ParseTraceError::new(lineno, "missing kind field"))?;
-    let kind_char = kind_str
-        .chars()
-        .next()
-        .ok_or_else(|| ParseTraceError::new(lineno, "empty kind field"))?;
+    let kind_str =
+        parts.next().ok_or_else(|| ParseTraceError::new(lineno, "missing kind field"))?;
+    let kind_char =
+        kind_str.chars().next().ok_or_else(|| ParseTraceError::new(lineno, "empty kind field"))?;
     let kind = AccessKind::from_code(kind_char)
         .ok_or_else(|| ParseTraceError::new(lineno, format!("unknown access kind {kind_str:?}")))?;
     if parts.next().is_some() {

@@ -113,8 +113,7 @@ impl ReuseDistanceEngine {
             None => INFINITE_DISTANCE,
             Some(prev) => {
                 // Distinct blocks marked in 0-based indices (prev, now).
-                let between =
-                    self.fenwick.prefix_count(now) - self.fenwick.prefix_count(prev + 1);
+                let between = self.fenwick.prefix_count(now) - self.fenwick.prefix_count(prev + 1);
                 self.fenwick.add(prev, -1);
                 between
             }

@@ -163,11 +163,9 @@ mod tests {
 
     #[test]
     fn store_count() {
-        let trace: Trace = vec![
-            MemoryAccess::load(0, Address::new(0)),
-            MemoryAccess::store(1, Address::new(8)),
-        ]
-        .into();
+        let trace: Trace =
+            vec![MemoryAccess::load(0, Address::new(0)), MemoryAccess::store(1, Address::new(8))]
+                .into();
         assert_eq!(trace.stats().stores, 1);
     }
 }

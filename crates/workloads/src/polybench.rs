@@ -111,7 +111,9 @@ pub fn generate(kernel: PolyKernel, target: usize) -> Trace {
     let mut b = TraceBuilder::new();
     let mut alloc = RegionAllocator::new();
     match kernel {
-        PolyKernel::Matmul { n, block } => kernels::blocked_matmul(&mut b, &mut alloc, n, block, target),
+        PolyKernel::Matmul { n, block } => {
+            kernels::blocked_matmul(&mut b, &mut alloc, n, block, target)
+        }
         PolyKernel::Jacobi { n } => kernels::jacobi_2d(&mut b, &mut alloc, n, target),
         PolyKernel::Seidel { n } => kernels::seidel_2d(&mut b, &mut alloc, n, target),
         PolyKernel::MatVec { n } => kernels::atax(&mut b, &mut alloc, n, target),

@@ -189,7 +189,12 @@ fn make_benchmark(id: SuiteId, index: usize, seed: u64) -> Benchmark {
             Benchmark::new(
                 BenchmarkId { suite: id, app: app.clone(), phase },
                 if phase == 0 { app } else { format!("{}_p{}", alg.binary_name(), phase) },
-                Recipe::Ligra { algorithm: alg, vertices, attach, seed: seed.wrapping_add(index as u64) },
+                Recipe::Ligra {
+                    algorithm: alg,
+                    vertices,
+                    attach,
+                    seed: seed.wrapping_add(index as u64),
+                },
             )
         }
         SuiteId::Polybench => {

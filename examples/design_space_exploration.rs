@@ -46,5 +46,7 @@ fn main() {
             if seen { "yes" } else { "NO" }
         );
     }
-    println!("\n'NO' rows are zero-shot predictions for configurations absent from training (RQ3).");
+    println!(
+        "\n'NO' rows are zero-shot predictions for configurations absent from training (RQ3)."
+    );
 }

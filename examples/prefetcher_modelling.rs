@@ -39,9 +39,11 @@ fn main() {
         .train
         .iter()
         .flat_map(|b| {
-            pairs_for(b)
-                .into_iter()
-                .map(|(access, prefetch)| Sample { access, miss: prefetch, params })
+            pairs_for(b).into_iter().map(|(access, prefetch)| Sample {
+                access,
+                miss: prefetch,
+                params,
+            })
         })
         .collect();
     println!("training CB-GAN on {} access/prefetch heatmap pairs...", samples.len());
@@ -65,5 +67,7 @@ fn main() {
         let n = pairs.len() as f64;
         println!("{:<28} {:>10.4} {:>8.3}", bench.display_name(), m / n, s / n);
     }
-    println!("\nlow MSE and high SSIM indicate the prefetcher's filter was learned (paper Fig. 13).");
+    println!(
+        "\nlow MSE and high SSIM indicate the prefetcher's filter was learned (paper Fig. 13)."
+    );
 }

@@ -27,7 +27,11 @@ fn main() {
     let suite = Suite::build(SuiteId::Polybench, 6, scale.seed);
     let split = suite.split_80_20(scale.seed);
     let held_out = &split.test[0];
-    println!("training on {} benchmarks, evaluating on {}", split.train.len(), held_out.display_name());
+    println!(
+        "training on {} benchmarks, evaluating on {}",
+        split.train.len(),
+        held_out.display_name()
+    );
 
     // 2. Ground truth: replay the held-out trace through the simulator.
     let true_rate = pipeline.true_hit_rate(held_out, &config);
@@ -38,7 +42,10 @@ fn main() {
     println!("training CB-GAN on {} heatmap pairs ({} epochs)...", samples.len(), scale.epochs);
     let (mut generator, history) = train_cbgan(&scale, &samples, true);
     if let Some(last) = history.last() {
-        println!("final losses: D={:.3} G_adv={:.3} G_L1={:.4}", last.d_loss, last.g_adv, last.g_l1);
+        println!(
+            "final losses: D={:.3} G_adv={:.3} G_L1={:.4}",
+            last.d_loss, last.g_adv, last.g_l1
+        );
     }
 
     // 4. Predict the held-out benchmark's hit rate from synthetic miss

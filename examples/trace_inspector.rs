@@ -45,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Hit rate across the paper's configurations.
         print!("hit rates:");
-        for config in
-            presets::rq2_train_configs().iter().chain(&[presets::l2_1024s_8w()])
-        {
+        for config in presets::rq2_train_configs().iter().chain(&[presets::l2_1024s_8w()]) {
             let mut cache = Cache::new(*config);
             let rate = cache.run(&trace).hit_rate();
             print!("  {}={:.1}%", config.name(), rate * 100.0);

@@ -44,11 +44,7 @@ fn hrd_handles_regular_polybench_kernels() {
 fn tabular_variants_all_produce_bounded_predictions() {
     for variant in [TabVariant::Base, TabVariant::ReuseDistance, TabVariant::InContext] {
         let err = mean_abs_error(&TabSynth::new(variant, 7), SuiteId::Spec, 5);
-        assert!(
-            (0.0..=1.0).contains(&err),
-            "{} produced error {err}",
-            variant.label()
-        );
+        assert!((0.0..=1.0).contains(&err), "{} produced error {err}", variant.label());
     }
 }
 
@@ -58,10 +54,7 @@ fn conditioned_tabular_is_not_worse_than_base_on_average() {
     // clearly hurt) across a small suite.
     let base = mean_abs_error(&TabSynth::new(TabVariant::Base, 3), SuiteId::Spec, 6);
     let ic = mean_abs_error(&TabSynth::new(TabVariant::InContext, 3), SuiteId::Spec, 6);
-    assert!(
-        ic <= base + 0.10,
-        "in-context ({ic:.3}) should track base ({base:.3}) or better"
-    );
+    assert!(ic <= base + 0.10, "in-context ({ic:.3}) should track base ({base:.3}) or better");
 }
 
 #[test]

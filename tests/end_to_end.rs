@@ -45,9 +45,7 @@ fn pipeline_is_deterministic_end_to_end() {
         let suite = Suite::build(SuiteId::Spec, 4, scale.seed);
         let samples = pipeline.training_samples(suite.benchmarks(), &[config]);
         let (mut generator, _) = train_cbgan(&scale, &samples, true);
-        pipeline
-            .evaluate(&mut generator, &suite.benchmarks()[0], &config, true, 4)
-            .predicted_rate
+        pipeline.evaluate(&mut generator, &suite.benchmarks()[0], &config, true, 4).predicted_rate
     };
     assert_eq!(run_once(), run_once(), "same seed must give identical predictions");
 }
@@ -89,11 +87,7 @@ fn conditioning_differentiates_configurations_after_training() {
     let norm = Normalizer::new(scale.geometry.window);
     let small = infer_batched(&mut generator, &access, Some(CacheParams::new(16, 1)), &norm, 4);
     let large = infer_batched(&mut generator, &access, Some(CacheParams::new(256, 8)), &norm, 4);
-    let diff: f64 = small
-        .iter()
-        .zip(&large)
-        .map(|(a, b)| a.mse(b))
-        .sum::<f64>();
+    let diff: f64 = small.iter().zip(&large).map(|(a, b)| a.mse(b)).sum::<f64>();
     assert!(diff > 0.0, "cache parameters must influence generated maps");
 }
 

@@ -1,0 +1,66 @@
+//! End-to-end check that the parallel dataset pipeline is a pure
+//! speedup: for any thread budget, `training_samples_with` must yield
+//! *exactly* the sample set the serial path produces — same order,
+//! bit-identical heatmaps — because training consumes samples
+//! positionally and reproducibility is seeded through the pipeline.
+
+use cachebox::{Pipeline, Scale};
+use cachebox_nn::Parallelism;
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Suite, SuiteId};
+
+fn grid() -> (Pipeline, Vec<cachebox_workloads::Benchmark>, Vec<CacheConfig>) {
+    let scale = Scale::tiny();
+    let pipeline = Pipeline::new(&scale);
+    let suite = Suite::build(SuiteId::Polybench, 4, 9);
+    let benches = suite.benchmarks().to_vec();
+    let configs = vec![CacheConfig::new(16, 2), CacheConfig::new(32, 4), CacheConfig::new(64, 8)];
+    (pipeline, benches, configs)
+}
+
+#[test]
+fn parallel_training_samples_equal_serial_for_all_budgets() {
+    let (pipeline, benches, configs) = grid();
+    let serial = pipeline.training_samples_with(Parallelism::serial(), &benches, &configs);
+    assert_eq!(serial.len(), benches.len() * configs.len());
+    for threads in [2, 3, 5, 16] {
+        let parallel =
+            pipeline.training_samples_with(Parallelism::new(threads), &benches, &configs);
+        assert_eq!(parallel, serial, "sample set diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn installed_budget_matches_explicit_budget() {
+    let (pipeline, benches, configs) = grid();
+    let serial = pipeline.training_samples_with(Parallelism::serial(), &benches, &configs);
+    Parallelism::new(4).install();
+    let via_global = pipeline.training_samples(&benches, &configs);
+    Parallelism::serial().install();
+    assert_eq!(via_global, serial);
+}
+
+#[test]
+fn parallel_evaluation_sweep_matches_serial() {
+    let (pipeline, benches, configs) = grid();
+    let scale = Scale::tiny();
+    let mut generator = cachebox_gan::UNetGenerator::new(
+        cachebox_gan::UNetConfig::for_image_size(scale.image_size(), scale.ngf)
+            .with_param_features(2),
+        scale.seed,
+    );
+    let config = configs[0];
+    let serial: Vec<_> = benches
+        .iter()
+        .map(|b| pipeline.evaluate(&mut generator, b, &config, true, scale.batch_size))
+        .collect();
+    let parallel = pipeline.evaluate_sweep(
+        Parallelism::new(4),
+        &mut generator,
+        &benches,
+        &config,
+        true,
+        scale.batch_size,
+    );
+    assert_eq!(parallel, serial);
+}

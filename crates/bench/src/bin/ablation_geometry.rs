@@ -6,6 +6,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("ablation_geometry");
     banner(
         "Ablation: heatmap modulo height at fixed access budget",
         "the paper finds modulo 512 with 100-unit windows most accurate at 512x512",

@@ -5,6 +5,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("ablation_lambda");
     banner(
         "Ablation: L1 reconstruction weight lambda",
         "the paper balances adversarial and L1 losses with lambda = 150",

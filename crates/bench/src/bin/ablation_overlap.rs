@@ -6,6 +6,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("ablation_overlap");
     banner(
         "Ablation: heatmap overlap fraction",
         "a 30% overlap between consecutive heatmaps yields the best accuracy",

@@ -6,6 +6,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("ablation_window");
     banner(
         "Ablation: accesses per heatmap column (window size)",
         "the paper finds 100-unit windows a compact, lossy sweet spot",

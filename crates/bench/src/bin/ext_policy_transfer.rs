@@ -7,6 +7,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("ext_policy_transfer");
     banner(
         "Extension: replacement-policy transfer (paper §6.3 future work)",
         "paper trains and evaluates on LRU only; this measures zero-shot policy transfer",

@@ -7,6 +7,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("ext_seed_sensitivity");
     banner(
         "Extension: seed sensitivity of the RQ1 headline metric",
         "the paper reports single-seed results; this measures run-to-run spread",

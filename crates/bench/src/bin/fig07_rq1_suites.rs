@@ -6,6 +6,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig07_rq1_suites");
     banner(
         "Figure 7 (RQ1: unseen applications across SPEC/Ligra/Polybench)",
         "average absolute hit-rate difference 3.05% on a 64set-12way L1",

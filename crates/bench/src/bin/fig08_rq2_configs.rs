@@ -6,6 +6,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig08_rq2_configs");
     banner(
         "Figure 8 (RQ2: one CB-GAN, four L1 configurations)",
         "averages 2.79/2.06/2.59/2.46% for 64s12w/128s12w/128s6w/128s3w",

@@ -7,6 +7,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig09_rq3_unseen_configs");
     banner(
         "Figure 9 (RQ3: configurations absent from training)",
         "averages 1.96/1.26/3.28% for 256s6w/256s12w/32s12w",

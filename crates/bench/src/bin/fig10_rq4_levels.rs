@@ -6,6 +6,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig10_rq4_levels");
     banner(
         "Figure 10 (RQ4: cache hierarchy levels, combined vs standalone)",
         "combined 3.23/17.63/14.06%, standalone 3.70/11.40/15.89% for L1/L2/L3",

@@ -6,6 +6,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig11_rq5_batching");
     banner(
         "Figure 11 (RQ5: parallelized inference)",
         "2.4x speedup at batch 32 vs batch 1; sequential CBox 1.61-1.81x vs MultiCacheSim",

@@ -5,6 +5,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig12_rq6_scatter");
     banner(
         "Figure 12 (RQ6: cache response characteristics)",
         "dense cluster above 90% true hit rate; positive bias in the 70-90% band",

@@ -5,6 +5,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig13_rq7_prefetch");
     banner(
         "Figure 13 (RQ7: learning prefetcher behaviour)",
         "consistently low MSE and high SSIM for next-line prefetch heatmaps",

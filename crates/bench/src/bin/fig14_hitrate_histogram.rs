@@ -5,6 +5,7 @@ use cachebox_bench::{banner, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("fig14_hitrate_histogram");
     banner(
         "Figure 14 (data ecosystem: true hit-rate distribution)",
         ">95% of SPEC above 65% L1 hit rate; 70%/55% of SPEC above the L2/L3 thresholds",

@@ -5,13 +5,14 @@
 //!
 //! ```text
 //! cargo run --release -p cachebox-bench --bin perf_parallel -- \
-//!     [--threads N[,N...]] [--out PATH]
+//!     [--threads N[,N...]] [--out PATH] [--telemetry PATH]
 //! ```
 
 use cachebox::{Pipeline, Scale};
 use cachebox_nn::gemm;
 use cachebox_nn::parallel::{gemm_with, Parallelism};
 use cachebox_sim::CacheConfig;
+use cachebox_telemetry::progress;
 use cachebox_workloads::{Suite, SuiteId};
 use serde::Serialize;
 use std::time::Instant;
@@ -55,9 +56,10 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-fn parse_args() -> (Vec<usize>, std::path::PathBuf) {
+fn parse_args() -> (Vec<usize>, std::path::PathBuf, Option<std::path::PathBuf>) {
     let mut threads = vec![2usize, 4, 8];
     let mut out = std::path::PathBuf::from("BENCH_parallel.json");
+    let mut telemetry = None;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -80,20 +82,32 @@ fn parse_args() -> (Vec<usize>, std::path::PathBuf) {
                     .collect();
             }
             "--out" => out = std::path::PathBuf::from(value("--out")),
+            "--telemetry" => telemetry = Some(std::path::PathBuf::from(value("--telemetry"))),
             other => {
                 eprintln!("error: unknown flag {other:?}");
-                eprintln!("usage: perf_parallel [--threads N[,N...]] [--out PATH]");
+                eprintln!(
+                    "usage: perf_parallel [--threads N[,N...]] [--out PATH] [--telemetry PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    (threads, out)
+    (threads, out, telemetry)
 }
 
 fn main() {
-    let (thread_counts, out) = parse_args();
+    let (thread_counts, out, telemetry) = parse_args();
+    let _telemetry = match telemetry {
+        Some(path) => {
+            let config = cachebox_telemetry::TelemetryConfig::new("perf_parallel")
+                .with_jsonl(path)
+                .with_threads(thread_counts.iter().copied().max().unwrap_or(1));
+            Some(cachebox_telemetry::init(config))
+        }
+        None => cachebox_telemetry::init_from_env("perf_parallel"),
+    };
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!("=== CacheBox parallel speedup measurement (host cpus: {host_cpus}) ===");
+    progress!("=== CacheBox parallel speedup measurement (host cpus: {host_cpus}) ===");
 
     // ---- GEMM kernel: serial baseline vs row-partitioned parallel.
     let (m, k, n) = (256usize, 256, 256);
@@ -101,7 +115,7 @@ fn main() {
     let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 % 11) as f32 - 5.0) / 5.0).collect();
     let mut reference = vec![0.0f32; m * n];
     let gemm_serial_seconds = best_of(5, || gemm::gemm(&a, &b, m, k, n, &mut reference));
-    println!("gemm {m}x{k}x{n} serial: {gemm_serial_seconds:.4}s");
+    progress!("gemm {m}x{k}x{n} serial: {gemm_serial_seconds:.4}s");
 
     let mut gemm_records = Vec::new();
     for &threads in &thread_counts {
@@ -112,7 +126,7 @@ fn main() {
             reference.iter().zip(&out_par).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max);
         assert!(max_abs_diff <= 1e-5, "parallel GEMM diverged: {max_abs_diff}");
         let speedup = gemm_serial_seconds / seconds;
-        println!(
+        progress!(
             "gemm {threads} threads: {seconds:.4}s ({speedup:.2}x, max diff {max_abs_diff:e})"
         );
         gemm_records.push(KernelRecord { threads, seconds, speedup, max_abs_diff });
@@ -129,7 +143,7 @@ fn main() {
     let pipeline_serial_seconds = best_of(3, || {
         pipeline.training_samples_with(Parallelism::serial(), &benches, &configs);
     });
-    println!("pipeline {}x{} serial: {pipeline_serial_seconds:.4}s", benches.len(), configs.len());
+    progress!("pipeline {}x{} serial: {pipeline_serial_seconds:.4}s", benches.len(), configs.len());
 
     let mut pipeline_records = Vec::new();
     for &threads in &thread_counts {
@@ -141,7 +155,7 @@ fn main() {
             pipeline.training_samples_with(par, &benches, &configs);
         });
         let speedup = pipeline_serial_seconds / seconds;
-        println!("pipeline {threads} threads: {seconds:.4}s ({speedup:.2}x)");
+        progress!("pipeline {threads} threads: {seconds:.4}s ({speedup:.2}x)");
         pipeline_records.push(PipelineRecord { threads, seconds, speedup, samples_identical });
     }
 
@@ -157,7 +171,7 @@ fn main() {
         note: "best-of-N wall-clock; speedups are machine-dependent (see host_cpus)".to_string(),
     };
     match cachebox::report::save_json(&out, &report) {
-        Ok(()) => println!("wrote {}", out.display()),
+        Ok(()) => progress!("wrote {}", out.display()),
         Err(e) => {
             eprintln!("failed to write {}: {e}", out.display());
             std::process::exit(1);

@@ -21,6 +21,7 @@ fn print_row(r: &table1::Table1Row) {
 
 fn main() {
     let args = HarnessArgs::parse("small");
+    let _telemetry = args.init_telemetry("table1_baselines");
     banner(
         "Table 1 (CBox vs REaLTabFormer variants, HRD, STM)",
         "CBox lowest average abs % diff: best 0.39, worst 6.15, average 3.68",

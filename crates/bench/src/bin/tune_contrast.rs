@@ -8,6 +8,7 @@ use cachebox_sim::CacheConfig;
 use cachebox_workloads::Dataset;
 
 fn main() {
+    let _telemetry = cachebox_telemetry::init_from_env("tune_contrast");
     let args: Vec<String> = std::env::args().skip(1).collect();
     // args: epochs ngf [lambda-unused]
     let epochs: usize = args.first().map(|a| a.parse().unwrap()).unwrap_or(30);

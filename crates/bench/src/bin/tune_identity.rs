@@ -13,6 +13,7 @@ use cachebox_sim::CacheConfig;
 use cachebox_workloads::{Suite, SuiteId};
 
 fn main() {
+    let _telemetry = cachebox_telemetry::init_from_env("tune_identity");
     let config = CacheConfig::new(64, 12);
     let suite = Suite::build(SuiteId::Spec, 2, 42);
     for size in [32usize] {

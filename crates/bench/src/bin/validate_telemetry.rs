@@ -1,0 +1,44 @@
+//! Validates a telemetry JSONL stream against its run manifest; the CI
+//! smoke job runs this over the streams the figure binaries emit.
+//!
+//! ```text
+//! cargo run --release -p cachebox-bench --bin validate_telemetry -- \
+//!     <run.jsonl> [<run.manifest.json>]
+//! ```
+//!
+//! The manifest path defaults to the stream's sibling
+//! `<stem>.manifest.json`. Exits 0 and prints a one-line tally on
+//! success; exits 1 with the first violation otherwise.
+
+use cachebox_telemetry::manifest::RunManifest;
+use cachebox_telemetry::validate::validate_files;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(jsonl) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: validate_telemetry <run.jsonl> [<run.manifest.json>]");
+        std::process::exit(2);
+    };
+    let manifest =
+        args.next().map_or_else(|| RunManifest::manifest_path_for(&jsonl), PathBuf::from);
+    match validate_files(&jsonl, &manifest) {
+        Ok(report) => {
+            println!(
+                "ok: {} records ({} spans, {} counters, {} gauges, {} histograms, \
+                 {} events, {} progress)",
+                report.records,
+                report.spans,
+                report.counters,
+                report.gauges,
+                report.histograms,
+                report.events,
+                report.progress,
+            );
+        }
+        Err(e) => {
+            eprintln!("telemetry validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //! --threads N                     worker threads (default: CACHEBOX_THREADS
 //!                                 or the machine's available parallelism)
 //! --out PATH                      also write the result as JSON
+//! --telemetry PATH                stream a telemetry JSONL + run manifest
+//!                                 (default: CACHEBOX_TELEMETRY if set)
 //! ```
 //!
 //! | Binary | Artifact |
@@ -38,6 +40,8 @@ pub struct HarnessArgs {
     pub parallelism: Parallelism,
     /// Optional JSON output path.
     pub out: Option<PathBuf>,
+    /// Optional telemetry JSONL sink (`--telemetry`).
+    pub telemetry: Option<PathBuf>,
 }
 
 impl HarnessArgs {
@@ -51,7 +55,7 @@ impl HarnessArgs {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--scale tiny|small|experiment] [--seed N] [--epochs N] \
-                 [--threads N] [--out PATH]"
+                 [--threads N] [--out PATH] [--telemetry PATH]"
             );
             std::process::exit(2);
         });
@@ -73,6 +77,7 @@ impl HarnessArgs {
         let mut epochs: Option<usize> = None;
         let mut threads: Option<usize> = None;
         let mut out = None;
+        let mut telemetry = None;
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut value =
@@ -95,6 +100,7 @@ impl HarnessArgs {
                     threads = Some(n);
                 }
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
+                "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry")?)),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -114,15 +120,36 @@ impl HarnessArgs {
             Some(n) => Parallelism::new(n),
             None => Parallelism::from_env(),
         };
-        Ok(HarnessArgs { scale, parallelism, out })
+        Ok(HarnessArgs { scale, parallelism, out, telemetry })
+    }
+
+    /// Starts a telemetry run named `run` when `--telemetry` (or, absent
+    /// the flag, the `CACHEBOX_TELEMETRY` variable) requests one. The
+    /// manifest records the scale, seed, and thread budget. Hold the
+    /// returned guard for the lifetime of the instrumented work; it
+    /// flushes the run (and renders the summary table) on drop.
+    pub fn init_telemetry(&self, run: &str) -> Option<cachebox_telemetry::TelemetryGuard> {
+        let path = self.telemetry.clone().or_else(|| {
+            std::env::var_os(cachebox_telemetry::TELEMETRY_ENV_VAR)
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })?;
+        let config = cachebox_telemetry::TelemetryConfig::new(run)
+            .with_jsonl(path)
+            .with_threads(self.parallelism.threads())
+            .with_seed(self.scale.seed)
+            .with_kv("image_size", self.scale.image_size() as u64)
+            .with_kv("epochs", self.scale.epochs as u64)
+            .with_kv("trace_accesses", self.scale.trace_accesses as u64);
+        Some(cachebox_telemetry::init(config))
     }
 
     /// Writes `value` as JSON to `--out` if given, logging the path.
     pub fn maybe_save<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.out {
             match cachebox::report::save_json(path, value) {
-                Ok(()) => eprintln!("wrote {}", path.display()),
-                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+                Ok(()) => cachebox_telemetry::progress!("wrote {}", path.display()),
+                Err(e) => cachebox_telemetry::progress!("failed to write {}: {e}", path.display()),
             }
         }
     }
@@ -143,11 +170,13 @@ pub fn rq2_cache_path(scale: &Scale) -> PathBuf {
     ))
 }
 
-/// Prints a banner naming the artifact being regenerated.
+/// Announces the artifact being regenerated. The banner goes to stderr
+/// (and the telemetry stream, when active) so stdout carries only the
+/// machine-parseable result tables.
 pub fn banner(artifact: &str, claim: &str, scale: &Scale) {
-    println!("=== CacheBox reproduction: {artifact} ===");
-    println!("paper claim: {claim}");
-    println!(
+    cachebox_telemetry::progress!("=== CacheBox reproduction: {artifact} ===");
+    cachebox_telemetry::progress!("paper claim: {claim}");
+    cachebox_telemetry::progress!(
         "scale: {}x{} heatmaps, window {}, {} accesses/trace, ngf {}, {} epochs, seed {}",
         scale.geometry.height,
         scale.geometry.width,
@@ -157,7 +186,6 @@ pub fn banner(artifact: &str, claim: &str, scale: &Scale) {
         scale.epochs,
         scale.seed,
     );
-    println!();
 }
 
 #[cfg(test)]
@@ -173,6 +201,14 @@ mod tests {
         let args = parse(&[]).unwrap();
         assert_eq!(args.scale, Scale::small());
         assert_eq!(args.out, None);
+        assert_eq!(args.telemetry, None);
+    }
+
+    #[test]
+    fn parses_telemetry_flag() {
+        let args = parse(&["--telemetry", "/tmp/run.jsonl"]).unwrap();
+        assert_eq!(args.telemetry, Some(PathBuf::from("/tmp/run.jsonl")));
+        assert!(parse(&["--telemetry"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! End-to-end telemetry pipeline test across crates: a harness-parsed
+//! `--telemetry` flag starts a run, an instrumented simulation records
+//! spans and counters, and the emitted JSONL stream validates against
+//! its manifest.
+//!
+//! The collector is process-global, so this binary holds exactly one
+//! test (see `crates/telemetry/tests` for the same pattern).
+
+use cachebox_bench::HarnessArgs;
+use cachebox_sim::{Cache, CacheConfig};
+use cachebox_telemetry::manifest::RunManifest;
+use cachebox_telemetry::validate::validate_files;
+use cachebox_telemetry::Value;
+use cachebox_workloads::{Suite, SuiteId};
+
+#[test]
+fn harness_flag_drives_a_validatable_run() {
+    let dir = std::env::temp_dir().join("cachebox-bench-telemetry-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("run.jsonl");
+
+    let flags = [
+        "--scale",
+        "tiny",
+        "--telemetry",
+        jsonl.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--seed",
+        "9",
+    ];
+    let args = HarnessArgs::parse_from(flags.iter().map(|s| s.to_string()), "small").unwrap();
+    let guard = args.init_telemetry("telemetry_pipeline_test").expect("flag given, run starts");
+    assert!(cachebox_telemetry::enabled());
+
+    // Instrumented work: simulate one tiny benchmark trace.
+    let config = CacheConfig::new(16, 2);
+    let suite = Suite::build(SuiteId::Polybench, 1, 9);
+    let trace = suite.benchmarks()[0].generate(2_000);
+    let mut cache = Cache::new(config);
+    let result = cache.run(&trace);
+    assert_eq!(result.hit_flags.len(), trace.len());
+
+    let summary = guard.finish();
+    assert!(!cachebox_telemetry::enabled());
+
+    // The sim recorded its counters under the config's label.
+    let label = config.name();
+    let accesses = summary.counters.get(&format!("sim.{label}.accesses"));
+    assert_eq!(accesses, Some(&(trace.len() as u64)));
+    assert!(summary.spans.iter().any(|s| s.path.ends_with("sim.run")));
+
+    // Stream + manifest round-trip through the validator.
+    let manifest_path = RunManifest::manifest_path_for(&jsonl);
+    let report = validate_files(&jsonl, &manifest_path).unwrap();
+    assert!(report.spans >= 1);
+    assert!(report.counters >= 5, "expected the five sim counters, got {}", report.counters);
+
+    // The manifest captured the harness configuration.
+    let manifest = RunManifest::load(&manifest_path).unwrap();
+    assert_eq!(manifest.run, "telemetry_pipeline_test");
+    assert_eq!(manifest.threads, 2);
+    assert_eq!(manifest.seed, Some(9));
+    assert_eq!(manifest.config.get("epochs"), Some(&Value::U64(2)));
+}

@@ -57,6 +57,7 @@ impl Pipeline {
     /// Generates the benchmark's access trace once, so callers sweeping
     /// several configurations can share it instead of regenerating.
     pub fn trace(&self, bench: &Benchmark) -> Trace {
+        let _span = cachebox_telemetry::span("pipeline.trace");
         bench.generate(self.trace_accesses)
     }
 
@@ -68,6 +69,7 @@ impl Pipeline {
 
     /// [`Pipeline::heatmap_pairs`] against an already generated trace.
     pub fn pairs_from_trace(&self, trace: &Trace, config: &CacheConfig) -> Vec<HeatmapPair> {
+        let _span = cachebox_telemetry::span("pipeline.heatmaps");
         let mut cache = Cache::new(*config);
         let result = cache.run(trace);
         HeatmapBuilder::new(self.geometry).build_pairs(trace, &result.hit_flags)
@@ -112,6 +114,7 @@ impl Pipeline {
         benchmarks: &[Benchmark],
         configs: &[CacheConfig],
     ) -> Vec<Sample> {
+        let _span = cachebox_telemetry::span("pipeline.training_samples");
         let traces = par_map(par, benchmarks, |b| self.trace(b));
         let jobs: Vec<(usize, CacheConfig)> =
             (0..benchmarks.len()).flat_map(|bi| configs.iter().map(move |c| (bi, *c))).collect();
@@ -267,6 +270,7 @@ impl Pipeline {
         conditioned: bool,
         batch_size: usize,
     ) -> BenchmarkAccuracy {
+        let _span = cachebox_telemetry::span("pipeline.evaluate");
         let access: Vec<Heatmap> = pairs.iter().map(|p| p.access.clone()).collect();
         let real_miss: Vec<Heatmap> = pairs.iter().map(|p| p.miss.clone()).collect();
         let norm = self.eval_normalizer();

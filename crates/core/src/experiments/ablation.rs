@@ -72,6 +72,7 @@ fn train_and_eval(scale: &Scale, lambda: f32) -> AccuracySummary {
 /// Sweeps the inter-heatmap overlap fraction (§3.1.1; the paper lands on
 /// 30 %).
 pub fn overlap_sweep(scale: &Scale, overlaps: &[f64]) -> AblationResult {
+    let _stage = cachebox_telemetry::stage("ablation.overlap");
     let points = overlaps
         .iter()
         .map(|&overlap| {
@@ -88,6 +89,7 @@ pub fn overlap_sweep(scale: &Scale, overlaps: &[f64]) -> AblationResult {
 
 /// Sweeps the reconstruction weight λ (§4.3; the paper uses 150).
 pub fn lambda_sweep(scale: &Scale, lambdas: &[f32]) -> AblationResult {
+    let _stage = cachebox_telemetry::stage("ablation.lambda");
     let points = lambdas
         .iter()
         .map(|&lambda| AblationPoint {
@@ -101,6 +103,7 @@ pub fn lambda_sweep(scale: &Scale, lambdas: &[f32]) -> AblationResult {
 /// Sweeps the per-column window size at fixed image size (§4.2; the
 /// paper finds 100-unit windows "compact but lossy" at 512×512).
 pub fn window_sweep(scale: &Scale, windows: &[u64]) -> AblationResult {
+    let _stage = cachebox_telemetry::stage("ablation.window");
     let points = windows
         .iter()
         .map(|&window| {
@@ -119,6 +122,7 @@ pub fn window_sweep(scale: &Scale, windows: &[u64]) -> AblationResult {
 /// Sweeps the heatmap modulo height at a fixed pixel budget (§4.2; the
 /// paper finds modulo 512 best at full scale).
 pub fn geometry_sweep(scale: &Scale, heights: &[usize]) -> AblationResult {
+    let _stage = cachebox_telemetry::stage("ablation.geometry");
     let points = heights
         .iter()
         .map(|&height| {

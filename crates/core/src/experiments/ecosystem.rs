@@ -29,6 +29,7 @@ pub struct EcosystemResult {
 
 /// Runs the analysis at the given scale.
 pub fn run(scale: &Scale) -> EcosystemResult {
+    let _stage = cachebox_telemetry::stage("ecosystem.run");
     let pipeline = Pipeline::new(scale);
     let l1 = CacheConfig::new(64, 12);
     let hierarchy = scale.hierarchy();

@@ -80,6 +80,7 @@ fn evaluate_against_policy(
 
 /// Runs the policy-transfer experiment at the given scale.
 pub fn policy_transfer(scale: &Scale) -> PolicyTransferResult {
+    let _stage = cachebox_telemetry::stage("extension.policy_transfer");
     let pipeline = Pipeline::new(scale);
     let lru_config = CacheConfig::new(64, 12);
     let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);

@@ -26,6 +26,7 @@ pub struct Rq1Result {
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: &Scale) -> Rq1Result {
+    let _stage = cachebox_telemetry::stage("rq1.run");
     let pipeline = Pipeline::new(scale);
     let config = CacheConfig::new(64, 12);
     let dataset = Dataset::build(

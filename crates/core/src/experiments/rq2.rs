@@ -51,6 +51,7 @@ pub struct Rq2Result {
 
 /// Trains the four-configuration model.
 pub fn train(scale: &Scale) -> Rq2Artifacts {
+    let _stage = cachebox_telemetry::stage("rq2.train");
     let pipeline = Pipeline::new(scale);
     let configs = presets::rq2_train_configs();
     let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
@@ -80,7 +81,10 @@ pub fn train_or_load(scale: &Scale, cache_path: &std::path::Path) -> Rq2Artifact
         {
             if cached.scale == *scale {
                 if let Ok(generator) = cached.checkpoint.restore() {
-                    eprintln!("loaded cached RQ2 model from {}", cache_path.display());
+                    cachebox_telemetry::progress!(
+                        "loaded cached RQ2 model from {}",
+                        cache_path.display()
+                    );
                     // Rebuild the deterministic evaluation context.
                     let pipeline = Pipeline::new(scale);
                     let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);
@@ -112,10 +116,10 @@ pub fn train_or_load(scale: &Scale, cache_path: &std::path::Path) -> Rq2Artifact
     match std::fs::File::create(cache_path) {
         Ok(file) => {
             if serde_json::to_writer(std::io::BufWriter::new(file), &cached).is_ok() {
-                eprintln!("cached RQ2 model at {}", cache_path.display());
+                cachebox_telemetry::progress!("cached RQ2 model at {}", cache_path.display());
             }
         }
-        Err(e) => eprintln!("could not cache RQ2 model: {e}"),
+        Err(e) => cachebox_telemetry::progress!("could not cache RQ2 model: {e}"),
     }
     artifacts
 }
@@ -123,6 +127,7 @@ pub fn train_or_load(scale: &Scale, cache_path: &std::path::Path) -> Rq2Artifact
 /// Evaluates a trained model over a set of configurations (used by both
 /// RQ2 on the training configs and RQ3 on unseen ones).
 pub fn evaluate_configs(artifacts: &mut Rq2Artifacts, configs: &[CacheConfig]) -> Rq2Result {
+    let _stage = cachebox_telemetry::stage("rq2.evaluate");
     let pipeline = Pipeline::new(&artifacts.scale);
     let par = Parallelism::current();
     // One trace per test benchmark, shared by every configuration's

@@ -11,6 +11,7 @@ use cachebox_sim::config::presets;
 
 /// Evaluates RQ2 artifacts on the unseen configurations.
 pub fn evaluate(artifacts: &mut Rq2Artifacts) -> Rq2Result {
+    let _stage = cachebox_telemetry::stage("rq3.evaluate");
     evaluate_configs(artifacts, &presets::rq3_unseen_configs())
 }
 

@@ -139,6 +139,7 @@ fn evaluate_level(
 
 /// Runs the experiment at the given scale.
 pub fn run(scale: &Scale) -> Rq4Result {
+    let _stage = cachebox_telemetry::stage("rq4.run");
     let pipeline = Pipeline::new(scale);
     let hierarchy = scale.hierarchy();
     let suite = Suite::build(SuiteId::Spec, scale.spec_benchmarks, scale.seed);

@@ -45,6 +45,7 @@ pub const BATCH_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 /// Runs the sweep using a trained RQ2 model.
 pub fn run_with(artifacts: &mut Rq2Artifacts) -> Rq5Result {
+    let _stage = cachebox_telemetry::stage("rq5.sweep");
     let scale = artifacts.scale;
     let pipeline = Pipeline::new(&scale);
     let config = CacheConfig::new(64, 12);

@@ -44,6 +44,7 @@ fn mean_bias<'a>(points: impl Iterator<Item = &'a ScatterPoint>) -> f64 {
 
 /// Builds the scatter from a trained RQ2 model.
 pub fn run_with(artifacts: &mut Rq2Artifacts) -> Rq6Result {
+    let _stage = cachebox_telemetry::stage("rq6.scatter");
     let configs = artifacts.train_configs.clone();
     let result = evaluate_configs(artifacts, &configs);
     let points: Vec<ScatterPoint> = result

@@ -43,6 +43,7 @@ pub struct Rq7Result {
 /// Runs the experiment at the given scale (SPEC-2017-like subset, as the
 /// paper restricts RQ7 to SPEC 2017 for compute reasons).
 pub fn run(scale: &Scale) -> Rq7Result {
+    let _stage = cachebox_telemetry::stage("rq7.run");
     let pipeline = Pipeline::new(scale);
     let config = CacheConfig::new(64, 12);
     let params = CacheParams::new(64, 12);

@@ -66,6 +66,7 @@ fn phase_benchmarks(seed: u64) -> Vec<Benchmark> {
 
 /// Runs the comparison at the given scale.
 pub fn run(scale: &Scale) -> Table1Result {
+    let _stage = cachebox_telemetry::stage("table1.run");
     let pipeline = Pipeline::new(scale);
     let config = CacheConfig::new(64, 12);
     // CBox training set: SPEC-like benchmarks *excluding* the five

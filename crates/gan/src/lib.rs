@@ -40,5 +40,5 @@ pub mod unet;
 
 pub use condition::{CacheParams, ExtendedCacheParams};
 pub use patchgan::{PatchGan, PatchGanConfig};
-pub use trainer::{GanTrainer, TrainConfig, TrainSample, TrainStats};
+pub use trainer::{GanTrainer, TrainConfig, TrainError, TrainSample, TrainStats};
 pub use unet::{UNetConfig, UNetGenerator};

@@ -96,6 +96,13 @@ impl PatchGan {
     pub fn config(&self) -> &PatchGanConfig {
         &self.config
     }
+
+    /// Visits the discriminator's single block under the name `net`, in
+    /// parameter-visit order, for per-layer diagnostics such as the
+    /// trainer's gradient-norm scan.
+    pub fn visit_blocks(&mut self, visitor: &mut dyn FnMut(&str, &mut Sequential)) {
+        visitor("net", &mut self.net);
+    }
 }
 
 impl Layer for PatchGan {

@@ -3,12 +3,16 @@
 use crate::data::{collate, Normalizer, Sample};
 use crate::patchgan::PatchGan;
 use crate::unet::{UNetAsLayer, UNetGenerator};
+use cachebox_nn::graph::Sequential;
 use cachebox_nn::layers::Layer;
 use cachebox_nn::optim::Adam;
 use cachebox_nn::{loss, Parallelism, Tensor};
+use cachebox_telemetry as telemetry;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
 
 /// Training hyper-parameters.
 ///
@@ -72,6 +76,66 @@ pub struct TrainStats {
     pub g_l1: f32,
 }
 
+/// A fatal training fault: some parameter gradient became NaN or ±Inf,
+/// so the next optimizer step would poison the weights irrecoverably.
+///
+/// `layer` names the first offending layer in visit order, e.g.
+/// `generator/down0/conv2d0` or `discriminator/net/batch_norm2d3`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainError {
+    /// Epoch in which the fault occurred (0 for bare [`GanTrainer::train_step`]).
+    pub epoch: usize,
+    /// Batch index within the epoch.
+    pub batch: usize,
+    /// Path of the first layer whose gradients are non-finite.
+    pub layer: String,
+    /// The layer's gradient L2 norm (NaN or ±Inf by construction).
+    pub norm: f32,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "non-finite gradient (norm {}) in layer `{}` at epoch {}, batch {}",
+            self.norm, self.layer, self.epoch, self.batch
+        )
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A model's `visit_blocks` lifted to a closure: calls the inner visitor
+/// once per named block.
+type BlockVisit<'a> = &'a mut dyn FnMut(&mut dyn FnMut(&str, &mut Sequential));
+
+/// Scans every parameter gradient reachable through `visit`, returning
+/// the model-wide gradient L2 norm and, if any gradient is NaN/±Inf, the
+/// path (`block/kind{index}`) and norm of the first offending layer.
+fn grad_norm_scan(visit: BlockVisit<'_>) -> (f32, Option<(String, f32)>) {
+    let mut total_sq = 0.0f64;
+    let mut bad: Option<(String, f32)> = None;
+    visit(&mut |block, seq| {
+        seq.visit_layers(&mut |i, layer| {
+            let mut sq = 0.0f64;
+            let mut finite = true;
+            layer.visit_params(&mut |p| {
+                for &g in &p.grad {
+                    if !g.is_finite() {
+                        finite = false;
+                    }
+                    sq += (g as f64) * (g as f64);
+                }
+            });
+            total_sq += sq;
+            if !finite && bad.is_none() {
+                bad = Some((format!("{block}/{}{i}", layer.kind()), sq.sqrt() as f32));
+            }
+        });
+    });
+    (total_sq.sqrt() as f32, bad)
+}
+
 /// One (input, target, params) batch already in tensor form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainSample {
@@ -100,7 +164,7 @@ pub struct TrainSample {
 ///     target: Tensor::full([2, 1, 8, 8], -1.0),
 ///     params: None,
 /// };
-/// let stats = trainer.train_step(&batch);
+/// let stats = trainer.train_step(&batch).expect("gradients stay finite");
 /// assert!(stats.d_loss.is_finite() && stats.g_l1.is_finite());
 /// ```
 #[derive(Debug)]
@@ -152,14 +216,41 @@ impl GanTrainer {
 
     /// Performs one alternating optimization step on a batch and returns
     /// the step's losses.
-    pub fn train_step(&mut self, batch: &TrainSample) -> TrainStats {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] (reporting epoch 0, batch 0) if any
+    /// parameter gradient turns NaN/±Inf; neither network is stepped
+    /// with poisoned gradients.
+    pub fn train_step(&mut self, batch: &TrainSample) -> Result<TrainStats, TrainError> {
+        self.train_step_at(batch, 0, 0)
+    }
+
+    /// [`GanTrainer::train_step`] with the epoch and batch index recorded
+    /// in any [`TrainError`] (as [`GanTrainer::fit`] does internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TrainError`] naming the first layer whose gradients
+    /// are non-finite; the affected optimizer step is skipped.
+    pub fn train_step_at(
+        &mut self,
+        batch: &TrainSample,
+        epoch: usize,
+        batch_idx: usize,
+    ) -> Result<TrainStats, TrainError> {
+        let _step = telemetry::span("gan.train_step");
         let TrainSample { input, target, params } = batch;
         // ---- Generator forward (kept cached for the G update below).
-        let fake = self.generator.forward(input, params.as_ref(), true);
+        let fake = {
+            let _s = telemetry::span("gan.g_forward");
+            self.generator.forward(input, params.as_ref(), true)
+        };
 
         // ---- Discriminator update.
         self.discriminator.zero_grad();
         let real_pair = input.concat_channels(target);
+        let _d = telemetry::span("gan.d_update");
         let d_real = self.discriminator.forward(&real_pair, true);
         let (l_real, g_real) = loss::bce_with_logits(&d_real, &Tensor::full(d_real.shape(), 1.0));
         self.discriminator.backward(&g_real.scale(0.5));
@@ -181,18 +272,42 @@ impl GanTrainer {
         self.discriminator
             .visit_params(&mut |p| p.grad = saved.next().expect("snapshot covers every param"));
         self.discriminator.backward(&g_fake.scale(0.5));
+        let d = &mut self.discriminator;
+        let (d_norm, d_bad) = grad_norm_scan(&mut |v| d.visit_blocks(v));
+        if let Some((layer, norm)) = d_bad {
+            return Err(TrainError {
+                epoch,
+                batch: batch_idx,
+                layer: format!("discriminator/{layer}"),
+                norm,
+            });
+        }
+        telemetry::gauge("gan.grad_norm.d", d_norm as f64);
         self.opt_d.step_layer(&mut self.discriminator);
+        drop(_d);
 
         // ---- Generator update: adversarial plus λ-weighted L1
         // reconstruction.
+        let _g = telemetry::span("gan.g_update");
         let (_g_input_part, g_fake_part) = g_pair.split_channels(input.c());
         let (l_l1, g_l1) = loss::l1(&fake, target);
         let total = g_fake_part.add(&g_l1.scale(self.config.lambda));
         self.generator.zero_grad();
         self.generator.backward(&total);
+        let g = &mut self.generator;
+        let (g_norm, g_bad) = grad_norm_scan(&mut |v| g.visit_blocks(v));
+        if let Some((layer, norm)) = g_bad {
+            return Err(TrainError {
+                epoch,
+                batch: batch_idx,
+                layer: format!("generator/{layer}"),
+                norm,
+            });
+        }
+        telemetry::gauge("gan.grad_norm.g", g_norm as f64);
         self.opt_g.step_layer(&mut UNetAsLayer(&mut self.generator));
 
-        TrainStats { d_loss: 0.5 * (l_real + l_fake), g_adv: l_gan, g_l1: l_l1 }
+        Ok(TrainStats { d_loss: 0.5 * (l_real + l_fake), g_adv: l_gan, g_l1: l_l1 })
     }
 
     /// Trains over a dataset of heatmap samples for `config.epochs`
@@ -200,7 +315,8 @@ impl GanTrainer {
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty.
+    /// Panics if `samples` is empty, or (fail-fast) on a non-finite
+    /// gradient — see [`GanTrainer::fit_with_progress`].
     pub fn fit(&mut self, samples: &[Sample], norm: &Normalizer) -> Vec<TrainStats> {
         self.fit_with_progress(samples, norm, |_, _| {})
     }
@@ -210,7 +326,9 @@ impl GanTrainer {
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty.
+    /// Panics if `samples` is empty, or (fail-fast) if any gradient
+    /// turns NaN/±Inf — the panic message carries the [`TrainError`]
+    /// with the offending layer, epoch, and batch.
     pub fn fit_with_progress(
         &mut self,
         samples: &[Sample],
@@ -224,6 +342,7 @@ impl GanTrainer {
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
+            let epoch_start = Instant::now();
             let lr = self.config.lr_at_epoch(epoch);
             self.opt_g.set_lr(lr);
             self.opt_d.set_lr(lr);
@@ -234,7 +353,9 @@ impl GanTrainer {
                 let refs: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
                 let (input, target, params) = collate(&refs, norm);
                 let batch = TrainSample { input, target, params: conditioned.then_some(params) };
-                let stats = self.train_step(&batch);
+                let stats = self
+                    .train_step_at(&batch, epoch, batches)
+                    .unwrap_or_else(|e| panic!("GAN training diverged: {e}"));
                 sum.d_loss += stats.d_loss;
                 sum.g_adv += stats.g_adv;
                 sum.g_l1 += stats.g_l1;
@@ -245,6 +366,21 @@ impl GanTrainer {
                 g_adv: sum.g_adv / batches as f32,
                 g_l1: sum.g_l1 / batches as f32,
             };
+            if telemetry::enabled() {
+                let secs = epoch_start.elapsed().as_secs_f64().max(1e-9);
+                telemetry::event(
+                    "gan.epoch",
+                    &[
+                        ("epoch", (epoch as u64).into()),
+                        ("d_loss", f64::from(avg.d_loss).into()),
+                        ("g_adv", f64::from(avg.g_adv).into()),
+                        ("g_l1", f64::from(avg.g_l1).into()),
+                        ("lr", f64::from(lr).into()),
+                        ("batches", (batches as u64).into()),
+                        ("samples_per_sec", (samples.len() as f64 / secs).into()),
+                    ],
+                );
+            }
             progress(epoch, avg);
             history.push(avg);
         }
@@ -349,7 +485,7 @@ mod tests {
         d_ref.forward(&input.concat_channels(&target), true);
         d_ref.forward(&input.concat_channels(&fake), true);
 
-        trainer.train_step(&TrainSample { input, target, params: None });
+        trainer.train_step(&TrainSample { input, target, params: None }).unwrap();
 
         let mut expected: Vec<Vec<f32>> = Vec::new();
         d_ref.visit_buffers(&mut |b| expected.push(b.clone()));
@@ -365,6 +501,45 @@ mod tests {
                 assert!((x - y).abs() < 1e-6, "running stats diverge: {x} vs {y}");
             }
         }
+    }
+
+    /// Sets the first weight of the first visited parameter to NaN.
+    fn poison_generator(trainer: &mut GanTrainer) {
+        let mut first = true;
+        trainer.generator_mut().visit_params(&mut |p| {
+            if first {
+                p.value[0] = f32::NAN;
+                first = false;
+            }
+        });
+    }
+
+    #[test]
+    fn nan_gradient_is_caught_before_the_optimizer_step() {
+        let mut trainer = tiny_trainer(1, false, 11);
+        // A poisoned generator weight turns the fake image NaN, so the
+        // discriminator's fake-side backward is the first to produce
+        // non-finite gradients.
+        poison_generator(&mut trainer);
+        let samples = toy_samples(2);
+        let norm = Normalizer::new(4);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (input, target, _params) = collate(&refs, &norm);
+        let err =
+            trainer.train_step_at(&TrainSample { input, target, params: None }, 3, 7).unwrap_err();
+        assert_eq!(err.layer, "discriminator/net/conv2d0");
+        assert!(!err.norm.is_finite(), "offending norm must be non-finite: {}", err.norm);
+        assert_eq!((err.epoch, err.batch), (3, 7));
+        let msg = err.to_string();
+        assert!(msg.contains("discriminator/net/conv2d0") && msg.contains("epoch 3"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn fit_fails_fast_on_poisoned_weights() {
+        let mut trainer = tiny_trainer(1, false, 13);
+        poison_generator(&mut trainer);
+        trainer.fit(&toy_samples(2), &Normalizer::new(4));
     }
 
     #[test]

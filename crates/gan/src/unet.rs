@@ -277,6 +277,21 @@ impl UNetGenerator {
         }
     }
 
+    /// Visits every block with a stable name (`down0`…, `up0`…,
+    /// `param_head`), in parameter-visit order, for per-layer diagnostics
+    /// such as the trainer's gradient-norm scan.
+    pub fn visit_blocks(&mut self, visitor: &mut dyn FnMut(&str, &mut Sequential)) {
+        for (i, block) in self.downs.iter_mut().enumerate() {
+            visitor(&format!("down{i}"), block);
+        }
+        for (i, block) in self.ups.iter_mut().enumerate() {
+            visitor(&format!("up{i}"), block);
+        }
+        if let Some(head) = &mut self.param_head {
+            visitor("param_head", head);
+        }
+    }
+
     /// Visits every non-learnable state buffer (batch-norm running
     /// statistics) for checkpointing.
     pub fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {

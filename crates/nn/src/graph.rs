@@ -48,6 +48,14 @@ impl Sequential {
         self.layers.len()
     }
 
+    /// Visits each layer in order with its index, for per-layer
+    /// inspection (gradient-norm scans, telemetry labels, diagnostics).
+    pub fn visit_layers(&mut self, visitor: &mut dyn FnMut(usize, &mut dyn Layer)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            visitor(i, layer.as_mut());
+        }
+    }
+
     /// Returns `true` when the stack holds no layers.
     pub fn is_empty(&self) -> bool {
         self.layers.is_empty()
@@ -55,6 +63,10 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
+    fn kind(&self) -> &'static str {
+        "sequential"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
@@ -101,6 +113,18 @@ mod tests {
         let out = s.forward(&Tensor::zeros([2, 1, 16, 16]), false);
         assert_eq!(out.shape(), [2, 8, 4, 4]);
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn visit_layers_reports_kinds_in_order() {
+        let mut s = Sequential::new()
+            .push(Conv2d::new(1, 2, 3, 1, 1, 0))
+            .push(BatchNorm2d::new(2))
+            .push(LeakyRelu::new(0.2));
+        let mut kinds = Vec::new();
+        s.visit_layers(&mut |i, layer| kinds.push((i, layer.kind())));
+        assert_eq!(kinds, vec![(0, "conv2d"), (1, "batch_norm2d"), (2, "leaky_relu")]);
+        assert_eq!(s.kind(), "sequential");
     }
 
     #[test]

@@ -17,6 +17,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out =
             Tensor::from_vec(input.shape(), input.data().iter().map(|&v| v.max(0.0)).collect());
@@ -56,6 +60,10 @@ impl Default for LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
+    fn kind(&self) -> &'static str {
+        "leaky_relu"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let slope = self.slope;
         let out = Tensor::from_vec(
@@ -96,6 +104,10 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
+    fn kind(&self) -> &'static str {
+        "tanh"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let data: Vec<f32> = input.data().iter().map(|&v| v.tanh()).collect();
         self.output = train.then(|| data.clone());
@@ -126,6 +138,10 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
+    fn kind(&self) -> &'static str {
+        "sigmoid"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let data: Vec<f32> = input.data().iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
         self.output = train.then(|| data.clone());

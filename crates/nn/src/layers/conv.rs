@@ -6,6 +6,7 @@ use crate::layers::Layer;
 use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
+use cachebox_telemetry as telemetry;
 
 /// A 2-D convolution with square kernel, stride, and zero padding.
 ///
@@ -82,12 +83,21 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let _span = telemetry::span("nn.conv2d.forward");
         assert_eq!(input.c(), self.in_c, "input channel mismatch");
         let grid = self.grid(input.h(), input.w());
         let (oh, ow) = (grid.out_h(), grid.out_w());
         let positions = oh * ow;
         let rows = grid.patch_rows();
+        telemetry::counter(
+            "nn.im2col.bytes",
+            (input.n() * rows * positions * std::mem::size_of::<f32>()) as u64,
+        );
         let mut out = Tensor::zeros([input.n(), self.out_c, oh, ow]);
         let mut cols = vec![0.0f32; rows * positions];
         for n in 0..input.n() {
@@ -106,12 +116,17 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = telemetry::span("nn.conv2d.backward");
         let input = self.cached_input.as_ref().expect("backward before training forward");
         let grid = self.grid(input.h(), input.w());
         let (oh, ow) = (grid.out_h(), grid.out_w());
         assert_eq!(grad_out.shape(), [input.n(), self.out_c, oh, ow], "grad shape mismatch");
         let positions = oh * ow;
         let rows = grid.patch_rows();
+        telemetry::counter(
+            "nn.im2col.bytes",
+            (input.n() * rows * positions * std::mem::size_of::<f32>()) as u64,
+        );
         let mut grad_in = Tensor::zeros(input.shape());
         let mut cols = vec![0.0f32; rows * positions];
         let mut gcols = vec![0.0f32; rows * positions];

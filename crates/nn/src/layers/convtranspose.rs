@@ -6,6 +6,7 @@ use crate::layers::Layer;
 use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
+use cachebox_telemetry as telemetry;
 
 /// A 2-D transposed convolution, the adjoint of [`Conv2d`] with the same
 /// kernel/stride/pad — the U-Net decoder's up-sampling block
@@ -93,7 +94,12 @@ impl ConvTranspose2d {
 }
 
 impl Layer for ConvTranspose2d {
+    fn kind(&self) -> &'static str {
+        "conv_transpose2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let _span = telemetry::span("nn.conv_transpose2d.forward");
         assert_eq!(input.c(), self.in_c, "input channel mismatch");
         let grid = self.grid(input.h(), input.w());
         let positions = input.h() * input.w();
@@ -126,6 +132,7 @@ impl Layer for ConvTranspose2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = telemetry::span("nn.conv_transpose2d.backward");
         let input = self.cached_input.as_ref().expect("backward before training forward");
         let grid = self.grid(input.h(), input.w());
         assert_eq!(

@@ -29,6 +29,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if !train || self.p == 0.0 {
             self.mask = train.then(|| vec![1.0; input.len()]);

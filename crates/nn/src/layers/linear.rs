@@ -5,6 +5,7 @@ use crate::layers::Layer;
 use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
+use cachebox_telemetry as telemetry;
 
 /// A fully connected layer over `[n, in_features, 1, 1]` tensors.
 ///
@@ -39,7 +40,12 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn kind(&self) -> &'static str {
+        "linear"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let _span = telemetry::span("nn.linear.forward");
         assert_eq!(input.c() * input.h() * input.w(), self.in_features, "input feature mismatch");
         let n = input.n();
         let mut out = Tensor::zeros([n, self.out_features, 1, 1]);
@@ -63,6 +69,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = telemetry::span("nn.linear.backward");
         let input = self.cached_input.as_ref().expect("backward before training forward");
         let n = input.n();
         assert_eq!(grad_out.shape(), [n, self.out_features, 1, 1], "grad shape mismatch");

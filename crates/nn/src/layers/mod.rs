@@ -43,6 +43,13 @@ pub trait Layer: std::fmt::Debug + Send {
     /// `forward`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// A short static name of the layer type (`"conv2d"`,
+    /// `"batch_norm2d"`, …), used for telemetry labels and for naming
+    /// the offending layer in training diagnostics.
+    fn kind(&self) -> &'static str {
+        "layer"
+    }
+
     /// Visits every learnable parameter in a stable order.
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         let _ = visitor;

@@ -3,6 +3,7 @@
 use crate::layers::Layer;
 use crate::param::Param;
 use crate::tensor::Tensor;
+use cachebox_telemetry as telemetry;
 
 const EPS: f32 = 1e-5;
 
@@ -89,7 +90,12 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn kind(&self) -> &'static str {
+        "batch_norm2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let _span = telemetry::span("nn.batch_norm2d.forward");
         assert_eq!(input.c(), self.channels, "channel mismatch");
         let [n, c, h, w] = input.shape();
         let plane = h * w;
@@ -133,6 +139,7 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = telemetry::span("nn.batch_norm2d.backward");
         let cache = self.cache.as_ref().expect("backward before training forward");
         let [n, c, h, w] = grad_out.shape();
         assert_eq!(cache.normalized.shape(), grad_out.shape(), "grad shape mismatch");
@@ -217,7 +224,12 @@ impl InstanceNorm2d {
 }
 
 impl Layer for InstanceNorm2d {
+    fn kind(&self) -> &'static str {
+        "instance_norm2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let _span = telemetry::span("nn.instance_norm2d.forward");
         assert_eq!(input.c(), self.channels, "channel mismatch");
         let [n, c, h, w] = input.shape();
         let plane = (h * w) as f32;
@@ -253,6 +265,7 @@ impl Layer for InstanceNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _span = telemetry::span("nn.instance_norm2d.backward");
         let cache = self.cache.as_ref().expect("backward before training forward");
         let [n, c, h, w] = grad_out.shape();
         assert_eq!(cache.normalized.shape(), grad_out.shape(), "grad shape mismatch");

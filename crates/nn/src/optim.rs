@@ -65,6 +65,7 @@ impl Adam {
 
     /// Applies one Adam step to every parameter of `layer`.
     pub fn step_layer(&mut self, layer: &mut dyn Layer) {
+        let _span = cachebox_telemetry::span("nn.adam.step");
         self.step += 1;
         let t = self.step;
         let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);

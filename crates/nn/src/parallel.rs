@@ -16,7 +16,32 @@
 //! serial kernel directly so tiny test-scale shapes never pay thread
 //! spawn overhead.
 
+use cachebox_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Records one GEMM dispatch: call count and `2·m·k·n` FLOPs. The
+/// multiplies only happen once telemetry is enabled.
+fn record_gemm(m: usize, k: usize, n: usize) {
+    if telemetry::enabled() {
+        telemetry::counter("nn.gemm.calls", 1);
+        telemetry::counter("nn.gemm.flops", 2 * (m as u64) * (k as u64) * (n as u64));
+    }
+}
+
+/// Starts a shard timer on a GEMM worker thread (`None` when disabled).
+fn shard_timer() -> Option<std::time::Instant> {
+    telemetry::enabled().then(std::time::Instant::now)
+}
+
+/// Finishes a shard timer: the elapsed nanoseconds land in the
+/// `nn.gemm.shard_ns` histogram. Workers are scoped threads, so their
+/// buffers merge when the parallel region ends — the histogram is
+/// thread-aware and exposes shard imbalance.
+fn record_shard(t0: Option<std::time::Instant>) {
+    if let Some(t0) = t0 {
+        telemetry::observe("nn.gemm.shard_ns", t0.elapsed().as_nanos() as f64);
+    }
+}
 
 /// Environment variable overriding the default thread count.
 pub const THREADS_ENV_VAR: &str = "CACHEBOX_THREADS";
@@ -176,6 +201,7 @@ fn gemm_acc_planned(
     n: usize,
     out: &mut [f32],
 ) {
+    record_gemm(m, k, n);
     let threads = plan(par, m, k, n, apply_threshold);
     if threads <= 1 {
         return crate::gemm::gemm_acc(a, b, m, k, n, out);
@@ -186,8 +212,10 @@ fn gemm_acc_planned(
     crossbeam::thread::scope(|scope| {
         for (a_chunk, out_chunk) in a.chunks(rows * k).zip(out.chunks_mut(rows * n)) {
             scope.spawn(move |_| {
+                let t0 = shard_timer();
                 let mi = out_chunk.len() / n;
                 crate::gemm::gemm_acc(a_chunk, b, mi, k, n, out_chunk);
+                record_shard(t0);
             });
         }
     })
@@ -236,6 +264,7 @@ fn gemm_at_b_acc_planned(
     n: usize,
     out: &mut [f32],
 ) {
+    record_gemm(m, k, n);
     let threads = plan(par, m, k, n, apply_threshold);
     if threads <= 1 {
         return crate::gemm::gemm_at_b_acc(a, b, m, k, n, out);
@@ -248,7 +277,9 @@ fn gemm_at_b_acc_planned(
             let i0 = ci * rows;
             let i1 = i0 + out_chunk.len() / n;
             scope.spawn(move |_| {
+                let t0 = shard_timer();
                 crate::gemm::gemm_at_b_acc_rows(a, b, m, k, n, i0, i1, out_chunk);
+                record_shard(t0);
             });
         }
     })
@@ -283,6 +314,7 @@ fn gemm_a_bt_acc_planned(
     n: usize,
     out: &mut [f32],
 ) {
+    record_gemm(m, k, n);
     let threads = plan(par, m, k, n, apply_threshold);
     if threads <= 1 {
         return crate::gemm::gemm_a_bt_acc(a, b, m, k, n, out);
@@ -293,8 +325,10 @@ fn gemm_a_bt_acc_planned(
     crossbeam::thread::scope(|scope| {
         for (a_chunk, out_chunk) in a.chunks(rows * k).zip(out.chunks_mut(rows * n)) {
             scope.spawn(move |_| {
+                let t0 = shard_timer();
                 let mi = out_chunk.len() / n;
                 crate::gemm::gemm_a_bt_acc(a_chunk, b, mi, k, n, out_chunk);
+                record_shard(t0);
             });
         }
     })

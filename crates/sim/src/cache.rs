@@ -202,9 +202,11 @@ impl Cache {
     /// Counters are reset at the start of the run so the result reflects
     /// exactly this trace.
     pub fn run(&mut self, trace: &Trace) -> SimResult {
+        let _span = cachebox_telemetry::span("sim.run");
         self.reset_stats();
         let hit_flags =
             trace.iter().map(|a| self.access(a.address, a.kind.is_store()).is_hit()).collect();
+        self.stats.record_telemetry(&self.config.name());
         SimResult { hit_flags, stats: self.stats }
     }
 
@@ -220,6 +222,7 @@ impl Cache {
         trace: &Trace,
         prefetcher: &mut dyn Prefetcher,
     ) -> (SimResult, Trace) {
+        let _span = cachebox_telemetry::span("sim.run_with_prefetcher");
         self.reset_stats();
         let mut hit_flags = Vec::with_capacity(trace.len());
         let mut prefetch_trace = Trace::with_capacity(trace.len() / 4);
@@ -237,6 +240,7 @@ impl Cache {
                 }
             }
         }
+        self.stats.record_telemetry(&self.config.name());
         (SimResult { hit_flags, stats: self.stats }, prefetch_trace)
     }
 }

@@ -154,6 +154,7 @@ impl CacheHierarchy {
     /// All caches start cold for this run (the hierarchy is flushed
     /// first), matching the paper's warmup-free ChampSim runs.
     pub fn run(&mut self, trace: &Trace) -> HierarchyResult {
+        let _span = cachebox_telemetry::span("sim.hierarchy.run");
         self.flush();
         let n = self.caches.len();
         let mut accesses: Vec<Trace> = (0..n).map(|_| Trace::new()).collect();
@@ -181,6 +182,9 @@ impl CacheHierarchy {
                     }
                 }
             }
+        }
+        for (level, cache) in self.caches.iter().enumerate() {
+            cache.stats().record_telemetry(&format!("L{level}.{}", cache.config().name()));
         }
         let levels = accesses
             .into_iter()

@@ -148,6 +148,7 @@ impl MultiCacheSim {
     /// Replays the trace through every cache, returning per-cache stats.
     /// Caches start cold on each call.
     pub fn run(&mut self, trace: &Trace) -> MultiCacheResult {
+        let _span = cachebox_telemetry::span("sim.multicache.run");
         for cache in &mut self.caches {
             *cache = SimpleCache::new(cache.config);
         }
@@ -156,6 +157,9 @@ impl MultiCacheSim {
                 let block = access.address.block(cache.config.block_offset_bits);
                 cache.access(block, access.kind.is_store());
             }
+        }
+        for cache in &self.caches {
+            cache.stats.record_telemetry(&cache.config.name());
         }
         MultiCacheResult { per_cache: self.caches.iter().map(|c| c.stats).collect() }
     }

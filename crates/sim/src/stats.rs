@@ -71,6 +71,22 @@ impl CacheStats {
             self.useful_prefetches as f64 / self.prefetches as f64
         }
     }
+
+    /// When telemetry is active, publishes the counters under
+    /// `sim.<label>.{accesses,hits,misses,evictions,writebacks}`;
+    /// repeated runs with the same label accumulate. A no-op (without
+    /// allocating) when telemetry is disabled.
+    pub fn record_telemetry(&self, label: &str) {
+        use cachebox_telemetry as telemetry;
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::counter(&format!("sim.{label}.accesses"), self.accesses());
+        telemetry::counter(&format!("sim.{label}.hits"), self.hits);
+        telemetry::counter(&format!("sim.{label}.misses"), self.misses);
+        telemetry::counter(&format!("sim.{label}.evictions"), self.evictions);
+        telemetry::counter(&format!("sim.{label}.writebacks"), self.writebacks);
+    }
 }
 
 impl AddAssign for CacheStats {

@@ -1,0 +1,532 @@
+//! Thread-local recording buffers and the process-global collector.
+//!
+//! The fast path (spans, counters, gauges, histograms) touches only a
+//! `thread_local!` buffer — no locks. Buffers merge into the global
+//! collector under a mutex when their thread exits (scoped GEMM and
+//! pipeline workers die at the end of each parallel region), on an
+//! explicit [`crate::flush_thread`], and for the finishing thread inside
+//! [`finish`]. Point events and progress lines go straight to the JSONL
+//! sink under the same mutex; they are cold-path by contract.
+
+use crate::histogram::Histogram;
+use crate::manifest::RunManifest;
+use crate::record::Record;
+use crate::summary::{HistogramSummary, SpanSummary, Summary};
+use crate::value::Value;
+use crate::{TelemetryConfig, SCHEMA_VERSION};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Aggregated timings of one span path on one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SpanStat {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn new() -> Self {
+        SpanStat { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// One open span scope on the thread-local stack.
+#[derive(Debug)]
+struct Frame {
+    start: Instant,
+    /// Length of `LocalBuf::path` before this span was pushed.
+    prev_len: usize,
+}
+
+/// Hands out stable small ordinals identifying recording threads.
+static THREAD_ORDINAL: AtomicU32 = AtomicU32::new(0);
+
+/// Per-thread recording buffer. Dropping it (thread exit) merges its
+/// contents into the global collector.
+pub(crate) struct LocalBuf {
+    thread: u32,
+    /// Current hierarchical span path (`a/b/c`), extended on enter and
+    /// truncated on exit.
+    path: String,
+    stack: Vec<Frame>,
+    spans: HashMap<String, SpanStat>,
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    hists: HashMap<String, Histogram>,
+}
+
+impl LocalBuf {
+    fn new() -> Self {
+        LocalBuf {
+            thread: THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed),
+            path: String::new(),
+            stack: Vec::new(),
+            spans: HashMap::new(),
+            counters: HashMap::new(),
+            gauges: HashMap::new(),
+            hists: HashMap::new(),
+        }
+    }
+
+    fn push_span(&mut self, name: &'static str) {
+        let prev_len = self.path.len();
+        if !self.path.is_empty() {
+            self.path.push('/');
+        }
+        self.path.push_str(name);
+        self.stack.push(Frame { start: Instant::now(), prev_len });
+    }
+
+    fn pop_span(&mut self) {
+        // Tolerate unbalanced pops: a guard created before `finish`
+        // may drop after the buffer was drained.
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        let ns = frame.start.elapsed().as_nanos() as u64;
+        if let Some(stat) = self.spans.get_mut(self.path.as_str()) {
+            stat.record(ns);
+        } else {
+            let mut stat = SpanStat::new();
+            stat.record(ns);
+            self.spans.insert(self.path.clone(), stat);
+        }
+        self.path.truncate(frame.prev_len);
+    }
+
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    fn set_gauge(&mut self, name: &str, value: f64) {
+        if let Some(v) = self.gauges.get_mut(name) {
+            *v = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::new();
+            h.record(value);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    fn is_drained(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// Moves all aggregates into the global collector (open span frames
+    /// stay: their guards are still live on this thread). Data recorded
+    /// after the collector is gone is discarded.
+    fn merge_into_global(&mut self) {
+        if self.is_drained() {
+            return;
+        }
+        let thread = self.thread;
+        let mut slot = lock_global();
+        let Some(global) = slot.as_mut() else {
+            self.spans.clear();
+            self.counters.clear();
+            self.gauges.clear();
+            self.hists.clear();
+            return;
+        };
+        for (path, stat) in self.spans.drain() {
+            global.spans.entry((path, thread)).and_modify(|s| s.merge(&stat)).or_insert(stat);
+        }
+        for (name, delta) in self.counters.drain() {
+            *global.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, value) in self.gauges.drain() {
+            global.gauges.insert(name, value);
+        }
+        for (name, hist) in self.hists.drain() {
+            global.hists.entry(name).and_modify(|h| h.merge(&hist)).or_insert(hist);
+        }
+    }
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        self.merge_into_global();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::new());
+}
+
+/// Runs `f` on the thread-local buffer, silently skipping threads whose
+/// TLS is already torn down.
+fn with_local(f: impl FnOnce(&mut LocalBuf)) {
+    let _ = LOCAL.try_with(|cell| f(&mut cell.borrow_mut()));
+}
+
+pub(crate) fn enter_span(name: &'static str) {
+    with_local(|l| l.push_span(name));
+}
+
+pub(crate) fn exit_span() {
+    with_local(|l| l.pop_span());
+}
+
+pub(crate) fn add_counter(name: &str, delta: u64) {
+    with_local(|l| l.add_counter(name, delta));
+}
+
+pub(crate) fn set_gauge(name: &str, value: f64) {
+    with_local(|l| l.set_gauge(name, value));
+}
+
+pub(crate) fn observe(name: &str, value: f64) {
+    with_local(|l| l.observe(name, value));
+}
+
+pub(crate) fn flush_current_thread() {
+    with_local(|l| l.merge_into_global());
+}
+
+/// The process-global collector state behind [`GLOBAL`].
+struct Global {
+    run: String,
+    summary: bool,
+    threads_budget: usize,
+    seed: Option<u64>,
+    config: BTreeMap<String, Value>,
+    jsonl_path: Option<PathBuf>,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    records: u64,
+    start: Instant,
+    started_unix_ms: u64,
+    spans: HashMap<(String, u32), SpanStat>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Global {
+    fn t_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn write_record(&mut self, record: &Record) {
+        if let Some(writer) = self.writer.as_mut() {
+            if writeln!(writer, "{}", record.to_jsonl()).is_ok() {
+                self.records += 1;
+            }
+        }
+    }
+}
+
+static GLOBAL: Mutex<Option<Global>> = Mutex::new(None);
+
+fn lock_global() -> std::sync::MutexGuard<'static, Option<Global>> {
+    GLOBAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Installs the collector described by `config` and enables recording.
+///
+/// # Panics
+///
+/// Panics if a collector is already installed or the sink file cannot
+/// be created.
+pub(crate) fn install(config: TelemetryConfig) {
+    let TelemetryConfig { run, jsonl, summary, threads, seed, config } = config;
+    let writer = jsonl.as_ref().map(|path| {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create telemetry sink {}: {e}", path.display())),
+        )
+    });
+    let started_unix_ms =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+    let mut global = Global {
+        run,
+        summary,
+        threads_budget: threads,
+        seed,
+        config,
+        jsonl_path: jsonl,
+        writer,
+        records: 0,
+        start: Instant::now(),
+        started_unix_ms,
+        spans: HashMap::new(),
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        hists: BTreeMap::new(),
+    };
+    global.write_record(&Record::Meta {
+        run: global.run.clone(),
+        schema: SCHEMA_VERSION,
+        version: env!("CARGO_PKG_VERSION").to_string(),
+    });
+    let mut slot = lock_global();
+    assert!(slot.is_none(), "telemetry already active (one run per process)");
+    *slot = Some(global);
+    drop(slot);
+    crate::set_enabled(true);
+}
+
+pub(crate) fn write_event(name: &str, fields: &[(&str, Value)]) {
+    let mut slot = lock_global();
+    if let Some(global) = slot.as_mut() {
+        let record = Record::Event {
+            t_ms: global.t_ms(),
+            name: name.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        global.write_record(&record);
+    }
+}
+
+pub(crate) fn write_progress(msg: &str) {
+    let mut slot = lock_global();
+    if let Some(global) = slot.as_mut() {
+        let record = Record::Progress { t_ms: global.t_ms(), msg: msg.to_string() };
+        global.write_record(&record);
+    }
+}
+
+/// Disables recording, drains the finishing thread, writes the
+/// aggregate records and the run manifest, optionally renders the
+/// summary table to stderr, and returns the in-process [`Summary`].
+pub(crate) fn finish() -> Summary {
+    crate::set_enabled(false);
+    flush_current_thread();
+    let taken = lock_global().take();
+    let Some(mut global) = taken else {
+        return Summary::default();
+    };
+
+    // Deterministic record order: spans by (path, thread), then the
+    // BTreeMap-ordered counters, gauges, and histograms.
+    let mut span_entries: Vec<((String, u32), SpanStat)> = global.spans.drain().collect();
+    span_entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for ((path, thread), stat) in &span_entries {
+        global.write_record(&Record::Span {
+            path: path.clone(),
+            thread: *thread,
+            count: stat.count,
+            total_ns: stat.total_ns,
+            min_ns: stat.min_ns,
+            max_ns: stat.max_ns,
+        });
+    }
+    let counters = global.counters.clone();
+    for (name, value) in &counters {
+        global.write_record(&Record::Counter { name: name.clone(), value: *value });
+    }
+    let gauges = global.gauges.clone();
+    for (name, value) in &gauges {
+        global.write_record(&Record::Gauge { name: name.clone(), value: *value });
+    }
+    let histograms: BTreeMap<String, HistogramSummary> = global
+        .hists
+        .iter()
+        .map(|(name, h)| {
+            (
+                name.clone(),
+                HistogramSummary {
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    p50: h.percentile(50.0),
+                    p90: h.percentile(90.0),
+                    p99: h.percentile(99.0),
+                },
+            )
+        })
+        .collect();
+    for (name, h) in &histograms {
+        global.write_record(&Record::Histogram {
+            name: name.clone(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            p50: h.p50,
+            p90: h.p90,
+            p99: h.p99,
+        });
+    }
+    if let Some(writer) = global.writer.as_mut() {
+        let _ = writer.flush();
+    }
+
+    // Merge span stats across threads for the summary.
+    let mut merged: BTreeMap<String, (SpanStat, u32)> = BTreeMap::new();
+    for ((path, _thread), stat) in &span_entries {
+        match merged.get_mut(path) {
+            Some((s, threads)) => {
+                s.merge(stat);
+                *threads += 1;
+            }
+            None => {
+                merged.insert(path.clone(), (*stat, 1));
+            }
+        }
+    }
+    let spans: Vec<SpanSummary> = merged
+        .into_iter()
+        .map(|(path, (s, threads))| SpanSummary {
+            path,
+            threads,
+            count: s.count,
+            total_ns: s.total_ns,
+            min_ns: s.min_ns,
+            max_ns: s.max_ns,
+        })
+        .collect();
+
+    let wall_seconds = global.start.elapsed().as_secs_f64();
+    let summary = Summary {
+        run: global.run.clone(),
+        wall_seconds,
+        spans,
+        counters,
+        gauges,
+        histograms,
+        records: global.records,
+    };
+
+    if let Some(jsonl_path) = &global.jsonl_path {
+        let manifest = RunManifest {
+            schema_version: SCHEMA_VERSION,
+            run: global.run.clone(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            git_rev: crate::git_revision(),
+            started_unix_ms: global.started_unix_ms,
+            wall_seconds,
+            threads: global.threads_budget,
+            seed: global.seed,
+            config: global.config.clone(),
+            records: global.records,
+            jsonl: Some(jsonl_path.to_string_lossy().into_owned()),
+            counters: summary.counters.clone(),
+        };
+        let manifest_path = RunManifest::manifest_path_for(jsonl_path);
+        if let Err(e) = manifest.save(&manifest_path) {
+            eprintln!("telemetry: could not write manifest {}: {e}", manifest_path.display());
+        }
+    }
+
+    if global.summary {
+        eprintln!("{}", summary.render());
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_stat_records_and_merges() {
+        let mut a = SpanStat::new();
+        a.record(10);
+        a.record(30);
+        let mut b = SpanStat::new();
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total_ns, 45);
+        assert_eq!(a.min_ns, 5);
+        assert_eq!(a.max_ns, 30);
+    }
+
+    #[test]
+    fn local_buf_builds_hierarchical_paths() {
+        let mut l = LocalBuf::new();
+        l.push_span("train_step");
+        l.push_span("d_forward");
+        l.pop_span();
+        l.push_span("d_forward");
+        l.pop_span();
+        l.push_span("g_backward");
+        l.pop_span();
+        l.pop_span();
+        assert_eq!(l.spans["train_step"].count, 1);
+        assert_eq!(l.spans["train_step/d_forward"].count, 2);
+        assert_eq!(l.spans["train_step/g_backward"].count, 1);
+        assert!(l.path.is_empty(), "path fully unwound");
+        assert!(l.stack.is_empty());
+        // Leftovers must not panic.
+        l.pop_span();
+    }
+
+    #[test]
+    fn local_buf_sibling_spans_do_not_nest() {
+        let mut l = LocalBuf::new();
+        l.push_span("a");
+        l.pop_span();
+        l.push_span("b");
+        l.pop_span();
+        assert!(l.spans.contains_key("a"));
+        assert!(l.spans.contains_key("b"));
+        assert!(!l.spans.keys().any(|k| k.contains('/')));
+    }
+
+    #[test]
+    fn local_buf_metrics_accumulate() {
+        let mut l = LocalBuf::new();
+        l.add_counter("c", 2);
+        l.add_counter("c", 3);
+        l.set_gauge("g", 1.0);
+        l.set_gauge("g", 2.5);
+        l.observe("h", 10.0);
+        l.observe("h", 20.0);
+        assert_eq!(l.counters["c"], 5);
+        assert_eq!(l.gauges["g"], 2.5);
+        assert_eq!(l.hists["h"].count(), 2);
+        // No global collector installed: merging discards quietly.
+        l.merge_into_global();
+        assert!(l.is_drained());
+    }
+
+    #[test]
+    fn thread_ordinals_are_unique() {
+        let a = LocalBuf::new();
+        let b = LocalBuf::new();
+        assert_ne!(a.thread, b.thread);
+    }
+}

@@ -1,0 +1,316 @@
+//! Log-bucketed histograms with approximate percentiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Sub-buckets per power of two; 8 bounds the relative quantile error at
+/// `2^(1/8) − 1 ≈ 9 %`.
+const SUBDIV: f64 = 8.0;
+
+/// Total bucket count: 8 sub-buckets × 64 octaves covers `[0, 2^64)`,
+/// enough for nanosecond durations and byte counts alike.
+pub const BUCKETS: usize = 512;
+
+/// A fixed-footprint histogram over non-negative values.
+///
+/// Values are binned at `floor(8·log2(1+v))`, giving ≈9 % relative
+/// resolution across the full `u64` range with 4 KiB of state and no
+/// allocation per observation.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000 {
+///     h.record(v as f64);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.percentile(50.0);
+/// assert!((p50 - 500.0).abs() < 60.0, "p50 ≈ 500, got {p50}");
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    #[serde(with = "serde_buckets")]
+    buckets: Box<[u64; BUCKETS]>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Box::new([0; BUCKETS]),
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= 0.0 {
+            return 0;
+        }
+        ((SUBDIV * (value + 1.0).log2()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    fn bucket_lower(i: usize) -> f64 {
+        (i as f64 / SUBDIV).exp2() - 1.0
+    }
+
+    /// Records one observation. Negative and non-finite values clamp
+    /// into the first bucket / are ignored respectively.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation (`0.0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded observation (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean of recorded observations (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-th percentile (`q` in `[0, 100]`), linearly
+    /// interpolated within the containing bucket and clamped to the
+    /// exact observed `[min, max]`. Returns `0.0` when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        // Rank in [1, count]: the k-th smallest observation.
+        let rank = (q / 100.0 * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative + n;
+            if (next as f64) >= rank {
+                let lower = Self::bucket_lower(i);
+                let upper = Self::bucket_lower(i + 1);
+                let within = (rank - cumulative as f64) / n as f64;
+                let estimate = lower + (upper - lower) * within;
+                return estimate.clamp(self.min, self.max);
+            }
+            cumulative = next;
+        }
+        self.max()
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+mod serde_buckets {
+    //! Serialize the fixed bucket array sparsely as `[[index, count]]`.
+
+    use super::BUCKETS;
+    use serde::de::Error;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &[u64; BUCKETS], s: S) -> Result<S::Ok, S::Error> {
+        let sparse: Vec<(u16, u64)> =
+            b.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i as u16, n)).collect();
+        sparse.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Box<[u64; BUCKETS]>, D::Error> {
+        let sparse: Vec<(u16, u64)> = Vec::deserialize(d)?;
+        let mut b = Box::new([0u64; BUCKETS]);
+        for (i, n) in sparse {
+            let slot = b.get_mut(i as usize).ok_or_else(|| D::Error::custom("bucket index"))?;
+            *slot = n;
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn exact_stats_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3.0, 1.0, 4.0, 1.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert!((h.sum() - 14.0).abs() < 1e-12);
+        assert!((h.mean() - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp_are_proportional() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u32 {
+            h.record(v as f64);
+        }
+        for q in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let expected = q / 100.0 * 1000.0;
+            let got = h.percentile(q);
+            let tolerance = (expected * 0.10).max(2.0);
+            assert!((got - expected).abs() <= tolerance, "p{q}: expected ≈{expected}, got {got}");
+        }
+    }
+
+    #[test]
+    fn extreme_percentiles_clamp_to_observed_range() {
+        let mut h = Histogram::new();
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(100.0), 30.0);
+    }
+
+    #[test]
+    fn wide_dynamic_range_keeps_relative_accuracy() {
+        let mut h = Histogram::new();
+        // Values spanning nine orders of magnitude (ns → s territory).
+        let values = [1.0, 1e3, 1e6, 1e9];
+        for &v in &values {
+            h.record(v);
+        }
+        // p100 exact, and each quartile boundary lands within 10 % of a
+        // recorded value.
+        assert_eq!(h.percentile(100.0), 1e9);
+        let p25 = h.percentile(25.0);
+        assert!((p25 - 1.0).abs() <= 0.1 * 1.0 + 1.0, "p25 {p25}");
+        let p75 = h.percentile(75.0);
+        assert!((p75 - 1e6).abs() <= 0.1 * 1e6, "p75 {p75}");
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored_and_negatives_clamp() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record(-5.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.percentile(50.0), -5.0, "clamped to observed min");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..100 {
+            let x = (v * 37 % 101) as f64;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [10.0, 50.0, 90.0] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=500u32 {
+            h.record((v * v) as f64);
+        }
+        let s = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&s).unwrap();
+        assert_eq!(h.count(), back.count());
+        for q in [5.0, 50.0, 95.0] {
+            assert_eq!(h.percentile(q), back.percentile(q));
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Structured tracing, metrics, and run manifests for CacheBox.
+//!
+//! Every long-running CacheBox binary — training, the RQ experiment
+//! sweeps, the perf harness — funnels its observability through this
+//! crate:
+//!
+//! * [`span`] — hierarchical span timers (`train_step/d_forward`) with
+//!   thread-aware aggregation. A [`SpanGuard`] records wall time into a
+//!   thread-local buffer on scope exit; buffers merge into the global
+//!   collector when their thread exits (or at [`finish`]).
+//! * [`counter`] / [`gauge`] / [`observe`] — typed counters, last-value
+//!   gauges, and log-bucketed [`Histogram`]s (GEMM FLOPs, im2col bytes,
+//!   cache hits/misses, samples/sec).
+//! * [`event`] — point-in-time JSONL records (per-epoch losses, RQ stage
+//!   completions) written straight to the sink.
+//! * [`init`] / [`finish`] — a run writes a `telemetry.jsonl` event
+//!   stream plus a `*.manifest.json` run manifest (config, seed, git
+//!   revision, thread budget, wall time) and renders a human summary
+//!   table on completion.
+//!
+//! # Zero cost when disabled
+//!
+//! All recording functions first load one relaxed [`AtomicBool`]; until
+//! [`init`] installs a collector they return immediately — no locks, no
+//! thread-local access, and **no allocation** (asserted by the
+//! `no_alloc` integration test). When enabled, the hot path (spans,
+//! counters, histograms) still takes no lock: records accumulate in
+//! thread-local buffers and only merge into the global collector under a
+//! mutex when a thread exits, which for the scoped GEMM/pipeline workers
+//! coincides with the end of a parallel region. Point [`event`]s and
+//! [`progress`] lines do lock the sink, so they belong on cold paths
+//! (per epoch, per stage) only.
+//!
+//! # Example
+//!
+//! ```
+//! use cachebox_telemetry as telemetry;
+//!
+//! let dir = std::env::temp_dir().join("cachebox-telemetry-doctest");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let jsonl = dir.join("run.jsonl");
+//! let guard = telemetry::init(
+//!     telemetry::TelemetryConfig::new("doctest")
+//!         .with_jsonl(&jsonl)
+//!         .with_summary(false)
+//!         .with_seed(42),
+//! );
+//! {
+//!     let _step = telemetry::span("train_step");
+//!     let _fwd = telemetry::span("d_forward");
+//!     telemetry::counter("nn.gemm.flops", 1 << 20);
+//! }
+//! telemetry::event("epoch", &[("epoch", 0u64.into()), ("d_loss", 0.69f64.into())]);
+//! let summary = guard.finish();
+//! assert_eq!(summary.counters["nn.gemm.flops"], 1 << 20);
+//! assert!(summary.spans.iter().any(|s| s.path == "train_step/d_forward"));
+//! assert!(jsonl.with_extension("manifest.json").exists());
+//! ```
+
+pub mod collector;
+pub mod histogram;
+pub mod manifest;
+pub mod record;
+pub mod summary;
+pub mod validate;
+pub mod value;
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use histogram::Histogram;
+pub use manifest::RunManifest;
+pub use record::Record;
+pub use summary::{SpanSummary, Summary};
+pub use value::Value;
+
+/// Environment variable naming the JSONL sink path; equivalent to the
+/// harness `--telemetry` flag.
+pub const TELEMETRY_ENV_VAR: &str = "CACHEBOX_TELEMETRY";
+
+/// Manifest/record schema version, bumped on breaking format changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Global on/off gate. Relaxed is enough: recording functions tolerate
+/// racing a concurrent `init`/`finish` (worst case a record lands in a
+/// buffer that is never flushed).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a collector is installed. Hot-path callers may use this to
+/// skip argument construction; the recording functions all check it
+/// themselves.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Configuration for one telemetry run.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    pub(crate) run: String,
+    pub(crate) jsonl: Option<PathBuf>,
+    pub(crate) summary: bool,
+    pub(crate) threads: usize,
+    pub(crate) seed: Option<u64>,
+    pub(crate) config: std::collections::BTreeMap<String, Value>,
+}
+
+impl TelemetryConfig {
+    /// Starts a configuration for a run named `run` (typically the
+    /// binary or experiment name). The summary table is on by default.
+    pub fn new(run: &str) -> Self {
+        TelemetryConfig { run: run.to_string(), summary: true, threads: 1, ..Default::default() }
+    }
+
+    /// Streams events to `path` as JSON Lines and writes the run
+    /// manifest next to it (`.jsonl` → `.manifest.json`).
+    pub fn with_jsonl(mut self, path: impl AsRef<Path>) -> Self {
+        self.jsonl = Some(path.as_ref().to_path_buf());
+        self
+    }
+
+    /// Enables or disables the human summary table rendered to stderr
+    /// when the run finishes.
+    pub fn with_summary(mut self, summary: bool) -> Self {
+        self.summary = summary;
+        self
+    }
+
+    /// Records the worker-thread budget in the manifest.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Records the experiment master seed in the manifest.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attaches a free-form configuration entry to the manifest
+    /// (e.g. scale name, image size, epochs).
+    pub fn with_kv(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.config.insert(key.to_string(), value.into());
+        self
+    }
+}
+
+/// Handle returned by [`init`]; finishing (or dropping) it flushes the
+/// run. Hold it in `main` for the lifetime of the instrumented work.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately would end the telemetry run"]
+pub struct TelemetryGuard {
+    finished: bool,
+}
+
+impl TelemetryGuard {
+    /// Flushes all buffers, writes the aggregate records and the run
+    /// manifest, renders the summary table (if enabled), and returns the
+    /// in-process [`Summary`].
+    pub fn finish(mut self) -> Summary {
+        self.finished = true;
+        collector::finish()
+    }
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            collector::finish();
+        }
+    }
+}
+
+/// Installs the global collector and enables recording.
+///
+/// # Panics
+///
+/// Panics if telemetry is already active (one run per process), or if
+/// the JSONL sink cannot be created.
+pub fn init(config: TelemetryConfig) -> TelemetryGuard {
+    collector::install(config);
+    TelemetryGuard { finished: false }
+}
+
+/// Convenience: [`init`] from the `CACHEBOX_TELEMETRY` environment
+/// variable, returning `None` (telemetry stays disabled) when unset.
+pub fn init_from_env(run: &str) -> Option<TelemetryGuard> {
+    let path = std::env::var_os(TELEMETRY_ENV_VAR)?;
+    if path.is_empty() {
+        return None;
+    }
+    Some(init(TelemetryConfig::new(run).with_jsonl(PathBuf::from(path))))
+}
+
+/// RAII timer for one span scope. See [`span`].
+#[derive(Debug)]
+#[must_use = "a span measures the scope holding the guard"]
+pub struct SpanGuard {
+    pub(crate) active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            collector::exit_span();
+        }
+    }
+}
+
+/// Opens a hierarchical span named `name`; the returned guard records
+/// the elapsed wall time under the thread's current span path
+/// (`parent/name`) when dropped. Inert (and allocation-free) while
+/// telemetry is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    collector::enter_span(name);
+    SpanGuard { active: true }
+}
+
+/// RAII timer for a named experiment stage. Unlike a plain [`span`] it
+/// also emits a `stage` [`event`] with the elapsed seconds on drop, so
+/// the JSONL stream shows stage completions live.
+#[derive(Debug)]
+#[must_use = "a stage measures the scope holding the guard"]
+pub struct StageGuard {
+    name: &'static str,
+    start: Option<std::time::Instant>,
+    span: SpanGuard,
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        // Close the span first so the stage event carries a timestamp
+        // at-or-after the span's own accounting.
+        self.span.active = false;
+        if let Some(start) = self.start {
+            collector::exit_span();
+            let seconds = start.elapsed().as_secs_f64();
+            event("stage", &[("stage", self.name.into()), ("seconds", seconds.into())]);
+        }
+    }
+}
+
+/// Opens a coarse experiment stage (e.g. `rq2.train`): a [`span`] plus a
+/// completion [`event`]. Use on cold paths only.
+#[inline]
+pub fn stage(name: &'static str) -> StageGuard {
+    if !enabled() {
+        return StageGuard { name, start: None, span: SpanGuard { active: false } };
+    }
+    let span = span(name);
+    StageGuard { name, start: Some(std::time::Instant::now()), span }
+}
+
+/// Adds `delta` to the named monotonic counter.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if enabled() {
+        collector::add_counter(name, delta);
+    }
+}
+
+/// Sets the named gauge to `value` (last write wins at merge time).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if enabled() {
+        collector::set_gauge(name, value);
+    }
+}
+
+/// Records one observation into the named histogram.
+#[inline]
+pub fn observe(name: &str, value: f64) {
+    if enabled() {
+        collector::observe(name, value);
+    }
+}
+
+/// Writes a point event straight to the JSONL sink (locks the sink —
+/// cold paths only: per epoch, per stage, per sweep).
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if enabled() {
+        collector::write_event(name, fields);
+    }
+}
+
+/// Progress reporting that keeps stdout machine-parseable: the message
+/// goes to **stderr** unconditionally and, when telemetry is enabled, is
+/// also recorded as a `progress` event in the JSONL stream.
+pub fn progress_str(msg: &str) {
+    eprintln!("{msg}");
+    if enabled() {
+        collector::write_progress(msg);
+    }
+}
+
+/// [`progress_str`] with `format!` arguments.
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        $crate::progress_str(&format!($($arg)*))
+    };
+}
+
+/// Merges the calling thread's buffered spans/metrics into the global
+/// collector. Long-lived threads may call this between phases; worker
+/// threads merge automatically on exit, and [`TelemetryGuard::finish`]
+/// merges the finishing thread.
+pub fn flush_thread() {
+    if enabled() {
+        collector::flush_current_thread();
+    }
+}
+
+/// Best-effort git revision of the working tree (read from `.git`
+/// without spawning a process), searched upward from the current
+/// directory.
+pub fn git_revision() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            return read_git_head(&git);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn read_git_head(git: &Path) -> Option<String> {
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(reference) = head.strip_prefix("ref: ") {
+        if let Ok(rev) = std::fs::read_to_string(git.join(reference)) {
+            return Some(rev.trim().to_string());
+        }
+        // Packed refs fallback.
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        for line in packed.lines() {
+            if let Some(rev) = line.strip_suffix(reference) {
+                return Some(rev.trim().to_string());
+            }
+        }
+        None
+    } else {
+        Some(head.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        // The global collector is never installed in unit tests, so all
+        // of these must be no-ops that do not panic.
+        assert!(!enabled());
+        let _s = span("unit");
+        counter("unit.counter", 1);
+        gauge("unit.gauge", 1.0);
+        observe("unit.hist", 1.0);
+        event("unit.event", &[("k", 1u64.into())]);
+        let _st = stage("unit.stage");
+        flush_thread();
+    }
+
+    #[test]
+    fn config_builder_accumulates() {
+        let c = TelemetryConfig::new("run")
+            .with_seed(7)
+            .with_threads(4)
+            .with_summary(false)
+            .with_kv("scale", "tiny")
+            .with_kv("epochs", 2u64);
+        assert_eq!(c.run, "run");
+        assert_eq!(c.seed, Some(7));
+        assert_eq!(c.threads, 4);
+        assert!(!c.summary);
+        assert_eq!(c.config["scale"], Value::Str("tiny".to_string()));
+        assert_eq!(c.config["epochs"], Value::U64(2));
+    }
+
+    #[test]
+    fn git_revision_resolves_in_repo() {
+        // The repo this crate lives in is git-managed; the helper should
+        // find a 40-hex revision (tolerate None for exported tarballs).
+        if let Some(rev) = git_revision() {
+            assert!(rev.len() >= 7, "suspicious revision {rev:?}");
+            assert!(rev.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+}

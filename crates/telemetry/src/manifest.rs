@@ -1,0 +1,152 @@
+//! The run manifest: one JSON document describing a telemetry run.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Machine-readable description of one instrumented run, written next to
+/// the JSONL sink as `<stem>.manifest.json` when the run finishes.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_telemetry::RunManifest;
+/// use std::path::Path;
+///
+/// let p = RunManifest::manifest_path_for(Path::new("out/telemetry.jsonl"));
+/// assert_eq!(p, Path::new("out/telemetry.manifest.json"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest/record schema version ([`crate::SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Run name (binary or experiment).
+    pub run: String,
+    /// `cachebox-telemetry` crate version.
+    pub version: String,
+    /// Git revision of the working tree, when resolvable.
+    pub git_rev: Option<String>,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Wall time from `init` to `finish` in seconds.
+    pub wall_seconds: f64,
+    /// Worker-thread budget of the run.
+    pub threads: usize,
+    /// Experiment master seed, when one was set.
+    pub seed: Option<u64>,
+    /// Free-form run configuration (scale, epochs, image size, …).
+    #[serde(default)]
+    pub config: BTreeMap<String, Value>,
+    /// Number of JSONL records written to the sink.
+    pub records: u64,
+    /// Path of the JSONL sink this manifest describes.
+    pub jsonl: Option<String>,
+    /// Final counter values (duplicated from the stream for quick
+    /// inspection without parsing the JSONL).
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunManifest {
+    /// The manifest path for a given JSONL sink path:
+    /// `telemetry.jsonl` → `telemetry.manifest.json`.
+    pub fn manifest_path_for(jsonl: &Path) -> PathBuf {
+        jsonl.with_extension("manifest.json")
+    }
+
+    /// Serializes the manifest as pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (statically impossible for this
+    /// schema).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+    }
+
+    /// Writes the manifest to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message on failure.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.to_json() + "\n").map_err(|e| e.to_string())
+    }
+
+    /// Loads a manifest from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the path for I/O or parse failures.
+    pub fn load(path: &Path) -> Result<RunManifest, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+        serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse manifest {}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            schema_version: crate::SCHEMA_VERSION,
+            run: "fig08_rq2".to_string(),
+            version: "0.1.0".to_string(),
+            git_rev: Some("3aeeb0b".to_string()),
+            started_unix_ms: 1_700_000_000_000,
+            wall_seconds: 42.5,
+            threads: 8,
+            seed: Some(7),
+            config: [("scale".to_string(), Value::Str("tiny".into()))].into(),
+            records: 123,
+            jsonl: Some("out/telemetry.jsonl".to_string()),
+            counters: [("sim.hits".to_string(), 99u64)].into(),
+        }
+    }
+
+    #[test]
+    fn manifest_path_replaces_extension() {
+        assert_eq!(
+            RunManifest::manifest_path_for(Path::new("a/b/run.jsonl")),
+            Path::new("a/b/run.manifest.json")
+        );
+        assert_eq!(
+            RunManifest::manifest_path_for(Path::new("bare")),
+            Path::new("bare.manifest.json")
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample();
+        let back: RunManifest = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("cachebox-telemetry-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.manifest.json");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(RunManifest::load(&path).unwrap(), m);
+        assert!(RunManifest::load(&dir.join("missing.json")).is_err());
+    }
+
+    #[test]
+    fn missing_optional_fields_default() {
+        let text = r#"{
+            "schema_version": 1, "run": "r", "version": "0.1.0",
+            "git_rev": null, "started_unix_ms": 0, "wall_seconds": 0.0,
+            "threads": 1, "seed": null, "records": 0, "jsonl": null
+        }"#;
+        let m: RunManifest = serde_json::from_str(text).unwrap();
+        assert!(m.config.is_empty());
+        assert!(m.counters.is_empty());
+    }
+}

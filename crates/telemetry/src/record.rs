@@ -1,0 +1,181 @@
+//! The JSONL record schema (one JSON object per line).
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One line of the telemetry event stream.
+///
+/// The stream starts with a [`Record::Meta`], interleaves point
+/// [`Record::Event`]s and [`Record::Progress`] lines as the run
+/// executes, and ends with the aggregate [`Record::Span`],
+/// [`Record::Counter`], [`Record::Gauge`], and [`Record::Histogram`]
+/// records flushed by `finish`.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_telemetry::Record;
+///
+/// let line = r#"{"type":"counter","name":"sim.hits","value":42}"#;
+/// let rec = Record::parse_line(line).unwrap();
+/// assert_eq!(rec, Record::Counter { name: "sim.hits".into(), value: 42 });
+/// assert_eq!(Record::parse_line(&rec.to_jsonl()).unwrap(), rec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Record {
+    /// Stream header: run identity and schema version.
+    Meta {
+        /// Run name (binary or experiment).
+        run: String,
+        /// Schema version ([`crate::SCHEMA_VERSION`]).
+        schema: u32,
+        /// `cachebox-telemetry` crate version.
+        version: String,
+    },
+    /// A point-in-time event with free-form scalar fields.
+    Event {
+        /// Milliseconds since the run started.
+        t_ms: u64,
+        /// Event name (`epoch`, `stage`, `sim.config`, …).
+        name: String,
+        /// Scalar payload.
+        #[serde(default)]
+        fields: BTreeMap<String, Value>,
+    },
+    /// A human progress line (mirrored to stderr).
+    Progress {
+        /// Milliseconds since the run started.
+        t_ms: u64,
+        /// The message.
+        msg: String,
+    },
+    /// Aggregated timings of one span path on one thread.
+    Span {
+        /// Hierarchical path (`train_step/d_forward`).
+        path: String,
+        /// Thread ordinal (0 = first recording thread).
+        thread: u32,
+        /// Number of completed scopes.
+        count: u64,
+        /// Total nanoseconds across scopes.
+        total_ns: u64,
+        /// Fastest scope.
+        min_ns: u64,
+        /// Slowest scope.
+        max_ns: u64,
+    },
+    /// Final value of a monotonic counter (merged across threads).
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// Final value of a gauge.
+    Gauge {
+        /// Gauge name.
+        name: String,
+        /// Last recorded value.
+        value: f64,
+    },
+    /// Summary of a histogram (merged across threads).
+    Histogram {
+        /// Histogram name.
+        name: String,
+        /// Observation count.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Exact minimum.
+        min: f64,
+        /// Exact maximum.
+        max: f64,
+        /// Approximate median.
+        p50: f64,
+        /// Approximate 90th percentile.
+        p90: f64,
+        /// Approximate 99th percentile.
+        p99: f64,
+    },
+}
+
+impl Record {
+    /// Serializes the record as one JSON line (no trailing newline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (statically impossible for this
+    /// schema).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("record serialization cannot fail")
+    }
+
+    /// Parses one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error for malformed or unknown records.
+    pub fn parse_line(line: &str) -> Result<Record, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(r: Record) {
+        let line = r.to_jsonl();
+        assert!(!line.contains('\n'), "single line: {line}");
+        let back = Record::parse_line(&line).unwrap();
+        assert_eq!(r, back, "via {line}");
+    }
+
+    #[test]
+    fn all_record_kinds_roundtrip() {
+        roundtrip(Record::Meta { run: "rq2".into(), schema: 1, version: "0.1.0".into() });
+        let mut fields = BTreeMap::new();
+        fields.insert("epoch".to_string(), Value::U64(3));
+        fields.insert("d_loss".to_string(), Value::F64(0.693));
+        fields.insert("note".to_string(), Value::Str("λ=150".into()));
+        roundtrip(Record::Event { t_ms: 12, name: "epoch".into(), fields });
+        roundtrip(Record::Progress { t_ms: 1, msg: "training 2/10".into() });
+        roundtrip(Record::Span {
+            path: "train_step/d_forward".into(),
+            thread: 2,
+            count: 40,
+            total_ns: 1_000_000,
+            min_ns: 10_000,
+            max_ns: 60_000,
+        });
+        roundtrip(Record::Counter { name: "nn.gemm.flops".into(), value: u64::MAX });
+        roundtrip(Record::Gauge { name: "gan.grad_norm.g".into(), value: 0.25 });
+        roundtrip(Record::Histogram {
+            name: "nn.gemm.shard_ns".into(),
+            count: 128,
+            sum: 5e6,
+            min: 100.0,
+            max: 90_000.0,
+            p50: 30_000.0,
+            p90: 70_000.0,
+            p99: 89_000.0,
+        });
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        assert!(Record::parse_line(r#"{"type":"mystery"}"#).is_err());
+        assert!(Record::parse_line("not json").is_err());
+    }
+
+    #[test]
+    fn event_fields_default_to_empty() {
+        let r = Record::parse_line(r#"{"type":"event","t_ms":0,"name":"x"}"#).unwrap();
+        match r {
+            Record::Event { fields, .. } => assert!(fields.is_empty()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}

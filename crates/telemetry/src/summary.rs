@@ -1,0 +1,296 @@
+//! In-process run summary and the human-readable table renderer.
+
+use std::collections::BTreeMap;
+
+/// Aggregated timings of one span path, merged across threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Hierarchical path (`train_step/d_forward`).
+    pub path: String,
+    /// Number of distinct threads that recorded this path.
+    pub threads: u32,
+    /// Completed scopes across all threads.
+    pub count: u64,
+    /// Total nanoseconds across all scopes.
+    pub total_ns: u64,
+    /// Fastest scope.
+    pub min_ns: u64,
+    /// Slowest scope.
+    pub max_ns: u64,
+}
+
+impl SpanSummary {
+    /// Mean nanoseconds per scope (`0` when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Percentile snapshot of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Exact minimum.
+    pub min: f64,
+    /// Exact maximum.
+    pub max: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 90th percentile.
+    pub p90: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+/// Everything a finished run aggregated, returned by
+/// [`crate::TelemetryGuard::finish`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Run name.
+    pub run: String,
+    /// Wall time from `init` to `finish`.
+    pub wall_seconds: f64,
+    /// Span aggregates merged across threads, sorted by path.
+    pub spans: Vec<SpanSummary>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// JSONL records written (0 when no sink was configured).
+    pub records: u64,
+}
+
+impl Summary {
+    /// Looks up a span aggregate by its exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Renders the summary as an aligned table (the end-of-run report
+    /// printed to stderr).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "── telemetry: {} ({} wall) ──\n",
+            self.run,
+            fmt_seconds(self.wall_seconds)
+        ));
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<40} {:>9} {:>10} {:>10} {:>10} {:>4}\n",
+                "span", "count", "total", "mean", "max", "thr"
+            ));
+            for s in &self.spans {
+                let depth = s.path.matches('/').count();
+                let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+                let label = format!("{}{}", "  ".repeat(depth), name);
+                out.push_str(&format!(
+                    "{:<40} {:>9} {:>10} {:>10} {:>10} {:>4}\n",
+                    clip(&label, 40),
+                    fmt_count(s.count),
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.mean_ns()),
+                    fmt_ns(s.max_ns),
+                    s.threads
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {:<38} {:>20}\n", clip(name, 38), fmt_count(*value)));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {:<38} {:>20.6}\n", clip(name, 38), value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<30} {:>9} {:>11} {:>11} {:>11}\n",
+                "histogram", "count", "p50", "p90", "max"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{:<30} {:>9} {:>11} {:>11} {:>11}\n",
+                    clip(name, 30),
+                    fmt_count(h.count),
+                    fmt_f64(h.p50),
+                    fmt_f64(h.p90),
+                    fmt_f64(h.max)
+                ));
+            }
+        }
+        out.push_str(&format!("records written: {}\n", self.records));
+        out
+    }
+}
+
+fn clip(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+/// `1.23s` / `45.1ms` / `830µs` / `120ns`.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 60.0 {
+        format!("{:.0}m{:02.0}s", (s / 60.0).floor(), s % 60.0)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+/// Compact SI counts: `1.23G` / `4.5M` / `6.7k` / `890`.
+fn fmt_count(v: u64) -> String {
+    let v = v as f64;
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Compact float for histogram cells.
+fn fmt_f64(v: f64) -> String {
+    let mag = v.abs();
+    if mag >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if mag >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if mag >= 1e4 {
+        format!("{:.1}k", v / 1e3)
+    } else if mag >= 1.0 || mag == 0.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        Summary {
+            run: "unit".to_string(),
+            wall_seconds: 12.5,
+            spans: vec![
+                SpanSummary {
+                    path: "train_step".into(),
+                    threads: 1,
+                    count: 40,
+                    total_ns: 1_200_000_000,
+                    min_ns: 20_000_000,
+                    max_ns: 45_000_000,
+                },
+                SpanSummary {
+                    path: "train_step/d_forward".into(),
+                    threads: 1,
+                    count: 40,
+                    total_ns: 400_000_000,
+                    min_ns: 8_000_000,
+                    max_ns: 15_000_000,
+                },
+            ],
+            counters: [("nn.gemm.flops".to_string(), 1_234_000_000u64)].into(),
+            gauges: [("gan.grad_norm.g".to_string(), 0.25f64)].into(),
+            histograms: [(
+                "nn.gemm.shard_ns".to_string(),
+                HistogramSummary {
+                    count: 128,
+                    sum: 5e6,
+                    min: 100.0,
+                    max: 90_000.0,
+                    p50: 30_000.0,
+                    p90: 70_000.0,
+                    p99: 89_000.0,
+                },
+            )]
+            .into(),
+            records: 17,
+        }
+    }
+
+    #[test]
+    fn span_lookup_and_mean() {
+        let s = sample();
+        let step = s.span("train_step").unwrap();
+        assert_eq!(step.mean_ns(), 30_000_000);
+        assert!(s.span("missing").is_none());
+        assert_eq!(
+            SpanSummary {
+                path: "x".into(),
+                threads: 0,
+                count: 0,
+                total_ns: 0,
+                min_ns: 0,
+                max_ns: 0
+            }
+            .mean_ns(),
+            0
+        );
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let table = sample().render();
+        assert!(table.contains("telemetry: unit"));
+        assert!(table.contains("train_step"));
+        assert!(table.contains("  d_forward"), "nested span indented:\n{table}");
+        assert!(table.contains("nn.gemm.flops"));
+        assert!(table.contains("1.23G"));
+        assert!(table.contains("gan.grad_norm.g"));
+        assert!(table.contains("nn.gemm.shard_ns"));
+        assert!(table.contains("records written: 17"));
+    }
+
+    #[test]
+    fn render_of_empty_summary_is_minimal() {
+        let table = Summary::default().render();
+        assert!(table.contains("records written: 0"));
+        assert!(!table.contains("counters"));
+        assert!(!table.contains("span "));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ns(120), "120ns");
+        assert_eq!(fmt_ns(830_000), "830.0µs");
+        assert_eq!(fmt_ns(45_100_000), "45.1ms");
+        assert_eq!(fmt_ns(1_230_000_000), "1.23s");
+        assert_eq!(fmt_count(890), "890");
+        assert_eq!(fmt_count(67_000), "67.0k");
+        assert_eq!(fmt_count(4_500_000), "4.5M");
+        assert_eq!(fmt_seconds(90.0), "1m30s");
+        assert_eq!(fmt_f64(0.25), "0.2500");
+        assert_eq!(clip("abc", 2), "a…");
+    }
+}

@@ -1,0 +1,313 @@
+//! Consistency checks between a JSONL stream and its run manifest,
+//! used by the CI smoke job (via the `validate_telemetry` bench binary)
+//! and the end-to-end tests.
+
+use crate::manifest::RunManifest;
+use crate::record::Record;
+use crate::SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Tally of a validated stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Total JSONL records parsed.
+    pub records: u64,
+    /// Point events.
+    pub events: u64,
+    /// Progress lines.
+    pub progress: u64,
+    /// Span aggregates.
+    pub spans: u64,
+    /// Counter aggregates.
+    pub counters: u64,
+    /// Gauge aggregates.
+    pub gauges: u64,
+    /// Histogram aggregates.
+    pub histograms: u64,
+}
+
+/// Validates a `telemetry.jsonl` stream against its manifest:
+///
+/// * every line parses as a known [`Record`];
+/// * the stream opens with a [`Record::Meta`] whose run name and schema
+///   version match the manifest;
+/// * span aggregates are internally consistent
+///   (`count > 0`, `min ≤ max ≤ total`);
+/// * histogram percentiles are monotone within `[min, max]`;
+/// * counter records reproduce the manifest's counter map exactly;
+/// * the line count equals `manifest.records`.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport, String> {
+    let manifest = RunManifest::load(manifest)?;
+    let text = std::fs::read_to_string(jsonl)
+        .map_err(|e| format!("cannot read stream {}: {e}", jsonl.display()))?;
+
+    if manifest.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "manifest schema {} != supported {SCHEMA_VERSION}",
+            manifest.schema_version
+        ));
+    }
+
+    let mut report = ValidationReport::default();
+    let mut stream_counters: BTreeMap<String, u64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let record = Record::parse_line(line)
+            .map_err(|e| format!("{}:{lineno}: bad record: {e}", jsonl.display()))?;
+        report.records += 1;
+        match record {
+            Record::Meta { run, schema, .. } => {
+                if lineno != 1 {
+                    return Err(format!("line {lineno}: meta record not at stream head"));
+                }
+                if run != manifest.run {
+                    return Err(format!(
+                        "run mismatch: stream {run:?} vs manifest {:?}",
+                        manifest.run
+                    ));
+                }
+                if schema != manifest.schema_version {
+                    return Err(format!(
+                        "schema mismatch: stream {schema} vs manifest {}",
+                        manifest.schema_version
+                    ));
+                }
+            }
+            Record::Event { .. } => report.events += 1,
+            Record::Progress { .. } => report.progress += 1,
+            Record::Span { path, count, total_ns, min_ns, max_ns, .. } => {
+                report.spans += 1;
+                if count == 0 {
+                    return Err(format!("line {lineno}: span {path:?} with zero count"));
+                }
+                if min_ns > max_ns || max_ns > total_ns {
+                    return Err(format!(
+                        "line {lineno}: span {path:?} inconsistent: min {min_ns} max {max_ns} total {total_ns}"
+                    ));
+                }
+            }
+            Record::Counter { name, value } => {
+                report.counters += 1;
+                stream_counters.insert(name, value);
+            }
+            Record::Gauge { value, name } => {
+                report.gauges += 1;
+                if !value.is_finite() {
+                    return Err(format!("line {lineno}: gauge {name:?} is not finite"));
+                }
+            }
+            Record::Histogram { name, count, min, max, p50, p90, p99, .. } => {
+                report.histograms += 1;
+                if count == 0 {
+                    return Err(format!("line {lineno}: histogram {name:?} with zero count"));
+                }
+                let ordered = min <= p50 && p50 <= p90 && p90 <= p99 && p99 <= max;
+                if !ordered {
+                    return Err(format!(
+                        "line {lineno}: histogram {name:?} percentiles not monotone: \
+                         min {min} p50 {p50} p90 {p90} p99 {p99} max {max}"
+                    ));
+                }
+            }
+        }
+    }
+
+    if report.records == 0 {
+        return Err(format!("{}: empty stream", jsonl.display()));
+    }
+    if report.records != manifest.records {
+        return Err(format!(
+            "record count mismatch: stream has {} lines, manifest says {}",
+            report.records, manifest.records
+        ));
+    }
+    if stream_counters != manifest.counters {
+        return Err(format!(
+            "counter mismatch: stream {stream_counters:?} vs manifest {:?}",
+            manifest.counters
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::path::PathBuf;
+
+    fn write_pair(name: &str, lines: &[String], mut manifest: RunManifest) -> (PathBuf, PathBuf) {
+        let dir = std::env::temp_dir().join("cachebox-telemetry-validate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join(format!("{name}.jsonl"));
+        std::fs::write(&jsonl, lines.join("\n") + "\n").unwrap();
+        let mpath = RunManifest::manifest_path_for(&jsonl);
+        manifest.records = lines.len() as u64;
+        manifest.save(&mpath).unwrap();
+        (jsonl, mpath)
+    }
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            schema_version: SCHEMA_VERSION,
+            run: "v".to_string(),
+            version: "0".to_string(),
+            git_rev: None,
+            started_unix_ms: 0,
+            wall_seconds: 0.0,
+            threads: 1,
+            seed: None,
+            config: BTreeMap::new(),
+            records: 0,
+            jsonl: None,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    fn meta() -> String {
+        Record::Meta { run: "v".into(), schema: SCHEMA_VERSION, version: "0".into() }.to_jsonl()
+    }
+
+    #[test]
+    fn valid_stream_passes() {
+        let mut m = manifest();
+        m.counters.insert("c".into(), 5);
+        let lines = vec![
+            meta(),
+            Record::Event {
+                t_ms: 1,
+                name: "epoch".into(),
+                fields: [("d_loss".to_string(), Value::F64(0.7))].into(),
+            }
+            .to_jsonl(),
+            Record::Progress { t_ms: 2, msg: "half way".into() }.to_jsonl(),
+            Record::Span {
+                path: "a/b".into(),
+                thread: 0,
+                count: 2,
+                total_ns: 30,
+                min_ns: 10,
+                max_ns: 20,
+            }
+            .to_jsonl(),
+            Record::Counter { name: "c".into(), value: 5 }.to_jsonl(),
+            Record::Gauge { name: "g".into(), value: 0.5 }.to_jsonl(),
+            Record::Histogram {
+                name: "h".into(),
+                count: 3,
+                sum: 6.0,
+                min: 1.0,
+                max: 3.0,
+                p50: 2.0,
+                p90: 3.0,
+                p99: 3.0,
+            }
+            .to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("ok", &lines, m);
+        let report = validate_files(&jsonl, &mpath).unwrap();
+        assert_eq!(
+            report,
+            ValidationReport {
+                records: 7,
+                events: 1,
+                progress: 1,
+                spans: 1,
+                counters: 1,
+                gauges: 1,
+                histograms: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn record_count_mismatch_fails() {
+        let mut m = manifest();
+        m.records = 99; // will be overwritten by write_pair; adjust after
+        let lines = vec![meta()];
+        let (jsonl, mpath) = write_pair("count", &lines, m);
+        let mut bad = RunManifest::load(&mpath).unwrap();
+        bad.records = 99;
+        bad.save(&mpath).unwrap();
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("record count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn counter_mismatch_fails() {
+        let mut m = manifest();
+        m.counters.insert("c".into(), 4);
+        let lines = vec![meta(), Record::Counter { name: "c".into(), value: 5 }.to_jsonl()];
+        let (jsonl, mpath) = write_pair("counter", &lines, m);
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("counter mismatch"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_span_fails() {
+        let lines = vec![
+            meta(),
+            Record::Span {
+                path: "a".into(),
+                thread: 0,
+                count: 1,
+                total_ns: 5,
+                min_ns: 10,
+                max_ns: 10,
+            }
+            .to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("span", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn non_monotone_histogram_fails() {
+        let lines = vec![
+            meta(),
+            Record::Histogram {
+                name: "h".into(),
+                count: 1,
+                sum: 1.0,
+                min: 1.0,
+                max: 2.0,
+                p50: 3.0,
+                p90: 1.5,
+                p99: 1.5,
+            }
+            .to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("hist", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn missing_meta_and_bad_lines_fail() {
+        let lines = vec![Record::Progress { t_ms: 0, msg: "no meta".into() }.to_jsonl(), meta()];
+        let (jsonl, mpath) = write_pair("meta", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("not at stream head"), "{err}");
+
+        let lines = vec![meta(), "{broken".to_string()];
+        let (jsonl, mpath) = write_pair("parse", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("bad record"), "{err}");
+    }
+
+    #[test]
+    fn run_name_mismatch_fails() {
+        let mut m = manifest();
+        m.run = "other".to_string();
+        let lines = vec![meta()];
+        let (jsonl, mpath) = write_pair("run", &lines, m);
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("run mismatch"), "{err}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Loosely typed field values for events and manifests.
+
+use serde::{Deserialize, Serialize};
+
+/// A JSON-representable scalar attached to events and manifest entries.
+///
+/// Untagged: values serialize as plain JSON scalars. On deserialization
+/// integers come back as [`Value::U64`]/[`Value::I64`] and everything
+/// fractional as [`Value::F64`], matching the variant order below.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Value {
+    /// A boolean flag.
+    Bool(bool),
+    /// An unsigned integer (counts, sizes, seeds).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (losses, rates, seconds).
+    F64(f64),
+    /// A string (names, labels).
+    Str(String),
+}
+
+impl Value {
+    /// The value as an `f64` when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice when it is textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize_untagged() {
+        assert_eq!(serde_json::to_string(&Value::U64(3)).unwrap(), "3");
+        assert_eq!(serde_json::to_string(&Value::F64(0.5)).unwrap(), "0.5");
+        assert_eq!(serde_json::to_string(&Value::Str("x".into())).unwrap(), "\"x\"");
+        assert_eq!(serde_json::to_string(&Value::Bool(true)).unwrap(), "true");
+    }
+
+    #[test]
+    fn roundtrip_preserves_numeric_kind() {
+        for v in [Value::U64(7), Value::I64(-7), Value::F64(1.25), Value::Bool(false)] {
+            let s = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&s).unwrap();
+            assert_eq!(v, back, "via {s}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::from(2u64).as_f64(), Some(2.0));
+        assert_eq!(Value::from(-2i64).as_f64(), Some(-2.0));
+        assert_eq!(Value::from("a").as_str(), Some("a"));
+        assert_eq!(Value::from(true).as_f64(), None);
+    }
+}

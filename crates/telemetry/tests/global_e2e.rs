@@ -1,0 +1,95 @@
+//! End-to-end lifecycle of the global collector: install, record from
+//! the main thread and short-lived workers, finish, then validate the
+//! JSONL stream against the run manifest.
+//!
+//! The collector is process-global (one run per process), so this binary
+//! holds exactly one test.
+
+use cachebox_telemetry as telemetry;
+
+#[test]
+fn full_run_roundtrip() {
+    let dir = std::env::temp_dir().join("cachebox-telemetry-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("e2e.jsonl");
+
+    let guard = telemetry::init(
+        telemetry::TelemetryConfig::new("e2e")
+            .with_jsonl(&jsonl)
+            .with_summary(false)
+            .with_threads(4)
+            .with_seed(7)
+            .with_kv("scale", "tiny")
+            .with_kv("epochs", 2u64),
+    );
+    assert!(telemetry::enabled());
+
+    // Nested spans and metrics on the main thread.
+    {
+        let _outer = telemetry::span("train_step");
+        for _ in 0..3 {
+            let _inner = telemetry::span("d_forward");
+            telemetry::counter("main.iters", 1);
+        }
+    }
+    telemetry::gauge("grad_norm", 0.5);
+    telemetry::observe("batch_ms", 12.0);
+    telemetry::event("epoch", &[("epoch", 0u64.into()), ("d_loss", 0.7f64.into())]);
+    telemetry::progress!("epoch {} done", 0);
+
+    // Worker threads merge their buffers automatically on exit — the
+    // same shape as the scoped GEMM/pipeline workers.
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let _s = telemetry::span("worker");
+                telemetry::counter("worker.iters", i + 1);
+                telemetry::observe("shard_ns", (i + 1) as f64 * 100.0);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let summary = guard.finish();
+    assert!(!telemetry::enabled(), "finish disables recording");
+
+    // Aggregation across threads.
+    assert_eq!(summary.run, "e2e");
+    assert_eq!(summary.counters["main.iters"], 3);
+    assert_eq!(summary.counters["worker.iters"], 1 + 2 + 3 + 4);
+    let worker = summary.span("worker").expect("worker span");
+    assert_eq!(worker.count, 4);
+    assert_eq!(worker.threads, 4, "one buffer per worker thread");
+    let nested = summary.span("train_step/d_forward").expect("nested path");
+    assert_eq!(nested.count, 3);
+    assert!(summary.span("train_step").is_some());
+    let shard = &summary.histograms["shard_ns"];
+    assert_eq!(shard.count, 4);
+    assert_eq!(shard.min, 100.0);
+    assert_eq!(shard.max, 400.0);
+    assert_eq!(summary.gauges["grad_norm"], 0.5);
+    assert!(summary.records > 0);
+
+    // Stream and manifest agree, per the shared validator.
+    let manifest_path = telemetry::RunManifest::manifest_path_for(&jsonl);
+    let report = telemetry::validate::validate_files(&jsonl, &manifest_path)
+        .expect("stream validates against manifest");
+    assert_eq!(report.records, summary.records);
+    assert!(report.events >= 1);
+    assert!(report.progress >= 1);
+    assert!(report.spans >= 6, "3 main-thread paths + 4 worker entries");
+
+    let manifest = telemetry::RunManifest::load(&manifest_path).unwrap();
+    assert_eq!(manifest.run, "e2e");
+    assert_eq!(manifest.seed, Some(7));
+    assert_eq!(manifest.threads, 4);
+    assert_eq!(manifest.config["scale"], telemetry::Value::Str("tiny".into()));
+    assert_eq!(manifest.counters["main.iters"], 3);
+
+    // After finish everything is inert again (no panic, no effect).
+    telemetry::counter("late", 1);
+    let _late = telemetry::span("late");
+    telemetry::flush_thread();
+}

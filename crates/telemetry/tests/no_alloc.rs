@@ -1,0 +1,67 @@
+//! Proves the "zero cost when disabled" contract: with no collector
+//! installed, the recording API performs no heap allocation at all.
+//!
+//! This lives in its own integration-test binary so the counting
+//! allocator and the never-enabled telemetry state cannot interfere
+//! with other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recording_does_not_allocate() {
+    use cachebox_telemetry as telemetry;
+    assert!(!telemetry::enabled(), "collector must never be installed in this binary");
+
+    // One untimed warm-up pass so lazy runtime setup (if any) is paid
+    // before counting starts.
+    let _warm = telemetry::span("warm");
+    telemetry::counter("warm", 1);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let _step = telemetry::span("train_step");
+        let _fwd = telemetry::span("d_forward");
+        telemetry::counter("nn.gemm.flops", i);
+        telemetry::gauge("gan.grad_norm.g", i as f64);
+        telemetry::observe("nn.gemm.shard_ns", i as f64);
+        telemetry::event("epoch", &[("epoch", i.into())]);
+        let _stage = telemetry::stage("rq2.train");
+        telemetry::flush_thread();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry fast path allocated {} times",
+        after - before
+    );
+}

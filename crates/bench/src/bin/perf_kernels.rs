@@ -1,0 +1,394 @@
+//! Measures the blocked/packed GEMM against the naive oracle, the
+//! batch-parallel conv layers against the serial loop, and derives the
+//! serial/parallel crossover threshold — asserting bitwise identity
+//! everywhere — then writes the results as JSON (see
+//! `BENCH_kernels.json` at the repo root for a recorded run).
+//!
+//! ```text
+//! cargo run --release -p cachebox-bench --bin perf_kernels -- \
+//!     [--smoke] [--threads N[,N...]] [--out PATH] [--telemetry PATH]
+//! ```
+//!
+//! Build with `--features simd` to measure the AVX microkernel (the
+//! `kernel` field in the report names which microkernel ran).
+
+use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer};
+use cachebox_nn::parallel::{self, Parallelism};
+use cachebox_nn::{blocked, gemm, Tensor};
+use cachebox_telemetry::progress;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct GemmRecord {
+    shape: [usize; 3],
+    naive_seconds: f64,
+    blocked_seconds: f64,
+    speedup: f64,
+    naive_gflops: f64,
+    blocked_gflops: f64,
+    /// The AVX microkernel, measured separately (`None` unless built
+    /// with `--features simd` on a CPU with AVX).
+    simd_seconds: Option<f64>,
+    simd_speedup: Option<f64>,
+    simd_gflops: Option<f64>,
+    bitwise_identical: bool,
+}
+
+#[derive(Serialize)]
+struct ConvRecord {
+    layer: &'static str,
+    threads: usize,
+    forward_seconds: f64,
+    backward_seconds: f64,
+    forward_speedup: f64,
+    backward_speedup: f64,
+    bitwise_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Threshold {
+    spawn_overhead_seconds: f64,
+    blocked_macs_per_second: f64,
+    derived_crossover_macs: u64,
+    current_default_macs: u64,
+    env_var: &'static str,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_cpus: usize,
+    kernel: &'static str,
+    simd_active: bool,
+    gemm: Vec<GemmRecord>,
+    conv: Vec<ConvRecord>,
+    threshold: Threshold,
+    note: String,
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Args {
+    smoke: bool,
+    threads: Vec<usize>,
+    out: std::path::PathBuf,
+    telemetry: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        threads: vec![2usize, 4],
+        out: std::path::PathBuf::from("BENCH_kernels.json"),
+        telemetry: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--threads" => {
+                args.threads = value("--threads")
+                    .split(',')
+                    .map(|t| {
+                        t.trim().parse().unwrap_or_else(|e| {
+                            eprintln!("error: bad --threads entry {t:?}: {e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .filter(|&n| n > 1)
+                    .collect();
+            }
+            "--out" => args.out = std::path::PathBuf::from(value("--out")),
+            "--telemetry" => args.telemetry = Some(std::path::PathBuf::from(value("--telemetry"))),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                eprintln!(
+                    "usage: perf_kernels [--smoke] [--threads N[,N...]] [--out PATH] [--telemetry PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Dense data with no exact zeros: the naive kernels' zero-skip branch
+/// would otherwise skip whole rows of work and distort the comparison
+/// (zero-dense inputs are covered by the bitwise property tests, not
+/// timed here).
+fn filled(len: usize, phase: usize) -> Vec<f32> {
+    (0..len).map(|i| (((i * 7 + phase) % 13) as f32 - 6.5) / 6.5).collect()
+}
+
+fn filled_tensor(shape: [usize; 4], phase: usize) -> Tensor {
+    Tensor::from_vec(shape, filled(shape.iter().product(), phase))
+}
+
+/// Naive vs blocked-scalar vs blocked-AVX at one cube size,
+/// single-threaded, bitwise-checked.
+fn bench_gemm(size: usize, reps: usize) -> GemmRecord {
+    let (m, k, n) = (size, size, size);
+    let a = filled(m * k, 1);
+    let b = filled(k * n, 2);
+    let flops = 2.0 * (m * k * n) as f64;
+
+    let mut reference = vec![0.0f32; m * n];
+    let naive_seconds = best_of(reps, || {
+        reference.fill(0.0);
+        gemm::gemm_acc(&a, &b, m, k, n, &mut reference);
+    });
+
+    // Scalar microkernel (SIMD forced off so both kernels are measured
+    // regardless of build features).
+    blocked::set_simd_enabled(false);
+    let mut out = vec![0.0f32; m * n];
+    let blocked_seconds = best_of(reps, || {
+        out.fill(0.0);
+        blocked::gemm_acc(&a, &b, m, k, n, &mut out);
+    });
+    let mut bitwise_identical = reference == out;
+    assert!(bitwise_identical, "blocked scalar GEMM diverged from naive at {size}^3");
+
+    blocked::set_simd_enabled(true);
+    let (mut simd_seconds, mut simd_speedup, mut simd_gflops) = (None, None, None);
+    if blocked::simd_active() {
+        let seconds = best_of(reps, || {
+            out.fill(0.0);
+            blocked::gemm_acc(&a, &b, m, k, n, &mut out);
+        });
+        bitwise_identical = reference == out;
+        assert!(bitwise_identical, "blocked AVX GEMM diverged from naive at {size}^3");
+        simd_seconds = Some(seconds);
+        simd_speedup = Some(naive_seconds / seconds);
+        simd_gflops = Some(flops / seconds / 1e9);
+    }
+
+    let speedup = naive_seconds / blocked_seconds;
+    progress!(
+        "gemm {size}^3: naive {naive_seconds:.5}s, blocked {blocked_seconds:.5}s \
+         ({speedup:.2}x){}",
+        match simd_seconds {
+            Some(s) => format!(", avx {s:.5}s ({:.2}x)", naive_seconds / s),
+            None => String::new(),
+        }
+    );
+    GemmRecord {
+        shape: [m, k, n],
+        naive_seconds,
+        blocked_seconds,
+        speedup,
+        naive_gflops: flops / naive_seconds / 1e9,
+        blocked_gflops: flops / blocked_seconds / 1e9,
+        simd_seconds,
+        simd_speedup,
+        simd_gflops,
+        bitwise_identical,
+    }
+}
+
+/// Forward + backward under an installed budget; returns outputs and
+/// gradients for the bitwise check.
+fn conv_step<L: Layer>(layer: &mut L, input: &Tensor) -> (Tensor, Tensor, Vec<Vec<f32>>) {
+    let out = layer.forward(input, true);
+    let grad_out = filled_tensor(out.shape(), 5);
+    layer.zero_grad();
+    let grad_in = layer.backward(&grad_out);
+    let mut grads = Vec::new();
+    layer.visit_params(&mut |p| grads.push(p.grad.clone()));
+    (out, grad_in, grads)
+}
+
+fn bench_conv<L: Layer>(
+    label: &'static str,
+    mut make: impl FnMut() -> L,
+    input: &Tensor,
+    threads: &[usize],
+    reps: usize,
+    records: &mut Vec<ConvRecord>,
+) {
+    Parallelism::serial().install();
+    let mut layer = make();
+    let serial_result = conv_step(&mut layer, input);
+    let fwd_serial = best_of(reps, || {
+        layer.forward(input, true);
+    });
+    let grad_out = filled_tensor(serial_result.0.shape(), 5);
+    let bwd_serial = best_of(reps, || {
+        layer.zero_grad();
+        layer.backward(&grad_out);
+    });
+    progress!("{label} serial: fwd {fwd_serial:.5}s, bwd {bwd_serial:.5}s");
+    records.push(ConvRecord {
+        layer: label,
+        threads: 1,
+        forward_seconds: fwd_serial,
+        backward_seconds: bwd_serial,
+        forward_speedup: 1.0,
+        backward_speedup: 1.0,
+        bitwise_identical: true,
+    });
+
+    for &t in threads {
+        Parallelism::new(t).install();
+        let mut layer = make();
+        let result = conv_step(&mut layer, input);
+        let bitwise_identical = result == serial_result;
+        assert!(bitwise_identical, "{label} diverged from serial at {t} threads");
+        let forward_seconds = best_of(reps, || {
+            layer.forward(input, true);
+        });
+        let backward_seconds = best_of(reps, || {
+            layer.zero_grad();
+            layer.backward(&grad_out);
+        });
+        let forward_speedup = fwd_serial / forward_seconds;
+        let backward_speedup = bwd_serial / backward_seconds;
+        progress!(
+            "{label} {t} threads: fwd {forward_seconds:.5}s ({forward_speedup:.2}x), \
+             bwd {backward_seconds:.5}s ({backward_speedup:.2}x)"
+        );
+        records.push(ConvRecord {
+            layer: label,
+            threads: t,
+            forward_seconds,
+            backward_seconds,
+            forward_speedup,
+            backward_speedup,
+            bitwise_identical,
+        });
+    }
+    Parallelism::serial().install();
+}
+
+/// Derives the serial/parallel crossover: the MAC count whose serial
+/// runtime equals roughly twice the cost of spawning a worker pair, so
+/// splitting starts to pay. On single-core hosts no true crossover is
+/// measurable; the derivation still yields a sane spawn-amortisation
+/// bound (flagged in the note).
+fn derive_threshold(blocked_macs_per_second: f64, host_cpus: usize) -> Threshold {
+    // Probe real OS-thread spawn + join cost (what a scoped parallel
+    // region pays per worker pair).
+    let spawn_overhead_seconds = best_of(20, || {
+        let handles: Vec<_> =
+            (0..2).map(|_| std::thread::spawn(|| std::hint::black_box(0u64))).collect();
+        for h in handles {
+            h.join().expect("spawn probe panicked");
+        }
+    });
+    let derived = (2.0 * spawn_overhead_seconds * blocked_macs_per_second) as u64;
+    let note = if host_cpus <= 1 {
+        "host has a single CPU: no parallel speedup is measurable, so the crossover is \
+         derived from spawn overhead x MAC rate rather than observed"
+            .to_string()
+    } else {
+        "crossover derived from measured spawn overhead x single-thread MAC rate".to_string()
+    };
+    progress!(
+        "threshold: spawn {spawn_overhead_seconds:.2e}s, \
+         {blocked_macs_per_second:.3e} MAC/s -> crossover ~{derived} MACs \
+         (default {})",
+        parallel::PAR_FLOP_THRESHOLD
+    );
+    Threshold {
+        spawn_overhead_seconds,
+        blocked_macs_per_second,
+        derived_crossover_macs: derived,
+        current_default_macs: parallel::PAR_FLOP_THRESHOLD as u64,
+        env_var: parallel::GEMM_THRESHOLD_ENV_VAR,
+        note,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let _telemetry = match args.telemetry {
+        Some(path) => {
+            let config = cachebox_telemetry::TelemetryConfig::new("perf_kernels")
+                .with_jsonl(path)
+                .with_threads(args.threads.iter().copied().max().unwrap_or(1));
+            Some(cachebox_telemetry::init(config))
+        }
+        None => cachebox_telemetry::init_from_env("perf_kernels"),
+    };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    progress!(
+        "=== CacheBox kernel measurement (host cpus: {host_cpus}, kernel: {}) ===",
+        blocked::kernel_label()
+    );
+    if host_cpus <= 1 {
+        eprintln!(
+            "warning: single-CPU host; thread-count speedups will not exceed 1x \
+             (bitwise checks still meaningful)"
+        );
+    }
+
+    let (gemm_sizes, conv_shape, reps): (&[usize], [usize; 4], usize) =
+        if args.smoke { (&[64, 96], [2, 3, 12, 12], 2) } else { (&[256, 512], [4, 8, 32, 32], 5) };
+
+    let gemm_records: Vec<GemmRecord> = gemm_sizes.iter().map(|&s| bench_gemm(s, reps)).collect();
+
+    let mut conv_records = Vec::new();
+    let input = filled_tensor(conv_shape, 1);
+    bench_conv(
+        "conv2d",
+        || Conv2d::new(conv_shape[1], 2 * conv_shape[1], 4, 2, 1, 42),
+        &input,
+        &args.threads,
+        reps,
+        &mut conv_records,
+    );
+    bench_conv(
+        "conv_transpose2d",
+        || ConvTranspose2d::new(conv_shape[1], conv_shape[1], 4, 2, 1, 42),
+        &input,
+        &args.threads,
+        reps,
+        &mut conv_records,
+    );
+
+    // MAC rate from the largest measured cube.
+    let rate = gemm_records
+        .last()
+        .map(|r| {
+            let [m, k, n] = r.shape;
+            (m * k * n) as f64 / r.blocked_seconds
+        })
+        .unwrap_or(1e9);
+    let threshold = derive_threshold(rate, host_cpus);
+
+    let report = Report {
+        host_cpus,
+        kernel: blocked::kernel_label(),
+        simd_active: blocked::simd_active(),
+        gemm: gemm_records,
+        conv: conv_records,
+        threshold,
+        note: format!(
+            "best-of-{reps} wall-clock; all speedups bitwise-verified against the naive \
+             oracle / serial loop{}",
+            if args.smoke { " (smoke sizes)" } else { "" }
+        ),
+    };
+    match cachebox::report::save_json(&args.out, &report) {
+        Ok(()) => progress!("wrote {}", args.out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", args.out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -108,6 +108,12 @@ fn main() {
     };
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     progress!("=== CacheBox parallel speedup measurement (host cpus: {host_cpus}) ===");
+    if host_cpus <= 1 {
+        eprintln!(
+            "warning: single-CPU host; speedups will not exceed 1x and this report \
+             measures dispatch overhead, not scaling"
+        );
+    }
 
     // ---- GEMM kernel: serial baseline vs row-partitioned parallel.
     let (m, k, n) = (256usize, 256, 256);

@@ -240,6 +240,10 @@ impl GanTrainer {
         batch_idx: usize,
     ) -> Result<TrainStats, TrainError> {
         let _step = telemetry::span("gan.train_step");
+        // Make the trainer's thread budget visible to the conv layers'
+        // batch-sharding and GEMM dispatch even when a step is driven
+        // directly (tests, benches) rather than through `fit`.
+        self.parallelism.install();
         let TrainSample { input, target, params } = batch;
         // ---- Generator forward (kept cached for the G update below).
         let fake = {

@@ -1,0 +1,585 @@
+//! Cache-blocked, packed GEMM with an explicit 8-wide `f32` microkernel.
+//!
+//! The naive [`crate::gemm`] kernels stream the whole `k×n` B panel (and
+//! re-load/re-store every output row once per depth step), which thrashes
+//! L2 as soon as a panel outgrows the cache. This module implements the
+//! standard three-level blocking scheme (BLIS/GotoBLAS style): the
+//! operands are cut into `MC×KC` and `KC×NC` blocks that are **packed**
+//! into contiguous, microkernel-ordered tiles, and an `MR×NR` register
+//! microkernel accumulates each output tile with one memory round-trip
+//! per `KC` depth block instead of one per multiply.
+//!
+//! # Determinism contract
+//!
+//! Every function here is **bitwise identical** to its naive oracle in
+//! [`crate::gemm`]. That is possible because:
+//!
+//! * each output element still accumulates its products in strictly
+//!   increasing depth (`p`) order — blocking only changes *which other*
+//!   elements are updated in between, never the per-element sequence;
+//! * multiplies and adds stay separate instructions (no FMA anywhere,
+//!   scalar or SIMD: IEEE-754 lane ops equal scalar ops exactly);
+//! * intermediate accumulators round-trip through `f32` registers or
+//!   memory, both of which are exact;
+//! * the naive kernels' `a == 0.0` skip branch is preserved identically
+//!   (`gemm_acc`/`gemm_at_b_acc` skip, `gemm_a_bt_acc` does not), so even
+//!   signed-zero and NaN propagation match.
+//!
+//! The property test `blocked_gemm_bitwise_equals_naive` in
+//! `crates/nn/tests/properties.rs` asserts this across random shapes,
+//! including zero-dense inputs that exercise the skip branch.
+//!
+//! # SIMD
+//!
+//! The portable default microkernel is a scalar `MR×NR` register tile
+//! whose 8-wide inner lane loop auto-vectorizes. With the `simd` cargo
+//! feature on `x86_64`, an explicit AVX microkernel
+//! (`_mm256_mul_ps`/`_mm256_add_ps`, runtime-detected) replaces it; on
+//! targets without AVX the scalar kernel is used transparently, so the
+//! feature is always safe to enable. See `docs/KERNELS.md`.
+
+use crate::scratch;
+use cachebox_telemetry as telemetry;
+
+/// Microkernel rows: independent register accumulator rows per tile.
+pub const MR: usize = 4;
+
+/// Microkernel columns: the 8-wide `f32` lane width (one AVX register).
+pub const NR: usize = 8;
+
+/// Rows of A packed per block (`MC×KC` A panel stays L2-resident).
+pub const MC: usize = 64;
+
+/// Depth of one packed block (`KC×NR` B strip stays L1-resident).
+pub const KC: usize = 256;
+
+/// Columns of B packed per block (`KC×NC` B panel stays L2-resident).
+pub const NC: usize = 256;
+
+/// Minimum `m·k·n` MAC count for the blocked path. Below this the
+/// packing overhead outweighs the cache savings and the auto dispatch
+/// runs the naive kernel instead — results are bitwise identical either
+/// way, so the cutoff is purely a performance choice (measured with
+/// `perf_kernels`, see `BENCH_kernels.json`).
+pub const BLOCKED_MIN_MACS: usize = 4096;
+
+/// Process-wide kill switch for the AVX microkernel (benchmarks use it
+/// to measure the scalar and SIMD kernels in one binary).
+static SIMD_DISABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Enables or disables the AVX microkernel at runtime. A no-op unless
+/// the crate was built with the `simd` feature; results are bitwise
+/// identical either way, so this is purely a measurement aid.
+pub fn set_simd_enabled(enabled: bool) {
+    SIMD_DISABLED.store(!enabled, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether the explicit AVX microkernel is compiled in *and* the CPU
+/// supports it at runtime (and it has not been disabled via
+/// [`set_simd_enabled`]).
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        !SIMD_DISABLED.load(std::sync::atomic::Ordering::Relaxed)
+            && std::arch::is_x86_feature_detected!("avx")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Human-readable microkernel identifier for benchmark reports.
+pub fn kernel_label() -> &'static str {
+    if simd_active() {
+        "avx-f32x8-4x8"
+    } else {
+        "scalar-f32x8-4x8"
+    }
+}
+
+/// A packing source: how to read element `(r, c)` of a logical matrix.
+#[derive(Clone, Copy)]
+enum Mat<'a> {
+    /// `element(r, c) = data[r * ld + c]` — an ordinary row-major matrix.
+    Rows { data: &'a [f32], ld: usize },
+    /// `element(r, c) = data[c * ld + off + r]` — a column-major view,
+    /// i.e. the transpose of a row-major buffer, with `off` selecting a
+    /// starting row of the transposed matrix.
+    Cols { data: &'a [f32], ld: usize, off: usize },
+}
+
+impl Mat<'_> {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        match *self {
+            Mat::Rows { data, ld } => data[r * ld + c],
+            Mat::Cols { data, ld, off } => data[c * ld + off + r],
+        }
+    }
+}
+
+/// Packs the `mc×kc` block of `a` starting at `(row0, col0)` into
+/// MR-interleaved strips: strip `s` holds rows `s*MR..s*MR+MR` in
+/// depth-major order (`apack[s*kc*MR + p*MR + r]`), zero-padded past
+/// `mc`. Padded lanes are never read back (edge tiles use the partial
+/// kernel), they only keep the stride uniform.
+fn pack_a(a: Mat<'_>, row0: usize, col0: usize, mc: usize, kc: usize, apack: &mut [f32]) {
+    for s in 0..mc.div_ceil(MR) {
+        let strip = &mut apack[s * kc * MR..(s + 1) * kc * MR];
+        let rows = MR.min(mc - s * MR);
+        for (p, lane) in strip.chunks_exact_mut(MR).enumerate() {
+            for (r, slot) in lane.iter_mut().enumerate() {
+                *slot = if r < rows { a.at(row0 + s * MR + r, col0 + p) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs the `kc×nc` block of `b` starting at `(row0, col0)` into
+/// NR-interleaved strips (`bpack[s*kc*NR + p*NR + j]`), zero-padded past
+/// `nc`.
+fn pack_b(b: Mat<'_>, row0: usize, col0: usize, kc: usize, nc: usize, bpack: &mut [f32]) {
+    for s in 0..nc.div_ceil(NR) {
+        let strip = &mut bpack[s * kc * NR..(s + 1) * kc * NR];
+        let cols = NR.min(nc - s * NR);
+        for (p, lane) in strip.chunks_exact_mut(NR).enumerate() {
+            for (j, slot) in lane.iter_mut().enumerate() {
+                *slot = if j < cols { b.at(row0 + p, col0 + s * NR + j) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Full `MR×NR` register-tile microkernel, portable form. The output
+/// tile lives in `acc` for the whole `kc` depth block, so each element
+/// pays one load and one store per block instead of one per multiply.
+/// The inner `NR` loop is branch-free and auto-vectorizes to 8-wide
+/// lanes.
+fn kernel_full_scalar<const SKIP: bool>(
+    kc: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+    out: &mut [f32],
+    off: usize,
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().enumerate() {
+        row.copy_from_slice(&out[off + r * ldc..off + r * ldc + NR]);
+    }
+    for (avals, bvec) in astrip.chunks_exact(MR).zip(bstrip.chunks_exact(NR)).take(kc) {
+        for (r, row) in acc.iter_mut().enumerate() {
+            let a_v = avals[r];
+            if SKIP && a_v == 0.0 {
+                continue;
+            }
+            for (o, &b_v) in row.iter_mut().zip(bvec) {
+                *o += a_v * b_v;
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        out[off + r * ldc..off + r * ldc + NR].copy_from_slice(row);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx {
+    //! Explicit AVX form of the full-tile microkernel. `_mm256_mul_ps` +
+    //! `_mm256_add_ps` are IEEE-754 per-lane operations identical to the
+    //! scalar multiply/add (deliberately *not* `_mm256_fmadd_ps`, which
+    //! would change rounding), so this kernel is bitwise-equal to
+    //! [`super::kernel_full_scalar`].
+
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available, `astrip`/`bstrip` hold at
+    /// least `kc` packed lanes, and `out[off..]` covers an `MR×NR` tile
+    /// with row stride `ldc`.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn kernel_full<const SKIP: bool>(
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        out: &mut [f32],
+        off: usize,
+        ldc: usize,
+    ) {
+        debug_assert!(astrip.len() >= kc * MR && bstrip.len() >= kc * NR);
+        debug_assert!(out.len() >= off + (MR - 1) * ldc + NR);
+        unsafe {
+            let ap = astrip.as_ptr();
+            let bp = bstrip.as_ptr();
+            let op = out.as_mut_ptr().add(off);
+            let mut acc = [_mm256_setzero_ps(); MR];
+            for (r, reg) in acc.iter_mut().enumerate() {
+                *reg = _mm256_loadu_ps(op.add(r * ldc));
+            }
+            for p in 0..kc {
+                let bvec = _mm256_loadu_ps(bp.add(p * NR));
+                for (r, reg) in acc.iter_mut().enumerate() {
+                    let a_v = *ap.add(p * MR + r);
+                    if SKIP && a_v == 0.0 {
+                        continue;
+                    }
+                    *reg = _mm256_add_ps(*reg, _mm256_mul_ps(_mm256_set1_ps(a_v), bvec));
+                }
+            }
+            for (r, reg) in acc.iter().enumerate() {
+                _mm256_storeu_ps(op.add(r * ldc), *reg);
+            }
+        }
+    }
+}
+
+/// Full-tile microkernel dispatch: AVX when compiled in and detected,
+/// portable scalar otherwise.
+#[inline]
+fn kernel_full<const SKIP: bool>(
+    kc: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+    out: &mut [f32],
+    off: usize,
+    ldc: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: AVX just detected; strip and tile bounds are
+        // guaranteed by the macro-kernel loop (debug-asserted inside).
+        unsafe { avx::kernel_full::<SKIP>(kc, astrip, bstrip, out, off, ldc) };
+        return;
+    }
+    kernel_full_scalar::<SKIP>(kc, astrip, bstrip, out, off, ldc);
+}
+
+/// Partial-tile kernel for the `m % MR` / `n % NR` edges: same
+/// per-element operation sequence as the full kernel, restricted to the
+/// `mr×nr` live sub-tile (packed padding lanes are never read).
+#[allow(clippy::too_many_arguments)]
+fn kernel_edge<const SKIP: bool>(
+    kc: usize,
+    mr: usize,
+    nr: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+    out: &mut [f32],
+    off: usize,
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, row) in acc.iter_mut().take(mr).enumerate() {
+        row[..nr].copy_from_slice(&out[off + r * ldc..off + r * ldc + nr]);
+    }
+    for (avals, bvec) in astrip.chunks_exact(MR).zip(bstrip.chunks_exact(NR)).take(kc) {
+        for (r, row) in acc.iter_mut().take(mr).enumerate() {
+            let a_v = avals[r];
+            if SKIP && a_v == 0.0 {
+                continue;
+            }
+            for (o, &b_v) in row.iter_mut().zip(bvec).take(nr) {
+                *o += a_v * b_v;
+            }
+        }
+    }
+    for (r, row) in acc.iter().take(mr).enumerate() {
+        out[off + r * ldc..off + r * ldc + nr].copy_from_slice(&row[..nr]);
+    }
+}
+
+/// The blocked macro-kernel: `out[m×n] += A[m×k] × B[k×n]` where `A` and
+/// `B` are packing sources. Depth blocks (`pc`) iterate outermost-but-one
+/// so every output element sees its products in globally increasing `p`
+/// order — the heart of the bitwise contract.
+fn gemm_core<const SKIP: bool>(
+    a: Mat<'_>,
+    b: Mat<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let kc_max = KC.min(k);
+    let apack_len = MC.min(m).div_ceil(MR) * kc_max * MR;
+    let bpack_len = NC.min(n).div_ceil(NR) * kc_max * NR;
+    let mut apack = scratch::scratch(apack_len);
+    let mut bpack = scratch::scratch(bpack_len);
+    if telemetry::enabled() {
+        telemetry::counter("nn.gemm.blocked.calls", 1);
+        telemetry::counter(
+            "nn.gemm.pack_bytes",
+            ((apack_len + bpack_len) * std::mem::size_of::<f32>()) as u64,
+        );
+    }
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, &mut bpack);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(a, ic, pc, mc, kc, &mut apack);
+                let mut jr = 0;
+                while jr < nc {
+                    let nr = NR.min(nc - jr);
+                    let bstrip = &bpack[(jr / NR) * kc * NR..(jr / NR + 1) * kc * NR];
+                    let mut ir = 0;
+                    while ir < mc {
+                        let mr = MR.min(mc - ir);
+                        let astrip = &apack[(ir / MR) * kc * MR..(ir / MR + 1) * kc * MR];
+                        let off = (ic + ir) * n + jc + jr;
+                        if mr == MR && nr == NR {
+                            kernel_full::<SKIP>(kc, astrip, bstrip, out, off, n);
+                        } else {
+                            kernel_edge::<SKIP>(kc, mr, nr, astrip, bstrip, out, off, n);
+                        }
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Blocked `out += a × b` for row-major `a: m×k`, `b: k×n`, `out: m×n`.
+/// Bitwise identical to [`crate::gemm::gemm_acc`] (zero-skip preserved).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    gemm_core::<true>(Mat::Rows { data: a, ld: k }, Mat::Rows { data: b, ld: n }, m, k, n, out);
+}
+
+/// Blocked row slice `i0..i1` of `out += aᵀ × b` for row-major `a: k×m`,
+/// `b: k×n`. Bitwise identical to [`crate::gemm::gemm_at_b_acc_rows`]
+/// (zero-skip preserved).
+///
+/// # Panics
+///
+/// Panics if the row range or slice lengths do not match the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_at_b_acc_rows(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    assert!(i0 <= i1 && i1 <= m, "row range out of bounds");
+    assert_eq!(a.len(), k * m, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    assert_eq!(out_rows.len(), (i1 - i0) * n, "out size mismatch");
+    if i0 == i1 || k == 0 || n == 0 {
+        return;
+    }
+    gemm_core::<true>(
+        Mat::Cols { data: a, ld: m, off: i0 },
+        Mat::Rows { data: b, ld: n },
+        i1 - i0,
+        k,
+        n,
+        out_rows,
+    );
+}
+
+/// Blocked `out += aᵀ × b` (full row range).
+pub fn gemm_at_b_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    gemm_at_b_acc_rows(a, b, m, k, n, 0, m, out);
+}
+
+/// Blocked `out += a × bᵀ` for row-major `a: m×k`, `b: n×k`, `out: m×n`.
+/// Bitwise identical to [`crate::gemm::gemm_a_bt_acc`]: the naive kernel
+/// accumulates each dot product from zero and adds it to `out` once, so
+/// the blocked form runs through a zeroed scratch accumulator (exact
+/// `f32` round-trips) and applies the same single add per element. The
+/// naive kernel has no zero-skip here, and neither does this path.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_a_bt_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), n * k, "rhs size mismatch");
+    assert_eq!(out.len(), m * n, "out size mismatch");
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let mut tmp = scratch::scratch(m * n);
+    gemm_core::<false>(
+        Mat::Rows { data: a, ld: k },
+        Mat::Cols { data: b, ld: k, off: 0 },
+        m,
+        k,
+        n,
+        &mut tmp,
+    );
+    for (o, &t) in out.iter_mut().zip(tmp.iter()) {
+        *o += t;
+    }
+}
+
+fn record_kernel_choice(blocked: bool) {
+    if telemetry::enabled() {
+        if blocked {
+            telemetry::counter("nn.gemm.dispatch.blocked", 1);
+        } else {
+            telemetry::counter("nn.gemm.dispatch.naive", 1);
+        }
+    }
+}
+
+/// `out += a × b`, blocked above [`BLOCKED_MIN_MACS`] MACs, naive below.
+/// Both paths produce bitwise-identical results; the cutoff only avoids
+/// packing overhead on tiny products.
+pub fn gemm_acc_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let blocked = m.saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_MACS;
+    record_kernel_choice(blocked);
+    if blocked {
+        gemm_acc(a, b, m, k, n, out);
+    } else {
+        crate::gemm::gemm_acc(a, b, m, k, n, out);
+    }
+}
+
+/// Row-sliced `out += (aᵀ × b)[i0..i1]`, blocked above the cutoff.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_at_b_acc_rows_auto(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    i0: usize,
+    i1: usize,
+    out_rows: &mut [f32],
+) {
+    let blocked = (i1 - i0).saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_MACS;
+    record_kernel_choice(blocked);
+    if blocked {
+        gemm_at_b_acc_rows(a, b, m, k, n, i0, i1, out_rows);
+    } else {
+        crate::gemm::gemm_at_b_acc_rows(a, b, m, k, n, i0, i1, out_rows);
+    }
+}
+
+/// `out += a × bᵀ`, blocked above the cutoff.
+pub fn gemm_a_bt_acc_auto(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let blocked = m.saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_MACS;
+    record_kernel_choice(blocked);
+    if blocked {
+        gemm_a_bt_acc(a, b, m, k, n, out);
+    } else {
+        crate::gemm::gemm_a_bt_acc(a, b, m, k, n, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, phase: usize) -> Vec<f32> {
+        (0..len).map(|i| (((i * 7 + phase) % 13) as f32 - 6.0) / 6.0).collect()
+    }
+
+    /// ~half the entries exactly zero, exercising the skip branch.
+    fn zero_dense(len: usize, phase: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                if (i * 11 + phase).is_multiple_of(2) {
+                    0.0
+                } else {
+                    ((i % 9) as f32 - 4.0) / 4.0
+                }
+            })
+            .collect()
+    }
+
+    /// Shapes spanning multiple MC/KC/NC blocks with ragged edges.
+    const SHAPES: [(usize, usize, usize); 6] =
+        [(1, 1, 1), (3, 5, 2), (7, 300, 13), (70, 33, 70), (65, 257, 9), (130, 280, 67)];
+
+    #[test]
+    fn blocked_gemm_acc_matches_naive_bitwise() {
+        for (m, k, n) in SHAPES {
+            for a in [filled(m * k, 1), zero_dense(m * k, 2)] {
+                let b = filled(k * n, 3);
+                let mut expected = filled(m * n, 4);
+                let mut got = expected.clone();
+                crate::gemm::gemm_acc(&a, &b, m, k, n, &mut expected);
+                gemm_acc(&a, &b, m, k, n, &mut got);
+                assert_eq!(expected, got, "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_at_b_rows_matches_naive_bitwise() {
+        for (m, k, n) in SHAPES {
+            for a in [filled(k * m, 5), zero_dense(k * m, 6)] {
+                let b = filled(k * n, 7);
+                let (i0, i1) = (m / 3, m - m / 4);
+                if i0 >= i1 {
+                    continue;
+                }
+                let mut expected = filled((i1 - i0) * n, 8);
+                let mut got = expected.clone();
+                crate::gemm::gemm_at_b_acc_rows(&a, &b, m, k, n, i0, i1, &mut expected);
+                gemm_at_b_acc_rows(&a, &b, m, k, n, i0, i1, &mut got);
+                assert_eq!(expected, got, "{m}x{k}x{n} rows {i0}..{i1}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_a_bt_matches_naive_bitwise() {
+        for (m, k, n) in SHAPES {
+            for a in [filled(m * k, 9), zero_dense(m * k, 10)] {
+                let b = zero_dense(n * k, 11);
+                let mut expected = filled(m * n, 12);
+                let mut got = expected.clone();
+                crate::gemm::gemm_a_bt_acc(&a, &b, m, k, n, &mut expected);
+                gemm_a_bt_acc(&a, &b, m, k, n, &mut got);
+                assert_eq!(expected, got, "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_matches_naive_bitwise_around_cutoff() {
+        for (m, k, n) in [(8, 8, 8), (16, 16, 16), (17, 16, 17)] {
+            let a = filled(m * k, 13);
+            let b = filled(k * n, 14);
+            let mut expected = vec![0.25; m * n];
+            let mut got = expected.clone();
+            crate::gemm::gemm_acc(&a, &b, m, k, n, &mut expected);
+            gemm_acc_auto(&a, &b, m, k, n, &mut got);
+            assert_eq!(expected, got, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn kernel_label_names_a_lane_width() {
+        assert!(kernel_label().contains("f32x8"));
+    }
+}

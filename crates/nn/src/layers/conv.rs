@@ -3,8 +3,9 @@
 use crate::gemm::{self, PatchGrid};
 use crate::init::Initializer;
 use crate::layers::Layer;
-use crate::parallel;
+use crate::parallel::{self, Parallelism};
 use crate::param::Param;
+use crate::scratch;
 use crate::tensor::Tensor;
 use cachebox_telemetry as telemetry;
 
@@ -99,17 +100,52 @@ impl Layer for Conv2d {
             (input.n() * rows * positions * std::mem::size_of::<f32>()) as u64,
         );
         let mut out = Tensor::zeros([input.n(), self.out_c, oh, ow]);
-        let mut cols = vec![0.0f32; rows * positions];
-        for n in 0..input.n() {
-            gemm::im2col(input.sample(n), &grid, &mut cols);
-            let out_sample = out.sample_mut(n);
-            parallel::gemm(&self.weight.value, &cols, self.out_c, rows, positions, out_sample);
+        let par = Parallelism::current();
+        let shards = par.chunk_count(input.n());
+        let inner = parallel::inner_budget(par, shards, self.out_c * rows * positions);
+        let sample_len = self.out_c * positions;
+        let forward_sample = |sample: &[f32], cols: &mut [f32], out_sample: &mut [f32]| {
+            gemm::im2col(sample, &grid, cols);
+            parallel::gemm_with(
+                inner,
+                &self.weight.value,
+                cols,
+                self.out_c,
+                rows,
+                positions,
+                out_sample,
+            );
             for c in 0..self.out_c {
                 let b = self.bias.value[c];
                 for v in &mut out_sample[c * positions..(c + 1) * positions] {
                     *v += b;
                 }
             }
+        };
+        if shards <= 1 {
+            let mut cols = scratch::scratch(rows * positions);
+            for n in 0..input.n() {
+                forward_sample(input.sample(n), &mut cols, out.sample_mut(n));
+            }
+        } else {
+            // Batch sharding: each worker owns a contiguous run of samples.
+            // Every sample's output is produced by the exact same operations
+            // as in the serial loop, so results are bitwise identical for
+            // any thread count.
+            telemetry::counter("nn.conv.batch_shards", shards as u64);
+            let chunk = input.n().div_ceil(shards);
+            crossbeam::thread::scope(|scope| {
+                for (ci, out_chunk) in out.data_mut().chunks_mut(chunk * sample_len).enumerate() {
+                    let forward_sample = &forward_sample;
+                    scope.spawn(move |_| {
+                        let mut cols = scratch::scratch(rows * positions);
+                        for (j, out_sample) in out_chunk.chunks_mut(sample_len).enumerate() {
+                            forward_sample(input.sample(ci * chunk + j), &mut cols, out_sample);
+                        }
+                    });
+                }
+            })
+            .expect("conv forward worker panicked");
         }
         self.cached_input = if train { Some(input.clone()) } else { None };
         out
@@ -128,21 +164,106 @@ impl Layer for Conv2d {
             (input.n() * rows * positions * std::mem::size_of::<f32>()) as u64,
         );
         let mut grad_in = Tensor::zeros(input.shape());
-        let mut cols = vec![0.0f32; rows * positions];
-        let mut gcols = vec![0.0f32; rows * positions];
-        for n in 0..input.n() {
-            let g = grad_out.sample(n);
-            // Weight gradient: gW += g × colsᵀ.
-            gemm::im2col(input.sample(n), &grid, &mut cols);
-            parallel::gemm_a_bt_acc(g, &cols, self.out_c, positions, rows, &mut self.weight.grad);
-            // Bias gradient: per-channel sums.
-            for c in 0..self.out_c {
-                self.bias.grad[c] += g[c * positions..(c + 1) * positions].iter().sum::<f32>();
+        let par = Parallelism::current();
+        let shards = par.chunk_count(input.n());
+        let inner = parallel::inner_budget(par, shards, self.out_c * rows * positions);
+        if shards <= 1 {
+            let mut cols = scratch::scratch(rows * positions);
+            let mut gcols = scratch::scratch(rows * positions);
+            for n in 0..input.n() {
+                let g = grad_out.sample(n);
+                // Weight gradient: gW += g × colsᵀ.
+                gemm::im2col(input.sample(n), &grid, &mut cols);
+                parallel::gemm_a_bt_acc_with(
+                    inner,
+                    g,
+                    &cols,
+                    self.out_c,
+                    positions,
+                    rows,
+                    &mut self.weight.grad,
+                );
+                // Bias gradient: per-channel sums.
+                for c in 0..self.out_c {
+                    self.bias.grad[c] += g[c * positions..(c + 1) * positions].iter().sum::<f32>();
+                }
+                // Input gradient: col2im(Wᵀ × g).
+                gcols.fill(0.0);
+                parallel::gemm_at_b_acc_with(
+                    inner,
+                    &self.weight.value,
+                    g,
+                    rows,
+                    self.out_c,
+                    positions,
+                    &mut gcols,
+                );
+                gemm::col2im(&gcols, &grid, grad_in.sample_mut(n));
             }
-            // Input gradient: col2im(Wᵀ × g).
-            gcols.fill(0.0);
-            parallel::gemm_at_b_acc(&self.weight.value, g, rows, self.out_c, positions, &mut gcols);
-            gemm::col2im(&gcols, &grid, grad_in.sample_mut(n));
+        } else {
+            // Batch sharding. Input gradients are per-sample independent;
+            // weight/bias gradients are accumulated into per-SAMPLE
+            // zero-initialised buffers and reduced on this thread in sample
+            // index order after the workers join. The `a×bᵀ` kernel adds
+            // each element's dot product to the output exactly once per
+            // sample, so `grad += contribution[0] += contribution[1] …`
+            // replays the serial loop's additions in the same order —
+            // bitwise identical for any thread count.
+            telemetry::counter("nn.conv.batch_shards", shards as u64);
+            let n_samples = input.n();
+            let chunk = n_samples.div_ceil(shards);
+            let wlen = self.weight.grad.len();
+            let in_len = self.in_c * input.h() * input.w();
+            let mut wbuf = scratch::scratch(n_samples * wlen);
+            let mut bbuf = scratch::scratch(n_samples * self.out_c);
+            let out_c = self.out_c;
+            let weight = &self.weight.value;
+            crossbeam::thread::scope(|scope| {
+                for (ci, ((gin_chunk, w_chunk), b_chunk)) in grad_in
+                    .data_mut()
+                    .chunks_mut(chunk * in_len)
+                    .zip(wbuf.chunks_mut(chunk * wlen))
+                    .zip(bbuf.chunks_mut(chunk * out_c))
+                    .enumerate()
+                {
+                    scope.spawn(move |_| {
+                        let mut cols = scratch::scratch(rows * positions);
+                        let mut gcols = scratch::scratch(rows * positions);
+                        for (j, gin_sample) in gin_chunk.chunks_mut(in_len).enumerate() {
+                            let s = ci * chunk + j;
+                            let g = grad_out.sample(s);
+                            gemm::im2col(input.sample(s), &grid, &mut cols);
+                            parallel::gemm_a_bt_acc_with(
+                                inner,
+                                g,
+                                &cols,
+                                out_c,
+                                positions,
+                                rows,
+                                &mut w_chunk[j * wlen..(j + 1) * wlen],
+                            );
+                            for c in 0..out_c {
+                                b_chunk[j * out_c + c] =
+                                    g[c * positions..(c + 1) * positions].iter().sum::<f32>();
+                            }
+                            gcols.fill(0.0);
+                            parallel::gemm_at_b_acc_with(
+                                inner, weight, g, rows, out_c, positions, &mut gcols,
+                            );
+                            gemm::col2im(&gcols, &grid, gin_sample);
+                        }
+                    });
+                }
+            })
+            .expect("conv backward worker panicked");
+            for s in 0..n_samples {
+                for (d, &c) in self.weight.grad.iter_mut().zip(&wbuf[s * wlen..(s + 1) * wlen]) {
+                    *d += c;
+                }
+                for (d, &c) in self.bias.grad.iter_mut().zip(&bbuf[s * out_c..(s + 1) * out_c]) {
+                    *d += c;
+                }
+            }
         }
         grad_in
     }

@@ -3,8 +3,9 @@
 use crate::gemm::{self, PatchGrid};
 use crate::init::Initializer;
 use crate::layers::Layer;
-use crate::parallel;
+use crate::parallel::{self, Parallelism};
 use crate::param::Param;
+use crate::scratch;
 use crate::tensor::Tensor;
 use cachebox_telemetry as telemetry;
 
@@ -105,27 +106,53 @@ impl Layer for ConvTranspose2d {
         let positions = input.h() * input.w();
         let rows = grid.patch_rows(); // out_c * k * k
         let mut out = Tensor::zeros([input.n(), self.out_c, grid.height, grid.width]);
-        let mut cols = vec![0.0f32; rows * positions];
-        for n in 0..input.n() {
+        let par = Parallelism::current();
+        let shards = par.chunk_count(input.n());
+        let inner = parallel::inner_budget(par, shards, rows * self.in_c * positions);
+        let plane = grid.height * grid.width;
+        let sample_len = self.out_c * plane;
+        let forward_sample = |sample: &[f32], cols: &mut [f32], out_sample: &mut [f32]| {
             // cols = Wᵀ × x  (W: [in_c, rows], x: [in_c, positions]).
             cols.fill(0.0);
-            parallel::gemm_at_b_acc(
+            parallel::gemm_at_b_acc_with(
+                inner,
                 &self.weight.value,
-                input.sample(n),
+                sample,
                 rows,
                 self.in_c,
                 positions,
-                &mut cols,
+                cols,
             );
-            let out_sample = out.sample_mut(n);
-            gemm::col2im(&cols, &grid, out_sample);
-            let plane = grid.height * grid.width;
+            gemm::col2im(cols, &grid, out_sample);
             for c in 0..self.out_c {
                 let b = self.bias.value[c];
                 for v in &mut out_sample[c * plane..(c + 1) * plane] {
                     *v += b;
                 }
             }
+        };
+        if shards <= 1 {
+            let mut cols = scratch::scratch(rows * positions);
+            for n in 0..input.n() {
+                forward_sample(input.sample(n), &mut cols, out.sample_mut(n));
+            }
+        } else {
+            // Batch sharding: per-sample outputs are independent, so any
+            // thread count yields bitwise-identical results.
+            telemetry::counter("nn.conv.batch_shards", shards as u64);
+            let chunk = input.n().div_ceil(shards);
+            crossbeam::thread::scope(|scope| {
+                for (ci, out_chunk) in out.data_mut().chunks_mut(chunk * sample_len).enumerate() {
+                    let forward_sample = &forward_sample;
+                    scope.spawn(move |_| {
+                        let mut cols = scratch::scratch(rows * positions);
+                        for (j, out_sample) in out_chunk.chunks_mut(sample_len).enumerate() {
+                            forward_sample(input.sample(ci * chunk + j), &mut cols, out_sample);
+                        }
+                    });
+                }
+            })
+            .expect("convT forward worker panicked");
         }
         self.cached_input = if train { Some(input.clone()) } else { None };
         out
@@ -143,32 +170,96 @@ impl Layer for ConvTranspose2d {
         let positions = input.h() * input.w();
         let rows = grid.patch_rows();
         let mut grad_in = Tensor::zeros(input.shape());
-        let mut gcols = vec![0.0f32; rows * positions];
         let plane = grid.height * grid.width;
-        for n in 0..input.n() {
-            let g = grad_out.sample(n);
-            gemm::im2col(g, &grid, &mut gcols);
-            // Input gradient: gx = W × im2col(g).
-            parallel::gemm(
-                &self.weight.value,
-                &gcols,
-                self.in_c,
-                rows,
-                positions,
-                grad_in.sample_mut(n),
-            );
-            // Weight gradient: gW += x × im2col(g)ᵀ.
-            parallel::gemm_a_bt_acc(
-                input.sample(n),
-                &gcols,
-                self.in_c,
-                positions,
-                rows,
-                &mut self.weight.grad,
-            );
-            // Bias gradient: per-output-channel sums.
-            for c in 0..self.out_c {
-                self.bias.grad[c] += g[c * plane..(c + 1) * plane].iter().sum::<f32>();
+        let par = Parallelism::current();
+        let shards = par.chunk_count(input.n());
+        let inner = parallel::inner_budget(par, shards, self.in_c * rows * positions);
+        if shards <= 1 {
+            let mut gcols = scratch::scratch(rows * positions);
+            for n in 0..input.n() {
+                let g = grad_out.sample(n);
+                gemm::im2col(g, &grid, &mut gcols);
+                // Input gradient: gx = W × im2col(g).
+                parallel::gemm_with(
+                    inner,
+                    &self.weight.value,
+                    &gcols,
+                    self.in_c,
+                    rows,
+                    positions,
+                    grad_in.sample_mut(n),
+                );
+                // Weight gradient: gW += x × im2col(g)ᵀ.
+                parallel::gemm_a_bt_acc_with(
+                    inner,
+                    input.sample(n),
+                    &gcols,
+                    self.in_c,
+                    positions,
+                    rows,
+                    &mut self.weight.grad,
+                );
+                // Bias gradient: per-output-channel sums.
+                for c in 0..self.out_c {
+                    self.bias.grad[c] += g[c * plane..(c + 1) * plane].iter().sum::<f32>();
+                }
+            }
+        } else {
+            // Batch sharding with per-sample weight/bias contribution
+            // buffers, reduced in sample index order after the join — the
+            // same determinism contract as `Conv2d::backward` (see there).
+            telemetry::counter("nn.conv.batch_shards", shards as u64);
+            let n_samples = input.n();
+            let chunk = n_samples.div_ceil(shards);
+            let wlen = self.weight.grad.len();
+            let in_len = self.in_c * input.h() * input.w();
+            let mut wbuf = scratch::scratch(n_samples * wlen);
+            let mut bbuf = scratch::scratch(n_samples * self.out_c);
+            let (in_c, out_c) = (self.in_c, self.out_c);
+            let weight = &self.weight.value;
+            crossbeam::thread::scope(|scope| {
+                for (ci, ((gin_chunk, w_chunk), b_chunk)) in grad_in
+                    .data_mut()
+                    .chunks_mut(chunk * in_len)
+                    .zip(wbuf.chunks_mut(chunk * wlen))
+                    .zip(bbuf.chunks_mut(chunk * out_c))
+                    .enumerate()
+                {
+                    scope.spawn(move |_| {
+                        let mut gcols = scratch::scratch(rows * positions);
+                        for (j, gin_sample) in gin_chunk.chunks_mut(in_len).enumerate() {
+                            let s = ci * chunk + j;
+                            let g = grad_out.sample(s);
+                            gemm::im2col(g, &grid, &mut gcols);
+                            gin_sample.fill(0.0);
+                            parallel::gemm_acc_with(
+                                inner, weight, &gcols, in_c, rows, positions, gin_sample,
+                            );
+                            parallel::gemm_a_bt_acc_with(
+                                inner,
+                                input.sample(s),
+                                &gcols,
+                                in_c,
+                                positions,
+                                rows,
+                                &mut w_chunk[j * wlen..(j + 1) * wlen],
+                            );
+                            for c in 0..out_c {
+                                b_chunk[j * out_c + c] =
+                                    g[c * plane..(c + 1) * plane].iter().sum::<f32>();
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("convT backward worker panicked");
+            for s in 0..n_samples {
+                for (d, &c) in self.weight.grad.iter_mut().zip(&wbuf[s * wlen..(s + 1) * wlen]) {
+                    *d += c;
+                }
+                for (d, &c) in self.bias.grad.iter_mut().zip(&bbuf[s * out_c..(s + 1) * out_c]) {
+                    *d += c;
+                }
             }
         }
         grad_in

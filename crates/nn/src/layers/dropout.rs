@@ -1,6 +1,7 @@
 //! Inverted dropout.
 
 use crate::layers::Layer;
+use crate::scratch;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,19 +35,29 @@ impl Layer for Dropout {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        // Masks come from (and return to) the scratch pool, so repeated
+        // training steps reuse the same buffer.
+        if let Some(old) = self.mask.take() {
+            scratch::recycle(old);
+        }
         if !train || self.p == 0.0 {
-            self.mask = train.then(|| vec![1.0; input.len()]);
+            self.mask = train.then(|| {
+                let mut mask = scratch::take_vec(input.len());
+                mask.fill(1.0);
+                mask
+            });
             return input.clone();
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect();
-        let out = Tensor::from_vec(
-            input.shape(),
-            input.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect(),
-        );
+        let mut mask = scratch::take_vec(input.len());
+        for m in &mut mask {
+            *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+        }
+        let mut out = Tensor::zeros(input.shape());
+        for ((d, &x), &m) in out.data_mut().iter_mut().zip(input.data()).zip(&mask) {
+            *d = x * m;
+        }
         self.mask = Some(mask);
         out
     }
@@ -54,10 +65,11 @@ impl Layer for Dropout {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward before training forward");
         assert_eq!(grad_out.len(), mask.len(), "grad shape mismatch");
-        Tensor::from_vec(
-            grad_out.shape(),
-            grad_out.data().iter().zip(mask).map(|(&g, &m)| g * m).collect(),
-        )
+        let mut out = Tensor::zeros(grad_out.shape());
+        for ((d, &g), &m) in out.data_mut().iter_mut().zip(grad_out.data()).zip(mask) {
+            *d = g * m;
+        }
+        out
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::layers::Layer;
 use crate::param::Param;
+use crate::scratch;
 use crate::tensor::Tensor;
 use cachebox_telemetry as telemetry;
 
@@ -125,7 +126,7 @@ impl Layer for BatchNorm2d {
             }
         }
         for ni in 0..n {
-            let xn = normalized.sample(ni).to_vec();
+            let xn = normalized.sample(ni);
             let dst = out.sample_mut(ni);
             for ci in 0..c {
                 let (g, b) = (self.gamma.value[ci], self.beta.value[ci]);
@@ -146,8 +147,8 @@ impl Layer for BatchNorm2d {
         let plane = h * w;
         let m = (n * h * w) as f32;
         // Per-channel reductions.
-        let mut sum_g = vec![0.0f32; c];
-        let mut sum_gx = vec![0.0f32; c];
+        let mut sum_g = scratch::scratch(c);
+        let mut sum_gx = scratch::scratch(c);
         for ni in 0..n {
             let g = grad_out.sample(ni);
             let xn = cache.normalized.sample(ni);
@@ -236,7 +237,7 @@ impl Layer for InstanceNorm2d {
         let mut normalized = Tensor::zeros(input.shape());
         let mut inv_std = vec![0.0f32; n * c];
         for ni in 0..n {
-            let src = input.sample(ni).to_vec();
+            let src = input.sample(ni);
             let dst = normalized.sample_mut(ni);
             for ci in 0..c {
                 let s = &src[ci * (h * w)..(ci + 1) * (h * w)];
@@ -251,7 +252,7 @@ impl Layer for InstanceNorm2d {
         }
         let mut out = Tensor::zeros(input.shape());
         for ni in 0..n {
-            let xn = normalized.sample(ni).to_vec();
+            let xn = normalized.sample(ni);
             let dst = out.sample_mut(ni);
             for ci in 0..c {
                 let (g, b) = (self.gamma.value[ci], self.beta.value[ci]);

@@ -17,6 +17,13 @@
 //! * [`parallel`] — row-partitioned multithreaded GEMM dispatch plus the
 //!   [`Parallelism`] thread-count plumbing shared by the trainer, the
 //!   data pipeline, and the benchmark harness.
+//! * [`blocked`] — the cache-blocked, packed GEMM with an 8-wide
+//!   microkernel that the dispatch routes every sizable product through
+//!   (AVX intrinsics behind the `simd` feature, portable 8-lane scalar
+//!   otherwise); bitwise identical to the naive [`gemm`] oracle.
+//! * [`scratch`] — thread-local buffer recycling backing pack panels,
+//!   im2col matrices, and [`Tensor`] storage, so steady-state training
+//!   performs no transient heap allocation (see `docs/KERNELS.md`).
 //!
 //! Design note: models here are two fixed DAGs, so the crate uses explicit
 //! per-layer `forward`/`backward` methods rather than a general autograd
@@ -44,6 +51,7 @@
 //! assert!((probe.data()[0] - 10.0).abs() < 0.3);
 //! ```
 
+pub mod blocked;
 pub mod gemm;
 pub mod graph;
 pub mod init;
@@ -52,6 +60,7 @@ pub mod loss;
 pub mod optim;
 pub mod parallel;
 pub mod param;
+pub mod scratch;
 pub mod serialize;
 pub mod tensor;
 

@@ -1,18 +1,21 @@
 //! Thread-count plumbing and row-partitioned parallel GEMM.
 //!
 //! Every conv/deconv/linear forward and backward pass lowers to one of
-//! the [`crate::gemm`] kernels. This module wraps those kernels in a
-//! row-partitioned multithreaded dispatch: the `m` dimension (output
-//! rows) is split into contiguous chunks, one crossbeam scoped thread
-//! per chunk, each running the *unchanged* serial kernel on its slice.
-//! Because every output element is still produced by the same
-//! floating-point operations in the same order, the parallel results are
-//! bitwise identical to the serial ones — parallelism changes wall-clock
-//! time, never numerics.
+//! the GEMM kernels. This module wraps them in a row-partitioned
+//! multithreaded dispatch: the `m` dimension (output rows) is split into
+//! contiguous chunks, one crossbeam scoped thread per chunk, each
+//! running the serial [`crate::blocked`] auto-dispatch on its slice
+//! (which picks the cache-blocked packed kernel for sizable shapes and
+//! the naive [`crate::gemm`] kernel for tiny ones). Because every output
+//! element is still produced by the same floating-point operations in
+//! the same order, the parallel results are bitwise identical to the
+//! serial ones — parallelism and blocking change wall-clock time, never
+//! numerics (see `docs/KERNELS.md` for the determinism contract).
 //!
 //! The thread count comes from a process-global [`Parallelism`]
 //! (env-var override `CACHEBOX_THREADS`, default
-//! `available_parallelism`), and problems below a FLOP threshold run the
+//! `available_parallelism`), and problems below a MAC threshold
+//! ([`par_flop_threshold`], override `CACHEBOX_GEMM_THRESHOLD`) run the
 //! serial kernel directly so tiny test-scale shapes never pay thread
 //! spawn overhead.
 
@@ -46,10 +49,32 @@ fn record_shard(t0: Option<std::time::Instant>) {
 /// Environment variable overriding the default thread count.
 pub const THREADS_ENV_VAR: &str = "CACHEBOX_THREADS";
 
-/// `m·k·n` below which the dispatching wrappers stay serial. Thread
-/// spawn costs tens of microseconds; a quarter-million MACs is roughly
-/// where the split starts paying for itself.
-pub const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+/// Environment variable overriding [`par_flop_threshold`].
+pub const GEMM_THRESHOLD_ENV_VAR: &str = "CACHEBOX_GEMM_THRESHOLD";
+
+/// Default `m·k·n` MAC count below which the dispatching wrappers stay
+/// serial. Thread spawn costs tens of microseconds, so splitting only
+/// pays once the product amortises roughly two spawns' worth of work.
+/// `perf_kernels` measures spawn overhead and the single-thread MAC rate
+/// and derives the crossover (recorded in `BENCH_kernels.json`; the
+/// reference host measured ~22 µs per worker pair at ~1.3e10 MAC/s,
+/// i.e. a ~6e5 MAC crossover — this default is the nearest power of
+/// two).
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 19;
+
+/// The active serial/parallel crossover in MACs (`m·k·n`):
+/// `CACHEBOX_GEMM_THRESHOLD` if set to a positive integer, otherwise
+/// [`PAR_FLOP_THRESHOLD`]. Read once and cached for the process.
+pub fn par_flop_threshold() -> usize {
+    static THRESHOLD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        std::env::var(GEMM_THRESHOLD_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(PAR_FLOP_THRESHOLD)
+    })
+}
 
 /// Process-global thread count; `0` means "not yet initialised".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -126,6 +151,17 @@ impl Parallelism {
     }
 }
 
+/// The per-worker GEMM budget when a layer shards its batch across
+/// `shards` workers: the leftover threads divided evenly, or fully
+/// serial when each worker's product (`macs = m·k·n`) is below the
+/// crossover — nested spawns would only add overhead there.
+pub fn inner_budget(par: Parallelism, shards: usize, macs: usize) -> Parallelism {
+    if macs < par_flop_threshold() {
+        return Parallelism::serial();
+    }
+    Parallelism::new(par.threads() / shards.max(1))
+}
+
 /// Maps `f` over `items` on up to `par.threads()` scoped threads,
 /// preserving input order in the output. Items are split into contiguous
 /// chunks, so results are assembled deterministically regardless of
@@ -167,7 +203,7 @@ fn plan(par: Parallelism, m: usize, k: usize, n: usize, apply_threshold: bool) -
     if par.threads() <= 1 || m < 2 || k == 0 || n == 0 {
         return 1;
     }
-    if apply_threshold && m.saturating_mul(k).saturating_mul(n) < PAR_FLOP_THRESHOLD {
+    if apply_threshold && m.saturating_mul(k).saturating_mul(n) < par_flop_threshold() {
         return 1;
     }
     par.threads().min(m)
@@ -204,7 +240,7 @@ fn gemm_acc_planned(
     record_gemm(m, k, n);
     let threads = plan(par, m, k, n, apply_threshold);
     if threads <= 1 {
-        return crate::gemm::gemm_acc(a, b, m, k, n, out);
+        return crate::blocked::gemm_acc_auto(a, b, m, k, n, out);
     }
     assert_eq!(a.len(), m * k, "lhs size mismatch");
     assert_eq!(out.len(), m * n, "out size mismatch");
@@ -214,7 +250,7 @@ fn gemm_acc_planned(
             scope.spawn(move |_| {
                 let t0 = shard_timer();
                 let mi = out_chunk.len() / n;
-                crate::gemm::gemm_acc(a_chunk, b, mi, k, n, out_chunk);
+                crate::blocked::gemm_acc_auto(a_chunk, b, mi, k, n, out_chunk);
                 record_shard(t0);
             });
         }
@@ -267,7 +303,7 @@ fn gemm_at_b_acc_planned(
     record_gemm(m, k, n);
     let threads = plan(par, m, k, n, apply_threshold);
     if threads <= 1 {
-        return crate::gemm::gemm_at_b_acc(a, b, m, k, n, out);
+        return crate::blocked::gemm_at_b_acc_rows_auto(a, b, m, k, n, 0, m, out);
     }
     assert_eq!(a.len(), k * m, "lhs size mismatch");
     assert_eq!(out.len(), m * n, "out size mismatch");
@@ -278,7 +314,7 @@ fn gemm_at_b_acc_planned(
             let i1 = i0 + out_chunk.len() / n;
             scope.spawn(move |_| {
                 let t0 = shard_timer();
-                crate::gemm::gemm_at_b_acc_rows(a, b, m, k, n, i0, i1, out_chunk);
+                crate::blocked::gemm_at_b_acc_rows_auto(a, b, m, k, n, i0, i1, out_chunk);
                 record_shard(t0);
             });
         }
@@ -317,7 +353,7 @@ fn gemm_a_bt_acc_planned(
     record_gemm(m, k, n);
     let threads = plan(par, m, k, n, apply_threshold);
     if threads <= 1 {
-        return crate::gemm::gemm_a_bt_acc(a, b, m, k, n, out);
+        return crate::blocked::gemm_a_bt_acc_auto(a, b, m, k, n, out);
     }
     assert_eq!(a.len(), m * k, "lhs size mismatch");
     assert_eq!(out.len(), m * n, "out size mismatch");
@@ -327,7 +363,7 @@ fn gemm_a_bt_acc_planned(
             scope.spawn(move |_| {
                 let t0 = shard_timer();
                 let mi = out_chunk.len() / n;
-                crate::gemm::gemm_a_bt_acc(a_chunk, b, mi, k, n, out_chunk);
+                crate::blocked::gemm_a_bt_acc_auto(a_chunk, b, mi, k, n, out_chunk);
                 record_shard(t0);
             });
         }
@@ -425,6 +461,15 @@ mod tests {
     fn par_map_serial_budget() {
         let items = vec![1, 2, 3];
         assert_eq!(par_map(Parallelism::serial(), &items, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn threshold_is_positive_and_defaults_sanely() {
+        let t = par_flop_threshold();
+        assert!(t > 0);
+        if std::env::var(GEMM_THRESHOLD_ENV_VAR).is_err() {
+            assert_eq!(t, PAR_FLOP_THRESHOLD);
+        }
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Thread-local `f32` buffer recycling: the allocation-free backbone of
+//! the training hot path.
+//!
+//! Every transient buffer the layers and kernels need — im2col patch
+//! matrices, GEMM pack panels, per-sample gradient accumulators, and
+//! (through [`Tensor`](crate::Tensor)'s `Drop`/`Clone`/`zeros`
+//! integration) whole activation tensors — is drawn from a per-thread
+//! free list and returned to it when dropped. Training steps repeat the
+//! same shapes every iteration, so after one warm-up pass the pool
+//! contains a buffer of every required capacity and steady-state
+//! forward/backward performs **zero transient heap allocations** in the
+//! conv/deconv/linear paths (proven by the allocator-counting test in
+//! `crates/nn/tests/no_alloc.rs`).
+//!
+//! The pool is intentionally simple: a bounded per-thread `Vec` of free
+//! buffers, best-fit matched by capacity. Buffers above
+//! [`MAX_POOLED_BYTES`] or beyond [`MAX_POOLED_BUFFERS`] entries are
+//! handed back to the global allocator, so the pool cannot grow without
+//! bound. Scoped worker threads get their own (short-lived) pools;
+//! recycling only pays off on long-lived threads, which is exactly where
+//! the training loop runs.
+//!
+//! Telemetry: `nn.scratch.reuse` counts pool hits, `nn.scratch.alloc`
+//! counts fresh allocations (both only when telemetry is enabled).
+
+use cachebox_telemetry as telemetry;
+use std::cell::RefCell;
+
+/// Maximum buffers kept per thread; excess buffers are freed on recycle.
+pub const MAX_POOLED_BUFFERS: usize = 64;
+
+/// Buffers larger than this many bytes are never pooled (64 MiB).
+pub const MAX_POOLED_BYTES: usize = 1 << 26;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops the smallest pooled buffer with `capacity >= len`, or allocates.
+/// The returned vector is empty (`len() == 0`) with sufficient capacity.
+fn pop_fit(len: usize) -> Vec<f32> {
+    let reused = POOL
+        .try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let mut best: Option<usize> = None;
+            for (i, buf) in pool.iter().enumerate() {
+                if buf.capacity() >= len && best.is_none_or(|b| buf.capacity() < pool[b].capacity())
+                {
+                    best = Some(i);
+                }
+            }
+            best.map(|i| pool.swap_remove(i))
+        })
+        .ok()
+        .flatten();
+    match reused {
+        Some(mut buf) => {
+            buf.clear();
+            telemetry::counter("nn.scratch.reuse", 1);
+            buf
+        }
+        None => {
+            telemetry::counter("nn.scratch.alloc", 1);
+            Vec::with_capacity(len)
+        }
+    }
+}
+
+/// A zero-filled length-`len` vector, reusing a pooled buffer when one
+/// fits. Callers should hand the vector back via [`recycle`] (or let a
+/// [`Tensor`](crate::Tensor) or [`Scratch`] do so on drop).
+pub fn take_vec(len: usize) -> Vec<f32> {
+    let mut buf = pop_fit(len);
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// A pooled copy of `src` (same length and contents).
+pub fn take_vec_copy(src: &[f32]) -> Vec<f32> {
+    let mut buf = pop_fit(src.len());
+    buf.extend_from_slice(src);
+    buf
+}
+
+/// Returns a buffer to the current thread's pool. Oversized buffers and
+/// buffers beyond the pool bound are freed instead; empty buffers are
+/// ignored.
+pub fn recycle(buf: Vec<f32>) {
+    if buf.capacity() == 0 || buf.capacity() * std::mem::size_of::<f32>() > MAX_POOLED_BYTES {
+        return;
+    }
+    // Ignore failures during thread teardown (TLS already destroyed):
+    // the buffer simply drops.
+    let _ = POOL.try_with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED_BUFFERS {
+            pool.push(buf);
+        }
+    });
+}
+
+/// An RAII scratch buffer: zero-filled on take, recycled on drop.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_nn::scratch;
+///
+/// let mut s = scratch::scratch(128);
+/// s[0] = 1.0;
+/// assert_eq!(s.len(), 128);
+/// drop(s); // buffer returns to the thread-local pool
+/// assert!(scratch::pooled_buffers() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct Scratch {
+    buf: Vec<f32>,
+}
+
+impl Scratch {
+    /// The underlying slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf
+    }
+
+    /// The underlying mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl std::ops::Deref for Scratch {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        recycle(std::mem::take(&mut self.buf));
+    }
+}
+
+/// A zero-filled scratch buffer of `len` floats from the pool.
+pub fn scratch(len: usize) -> Scratch {
+    Scratch { buf: take_vec(len) }
+}
+
+/// Number of buffers currently pooled on this thread (introspection for
+/// tests and diagnostics).
+pub fn pooled_buffers() -> usize {
+    POOL.try_with(|pool| pool.borrow().len()).unwrap_or(0)
+}
+
+/// Frees every pooled buffer on this thread.
+pub fn clear() {
+    let _ = POOL.try_with(|pool| pool.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_roundtrip_reuses_capacity() {
+        clear();
+        let v = take_vec(100);
+        let cap = v.capacity();
+        let ptr = v.as_ptr();
+        recycle(v);
+        assert_eq!(pooled_buffers(), 1);
+        let v2 = take_vec(80);
+        assert_eq!(v2.capacity(), cap, "pooled buffer should be reused");
+        assert_eq!(v2.as_ptr(), ptr, "same allocation should come back");
+        assert_eq!(pooled_buffers(), 0);
+        assert!(v2.iter().all(|&x| x == 0.0));
+        clear();
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        clear();
+        recycle(Vec::with_capacity(1000));
+        recycle(Vec::with_capacity(100));
+        let v = take_vec(50);
+        assert_eq!(v.capacity(), 100, "best fit should pick the smaller buffer");
+        clear();
+    }
+
+    #[test]
+    fn take_vec_copy_matches_source() {
+        clear();
+        let src = [1.0f32, -2.0, 3.5];
+        let v = take_vec_copy(&src);
+        assert_eq!(v.as_slice(), &src);
+        clear();
+    }
+
+    #[test]
+    fn oversized_and_empty_buffers_are_not_pooled() {
+        clear();
+        recycle(Vec::new());
+        assert_eq!(pooled_buffers(), 0);
+        clear();
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        clear();
+        for _ in 0..(MAX_POOLED_BUFFERS + 10) {
+            recycle(Vec::with_capacity(8));
+        }
+        assert_eq!(pooled_buffers(), MAX_POOLED_BUFFERS);
+        clear();
+    }
+
+    #[test]
+    fn scratch_guard_zeroes_and_recycles() {
+        clear();
+        {
+            let mut s = scratch(16);
+            s[3] = 9.0;
+        }
+        assert_eq!(pooled_buffers(), 1);
+        let s2 = scratch(16);
+        assert!(s2.iter().all(|&x| x == 0.0), "scratch must be re-zeroed");
+        drop(s2);
+        clear();
+    }
+}

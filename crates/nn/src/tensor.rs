@@ -8,6 +8,12 @@ use std::fmt;
 /// Vectors and matrices are represented with trailing singleton
 /// dimensions (e.g. a batch of feature vectors is `[n, c, 1, 1]`).
 ///
+/// Tensor buffers are recycled through the thread-local
+/// [`scratch`](crate::scratch) pool: `zeros`, `full`, and `clone` draw
+/// from the pool and `Drop` returns the buffer to it, so steady-state
+/// training loops that create and drop the same shapes every step
+/// allocate nothing after warm-up.
+///
 /// # Example
 ///
 /// ```
@@ -17,10 +23,28 @@ use std::fmt;
 /// assert_eq!(t.len(), 96);
 /// assert_eq!(t.shape(), [2, 3, 4, 4]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: [usize; 4],
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { shape: self.shape, data: crate::scratch::take_vec_copy(&self.data) }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.shape = source.shape;
+        self.data.clear();
+        self.data.extend_from_slice(&source.data);
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::scratch::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -31,7 +55,7 @@ impl Tensor {
     /// Panics if any dimension is zero.
     pub fn zeros(shape: [usize; 4]) -> Self {
         assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
-        Tensor { shape, data: vec![0.0; shape.iter().product()] }
+        Tensor { shape, data: crate::scratch::take_vec(shape.iter().product()) }
     }
 
     /// Creates a tensor filled with `value`.
@@ -99,8 +123,8 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning the buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Linear index of `(n, c, h, w)`.

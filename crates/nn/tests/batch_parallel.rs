@@ -1,0 +1,73 @@
+//! Thread-count invariance of the batch-parallel conv layers.
+//!
+//! The determinism contract (`docs/KERNELS.md`): forward outputs, input
+//! gradients, and weight/bias gradients of `Conv2d` and
+//! `ConvTranspose2d` are BITWISE identical for any `CACHEBOX_THREADS`,
+//! because batch sharding computes per-sample contributions with the
+//! exact same operations as the serial loop and reduces them in sample
+//! index order.
+//!
+//! This lives in its own integration-test binary because it installs
+//! process-global thread budgets, which must not race with other tests.
+
+use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer, Linear};
+use cachebox_nn::{Parallelism, Tensor};
+
+fn filled(shape: [usize; 4], phase: usize) -> Tensor {
+    let len: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..len).map(|i| (((i * 7 + phase) % 13) as f32 - 6.0) / 6.0).collect())
+}
+
+/// Forward + backward for one layer under an installed thread budget;
+/// returns (output, input grad, all param grads).
+fn run<L: Layer>(
+    make: impl Fn() -> L,
+    input: &Tensor,
+    threads: usize,
+) -> (Tensor, Tensor, Vec<Vec<f32>>) {
+    Parallelism::new(threads).install();
+    let mut layer = make();
+    let out = layer.forward(input, true);
+    let grad_out = filled(out.shape(), 5);
+    layer.zero_grad();
+    let grad_in = layer.backward(&grad_out);
+    let mut grads = Vec::new();
+    layer.visit_params(&mut |p| grads.push(p.grad.clone()));
+    Parallelism::serial().install();
+    (out, grad_in, grads)
+}
+
+fn assert_thread_invariant<L: Layer>(make: impl Fn() -> L, input: &Tensor, label: &str) {
+    let reference = run(&make, input, 1);
+    for threads in [2, 4] {
+        let got = run(&make, input, threads);
+        assert_eq!(reference.0, got.0, "{label}: forward diverged at {threads} threads");
+        assert_eq!(reference.1, got.1, "{label}: input grad diverged at {threads} threads");
+        assert_eq!(reference.2, got.2, "{label}: param grads diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn conv_layers_are_bitwise_invariant_across_thread_counts() {
+    // Batch 6 across 1/2/4 threads covers even and ragged shard splits.
+    let input = filled([6, 3, 9, 9], 1);
+    assert_thread_invariant(|| Conv2d::new(3, 5, 4, 2, 1, 42), &input, "conv2d");
+    assert_thread_invariant(|| ConvTranspose2d::new(3, 4, 4, 2, 1, 42), &input, "conv_transpose2d");
+
+    // Batch sizes around the thread count: 1 (fully serial), 3 (ragged),
+    // 4 (one sample per worker at 4 threads).
+    for batch in [1usize, 3, 4] {
+        let input = filled([batch, 2, 7, 7], 2);
+        assert_thread_invariant(|| Conv2d::new(2, 3, 3, 1, 1, 7), &input, "conv2d small");
+        assert_thread_invariant(
+            || ConvTranspose2d::new(2, 3, 3, 2, 1, 7),
+            &input,
+            "conv_transpose2d small",
+        );
+    }
+
+    // Linear has no batch sharding, but its row-split GEMM must also be
+    // thread-transparent.
+    let input = filled([5, 6, 1, 1], 3);
+    assert_thread_invariant(|| Linear::new(6, 4, 11), &input, "linear");
+}

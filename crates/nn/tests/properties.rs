@@ -221,3 +221,73 @@ proptest! {
         prop_assert_eq!(b2, b);
     }
 }
+
+/// The blocked/packed kernels are BITWISE identical to the naive
+/// oracles for all three GEMM variants, across shapes straddling the
+/// MR/NR/MC/KC tile boundaries and for inputs dense with exact zeros
+/// (which exercise the naive kernels' zero-skip branch).
+///
+/// Deliberately a plain deterministic sweep rather than a `proptest!`
+/// case: exact bitwise failures should reproduce from the shape and
+/// seed alone, with no shrinking in the way.
+#[test]
+fn blocked_gemm_bitwise_equals_naive() {
+    fn fill(len: usize, seed: u64, zero_dense: bool) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let bits = (state >> 33) as u32;
+                if zero_dense && bits & 1 == 0 {
+                    0.0
+                } else {
+                    (bits % 2048) as f32 / 1024.0 - 1.0
+                }
+            })
+            .collect()
+    }
+
+    // Shapes around the microkernel (4x8), MC (64), and KC (256) edges,
+    // plus deliberately awkward primes.
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 96, 1),
+        (3, 5, 7),
+        (4, 8, 8),
+        (5, 9, 17),
+        (7, 300, 9),
+        (13, 64, 31),
+        (39, 95, 39),
+        (65, 257, 33),
+    ];
+    for &(m, k, n) in shapes {
+        for seed in 0..4u64 {
+            for zero_dense in [false, true] {
+                let label = format!("m={m} k={k} n={n} seed={seed} zero_dense={zero_dense}");
+                let a = fill(m * k, seed, zero_dense);
+                let b = fill(k * n, seed ^ 0x5a5a, zero_dense);
+                let bias = fill(m * n, seed ^ 0x33, false);
+
+                let mut expect = bias.clone();
+                cachebox_nn::gemm::gemm_acc(&a, &b, m, k, n, &mut expect);
+                let mut got = bias.clone();
+                cachebox_nn::blocked::gemm_acc(&a, &b, m, k, n, &mut got);
+                assert_eq!(expect, got, "gemm_acc not bitwise identical ({label})");
+
+                let a_t = fill(k * m, seed ^ 0x77, zero_dense);
+                let mut expect = bias.clone();
+                gemm_at_b_acc(&a_t, &b, m, k, n, &mut expect);
+                let mut got = bias.clone();
+                cachebox_nn::blocked::gemm_at_b_acc(&a_t, &b, m, k, n, &mut got);
+                assert_eq!(expect, got, "gemm_at_b_acc not bitwise identical ({label})");
+
+                let b_t = fill(n * k, seed ^ 0xc3, zero_dense);
+                let mut expect = bias.clone();
+                gemm_a_bt_acc(&a, &b_t, m, k, n, &mut expect);
+                let mut got = bias.clone();
+                cachebox_nn::blocked::gemm_a_bt_acc(&a, &b_t, m, k, n, &mut got);
+                assert_eq!(expect, got, "gemm_a_bt_acc not bitwise identical ({label})");
+            }
+        }
+    }
+}

@@ -1,16 +1,21 @@
-//! Measures the parallel GEMM kernel and the parallel dataset pipeline
-//! against their serial baselines, verifying numerical equivalence, and
-//! writes the results as JSON (see `BENCH_parallel.json` at the repo
-//! root for a recorded run).
+//! Measures the parallel GEMM kernel, the parallel dataset pipeline,
+//! and the replica-parallel GAN train step against their serial
+//! baselines, verifying numerical equivalence, and writes the results
+//! as JSON (see `BENCH_parallel.json` at the repo root for a recorded
+//! run).
 //!
 //! ```text
 //! cargo run --release -p cachebox-bench --bin perf_parallel -- \
-//!     [--threads N[,N...]] [--out PATH] [--telemetry PATH]
+//!     [--threads N[,N...]] [--smoke] [--out PATH] [--telemetry PATH]
 //! ```
 
 use cachebox::{Pipeline, Scale};
+use cachebox_gan::{
+    GanTrainer, PatchGan, PatchGanConfig, TrainConfig, TrainSample, UNetConfig, UNetGenerator,
+};
 use cachebox_nn::gemm;
 use cachebox_nn::parallel::{gemm_with, Parallelism};
+use cachebox_nn::Tensor;
 use cachebox_sim::CacheConfig;
 use cachebox_telemetry::progress;
 use cachebox_workloads::{Suite, SuiteId};
@@ -34,6 +39,14 @@ struct PipelineRecord {
 }
 
 #[derive(Serialize)]
+struct ReplicaRecord {
+    replicas: usize,
+    seconds_per_step: f64,
+    speedup: f64,
+    losses_identical: bool,
+}
+
+#[derive(Serialize)]
 struct Report {
     host_cpus: usize,
     gemm_shape: [usize; 3],
@@ -43,6 +56,10 @@ struct Report {
     pipeline_configs: usize,
     pipeline_serial_seconds: f64,
     pipeline: Vec<PipelineRecord>,
+    replica_batch: usize,
+    replica_image: usize,
+    replica_serial_seconds: f64,
+    replica: Vec<ReplicaRecord>,
     note: String,
 }
 
@@ -56,8 +73,9 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-fn parse_args() -> (Vec<usize>, std::path::PathBuf, Option<std::path::PathBuf>) {
+fn parse_args() -> (Vec<usize>, bool, std::path::PathBuf, Option<std::path::PathBuf>) {
     let mut threads = vec![2usize, 4, 8];
+    let mut smoke = false;
     let mut out = std::path::PathBuf::from("BENCH_parallel.json");
     let mut telemetry = None;
     let mut iter = std::env::args().skip(1);
@@ -81,22 +99,44 @@ fn parse_args() -> (Vec<usize>, std::path::PathBuf, Option<std::path::PathBuf>) 
                     .filter(|&n| n > 1)
                     .collect();
             }
+            "--smoke" => smoke = true,
             "--out" => out = std::path::PathBuf::from(value("--out")),
             "--telemetry" => telemetry = Some(std::path::PathBuf::from(value("--telemetry"))),
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 eprintln!(
-                    "usage: perf_parallel [--threads N[,N...]] [--out PATH] [--telemetry PATH]"
+                    "usage: perf_parallel [--threads N[,N...]] [--smoke] [--out PATH] \
+                     [--telemetry PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (threads, out, telemetry)
+    (threads, smoke, out, telemetry)
+}
+
+/// A deterministic synthetic batch in the generator's tanh domain.
+fn synth_batch(n: usize, hw: usize) -> TrainSample {
+    let len = n * hw * hw;
+    let input: Vec<f32> = (0..len).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.5).collect();
+    let target: Vec<f32> = (0..len).map(|i| ((i * 5 % 11) as f32 - 5.0) / 5.5).collect();
+    TrainSample {
+        input: Tensor::from_vec([n, 1, hw, hw], input),
+        target: Tensor::from_vec([n, 1, hw, hw], target),
+        params: None,
+    }
+}
+
+fn replica_trainer(hw: usize, replicas: usize, threads: usize) -> GanTrainer {
+    let g = UNetGenerator::new(UNetConfig::for_image_size(hw, 8), 11);
+    let d = PatchGan::new(PatchGanConfig::new(2, 8, 1), 12);
+    GanTrainer::new(g, d, TrainConfig::default())
+        .with_parallelism(Parallelism::new(threads))
+        .with_replicas(replicas)
 }
 
 fn main() {
-    let (thread_counts, out, telemetry) = parse_args();
+    let (thread_counts, smoke, out, telemetry) = parse_args();
     let _telemetry = match telemetry {
         Some(path) => {
             let config = cachebox_telemetry::TelemetryConfig::new("perf_parallel")
@@ -165,6 +205,57 @@ fn main() {
         pipeline_records.push(PipelineRecord { threads, seconds, speedup, samples_identical });
     }
 
+    // ---- Replica-parallel GAN train step: the batch is sharded across
+    // model replicas and the flat gradient arenas tree-reduce in fixed
+    // replica order, so losses are bitwise invariant in R (asserted
+    // below) and only wall-clock changes.
+    let hw = if smoke { 8 } else { 16 };
+    let batch_n = 8usize;
+    let steps = if smoke { 1 } else { 3 };
+    let total_threads =
+        thread_counts.iter().copied().max().unwrap_or(host_cpus).min(host_cpus.max(1)).max(1);
+    let batch = synth_batch(batch_n, hw);
+    let mut ref_stats: Option<cachebox_gan::TrainStats> = None;
+    let mut replica_records = Vec::new();
+    let mut replica_serial_seconds = 0.0;
+    for r in [1usize, 2, 4] {
+        let mut check = replica_trainer(hw, r, total_threads);
+        let first = check.train_step(&batch).expect("finite gradients");
+        let losses_identical = match &ref_stats {
+            None => {
+                ref_stats = Some(first);
+                true
+            }
+            Some(s0) => {
+                s0.d_loss.to_bits() == first.d_loss.to_bits()
+                    && s0.g_adv.to_bits() == first.g_adv.to_bits()
+                    && s0.g_l1.to_bits() == first.g_l1.to_bits()
+            }
+        };
+        assert!(losses_identical, "replica training diverged at R={r}");
+        let mut timed = replica_trainer(hw, r, total_threads);
+        timed.train_step(&batch).expect("finite gradients"); // warmup
+        let seconds = best_of(if smoke { 1 } else { 3 }, || {
+            for _ in 0..steps {
+                timed.train_step(&batch).expect("finite gradients");
+            }
+        }) / steps as f64;
+        if r == 1 {
+            replica_serial_seconds = seconds;
+        }
+        let speedup = replica_serial_seconds / seconds;
+        progress!(
+            "train_step batch {batch_n} R={r} ({total_threads} threads): \
+             {seconds:.4}s/step ({speedup:.2}x, losses identical: {losses_identical})"
+        );
+        replica_records.push(ReplicaRecord {
+            replicas: r,
+            seconds_per_step: seconds,
+            speedup,
+            losses_identical,
+        });
+    }
+
     let report = Report {
         host_cpus,
         gemm_shape: [m, k, n],
@@ -174,6 +265,10 @@ fn main() {
         pipeline_configs: configs.len(),
         pipeline_serial_seconds,
         pipeline: pipeline_records,
+        replica_batch: batch_n,
+        replica_image: hw,
+        replica_serial_seconds,
+        replica: replica_records,
         note: "best-of-N wall-clock; speedups are machine-dependent (see host_cpus)".to_string(),
     };
     match cachebox::report::save_json(&out, &report) {

@@ -3,7 +3,7 @@
 
 use crate::scale::Scale;
 use cachebox_gan::data::{Normalizer, Sample};
-use cachebox_gan::infer::infer_batched;
+use cachebox_gan::infer::{infer_batched, FrozenGenerator};
 use cachebox_gan::{CacheParams, UNetGenerator};
 use cachebox_heatmap::builder::HeatmapPair;
 use cachebox_heatmap::{hitrate, Heatmap, HeatmapBuilder, HeatmapGeometry};
@@ -213,8 +213,10 @@ impl Pipeline {
     }
 
     /// Evaluates one configuration across many benchmarks. Trace
-    /// generation and simulation run across `par` threads; inference
-    /// stays serial because the generator is held exclusively.
+    /// generation, simulation, and generator inference all run across
+    /// `par` threads; inference workers thaw local models from one
+    /// shared read-only [`FrozenGenerator`] arena, so results are
+    /// identical to the serial per-benchmark path.
     pub fn evaluate_sweep(
         &self,
         par: Parallelism,
@@ -252,13 +254,33 @@ impl Pipeline {
     ) -> Vec<BenchmarkAccuracy> {
         assert_eq!(benchmarks.len(), traces.len(), "one trace per benchmark");
         let sims = par_map(par, traces, |t| self.pairs_from_trace(t, config));
-        benchmarks
-            .iter()
-            .zip(&sims)
-            .map(|(bench, pairs)| {
-                self.accuracy_from_pairs(generator, bench, config, pairs, conditioned, batch_size)
-            })
-            .collect()
+        if par.threads() <= 1 {
+            // Serial: run against the caller's generator directly.
+            return benchmarks
+                .iter()
+                .zip(&sims)
+                .map(|(bench, pairs)| {
+                    self.accuracy_from_pairs(
+                        generator,
+                        bench,
+                        config,
+                        pairs,
+                        conditioned,
+                        batch_size,
+                    )
+                })
+                .collect();
+        }
+        // Freeze the weights once; each worker thaws a private model
+        // from the shared arena. Inference is eval-mode and
+        // deterministic, so sharding cannot change any result.
+        let frozen = FrozenGenerator::of(generator);
+        let jobs: Vec<(&Benchmark, &[HeatmapPair])> =
+            benchmarks.iter().zip(sims.iter().map(Vec::as_slice)).collect();
+        par_map(par, &jobs, |(bench, pairs)| {
+            let mut local = frozen.thaw();
+            self.accuracy_from_pairs(&mut local, bench, config, pairs, conditioned, batch_size)
+        })
     }
 
     fn accuracy_from_pairs(

@@ -1,11 +1,20 @@
 //! Model checkpoints: persist a trained generator to disk.
 
 use crate::unet::{UNetAsLayer, UNetConfig, UNetGenerator};
+use cachebox_nn::optim::{Adam, AdamState};
 use cachebox_nn::serialize::StateDict;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
-/// A serializable snapshot of a generator: its architecture plus weights.
+/// A serializable snapshot of a generator: its architecture plus
+/// weights, and optionally the generator optimizer's Adam moments so a
+/// training run can resume where it stopped.
+///
+/// The on-disk format is versioned through the [`StateDict`] wire
+/// shape: snapshots written by current code carry named parameter
+/// segments (v2), while files written before segment naming hold bare
+/// positional tensor lists (v1). Both load — v1 files migrate
+/// positionally and bit-exactly, and have no optimizer state.
 ///
 /// # Example
 ///
@@ -31,6 +40,10 @@ pub struct Checkpoint {
     pub config: UNetConfig,
     /// Flattened weights in visit order.
     pub state: StateDict,
+    /// Generator Adam moments, when captured mid-training. Absent from
+    /// v1 checkpoints (and from snapshots taken without an optimizer).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub optim: Option<AdamState>,
 }
 
 /// Errors from checkpoint I/O.
@@ -81,7 +94,30 @@ impl Checkpoint {
     pub fn capture(generator: &mut UNetGenerator) -> Self {
         let config = *generator.config();
         let state = StateDict::from_layer(&mut UNetAsLayer(generator));
-        Checkpoint { config, state }
+        Checkpoint { config, state, optim: None }
+    }
+
+    /// Snapshots a generator together with its optimizer's Adam
+    /// moments, so training can resume with warm moment estimates.
+    pub fn capture_with_optim(generator: &mut UNetGenerator, optimizer: &Adam) -> Self {
+        let mut ckpt = Checkpoint::capture(generator);
+        ckpt.optim = Some(optimizer.export_state());
+        ckpt
+    }
+
+    /// Rebuilds the generator's Adam optimizer from the snapshot, if
+    /// optimizer state was captured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored learning rate is not positive (a corrupted
+    /// checkpoint).
+    pub fn restore_optimizer(&self) -> Option<Adam> {
+        self.optim.as_ref().map(|state| {
+            let mut opt = Adam::new(1e-3);
+            opt.import_state(state);
+            opt
+        })
     }
 
     /// Rebuilds the generator from the snapshot.
@@ -139,6 +175,70 @@ mod tests {
         let x = Tensor::zeros([1, 1, 8, 8]);
         let p = crate::condition::CacheParams::new(64, 12).batch(1);
         assert_eq!(g.forward(&x, Some(&p), false), restored.forward(&x, Some(&p), false));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Renders a checkpoint in the legacy v1 wire shape: positional
+    /// `tensors`/`buffers` float lists, no names, no version field, no
+    /// optimizer state. This is byte-compatible with files written
+    /// before parameter segments were named.
+    fn v1_json(ckpt: &Checkpoint) -> String {
+        let lists = |tensors: &[cachebox_nn::serialize::NamedTensor]| {
+            let rows: Vec<String> = tensors
+                .iter()
+                .map(|t| {
+                    let vals: Vec<String> = t.data.iter().map(|v| format!("{v}")).collect();
+                    format!("[{}]", vals.join(","))
+                })
+                .collect();
+            format!("[{}]", rows.join(","))
+        };
+        format!(
+            r#"{{"config":{},"state":{{"tensors":{},"buffers":{}}}}}"#,
+            serde_json::to_string(&ckpt.config).unwrap(),
+            lists(ckpt.state.params()),
+            lists(ckpt.state.buffers()),
+        )
+    }
+
+    #[test]
+    fn v1_checkpoint_migrates_bit_exact() {
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2).with_param_features(2), 9);
+        let ckpt = Checkpoint::capture(&mut g);
+        let legacy: Checkpoint = serde_json::from_str(&v1_json(&ckpt)).unwrap();
+        assert!(legacy.state.is_positional(), "v1 files load as positional snapshots");
+        assert!(legacy.optim.is_none(), "v1 files carry no optimizer state");
+        // Positional tensors carry no names but identical bits.
+        for (a, b) in ckpt.state.params().iter().zip(legacy.state.params()) {
+            assert_eq!(a.data.len(), b.data.len());
+            for (x, y) in a.data.iter().zip(&b.data) {
+                assert_eq!(x.to_bits(), y.to_bits(), "v1 migration must be bit-exact");
+            }
+        }
+        let mut restored = legacy.restore().unwrap();
+        let x = Tensor::zeros([1, 1, 8, 8]);
+        let p = crate::condition::CacheParams::new(64, 12).batch(1);
+        assert_eq!(g.forward(&x, Some(&p), false), restored.forward(&x, Some(&p), false));
+    }
+
+    #[test]
+    fn optimizer_state_roundtrips_through_file() {
+        use cachebox_nn::layers::Layer;
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 5);
+        let mut opt = Adam::new(2e-3);
+        // Materialize moments with one step over real segments.
+        let mut store = UNetAsLayer(&mut g).export_store();
+        store.grads_mut().iter_mut().enumerate().for_each(|(i, v)| *v = (i % 5) as f32 * 0.1);
+        opt.step_store(&mut store);
+        let ckpt = Checkpoint::capture_with_optim(&mut g, &opt);
+        let dir = std::env::temp_dir().join("cachebox_ckpt_optim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        let restored = loaded.restore_optimizer().expect("optimizer state captured");
+        assert_eq!(restored.export_state(), opt.export_state());
         std::fs::remove_file(&path).ok();
     }
 

@@ -8,9 +8,70 @@
 
 use crate::condition::CacheParams;
 use crate::data::Normalizer;
-use crate::unet::UNetGenerator;
+use crate::unet::{UNetAsLayer, UNetConfig, UNetGenerator};
 use cachebox_heatmap::Heatmap;
+use cachebox_nn::layers::Layer;
 use cachebox_nn::Tensor;
+
+/// A frozen, shareable snapshot of a trained generator: the
+/// architecture plus one flat read-only weight arena and one flat
+/// buffer arena (batch-norm running statistics).
+///
+/// A `FrozenGenerator` is `Sync`, so any number of inference workers
+/// can borrow one frozen copy and [`thaw`](FrozenGenerator::thaw)
+/// cheap working models from it — each thaw is two flat memcpys into a
+/// freshly built model, with no serialization or name matching
+/// involved (contrast with a `Checkpoint`, which is the durable
+/// on-disk form).
+///
+/// # Example
+///
+/// ```
+/// use cachebox_gan::{infer::FrozenGenerator, UNetConfig, UNetGenerator};
+/// use cachebox_nn::Tensor;
+///
+/// let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 7);
+/// let frozen = FrozenGenerator::of(&mut g);
+/// let mut copy = frozen.thaw();
+/// let x = Tensor::zeros([1, 1, 8, 8]);
+/// assert_eq!(g.forward(&x, None, false), copy.forward(&x, None, false));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenGenerator {
+    config: UNetConfig,
+    seed: u64,
+    values: Vec<f32>,
+    buffers: Vec<f32>,
+}
+
+impl FrozenGenerator {
+    /// Freezes the generator's current weights and buffers into flat
+    /// arenas (the generator itself is untouched).
+    pub fn of(generator: &mut UNetGenerator) -> Self {
+        let config = *generator.config();
+        let seed = generator.init_seed();
+        let mut layer = UNetAsLayer(generator);
+        let mut values = vec![0.0f32; layer.param_count()];
+        layer.read_values_flat(&mut values);
+        let mut buffers = vec![0.0f32; layer.buffer_scalar_count()];
+        layer.read_buffers_flat(&mut buffers);
+        FrozenGenerator { config, seed, values, buffers }
+    }
+
+    /// The frozen architecture.
+    pub fn config(&self) -> &UNetConfig {
+        &self.config
+    }
+
+    /// Builds a mutable working copy from the frozen arenas.
+    pub fn thaw(&self) -> UNetGenerator {
+        let mut generator = UNetGenerator::new(self.config, self.seed);
+        let mut layer = UNetAsLayer(&mut generator);
+        layer.write_values_flat(&self.values);
+        layer.write_buffers_flat(&self.buffers);
+        generator
+    }
+}
 
 /// Generates synthetic miss heatmaps for every access heatmap, in order,
 /// processing `batch_size` images per forward pass.
@@ -55,9 +116,8 @@ pub fn infer_batched(
 }
 
 /// Multi-worker inference: splits the heatmap sequence across `workers`
-/// threads, each running its own copy of the generator (weights are
-/// snapshotted once and restored per worker). Output order matches the
-/// input order.
+/// threads, each thawing its own working copy from one shared
+/// [`FrozenGenerator`] arena. Output order matches the input order.
 ///
 /// On a multi-core host this parallelizes across images the same way the
 /// paper's GPU batching parallelizes within a batch; on a single core it
@@ -69,8 +129,7 @@ pub fn infer_batched(
 ///
 /// # Errors
 ///
-/// Returns an error if a worker thread panics or the model snapshot
-/// cannot be restored.
+/// Returns an error if a worker thread panics.
 pub fn infer_parallel(
     generator: &mut UNetGenerator,
     access_maps: &[Heatmap],
@@ -85,7 +144,31 @@ pub fn infer_parallel(
     if workers == 1 {
         return Ok(infer_batched(generator, access_maps, params, norm, batch_size));
     }
-    let snapshot = crate::checkpoint::Checkpoint::capture(generator);
+    let frozen = FrozenGenerator::of(generator);
+    infer_parallel_frozen(&frozen, access_maps, params, norm, batch_size, workers)
+}
+
+/// [`infer_parallel`] over an already-frozen generator: every worker
+/// borrows the shared read-only arena and thaws a local model.
+///
+/// # Panics
+///
+/// Panics if `access_maps` is empty or `workers`/`batch_size` is zero.
+///
+/// # Errors
+///
+/// Returns an error if a worker thread panics.
+pub fn infer_parallel_frozen(
+    frozen: &FrozenGenerator,
+    access_maps: &[Heatmap],
+    params: Option<CacheParams>,
+    norm: &Normalizer,
+    batch_size: usize,
+    workers: usize,
+) -> Result<Vec<Heatmap>, String> {
+    assert!(!access_maps.is_empty(), "no heatmaps to infer");
+    assert!(batch_size > 0, "batch size must be non-zero");
+    assert!(workers > 0, "worker count must be non-zero");
     let chunk_len = access_maps.len().div_ceil(workers);
     let chunks: Vec<&[Heatmap]> = access_maps.chunks(chunk_len).collect();
     let norm = *norm;
@@ -93,16 +176,15 @@ pub fn infer_parallel(
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                let snapshot = &snapshot;
-                scope.spawn(move |_| -> Result<Vec<Heatmap>, String> {
-                    let mut local = snapshot.restore().map_err(|e| e.to_string())?;
-                    Ok(infer_batched(&mut local, chunk, params, &norm, batch_size))
+                scope.spawn(move |_| -> Vec<Heatmap> {
+                    let mut local = frozen.thaw();
+                    infer_batched(&mut local, chunk, params, &norm, batch_size)
                 })
             })
             .collect();
         let mut out = Vec::with_capacity(access_maps.len());
         for handle in handles {
-            out.extend(handle.join().map_err(|_| "worker thread panicked".to_string())??);
+            out.extend(handle.join().map_err(|_| "worker thread panicked".to_string())?);
         }
         Ok(out)
     })
@@ -220,6 +302,37 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             for (x, y) in a.data().iter().zip(b.data()) {
                 assert!((x - y).abs() < 1e-5, "parallel output diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_generator_thaws_bit_exact() {
+        let config = UNetConfig::for_image_size(8, 4).with_dropout(false);
+        let mut g = UNetGenerator::new(config, 8);
+        // Train-mode forward first so the batch-norm running statistics
+        // are non-trivial and must survive the freeze/thaw round trip.
+        g.forward(&Tensor::full([2, 1, 8, 8], 0.5), None, true);
+        let frozen = FrozenGenerator::of(&mut g);
+        let mut copy = frozen.thaw();
+        let x =
+            Tensor::from_vec([1, 1, 8, 8], (0..64).map(|i| (i % 5) as f32 / 2.0 - 1.0).collect());
+        assert_eq!(g.forward(&x, None, false), copy.forward(&x, None, false));
+    }
+
+    #[test]
+    fn frozen_parallel_matches_sequential() {
+        let config = UNetConfig::for_image_size(8, 4).with_dropout(false);
+        let mut g = UNetGenerator::new(config, 6);
+        let norm = Normalizer::new(4);
+        let inputs = maps(9);
+        let seq = infer_batched(&mut g, &inputs, None, &norm, 2);
+        let frozen = FrozenGenerator::of(&mut g);
+        let par = infer_parallel_frozen(&frozen, &inputs, None, &norm, 2, 3).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-5, "frozen parallel output diverged");
             }
         }
     }

@@ -14,7 +14,15 @@
 //!   λ·L1 objective (Eq. 1, λ = 150) with Adam.
 //! * [`data`] — heatmap ⇄ tensor conversion with the paper's ×2 pixel
 //!   scaling, and dataset batching.
-//! * [`infer`] — batched inference over many access heatmaps (RQ5).
+//! * [`infer`] — batched inference over many access heatmaps (RQ5),
+//!   including multi-worker inference where each worker thaws a local
+//!   model from one shared read-only [`FrozenGenerator`] arena.
+//!
+//! Training can run data-parallel: [`GanTrainer::with_replicas`]
+//! splits every batch across model replicas and reduces the flat
+//! per-replica gradient arenas in a fixed tree order, so losses and
+//! post-step weights are bitwise identical for any replica count (see
+//! `docs/PARALLEL_TRAINING.md`).
 //!
 //! # Example
 //!
@@ -39,6 +47,7 @@ pub mod trainer;
 pub mod unet;
 
 pub use condition::{CacheParams, ExtendedCacheParams};
+pub use infer::FrozenGenerator;
 pub use patchgan::{PatchGan, PatchGanConfig};
 pub use trainer::{GanTrainer, TrainConfig, TrainError, TrainSample, TrainStats};
 pub use unet::{UNetConfig, UNetGenerator};

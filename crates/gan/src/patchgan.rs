@@ -122,6 +122,18 @@ impl Layer for PatchGan {
     fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
         self.net.visit_buffers(visitor);
     }
+
+    fn visit_named_params(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Param)) {
+        self.visit_blocks(&mut |name, block| {
+            block.visit_named_params(&format!("{prefix}{name}/"), visitor);
+        });
+    }
+
+    fn visit_named_buffers(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Vec<f32>)) {
+        self.visit_blocks(&mut |name, block| {
+            block.visit_named_buffers(&format!("{prefix}{name}/"), visitor);
+        });
+    }
 }
 
 #[cfg(test)]

@@ -3,15 +3,16 @@
 use crate::data::{collate, Normalizer, Sample};
 use crate::patchgan::PatchGan;
 use crate::unet::{UNetAsLayer, UNetGenerator};
-use cachebox_nn::graph::Sequential;
 use cachebox_nn::layers::Layer;
 use cachebox_nn::optim::Adam;
-use cachebox_nn::{loss, Parallelism, Tensor};
+use cachebox_nn::replica::{ReplicaCtx, SyncGroup};
+use cachebox_nn::{loss, reduce, replica, Parallelism, Tensor};
 use cachebox_telemetry as telemetry;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Training hyper-parameters.
@@ -105,35 +106,125 @@ impl fmt::Display for TrainError {
 
 impl std::error::Error for TrainError {}
 
-/// A model's `visit_blocks` lifted to a closure: calls the inner visitor
-/// once per named block.
-type BlockVisit<'a> = &'a mut dyn FnMut(&mut dyn FnMut(&str, &mut Sequential));
+/// Everything one replica worker produces for one training step: the
+/// global per-sample loss subtotals for its shard, its shard-local flat
+/// gradient partials, and bookkeeping for the main-thread reduction.
+struct ShardOut {
+    /// Per-sample BCE subtotals for the real pair (label 1).
+    real_rows: Vec<f32>,
+    /// Per-sample BCE subtotals for the fake pair (label 0).
+    fake_rows: Vec<f32>,
+    /// Per-sample BCE subtotals for the adversarial loss (label 1).
+    gan_rows: Vec<f32>,
+    /// Per-sample L1 subtotals for the reconstruction loss.
+    l1_rows: Vec<f32>,
+    /// Discriminator flat gradient partial from the real-pair pass.
+    d_real_grads: Vec<f32>,
+    /// Discriminator flat gradient partial from the fake-pair pass.
+    d_fake_grads: Vec<f32>,
+    /// Generator flat gradient partial (adversarial + λ·L1).
+    g_grads: Vec<f32>,
+    /// Global patch-logit element count (`n · patches_per_sample`).
+    patch_total: usize,
+    /// Global image element count (`n · c·h·w`).
+    img_total: usize,
+    /// Wall time this worker spent on its shard.
+    shard_ns: u64,
+}
 
-/// Scans every parameter gradient reachable through `visit`, returning
-/// the model-wide gradient L2 norm and, if any gradient is NaN/±Inf, the
-/// path (`block/kind{index}`) and norm of the first offending layer.
-fn grad_norm_scan(visit: BlockVisit<'_>) -> (f32, Option<(String, f32)>) {
-    let mut total_sq = 0.0f64;
-    let mut bad: Option<(String, f32)> = None;
-    visit(&mut |block, seq| {
-        seq.visit_layers(&mut |i, layer| {
-            let mut sq = 0.0f64;
-            let mut finite = true;
-            layer.visit_params(&mut |p| {
-                for &g in &p.grad {
-                    if !g.is_finite() {
-                        finite = false;
-                    }
-                    sq += (g as f64) * (g as f64);
-                }
-            });
-            total_sq += sq;
-            if !finite && bad.is_none() {
-                bad = Some((format!("{block}/{}{i}", layer.kind()), sq.sqrt() as f32));
-            }
-        });
-    });
-    (total_sq.sqrt() as f32, bad)
+/// Runs one replica's share of a training step on the shard
+/// `[lo, hi)` of the global batch.
+///
+/// The sequence of forward/backward calls is identical on every
+/// replica, so the batch-norm rendezvous inside
+/// [`replica::reduce_samples`] stays in lockstep. Gradients for each of
+/// the discriminator's two loss terms are captured separately (the old
+/// implementation snapshotted and restored grads around the adversarial
+/// backward); the caller tree-reduces each term across replicas and
+/// sums the two trees, which is replica-count invariant.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    generator: &mut UNetGenerator,
+    discriminator: &mut PatchGan,
+    batch: &TrainSample,
+    lo: usize,
+    hi: usize,
+    global_n: usize,
+    lambda: f32,
+    ctx: ReplicaCtx,
+    g_len: usize,
+    d_len: usize,
+) -> ShardOut {
+    let start = Instant::now();
+    let _shard = telemetry::span("gan.replica.shard");
+    let _guard = replica::install(ctx);
+    let shard_n = hi - lo;
+    let (input_s, target_s, params_s);
+    let (x, t, p): (&Tensor, &Tensor, Option<&Tensor>) = if lo == 0 && hi == global_n {
+        (&batch.input, &batch.target, batch.params.as_ref())
+    } else {
+        input_s = batch.input.slice_samples(lo, hi);
+        target_s = batch.target.slice_samples(lo, hi);
+        params_s = batch.params.as_ref().map(|p| p.slice_samples(lo, hi));
+        (&input_s, &target_s, params_s.as_ref())
+    };
+
+    // ---- Generator forward (kept cached for the G update below).
+    let fake = {
+        let _s = telemetry::span("gan.g_forward");
+        generator.forward(x, p, true)
+    };
+
+    // ---- Discriminator gradients, one backward per loss term.
+    let _d = telemetry::span("gan.d_update");
+    discriminator.zero_grad();
+    let real_pair = x.concat_channels(t);
+    let d_real = discriminator.forward(&real_pair, true);
+    let patch_total = d_real.len() / shard_n * global_n;
+    let (real_rows, g_real) = loss::bce_with_logits_sharded(&d_real, 1.0, patch_total);
+    discriminator.backward(&g_real.scale(0.5));
+    let mut d_real_grads = vec![0.0f32; d_len];
+    discriminator.read_grads_flat(&mut d_real_grads);
+
+    let fake_pair = x.concat_channels(&fake);
+    let d_fake = discriminator.forward(&fake_pair, true);
+    let (fake_rows, g_fake) = loss::bce_with_logits_sharded(&d_fake, 0.0, patch_total);
+    // The generator's adversarial loss (label the fake "real") reuses
+    // the same logits and cached activations — a third D forward would
+    // waste the work and update every BatchNorm running stat a second
+    // time for the fake pair.
+    let (gan_rows, g_gan) = loss::bce_with_logits_sharded(&d_fake, 1.0, patch_total);
+    discriminator.zero_grad();
+    let g_pair = discriminator.backward(&g_gan);
+    discriminator.zero_grad();
+    discriminator.backward(&g_fake.scale(0.5));
+    let mut d_fake_grads = vec![0.0f32; d_len];
+    discriminator.read_grads_flat(&mut d_fake_grads);
+    drop(_d);
+
+    // ---- Generator gradients: adversarial plus λ-weighted L1.
+    let _g = telemetry::span("gan.g_update");
+    let (_g_input_part, g_fake_part) = g_pair.split_channels(x.c());
+    let img_total = fake.len() / shard_n * global_n;
+    let (l1_rows, g_l1) = loss::l1_sharded(&fake, t, img_total);
+    let total = g_fake_part.add(&g_l1.scale(lambda));
+    generator.zero_grad();
+    generator.backward(&total);
+    let mut g_grads = vec![0.0f32; g_len];
+    UNetAsLayer(generator).read_grads_flat(&mut g_grads);
+
+    ShardOut {
+        real_rows,
+        fake_rows,
+        gan_rows,
+        l1_rows,
+        d_real_grads,
+        d_fake_grads,
+        g_grads,
+        patch_total,
+        img_total,
+        shard_ns: start.elapsed().as_nanos() as u64,
+    }
 }
 
 /// One (input, target, params) batch already in tensor form.
@@ -175,6 +266,16 @@ pub struct GanTrainer {
     opt_d: Adam,
     config: TrainConfig,
     parallelism: Parallelism,
+    /// Requested data-parallel replica count (clamped per batch to a
+    /// power of two no larger than the batch).
+    replicas: usize,
+    /// Monotone step counter; keys the sharding-invariant dropout masks.
+    step_counter: u64,
+    /// Lazily built worker copies of the generator (replicas 1..R; the
+    /// lead replica is the trainer's own model).
+    g_replicas: Vec<UNetGenerator>,
+    /// Lazily built worker copies of the discriminator.
+    d_replicas: Vec<PatchGan>,
 }
 
 impl GanTrainer {
@@ -189,6 +290,10 @@ impl GanTrainer {
             opt_d,
             config,
             parallelism: Parallelism::current(),
+            replicas: 1,
+            step_counter: 0,
+            g_replicas: Vec::new(),
+            d_replicas: Vec::new(),
         }
     }
 
@@ -197,6 +302,31 @@ impl GanTrainer {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Requests data-parallel training over `replicas` model replicas.
+    ///
+    /// Each step splits the batch into contiguous shards by the
+    /// canonical halving tree, runs one worker per shard against its own
+    /// model copy (weights broadcast as one flat memcpy), and reduces
+    /// the per-replica gradient arenas pairwise in fixed replica order
+    /// on the main thread. Losses and post-step weights are therefore
+    /// **bitwise identical** for any replica count (see
+    /// `docs/PARALLEL_TRAINING.md`). The effective count is clamped per
+    /// batch to the largest power of two ≤ `min(replicas, batch size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "replica count must be non-zero");
+        self.replicas = replicas;
+        self
+    }
+
+    /// The requested replica count (before per-batch clamping).
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// The training configuration.
@@ -244,40 +374,139 @@ impl GanTrainer {
         // batch-sharding and GEMM dispatch even when a step is driven
         // directly (tests, benches) rather than through `fit`.
         self.parallelism.install();
-        let TrainSample { input, target, params } = batch;
-        // ---- Generator forward (kept cached for the G update below).
-        let fake = {
-            let _s = telemetry::span("gan.g_forward");
-            self.generator.forward(input, params.as_ref(), true)
+        let n = batch.input.n();
+        let r_eff = reduce::pow2_shards(self.replicas, n);
+        let nonce = self.step_counter;
+        // Advance even on a failed step: the legacy RNG stream also
+        // advanced through a failed step's forward passes.
+        self.step_counter += 1;
+        let lambda = self.config.lambda;
+        let g_len = UNetAsLayer(&mut self.generator).param_count();
+        let d_len = self.discriminator.param_count();
+        let group = Arc::new(SyncGroup::new(r_eff, n));
+        telemetry::gauge("gan.replica.count", r_eff as f64);
+
+        let outs: Vec<ShardOut> = if r_eff == 1 {
+            // Single replica: run the shard inline on the main thread.
+            // The context is still installed so dropout keying and the
+            // batch-norm reduction take the same code path for every
+            // replica count.
+            let ctx = ReplicaCtx { group, replica: 0, sample_base: 0, step_nonce: nonce };
+            vec![run_shard(
+                &mut self.generator,
+                &mut self.discriminator,
+                batch,
+                0,
+                n,
+                n,
+                lambda,
+                ctx,
+                g_len,
+                d_len,
+            )]
+        } else {
+            // Broadcast the lead weights into the cached worker models
+            // as one flat copy each. Replica models share the lead's
+            // init seed so keyed dropout masks agree across replicas.
+            while self.g_replicas.len() < r_eff - 1 {
+                self.g_replicas
+                    .push(UNetGenerator::new(*self.generator.config(), self.generator.init_seed()));
+                self.d_replicas.push(PatchGan::new(*self.discriminator.config(), 0));
+            }
+            let mut g_vals = vec![0.0f32; g_len];
+            UNetAsLayer(&mut self.generator).read_values_flat(&mut g_vals);
+            let mut d_vals = vec![0.0f32; d_len];
+            self.discriminator.read_values_flat(&mut d_vals);
+            for g in &mut self.g_replicas[..r_eff - 1] {
+                UNetAsLayer(g).write_values_flat(&g_vals);
+            }
+            for d in &mut self.d_replicas[..r_eff - 1] {
+                d.write_values_flat(&d_vals);
+            }
+            // Divide the thread budget between replicas so the total
+            // worker count stays at the configured level; the budget
+            // only affects scheduling, never numerics.
+            let outer = self.parallelism.threads();
+            Parallelism::new((outer / r_eff).max(1)).install();
+            let generator = &mut self.generator;
+            let discriminator = &mut self.discriminator;
+            let gs: Vec<&mut UNetGenerator> =
+                std::iter::once(generator).chain(self.g_replicas[..r_eff - 1].iter_mut()).collect();
+            let ds: Vec<&mut PatchGan> = std::iter::once(discriminator)
+                .chain(self.d_replicas[..r_eff - 1].iter_mut())
+                .collect();
+            let splits = reduce::tree_splits(n, r_eff);
+            // std::thread::scope (not the crossbeam wrapper): the
+            // rendezvous barrier inside SyncGroup requires the replicas
+            // to genuinely run concurrently.
+            let outs = std::thread::scope(|scope| {
+                let handles: Vec<_> = gs
+                    .into_iter()
+                    .zip(ds)
+                    .zip(splits.iter().enumerate())
+                    .map(|((g, d), (r, &(lo, hi)))| {
+                        let group = Arc::clone(&group);
+                        scope.spawn(move || {
+                            let ctx = ReplicaCtx {
+                                group,
+                                replica: r,
+                                sample_base: lo,
+                                step_nonce: nonce,
+                            };
+                            run_shard(g, d, batch, lo, hi, n, lambda, ctx, g_len, d_len)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("replica worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            self.parallelism.install();
+            outs
         };
 
-        // ---- Discriminator update.
-        self.discriminator.zero_grad();
-        let real_pair = input.concat_channels(target);
-        let _d = telemetry::span("gan.d_update");
-        let d_real = self.discriminator.forward(&real_pair, true);
-        let (l_real, g_real) = loss::bce_with_logits(&d_real, &Tensor::full(d_real.shape(), 1.0));
-        self.discriminator.backward(&g_real.scale(0.5));
-        let fake_pair = input.concat_channels(&fake);
-        let d_fake = self.discriminator.forward(&fake_pair, true);
-        let (l_fake, g_fake) = loss::bce_with_logits(&d_fake, &Tensor::full(d_fake.shape(), 0.0));
-        // The generator's adversarial loss (label the fake "real") reuses
-        // the same logits and cached activations — a third D forward
-        // would waste the work and update every BatchNorm running stat a
-        // second time for the fake pair.
-        let (l_gan, g_gan) = loss::bce_with_logits(&d_fake, &Tensor::full(d_fake.shape(), 1.0));
-        // Backprop the adversarial signal for the generator before the
-        // fake-side D backward; snapshot/restore D's parameter gradients
-        // so the D step sees only its own two half-weighted terms.
-        let mut saved: Vec<Vec<f32>> = Vec::new();
-        self.discriminator.visit_params(&mut |p| saved.push(p.grad.clone()));
-        let g_pair = self.discriminator.backward(&g_gan);
-        let mut saved = saved.into_iter();
-        self.discriminator
-            .visit_params(&mut |p| p.grad = saved.next().expect("snapshot covers every param"));
-        self.discriminator.backward(&g_fake.scale(0.5));
-        let d = &mut self.discriminator;
-        let (d_norm, d_bad) = grad_norm_scan(&mut |v| d.visit_blocks(v));
+        for o in &outs {
+            telemetry::observe("gan.replica.shard_ns", o.shard_ns as f64);
+        }
+
+        // ---- Fixed-order reduction on the main thread. Each loss
+        // term's gradient partials combine by the same halving tree the
+        // shards were split with, so every replica count reproduces the
+        // single-replica sums bitwise.
+        let d_real_rows: Vec<&[f32]> = outs.iter().map(|o| o.d_real_grads.as_slice()).collect();
+        let mut d_grads = reduce::tree_reduce_rows(&d_real_rows);
+        let d_fake_rows: Vec<&[f32]> = outs.iter().map(|o| o.d_fake_grads.as_slice()).collect();
+        let d_fake_sum = reduce::tree_reduce_rows(&d_fake_rows);
+        for (a, b) in d_grads.iter_mut().zip(&d_fake_sum) {
+            *a += *b;
+        }
+        let g_rows: Vec<&[f32]> = outs.iter().map(|o| o.g_grads.as_slice()).collect();
+        let g_grads = reduce::tree_reduce_rows(&g_rows);
+
+        // Losses: per-sample subtotals concatenate in global sample
+        // order (shards are contiguous and ascending), then tree-sum.
+        let patch_total = outs[0].patch_total;
+        let img_total = outs[0].img_total;
+        let mut real_rows = Vec::with_capacity(n);
+        let mut fake_rows = Vec::with_capacity(n);
+        let mut gan_rows = Vec::with_capacity(n);
+        let mut l1_rows = Vec::with_capacity(n);
+        for o in &outs {
+            real_rows.extend_from_slice(&o.real_rows);
+            fake_rows.extend_from_slice(&o.fake_rows);
+            gan_rows.extend_from_slice(&o.gan_rows);
+            l1_rows.extend_from_slice(&o.l1_rows);
+        }
+        let l_real = reduce::tree_sum(&real_rows) / patch_total as f32;
+        let l_fake = reduce::tree_sum(&fake_rows) / patch_total as f32;
+        let l_gan = reduce::tree_sum(&gan_rows) / patch_total as f32;
+        let l_l1 = reduce::tree_sum(&l1_rows) / img_total as f32;
+
+        // ---- Discriminator step through the flat parameter store.
+        let mut d_store = self.discriminator.export_store();
+        d_store.grads_mut().copy_from_slice(&d_grads);
+        let (d_norm, d_bad) = d_store.grad_norm_scan();
         if let Some((layer, norm)) = d_bad {
             return Err(TrainError {
                 epoch,
@@ -286,20 +515,14 @@ impl GanTrainer {
                 norm,
             });
         }
-        telemetry::gauge("gan.grad_norm.d", d_norm as f64);
-        self.opt_d.step_layer(&mut self.discriminator);
-        drop(_d);
+        telemetry::gauge("gan.grad_norm.d", f64::from(d_norm));
+        self.opt_d.step_store(&mut d_store);
+        self.discriminator.import_values("", &d_store);
 
-        // ---- Generator update: adversarial plus λ-weighted L1
-        // reconstruction.
-        let _g = telemetry::span("gan.g_update");
-        let (_g_input_part, g_fake_part) = g_pair.split_channels(input.c());
-        let (l_l1, g_l1) = loss::l1(&fake, target);
-        let total = g_fake_part.add(&g_l1.scale(self.config.lambda));
-        self.generator.zero_grad();
-        self.generator.backward(&total);
-        let g = &mut self.generator;
-        let (g_norm, g_bad) = grad_norm_scan(&mut |v| g.visit_blocks(v));
+        // ---- Generator step.
+        let mut g_store = UNetAsLayer(&mut self.generator).export_store();
+        g_store.grads_mut().copy_from_slice(&g_grads);
+        let (g_norm, g_bad) = g_store.grad_norm_scan();
         if let Some((layer, norm)) = g_bad {
             return Err(TrainError {
                 epoch,
@@ -308,8 +531,9 @@ impl GanTrainer {
                 norm,
             });
         }
-        telemetry::gauge("gan.grad_norm.g", g_norm as f64);
-        self.opt_g.step_layer(&mut UNetAsLayer(&mut self.generator));
+        telemetry::gauge("gan.grad_norm.g", f64::from(g_norm));
+        self.opt_g.step_store(&mut g_store);
+        UNetAsLayer(&mut self.generator).import_values("", &g_store);
 
         Ok(TrainStats { d_loss: 0.5 * (l_real + l_fake), g_adv: l_gan, g_l1: l_l1 })
     }
@@ -544,6 +768,48 @@ mod tests {
         let mut trainer = tiny_trainer(1, false, 13);
         poison_generator(&mut trainer);
         trainer.fit(&toy_samples(2), &Normalizer::new(4));
+    }
+
+    /// Flattens a trainer's post-step weights (generator then
+    /// discriminator) for bitwise comparison.
+    fn flat_weights(trainer: &mut GanTrainer) -> Vec<f32> {
+        let g_len = UNetAsLayer(trainer.generator_mut()).param_count();
+        let mut w = vec![0.0f32; g_len];
+        UNetAsLayer(trainer.generator_mut()).read_values_flat(&mut w);
+        let d_len = trainer.discriminator.param_count();
+        let mut dw = vec![0.0f32; d_len];
+        trainer.discriminator.read_values_flat(&mut dw);
+        w.extend_from_slice(&dw);
+        w
+    }
+
+    #[test]
+    fn replica_counts_produce_bitwise_identical_steps() {
+        let samples = toy_samples(4);
+        let norm = Normalizer::new(4);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (input, target, _params) = collate(&refs, &norm);
+        let batch = TrainSample { input, target, params: None };
+        let mut runs = Vec::new();
+        for r in [1usize, 2, 4] {
+            let mut trainer = tiny_trainer(1, false, 21).with_replicas(r);
+            let s1 = trainer.train_step(&batch).unwrap();
+            let s2 = trainer.train_step(&batch).unwrap();
+            runs.push((s1, s2, flat_weights(&mut trainer)));
+        }
+        let (s1, s2, w) = &runs[0];
+        for (r, (r1, r2, rw)) in runs.iter().enumerate().skip(1) {
+            let r_label = [1, 2, 4][r];
+            for (a, b) in [(s1, r1), (s2, r2)] {
+                assert_eq!(a.d_loss.to_bits(), b.d_loss.to_bits(), "d_loss differs at R={r_label}");
+                assert_eq!(a.g_adv.to_bits(), b.g_adv.to_bits(), "g_adv differs at R={r_label}");
+                assert_eq!(a.g_l1.to_bits(), b.g_l1.to_bits(), "g_l1 differs at R={r_label}");
+            }
+            assert_eq!(w.len(), rw.len());
+            for (i, (a, b)) in w.iter().zip(rw).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "weight {i} differs at R={r_label}");
+            }
+        }
     }
 
     #[test]

@@ -97,6 +97,7 @@ impl UNetConfig {
 #[derive(Debug)]
 pub struct UNetGenerator {
     config: UNetConfig,
+    seed: u64,
     downs: Vec<Sequential>,
     ups: Vec<Sequential>,
     param_head: Option<Sequential>,
@@ -173,12 +174,19 @@ impl UNetGenerator {
                 .push(Relu::new())
                 .push(Linear::new(32, config.param_embed, seed * 149 + 3))
         });
-        UNetGenerator { config, downs, ups, param_head, cache: None }
+        UNetGenerator { config, seed, downs, ups, param_head, cache: None }
     }
 
     /// The generator's configuration.
     pub fn config(&self) -> &UNetConfig {
         &self.config
+    }
+
+    /// The seed this generator was built with. Training replicas are
+    /// constructed with the same seed so that keyed dropout masks agree
+    /// across replicas of the same model.
+    pub fn init_seed(&self) -> u64 {
+        self.seed
     }
 
     /// Runs the generator.
@@ -339,6 +347,18 @@ impl Layer for UNetAsLayer<'_> {
 
     fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
         self.0.visit_buffers(visitor);
+    }
+
+    fn visit_named_params(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Param)) {
+        self.0.visit_blocks(&mut |name, block| {
+            block.visit_named_params(&format!("{prefix}{name}/"), visitor);
+        });
+    }
+
+    fn visit_named_buffers(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Vec<f32>)) {
+        self.0.visit_blocks(&mut |name, block| {
+            block.visit_named_buffers(&format!("{prefix}{name}/"), visitor);
+        });
     }
 }
 

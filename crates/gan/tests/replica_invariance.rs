@@ -1,0 +1,144 @@
+//! Replica-count invariance of data-parallel training.
+//!
+//! The contract (docs/PARALLEL_TRAINING.md): for any replica count R,
+//! per-step losses and post-step weights are **bitwise identical** to
+//! the single-replica run. Batch shards follow the canonical halving
+//! tree, per-replica gradient arenas reduce pairwise in fixed replica
+//! order, batch-norm statistics rendezvous over the global batch, and
+//! dropout masks are keyed by global sample index — so the only thing R
+//! changes is wall-clock time.
+//!
+//! The suite runs with and without `--features simd` (the GEMM
+//! microkernel is bitwise identical across dispatch paths), and the CI
+//! matrix runs it under `CACHEBOX_THREADS=1` and `=4`.
+
+use cachebox_gan::condition::CacheParams;
+use cachebox_gan::data::{Normalizer, Sample};
+use cachebox_gan::unet::UNetAsLayer;
+use cachebox_gan::{
+    GanTrainer, PatchGan, PatchGanConfig, TrainConfig, TrainStats, UNetConfig, UNetGenerator,
+};
+use cachebox_heatmap::Heatmap;
+use cachebox_nn::layers::Layer;
+
+/// A toy "cache filter" dataset: the miss map keeps only the top half
+/// of the access map, as if lower rows always hit.
+fn toy_samples(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|k| {
+            let mut access = Heatmap::zeros(8, 8);
+            let mut miss = Heatmap::zeros(8, 8);
+            for col in 0..8 {
+                for row in 0..8 {
+                    let v = ((k + col + row) % 4) as f32;
+                    access.set(row, col, v);
+                    if row < 4 {
+                        miss.set(row, col, v);
+                    }
+                }
+            }
+            Sample { access, miss, params: CacheParams::new(64, 12) }
+        })
+        .collect()
+}
+
+/// Trains a fresh model pair for three epochs with `replicas` workers
+/// and returns the per-epoch losses plus the final flat weights and
+/// batch-norm buffers of both networks.
+fn run(replicas: usize, dropout: bool, conditioned: bool) -> (Vec<TrainStats>, Vec<f32>) {
+    let mut gc = UNetConfig::for_image_size(8, 4).with_dropout(dropout);
+    if conditioned {
+        gc = gc.with_param_features(2);
+    }
+    let g = UNetGenerator::new(gc, 17);
+    let d = PatchGan::new(PatchGanConfig::new(2, 4, 1), 18);
+    let config = TrainConfig { epochs: 3, batch_size: 4, lr: 2e-3, ..Default::default() };
+    let mut trainer = GanTrainer::new(g, d, config).with_replicas(replicas);
+    let history = trainer.fit(&toy_samples(8), &Normalizer::new(4));
+    let (mut g, mut d) = trainer.into_networks();
+    let mut state = Vec::new();
+    {
+        let mut layer = UNetAsLayer(&mut g);
+        let mut w = vec![0.0f32; layer.param_count()];
+        layer.read_values_flat(&mut w);
+        state.extend_from_slice(&w);
+        let mut b = vec![0.0f32; layer.buffer_scalar_count()];
+        layer.read_buffers_flat(&mut b);
+        state.extend_from_slice(&b);
+    }
+    let mut w = vec![0.0f32; d.param_count()];
+    d.read_values_flat(&mut w);
+    state.extend_from_slice(&w);
+    let mut b = vec![0.0f32; d.buffer_scalar_count()];
+    d.read_buffers_flat(&mut b);
+    state.extend_from_slice(&b);
+    (history, state)
+}
+
+fn assert_bitwise_equal(
+    r: usize,
+    base: &(Vec<TrainStats>, Vec<f32>),
+    got: &(Vec<TrainStats>, Vec<f32>),
+) {
+    assert_eq!(base.0.len(), got.0.len());
+    for (epoch, (a, b)) in base.0.iter().zip(&got.0).enumerate() {
+        assert_eq!(
+            a.d_loss.to_bits(),
+            b.d_loss.to_bits(),
+            "d_loss differs at R={r}, epoch {epoch}: {} vs {}",
+            a.d_loss,
+            b.d_loss
+        );
+        assert_eq!(
+            a.g_adv.to_bits(),
+            b.g_adv.to_bits(),
+            "g_adv differs at R={r}, epoch {epoch}: {} vs {}",
+            a.g_adv,
+            b.g_adv
+        );
+        assert_eq!(
+            a.g_l1.to_bits(),
+            b.g_l1.to_bits(),
+            "g_l1 differs at R={r}, epoch {epoch}: {} vs {}",
+            a.g_l1,
+            b.g_l1
+        );
+    }
+    assert_eq!(base.1.len(), got.1.len(), "state arenas differ in length at R={r}");
+    for (i, (a, b)) in base.1.iter().zip(&got.1).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "state scalar {i} differs at R={r}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn replica_counts_are_bitwise_invariant() {
+    let base = run(1, false, false);
+    for r in [2, 4] {
+        assert_bitwise_equal(r, &base, &run(r, false, false));
+    }
+    assert!(base.0.iter().all(|s| s.d_loss.is_finite() && s.g_l1.is_finite()));
+}
+
+#[test]
+fn replica_counts_are_bitwise_invariant_with_dropout() {
+    // Dropout masks are keyed by (layer seed, step nonce, global sample,
+    // element), so sharding the batch cannot change which activations
+    // drop.
+    let base = run(1, true, false);
+    for r in [2, 4] {
+        assert_bitwise_equal(r, &base, &run(r, true, false));
+    }
+}
+
+#[test]
+fn replica_counts_are_bitwise_invariant_when_conditioned() {
+    let base = run(1, false, true);
+    assert_bitwise_equal(2, &base, &run(2, false, true));
+}
+
+#[test]
+fn oversized_replica_request_clamps_to_batch() {
+    // R=16 over batches of 4 must clamp to 4 workers and still match.
+    let base = run(1, false, false);
+    assert_bitwise_equal(16, &base, &run(16, false, false));
+}

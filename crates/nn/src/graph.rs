@@ -94,6 +94,20 @@ impl Layer for Sequential {
             layer.visit_buffers(visitor);
         }
     }
+
+    fn visit_named_params(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Param)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let child = format!("{prefix}{}{i}.", layer.kind());
+            layer.visit_named_params(&child, visitor);
+        }
+    }
+
+    fn visit_named_buffers(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Vec<f32>)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let child = format!("{prefix}{}{i}.", layer.kind());
+            layer.visit_named_buffers(&child, visitor);
+        }
+    }
 }
 
 #[cfg(test)]

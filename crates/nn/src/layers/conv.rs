@@ -5,8 +5,8 @@ use crate::init::Initializer;
 use crate::layers::Layer;
 use crate::parallel::{self, Parallelism};
 use crate::param::Param;
-use crate::scratch;
 use crate::tensor::Tensor;
+use crate::{reduce, scratch};
 use cachebox_telemetry as telemetry;
 
 /// A 2-D convolution with square kernel, stride, and zero padding.
@@ -163,61 +163,59 @@ impl Layer for Conv2d {
             "nn.im2col.bytes",
             (input.n() * rows * positions * std::mem::size_of::<f32>()) as u64,
         );
+        // Input gradients are per-sample independent. Weight/bias
+        // gradients are accumulated into per-SAMPLE zero-initialised
+        // buffers and combined with the canonical recursive-halving
+        // tree (`crate::reduce`): the result is bitwise identical for
+        // any thread count AND for any power-of-two sharding of the
+        // batch across trainer replicas, because each shard's partial
+        // is a subtree value of the same tree.
         let mut grad_in = Tensor::zeros(input.shape());
         let par = Parallelism::current();
-        let shards = par.chunk_count(input.n());
+        let n_samples = input.n();
+        let shards = par.chunk_count(n_samples);
         let inner = parallel::inner_budget(par, shards, self.out_c * rows * positions);
+        let wlen = self.weight.grad.len();
+        let in_len = self.in_c * input.h() * input.w();
+        let out_c = self.out_c;
+        let mut wbuf = scratch::scratch(n_samples * wlen);
+        let mut bbuf = scratch::scratch(n_samples * out_c);
+        let weight = &self.weight.value;
+        let backward_sample = |s: usize,
+                               cols: &mut [f32],
+                               gcols: &mut [f32],
+                               w_slot: &mut [f32],
+                               b_slot: &mut [f32],
+                               gin_sample: &mut [f32]| {
+            let g = grad_out.sample(s);
+            // Weight gradient: per-sample gW = g × colsᵀ.
+            gemm::im2col(input.sample(s), &grid, cols);
+            parallel::gemm_a_bt_acc_with(inner, g, cols, out_c, positions, rows, w_slot);
+            // Bias gradient: per-channel sums.
+            for c in 0..out_c {
+                b_slot[c] = g[c * positions..(c + 1) * positions].iter().sum::<f32>();
+            }
+            // Input gradient: col2im(Wᵀ × g).
+            gcols.fill(0.0);
+            parallel::gemm_at_b_acc_with(inner, weight, g, rows, out_c, positions, gcols);
+            gemm::col2im(gcols, &grid, gin_sample);
+        };
         if shards <= 1 {
             let mut cols = scratch::scratch(rows * positions);
             let mut gcols = scratch::scratch(rows * positions);
-            for n in 0..input.n() {
-                let g = grad_out.sample(n);
-                // Weight gradient: gW += g × colsᵀ.
-                gemm::im2col(input.sample(n), &grid, &mut cols);
-                parallel::gemm_a_bt_acc_with(
-                    inner,
-                    g,
-                    &cols,
-                    self.out_c,
-                    positions,
-                    rows,
-                    &mut self.weight.grad,
-                );
-                // Bias gradient: per-channel sums.
-                for c in 0..self.out_c {
-                    self.bias.grad[c] += g[c * positions..(c + 1) * positions].iter().sum::<f32>();
-                }
-                // Input gradient: col2im(Wᵀ × g).
-                gcols.fill(0.0);
-                parallel::gemm_at_b_acc_with(
-                    inner,
-                    &self.weight.value,
-                    g,
-                    rows,
-                    self.out_c,
-                    positions,
+            for s in 0..n_samples {
+                backward_sample(
+                    s,
+                    &mut cols,
                     &mut gcols,
+                    &mut wbuf[s * wlen..(s + 1) * wlen],
+                    &mut bbuf[s * out_c..(s + 1) * out_c],
+                    grad_in.sample_mut(s),
                 );
-                gemm::col2im(&gcols, &grid, grad_in.sample_mut(n));
             }
         } else {
-            // Batch sharding. Input gradients are per-sample independent;
-            // weight/bias gradients are accumulated into per-SAMPLE
-            // zero-initialised buffers and reduced on this thread in sample
-            // index order after the workers join. The `a×bᵀ` kernel adds
-            // each element's dot product to the output exactly once per
-            // sample, so `grad += contribution[0] += contribution[1] …`
-            // replays the serial loop's additions in the same order —
-            // bitwise identical for any thread count.
             telemetry::counter("nn.conv.batch_shards", shards as u64);
-            let n_samples = input.n();
             let chunk = n_samples.div_ceil(shards);
-            let wlen = self.weight.grad.len();
-            let in_len = self.in_c * input.h() * input.w();
-            let mut wbuf = scratch::scratch(n_samples * wlen);
-            let mut bbuf = scratch::scratch(n_samples * self.out_c);
-            let out_c = self.out_c;
-            let weight = &self.weight.value;
             crossbeam::thread::scope(|scope| {
                 for (ci, ((gin_chunk, w_chunk), b_chunk)) in grad_in
                     .data_mut()
@@ -226,43 +224,33 @@ impl Layer for Conv2d {
                     .zip(bbuf.chunks_mut(chunk * out_c))
                     .enumerate()
                 {
+                    let backward_sample = &backward_sample;
                     scope.spawn(move |_| {
                         let mut cols = scratch::scratch(rows * positions);
                         let mut gcols = scratch::scratch(rows * positions);
                         for (j, gin_sample) in gin_chunk.chunks_mut(in_len).enumerate() {
-                            let s = ci * chunk + j;
-                            let g = grad_out.sample(s);
-                            gemm::im2col(input.sample(s), &grid, &mut cols);
-                            parallel::gemm_a_bt_acc_with(
-                                inner,
-                                g,
-                                &cols,
-                                out_c,
-                                positions,
-                                rows,
+                            backward_sample(
+                                ci * chunk + j,
+                                &mut cols,
+                                &mut gcols,
                                 &mut w_chunk[j * wlen..(j + 1) * wlen],
+                                &mut b_chunk[j * out_c..(j + 1) * out_c],
+                                gin_sample,
                             );
-                            for c in 0..out_c {
-                                b_chunk[j * out_c + c] =
-                                    g[c * positions..(c + 1) * positions].iter().sum::<f32>();
-                            }
-                            gcols.fill(0.0);
-                            parallel::gemm_at_b_acc_with(
-                                inner, weight, g, rows, out_c, positions, &mut gcols,
-                            );
-                            gemm::col2im(&gcols, &grid, gin_sample);
                         }
                     });
                 }
             })
             .expect("conv backward worker panicked");
-            for s in 0..n_samples {
-                for (d, &c) in self.weight.grad.iter_mut().zip(&wbuf[s * wlen..(s + 1) * wlen]) {
-                    *d += c;
-                }
-                for (d, &c) in self.bias.grad.iter_mut().zip(&bbuf[s * out_c..(s + 1) * out_c]) {
-                    *d += c;
-                }
+        }
+        if n_samples > 0 {
+            reduce::fold_samples(&mut wbuf, n_samples, wlen);
+            reduce::fold_samples(&mut bbuf, n_samples, out_c);
+            for (d, &c) in self.weight.grad.iter_mut().zip(&wbuf[..wlen]) {
+                *d += c;
+            }
+            for (d, &c) in self.bias.grad.iter_mut().zip(&bbuf[..out_c]) {
+                *d += c;
             }
         }
         grad_in
@@ -271,6 +259,10 @@ impl Layer for Conv2d {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.weight);
         visitor(&mut self.bias);
+    }
+
+    fn param_names(&self) -> &'static [&'static str] {
+        &["weight", "bias"]
     }
 }
 

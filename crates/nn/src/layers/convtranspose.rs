@@ -5,8 +5,8 @@ use crate::init::Initializer;
 use crate::layers::Layer;
 use crate::parallel::{self, Parallelism};
 use crate::param::Param;
-use crate::scratch;
 use crate::tensor::Tensor;
+use crate::{reduce, scratch};
 use cachebox_telemetry as telemetry;
 
 /// A 2-D transposed convolution, the adjoint of [`Conv2d`] with the same
@@ -169,54 +169,61 @@ impl Layer for ConvTranspose2d {
         );
         let positions = input.h() * input.w();
         let rows = grid.patch_rows();
+        // Per-sample weight/bias contribution buffers combined with the
+        // canonical sample tree — the same determinism contract as
+        // `Conv2d::backward` (bitwise invariant to thread count and to
+        // power-of-two batch sharding across trainer replicas).
         let mut grad_in = Tensor::zeros(input.shape());
         let plane = grid.height * grid.width;
         let par = Parallelism::current();
-        let shards = par.chunk_count(input.n());
+        let n_samples = input.n();
+        let shards = par.chunk_count(n_samples);
         let inner = parallel::inner_budget(par, shards, self.in_c * rows * positions);
+        let wlen = self.weight.grad.len();
+        let in_len = self.in_c * input.h() * input.w();
+        let (in_c, out_c) = (self.in_c, self.out_c);
+        let mut wbuf = scratch::scratch(n_samples * wlen);
+        let mut bbuf = scratch::scratch(n_samples * out_c);
+        let weight = &self.weight.value;
+        let backward_sample = |s: usize,
+                               gcols: &mut [f32],
+                               w_slot: &mut [f32],
+                               b_slot: &mut [f32],
+                               gin_sample: &mut [f32]| {
+            let g = grad_out.sample(s);
+            gemm::im2col(g, &grid, gcols);
+            // Input gradient: gx = W × im2col(g).
+            gin_sample.fill(0.0);
+            parallel::gemm_acc_with(inner, weight, gcols, in_c, rows, positions, gin_sample);
+            // Weight gradient: per-sample gW = x × im2col(g)ᵀ.
+            parallel::gemm_a_bt_acc_with(
+                inner,
+                input.sample(s),
+                gcols,
+                in_c,
+                positions,
+                rows,
+                w_slot,
+            );
+            // Bias gradient: per-output-channel sums.
+            for c in 0..out_c {
+                b_slot[c] = g[c * plane..(c + 1) * plane].iter().sum::<f32>();
+            }
+        };
         if shards <= 1 {
             let mut gcols = scratch::scratch(rows * positions);
-            for n in 0..input.n() {
-                let g = grad_out.sample(n);
-                gemm::im2col(g, &grid, &mut gcols);
-                // Input gradient: gx = W × im2col(g).
-                parallel::gemm_with(
-                    inner,
-                    &self.weight.value,
-                    &gcols,
-                    self.in_c,
-                    rows,
-                    positions,
-                    grad_in.sample_mut(n),
+            for s in 0..n_samples {
+                backward_sample(
+                    s,
+                    &mut gcols,
+                    &mut wbuf[s * wlen..(s + 1) * wlen],
+                    &mut bbuf[s * out_c..(s + 1) * out_c],
+                    grad_in.sample_mut(s),
                 );
-                // Weight gradient: gW += x × im2col(g)ᵀ.
-                parallel::gemm_a_bt_acc_with(
-                    inner,
-                    input.sample(n),
-                    &gcols,
-                    self.in_c,
-                    positions,
-                    rows,
-                    &mut self.weight.grad,
-                );
-                // Bias gradient: per-output-channel sums.
-                for c in 0..self.out_c {
-                    self.bias.grad[c] += g[c * plane..(c + 1) * plane].iter().sum::<f32>();
-                }
             }
         } else {
-            // Batch sharding with per-sample weight/bias contribution
-            // buffers, reduced in sample index order after the join — the
-            // same determinism contract as `Conv2d::backward` (see there).
             telemetry::counter("nn.conv.batch_shards", shards as u64);
-            let n_samples = input.n();
             let chunk = n_samples.div_ceil(shards);
-            let wlen = self.weight.grad.len();
-            let in_len = self.in_c * input.h() * input.w();
-            let mut wbuf = scratch::scratch(n_samples * wlen);
-            let mut bbuf = scratch::scratch(n_samples * self.out_c);
-            let (in_c, out_c) = (self.in_c, self.out_c);
-            let weight = &self.weight.value;
             crossbeam::thread::scope(|scope| {
                 for (ci, ((gin_chunk, w_chunk), b_chunk)) in grad_in
                     .data_mut()
@@ -225,41 +232,31 @@ impl Layer for ConvTranspose2d {
                     .zip(bbuf.chunks_mut(chunk * out_c))
                     .enumerate()
                 {
+                    let backward_sample = &backward_sample;
                     scope.spawn(move |_| {
                         let mut gcols = scratch::scratch(rows * positions);
                         for (j, gin_sample) in gin_chunk.chunks_mut(in_len).enumerate() {
-                            let s = ci * chunk + j;
-                            let g = grad_out.sample(s);
-                            gemm::im2col(g, &grid, &mut gcols);
-                            gin_sample.fill(0.0);
-                            parallel::gemm_acc_with(
-                                inner, weight, &gcols, in_c, rows, positions, gin_sample,
-                            );
-                            parallel::gemm_a_bt_acc_with(
-                                inner,
-                                input.sample(s),
-                                &gcols,
-                                in_c,
-                                positions,
-                                rows,
+                            backward_sample(
+                                ci * chunk + j,
+                                &mut gcols,
                                 &mut w_chunk[j * wlen..(j + 1) * wlen],
+                                &mut b_chunk[j * out_c..(j + 1) * out_c],
+                                gin_sample,
                             );
-                            for c in 0..out_c {
-                                b_chunk[j * out_c + c] =
-                                    g[c * plane..(c + 1) * plane].iter().sum::<f32>();
-                            }
                         }
                     });
                 }
             })
             .expect("convT backward worker panicked");
-            for s in 0..n_samples {
-                for (d, &c) in self.weight.grad.iter_mut().zip(&wbuf[s * wlen..(s + 1) * wlen]) {
-                    *d += c;
-                }
-                for (d, &c) in self.bias.grad.iter_mut().zip(&bbuf[s * out_c..(s + 1) * out_c]) {
-                    *d += c;
-                }
+        }
+        if n_samples > 0 {
+            reduce::fold_samples(&mut wbuf, n_samples, wlen);
+            reduce::fold_samples(&mut bbuf, n_samples, out_c);
+            for (d, &c) in self.weight.grad.iter_mut().zip(&wbuf[..wlen]) {
+                *d += c;
+            }
+            for (d, &c) in self.bias.grad.iter_mut().zip(&bbuf[..out_c]) {
+                *d += c;
             }
         }
         grad_in
@@ -268,6 +265,10 @@ impl Layer for ConvTranspose2d {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.weight);
         visitor(&mut self.bias);
+    }
+
+    fn param_names(&self) -> &'static [&'static str] {
+        &["weight", "bias"]
     }
 }
 

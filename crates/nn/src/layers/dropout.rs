@@ -1,6 +1,7 @@
 //! Inverted dropout.
 
 use crate::layers::Layer;
+use crate::replica;
 use crate::scratch;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -9,9 +10,18 @@ use rand::{Rng, SeedableRng};
 /// Inverted dropout: during training, each element is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`; evaluation is
 /// the identity. The U-Net's inner decoder blocks use `p = 0.5`.
+///
+/// Mask randomness has two modes. Standalone use draws from a seeded
+/// `StdRng` stream. Inside a trainer replica context (see
+/// [`crate::replica`]) masks are instead *keyed* by
+/// `(seed, step nonce, global sample index, element index)` through a
+/// splitmix64 hash, so each sample's mask is independent of how the
+/// batch was sharded across replicas — a requirement of the
+/// replica-count determinism contract.
 #[derive(Debug)]
 pub struct Dropout {
     p: f32,
+    seed: u64,
     rng: StdRng,
     mask: Option<Vec<f32>>,
 }
@@ -25,8 +35,26 @@ impl Dropout {
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Dropout { p, rng: StdRng::seed_from_u64(seed ^ 0xd409), mask: None }
+        Dropout { p, seed: seed ^ 0xd409, rng: StdRng::seed_from_u64(seed ^ 0xd409), mask: None }
     }
+}
+
+/// splitmix64: a cheap, statistically solid mixer for keyed masks.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from the top 24 bits of a keyed hash.
+fn keyed_uniform(seed: u64, nonce: u64, sample: u64, elem: u64) -> f32 {
+    let h = splitmix64(
+        seed ^ nonce.wrapping_mul(0xa076_1d64_78bd_642f)
+            ^ sample.wrapping_mul(0xe703_7ed1_a0b4_28db)
+            ^ elem.wrapping_mul(0x8ebc_6af0_9c88_c6e3),
+    );
+    (h >> 40) as f32 / (1u64 << 24) as f32
 }
 
 impl Layer for Dropout {
@@ -51,8 +79,24 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mut mask = scratch::take_vec(input.len());
-        for m in &mut mask {
-            *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+        match replica::step_nonce() {
+            Some(nonce) => {
+                // Sharding-invariant keyed masks: sample `j` of this
+                // shard is global sample `base + j`, and its mask
+                // depends only on (layer seed, step, global index).
+                let sample_len = input.len() / input.n().max(1);
+                for (i, m) in mask.iter_mut().enumerate() {
+                    let local = i / sample_len.max(1);
+                    let s = replica::global_sample(local) as u64;
+                    let e = (i % sample_len.max(1)) as u64;
+                    *m = if keyed_uniform(self.seed, nonce, s, e) < keep { scale } else { 0.0 };
+                }
+            }
+            None => {
+                for m in &mut mask {
+                    *m = if self.rng.gen::<f32>() < keep { scale } else { 0.0 };
+                }
+            }
         }
         let mut out = Tensor::zeros(input.shape());
         for ((d, &x), &m) in out.data_mut().iter_mut().zip(input.data()).zip(&mask) {
@@ -121,5 +165,65 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn rejects_p_one() {
         Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn keyed_masks_are_shard_invariant() {
+        use std::sync::Arc;
+
+        let full = {
+            let group = Arc::new(replica::SyncGroup::new(1, 4));
+            let _g = replica::install(replica::ReplicaCtx {
+                group,
+                replica: 0,
+                sample_base: 0,
+                step_nonce: 9,
+            });
+            let mut d = Dropout::new(0.5, 7);
+            d.forward(&Tensor::full([4, 1, 4, 4], 1.0), true)
+        };
+        // Same step, but only the shard holding global samples 2..4.
+        let shard = {
+            let group = Arc::new(replica::SyncGroup::new(1, 2));
+            let _g = replica::install(replica::ReplicaCtx {
+                group,
+                replica: 0,
+                sample_base: 2,
+                step_nonce: 9,
+            });
+            let mut d = Dropout::new(0.5, 7);
+            d.forward(&Tensor::full([2, 1, 4, 4], 1.0), true)
+        };
+        assert_eq!(&full.data()[2 * 16..], shard.data(), "masks must not depend on sharding");
+        // A different step nonce produces a different mask.
+        let other = {
+            let group = Arc::new(replica::SyncGroup::new(1, 4));
+            let _g = replica::install(replica::ReplicaCtx {
+                group,
+                replica: 0,
+                sample_base: 0,
+                step_nonce: 10,
+            });
+            let mut d = Dropout::new(0.5, 7);
+            d.forward(&Tensor::full([4, 1, 4, 4], 1.0), true)
+        };
+        assert_ne!(full.data(), other.data());
+    }
+
+    #[test]
+    fn keyed_masks_zero_roughly_p_fraction() {
+        use std::sync::Arc;
+
+        let group = Arc::new(replica::SyncGroup::new(1, 1));
+        let _g = replica::install(replica::ReplicaCtx {
+            group,
+            replica: 0,
+            sample_base: 0,
+            step_nonce: 3,
+        });
+        let mut d = Dropout::new(0.5, 2);
+        let y = d.forward(&Tensor::full([1, 1, 100, 100], 1.0), true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((3500..6500).contains(&zeros), "zeroed {zeros}/10000");
     }
 }

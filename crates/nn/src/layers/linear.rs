@@ -2,9 +2,9 @@
 
 use crate::init::Initializer;
 use crate::layers::Layer;
-use crate::parallel;
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::{parallel, reduce, scratch};
 use cachebox_telemetry as telemetry;
 
 /// A fully connected layer over `[n, in_features, 1, 1]` tensors.
@@ -73,18 +73,33 @@ impl Layer for Linear {
         let input = self.cached_input.as_ref().expect("backward before training forward");
         let n = input.n();
         assert_eq!(grad_out.shape(), [n, self.out_features, 1, 1], "grad shape mismatch");
-        // gW[o, i] += Σ_n g[n, o] x[n, i]  ⇔  gW += gᵀ × x.
-        parallel::gemm_at_b_acc(
-            grad_out.data(),
-            input.data(),
-            self.out_features,
-            n,
-            self.in_features,
-            &mut self.weight.grad,
-        );
+        // gW[o, i] += Σ_n g[n, o] x[n, i], reduced over samples with the
+        // canonical tree so the result is invariant to batch sharding
+        // (see crate::reduce). The per-sample term is an outer product;
+        // this layer is tiny (the cache-parameter head), so an explicit
+        // loop costs nothing next to the conv stacks.
+        let wlen = self.out_features * self.in_features;
+        let mut wbuf = scratch::scratch(n * wlen);
+        let mut bbuf = scratch::scratch(n * self.out_features);
         for ni in 0..n {
-            for (gb, g) in self.bias.grad.iter_mut().zip(grad_out.sample(ni)) {
-                *gb += g;
+            let g = grad_out.sample(ni);
+            let x = input.sample(ni);
+            let wrow = &mut wbuf[ni * wlen..(ni + 1) * wlen];
+            for (o, &go) in g.iter().enumerate() {
+                for (i, &xi) in x.iter().enumerate() {
+                    wrow[o * self.in_features + i] = go * xi;
+                }
+            }
+            bbuf[ni * self.out_features..(ni + 1) * self.out_features].copy_from_slice(g);
+        }
+        if n > 0 {
+            reduce::fold_samples(&mut wbuf, n, wlen);
+            reduce::fold_samples(&mut bbuf, n, self.out_features);
+            for (gw, w) in self.weight.grad.iter_mut().zip(&wbuf[..wlen]) {
+                *gw += w;
+            }
+            for (gb, b) in self.bias.grad.iter_mut().zip(&bbuf[..self.out_features]) {
+                *gb += b;
             }
         }
         // gx = g × W.
@@ -103,6 +118,10 @@ impl Layer for Linear {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.weight);
         visitor(&mut self.bias);
+    }
+
+    fn param_names(&self) -> &'static [&'static str] {
+        &["weight", "bias"]
     }
 }
 

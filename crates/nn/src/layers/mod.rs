@@ -19,6 +19,7 @@ pub use linear::Linear;
 pub use norm::{BatchNorm2d, InstanceNorm2d};
 
 use crate::param::Param;
+use crate::store::ParamStore;
 use crate::tensor::Tensor;
 
 /// A differentiable layer.
@@ -51,15 +52,166 @@ pub trait Layer: std::fmt::Debug + Send {
     }
 
     /// Visits every learnable parameter in a stable order.
+    ///
+    /// This is the layer-internal wiring that the named/flat bridge
+    /// methods below are built on. External subsystems (optimizers,
+    /// serialization, the trainer) go through [`ParamStore`]s and the
+    /// bridge methods instead of calling this directly.
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         let _ = visitor;
     }
 
     /// Visits every non-learnable state buffer (e.g. batch-norm running
     /// statistics) in a stable order. Buffers are part of a model's
-    /// serialized state but receive no gradients.
+    /// serialized state but receive no gradients. Like `visit_params`,
+    /// this is internal wiring for the bridge methods below.
     fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
         let _ = visitor;
+    }
+
+    /// Stable names of this layer's own parameters, matching the
+    /// `visit_params` order (`["weight", "bias"]`, `["gamma", "beta"]`,
+    /// …). Composite layers leave this empty and override
+    /// [`Layer::visit_named_params`] instead.
+    fn param_names(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Stable names of this layer's state buffers, matching the
+    /// `visit_buffers` order.
+    fn buffer_names(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Visits every parameter together with its stable path name
+    /// (`prefix` + the entry from [`Layer::param_names`]). Composite
+    /// layers override this to compose child prefixes
+    /// (`"{kind}{index}."`), producing the segment names used by
+    /// [`ParamStore`]s, optimizer moments, and checkpoints.
+    fn visit_named_params(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Param)) {
+        let names = self.param_names();
+        let mut i = 0;
+        self.visit_params(&mut |p| {
+            let name = names.get(i).copied().unwrap_or("param");
+            visitor(&format!("{prefix}{name}"), p);
+            i += 1;
+        });
+    }
+
+    /// Visits every state buffer together with its stable path name.
+    fn visit_named_buffers(&mut self, prefix: &str, visitor: &mut dyn FnMut(&str, &mut Vec<f32>)) {
+        let names = self.buffer_names();
+        let mut i = 0;
+        self.visit_buffers(&mut |b| {
+            let name = names.get(i).copied().unwrap_or("buffer");
+            visitor(&format!("{prefix}{name}"), b);
+            i += 1;
+        });
+    }
+
+    /// Appends every parameter (values and gradients) to `store` as
+    /// named segments under `prefix`.
+    fn export_params(&mut self, prefix: &str, store: &mut ParamStore) {
+        self.visit_named_params(prefix, &mut |name, p| {
+            store.push_segment(name, &p.value, &p.grad);
+        });
+    }
+
+    /// Captures all parameters into a fresh flat store.
+    fn export_store(&mut self) -> ParamStore {
+        let mut store = ParamStore::new();
+        self.export_params("", &mut store);
+        store
+    }
+
+    /// Copies parameter values from `store` back into the layer,
+    /// matching segments by name. Panics if a segment is missing or has
+    /// a different length — the store must come from the same
+    /// architecture.
+    fn import_values(&mut self, prefix: &str, store: &ParamStore) {
+        self.visit_named_params(prefix, &mut |name, p| {
+            let seg =
+                store.segment(name).unwrap_or_else(|| panic!("missing parameter segment `{name}`"));
+            assert_eq!(seg.len, p.value.len(), "parameter `{name}` changed length");
+            p.value.copy_from_slice(store.segment_values(seg));
+        });
+    }
+
+    /// Copies the layer's current gradients into `store`'s gradient
+    /// arena, matching segments by name.
+    fn export_grads(&mut self, prefix: &str, store: &mut ParamStore) {
+        self.visit_named_params(prefix, &mut |name, p| {
+            let (offset, len) = {
+                let seg = store
+                    .segment(name)
+                    .unwrap_or_else(|| panic!("missing parameter segment `{name}`"));
+                (seg.offset, seg.len)
+            };
+            assert_eq!(len, p.grad.len(), "parameter `{name}` changed length");
+            store.grads_mut()[offset..offset + len].copy_from_slice(&p.grad);
+        });
+    }
+
+    /// Packs parameter values into `out` in visiting order. `out` must
+    /// have exactly `param_count` scalars.
+    fn read_values_flat(&mut self, out: &mut [f32]) {
+        let mut at = 0;
+        self.visit_params(&mut |p| {
+            out[at..at + p.len()].copy_from_slice(&p.value);
+            at += p.len();
+        });
+        assert_eq!(at, out.len(), "flat value buffer length mismatch");
+    }
+
+    /// Overwrites parameter values from a flat arena in visiting order —
+    /// the replica weight broadcast.
+    fn write_values_flat(&mut self, src: &[f32]) {
+        let mut at = 0;
+        self.visit_params(&mut |p| {
+            let len = p.len();
+            p.value.copy_from_slice(&src[at..at + len]);
+            at += len;
+        });
+        assert_eq!(at, src.len(), "flat value buffer length mismatch");
+    }
+
+    /// Packs parameter gradients into `out` in visiting order — one
+    /// replica's contribution, ready for the fixed-order tree reduction.
+    fn read_grads_flat(&mut self, out: &mut [f32]) {
+        let mut at = 0;
+        self.visit_params(&mut |p| {
+            out[at..at + p.grad.len()].copy_from_slice(&p.grad);
+            at += p.grad.len();
+        });
+        assert_eq!(at, out.len(), "flat gradient buffer length mismatch");
+    }
+
+    /// Total scalar count across state buffers.
+    fn buffer_scalar_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_buffers(&mut |b| count += b.len());
+        count
+    }
+
+    /// Packs state buffers into `out` in visiting order.
+    fn read_buffers_flat(&mut self, out: &mut [f32]) {
+        let mut at = 0;
+        self.visit_buffers(&mut |b| {
+            out[at..at + b.len()].copy_from_slice(b);
+            at += b.len();
+        });
+        assert_eq!(at, out.len(), "flat buffer arena length mismatch");
+    }
+
+    /// Overwrites state buffers from a flat arena in visiting order.
+    fn write_buffers_flat(&mut self, src: &[f32]) {
+        let mut at = 0;
+        self.visit_buffers(&mut |b| {
+            let len = b.len();
+            b.copy_from_slice(&src[at..at + len]);
+            at += len;
+        });
+        assert_eq!(at, src.len(), "flat buffer arena length mismatch");
     }
 
     /// Clears all parameter gradients.

@@ -2,7 +2,7 @@
 
 use crate::layers::Layer;
 use crate::param::Param;
-use crate::scratch;
+use crate::replica;
 use crate::tensor::Tensor;
 use cachebox_telemetry as telemetry;
 
@@ -58,31 +58,51 @@ impl BatchNorm2d {
         }
     }
 
+    /// The number of samples the statistics cover: the *global* batch
+    /// when this thread is part of a replica group, the local batch
+    /// otherwise.
+    fn global_n(local_n: usize) -> usize {
+        replica::current().map_or(local_n, |ctx| ctx.group.total_samples())
+    }
+
+    /// Batch statistics over the global batch. Per-sample per-channel
+    /// subtotals are combined with the canonical sample tree — through
+    /// the replica rendezvous when sharded — so training is batch-norm
+    /// synchronous: every replica sees the same statistics the
+    /// unsharded run computes, bitwise.
     fn channel_stats(&self, input: &Tensor) -> (Vec<f32>, Vec<f32>) {
         let [n, c, h, w] = input.shape();
-        let m = (n * h * w) as f32;
-        let mut mean = vec![0.0f32; c];
-        let mut var = vec![0.0f32; c];
+        let m = (Self::global_n(n) * h * w) as f32;
         let plane = h * w;
-        for ni in 0..n {
-            let s = input.sample(ni);
-            for ci in 0..c {
-                mean[ci] += s[ci * plane..(ci + 1) * plane].iter().sum::<f32>();
-            }
-        }
+        // Round 1: per-channel sums → global mean.
+        let sum_rows: Vec<Vec<f32>> = (0..n)
+            .map(|ni| {
+                let s = input.sample(ni);
+                (0..c).map(|ci| s[ci * plane..(ci + 1) * plane].iter().sum::<f32>()).collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = sum_rows.iter().map(|r| r.as_slice()).collect();
+        let mut mean = replica::reduce_samples(&refs);
         for v in &mut mean {
             *v /= m;
         }
-        for ni in 0..n {
-            let s = input.sample(ni);
-            for ci in 0..c {
-                let mu = mean[ci];
-                var[ci] += s[ci * plane..(ci + 1) * plane]
-                    .iter()
-                    .map(|&x| (x - mu) * (x - mu))
-                    .sum::<f32>();
-            }
-        }
+        // Round 2: per-channel squared deviations from the global mean.
+        let dev_rows: Vec<Vec<f32>> = (0..n)
+            .map(|ni| {
+                let s = input.sample(ni);
+                (0..c)
+                    .map(|ci| {
+                        let mu = mean[ci];
+                        s[ci * plane..(ci + 1) * plane]
+                            .iter()
+                            .map(|&x| (x - mu) * (x - mu))
+                            .sum::<f32>()
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = dev_rows.iter().map(|r| r.as_slice()).collect();
+        let mut var = replica::reduce_samples(&refs);
         for v in &mut var {
             *v /= m;
         }
@@ -145,23 +165,39 @@ impl Layer for BatchNorm2d {
         let [n, c, h, w] = grad_out.shape();
         assert_eq!(cache.normalized.shape(), grad_out.shape(), "grad shape mismatch");
         let plane = h * w;
-        let m = (n * h * w) as f32;
-        // Per-channel reductions.
-        let mut sum_g = scratch::scratch(c);
-        let mut sum_gx = scratch::scratch(c);
-        for ni in 0..n {
-            let g = grad_out.sample(ni);
-            let xn = cache.normalized.sample(ni);
-            for ci in 0..c {
-                for i in ci * plane..(ci + 1) * plane {
-                    sum_g[ci] += g[i];
-                    sum_gx[ci] += g[i] * xn[i];
+        let m = (Self::global_n(n) * h * w) as f32;
+        // Per-channel reductions over the global batch: per-sample
+        // `(Σg, Σg·x̂)` subtotals packed as one `2c` row, combined with
+        // the canonical sample tree (through the replica rendezvous
+        // when the batch is sharded).
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|ni| {
+                let g = grad_out.sample(ni);
+                let xn = cache.normalized.sample(ni);
+                let mut row = vec![0.0f32; 2 * c];
+                for ci in 0..c {
+                    let (mut sg, mut sgx) = (0.0f32, 0.0f32);
+                    for i in ci * plane..(ci + 1) * plane {
+                        sg += g[i];
+                        sgx += g[i] * xn[i];
+                    }
+                    row[ci] = sg;
+                    row[c + ci] = sgx;
                 }
+                row
+            })
+            .collect();
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let global = replica::reduce_samples(&refs);
+        let (sum_g, sum_gx) = global.split_at(c);
+        // γ/β gradients are batch-global sums, identical on every
+        // replica; only the lead replica applies them so the fixed-order
+        // replica reduction counts them exactly once.
+        if replica::is_lead_replica() {
+            for ci in 0..c {
+                self.beta.grad[ci] += sum_g[ci];
+                self.gamma.grad[ci] += sum_gx[ci];
             }
-        }
-        for ci in 0..c {
-            self.beta.grad[ci] += sum_g[ci];
-            self.gamma.grad[ci] += sum_gx[ci];
         }
         let mut grad_in = Tensor::zeros(grad_out.shape());
         for ni in 0..n {
@@ -185,9 +221,17 @@ impl Layer for BatchNorm2d {
         visitor(&mut self.beta);
     }
 
+    fn param_names(&self) -> &'static [&'static str] {
+        &["gamma", "beta"]
+    }
+
     fn visit_buffers(&mut self, visitor: &mut dyn FnMut(&mut Vec<f32>)) {
         visitor(&mut self.running_mean);
         visitor(&mut self.running_var);
+    }
+
+    fn buffer_names(&self) -> &'static [&'static str] {
+        &["running_mean", "running_var"]
     }
 }
 
@@ -273,10 +317,16 @@ impl Layer for InstanceNorm2d {
         let plane = h * w;
         let m = plane as f32;
         let mut grad_in = Tensor::zeros(grad_out.shape());
+        // Statistics are per-sample, but γ/β gradients still sum over
+        // the batch; collect per-sample subtotals and combine them with
+        // the canonical sample tree so sharded training matches the
+        // unsharded run bitwise.
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(n);
         for ni in 0..n {
             let g = grad_out.sample(ni);
             let xn = cache.normalized.sample(ni);
             let dst = grad_in.sample_mut(ni);
+            let mut row = vec![0.0f32; 2 * c];
             for ci in 0..c {
                 let range = ci * plane..(ci + 1) * plane;
                 let mut sum_g = 0.0;
@@ -285,13 +335,23 @@ impl Layer for InstanceNorm2d {
                     sum_g += g[i];
                     sum_gx += g[i] * xn[i];
                 }
-                self.beta.grad[ci] += sum_g;
-                self.gamma.grad[ci] += sum_gx;
+                row[ci] = sum_g;
+                row[c + ci] = sum_gx;
                 let scale = self.gamma.value[ci] * cache.inv_std[ni * c + ci];
                 let (mg, mgx) = (sum_g / m, sum_gx / m);
                 for i in range {
                     dst[i] = scale * (g[i] - mg - xn[i] * mgx);
                 }
+            }
+            rows.push(row);
+        }
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let global = replica::reduce_samples(&refs);
+        if replica::is_lead_replica() {
+            let (sum_g, sum_gx) = global.split_at(c);
+            for ci in 0..c {
+                self.beta.grad[ci] += sum_g[ci];
+                self.gamma.grad[ci] += sum_gx[ci];
             }
         }
         grad_in
@@ -300,6 +360,10 @@ impl Layer for InstanceNorm2d {
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Param)) {
         visitor(&mut self.gamma);
         visitor(&mut self.beta);
+    }
+
+    fn param_names(&self) -> &'static [&'static str] {
+        &["gamma", "beta"]
     }
 }
 

@@ -24,6 +24,17 @@
 //! * [`scratch`] — thread-local buffer recycling backing pack panels,
 //!   im2col matrices, and [`Tensor`] storage, so steady-state training
 //!   performs no transient heap allocation (see `docs/KERNELS.md`).
+//! * [`store`] — the flat [`ParamStore`]: one contiguous value arena and
+//!   one gradient arena per model, split into named, stably-ordered
+//!   segments. Optimizers and serialization operate on stores; layers
+//!   bridge in and out via `export_store`/`import_values`.
+//! * [`reduce`] — the canonical recursive-halving sample reduction whose
+//!   self-similarity makes sharded gradient sums bitwise identical to
+//!   unsharded ones for any power-of-two shard count.
+//! * [`replica`] — the data-parallel replica context: a rendezvous for
+//!   batch-global statistics (Sync-BN) plus the sample-index plumbing
+//!   that keys sharding-invariant dropout masks
+//!   (see `docs/PARALLEL_TRAINING.md`).
 //!
 //! Design note: models here are two fixed DAGs, so the crate uses explicit
 //! per-layer `forward`/`backward` methods rather than a general autograd
@@ -60,10 +71,14 @@ pub mod loss;
 pub mod optim;
 pub mod parallel;
 pub mod param;
+pub mod reduce;
+pub mod replica;
 pub mod scratch;
 pub mod serialize;
+pub mod store;
 pub mod tensor;
 
 pub use parallel::Parallelism;
 pub use param::Param;
+pub use store::ParamStore;
 pub use tensor::Tensor;

@@ -81,6 +81,72 @@ pub fn bce_with_logits(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
     (loss / n, Tensor::from_vec(pred.shape(), grad))
 }
 
+/// Sharded L1: like [`l1`] but for one shard of a global batch of
+/// `total_elems` elements. Returns per-sample loss subtotals (each
+/// accumulated linearly within the sample, so they are independent of
+/// sharding) and the gradient for this shard's elements, scaled by
+/// `1/total_elems`. The caller combines the subtotals over the global
+/// batch with the canonical tree ([`crate::reduce::tree_sum`]) and
+/// divides by `total_elems`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or `total_elems == 0`.
+pub fn l1_sharded(pred: &Tensor, target: &Tensor, total_elems: usize) -> (Vec<f32>, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "shape mismatch");
+    assert!(total_elems > 0, "global element count must be non-zero");
+    let n = total_elems as f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut sums = Vec::with_capacity(pred.n());
+    for ni in 0..pred.n() {
+        let mut loss = 0.0f32;
+        for ((gd, &p), &t) in
+            grad.sample_mut(ni).iter_mut().zip(pred.sample(ni)).zip(target.sample(ni))
+        {
+            let d = p - t;
+            loss += d.abs();
+            *gd = if d > 0.0 {
+                1.0 / n
+            } else if d < 0.0 {
+                -1.0 / n
+            } else {
+                0.0
+            };
+        }
+        sums.push(loss);
+    }
+    (sums, grad)
+}
+
+/// Sharded binary cross-entropy on logits against a constant label
+/// (`1.0` for real, `0.0` for fake): the sharded counterpart of
+/// [`bce_with_logits`], with the same per-sample subtotal contract as
+/// [`l1_sharded`].
+///
+/// # Panics
+///
+/// Panics if `total_elems == 0`.
+pub fn bce_with_logits_sharded(
+    pred: &Tensor,
+    label: f32,
+    total_elems: usize,
+) -> (Vec<f32>, Tensor) {
+    assert!(total_elems > 0, "global element count must be non-zero");
+    let n = total_elems as f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut sums = Vec::with_capacity(pred.n());
+    for ni in 0..pred.n() {
+        let mut loss = 0.0f32;
+        for (gd, &x) in grad.sample_mut(ni).iter_mut().zip(pred.sample(ni)) {
+            loss += x.max(0.0) - x * label + (1.0 + (-x.abs()).exp()).ln();
+            let sigma = 1.0 / (1.0 + (-x).exp());
+            *gd = (sigma - label) / n;
+        }
+        sums.push(loss);
+    }
+    (sums, grad)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +217,31 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn validates_shapes() {
         l1(&t(vec![0.0]), &t(vec![0.0, 1.0]));
+    }
+
+    #[test]
+    fn sharded_l1_grad_scales_by_global_count() {
+        let pred = Tensor::from_vec([2, 1, 1, 2], vec![1.0, -1.0, 2.0, 0.0]);
+        let target = Tensor::zeros([2, 1, 1, 2]);
+        // Pretend this is half of a global batch of 4 samples (8 elems).
+        let (sums, grad) = l1_sharded(&pred, &target, 8);
+        assert_eq!(sums.len(), 2);
+        assert!((sums[0] - 2.0).abs() < 1e-6);
+        assert!((sums[1] - 2.0).abs() < 1e-6);
+        assert_eq!(grad.data()[0], 1.0 / 8.0);
+        assert_eq!(grad.data()[1], -1.0 / 8.0);
+    }
+
+    #[test]
+    fn sharded_bce_matches_full_when_unsharded() {
+        let pred = t(vec![0.3, -0.7, 1.5]);
+        let label = Tensor::full(pred.shape(), 1.0);
+        let (full_loss, full_grad) = bce_with_logits(&pred, &label);
+        let (sums, grad) = bce_with_logits_sharded(&pred, 1.0, pred.len());
+        let loss: f32 = sums.iter().sum::<f32>() / pred.len() as f32;
+        assert!((loss - full_loss).abs() < 1e-6);
+        for (a, b) in grad.data().iter().zip(full_grad.data()) {
+            assert!((a - b).abs() < 1e-7);
+        }
     }
 }

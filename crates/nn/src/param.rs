@@ -43,9 +43,11 @@ impl Param {
         self.grad.fill(0.0);
     }
 
-    /// L2 norm of the gradient (diagnostics).
+    /// L2 norm of the gradient (diagnostics). Squares are accumulated
+    /// in `f64` so long flat gradients neither lose precision nor
+    /// overflow before the final `sqrt`.
     pub fn grad_norm(&self) -> f32 {
-        self.grad.iter().map(|g| g * g).sum::<f32>().sqrt()
+        self.grad.iter().map(|&g| g as f64 * g as f64).sum::<f64>().sqrt() as f32
     }
 }
 
@@ -68,5 +70,15 @@ mod tests {
         assert_eq!(p.grad_norm(), 5.0);
         p.zero_grad();
         assert_eq!(p.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn grad_norm_survives_f32_overflow() {
+        let mut p = Param::zeros(2);
+        // Each square overflows f32; the f64 accumulator must not.
+        p.grad = vec![1e20, 1e20];
+        let norm = p.grad_norm();
+        assert!(norm.is_finite());
+        assert!((norm - (2.0f32).sqrt() * 1e20).abs() / norm < 1e-5);
     }
 }

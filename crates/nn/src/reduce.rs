@@ -1,0 +1,219 @@
+//! Canonical binary-tree reductions over the sample dimension.
+//!
+//! `f32` addition is not associative, so a sum that is accumulated
+//! linearly over samples changes value when the batch is split across
+//! worker shards. Every cross-sample reduction in this crate (conv /
+//! deconv / linear weight and bias gradients, batch-norm statistics,
+//! loss totals) therefore uses one **canonical recursive-halving tree**
+//! instead: the value of range `[lo, hi)` is
+//!
+//! ```text
+//! value(lo, hi) = value(lo, mid) + value(mid, hi),   mid = lo + (hi - lo) / 2
+//! ```
+//!
+//! with single samples as leaves. The tree over `[lo, hi)` is
+//! self-similar: if a batch of `n` samples is split into `2^k`
+//! contiguous shards by the same recursive halving ([`tree_splits`]),
+//! each shard's local reduction *is* a subtree value, and combining the
+//! shard partials pairwise in the same order ([`tree_reduce_rows`])
+//! reproduces the unsharded reduction **bitwise**. This is the
+//! foundation of the replica-count invariance contract documented in
+//! `docs/PARALLEL_TRAINING.md`.
+
+/// Largest power of two `<= max(1, n.min(cap))`. Used to clamp a
+/// requested replica count to a shard count the halving tree supports.
+pub fn pow2_shards(requested: usize, n: usize) -> usize {
+    let bound = requested.min(n).max(1);
+    let mut p = 1usize;
+    while p * 2 <= bound {
+        p *= 2;
+    }
+    p
+}
+
+/// Splits `[0, n)` into `parts` contiguous ranges by recursive halving.
+///
+/// `parts` must be a power of two with `parts <= n` (see
+/// [`pow2_shards`]); every returned range is non-empty and the ranges
+/// are the depth-`log2(parts)` frontier of the canonical tree.
+pub fn tree_splits(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts.is_power_of_two(), "shard count must be a power of two");
+    assert!(parts <= n.max(1), "cannot split {n} samples into {parts} shards");
+    let mut ranges = vec![(0, n)];
+    while ranges.len() < parts {
+        let mut next = Vec::with_capacity(ranges.len() * 2);
+        for (lo, hi) in ranges {
+            let mid = lo + (hi - lo) / 2;
+            next.push((lo, mid));
+            next.push((mid, hi));
+        }
+        ranges = next;
+    }
+    ranges
+}
+
+/// Tree-reduces `n` packed per-sample buffers of `len` floats in place.
+///
+/// `bufs` holds sample `i`'s contribution at `i*len..(i+1)*len`; after
+/// the call the canonical tree total occupies `bufs[..len]`. The
+/// remaining contents are unspecified.
+pub fn fold_samples(bufs: &mut [f32], n: usize, len: usize) {
+    assert!(bufs.len() >= n * len, "packed buffer too small");
+    fn rec(bufs: &mut [f32], lo: usize, hi: usize, len: usize) {
+        if hi - lo <= 1 {
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        rec(bufs, lo, mid, len);
+        rec(bufs, mid, hi, len);
+        let (head, tail) = bufs.split_at_mut(mid * len);
+        let dst = &mut head[lo * len..lo * len + len];
+        let src = &tail[..len];
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+    }
+    if n > 0 {
+        rec(bufs, 0, n, len);
+    }
+}
+
+/// Canonical tree total of equal-length rows, without mutating them.
+///
+/// Performs the identical addition tree as [`fold_samples`] (left
+/// operand is the accumulator at every node), so the two agree bitwise.
+pub fn tree_reduce_rows(rows: &[&[f32]]) -> Vec<f32> {
+    assert!(!rows.is_empty(), "cannot reduce zero rows");
+    let len = rows[0].len();
+    fn rec(rows: &[&[f32]], lo: usize, hi: usize, out: &mut Vec<f32>) {
+        if hi - lo == 1 {
+            out.clear();
+            out.extend_from_slice(rows[lo]);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        rec(rows, lo, mid, out);
+        let mut right = Vec::new();
+        rec(rows, mid, hi, &mut right);
+        for (d, s) in out.iter_mut().zip(&right) {
+            *d += *s;
+        }
+    }
+    for row in rows {
+        assert_eq!(row.len(), len, "tree rows must have equal length");
+    }
+    let mut out = Vec::with_capacity(len);
+    rec(rows, 0, rows.len(), &mut out);
+    out
+}
+
+/// Canonical tree total of per-sample scalars (the `len == 1` case).
+pub fn tree_sum(vals: &[f32]) -> f32 {
+    fn rec(vals: &[f32], lo: usize, hi: usize) -> f32 {
+        if hi - lo == 1 {
+            return vals[lo];
+        }
+        let mid = lo + (hi - lo) / 2;
+        rec(vals, lo, mid) + rec(vals, mid, hi)
+    }
+    if vals.is_empty() {
+        0.0
+    } else {
+        rec(vals, 0, vals.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn pow2_shards_clamps_to_batch_and_power_of_two() {
+        assert_eq!(pow2_shards(4, 8), 4);
+        assert_eq!(pow2_shards(3, 8), 2);
+        assert_eq!(pow2_shards(4, 3), 2);
+        assert_eq!(pow2_shards(4, 1), 1);
+        assert_eq!(pow2_shards(1, 0), 1);
+        assert_eq!(pow2_shards(8, 5), 4);
+    }
+
+    #[test]
+    fn tree_splits_covers_contiguously() {
+        for n in 1..16 {
+            for k in [1, 2, 4, 8] {
+                if k > n {
+                    continue;
+                }
+                let ranges = tree_splits(n, k);
+                assert_eq!(ranges.len(), k);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges[k - 1].1, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+                }
+                for (lo, hi) in ranges {
+                    assert!(hi > lo, "every shard must be non-empty");
+                }
+            }
+        }
+    }
+
+    /// The load-bearing property: reducing each shard locally and then
+    /// combining the shard partials with the same tree is bitwise equal
+    /// to the unsharded reduction, for every power-of-two shard count.
+    #[test]
+    fn sharded_fold_matches_full_fold_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 1..=12usize {
+            let len = 5;
+            let samples: Vec<Vec<f32>> =
+                (0..n).map(|_| (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()).collect();
+
+            let mut full: Vec<f32> = samples.concat();
+            fold_samples(&mut full, n, len);
+            let reference = full[..len].to_vec();
+
+            for parts in [1usize, 2, 4, 8] {
+                if parts > n {
+                    continue;
+                }
+                let partials: Vec<Vec<f32>> = tree_splits(n, parts)
+                    .into_iter()
+                    .map(|(lo, hi)| {
+                        let mut buf: Vec<f32> = samples[lo..hi].concat();
+                        fold_samples(&mut buf, hi - lo, len);
+                        buf[..len].to_vec()
+                    })
+                    .collect();
+                let rows: Vec<&[f32]> = partials.iter().map(|p| p.as_slice()).collect();
+                let combined = tree_reduce_rows(&rows);
+                assert_eq!(
+                    combined.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "n={n} parts={parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sum_matches_rows_of_length_one() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 1..=9usize {
+            let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+            let rows: Vec<Vec<f32>> = vals.iter().map(|&v| vec![v]).collect();
+            let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+            assert_eq!(tree_sum(&vals).to_bits(), tree_reduce_rows(&refs)[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn fold_handles_degenerate_sizes() {
+        let mut one = vec![1.5f32, -2.0];
+        fold_samples(&mut one, 1, 2);
+        assert_eq!(one, vec![1.5, -2.0]);
+        fold_samples(&mut [], 0, 3);
+        assert_eq!(tree_sum(&[]), 0.0);
+    }
+}

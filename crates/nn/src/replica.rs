@@ -1,0 +1,248 @@
+//! Replica context for data-parallel training.
+//!
+//! A trainer that splits one batch across `R` model replicas installs a
+//! [`ReplicaCtx`] on each worker thread. Layers whose math couples
+//! samples across the batch (batch normalization) use the context to
+//! rendezvous: every replica deposits its per-sample partial rows into
+//! the shared [`SyncGroup`], waits at a barrier, and then *every*
+//! replica reduces the complete global set of rows with the canonical
+//! tree from [`crate::reduce`]. Because all replicas reduce identical
+//! data in an identical order, they compute bitwise-identical global
+//! statistics — and because the tree is the same one an unsharded run
+//! uses, the result is bitwise invariant in the replica count.
+//!
+//! Layers with per-sample randomness (dropout) use the context's
+//! `sample_base`/`step_nonce` to key their masks by *global* sample
+//! index, so masks do not depend on how the batch was sharded.
+//!
+//! The rendezvous is deadlock-free because every replica runs an
+//! identical model architecture and therefore an identical sequence of
+//! [`reduce_samples`] calls. A group of one replica short-circuits to a
+//! local reduction.
+
+use crate::reduce;
+use std::cell::RefCell;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Shared rendezvous state for one group of replicas working on one
+/// global batch. Reused across as many reduction rounds as the model
+/// performs; each replica only ever writes its own slot.
+#[derive(Debug)]
+pub struct SyncGroup {
+    replicas: usize,
+    total_samples: usize,
+    barrier: Barrier,
+    slots: Mutex<Vec<Option<Deposit>>>,
+}
+
+#[derive(Debug)]
+struct Deposit {
+    base: usize,
+    rows: Vec<Vec<f32>>,
+}
+
+impl SyncGroup {
+    /// A group of `replicas` workers jointly covering `total_samples`.
+    pub fn new(replicas: usize, total_samples: usize) -> Self {
+        assert!(replicas >= 1);
+        Self {
+            replicas,
+            total_samples,
+            barrier: Barrier::new(replicas),
+            slots: Mutex::new((0..replicas).map(|_| None).collect()),
+        }
+    }
+
+    /// Number of replicas in the group.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Number of samples in the global batch.
+    pub fn total_samples(&self) -> usize {
+        self.total_samples
+    }
+
+    /// One reduction round: deposits this replica's per-sample `rows`
+    /// (the shard starting at global sample `base`), waits for every
+    /// replica, and returns the canonical tree reduction over all
+    /// `total_samples` global rows. All replicas receive bitwise-equal
+    /// results.
+    fn exchange(&self, replica: usize, base: usize, rows: &[&[f32]]) -> Vec<f32> {
+        if self.replicas == 1 {
+            return reduce::tree_reduce_rows(rows);
+        }
+        {
+            let mut slots = self.slots.lock().unwrap();
+            slots[replica] =
+                Some(Deposit { base, rows: rows.iter().map(|r| r.to_vec()).collect() });
+        }
+        self.barrier.wait();
+        let result = {
+            let slots = self.slots.lock().unwrap();
+            let mut global: Vec<Option<&[f32]>> = vec![None; self.total_samples];
+            for deposit in slots.iter().map(|s| s.as_ref().expect("replica missed rendezvous")) {
+                for (j, row) in deposit.rows.iter().enumerate() {
+                    global[deposit.base + j] = Some(row.as_slice());
+                }
+            }
+            let leaves: Vec<&[f32]> = global
+                .into_iter()
+                .map(|r| r.expect("rendezvous left a sample uncovered"))
+                .collect();
+            reduce::tree_reduce_rows(&leaves)
+        };
+        // Second barrier: nobody may start the next round (overwriting
+        // its slot) while another replica is still reading this one.
+        self.barrier.wait();
+        result
+    }
+}
+
+/// Per-worker view of a replica group, installed thread-locally for the
+/// duration of one training step.
+#[derive(Debug, Clone)]
+pub struct ReplicaCtx {
+    /// Shared rendezvous state.
+    pub group: Arc<SyncGroup>,
+    /// This worker's replica index (`0` is the lead replica).
+    pub replica: usize,
+    /// Global index of this shard's first sample.
+    pub sample_base: usize,
+    /// Trainer step counter, used to key per-sample randomness.
+    pub step_nonce: u64,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ReplicaCtx>> = const { RefCell::new(None) };
+}
+
+/// Clears the thread's replica context when dropped.
+#[derive(Debug)]
+pub struct CtxGuard(());
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Installs `ctx` as the current thread's replica context until the
+/// returned guard drops.
+pub fn install(ctx: ReplicaCtx) -> CtxGuard {
+    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+    CtxGuard(())
+}
+
+/// The current thread's replica context, if one is installed.
+pub fn current() -> Option<ReplicaCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Tree-reduces per-sample rows over the **global** batch: via the
+/// replica rendezvous when a context is installed, locally otherwise.
+/// `rows[j]` is the contribution of the `j`-th sample of this thread's
+/// shard (or of the whole batch when no context is installed).
+pub fn reduce_samples(rows: &[&[f32]]) -> Vec<f32> {
+    match current() {
+        Some(ctx) => ctx.group.exchange(ctx.replica, ctx.sample_base, rows),
+        None => reduce::tree_reduce_rows(rows),
+    }
+}
+
+/// True when this thread should apply batch-global parameter
+/// gradients. Global sums (batch-norm `gamma`/`beta`) are identical on
+/// every replica; only the lead replica writes them, so the fixed-order
+/// replica reduction counts them exactly once.
+pub fn is_lead_replica() -> bool {
+    current().is_none_or(|c| c.replica == 0)
+}
+
+/// Global index of this thread's local sample `j` (shard base + `j`).
+pub fn global_sample(local: usize) -> usize {
+    current().map_or(local, |c| c.sample_base + local)
+}
+
+/// The trainer's step nonce, when a replica context is installed.
+/// Layers with per-sample randomness switch to sharding-invariant
+/// keyed masks when this is present.
+pub fn step_nonce() -> Option<u64> {
+    current().map(|c| c.step_nonce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_install_and_clear() {
+        assert!(current().is_none());
+        let group = Arc::new(SyncGroup::new(1, 4));
+        {
+            let _guard = install(ReplicaCtx { group, replica: 0, sample_base: 2, step_nonce: 7 });
+            assert_eq!(current().unwrap().sample_base, 2);
+            assert_eq!(global_sample(1), 3);
+            assert_eq!(step_nonce(), Some(7));
+            assert!(is_lead_replica());
+        }
+        assert!(current().is_none());
+        assert_eq!(global_sample(1), 1);
+    }
+
+    #[test]
+    fn group_of_one_reduces_locally() {
+        let group = Arc::new(SyncGroup::new(1, 3));
+        let _guard = install(ReplicaCtx { group, replica: 0, sample_base: 0, step_nonce: 0 });
+        let rows: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![0.5, -1.0], vec![0.25, 4.0]];
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let got = reduce_samples(&refs);
+        assert_eq!(got, reduce::tree_reduce_rows(&refs));
+    }
+
+    /// Sharded rendezvous must reproduce the local reduction bitwise,
+    /// across several rounds reusing one group.
+    #[test]
+    fn rendezvous_matches_unsharded_reduction() {
+        let n = 6;
+        let all: Vec<Vec<f32>> =
+            (0..n).map(|i| vec![i as f32 * 0.3 - 1.0, (i * i) as f32 * 0.01]).collect();
+        let all_refs: Vec<&[f32]> = all.iter().map(|r| r.as_slice()).collect();
+        let expected = reduce::tree_reduce_rows(&all_refs);
+
+        let group = Arc::new(SyncGroup::new(2, n));
+        let splits = reduce::tree_splits(n, 2);
+        // std::thread::scope: the rendezvous barrier needs the replicas
+        // to genuinely run concurrently.
+        let results: Vec<Vec<Vec<f32>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = splits
+                .iter()
+                .enumerate()
+                .map(|(r, &(lo, hi))| {
+                    let group = Arc::clone(&group);
+                    let shard = &all[lo..hi];
+                    scope.spawn(move || {
+                        let _guard = install(ReplicaCtx {
+                            group,
+                            replica: r,
+                            sample_base: lo,
+                            step_nonce: 0,
+                        });
+                        let refs: Vec<&[f32]> = shard.iter().map(|r| r.as_slice()).collect();
+                        // Three rounds through the same group.
+                        (0..3).map(|_| reduce_samples(&refs)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for per_replica in &results {
+            for round in per_replica {
+                assert_eq!(
+                    round.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}

@@ -1,9 +1,28 @@
 //! Model parameter snapshots (checkpointing).
+//!
+//! The on-disk format has two generations:
+//!
+//! * **v2** (current) — named tensors: every parameter and buffer
+//!   carries its [`ParamStore`](crate::store::ParamStore) segment name
+//!   (e.g. `"net/conv2d0.weight"`), so snapshots are robust to loading
+//!   order and self-describing for tooling.
+//! * **v1** (legacy) — positional: bare `Vec<Vec<f32>>` in visit order.
+//!   Old files still deserialize (serde picks the wire shape from the
+//!   field names) and load bit-exactly through the positional path.
 
 use crate::layers::Layer;
 use serde::{Deserialize, Serialize};
 
-/// A flat snapshot of a model's parameters, in visit order.
+/// A single named flat tensor in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedTensor {
+    /// Store segment name (empty for migrated v1 snapshots).
+    pub name: String,
+    /// Flat values.
+    pub data: Vec<f32>,
+}
+
+/// A snapshot of a model's parameters and state buffers.
 ///
 /// # Example
 ///
@@ -17,12 +36,74 @@ use serde::{Deserialize, Serialize};
 /// let x = Tensor::zeros([1, 2, 1, 1]);
 /// assert_eq!(a.forward(&x, false), b.forward(&x, false));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StateDict {
-    tensors: Vec<Vec<f32>>,
+    params: Vec<NamedTensor>,
     /// Non-learnable state (batch-norm running statistics).
-    #[serde(default)]
-    buffers: Vec<Vec<f32>>,
+    buffers: Vec<NamedTensor>,
+    /// True for snapshots deserialized from the legacy v1 wire format,
+    /// whose tensors have no names and load by position.
+    positional: bool,
+}
+
+/// Wire representation: v2 is `{version, params, buffers}`, v1 is
+/// `{tensors, buffers?}`. Untagged deserialization distinguishes them by
+/// field names (the format is JSON, which is self-describing).
+#[derive(Serialize, Deserialize)]
+#[serde(untagged)]
+enum WireStateDict {
+    V2 {
+        version: u32,
+        params: Vec<NamedTensor>,
+        #[serde(default)]
+        buffers: Vec<NamedTensor>,
+    },
+    V1 {
+        tensors: Vec<Vec<f32>>,
+        #[serde(default)]
+        buffers: Vec<Vec<f32>>,
+    },
+}
+
+impl Serialize for StateDict {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // A positional dict re-serializes in its original v1 shape so a
+        // migrated file round-trips unchanged; everything else is v2.
+        let wire = if self.positional {
+            WireStateDict::V1 {
+                tensors: self.params.iter().map(|t| t.data.clone()).collect(),
+                buffers: self.buffers.iter().map(|t| t.data.clone()).collect(),
+            }
+        } else {
+            WireStateDict::V2 {
+                version: 2,
+                params: self.params.clone(),
+                buffers: self.buffers.clone(),
+            }
+        };
+        wire.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for StateDict {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(match WireStateDict::deserialize(deserializer)? {
+            WireStateDict::V2 { params, buffers, .. } => {
+                StateDict { params, buffers, positional: false }
+            }
+            WireStateDict::V1 { tensors, buffers } => StateDict {
+                params: tensors
+                    .into_iter()
+                    .map(|data| NamedTensor { name: String::new(), data })
+                    .collect(),
+                buffers: buffers
+                    .into_iter()
+                    .map(|data| NamedTensor { name: String::new(), data })
+                    .collect(),
+                positional: true,
+            },
+        })
+    }
 }
 
 /// Error returned when a snapshot does not fit a model.
@@ -46,67 +127,94 @@ impl std::fmt::Display for LoadStateError {
 impl std::error::Error for LoadStateError {}
 
 impl StateDict {
-    /// Captures a snapshot of `layer`'s parameters and state buffers.
+    /// Captures a named snapshot of `layer`'s parameters and state
+    /// buffers (v2).
     pub fn from_layer(layer: &mut dyn Layer) -> Self {
-        let mut tensors = Vec::new();
-        layer.visit_params(&mut |p| tensors.push(p.value.clone()));
+        let mut params = Vec::new();
+        layer.visit_named_params("", &mut |name, p| {
+            params.push(NamedTensor { name: name.to_string(), data: p.value.clone() })
+        });
         let mut buffers = Vec::new();
-        layer.visit_buffers(&mut |b| buffers.push(b.clone()));
-        StateDict { tensors, buffers }
+        layer.visit_named_buffers("", &mut |name, b| {
+            buffers.push(NamedTensor { name: name.to_string(), data: b.clone() })
+        });
+        StateDict { params, buffers, positional: false }
     }
 
     /// Restores a snapshot into `layer`.
     ///
+    /// Named (v2) snapshots load by segment name; legacy positional (v1)
+    /// snapshots load in visit order, bit-exactly as they always did.
+    /// Both paths validate the full layout before touching the model.
+    ///
     /// # Errors
     ///
-    /// Returns [`LoadStateError`] if the tensor count or any tensor length
-    /// differs from the model's layout.
+    /// Returns [`LoadStateError`] if the tensor count, any tensor length,
+    /// or (for v2) any tensor name differs from the model's layout.
     pub fn load_into(&self, layer: &mut dyn Layer) -> Result<(), LoadStateError> {
+        // The model's own layout, in visit order.
+        let mut layout = Vec::new();
+        layer.visit_named_params("", &mut |name, p| layout.push((name.to_string(), p.len())));
+        let mut buffer_layout = Vec::new();
+        layer.visit_named_buffers("", &mut |name, b| {
+            buffer_layout.push((name.to_string(), b.len()))
+        });
+
         // Validate before mutating.
-        let mut lengths = Vec::new();
-        layer.visit_params(&mut |p| lengths.push(p.len()));
-        if lengths.len() != self.tensors.len() {
+        if layout.len() != self.params.len() {
             return Err(LoadStateError {
-                expected: lengths.len(),
-                found: self.tensors.len(),
+                expected: layout.len(),
+                found: self.params.len(),
                 detail: "tensor count differs".to_string(),
             });
         }
-        for (i, (len, t)) in lengths.iter().zip(&self.tensors).enumerate() {
-            if *len != t.len() {
+        for (i, ((name, len), t)) in layout.iter().zip(&self.params).enumerate() {
+            if !self.positional && *name != t.name {
                 return Err(LoadStateError {
-                    expected: lengths.len(),
-                    found: self.tensors.len(),
-                    detail: format!("tensor {i} has length {} but model expects {len}", t.len()),
+                    expected: layout.len(),
+                    found: self.params.len(),
+                    detail: format!("tensor {i} is named `{}` but model expects `{name}`", t.name),
+                });
+            }
+            if *len != t.data.len() {
+                return Err(LoadStateError {
+                    expected: layout.len(),
+                    found: self.params.len(),
+                    detail: format!(
+                        "tensor {i} has length {} but model expects {len}",
+                        t.data.len()
+                    ),
                 });
             }
         }
-        let mut buffer_lengths = Vec::new();
-        layer.visit_buffers(&mut |b| buffer_lengths.push(b.len()));
-        if buffer_lengths.len() != self.buffers.len() {
+        if buffer_layout.len() != self.buffers.len() {
             return Err(LoadStateError {
-                expected: buffer_lengths.len(),
+                expected: buffer_layout.len(),
                 found: self.buffers.len(),
                 detail: "buffer count differs".to_string(),
             });
         }
-        for (i, (len, b)) in buffer_lengths.iter().zip(&self.buffers).enumerate() {
-            if *len != b.len() {
+        for (i, ((_, len), b)) in buffer_layout.iter().zip(&self.buffers).enumerate() {
+            if *len != b.data.len() {
                 return Err(LoadStateError {
-                    expected: buffer_lengths.len(),
+                    expected: buffer_layout.len(),
                     found: self.buffers.len(),
-                    detail: format!("buffer {i} has length {} but model expects {len}", b.len()),
+                    detail: format!(
+                        "buffer {i} has length {} but model expects {len}",
+                        b.data.len()
+                    ),
                 });
             }
         }
+
         let mut idx = 0;
-        layer.visit_params(&mut |p| {
-            p.value.copy_from_slice(&self.tensors[idx]);
+        layer.visit_named_params("", &mut |_, p| {
+            p.value.copy_from_slice(&self.params[idx].data);
             idx += 1;
         });
         let mut idx = 0;
-        layer.visit_buffers(&mut |b| {
-            b.copy_from_slice(&self.buffers[idx]);
+        layer.visit_named_buffers("", &mut |_, b| {
+            b.copy_from_slice(&self.buffers[idx].data);
             idx += 1;
         });
         Ok(())
@@ -114,17 +222,34 @@ impl StateDict {
 
     /// Number of parameter tensors.
     pub fn len(&self) -> usize {
-        self.tensors.len()
+        self.params.len()
     }
 
     /// Returns `true` when the snapshot holds no tensors.
     pub fn is_empty(&self) -> bool {
-        self.tensors.is_empty()
+        self.params.is_empty()
     }
 
     /// Total scalar count.
     pub fn scalar_count(&self) -> usize {
-        self.tensors.iter().map(Vec::len).sum()
+        self.params.iter().map(|t| t.data.len()).sum()
+    }
+
+    /// Returns `true` for snapshots loaded from the legacy positional
+    /// (v1) wire format.
+    pub fn is_positional(&self) -> bool {
+        self.positional
+    }
+
+    /// Named parameter tensors, in snapshot order.
+    pub fn params(&self) -> &[NamedTensor] {
+        &self.params
+    }
+
+    /// Named buffer tensors (batch-norm running statistics), in
+    /// snapshot order.
+    pub fn buffers(&self) -> &[NamedTensor] {
+        &self.buffers
     }
 }
 
@@ -132,7 +257,7 @@ impl StateDict {
 mod tests {
     use super::*;
     use crate::graph::Sequential;
-    use crate::layers::{Conv2d, Linear};
+    use crate::layers::{BatchNorm2d, Conv2d, Linear};
     use crate::tensor::Tensor;
 
     #[test]
@@ -171,5 +296,68 @@ mod tests {
         assert_eq!(state.scalar_count(), 2 * 3 + 3);
         assert_eq!(state.len(), 2);
         assert!(!state.is_empty());
+    }
+
+    #[test]
+    fn snapshots_carry_segment_names() {
+        let mut model =
+            Sequential::new().push(Conv2d::new(1, 2, 3, 1, 1, 5)).push(BatchNorm2d::new(2));
+        let state = StateDict::from_layer(&mut model);
+        let names: Vec<&str> = state.params().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["conv2d0.weight", "conv2d0.bias", "batchnorm2d1.gamma", "batchnorm2d1.beta"]
+        );
+        assert!(!state.is_positional());
+    }
+
+    #[test]
+    fn v1_wire_format_loads_positionally_bit_exact() {
+        let mut model = Sequential::new().push(Linear::new(2, 3, 7)).push(Linear::new(3, 1, 8));
+        // Hand-write a legacy v1 JSON snapshot (bare positional arrays)
+        // holding distinctive values.
+        let mut tensors: Vec<Vec<f32>> = Vec::new();
+        model.visit_named_params("", &mut |_, p| {
+            tensors.push(p.value.iter().map(|v| v + 0.125).collect::<Vec<f32>>())
+        });
+        let arrays: Vec<String> = tensors
+            .iter()
+            .map(|t| {
+                let vals: Vec<String> = t.iter().map(|v| format!("{v}")).collect();
+                format!("[{}]", vals.join(","))
+            })
+            .collect();
+        let legacy = format!("{{\"tensors\":[{}],\"buffers\":[]}}", arrays.join(","));
+        let state: StateDict = serde_json::from_str(&legacy).unwrap();
+        assert!(state.is_positional());
+        state.load_into(&mut model).unwrap();
+        let mut loaded = Vec::new();
+        model.visit_named_params("", &mut |_, p| loaded.push(p.value.clone()));
+        for (want, got) in tensors.iter().zip(&loaded) {
+            assert_eq!(want, got, "v1 migration must be bit-exact");
+        }
+        // Re-serializing a migrated dict preserves the v1 wire shape.
+        let rewire = serde_json::to_string(&state).unwrap();
+        assert!(rewire.contains("\"tensors\""));
+        assert!(!rewire.contains("\"version\""));
+    }
+
+    #[test]
+    fn v2_rejects_renamed_tensor() {
+        let mut a = Linear::new(2, 2, 0);
+        let mut state = StateDict::from_layer(&mut a);
+        state.params[0].name = "somebody.else".to_string();
+        let err = state.load_into(&mut a).unwrap_err();
+        assert!(err.to_string().contains("named"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn v2_wire_roundtrip_keeps_names() {
+        let mut a = Linear::new(2, 2, 3);
+        let state = StateDict::from_layer(&mut a);
+        let json = serde_json::to_string(&state).unwrap();
+        assert!(json.contains("\"version\":2"));
+        let back: StateDict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
     }
 }

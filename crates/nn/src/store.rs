@@ -1,0 +1,258 @@
+//! Flat parameter storage: one contiguous value arena and one gradient
+//! arena per model, with named, stably-ordered segments.
+//!
+//! A [`ParamStore`] is the external representation of a model's
+//! learnable state. Layers keep owning their `Param`s for the
+//! forward/backward hot path, but everything *around* the hot path —
+//! the optimizer, serialization, gradient-norm guards, replica
+//! broadcast and reduction — operates on the flat arenas:
+//!
+//! * **broadcast** — copying one model's weights into a replica is a
+//!   single `copy_from_slice` of the value arena;
+//! * **reduction** — per-replica gradient arenas are combined on the
+//!   main thread with the canonical tree from [`crate::reduce`];
+//! * **optimizer state** — Adam/SGD moments are keyed by segment
+//!   *name* (e.g. `"net/conv2d0.weight"`), not by visiting position;
+//! * **serialization** — checkpoints store named segments, so layouts
+//!   can be validated by name instead of by position.
+//!
+//! Segment names follow `"{block}/{kind}{index}.{param}"`, composed by
+//! `Sequential` and the model-level block visitors (see
+//! `docs/PARALLEL_TRAINING.md`).
+
+use std::collections::HashMap;
+
+/// One named parameter tensor inside the flat arenas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Stable path name, unique within the store.
+    pub name: String,
+    /// Offset of the first scalar in the arenas.
+    pub offset: usize,
+    /// Number of scalars.
+    pub len: usize,
+}
+
+/// A model's parameters as two flat `f32` arenas (values + gradients)
+/// plus the named segment table describing their layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamStore {
+    values: Vec<f32>,
+    grads: Vec<f32>,
+    segments: Vec<Segment>,
+    index: HashMap<String, usize>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a named segment, copying `values` and `grads` into the
+    /// arenas. Panics if the name is already taken or the slices
+    /// disagree in length.
+    pub fn push_segment(&mut self, name: &str, values: &[f32], grads: &[f32]) {
+        assert_eq!(values.len(), grads.len(), "segment `{name}`: value/grad length mismatch");
+        assert!(!self.index.contains_key(name), "duplicate parameter segment name `{name}`");
+        let offset = self.values.len();
+        self.values.extend_from_slice(values);
+        self.grads.extend_from_slice(grads);
+        self.index.insert(name.to_string(), self.segments.len());
+        self.segments.push(Segment { name: name.to_string(), offset, len: values.len() });
+    }
+
+    /// The segment table, in stable declaration order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Looks a segment up by name.
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.index.get(name).map(|&i| &self.segments[i])
+    }
+
+    /// Total number of scalars across all segments.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The flat value arena.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The flat value arena, mutably.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// The flat gradient arena.
+    pub fn grads(&self) -> &[f32] {
+        &self.grads
+    }
+
+    /// The flat gradient arena, mutably.
+    pub fn grads_mut(&mut self) -> &mut [f32] {
+        &mut self.grads
+    }
+
+    /// The values of one segment.
+    pub fn segment_values(&self, seg: &Segment) -> &[f32] {
+        &self.values[seg.offset..seg.offset + seg.len]
+    }
+
+    /// The gradients of one segment.
+    pub fn segment_grads(&self, seg: &Segment) -> &[f32] {
+        &self.grads[seg.offset..seg.offset + seg.len]
+    }
+
+    /// Zeroes the gradient arena.
+    pub fn zero_grads(&mut self) {
+        self.grads.fill(0.0);
+    }
+
+    /// True when `other` has the same segment names, order, and sizes.
+    pub fn layout_matches(&self, other: &ParamStore) -> bool {
+        self.segments == other.segments
+    }
+
+    /// L2 norm of the gradient arena, accumulated in `f64` so large
+    /// flat segments neither lose precision nor overflow in `f32`.
+    pub fn grad_norm(&self) -> f64 {
+        self.grads.iter().map(|&g| g as f64 * g as f64).sum::<f64>().sqrt()
+    }
+
+    /// Per-layer gradient diagnostics over the segment table: returns
+    /// the global L2 norm and, if any gradient is non-finite, the path
+    /// of the first offending layer (segment name with the trailing
+    /// `.param` component stripped) with that layer's own norm.
+    ///
+    /// Consecutive segments sharing a layer path (`weight` + `bias`)
+    /// are grouped, matching the per-layer scan the trainer's gradient
+    /// guard performs.
+    pub fn grad_norm_scan(&self) -> (f32, Option<(String, f32)>) {
+        let mut total = 0.0f64;
+        let mut bad: Option<(String, f32)> = None;
+        let mut i = 0;
+        while i < self.segments.len() {
+            let layer = layer_path(&self.segments[i].name);
+            let mut sq = 0.0f64;
+            let mut finite = true;
+            let mut j = i;
+            while j < self.segments.len() && layer_path(&self.segments[j].name) == layer {
+                for &g in self.segment_grads(&self.segments[j]) {
+                    finite &= g.is_finite();
+                    sq += g as f64 * g as f64;
+                }
+                j += 1;
+            }
+            total += sq;
+            if !finite && bad.is_none() {
+                bad = Some((layer.to_string(), sq.sqrt() as f32));
+            }
+            i = j;
+        }
+        (total.sqrt() as f32, bad)
+    }
+
+    /// Overwrites this store's values from another store with an
+    /// identical layout — the replica weight broadcast.
+    pub fn copy_values_from(&mut self, other: &ParamStore) {
+        assert!(self.layout_matches(other), "parameter store layouts differ");
+        self.values.copy_from_slice(&other.values);
+    }
+}
+
+/// The layer path of a segment name: everything before the final `.`.
+pub fn layer_path(name: &str) -> &str {
+    name.rsplit_once('.').map_or(name, |(path, _)| path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.push_segment("net/conv2d0.weight", &[1.0, 2.0], &[0.5, -0.5]);
+        s.push_segment("net/conv2d0.bias", &[3.0], &[1.0]);
+        s.push_segment("net/batch_norm2d1.gamma", &[1.0, 1.0], &[0.0, 0.0]);
+        s
+    }
+
+    #[test]
+    fn segments_are_stably_ordered_and_indexed() {
+        let s = sample_store();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.segments()[1].name, "net/conv2d0.bias");
+        let seg = s.segment("net/conv2d0.weight").unwrap();
+        assert_eq!((seg.offset, seg.len), (0, 2));
+        assert_eq!(s.segment_values(seg), &[1.0, 2.0]);
+        assert_eq!(s.segment_grads(seg), &[0.5, -0.5]);
+        assert!(s.segment("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter segment name")]
+    fn duplicate_names_are_rejected() {
+        let mut s = sample_store();
+        s.push_segment("net/conv2d0.bias", &[0.0], &[0.0]);
+    }
+
+    #[test]
+    fn grad_norm_accumulates_in_f64() {
+        let mut s = ParamStore::new();
+        // 1e20 squared overflows f32 (max ~3.4e38); f64 handles it.
+        s.push_segment("w", &[0.0, 0.0], &[1e20, 1e20]);
+        let norm = s.grad_norm();
+        // Expect sqrt(2)·g where g is the f32 value actually stored
+        // (1e20 is not exactly representable in f32).
+        let expect = (2.0f64).sqrt() * f64::from(1e20f32);
+        assert!((norm - expect).abs() / norm < 1e-12);
+    }
+
+    #[test]
+    fn scan_groups_weight_and_bias_into_one_layer() {
+        let mut s = sample_store();
+        let (norm, bad) = s.grad_norm_scan();
+        assert!(bad.is_none());
+        let expect = (0.25f64 + 0.25 + 1.0).sqrt() as f32;
+        assert!((norm - expect).abs() < 1e-6);
+
+        let seg = s.segment("net/conv2d0.bias").unwrap().clone();
+        s.grads_mut()[seg.offset] = f32::NAN;
+        let (_, bad) = s.grad_norm_scan();
+        let (layer, _) = bad.expect("NaN must be reported");
+        assert_eq!(layer, "net/conv2d0");
+    }
+
+    #[test]
+    fn broadcast_requires_matching_layout() {
+        let mut a = sample_store();
+        let mut b = sample_store();
+        b.values_mut().fill(9.0);
+        a.copy_values_from(&b);
+        assert!(a.values().iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts differ")]
+    fn broadcast_rejects_layout_mismatch() {
+        let mut a = sample_store();
+        let mut b = ParamStore::new();
+        b.push_segment("other", &[1.0], &[0.0]);
+        a.copy_values_from(&b);
+    }
+
+    #[test]
+    fn layer_path_strips_trailing_component() {
+        assert_eq!(layer_path("net/conv2d0.weight"), "net/conv2d0");
+        assert_eq!(layer_path("bare"), "bare");
+    }
+}

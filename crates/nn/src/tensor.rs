@@ -161,6 +161,20 @@ impl Tensor {
         &mut self.data[n * stride..(n + 1) * stride]
     }
 
+    /// A copy of samples `lo..hi` as a new tensor — how the trainer
+    /// carves one batch into contiguous replica shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slice_samples(&self, lo: usize, hi: usize) -> Tensor {
+        assert!(lo < hi && hi <= self.shape[0], "invalid sample range {lo}..{hi}");
+        let stride = self.shape[1] * self.shape[2] * self.shape[3];
+        let mut out = Tensor::zeros([hi - lo, self.shape[1], self.shape[2], self.shape[3]]);
+        out.data.copy_from_slice(&self.data[lo * stride..hi * stride]);
+        out
+    }
+
     /// Reinterprets the buffer under a new shape with the same element
     /// count.
     ///

@@ -206,9 +206,10 @@ fn main() {
     }
 
     // ---- Replica-parallel GAN train step: the batch is sharded across
-    // model replicas and the flat gradient arenas tree-reduce in fixed
-    // replica order, so losses are bitwise invariant in R (asserted
-    // below) and only wall-clock changes.
+    // model replicas (any count, ragged included — the padded halving
+    // tree keeps the reduction order fixed) and the flat gradient arenas
+    // tree-reduce in fixed replica order, so losses are bitwise
+    // invariant in R (asserted below) and only wall-clock changes.
     let hw = if smoke { 8 } else { 16 };
     let batch_n = 8usize;
     let steps = if smoke { 1 } else { 3 };
@@ -218,7 +219,7 @@ fn main() {
     let mut ref_stats: Option<cachebox_gan::TrainStats> = None;
     let mut replica_records = Vec::new();
     let mut replica_serial_seconds = 0.0;
-    for r in [1usize, 2, 4] {
+    for r in [1usize, 2, 3, 4, 6] {
         let mut check = replica_trainer(hw, r, total_threads);
         let first = check.train_step(&batch).expect("finite gradients");
         let losses_identical = match &ref_stats {

@@ -148,8 +148,37 @@ pub fn infer_parallel(
     infer_parallel_frozen(&frozen, access_maps, params, norm, batch_size, workers)
 }
 
+/// Splits `len` items into `parts` contiguous shards whose sizes differ
+/// by at most one: the first `len % parts` shards take one extra item.
+/// When `parts > len`, the shard count is clamped to `len` so every
+/// shard stays non-empty.
+///
+/// This is the balanced partition [`infer_parallel_frozen`] uses to
+/// honor the requested worker count. (The old
+/// `chunks(len.div_ceil(workers))` scheme could spawn *fewer* workers
+/// than asked — 9 items across 4 workers became 3 chunks of 3 — and
+/// left one worker with a short tail while others idled.)
+pub fn balanced_splits(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "shard count must be non-zero");
+    let parts = parts.min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let hi = lo + base + usize::from(i < extra);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
 /// [`infer_parallel`] over an already-frozen generator: every worker
 /// borrows the shared read-only arena and thaws a local model.
+///
+/// The input is split into exactly `min(workers, len)` contiguous
+/// shards with per-worker load within ±1 heatmap
+/// ([`balanced_splits`]); output order matches input order.
 ///
 /// # Panics
 ///
@@ -169,8 +198,10 @@ pub fn infer_parallel_frozen(
     assert!(!access_maps.is_empty(), "no heatmaps to infer");
     assert!(batch_size > 0, "batch size must be non-zero");
     assert!(workers > 0, "worker count must be non-zero");
-    let chunk_len = access_maps.len().div_ceil(workers);
-    let chunks: Vec<&[Heatmap]> = access_maps.chunks(chunk_len).collect();
+    let chunks: Vec<&[Heatmap]> = balanced_splits(access_maps.len(), workers)
+        .into_iter()
+        .map(|(lo, hi)| &access_maps[lo..hi])
+        .collect();
     let norm = *norm;
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
@@ -333,6 +364,55 @@ mod tests {
         for (a, b) in seq.iter().zip(&par) {
             for (x, y) in a.data().iter().zip(b.data()) {
                 assert!((x - y).abs() < 1e-5, "frozen parallel output diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_splits_honor_worker_count_within_one() {
+        // The regression shape: 9 items over 4 workers used to collapse
+        // to 3 chunks of 3. It must be 4 shards of sizes [3, 2, 2, 2].
+        assert_eq!(balanced_splits(9, 4), vec![(0, 3), (3, 5), (5, 7), (7, 9)]);
+        for len in 1..=20usize {
+            for parts in 1..=8usize {
+                let splits = balanced_splits(len, parts);
+                assert_eq!(splits.len(), parts.min(len), "len={len} parts={parts}");
+                assert_eq!(splits[0].0, 0);
+                assert_eq!(splits.last().unwrap().1, len);
+                let sizes: Vec<usize> = splits.iter().map(|(lo, hi)| hi - lo).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(*min > 0, "empty shard at len={len} parts={parts}");
+                assert!(max - min <= 1, "unbalanced {sizes:?} at len={len} parts={parts}");
+                for w in splits.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "shards must be contiguous, in order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_parallel_preserves_order_at_ragged_worker_counts() {
+        // Each input heatmap carries a distinct marker value, so any
+        // cross-worker reordering or dropped tail is caught exactly.
+        let config = UNetConfig::for_image_size(8, 4).with_dropout(false);
+        let mut g = UNetGenerator::new(config, 9);
+        let norm = Normalizer::new(4);
+        let inputs: Vec<Heatmap> = (0..9)
+            .map(|k| {
+                let mut h = Heatmap::zeros(8, 8);
+                h.set(k % 8, k % 8, 1.0 + k as f32 * 0.25);
+                h
+            })
+            .collect();
+        let seq = infer_batched(&mut g, &inputs, None, &norm, 2);
+        let frozen = FrozenGenerator::of(&mut g);
+        for workers in [2usize, 4, 5, 9, 16] {
+            let par = infer_parallel_frozen(&frozen, &inputs, None, &norm, 2, workers).unwrap();
+            assert_eq!(seq.len(), par.len(), "workers={workers}");
+            for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+                for (x, y) in a.data().iter().zip(b.data()) {
+                    assert!((x - y).abs() < 1e-5, "output {i} diverged at workers={workers}");
+                }
             }
         }
     }

@@ -19,10 +19,12 @@
 //!   model from one shared read-only [`FrozenGenerator`] arena.
 //!
 //! Training can run data-parallel: [`GanTrainer::with_replicas`]
-//! splits every batch across model replicas and reduces the flat
-//! per-replica gradient arenas in a fixed tree order, so losses and
-//! post-step weights are bitwise identical for any replica count (see
-//! `docs/PARALLEL_TRAINING.md`).
+//! splits every batch across **exactly** the requested number of model
+//! replicas — ragged (non-power-of-two) counts included — and
+//! overlap-reduces the flat per-replica gradient arenas in a fixed
+//! padded-tree order, so losses and post-step weights are bitwise
+//! identical for any replica count 1 ≤ R ≤ batch (see
+//! `docs/PARALLEL_TRAINING.md`; R > batch is refused, never clamped).
 //!
 //! # Example
 //!

@@ -5,7 +5,7 @@ use crate::patchgan::PatchGan;
 use crate::unet::{UNetAsLayer, UNetGenerator};
 use cachebox_nn::layers::Layer;
 use cachebox_nn::optim::Adam;
-use cachebox_nn::replica::{ReplicaCtx, SyncGroup};
+use cachebox_nn::replica::{GradExchange, GradLane, ReplicaCtx, SyncGroup};
 use cachebox_nn::{loss, reduce, replica, Parallelism, Tensor};
 use cachebox_telemetry as telemetry;
 use rand::seq::SliceRandom;
@@ -77,38 +77,66 @@ pub struct TrainStats {
     pub g_l1: f32,
 }
 
-/// A fatal training fault: some parameter gradient became NaN or ±Inf,
-/// so the next optimizer step would poison the weights irrecoverably.
-///
-/// `layer` names the first offending layer in visit order, e.g.
-/// `generator/down0/conv2d0` or `discriminator/net/batch_norm2d3`.
+/// A fatal training fault. The optimizer step that would have consumed
+/// the faulty state is skipped; neither network is mutated.
 #[derive(Debug, Clone, PartialEq)]
-pub struct TrainError {
-    /// Epoch in which the fault occurred (0 for bare [`GanTrainer::train_step`]).
-    pub epoch: usize,
-    /// Batch index within the epoch.
-    pub batch: usize,
-    /// Path of the first layer whose gradients are non-finite.
-    pub layer: String,
-    /// The layer's gradient L2 norm (NaN or ±Inf by construction).
-    pub norm: f32,
+pub enum TrainError {
+    /// Some parameter gradient became NaN or ±Inf, so the next
+    /// optimizer step would poison the weights irrecoverably.
+    ///
+    /// `layer` names the first offending layer in visit order, e.g.
+    /// `generator/down0/conv2d0` or `discriminator/net/batch_norm2d3`.
+    NonFiniteGrad {
+        /// Epoch in which the fault occurred (0 for bare [`GanTrainer::train_step`]).
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+        /// Path of the first layer whose gradients are non-finite.
+        layer: String,
+        /// The layer's gradient L2 norm (NaN or ±Inf by construction).
+        norm: f32,
+    },
+    /// The step's batch holds fewer samples than the requested replica
+    /// count, so `R` non-empty shards cannot exist. The trainer refuses
+    /// rather than silently training on fewer replicas than asked for
+    /// (the pre-ragged implementation clamped — see
+    /// `docs/PARALLEL_TRAINING.md` § error semantics).
+    ReplicaOverflow {
+        /// Epoch in which the fault occurred (0 for bare [`GanTrainer::train_step`]).
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+        /// The replica count passed to [`GanTrainer::with_replicas`].
+        requested: usize,
+        /// Samples in the offending batch.
+        batch_size: usize,
+    },
 }
 
 impl fmt::Display for TrainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "non-finite gradient (norm {}) in layer `{}` at epoch {}, batch {}",
-            self.norm, self.layer, self.epoch, self.batch
-        )
+        match self {
+            TrainError::NonFiniteGrad { epoch, batch, layer, norm } => write!(
+                f,
+                "non-finite gradient (norm {norm}) in layer `{layer}` at epoch {epoch}, \
+                 batch {batch}"
+            ),
+            TrainError::ReplicaOverflow { epoch, batch, requested, batch_size } => write!(
+                f,
+                "cannot shard a batch of {batch_size} samples across {requested} replicas \
+                 at epoch {epoch}, batch {batch}; request at most one replica per sample"
+            ),
+        }
     }
 }
 
 impl std::error::Error for TrainError {}
 
-/// Everything one replica worker produces for one training step: the
-/// global per-sample loss subtotals for its shard, its shard-local flat
-/// gradient partials, and bookkeeping for the main-thread reduction.
+/// Everything one replica worker hands back *at join time*: the global
+/// per-sample loss subtotals for its shard and bookkeeping. Gradient
+/// partials do not travel here — they stream through the worker's
+/// [`GradLane`] as each loss term's backward pass finishes, so the
+/// main-thread tree-reduction overlaps the remaining backward work.
 struct ShardOut {
     /// Per-sample BCE subtotals for the real pair (label 1).
     real_rows: Vec<f32>,
@@ -118,12 +146,6 @@ struct ShardOut {
     gan_rows: Vec<f32>,
     /// Per-sample L1 subtotals for the reconstruction loss.
     l1_rows: Vec<f32>,
-    /// Discriminator flat gradient partial from the real-pair pass.
-    d_real_grads: Vec<f32>,
-    /// Discriminator flat gradient partial from the fake-pair pass.
-    d_fake_grads: Vec<f32>,
-    /// Generator flat gradient partial (adversarial + λ·L1).
-    g_grads: Vec<f32>,
     /// Global patch-logit element count (`n · patches_per_sample`).
     patch_total: usize,
     /// Global image element count (`n · c·h·w`).
@@ -131,6 +153,10 @@ struct ShardOut {
     /// Wall time this worker spent on its shard.
     shard_ns: u64,
 }
+
+/// The loss terms every replica submits through its [`GradLane`], in
+/// submission order.
+const GRAD_TERMS: usize = 3;
 
 /// Runs one replica's share of a training step on the shard
 /// `[lo, hi)` of the global batch.
@@ -140,8 +166,11 @@ struct ShardOut {
 /// [`replica::reduce_samples`] stays in lockstep. Gradients for each of
 /// the discriminator's two loss terms are captured separately (the old
 /// implementation snapshotted and restored grads around the adversarial
-/// backward); the caller tree-reduces each term across replicas and
-/// sums the two trees, which is replica-count invariant.
+/// backward) and submitted through `lane` the moment they exist: term 0
+/// (real-pair D) while the fake pair is still being processed, term 1
+/// (fake-pair D) while the generator backward runs, term 2 (G) last.
+/// The caller tree-reduces each term across replicas in fixed order and
+/// sums the two discriminator trees, which is replica-count invariant.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
     generator: &mut UNetGenerator,
@@ -154,6 +183,7 @@ fn run_shard(
     ctx: ReplicaCtx,
     g_len: usize,
     d_len: usize,
+    lane: &mut GradLane,
 ) -> ShardOut {
     let start = Instant::now();
     let _shard = telemetry::span("gan.replica.shard");
@@ -183,8 +213,9 @@ fn run_shard(
     let patch_total = d_real.len() / shard_n * global_n;
     let (real_rows, g_real) = loss::bce_with_logits_sharded(&d_real, 1.0, patch_total);
     discriminator.backward(&g_real.scale(0.5));
-    let mut d_real_grads = vec![0.0f32; d_len];
+    let mut d_real_grads = lane.acquire(d_len);
     discriminator.read_grads_flat(&mut d_real_grads);
+    lane.submit(d_real_grads);
 
     let fake_pair = x.concat_channels(&fake);
     let d_fake = discriminator.forward(&fake_pair, true);
@@ -198,8 +229,9 @@ fn run_shard(
     let g_pair = discriminator.backward(&g_gan);
     discriminator.zero_grad();
     discriminator.backward(&g_fake.scale(0.5));
-    let mut d_fake_grads = vec![0.0f32; d_len];
+    let mut d_fake_grads = lane.acquire(d_len);
     discriminator.read_grads_flat(&mut d_fake_grads);
+    lane.submit(d_fake_grads);
     drop(_d);
 
     // ---- Generator gradients: adversarial plus λ-weighted L1.
@@ -210,17 +242,15 @@ fn run_shard(
     let total = g_fake_part.add(&g_l1.scale(lambda));
     generator.zero_grad();
     generator.backward(&total);
-    let mut g_grads = vec![0.0f32; g_len];
+    let mut g_grads = lane.acquire(g_len);
     UNetAsLayer(generator).read_grads_flat(&mut g_grads);
+    lane.submit(g_grads);
 
     ShardOut {
         real_rows,
         fake_rows,
         gan_rows,
         l1_rows,
-        d_real_grads,
-        d_fake_grads,
-        g_grads,
         patch_total,
         img_total,
         shard_ns: start.elapsed().as_nanos() as u64,
@@ -266,8 +296,8 @@ pub struct GanTrainer {
     opt_d: Adam,
     config: TrainConfig,
     parallelism: Parallelism,
-    /// Requested data-parallel replica count (clamped per batch to a
-    /// power of two no larger than the batch).
+    /// Requested data-parallel replica count, honored exactly for every
+    /// batch with at least that many samples.
     replicas: usize,
     /// Monotone step counter; keys the sharding-invariant dropout masks.
     step_counter: u64,
@@ -276,6 +306,13 @@ pub struct GanTrainer {
     g_replicas: Vec<UNetGenerator>,
     /// Lazily built worker copies of the discriminator.
     d_replicas: Vec<PatchGan>,
+    /// Recycled gradient arenas for the [`GradExchange`]; warm after
+    /// the first step, so the per-step exchange allocates nothing.
+    grad_pool: Vec<Vec<f32>>,
+    /// One-shot latch for the `gan.replica.mismatch` warning (the tail
+    /// batch of an epoch can be smaller than R — see
+    /// [`GanTrainer::fit_with_progress`]).
+    warned_mismatch: bool,
 }
 
 impl GanTrainer {
@@ -294,6 +331,8 @@ impl GanTrainer {
             step_counter: 0,
             g_replicas: Vec::new(),
             d_replicas: Vec::new(),
+            grad_pool: Vec::new(),
+            warned_mismatch: false,
         }
     }
 
@@ -304,16 +343,26 @@ impl GanTrainer {
         self
     }
 
-    /// Requests data-parallel training over `replicas` model replicas.
+    /// Requests data-parallel training over **exactly** `replicas`
+    /// model replicas — ragged (non-power-of-two) counts included.
     ///
-    /// Each step splits the batch into contiguous shards by the
-    /// canonical halving tree, runs one worker per shard against its own
-    /// model copy (weights broadcast as one flat memcpy), and reduces
-    /// the per-replica gradient arenas pairwise in fixed replica order
-    /// on the main thread. Losses and post-step weights are therefore
-    /// **bitwise identical** for any replica count (see
-    /// `docs/PARALLEL_TRAINING.md`). The effective count is clamped per
-    /// batch to the largest power of two ≤ `min(replicas, batch size)`.
+    /// Each step splits the batch into `replicas` contiguous shards
+    /// along canonical-tree node boundaries (the padded halving tree,
+    /// `cachebox_nn::reduce::tree_splits`), runs one worker per shard
+    /// against its own model copy (weights broadcast as one flat
+    /// memcpy), and tree-reduces each loss term's per-replica gradient
+    /// arenas in fixed replica order — overlapped with the next term's
+    /// backward pass through a double-buffered [`GradExchange`]. Losses
+    /// and post-step weights are **bitwise identical** for any replica
+    /// count (see `docs/PARALLEL_TRAINING.md`).
+    ///
+    /// A batch must hold at least `replicas` samples:
+    /// [`GanTrainer::train_step`] returns
+    /// [`TrainError::ReplicaOverflow`] instead of silently training on
+    /// fewer replicas (the pre-ragged implementation clamped to a power
+    /// of two). [`GanTrainer::fit`] shrinks the count only for a
+    /// smaller-than-`batch_size` tail chunk, with a one-shot
+    /// `gan.replica.mismatch` telemetry warning.
     ///
     /// # Panics
     ///
@@ -324,7 +373,7 @@ impl GanTrainer {
         self
     }
 
-    /// The requested replica count (before per-batch clamping).
+    /// The requested replica count.
     pub fn replicas(&self) -> usize {
         self.replicas
     }
@@ -361,13 +410,72 @@ impl GanTrainer {
     ///
     /// # Errors
     ///
-    /// Returns a [`TrainError`] naming the first layer whose gradients
-    /// are non-finite; the affected optimizer step is skipped.
+    /// Returns [`TrainError::NonFiniteGrad`] naming the first layer
+    /// whose gradients are non-finite (the affected optimizer step is
+    /// skipped), or [`TrainError::ReplicaOverflow`] if the batch holds
+    /// fewer samples than the requested replica count — the replica
+    /// count is honored exactly, never silently reduced.
     pub fn train_step_at(
         &mut self,
         batch: &TrainSample,
         epoch: usize,
         batch_idx: usize,
+    ) -> Result<TrainStats, TrainError> {
+        let n = batch.input.n();
+        if self.replicas > n {
+            self.warn_replica_mismatch(0, n);
+            return Err(TrainError::ReplicaOverflow {
+                epoch,
+                batch: batch_idx,
+                requested: self.replicas,
+                batch_size: n,
+            });
+        }
+        self.step_with_replicas(batch, epoch, batch_idx, self.replicas)
+    }
+
+    /// Emits the `gan.replica.requested`/`gan.replica.count` gauge pair
+    /// plus, the first time the effective count diverges from the
+    /// request, a one-shot `gan.replica.mismatch` warning event (and an
+    /// stderr note, so the divergence is loud even without telemetry).
+    /// `effective == 0` records a refused step.
+    fn warn_replica_mismatch(&mut self, effective: usize, batch_n: usize) {
+        telemetry::gauge("gan.replica.requested", self.replicas as f64);
+        telemetry::gauge("gan.replica.count", effective as f64);
+        if self.warned_mismatch {
+            return;
+        }
+        self.warned_mismatch = true;
+        telemetry::event(
+            "gan.replica.mismatch",
+            &[
+                ("requested", (self.replicas as u64).into()),
+                ("effective", (effective as u64).into()),
+                ("batch", (batch_n as u64).into()),
+            ],
+        );
+        if effective == 0 {
+            eprintln!(
+                "warning: refused train step: {} replicas requested over a batch of {batch_n}",
+                self.replicas
+            );
+        } else {
+            eprintln!(
+                "warning: tail batch of {batch_n} samples trains on {effective} of the {} \
+                 requested replicas",
+                self.replicas
+            );
+        }
+    }
+
+    /// One optimization step on exactly `r_eff` replicas
+    /// (`1 <= r_eff <= n`, already validated by the callers).
+    fn step_with_replicas(
+        &mut self,
+        batch: &TrainSample,
+        epoch: usize,
+        batch_idx: usize,
+        r_eff: usize,
     ) -> Result<TrainStats, TrainError> {
         let _step = telemetry::span("gan.train_step");
         // Make the trainer's thread budget visible to the conv layers'
@@ -375,7 +483,7 @@ impl GanTrainer {
         // directly (tests, benches) rather than through `fit`.
         self.parallelism.install();
         let n = batch.input.n();
-        let r_eff = reduce::pow2_shards(self.replicas, n);
+        debug_assert!((1..=n).contains(&r_eff));
         let nonce = self.step_counter;
         // Advance even on a failed step: the legacy RNG stream also
         // advanced through a failed step's forward passes.
@@ -384,15 +492,25 @@ impl GanTrainer {
         let g_len = UNetAsLayer(&mut self.generator).param_count();
         let d_len = self.discriminator.param_count();
         let group = Arc::new(SyncGroup::new(r_eff, n));
+        telemetry::gauge("gan.replica.requested", self.replicas as f64);
         telemetry::gauge("gan.replica.count", r_eff as f64);
 
-        let outs: Vec<ShardOut> = if r_eff == 1 {
+        // Gradient partials stream through the exchange as each loss
+        // term's backward finishes, so the main thread tree-reduces
+        // term k while the workers run term k+1's backward. An inline
+        // single-replica run buffers every term (the reducer only runs
+        // after the shard returns); threaded runs double-buffer.
+        let depth = if r_eff == 1 { GRAD_TERMS } else { 2 };
+        let exchange = GradExchange::new(r_eff, GRAD_TERMS, depth, &mut self.grad_pool);
+
+        let (outs, reduced): (Vec<ShardOut>, Vec<Vec<f32>>) = if r_eff == 1 {
             // Single replica: run the shard inline on the main thread.
             // The context is still installed so dropout keying and the
             // batch-norm reduction take the same code path for every
             // replica count.
             let ctx = ReplicaCtx { group, replica: 0, sample_base: 0, step_nonce: nonce };
-            vec![run_shard(
+            let mut lane = exchange.take_lane(0);
+            let out = run_shard(
                 &mut self.generator,
                 &mut self.discriminator,
                 batch,
@@ -403,7 +521,11 @@ impl GanTrainer {
                 ctx,
                 g_len,
                 d_len,
-            )]
+                &mut lane,
+            );
+            drop(lane);
+            let reduced = exchange.reduce_terms(&mut self.grad_pool);
+            (vec![out], reduced)
         } else {
             // Broadcast the lead weights into the cached worker models
             // as one flat copy each. Replica models share the lead's
@@ -430,6 +552,7 @@ impl GanTrainer {
             Parallelism::new((outer / r_eff).max(1)).install();
             let generator = &mut self.generator;
             let discriminator = &mut self.discriminator;
+            let grad_pool = &mut self.grad_pool;
             let gs: Vec<&mut UNetGenerator> =
                 std::iter::once(generator).chain(self.g_replicas[..r_eff - 1].iter_mut()).collect();
             let ds: Vec<&mut PatchGan> = std::iter::once(discriminator)
@@ -439,13 +562,14 @@ impl GanTrainer {
             // std::thread::scope (not the crossbeam wrapper): the
             // rendezvous barrier inside SyncGroup requires the replicas
             // to genuinely run concurrently.
-            let outs = std::thread::scope(|scope| {
+            let (outs, reduced) = std::thread::scope(|scope| {
                 let handles: Vec<_> = gs
                     .into_iter()
                     .zip(ds)
                     .zip(splits.iter().enumerate())
                     .map(|((g, d), (r, &(lo, hi)))| {
                         let group = Arc::clone(&group);
+                        let mut lane = exchange.take_lane(r);
                         scope.spawn(move || {
                             let ctx = ReplicaCtx {
                                 group,
@@ -453,36 +577,36 @@ impl GanTrainer {
                                 sample_base: lo,
                                 step_nonce: nonce,
                             };
-                            run_shard(g, d, batch, lo, hi, n, lambda, ctx, g_len, d_len)
+                            run_shard(g, d, batch, lo, hi, n, lambda, ctx, g_len, d_len, &mut lane)
                         })
                     })
                     .collect();
-                handles
+                // The main thread is the reducer: it folds each term in
+                // fixed replica order the moment its partials are all
+                // in, concurrently with the workers' remaining terms.
+                let reduced = exchange.reduce_terms(grad_pool);
+                let outs = handles
                     .into_iter()
                     .map(|h| h.join().expect("replica worker panicked"))
-                    .collect::<Vec<_>>()
+                    .collect::<Vec<_>>();
+                (outs, reduced)
             });
             self.parallelism.install();
-            outs
+            (outs, reduced)
         };
 
         for o in &outs {
             telemetry::observe("gan.replica.shard_ns", o.shard_ns as f64);
         }
 
-        // ---- Fixed-order reduction on the main thread. Each loss
-        // term's gradient partials combine by the same halving tree the
-        // shards were split with, so every replica count reproduces the
-        // single-replica sums bitwise.
-        let d_real_rows: Vec<&[f32]> = outs.iter().map(|o| o.d_real_grads.as_slice()).collect();
-        let mut d_grads = reduce::tree_reduce_rows(&d_real_rows);
-        let d_fake_rows: Vec<&[f32]> = outs.iter().map(|o| o.d_fake_grads.as_slice()).collect();
-        let d_fake_sum = reduce::tree_reduce_rows(&d_fake_rows);
-        for (a, b) in d_grads.iter_mut().zip(&d_fake_sum) {
-            *a += *b;
-        }
-        let g_rows: Vec<&[f32]> = outs.iter().map(|o| o.g_grads.as_slice()).collect();
-        let g_grads = reduce::tree_reduce_rows(&g_rows);
+        // ---- The exchange produced one fixed-order tree total per loss
+        // term (the same halving tree the shards were split with, so
+        // every replica count reproduces the single-replica sums
+        // bitwise): real-pair D, fake-pair D, then G.
+        let mut term_iter = reduced.into_iter();
+        let d_grads = term_iter.next().expect("real-pair discriminator term");
+        let d_fake_sum = term_iter.next().expect("fake-pair discriminator term");
+        let g_grads = term_iter.next().expect("generator term");
 
         // Losses: per-sample subtotals concatenate in global sample
         // order (shards are contiguous and ascending), then tree-sum.
@@ -503,12 +627,18 @@ impl GanTrainer {
         let l_gan = reduce::tree_sum(&gan_rows) / patch_total as f32;
         let l_l1 = reduce::tree_sum(&l1_rows) / img_total as f32;
 
-        // ---- Discriminator step through the flat parameter store.
+        // ---- Discriminator step through the flat parameter store. The
+        // two loss-term totals stage through the store's double
+        // gradient arena: real-pass in front, fake-pass in back, folded
+        // front += back (the same orientation the tree uses).
         let mut d_store = self.discriminator.export_store();
         d_store.grads_mut().copy_from_slice(&d_grads);
+        d_store.back_grads_mut().copy_from_slice(&d_fake_sum);
+        d_store.accumulate_back_grads();
         let (d_norm, d_bad) = d_store.grad_norm_scan();
         if let Some((layer, norm)) = d_bad {
-            return Err(TrainError {
+            self.grad_pool.extend([d_grads, d_fake_sum, g_grads]);
+            return Err(TrainError::NonFiniteGrad {
                 epoch,
                 batch: batch_idx,
                 layer: format!("discriminator/{layer}"),
@@ -524,7 +654,8 @@ impl GanTrainer {
         g_store.grads_mut().copy_from_slice(&g_grads);
         let (g_norm, g_bad) = g_store.grad_norm_scan();
         if let Some((layer, norm)) = g_bad {
-            return Err(TrainError {
+            self.grad_pool.extend([d_grads, d_fake_sum, g_grads]);
+            return Err(TrainError::NonFiniteGrad {
                 epoch,
                 batch: batch_idx,
                 layer: format!("generator/{layer}"),
@@ -534,6 +665,9 @@ impl GanTrainer {
         telemetry::gauge("gan.grad_norm.g", f64::from(g_norm));
         self.opt_g.step_store(&mut g_store);
         UNetAsLayer(&mut self.generator).import_values("", &g_store);
+
+        // Retire the term totals back into the arena pool.
+        self.grad_pool.extend([d_grads, d_fake_sum, g_grads]);
 
         Ok(TrainStats { d_loss: 0.5 * (l_real + l_fake), g_adv: l_gan, g_l1: l_l1 })
     }
@@ -552,11 +686,20 @@ impl GanTrainer {
     /// Like [`GanTrainer::fit`] but invoking `progress(epoch, stats)`
     /// after each epoch.
     ///
+    /// The configured replica count is honored exactly for every full
+    /// batch. The final chunk of an epoch can hold fewer than
+    /// `batch_size` samples; if it holds fewer than `replicas`, that
+    /// chunk alone trains on one replica per sample, and a one-shot
+    /// `gan.replica.mismatch` warning (telemetry event + stderr) records
+    /// the divergence — never silently. This cannot change any result:
+    /// losses and weights are bitwise invariant in the replica count.
+    ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty, or (fail-fast) if any gradient
-    /// turns NaN/±Inf — the panic message carries the [`TrainError`]
-    /// with the offending layer, epoch, and batch.
+    /// Panics if `samples` is empty, if `replicas > batch_size` (no
+    /// full batch could ever satisfy the request), or (fail-fast) if
+    /// any gradient turns NaN/±Inf — the panic message carries the
+    /// [`TrainError`] with the offending layer, epoch, and batch.
     pub fn fit_with_progress(
         &mut self,
         samples: &[Sample],
@@ -564,6 +707,12 @@ impl GanTrainer {
         mut progress: impl FnMut(usize, TrainStats),
     ) -> Vec<TrainStats> {
         assert!(!samples.is_empty(), "training set is empty");
+        assert!(
+            self.replicas <= self.config.batch_size,
+            "replica count {} exceeds batch size {}; no batch can be sharded that wide",
+            self.replicas,
+            self.config.batch_size
+        );
         self.parallelism.install();
         let conditioned = self.generator.config().param_features > 0;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x6a17);
@@ -581,8 +730,12 @@ impl GanTrainer {
                 let refs: Vec<&Sample> = chunk.iter().map(|&i| &samples[i]).collect();
                 let (input, target, params) = collate(&refs, norm);
                 let batch = TrainSample { input, target, params: conditioned.then_some(params) };
+                let r_eff = self.replicas.min(chunk.len());
+                if r_eff != self.replicas {
+                    self.warn_replica_mismatch(r_eff, chunk.len());
+                }
                 let stats = self
-                    .train_step_at(&batch, epoch, batches)
+                    .step_with_replicas(&batch, epoch, batches, r_eff)
                     .unwrap_or_else(|e| panic!("GAN training diverged: {e}"));
                 sum.d_loss += stats.d_loss;
                 sum.g_adv += stats.g_adv;
@@ -755,11 +908,42 @@ mod tests {
         let (input, target, _params) = collate(&refs, &norm);
         let err =
             trainer.train_step_at(&TrainSample { input, target, params: None }, 3, 7).unwrap_err();
-        assert_eq!(err.layer, "discriminator/net/conv2d0");
-        assert!(!err.norm.is_finite(), "offending norm must be non-finite: {}", err.norm);
-        assert_eq!((err.epoch, err.batch), (3, 7));
+        let TrainError::NonFiniteGrad { epoch, batch, ref layer, norm } = err else {
+            panic!("expected NonFiniteGrad, got {err:?}");
+        };
+        assert_eq!(layer, "discriminator/net/conv2d0");
+        assert!(!norm.is_finite(), "offending norm must be non-finite: {norm}");
+        assert_eq!((epoch, batch), (3, 7));
         let msg = err.to_string();
         assert!(msg.contains("discriminator/net/conv2d0") && msg.contains("epoch 3"), "{msg}");
+    }
+
+    #[test]
+    fn oversized_replica_request_is_an_error_not_a_clamp() {
+        let samples = toy_samples(2);
+        let norm = Normalizer::new(4);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (input, target, _params) = collate(&refs, &norm);
+        let batch = TrainSample { input, target, params: None };
+        let mut trainer = tiny_trainer(1, false, 19).with_replicas(3);
+        let err = trainer.train_step_at(&batch, 1, 2).unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::ReplicaOverflow { epoch: 1, batch: 2, requested: 3, batch_size: 2 }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("3 replicas") && msg.contains("2 samples"), "{msg}");
+        // The refused step must not have touched either network.
+        let w = flat_weights(&mut trainer);
+        let mut fresh = tiny_trainer(1, false, 19);
+        assert_eq!(w, flat_weights(&mut fresh), "refused step mutated weights");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds batch size")]
+    fn fit_rejects_more_replicas_than_batch_size() {
+        let mut trainer = tiny_trainer(1, false, 23).with_replicas(8); // batch_size is 2
+        trainer.fit(&toy_samples(4), &Normalizer::new(4));
     }
 
     #[test]
@@ -790,8 +974,9 @@ mod tests {
         let refs: Vec<&Sample> = samples.iter().collect();
         let (input, target, _params) = collate(&refs, &norm);
         let batch = TrainSample { input, target, params: None };
+        let counts = [1usize, 2, 3, 4];
         let mut runs = Vec::new();
-        for r in [1usize, 2, 4] {
+        for r in counts {
             let mut trainer = tiny_trainer(1, false, 21).with_replicas(r);
             let s1 = trainer.train_step(&batch).unwrap();
             let s2 = trainer.train_step(&batch).unwrap();
@@ -799,7 +984,7 @@ mod tests {
         }
         let (s1, s2, w) = &runs[0];
         for (r, (r1, r2, rw)) in runs.iter().enumerate().skip(1) {
-            let r_label = [1, 2, 4][r];
+            let r_label = counts[r];
             for (a, b) in [(s1, r1), (s2, r2)] {
                 assert_eq!(a.d_loss.to_bits(), b.d_loss.to_bits(), "d_loss differs at R={r_label}");
                 assert_eq!(a.g_adv.to_bits(), b.g_adv.to_bits(), "g_adv differs at R={r_label}");

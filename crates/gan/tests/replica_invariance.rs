@@ -1,22 +1,25 @@
 //! Replica-count invariance of data-parallel training.
 //!
-//! The contract (docs/PARALLEL_TRAINING.md): for any replica count R,
-//! per-step losses and post-step weights are **bitwise identical** to
-//! the single-replica run. Batch shards follow the canonical halving
-//! tree, per-replica gradient arenas reduce pairwise in fixed replica
-//! order, batch-norm statistics rendezvous over the global batch, and
-//! dropout masks are keyed by global sample index — so the only thing R
-//! changes is wall-clock time.
+//! The contract (docs/PARALLEL_TRAINING.md): for any replica count
+//! 1 ≤ R ≤ batch — ragged counts included — per-step losses and
+//! post-step weights are **bitwise identical** to the single-replica
+//! run. Batch shards follow the canonical (padded) halving tree,
+//! per-replica gradient arenas reduce pairwise in fixed replica order,
+//! batch-norm statistics rendezvous over the global batch, and dropout
+//! masks are keyed by global sample index — so the only thing R changes
+//! is wall-clock time. Requests for more replicas than samples are
+//! refused loudly, never clamped.
 //!
 //! The suite runs with and without `--features simd` (the GEMM
 //! microkernel is bitwise identical across dispatch paths), and the CI
-//! matrix runs it under `CACHEBOX_THREADS=1` and `=4`.
+//! matrix runs it under `CACHEBOX_THREADS=1`, `=3`, and `=4`.
 
 use cachebox_gan::condition::CacheParams;
 use cachebox_gan::data::{Normalizer, Sample};
 use cachebox_gan::unet::UNetAsLayer;
 use cachebox_gan::{
-    GanTrainer, PatchGan, PatchGanConfig, TrainConfig, TrainStats, UNetConfig, UNetGenerator,
+    GanTrainer, PatchGan, PatchGanConfig, TrainConfig, TrainError, TrainStats, UNetConfig,
+    UNetGenerator,
 };
 use cachebox_heatmap::Heatmap;
 use cachebox_nn::layers::Layer;
@@ -43,18 +46,25 @@ fn toy_samples(n: usize) -> Vec<Sample> {
 }
 
 /// Trains a fresh model pair for three epochs with `replicas` workers
-/// and returns the per-epoch losses plus the final flat weights and
-/// batch-norm buffers of both networks.
-fn run(replicas: usize, dropout: bool, conditioned: bool) -> (Vec<TrainStats>, Vec<f32>) {
+/// over `samples` toy samples in batches of `batch_size`, returning the
+/// per-epoch losses plus the final flat weights and batch-norm buffers
+/// of both networks.
+fn run_sized(
+    replicas: usize,
+    dropout: bool,
+    conditioned: bool,
+    batch_size: usize,
+    samples: usize,
+) -> (Vec<TrainStats>, Vec<f32>) {
     let mut gc = UNetConfig::for_image_size(8, 4).with_dropout(dropout);
     if conditioned {
         gc = gc.with_param_features(2);
     }
     let g = UNetGenerator::new(gc, 17);
     let d = PatchGan::new(PatchGanConfig::new(2, 4, 1), 18);
-    let config = TrainConfig { epochs: 3, batch_size: 4, lr: 2e-3, ..Default::default() };
+    let config = TrainConfig { epochs: 3, batch_size, lr: 2e-3, ..Default::default() };
     let mut trainer = GanTrainer::new(g, d, config).with_replicas(replicas);
-    let history = trainer.fit(&toy_samples(8), &Normalizer::new(4));
+    let history = trainer.fit(&toy_samples(samples), &Normalizer::new(4));
     let (mut g, mut d) = trainer.into_networks();
     let mut state = Vec::new();
     {
@@ -73,6 +83,12 @@ fn run(replicas: usize, dropout: bool, conditioned: bool) -> (Vec<TrainStats>, V
     d.read_buffers_flat(&mut b);
     state.extend_from_slice(&b);
     (history, state)
+}
+
+/// [`run_sized`] at the suite's default shape: batches of 4 over 8
+/// samples.
+fn run(replicas: usize, dropout: bool, conditioned: bool) -> (Vec<TrainStats>, Vec<f32>) {
+    run_sized(replicas, dropout, conditioned, 4, 8)
 }
 
 fn assert_bitwise_equal(
@@ -113,10 +129,31 @@ fn assert_bitwise_equal(
 #[test]
 fn replica_counts_are_bitwise_invariant() {
     let base = run(1, false, false);
-    for r in [2, 4] {
+    for r in [2, 3, 4] {
         assert_bitwise_equal(r, &base, &run(r, false, false));
     }
     assert!(base.0.iter().all(|s| s.d_loss.is_finite() && s.g_l1.is_finite()));
+}
+
+#[test]
+fn ragged_replica_counts_are_bitwise_invariant() {
+    // Batches of 6: the ragged counts the pow2 clamp used to silently
+    // round down (3 → 2, 5 → 4, 6 → 4) must now run exactly and still
+    // reproduce the single-replica bits.
+    let base = run_sized(1, false, false, 6, 12);
+    for r in [3, 5, 6] {
+        assert_bitwise_equal(r, &base, &run_sized(r, false, false, 6, 12));
+    }
+}
+
+#[test]
+fn odd_batch_sizes_are_bitwise_invariant() {
+    // Odd batches exercise uneven tree splits at every level (a batch
+    // of 5 over 3 replicas shards as 1/2/2).
+    let base = run_sized(1, false, false, 5, 10);
+    for r in [2, 3, 5] {
+        assert_bitwise_equal(r, &base, &run_sized(r, false, false, 5, 10));
+    }
 }
 
 #[test]
@@ -125,7 +162,7 @@ fn replica_counts_are_bitwise_invariant_with_dropout() {
     // element), so sharding the batch cannot change which activations
     // drop.
     let base = run(1, true, false);
-    for r in [2, 4] {
+    for r in [2, 3, 4] {
         assert_bitwise_equal(r, &base, &run(r, true, false));
     }
 }
@@ -134,11 +171,47 @@ fn replica_counts_are_bitwise_invariant_with_dropout() {
 fn replica_counts_are_bitwise_invariant_when_conditioned() {
     let base = run(1, false, true);
     assert_bitwise_equal(2, &base, &run(2, false, true));
+    assert_bitwise_equal(3, &base, &run(3, false, true));
 }
 
 #[test]
-fn oversized_replica_request_clamps_to_batch() {
-    // R=16 over batches of 4 must clamp to 4 workers and still match.
-    let base = run(1, false, false);
-    assert_bitwise_equal(16, &base, &run(16, false, false));
+fn ragged_tail_batch_shrinks_and_stays_invariant() {
+    // 10 samples in batches of 4 leave a tail batch of 2. fit() shrinks
+    // only that tail (R_eff = 2 for R = 4) with a one-shot warning and
+    // still matches the single-replica run bitwise.
+    let base = run_sized(1, false, false, 4, 10);
+    for r in [3, 4] {
+        assert_bitwise_equal(r, &base, &run_sized(r, false, false, 4, 10));
+    }
+}
+
+#[test]
+fn oversized_replica_request_is_refused() {
+    // R=16 over batches of 4 used to clamp silently; train_step now
+    // returns ReplicaOverflow and fit refuses up front.
+    let g = UNetGenerator::new(UNetConfig::for_image_size(8, 4).with_dropout(false), 17);
+    let d = PatchGan::new(PatchGanConfig::new(2, 4, 1), 18);
+    let config = TrainConfig { epochs: 1, batch_size: 4, lr: 2e-3, ..Default::default() };
+    let mut trainer = GanTrainer::new(g, d, config).with_replicas(16);
+
+    let samples = toy_samples(4);
+    let norm = Normalizer::new(4);
+    let refs: Vec<&Sample> = samples.iter().collect();
+    let (input, target, _params) = cachebox_gan::data::collate(&refs, &norm);
+    let batch = cachebox_gan::TrainSample { input, target, params: None };
+    match trainer.train_step(&batch) {
+        Err(TrainError::ReplicaOverflow { requested: 16, batch_size: 4, .. }) => {}
+        other => panic!("expected ReplicaOverflow, got {other:?}"),
+    }
+
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        trainer.fit(&samples, &norm);
+    }))
+    .unwrap_err();
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("exceeds batch size"), "unexpected panic message: {msg}");
 }

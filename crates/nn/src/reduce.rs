@@ -12,44 +12,55 @@
 //! ```
 //!
 //! with single samples as leaves. The tree over `[lo, hi)` is
-//! self-similar: if a batch of `n` samples is split into `2^k`
-//! contiguous shards by the same recursive halving ([`tree_splits`]),
-//! each shard's local reduction *is* a subtree value, and combining the
-//! shard partials pairwise in the same order ([`tree_reduce_rows`])
+//! self-similar: if a batch of `n` samples is split into contiguous
+//! shards along tree-node boundaries ([`tree_splits`]), each shard's
+//! local reduction *is* a subtree value, and combining the shard
+//! partials pairwise in the same order ([`tree_reduce_rows`])
 //! reproduces the unsharded reduction **bitwise**. This is the
 //! foundation of the replica-count invariance contract documented in
 //! `docs/PARALLEL_TRAINING.md`.
+//!
+//! ## Ragged shard counts
+//!
+//! The shard count does **not** have to be a power of two. Conceptually
+//! the partial-combining tree over `R` shards is padded with identity
+//! leaves up to the next power of two `P`; combining with an identity
+//! leaf is a no-op, so every real partial still meets its neighbours in
+//! the canonical order. Concretely this collapses to the same recursion
+//! the sample tree uses: the left half of a range receives
+//! `floor(R/2)` shards and the right half `ceil(R/2)`, which is exactly
+//! how [`tree_reduce_rows`]' midpoint recursion groups `R` rows. Both
+//! sides agreeing on that shape is what makes the sharded reduction
+//! bitwise-equal to the unsharded one for **every** `1 ≤ R ≤ n`.
 
-/// Largest power of two `<= max(1, n.min(cap))`. Used to clamp a
-/// requested replica count to a shard count the halving tree supports.
-pub fn pow2_shards(requested: usize, n: usize) -> usize {
-    let bound = requested.min(n).max(1);
-    let mut p = 1usize;
-    while p * 2 <= bound {
-        p *= 2;
-    }
-    p
-}
-
-/// Splits `[0, n)` into `parts` contiguous ranges by recursive halving.
+/// Splits `[0, n)` into `parts` contiguous non-empty ranges along
+/// canonical-tree node boundaries.
 ///
-/// `parts` must be a power of two with `parts <= n` (see
-/// [`pow2_shards`]); every returned range is non-empty and the ranges
-/// are the depth-`log2(parts)` frontier of the canonical tree.
+/// Any `1 <= parts <= n` is supported. The ranges are a size-`parts`
+/// frontier of the halving tree, chosen so that reducing each shard
+/// locally ([`fold_samples`]) and combining the partials with
+/// [`tree_reduce_rows`] reproduces the unsharded reduction bitwise (the
+/// padded-tree construction described in the module docs). For
+/// power-of-two `parts` this is the uniform depth-`log2(parts)`
+/// frontier.
 pub fn tree_splits(n: usize, parts: usize) -> Vec<(usize, usize)> {
-    assert!(parts.is_power_of_two(), "shard count must be a power of two");
+    assert!(parts >= 1, "shard count must be non-zero");
     assert!(parts <= n.max(1), "cannot split {n} samples into {parts} shards");
-    let mut ranges = vec![(0, n)];
-    while ranges.len() < parts {
-        let mut next = Vec::with_capacity(ranges.len() * 2);
-        for (lo, hi) in ranges {
-            let mid = lo + (hi - lo) / 2;
-            next.push((lo, mid));
-            next.push((mid, hi));
+    fn rec(lo: usize, hi: usize, parts: usize, out: &mut Vec<(usize, usize)>) {
+        if parts <= 1 {
+            out.push((lo, hi));
+            return;
         }
-        ranges = next;
+        // Mirror tree_reduce_rows' row recursion: mid = lo + (hi-lo)/2
+        // puts floor(parts/2) rows left of the split, the rest right.
+        let mid = lo + (hi - lo) / 2;
+        let left_parts = parts / 2;
+        rec(lo, mid, left_parts, out);
+        rec(mid, hi, parts - left_parts, out);
     }
-    ranges
+    let mut out = Vec::with_capacity(parts);
+    rec(0, n, parts, &mut out);
+    out
 }
 
 /// Tree-reduces `n` packed per-sample buffers of `len` floats in place.
@@ -107,6 +118,23 @@ pub fn tree_reduce_rows(rows: &[&[f32]]) -> Vec<f32> {
     out
 }
 
+/// [`tree_reduce_rows`] into a caller-owned buffer: packs the rows into
+/// `buf` and folds them in place with [`fold_samples`] (the identical
+/// addition tree), leaving the total in `buf[..len]` and truncating
+/// `buf` to it. Reusing `buf` across calls makes a steady-state
+/// reduction free of transient allocations once the buffer is warm.
+pub fn tree_reduce_rows_into(rows: &[&[f32]], buf: &mut Vec<f32>) {
+    assert!(!rows.is_empty(), "cannot reduce zero rows");
+    let len = rows[0].len();
+    buf.clear();
+    for row in rows {
+        assert_eq!(row.len(), len, "tree rows must have equal length");
+        buf.extend_from_slice(row);
+    }
+    fold_samples(buf, rows.len(), len);
+    buf.truncate(len);
+}
+
 /// Canonical tree total of per-sample scalars (the `len == 1` case).
 pub fn tree_sum(vals: &[f32]) -> f32 {
     fn rec(vals: &[f32], lo: usize, hi: usize) -> f32 {
@@ -129,22 +157,9 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]
-    fn pow2_shards_clamps_to_batch_and_power_of_two() {
-        assert_eq!(pow2_shards(4, 8), 4);
-        assert_eq!(pow2_shards(3, 8), 2);
-        assert_eq!(pow2_shards(4, 3), 2);
-        assert_eq!(pow2_shards(4, 1), 1);
-        assert_eq!(pow2_shards(1, 0), 1);
-        assert_eq!(pow2_shards(8, 5), 4);
-    }
-
-    #[test]
     fn tree_splits_covers_contiguously() {
         for n in 1..16 {
-            for k in [1, 2, 4, 8] {
-                if k > n {
-                    continue;
-                }
+            for k in 1..=n {
                 let ranges = tree_splits(n, k);
                 assert_eq!(ranges.len(), k);
                 assert_eq!(ranges[0].0, 0);
@@ -160,8 +175,9 @@ mod tests {
     }
 
     /// The load-bearing property: reducing each shard locally and then
-    /// combining the shard partials with the same tree is bitwise equal
-    /// to the unsharded reduction, for every power-of-two shard count.
+    /// combining the shard partials with the same (padded) tree is
+    /// bitwise equal to the unsharded reduction, for **every** shard
+    /// count `1 ≤ parts ≤ n`, ragged or not.
     #[test]
     fn sharded_fold_matches_full_fold_bitwise() {
         let mut rng = StdRng::seed_from_u64(7);
@@ -174,10 +190,7 @@ mod tests {
             fold_samples(&mut full, n, len);
             let reference = full[..len].to_vec();
 
-            for parts in [1usize, 2, 4, 8] {
-                if parts > n {
-                    continue;
-                }
+            for parts in 1..=n {
                 let partials: Vec<Vec<f32>> = tree_splits(n, parts)
                     .into_iter()
                     .map(|(lo, hi)| {
@@ -192,6 +205,59 @@ mod tests {
                     combined.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                     reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
                     "n={n} parts={parts}"
+                );
+                let mut into = Vec::new();
+                reduce_rows_into_matches(&rows, &combined, &mut into);
+            }
+        }
+    }
+
+    /// Asserts `tree_reduce_rows_into` agrees bitwise with the
+    /// allocation-per-call reference, reusing `buf` across calls.
+    fn reduce_rows_into_matches(rows: &[&[f32]], expect: &[f32], buf: &mut Vec<f32>) {
+        tree_reduce_rows_into(rows, buf);
+        assert_eq!(
+            buf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            expect.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    proptest::proptest! {
+        /// Property form of the ragged contract the trainer depends on:
+        /// for R ∈ 1..=9 replicas over arbitrary batches, the padded
+        /// tree over per-shard partials equals the single-worker
+        /// fixed-order reduction bitwise.
+        #[test]
+        fn padded_tree_reduction_is_replica_invariant(
+            seed in 0u64..1000,
+            n in 1usize..=24,
+            len in 1usize..=7,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let samples: Vec<Vec<f32>> = (0..n)
+                .map(|_| (0..len).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+                .collect();
+            let mut full: Vec<f32> = samples.concat();
+            fold_samples(&mut full, n, len);
+            let reference = &full[..len];
+
+            let mut scratch = Vec::new();
+            for parts in 1..=9usize.min(n) {
+                let partials: Vec<Vec<f32>> = tree_splits(n, parts)
+                    .into_iter()
+                    .map(|(lo, hi)| {
+                        let mut buf: Vec<f32> = samples[lo..hi].concat();
+                        fold_samples(&mut buf, hi - lo, len);
+                        buf.truncate(len);
+                        buf
+                    })
+                    .collect();
+                let rows: Vec<&[f32]> = partials.iter().map(|p| p.as_slice()).collect();
+                tree_reduce_rows_into(&rows, &mut scratch);
+                proptest::prop_assert_eq!(
+                    scratch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "n={} parts={}", n, parts
                 );
             }
         }

@@ -21,6 +21,7 @@
 //! local reduction.
 
 use crate::reduce;
+use crossbeam::channel::{self, Receiver, Sender};
 use std::cell::RefCell;
 use std::sync::{Arc, Barrier, Mutex};
 
@@ -96,6 +97,166 @@ impl SyncGroup {
         // its slot) while another replica is still reading this one.
         self.barrier.wait();
         result
+    }
+}
+
+/// One flat gradient partial in flight from a worker lane to the
+/// main-thread reducer.
+#[derive(Debug)]
+struct GradDeposit {
+    term: usize,
+    replica: usize,
+    buf: Vec<f32>,
+}
+
+/// Double-buffered gradient exchange for overlapped tree-reduction.
+///
+/// A training step produces several *loss terms* per replica (for the
+/// GAN: discriminator real-pass, discriminator fake-pass, generator),
+/// each a flat gradient arena. Instead of collecting every term after
+/// the workers join, each worker [`GradLane::submit`]s term `k` the
+/// moment its backward pass finishes and immediately starts term
+/// `k + 1`; the main thread ([`GradExchange::reduce_terms`]) tree-
+/// reduces term `k` in **fixed replica order** as soon as all partials
+/// for it have arrived. The reduction of term `k` therefore overlaps
+/// the backward pass of term `k + 1`, hiding its latency — without
+/// changing a single bit of the result, because arrival order never
+/// affects the reduction order.
+///
+/// Each lane owns `depth` gradient arenas (`depth = 2` double-buffers a
+/// threaded run; an inline single-replica run uses `depth = terms` so
+/// it never blocks). A worker that has `depth` partials in flight
+/// blocks in [`GradLane::acquire`] until the reducer finishes the
+/// oldest one and recycles its arena — bounded memory, no allocation in
+/// steady state when the pool is warm.
+#[derive(Debug)]
+pub struct GradExchange {
+    replicas: usize,
+    terms: usize,
+    depth: usize,
+    // Note: the exchange deliberately does NOT keep a deposit sender of
+    // its own — when every lane is gone (including a worker unwinding),
+    // the reducer's `recv` errors out instead of deadlocking.
+    deposit_rx: Receiver<GradDeposit>,
+    return_txs: Vec<Sender<Vec<f32>>>,
+    lanes: Mutex<Vec<Option<GradLane>>>,
+}
+
+impl GradExchange {
+    /// An exchange for `replicas` workers each producing `terms` flat
+    /// gradient partials, with `depth` arenas buffered per lane. Lane
+    /// arenas are drawn from `pool` when available (allocation-free once
+    /// warm); every arena returns to `pool` by the end of
+    /// [`GradExchange::reduce_terms`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas`, `terms`, or `depth` is zero, or if an
+    /// inline run could deadlock (`replicas == 1` requires
+    /// `depth >= terms`, since a lone worker has nobody to recycle its
+    /// arenas while it runs).
+    pub fn new(replicas: usize, terms: usize, depth: usize, pool: &mut Vec<Vec<f32>>) -> Self {
+        assert!(replicas >= 1 && terms >= 1 && depth >= 1);
+        assert!(
+            replicas > 1 || depth >= terms,
+            "an inline single-replica run must buffer every term"
+        );
+        let (deposit_tx, deposit_rx) = channel::unbounded();
+        let mut return_txs = Vec::with_capacity(replicas);
+        let mut lanes = Vec::with_capacity(replicas);
+        for replica in 0..replicas {
+            let (tx, rx) = channel::unbounded();
+            return_txs.push(tx);
+            let free: Vec<Vec<f32>> = (0..depth).map(|_| pool.pop().unwrap_or_default()).collect();
+            lanes.push(Some(GradLane { replica, next_term: 0, free, tx: deposit_tx.clone(), rx }));
+        }
+        drop(deposit_tx);
+        GradExchange { replicas, terms, depth, deposit_rx, return_txs, lanes: Mutex::new(lanes) }
+    }
+
+    /// Detaches the worker-side handle for `replica`. Each lane can be
+    /// taken exactly once.
+    pub fn take_lane(&self, replica: usize) -> GradLane {
+        self.lanes.lock().unwrap()[replica].take().expect("lane already taken")
+    }
+
+    /// Runs the reducer: receives `terms × replicas` partials, reduces
+    /// each term with the canonical tree over replicas in index order
+    /// the moment it is complete, and returns the per-term totals in
+    /// term order (buffers drawn from and eventually owed back to
+    /// `pool`).
+    ///
+    /// Must run concurrently with the workers (it blocks until every
+    /// partial arrives) — or after an inline single worker has already
+    /// submitted everything. All arenas a lane no longer needs land in
+    /// `pool`.
+    pub fn reduce_terms(&self, pool: &mut Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        let mut pending: Vec<Vec<Option<Vec<f32>>>> =
+            (0..self.terms).map(|_| (0..self.replicas).map(|_| None).collect()).collect();
+        let mut results = Vec::with_capacity(self.terms);
+        for term in 0..self.terms {
+            while pending[term].iter().any(Option::is_none) {
+                let d = self.deposit_rx.recv().expect("gradient worker hung up");
+                assert!(d.term < self.terms, "unexpected gradient term {}", d.term);
+                let slot = &mut pending[d.term][d.replica];
+                assert!(slot.is_none(), "duplicate gradient deposit");
+                *slot = Some(d.buf);
+            }
+            let row_bufs: Vec<Vec<f32>> =
+                pending[term].iter_mut().map(|s| s.take().expect("checked above")).collect();
+            let rows: Vec<&[f32]> = row_bufs.iter().map(|b| b.as_slice()).collect();
+            let mut out = pool.pop().unwrap_or_default();
+            reduce::tree_reduce_rows_into(&rows, &mut out);
+            results.push(out);
+            for (replica, buf) in row_bufs.into_iter().enumerate() {
+                // A lane acquires one arena per term, starting with
+                // `depth` in hand: it only ever waits for the arenas of
+                // terms `0..terms - depth`. Everything else retires to
+                // the pool (a dropped lane is also fine — ignore it).
+                if term + self.depth < self.terms {
+                    // A send can only fail if the lane dropped early
+                    // (worker panic unwinding); losing the arena with it
+                    // is harmless.
+                    let _ = self.return_txs[replica].send(buf);
+                } else {
+                    pool.push(buf);
+                }
+            }
+        }
+        results
+    }
+}
+
+/// Worker-side handle of a [`GradExchange`]: a bounded cycle of
+/// gradient arenas plus the deposit channel.
+#[derive(Debug)]
+pub struct GradLane {
+    replica: usize,
+    next_term: usize,
+    free: Vec<Vec<f32>>,
+    tx: Sender<GradDeposit>,
+    rx: Receiver<Vec<f32>>,
+}
+
+impl GradLane {
+    /// An arena of exactly `len` scalars to write the next term's
+    /// gradients into. Blocks (back-pressure) while all of this lane's
+    /// arenas are still being reduced.
+    pub fn acquire(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = match self.free.pop() {
+            Some(buf) => buf,
+            None => self.rx.recv().expect("gradient reducer hung up"),
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Hands the next term's filled arena to the reducer.
+    pub fn submit(&mut self, buf: Vec<f32>) {
+        let deposit = GradDeposit { term: self.next_term, replica: self.replica, buf };
+        self.next_term += 1;
+        self.tx.send(deposit).expect("gradient reducer hung up");
     }
 }
 
@@ -197,6 +358,115 @@ mod tests {
         let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
         let got = reduce_samples(&refs);
         assert_eq!(got, reduce::tree_reduce_rows(&refs));
+    }
+
+    /// Overlapped exchange must reproduce `tree_reduce_rows` bitwise
+    /// per term, for ragged replica counts, regardless of the order
+    /// deposits arrive in.
+    #[test]
+    fn grad_exchange_matches_tree_reduce_bitwise() {
+        for replicas in 1..=5usize {
+            let terms = 3;
+            let lens = [7usize, 7, 11];
+            let partials: Vec<Vec<Vec<f32>>> = (0..replicas)
+                .map(|r| {
+                    (0..terms)
+                        .map(|t| {
+                            (0..lens[t])
+                                .map(|i| ((r * 31 + t * 7 + i) as f32).sin())
+                                .collect::<Vec<f32>>()
+                        })
+                        .collect()
+                })
+                .collect();
+            let expected: Vec<Vec<f32>> = (0..terms)
+                .map(|t| {
+                    let rows: Vec<&[f32]> = partials.iter().map(|p| p[t].as_slice()).collect();
+                    reduce::tree_reduce_rows(&rows)
+                })
+                .collect();
+
+            let depth = if replicas == 1 { terms } else { 2 };
+            // Warm pool: with `replicas * depth + terms` arenas banked,
+            // no pop can ever miss, so conservation is exact below.
+            let mut pool: Vec<Vec<f32>> =
+                (0..replicas * depth + terms).map(|_| Vec::new()).collect();
+            let seeded = pool.len();
+            let exchange = GradExchange::new(replicas, terms, depth, &mut pool);
+            let results = if replicas == 1 {
+                // Inline: submit everything, then reduce.
+                let mut lane = exchange.take_lane(0);
+                for t in 0..terms {
+                    let mut buf = lane.acquire(lens[t]);
+                    buf.copy_from_slice(&partials[0][t]);
+                    lane.submit(buf);
+                }
+                drop(lane);
+                exchange.reduce_terms(&mut pool)
+            } else {
+                std::thread::scope(|scope| {
+                    for (r, mine) in partials.iter().enumerate() {
+                        let mut lane = exchange.take_lane(r);
+                        scope.spawn(move || {
+                            for (t, term) in mine.iter().enumerate() {
+                                let mut buf = lane.acquire(lens[t]);
+                                buf.copy_from_slice(term);
+                                lane.submit(buf);
+                            }
+                        });
+                    }
+                    exchange.reduce_terms(&mut pool)
+                })
+            };
+            for (t, (got, want)) in results.iter().zip(&expected).enumerate() {
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "replicas={replicas} term={t}"
+                );
+            }
+            // Once the reduced outputs are handed back (as the trainer
+            // does after its optimizer steps), every arena is accounted
+            // for: the pool returns to exactly its seeded size.
+            pool.extend(results);
+            assert_eq!(pool.len(), seeded);
+        }
+    }
+
+    /// The double-buffer back-pressure recycles arenas instead of
+    /// growing: a warm pool is drained and refilled with no net change.
+    #[test]
+    fn grad_exchange_reuses_a_warm_pool() {
+        let replicas = 3;
+        let terms = 3;
+        let mut pool: Vec<Vec<f32>> = (0..replicas * 2 + terms).map(|_| vec![0.0; 16]).collect();
+        let seeded = pool.len();
+        for _round in 0..2 {
+            let exchange = GradExchange::new(replicas, terms, 2, &mut pool);
+            std::thread::scope(|scope| {
+                for r in 0..replicas {
+                    let mut lane = exchange.take_lane(r);
+                    scope.spawn(move || {
+                        for t in 0..terms {
+                            let mut buf = lane.acquire(16);
+                            buf.fill((r + t) as f32);
+                            lane.submit(buf);
+                        }
+                    });
+                }
+                let results = exchange.reduce_terms(&mut pool);
+                pool.extend(results);
+            });
+            assert_eq!(pool.len(), seeded, "pool must not grow or shrink across steps");
+            assert!(pool.iter().all(|b| b.capacity() >= 16), "arenas must be reused, not replaced");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inline single-replica run")]
+    fn grad_exchange_rejects_underbuffered_inline_run() {
+        let mut pool = Vec::new();
+        GradExchange::new(1, 3, 2, &mut pool);
     }
 
     /// Sharded rendezvous must reproduce the local reduction bitwise,

@@ -39,6 +39,11 @@ pub struct Segment {
 pub struct ParamStore {
     values: Vec<f32>,
     grads: Vec<f32>,
+    /// Second (back) gradient arena, sized lazily on first use: lets a
+    /// consumer stage one reduced gradient term while another already
+    /// occupies the front arena, then fold the two without a transient
+    /// allocation ([`ParamStore::accumulate_back_grads`]).
+    grads_back: Vec<f32>,
     segments: Vec<Segment>,
     index: HashMap<String, usize>,
 }
@@ -115,6 +120,32 @@ impl ParamStore {
     /// Zeroes the gradient arena.
     pub fn zero_grads(&mut self) {
         self.grads.fill(0.0);
+    }
+
+    /// The back gradient arena, mutably, sized to match the front one.
+    ///
+    /// The trainer writes one loss term's reduced gradients here while
+    /// the front arena holds another term's, then folds them with
+    /// [`ParamStore::accumulate_back_grads`] — the double-buffer
+    /// lifecycle described in `docs/PARALLEL_TRAINING.md`.
+    pub fn back_grads_mut(&mut self) -> &mut [f32] {
+        self.grads_back.resize(self.grads.len(), 0.0);
+        &mut self.grads_back
+    }
+
+    /// Folds the back arena into the front one elementwise
+    /// (`front[i] += back[i]`, front as the left/accumulator operand —
+    /// the same orientation every tree node in [`crate::reduce`] uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the back arena was never written
+    /// ([`ParamStore::back_grads_mut`]).
+    pub fn accumulate_back_grads(&mut self) {
+        assert_eq!(self.grads_back.len(), self.grads.len(), "back gradient arena not staged");
+        for (front, back) in self.grads.iter_mut().zip(&self.grads_back) {
+            *front += *back;
+        }
     }
 
     /// True when `other` has the same segment names, order, and sizes.
@@ -230,6 +261,27 @@ mod tests {
         let (_, bad) = s.grad_norm_scan();
         let (layer, _) = bad.expect("NaN must be reported");
         assert_eq!(layer, "net/conv2d0");
+    }
+
+    #[test]
+    fn back_grad_arena_stages_and_accumulates() {
+        let mut s = sample_store();
+        // Front arena: [0.5, -0.5, 1.0, 0.0, 0.0]
+        s.back_grads_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        s.accumulate_back_grads();
+        assert_eq!(s.grads(), &[1.5, 1.5, 4.0, 4.0, 5.0]);
+        // The back arena is reusable staging; the front arena owns the
+        // accumulated result.
+        s.back_grads_mut().fill(0.25);
+        s.accumulate_back_grads();
+        assert_eq!(s.grads(), &[1.75, 1.75, 4.25, 4.25, 5.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "back gradient arena not staged")]
+    fn accumulate_requires_staged_back_arena() {
+        let mut s = sample_store();
+        s.accumulate_back_grads();
     }
 
     #[test]

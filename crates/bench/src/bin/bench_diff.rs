@@ -1,0 +1,82 @@
+//! Noise-aware perf-regression gate: compares two telemetry JSONL
+//! streams or two `BENCH_*.json` reports and exits nonzero when the
+//! candidate regresses against the baseline.
+//!
+//! ```text
+//! cargo run -p cachebox-bench --bin bench_diff -- \
+//!     <baseline> <candidate> [--rel-tol X] [--min-samples N] [--strict] [--verbose]
+//! ```
+//!
+//! The comparison rules (per-metric direction, relative tolerance,
+//! minimum-sample gating, strict mode for machine-dependent timings)
+//! live in [`cachebox_telemetry::diff`]; this binary is the CLI and the
+//! CI exit-code contract: `0` no regressions, `1` at least one
+//! regression, `2` usage or parse errors.
+
+use cachebox_telemetry::diff::{diff_files, DiffConfig};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff <baseline> <candidate> [--rel-tol X] [--min-samples N] \
+         [--strict] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut config = DiffConfig::default();
+    let mut verbose = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--rel-tol" => {
+                config.rel_tolerance = value("--rel-tol").parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --rel-tol: {e}");
+                    usage();
+                })
+            }
+            "--min-samples" => {
+                config.min_samples = value("--min-samples").parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --min-samples: {e}");
+                    usage();
+                })
+            }
+            "--strict" => config.strict = true,
+            "--verbose" => verbose = true,
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else { usage() };
+
+    let report = match diff_files(baseline, candidate, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "bench_diff: {} vs {} (rel tol {:.0}%, min samples {}{})",
+        baseline.display(),
+        candidate.display(),
+        100.0 * config.rel_tolerance,
+        config.min_samples,
+        if config.strict { ", strict" } else { "" }
+    );
+    print!("{}", report.render(verbose));
+    if report.regressions() > 0 {
+        std::process::exit(1);
+    }
+}

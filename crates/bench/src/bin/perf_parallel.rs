@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p cachebox-bench --bin perf_parallel -- \
-//!     [--threads N[,N...]] [--smoke] [--out PATH] [--telemetry PATH]
+//!     [--threads N[,N...]] [--smoke] [--out PATH] [--telemetry PATH] \
+//!     [--heartbeat-every N]
 //! ```
 
 use cachebox::{Pipeline, Scale};
@@ -60,6 +61,9 @@ struct Report {
     replica_image: usize,
     replica_serial_seconds: f64,
     replica: Vec<ReplicaRecord>,
+    /// Conv batch-parallel chunk derived from the `nn.gemm.shard_ns`
+    /// histogram by the autotuner; `null` when telemetry was off.
+    conv_chunk: Option<usize>,
     note: String,
 }
 
@@ -102,11 +106,18 @@ fn parse_args() -> (Vec<usize>, bool, std::path::PathBuf, Option<std::path::Path
             "--smoke" => smoke = true,
             "--out" => out = std::path::PathBuf::from(value("--out")),
             "--telemetry" => telemetry = Some(std::path::PathBuf::from(value("--telemetry"))),
+            "--heartbeat-every" => {
+                let every = value("--heartbeat-every").parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --heartbeat-every: {e}");
+                    std::process::exit(2);
+                });
+                cachebox_telemetry::set_heartbeat_every(every);
+            }
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 eprintln!(
                     "usage: perf_parallel [--threads N[,N...]] [--smoke] [--out PATH] \
-                     [--telemetry PATH]"
+                     [--telemetry PATH] [--heartbeat-every N]"
                 );
                 std::process::exit(2);
             }
@@ -215,6 +226,14 @@ fn main() {
     let steps = if smoke { 1 } else { 3 };
     let total_threads =
         thread_counts.iter().copied().max().unwrap_or(host_cpus).min(host_cpus.max(1)).max(1);
+    // The GEMM legs above filled the `nn.gemm.shard_ns` histogram, so
+    // the replica train steps below run with the telemetry-derived conv
+    // chunk — the value is also recorded in the report and manifest.
+    let conv_chunk =
+        cachebox_nn::tuning::autotune_conv_chunk(Parallelism::new(total_threads), batch_n);
+    if let Some(chunk) = conv_chunk {
+        progress!("conv chunk autotuned to {chunk} (from nn.gemm.shard_ns)");
+    }
     let batch = synth_batch(batch_n, hw);
     let mut ref_stats: Option<cachebox_gan::TrainStats> = None;
     let mut replica_records = Vec::new();
@@ -270,6 +289,7 @@ fn main() {
         replica_image: hw,
         replica_serial_seconds,
         replica: replica_records,
+        conv_chunk,
         note: "best-of-N wall-clock; speedups are machine-dependent (see host_cpus)".to_string(),
     };
     match cachebox::report::save_json(&out, &report) {

@@ -1,0 +1,264 @@
+//! Renders a recorded telemetry JSONL stream for humans: the span-tree
+//! profile with hot spots, a histogram percentile table, a heartbeat
+//! digest — and optionally a per-step heartbeat CSV and collapsed-stack
+//! lines for `flamegraph.pl`.
+//!
+//! ```text
+//! cargo run -p cachebox-bench --bin telemetry_report -- \
+//!     <stream.jsonl> [--top N] [--csv PATH] [--collapsed PATH]
+//! ```
+//!
+//! The stream is read with the lenient JSON reader from
+//! [`cachebox_telemetry::diff`] rather than the strict serde schema, so
+//! a report can always be rendered from streams written by older
+//! CacheBox versions. Exits `2` on usage or I/O errors, `1` when the
+//! stream's span tree is structurally inconsistent (self times must sum
+//! to the root total), `0` otherwise.
+
+use cachebox_telemetry::diff::{parse_json, Json};
+use cachebox_telemetry::{Profile, Record};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+struct Args {
+    stream: PathBuf,
+    top: usize,
+    csv: Option<PathBuf>,
+    collapsed: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: telemetry_report <stream.jsonl> [--top N] [--csv PATH] [--collapsed PATH]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut stream = None;
+    let mut top = 15usize;
+    let mut csv = None;
+    let mut collapsed = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--top" => {
+                top = value("--top").parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad --top: {e}");
+                    usage();
+                })
+            }
+            "--csv" => csv = Some(PathBuf::from(value("--csv"))),
+            "--collapsed" => collapsed = Some(PathBuf::from(value("--collapsed"))),
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+            path => {
+                if stream.replace(PathBuf::from(path)).is_some() {
+                    eprintln!("error: more than one stream path");
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(stream) = stream else { usage() };
+    Args { stream, top, csv, collapsed }
+}
+
+/// Reconstructs the typed span records the profiler consumes from the
+/// leniently parsed lines; every other record kind stays as [`Json`].
+fn span_records(lines: &[Json]) -> Vec<Record> {
+    let mut spans = Vec::new();
+    for line in lines {
+        if line.get("type").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let num = |key: &str| line.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        spans.push(Record::Span {
+            path: line.get("path").and_then(Json::as_str).unwrap_or("").to_string(),
+            thread: num("thread") as u32,
+            count: num("count") as u64,
+            total_ns: num("total_ns") as u64,
+            min_ns: num("min_ns") as u64,
+            max_ns: num("max_ns") as u64,
+        });
+    }
+    spans
+}
+
+fn histogram_table(lines: &[Json]) -> String {
+    let mut out = String::new();
+    let mut rows = 0;
+    for line in lines {
+        if line.get("type").and_then(Json::as_str) != Some("histogram") {
+            continue;
+        }
+        if rows == 0 {
+            let _ = writeln!(
+                out,
+                "histograms\n{:<28} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                "name", "count", "min", "p50", "p90", "p99", "max"
+            );
+        }
+        rows += 1;
+        let num = |key: &str| line.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>11.1}",
+            line.get("name").and_then(Json::as_str).unwrap_or("?"),
+            num("count") as u64,
+            num("min"),
+            num("p50"),
+            num("p90"),
+            num("p99"),
+            num("max"),
+        );
+    }
+    out
+}
+
+/// Heartbeat field order for the digest and the `--csv` time series.
+const HEARTBEAT_COLUMNS: [&str; 12] = [
+    "step",
+    "epoch",
+    "t_ms",
+    "d_loss",
+    "g_adv",
+    "g_l1",
+    "grad_norm_d",
+    "grad_norm_g",
+    "samples_per_sec",
+    "shard_p50_ns",
+    "shard_p90_ns",
+    "rss_peak_kb",
+];
+
+fn heartbeats(lines: &[Json]) -> Vec<&Json> {
+    lines
+        .iter()
+        .filter(|line| line.get("type").and_then(Json::as_str) == Some("heartbeat"))
+        .collect()
+}
+
+fn heartbeat_digest(beats: &[&Json]) -> String {
+    let mut out = String::new();
+    if beats.is_empty() {
+        return out;
+    }
+    let num = |line: &Json, key: &str| line.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mean = |key: &str| beats.iter().map(|b| num(b, key)).sum::<f64>() / beats.len() as f64;
+    let last = beats[beats.len() - 1];
+    let _ = writeln!(
+        out,
+        "heartbeats: {} records, mean {:.1} samples/s, final d_loss {:.4} g_adv {:.4} \
+         g_l1 {:.4}, peak rss {} kB",
+        beats.len(),
+        mean("samples_per_sec"),
+        num(last, "d_loss"),
+        num(last, "g_adv"),
+        num(last, "g_l1"),
+        num(last, "rss_peak_kb") as u64,
+    );
+    out
+}
+
+fn heartbeat_csv(beats: &[&Json]) -> String {
+    let mut out = HEARTBEAT_COLUMNS.join(",");
+    out.push('\n');
+    for beat in beats {
+        let row: Vec<String> = HEARTBEAT_COLUMNS
+            .iter()
+            .map(|key| match beat.get(key) {
+                Some(Json::Num(v)) => {
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        format!("{}", *v as i64)
+                    } else {
+                        format!("{v}")
+                    }
+                }
+                _ => String::new(),
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.stream).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", args.stream.display());
+        std::process::exit(2);
+    });
+    let mut lines = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_json(line) {
+            Ok(v) => lines.push(v),
+            Err(e) => {
+                eprintln!("error: {}:{}: {e}", args.stream.display(), lineno + 1);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let run = lines
+        .iter()
+        .find(|l| l.get("type").and_then(Json::as_str) == Some("meta"))
+        .and_then(|l| l.get("run").and_then(Json::as_str))
+        .unwrap_or("?");
+    println!(
+        "telemetry report — run {:?}, {} records, {}",
+        run,
+        lines.len(),
+        args.stream.display()
+    );
+
+    let profile = match Profile::from_records(&span_records(&lines)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: inconsistent span stream: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", profile.render(args.top));
+    // The profiler attributes every nanosecond of a parent either to a
+    // child or to the parent's self time, so the two sums must agree;
+    // a mismatch means the stream's span totals are corrupt.
+    if profile.self_sum_ns() != profile.root_total_ns() {
+        eprintln!(
+            "error: self-time sum {} != root total {} — corrupt span totals",
+            profile.self_sum_ns(),
+            profile.root_total_ns()
+        );
+        std::process::exit(1);
+    }
+    println!("self-time check: Σ self == root total ({} ns)", profile.root_total_ns());
+
+    print!("{}", histogram_table(&lines));
+    let beats = heartbeats(&lines);
+    print!("{}", heartbeat_digest(&beats));
+
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, heartbeat_csv(&beats)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("wrote {} ({} heartbeat rows)", path.display(), beats.len());
+    }
+    if let Some(path) = &args.collapsed {
+        if let Err(e) = std::fs::write(path, profile.collapsed()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("wrote {} (collapsed stacks)", path.display());
+    }
+}

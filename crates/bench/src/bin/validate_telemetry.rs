@@ -26,7 +26,7 @@ fn main() {
         Ok(report) => {
             println!(
                 "ok: {} records ({} spans, {} counters, {} gauges, {} histograms, \
-                 {} events, {} progress)",
+                 {} events, {} progress, {} heartbeats)",
                 report.records,
                 report.spans,
                 report.counters,
@@ -34,6 +34,7 @@ fn main() {
                 report.histograms,
                 report.events,
                 report.progress,
+                report.heartbeats,
             );
         }
         Err(e) => {

@@ -12,6 +12,9 @@
 //! --out PATH                      also write the result as JSON
 //! --telemetry PATH                stream a telemetry JSONL + run manifest
 //!                                 (default: CACHEBOX_TELEMETRY if set)
+//! --heartbeat-every N             emit a training heartbeat record every
+//!                                 N optimizer steps (default:
+//!                                 CACHEBOX_HEARTBEAT_EVERY, else off)
 //! ```
 //!
 //! | Binary | Artifact |
@@ -42,6 +45,9 @@ pub struct HarnessArgs {
     pub out: Option<PathBuf>,
     /// Optional telemetry JSONL sink (`--telemetry`).
     pub telemetry: Option<PathBuf>,
+    /// Heartbeat cadence in optimizer steps (`--heartbeat-every`);
+    /// `None` defers to `CACHEBOX_HEARTBEAT_EVERY` / disabled.
+    pub heartbeat_every: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -55,7 +61,7 @@ impl HarnessArgs {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--scale tiny|small|experiment] [--seed N] [--epochs N] \
-                 [--threads N] [--out PATH] [--telemetry PATH]"
+                 [--threads N] [--out PATH] [--telemetry PATH] [--heartbeat-every N]"
             );
             std::process::exit(2);
         });
@@ -78,6 +84,7 @@ impl HarnessArgs {
         let mut threads: Option<usize> = None;
         let mut out = None;
         let mut telemetry = None;
+        let mut heartbeat_every = None;
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
             let mut value =
@@ -101,6 +108,13 @@ impl HarnessArgs {
                 }
                 "--out" => out = Some(PathBuf::from(value("--out")?)),
                 "--telemetry" => telemetry = Some(PathBuf::from(value("--telemetry")?)),
+                "--heartbeat-every" => {
+                    heartbeat_every = Some(
+                        value("--heartbeat-every")?
+                            .parse()
+                            .map_err(|e| format!("bad --heartbeat-every: {e}"))?,
+                    )
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -120,7 +134,7 @@ impl HarnessArgs {
             Some(n) => Parallelism::new(n),
             None => Parallelism::from_env(),
         };
-        Ok(HarnessArgs { scale, parallelism, out, telemetry })
+        Ok(HarnessArgs { scale, parallelism, out, telemetry, heartbeat_every })
     }
 
     /// Starts a telemetry run named `run` when `--telemetry` (or, absent
@@ -129,6 +143,9 @@ impl HarnessArgs {
     /// returned guard for the lifetime of the instrumented work; it
     /// flushes the run (and renders the summary table) on drop.
     pub fn init_telemetry(&self, run: &str) -> Option<cachebox_telemetry::TelemetryGuard> {
+        if let Some(every) = self.heartbeat_every {
+            cachebox_telemetry::set_heartbeat_every(every);
+        }
         let path = self.telemetry.clone().or_else(|| {
             std::env::var_os(cachebox_telemetry::TELEMETRY_ENV_VAR)
                 .filter(|v| !v.is_empty())
@@ -140,7 +157,8 @@ impl HarnessArgs {
             .with_seed(self.scale.seed)
             .with_kv("image_size", self.scale.image_size() as u64)
             .with_kv("epochs", self.scale.epochs as u64)
-            .with_kv("trace_accesses", self.scale.trace_accesses as u64);
+            .with_kv("trace_accesses", self.scale.trace_accesses as u64)
+            .with_kv("heartbeat_every", cachebox_telemetry::heartbeat_every() as u64);
         Some(cachebox_telemetry::init(config))
     }
 
@@ -228,6 +246,15 @@ mod tests {
         assert!(parse(&["--scale", "huge"]).is_err());
         assert!(parse(&["--seed"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn parses_heartbeat_cadence() {
+        let args = parse(&["--heartbeat-every", "25"]).unwrap();
+        assert_eq!(args.heartbeat_every, Some(25));
+        assert_eq!(parse(&[]).unwrap().heartbeat_every, None);
+        assert!(parse(&["--heartbeat-every"]).is_err());
+        assert!(parse(&["--heartbeat-every", "x"]).is_err());
     }
 
     #[test]

@@ -313,6 +313,12 @@ pub struct GanTrainer {
     /// batch of an epoch can be smaller than R — see
     /// [`GanTrainer::fit_with_progress`]).
     warned_mismatch: bool,
+    /// Heartbeat cadence override for this trainer; `None` inherits the
+    /// process-wide [`cachebox_telemetry::heartbeat_every`] setting.
+    heartbeat_every: Option<usize>,
+    /// Replica-shard wall times observed since the last heartbeat —
+    /// each heartbeat reports this window's p50/p90 and resets it.
+    hb_shard: telemetry::Histogram,
 }
 
 impl GanTrainer {
@@ -333,6 +339,8 @@ impl GanTrainer {
             d_replicas: Vec::new(),
             grad_pool: Vec::new(),
             warned_mismatch: false,
+            heartbeat_every: None,
+            hb_shard: telemetry::Histogram::new(),
         }
     }
 
@@ -376,6 +384,16 @@ impl GanTrainer {
     /// The requested replica count.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// Overrides the heartbeat cadence for this trainer: emit one
+    /// [`cachebox_telemetry::Heartbeat`] every `steps` optimizer steps
+    /// (`0` disables). Without this override the trainer follows the
+    /// process-wide [`cachebox_telemetry::heartbeat_every`] setting
+    /// (`--heartbeat-every` / `CACHEBOX_HEARTBEAT_EVERY`).
+    pub fn with_heartbeat_every(mut self, steps: usize) -> Self {
+        self.heartbeat_every = Some(steps);
+        self
     }
 
     /// The training configuration.
@@ -446,6 +464,7 @@ impl GanTrainer {
             return;
         }
         self.warned_mismatch = true;
+        telemetry::counter("gan.replica.mismatch", 1);
         telemetry::event(
             "gan.replica.mismatch",
             &[
@@ -478,6 +497,7 @@ impl GanTrainer {
         r_eff: usize,
     ) -> Result<TrainStats, TrainError> {
         let _step = telemetry::span("gan.train_step");
+        let step_start = Instant::now();
         // Make the trainer's thread budget visible to the conv layers'
         // batch-sharding and GEMM dispatch even when a step is driven
         // directly (tests, benches) rather than through `fit`.
@@ -597,6 +617,7 @@ impl GanTrainer {
 
         for o in &outs {
             telemetry::observe("gan.replica.shard_ns", o.shard_ns as f64);
+            self.hb_shard.record(o.shard_ns as f64);
         }
 
         // ---- The exchange produced one fixed-order tree total per loss
@@ -669,7 +690,47 @@ impl GanTrainer {
         // Retire the term totals back into the arena pool.
         self.grad_pool.extend([d_grads, d_fake_sum, g_grads]);
 
-        Ok(TrainStats { d_loss: 0.5 * (l_real + l_fake), g_adv: l_gan, g_l1: l_l1 })
+        let stats = TrainStats { d_loss: 0.5 * (l_real + l_fake), g_adv: l_gan, g_l1: l_l1 };
+        self.maybe_heartbeat(epoch, n, step_start, &stats, f64::from(d_norm), f64::from(g_norm));
+        Ok(stats)
+    }
+
+    /// Emits a [`telemetry::Heartbeat`] when this step lands on the
+    /// configured cadence (trainer override, else the process-wide
+    /// setting). Reports the shard-time window accumulated since the
+    /// previous heartbeat and resets it.
+    fn maybe_heartbeat(
+        &mut self,
+        epoch: usize,
+        batch_n: usize,
+        step_start: Instant,
+        stats: &TrainStats,
+        grad_norm_d: f64,
+        grad_norm_g: f64,
+    ) {
+        let every = self.heartbeat_every.unwrap_or_else(telemetry::heartbeat_every);
+        if every == 0 || !telemetry::enabled() {
+            return;
+        }
+        // `step_counter` was already advanced past this step.
+        if self.step_counter % every as u64 != 0 {
+            return;
+        }
+        let secs = step_start.elapsed().as_secs_f64().max(1e-9);
+        telemetry::heartbeat(&telemetry::Heartbeat {
+            step: telemetry::next_heartbeat_step(),
+            epoch: epoch as u64,
+            d_loss: f64::from(stats.d_loss),
+            g_adv: f64::from(stats.g_adv),
+            g_l1: f64::from(stats.g_l1),
+            grad_norm_d,
+            grad_norm_g,
+            samples_per_sec: batch_n as f64 / secs,
+            shard_p50_ns: self.hb_shard.percentile(50.0),
+            shard_p90_ns: self.hb_shard.percentile(90.0),
+            rss_peak_kb: telemetry::peak_rss_kb(),
+        });
+        self.hb_shard = telemetry::Histogram::new();
     }
 
     /// Trains over a dataset of heatmap samples for `config.epochs`
@@ -764,6 +825,16 @@ impl GanTrainer {
             }
             progress(epoch, avg);
             history.push(avg);
+            // After one full epoch the GEMM shard-time histogram has
+            // enough samples to judge shard balance: derive the conv
+            // batch-parallel chunk for the remaining epochs (no-op when
+            // telemetry is off — the compiled-in default stays).
+            if epoch == 0 {
+                let _ = cachebox_nn::tuning::autotune_conv_chunk(
+                    self.parallelism,
+                    self.config.batch_size,
+                );
+            }
         }
         history
     }

@@ -1,0 +1,87 @@
+//! Telemetry contract of a training run: the one-shot
+//! `gan.replica.mismatch` counter, the replica gauges, sink-less
+//! heartbeat cadence handling, and the autotuned conv chunk.
+//!
+//! The telemetry collector is process-global (one run per process), so
+//! this binary holds exactly one test. No JSONL sink is configured:
+//! everything is asserted on the in-process [`Summary`] the guard
+//! returns, which also exercises the "summary only" path end to end.
+
+use cachebox_gan::condition::CacheParams;
+use cachebox_gan::data::{Normalizer, Sample};
+use cachebox_gan::{GanTrainer, PatchGan, PatchGanConfig, TrainConfig, UNetConfig, UNetGenerator};
+use cachebox_heatmap::Heatmap;
+use cachebox_nn::Parallelism;
+use cachebox_telemetry as telemetry;
+
+fn toy_samples(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|k| {
+            let mut access = Heatmap::zeros(8, 8);
+            let mut miss = Heatmap::zeros(8, 8);
+            for col in 0..8 {
+                for row in 0..8 {
+                    let v = ((k + col + row) % 4) as f32;
+                    access.set(row, col, v);
+                    if row < 4 {
+                        miss.set(row, col, v);
+                    }
+                }
+            }
+            Sample { access, miss, params: CacheParams::new(64, 12) }
+        })
+        .collect()
+}
+
+fn tiny_trainer(epochs: usize, seed: u64) -> GanTrainer {
+    let gc = UNetConfig::for_image_size(8, 4).with_dropout(false);
+    let g = UNetGenerator::new(gc, seed);
+    let d = PatchGan::new(PatchGanConfig::new(2, 4, 1), seed + 1);
+    GanTrainer::new(g, d, TrainConfig { epochs, batch_size: 2, lr: 2e-3, ..Default::default() })
+}
+
+#[test]
+fn mismatch_fires_once_and_counters_reach_the_summary() {
+    // Force GEMM sharding even on this toy model / a 1-CPU host, so the
+    // `nn.gemm.shard_ns` histogram the autotuner reads actually fills.
+    // Must precede the first kernel dispatch (the crossover is cached).
+    std::env::set_var("CACHEBOX_GEMM_THRESHOLD", "1");
+    let guard =
+        telemetry::init(telemetry::TelemetryConfig::new("gan-telemetry-test").with_summary(false));
+    assert!(telemetry::enabled());
+
+    // 5 samples in batches of 2 with R=2: each epoch ends with a tail
+    // chunk of 1 sample, so the mismatch condition occurs twice — the
+    // warning must still fire exactly once.
+    let mut trainer = tiny_trainer(2, 11)
+        .with_replicas(2)
+        .with_parallelism(Parallelism::new(2))
+        .with_heartbeat_every(1);
+    let history = trainer.fit(&toy_samples(5), &Normalizer::new(4));
+    assert_eq!(history.len(), 2);
+
+    let summary = guard.finish();
+    assert_eq!(
+        summary.counters.get("gan.replica.mismatch"),
+        Some(&1),
+        "one-shot mismatch counter: {:?}",
+        summary.counters
+    );
+    // The gauge pair records the most recent step's effective count
+    // (the epoch-final tail chunk of 1 sample).
+    assert_eq!(summary.gauges["gan.replica.requested"], 2.0);
+    assert_eq!(summary.gauges["gan.replica.count"], 1.0);
+    // Every step recorded its shard wall times.
+    assert!(summary.histograms["gan.replica.shard_ns"].count > 0);
+    assert!(summary.span("gan.train_step").is_some());
+    // Heartbeats were requested every step but no JSONL sink exists, so
+    // nothing was written — emission must degrade, not crash.
+    assert_eq!(summary.records, 0, "no sink, no records");
+    // One epoch of shard timings is enough for the autotuner to install
+    // a conv chunk (recorded in the manifest when a sink exists).
+    assert!(
+        cachebox_nn::tuning::conv_chunk().is_some(),
+        "autotune after epoch 0 should install a chunk"
+    );
+    cachebox_nn::tuning::clear_conv_chunk();
+}

@@ -101,7 +101,7 @@ impl Layer for Conv2d {
         );
         let mut out = Tensor::zeros([input.n(), self.out_c, oh, ow]);
         let par = Parallelism::current();
-        let shards = par.chunk_count(input.n());
+        let (shards, chunk) = crate::tuning::batch_plan(par, input.n());
         let inner = parallel::inner_budget(par, shards, self.out_c * rows * positions);
         let sample_len = self.out_c * positions;
         let forward_sample = |sample: &[f32], cols: &mut [f32], out_sample: &mut [f32]| {
@@ -133,7 +133,6 @@ impl Layer for Conv2d {
             // as in the serial loop, so results are bitwise identical for
             // any thread count.
             telemetry::counter("nn.conv.batch_shards", shards as u64);
-            let chunk = input.n().div_ceil(shards);
             crossbeam::thread::scope(|scope| {
                 for (ci, out_chunk) in out.data_mut().chunks_mut(chunk * sample_len).enumerate() {
                     let forward_sample = &forward_sample;
@@ -173,7 +172,7 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(input.shape());
         let par = Parallelism::current();
         let n_samples = input.n();
-        let shards = par.chunk_count(n_samples);
+        let (shards, chunk) = crate::tuning::batch_plan(par, n_samples);
         let inner = parallel::inner_budget(par, shards, self.out_c * rows * positions);
         let wlen = self.weight.grad.len();
         let in_len = self.in_c * input.h() * input.w();
@@ -215,7 +214,6 @@ impl Layer for Conv2d {
             }
         } else {
             telemetry::counter("nn.conv.batch_shards", shards as u64);
-            let chunk = n_samples.div_ceil(shards);
             crossbeam::thread::scope(|scope| {
                 for (ci, ((gin_chunk, w_chunk), b_chunk)) in grad_in
                     .data_mut()

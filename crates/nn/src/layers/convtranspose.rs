@@ -107,7 +107,7 @@ impl Layer for ConvTranspose2d {
         let rows = grid.patch_rows(); // out_c * k * k
         let mut out = Tensor::zeros([input.n(), self.out_c, grid.height, grid.width]);
         let par = Parallelism::current();
-        let shards = par.chunk_count(input.n());
+        let (shards, chunk) = crate::tuning::batch_plan(par, input.n());
         let inner = parallel::inner_budget(par, shards, rows * self.in_c * positions);
         let plane = grid.height * grid.width;
         let sample_len = self.out_c * plane;
@@ -140,7 +140,6 @@ impl Layer for ConvTranspose2d {
             // Batch sharding: per-sample outputs are independent, so any
             // thread count yields bitwise-identical results.
             telemetry::counter("nn.conv.batch_shards", shards as u64);
-            let chunk = input.n().div_ceil(shards);
             crossbeam::thread::scope(|scope| {
                 for (ci, out_chunk) in out.data_mut().chunks_mut(chunk * sample_len).enumerate() {
                     let forward_sample = &forward_sample;
@@ -177,7 +176,7 @@ impl Layer for ConvTranspose2d {
         let plane = grid.height * grid.width;
         let par = Parallelism::current();
         let n_samples = input.n();
-        let shards = par.chunk_count(n_samples);
+        let (shards, chunk) = crate::tuning::batch_plan(par, n_samples);
         let inner = parallel::inner_budget(par, shards, self.in_c * rows * positions);
         let wlen = self.weight.grad.len();
         let in_len = self.in_c * input.h() * input.w();
@@ -223,7 +222,6 @@ impl Layer for ConvTranspose2d {
             }
         } else {
             telemetry::counter("nn.conv.batch_shards", shards as u64);
-            let chunk = n_samples.div_ceil(shards);
             crossbeam::thread::scope(|scope| {
                 for (ci, ((gin_chunk, w_chunk), b_chunk)) in grad_in
                     .data_mut()

@@ -77,6 +77,7 @@ pub mod scratch;
 pub mod serialize;
 pub mod store;
 pub mod tensor;
+pub mod tuning;
 
 pub use parallel::Parallelism;
 pub use param::Param;

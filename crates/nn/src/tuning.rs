@@ -1,0 +1,181 @@
+//! Telemetry-driven tuning of the batch-parallel chunk size.
+//!
+//! The conv layers shard a batch into `threads` contiguous chunks by
+//! default. That is optimal when every shard costs the same, but the
+//! `nn.gemm.shard_ns` histogram often shows a skewed tail (uneven
+//! sample cost, cache pressure, a loaded host). When enough shard
+//! timings have been observed, [`autotune_conv_chunk`] derives a finer
+//! chunk from the measured p90/p50 imbalance and installs it globally;
+//! [`batch_plan`] then drives every conv forward/backward. With
+//! telemetry disabled (or before enough samples exist) the plan falls
+//! back to the untuned `Parallelism::chunk_count` split, so the
+//! constant default is always available.
+//!
+//! Numerics are unaffected by any choice made here: batch sharding is
+//! per-sample independent and gradient reduction uses the canonical
+//! tree (`crate::reduce`), so outputs are bitwise identical for every
+//! chunk size.
+
+use crate::parallel::Parallelism;
+use cachebox_telemetry::{self as telemetry, Histogram, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Histogram the tuner reads: per-worker GEMM shard wall time.
+pub const SHARD_HISTOGRAM: &str = "nn.gemm.shard_ns";
+
+/// Minimum shard observations before the tuner trusts the histogram.
+pub const MIN_SHARD_SAMPLES: u64 = 16;
+
+/// Globally installed chunk size (`0` = untuned fallback).
+static CONV_CHUNK: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a batch-parallel chunk size for all subsequent conv
+/// layers. `0` clears back to the untuned default.
+pub fn install_conv_chunk(chunk: usize) {
+    CONV_CHUNK.store(chunk, Ordering::Relaxed);
+}
+
+/// Removes any installed chunk size (fallback planning resumes).
+pub fn clear_conv_chunk() {
+    CONV_CHUNK.store(0, Ordering::Relaxed);
+}
+
+/// The currently installed chunk size, if any.
+pub fn conv_chunk() -> Option<usize> {
+    match CONV_CHUNK.load(Ordering::Relaxed) {
+        0 => None,
+        c => Some(c),
+    }
+}
+
+/// `(shards, chunk)` for batch-sharding `n` samples under `par`:
+/// the tuned chunk when one is installed and parallelism is on,
+/// otherwise the even `chunk_count` split. `shards == 1` means the
+/// caller should run its serial loop.
+pub fn batch_plan(par: Parallelism, n: usize) -> (usize, usize) {
+    let fallback = |n: usize| {
+        let shards = par.chunk_count(n);
+        (shards, n.div_ceil(shards.max(1)).max(1))
+    };
+    if par.threads() <= 1 || n <= 1 {
+        return fallback(n);
+    }
+    match conv_chunk() {
+        Some(c) => {
+            let chunk = c.clamp(1, n);
+            (n.div_ceil(chunk), chunk)
+        }
+        None => fallback(n),
+    }
+}
+
+/// Derives a chunk size from observed shard-time imbalance, or `None`
+/// when serial, the batch is empty, or the histogram is too thin
+/// (fewer than [`MIN_SHARD_SAMPLES`] observations).
+///
+/// Balanced shards (`p90/p50 ≤ 1.25`) keep the even split; a moderate
+/// tail halves the chunk so stragglers share their overflow; a heavy
+/// tail (`> 2×`) quarters it.
+pub fn derive_conv_chunk(threads: usize, batch: usize, hist: &Histogram) -> Option<usize> {
+    if threads <= 1 || batch == 0 || hist.count() < MIN_SHARD_SAMPLES {
+        return None;
+    }
+    let p50 = hist.percentile(50.0);
+    let p90 = hist.percentile(90.0);
+    if p50 <= 0.0 {
+        return None;
+    }
+    let imbalance = p90 / p50;
+    let base = batch.div_ceil(threads).max(1);
+    let chunk = if imbalance <= 1.25 {
+        base
+    } else if imbalance <= 2.0 {
+        (base / 2).max(1)
+    } else {
+        (base / 4).max(1)
+    };
+    Some(chunk)
+}
+
+/// Reads the live `nn.gemm.shard_ns` histogram, derives a chunk size
+/// for `batch`-sample steps under `par`, installs it, and records the
+/// decision in the run manifest (`conv_chunk`, `conv_chunk_source`)
+/// plus a `nn.conv.chunk_tuned` gauge and event. No-op (returning
+/// `None`, fallback retained) when telemetry is disabled or the
+/// histogram is missing/too thin.
+pub fn autotune_conv_chunk(par: Parallelism, batch: usize) -> Option<usize> {
+    let hist = telemetry::histogram_snapshot(SHARD_HISTOGRAM)?;
+    let chunk = derive_conv_chunk(par.threads(), batch, &hist)?;
+    install_conv_chunk(chunk);
+    telemetry::gauge("nn.conv.chunk_tuned", chunk as f64);
+    telemetry::event(
+        "nn.conv.chunk_tuned",
+        &[
+            ("chunk", Value::U64(chunk as u64)),
+            ("shard_p50_ns", Value::F64(hist.percentile(50.0))),
+            ("shard_p90_ns", Value::F64(hist.percentile(90.0))),
+            ("samples", Value::U64(hist.count())),
+        ],
+    );
+    telemetry::manifest_kv("conv_chunk", chunk as u64);
+    telemetry::manifest_kv("conv_chunk_source", SHARD_HISTOGRAM);
+    Some(chunk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_with(values: &[(f64, usize)]) -> Histogram {
+        let mut h = Histogram::new();
+        for &(v, n) in values {
+            for _ in 0..n {
+                h.record(v);
+            }
+        }
+        h
+    }
+
+    // One test covers every CONV_CHUNK interaction: the install is a
+    // process-wide global, so interleaved #[test] fns would race.
+    #[test]
+    fn batch_plan_fallback_tuned_and_cleared() {
+        clear_conv_chunk();
+        let par = Parallelism::new(4);
+        assert_eq!(batch_plan(par, 8), (4, 2), "untuned: even split");
+        assert_eq!(batch_plan(par, 1), (1, 1), "single sample stays serial");
+
+        install_conv_chunk(1);
+        assert_eq!(batch_plan(par, 8), (8, 1), "tuned chunk drives shards");
+        assert_eq!(batch_plan(Parallelism::serial(), 8).0, 1, "serial ignores tuning");
+
+        install_conv_chunk(3);
+        assert_eq!(batch_plan(par, 8), (3, 3));
+        install_conv_chunk(64);
+        assert_eq!(batch_plan(par, 8), (1, 8), "oversized chunk clamps to the batch");
+
+        clear_conv_chunk();
+        assert_eq!(batch_plan(par, 8), (4, 2), "clear restores the fallback");
+        assert_eq!(conv_chunk(), None);
+    }
+
+    #[test]
+    fn derivation_gates_and_imbalance_tiers() {
+        let thin = hist_with(&[(1000.0, 8)]);
+        assert_eq!(derive_conv_chunk(4, 8, &thin), None, "below MIN_SHARD_SAMPLES");
+
+        let balanced = hist_with(&[(1000.0, 20)]);
+        assert_eq!(derive_conv_chunk(1, 8, &balanced), None, "serial never tunes");
+        assert_eq!(derive_conv_chunk(4, 0, &balanced), None, "empty batch");
+        assert_eq!(derive_conv_chunk(4, 8, &balanced), Some(2), "balanced: even split");
+
+        // p90 lands in the 1800ns bucket, p50 near 1000ns → ~1.8×.
+        let moderate = hist_with(&[(1000.0, 13), (1800.0, 7)]);
+        assert_eq!(derive_conv_chunk(4, 32, &moderate), Some(4), "moderate tail halves");
+
+        // Heavy straggler tail → quartered chunk, floored at 1.
+        let skewed = hist_with(&[(1000.0, 13), (16_000.0, 7)]);
+        assert_eq!(derive_conv_chunk(4, 32, &skewed), Some(2), "heavy tail quarters");
+        assert_eq!(derive_conv_chunk(4, 4, &skewed), Some(1), "chunk never drops below 1");
+    }
+}

@@ -326,6 +326,46 @@ pub(crate) fn write_progress(msg: &str) {
     }
 }
 
+pub(crate) fn write_heartbeat(hb: &crate::heartbeat::Heartbeat) {
+    let mut slot = lock_global();
+    if let Some(global) = slot.as_mut() {
+        let record = Record::Heartbeat {
+            t_ms: global.t_ms(),
+            step: hb.step,
+            epoch: hb.epoch,
+            d_loss: hb.d_loss,
+            g_adv: hb.g_adv,
+            g_l1: hb.g_l1,
+            grad_norm_d: hb.grad_norm_d,
+            grad_norm_g: hb.grad_norm_g,
+            samples_per_sec: hb.samples_per_sec,
+            shard_p50_ns: hb.shard_p50_ns,
+            shard_p90_ns: hb.shard_p90_ns,
+            rss_peak_kb: hb.rss_peak_kb,
+        };
+        global.write_record(&record);
+    }
+}
+
+/// Inserts a runtime-derived entry into the manifest's config map
+/// (e.g. a telemetry-tuned chunk size), visible when `finish` writes
+/// the manifest. Last write wins.
+pub(crate) fn manifest_kv(key: &str, value: Value) {
+    let mut slot = lock_global();
+    if let Some(global) = slot.as_mut() {
+        global.config.insert(key.to_string(), value);
+    }
+}
+
+/// Clones the named histogram as merged so far: the calling thread is
+/// flushed first, so its own observations (and those of any already
+/// exited workers, e.g. scoped GEMM shards) are included.
+pub(crate) fn histogram_snapshot(name: &str) -> Option<Histogram> {
+    flush_current_thread();
+    let slot = lock_global();
+    slot.as_ref()?.hists.get(name).cloned()
+}
+
 /// Disables recording, drains the finishing thread, writes the
 /// aggregate records and the run manifest, optionally renders the
 /// summary table to stderr, and returns the in-process [`Summary`].

@@ -1,0 +1,939 @@
+//! Noise-aware comparison of two performance records — either two
+//! telemetry JSONL streams or two `BENCH_*.json` reports — behind the
+//! `bench_diff` binary and its CI gate.
+//!
+//! Perf numbers are noisy and host-dependent, so a naive "any number
+//! got worse" gate would flap. The rules here:
+//!
+//! * **Per-metric direction.** Durations regress upward, throughput
+//!   regresses downward, correctness flags (`losses_identical`,
+//!   `samples_identical`, `max_abs_diff`) regress on *any* change for
+//!   the worse and are always gated.
+//! * **Relative tolerance.** A directional metric only regresses when
+//!   its relative delta exceeds [`DiffConfig::rel_tolerance`].
+//! * **Minimum samples.** A stream metric backed by fewer than
+//!   [`DiffConfig::min_samples`] observations (span scopes, histogram
+//!   entries, heartbeats) is reported but never gates — one noisy
+//!   scope proves nothing.
+//! * **Strict mode.** Absolute wall-clock seconds and speedups in a
+//!   bench report are machine-dependent, so comparing a fresh run
+//!   against a *checked-in* baseline from different hardware gates
+//!   only the hardware-independent invariants by default;
+//!   [`DiffConfig::strict`] additionally gates the timings (same-host
+//!   comparisons).
+//!
+//! The module parses with its own minimal JSON reader rather than a
+//! serde deserializer: a diff tool must accept *any* record the repo
+//! ever wrote (older schema versions included) without a strict schema
+//! rejecting the file.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64` (every numeric field
+/// a CacheBox record writes is exactly representable or tolerance-
+/// compared anyway).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key of an object (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("json parse error at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect the low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00) & 0x3FF)
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let slice = self.bytes.get(self.pos..end).ok_or_else(|| self.err("short \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        s.parse::<f64>().map(Json::Num).map_err(|_| self.err(&format!("bad number {s:?}")))
+    }
+}
+
+/// Parses one JSON document (object, array, or scalar).
+///
+/// # Errors
+///
+/// Returns a byte-offset description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Metric extraction.
+// ---------------------------------------------------------------------
+
+/// How a metric's delta maps to a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// A duration: regresses when it grows past the tolerance.
+    LowerIsBetter,
+    /// A throughput/speedup: regresses when it shrinks past it.
+    HigherIsBetter,
+    /// A correctness invariant: any mismatch is a regression.
+    Exact,
+    /// Context only (thread counts, shapes, gauges): never gates.
+    Info,
+}
+
+/// One comparable scalar extracted from a record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Hierarchical name, `{group}:{key}` / `leg[id=N]:{key}`.
+    pub name: String,
+    /// The value (booleans map to 0/1).
+    pub value: f64,
+    /// Observations behind the value (`0` = not sample-gated).
+    pub samples: u64,
+    /// Delta semantics.
+    pub direction: Direction,
+    /// Machine-dependent absolute timing: gated only under
+    /// [`DiffConfig::strict`].
+    pub strict_only: bool,
+}
+
+impl Metric {
+    fn new(name: String, value: f64, direction: Direction) -> Metric {
+        Metric { name, value, samples: 0, direction, strict_only: false }
+    }
+}
+
+fn duration_like(name: &str) -> bool {
+    name.ends_with("_ns") || name.ends_with("_ms") || name.ends_with("seconds")
+}
+
+/// Extracts metrics from the parsed lines of a telemetry stream:
+/// spans merge across threads into `span:{path}:total_ns`, histograms
+/// contribute `hist:{name}:{p50,p90}`, counters compare exactly, and
+/// heartbeats aggregate into a mean-throughput metric.
+pub fn stream_metrics(lines: &[Json]) -> Vec<Metric> {
+    let mut spans: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    let mut metrics = Vec::new();
+    let mut hb_count = 0u64;
+    let mut hb_sps_sum = 0.0f64;
+    for line in lines {
+        let Some(kind) = line.get("type").and_then(Json::as_str) else { continue };
+        let name = line.get("name").and_then(Json::as_str).unwrap_or("");
+        let num = |key: &str| line.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        match kind {
+            "span" => {
+                let path = line.get("path").and_then(Json::as_str).unwrap_or("");
+                let entry = spans.entry(path.to_string()).or_insert((0, 0.0));
+                entry.0 += num("count") as u64;
+                entry.1 += num("total_ns");
+            }
+            "counter" => {
+                metrics.push(Metric::new(
+                    format!("counter:{name}"),
+                    num("value"),
+                    Direction::Exact,
+                ));
+            }
+            "gauge" => {
+                metrics.push(Metric::new(format!("gauge:{name}"), num("value"), Direction::Info));
+            }
+            "histogram" => {
+                let direction =
+                    if duration_like(name) { Direction::LowerIsBetter } else { Direction::Info };
+                for p in ["p50", "p90"] {
+                    let mut m = Metric::new(format!("hist:{name}:{p}"), num(p), direction);
+                    m.samples = num("count") as u64;
+                    metrics.push(m);
+                }
+            }
+            "heartbeat" => {
+                hb_count += 1;
+                hb_sps_sum += num("samples_per_sec");
+            }
+            _ => {}
+        }
+    }
+    for (path, (count, total_ns)) in spans {
+        let mut m =
+            Metric::new(format!("span:{path}:total_ns"), total_ns, Direction::LowerIsBetter);
+        m.samples = count;
+        metrics.push(m);
+    }
+    if hb_count > 0 {
+        let mut m = Metric::new(
+            "heartbeat:samples_per_sec:mean".to_string(),
+            hb_sps_sum / hb_count as f64,
+            Direction::HigherIsBetter,
+        );
+        m.samples = hb_count;
+        metrics.push(m);
+    }
+    metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    metrics
+}
+
+/// Extracts metrics from one `BENCH_*.json` report document. Array
+/// legs are keyed by their identity field (`threads` / `replicas`)
+/// when present, by index otherwise, so legs match across reports that
+/// measured different sweeps.
+pub fn bench_metrics(doc: &Json) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+    walk_bench("", doc, &mut metrics);
+    metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    metrics
+}
+
+fn walk_bench(prefix: &str, value: &Json, out: &mut Vec<Metric>) {
+    match value {
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                let name = if prefix.is_empty() { key.clone() } else { format!("{prefix}.{key}") };
+                match v {
+                    Json::Num(x) => out.push(classify_bench(&name, key, *x)),
+                    Json::Bool(b) => out.push(Metric::new(
+                        name.clone(),
+                        if *b { 1.0 } else { 0.0 },
+                        Direction::Exact,
+                    )),
+                    Json::Arr(items) => {
+                        for (i, item) in items.iter().enumerate() {
+                            let id = ["threads", "replicas"].iter().find_map(|k| {
+                                item.get(k).and_then(Json::as_f64).map(|v| format!("{k}={v}"))
+                            });
+                            let leg = id.unwrap_or_else(|| i.to_string());
+                            walk_bench(&format!("{name}[{leg}]"), item, out);
+                        }
+                    }
+                    Json::Obj(_) => walk_bench(&name, v, out),
+                    // Strings (notes) and nulls carry no comparable value.
+                    Json::Str(_) | Json::Null => {}
+                }
+            }
+        }
+        Json::Num(x) => out.push(classify_bench(prefix, prefix, *x)),
+        _ => {}
+    }
+}
+
+fn classify_bench(name: &str, key: &str, value: f64) -> Metric {
+    let key = key.rsplit('.').next().unwrap_or(key);
+    let mut m = if key == "max_abs_diff" {
+        // Near-zero divergence bound: compared absolutely (see
+        // `compare`), always gated.
+        Metric::new(name.to_string(), value, Direction::Exact)
+    } else if duration_like(key) || key == "seconds_per_step" {
+        let mut m = Metric::new(name.to_string(), value, Direction::LowerIsBetter);
+        m.strict_only = true;
+        m
+    } else if key == "speedup" || key.ends_with("per_sec") {
+        let mut m = Metric::new(name.to_string(), value, Direction::HigherIsBetter);
+        m.strict_only = true;
+        m
+    } else {
+        // Shapes, thread counts, leg identities: context.
+        Metric::new(name.to_string(), value, Direction::Info)
+    };
+    if key == "max_abs_diff" {
+        m.direction = Direction::LowerIsBetter;
+    }
+    m
+}
+
+// ---------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Relative delta above which a directional metric regresses.
+    pub rel_tolerance: f64,
+    /// Minimum observations behind a sample-gated stream metric.
+    pub min_samples: u64,
+    /// Also gate machine-dependent absolute timings (same-host runs).
+    pub strict: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        // 35 % guards against real regressions (the degradations worth
+        // catching are 2×+) while riding out scheduler noise on loaded
+        // CI hosts; 8 samples filters one-scope outliers.
+        DiffConfig { rel_tolerance: 0.35, min_samples: 8, strict: false }
+    }
+}
+
+/// Absolute floor for `max_abs_diff`-style near-zero comparisons.
+const ABS_EPSILON: f64 = 1e-5;
+
+/// Verdict for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or informational).
+    Pass,
+    /// Got better past the tolerance.
+    Improvement,
+    /// Got worse past the tolerance — gates the exit code.
+    Regression,
+    /// Not gated (too few samples, strict-only without `--strict`,
+    /// or the candidate did not measure this leg).
+    Skipped,
+}
+
+/// One row of a [`DiffReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (`None` when new in the candidate).
+    pub base: Option<f64>,
+    /// Candidate value (`None` when missing).
+    pub new: Option<f64>,
+    /// Relative delta `(new - base) / base` when both sides exist.
+    pub rel_delta: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Human-readable reason.
+    pub note: String,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Per-metric rows, sorted by name.
+    pub rows: Vec<MetricDiff>,
+}
+
+impl DiffReport {
+    /// Number of regressed metrics (the gate).
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Regression).count()
+    }
+
+    /// Renders the comparison as an aligned table plus a summary line.
+    /// `verbose` includes passing/informational rows; otherwise only
+    /// regressions, improvements, and skips are listed.
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>12} {:>12} {:>8}  verdict\n",
+            "metric", "base", "new", "Δ%"
+        ));
+        let mut shown = 0usize;
+        for row in &self.rows {
+            if !verbose && row.verdict == Verdict::Pass {
+                continue;
+            }
+            shown += 1;
+            let delta = row
+                .rel_delta
+                .map(|d| format!("{:+.1}%", d * 100.0))
+                .unwrap_or_else(|| "-".to_string());
+            let verdict = match row.verdict {
+                Verdict::Pass => "ok",
+                Verdict::Improvement => "IMPROVED",
+                Verdict::Regression => "REGRESSED",
+                Verdict::Skipped => "skipped",
+            };
+            out.push_str(&format!(
+                "{:<52} {:>12} {:>12} {:>8}  {verdict} ({})\n",
+                crate::summary::clip(&row.name, 52),
+                fmt_opt(row.base),
+                fmt_opt(row.new),
+                delta,
+                row.note,
+            ));
+        }
+        if shown == 0 {
+            out.push_str("(no rows outside tolerance)\n");
+        }
+        let improved = self.rows.iter().filter(|r| r.verdict == Verdict::Improvement).count();
+        let skipped = self.rows.iter().filter(|r| r.verdict == Verdict::Skipped).count();
+        out.push_str(&format!(
+            "{} metrics: {} regressed, {improved} improved, {skipped} skipped\n",
+            self.rows.len(),
+            self.regressions(),
+        ));
+        out
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        None => "-".to_string(),
+        Some(v) => crate::summary::fmt_f64(v),
+    }
+}
+
+/// Compares candidate metrics against a baseline under `config`.
+pub fn diff_metrics(base: &[Metric], new: &[Metric], config: &DiffConfig) -> DiffReport {
+    let new_by_name: BTreeMap<&str, &Metric> = new.iter().map(|m| (m.name.as_str(), m)).collect();
+    let base_names: std::collections::BTreeSet<&str> =
+        base.iter().map(|m| m.name.as_str()).collect();
+    let mut rows: Vec<MetricDiff> = base
+        .iter()
+        .map(|b| match new_by_name.get(b.name.as_str()) {
+            Some(n) => compare(b, n, config),
+            None => missing(b, &new_by_name, config),
+        })
+        .collect();
+    for n in new {
+        if !base_names.contains(n.name.as_str()) {
+            rows.push(MetricDiff {
+                name: n.name.clone(),
+                base: None,
+                new: Some(n.value),
+                rel_delta: None,
+                verdict: Verdict::Pass,
+                note: "new metric (no baseline)".to_string(),
+            });
+        }
+    }
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    DiffReport { rows }
+}
+
+/// A baseline metric the candidate lacks entirely. If the candidate
+/// has no metric from the same group (`prefix:` up to the last `:` or
+/// the `leg[...]`), the whole leg was not measured — skipped unless
+/// strict; a missing key inside a measured leg always regresses.
+fn missing(b: &Metric, new: &BTreeMap<&str, &Metric>, config: &DiffConfig) -> MetricDiff {
+    let prefix = b.name.rsplit_once([':', '.']).map(|(p, _)| p).unwrap_or("");
+    let leg_measured =
+        !prefix.is_empty() && new.keys().any(|k| k.starts_with(prefix) && *k != b.name);
+    let (verdict, note) = if leg_measured {
+        (Verdict::Regression, "metric missing from candidate".to_string())
+    } else if config.strict {
+        (Verdict::Regression, "leg not measured by candidate (strict)".to_string())
+    } else {
+        (Verdict::Skipped, "leg not measured by candidate".to_string())
+    };
+    MetricDiff {
+        name: b.name.clone(),
+        base: Some(b.value),
+        new: None,
+        rel_delta: None,
+        verdict,
+        note,
+    }
+}
+
+fn compare(b: &Metric, n: &Metric, config: &DiffConfig) -> MetricDiff {
+    let rel_delta =
+        if b.value.abs() > f64::EPSILON { Some((n.value - b.value) / b.value) } else { None };
+    let mut row = MetricDiff {
+        name: b.name.clone(),
+        base: Some(b.value),
+        new: Some(n.value),
+        rel_delta,
+        verdict: Verdict::Pass,
+        note: String::new(),
+    };
+    if b.direction == Direction::Info {
+        row.note = "informational".to_string();
+        return row;
+    }
+    if b.strict_only && !config.strict {
+        row.verdict = Verdict::Skipped;
+        row.note = "machine-dependent timing (gate with --strict)".to_string();
+        return row;
+    }
+    let samples = b.samples.min(n.samples.max(b.samples.min(n.samples)));
+    if b.samples > 0 && n.samples > 0 && samples < config.min_samples {
+        row.verdict = Verdict::Skipped;
+        row.note = format!("only {samples} samples (< {})", config.min_samples);
+        return row;
+    }
+    match b.direction {
+        Direction::Exact => {
+            if (n.value - b.value).abs() > f64::EPSILON {
+                row.verdict = Verdict::Regression;
+                row.note = "exact-match invariant changed".to_string();
+            } else {
+                row.note = "exact match".to_string();
+            }
+        }
+        Direction::LowerIsBetter | Direction::HigherIsBetter => {
+            // Near-zero baselines (max_abs_diff ≡ 0) compare absolutely.
+            let delta = match rel_delta {
+                Some(d) => d,
+                None => {
+                    if n.value.abs() <= ABS_EPSILON {
+                        0.0
+                    } else if b.direction == Direction::LowerIsBetter {
+                        f64::INFINITY
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                }
+            };
+            let worse = if b.direction == Direction::LowerIsBetter { delta } else { -delta };
+            if worse > config.rel_tolerance {
+                row.verdict = Verdict::Regression;
+                row.note = format!("beyond {:.0}% tolerance", config.rel_tolerance * 100.0);
+            } else if worse < -config.rel_tolerance {
+                row.verdict = Verdict::Improvement;
+                row.note = "beyond tolerance, in the good direction".to_string();
+            } else {
+                row.note = "within tolerance".to_string();
+            }
+        }
+        Direction::Info => unreachable!("handled above"),
+    }
+    row
+}
+
+// ---------------------------------------------------------------------
+// File-level entry points.
+// ---------------------------------------------------------------------
+
+/// What a diffed file turned out to contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// A telemetry JSONL stream.
+    Stream,
+    /// A single-document bench report.
+    BenchReport,
+}
+
+/// Loads a file as either a telemetry stream (first line is a typed
+/// JSONL record) or a bench-report document, and extracts its metrics.
+///
+/// # Errors
+///
+/// Returns read and parse errors naming the path.
+pub fn load_metrics(path: &Path) -> Result<(SourceKind, Vec<Metric>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let first_line = text.lines().next().unwrap_or("");
+    let is_stream = parse_json(first_line).map(|v| v.get("type").is_some()).unwrap_or(false);
+    if is_stream {
+        let mut lines = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let v =
+                parse_json(line).map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+            lines.push(v);
+        }
+        Ok((SourceKind::Stream, stream_metrics(&lines)))
+    } else {
+        let doc = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok((SourceKind::BenchReport, bench_metrics(&doc)))
+    }
+}
+
+/// Compares two files (streams or bench reports).
+///
+/// # Errors
+///
+/// Returns read/parse errors, or a mismatch when one file is a stream
+/// and the other a report.
+pub fn diff_files(base: &Path, new: &Path, config: &DiffConfig) -> Result<DiffReport, String> {
+    let (kind_a, metrics_a) = load_metrics(base)?;
+    let (kind_b, metrics_b) = load_metrics(new)?;
+    if kind_a != kind_b {
+        return Err(format!(
+            "cannot compare a {kind_a:?} against a {kind_b:?} ({} vs {})",
+            base.display(),
+            new.display()
+        ));
+    }
+    Ok(diff_metrics(&metrics_a, &metrics_b, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_nesting_escapes_and_numbers() {
+        let doc = parse_json(
+            r#"{"a": [1, -2.5, 3e2], "s": "q\"\\\nA", "b": true, "n": null, "o": {"k": 0}}"#,
+        )
+        .unwrap();
+        let arr = match doc.get("a").unwrap() {
+            Json::Arr(items) => items,
+            other => panic!("not an array: {other:?}"),
+        };
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_f64(), Some(300.0));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("q\"\\\nA"));
+        assert_eq!(doc.get("b"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("n"), Some(&Json::Null));
+        assert_eq!(doc.get("o").unwrap().get("k").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"open", "1 2", ""] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    fn span_line(path: &str, thread: u32, count: u64, total_ns: u64) -> Json {
+        parse_json(&format!(
+            r#"{{"type":"span","path":"{path}","thread":{thread},"count":{count},"total_ns":{total_ns},"min_ns":1,"max_ns":{total_ns}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_metrics_merge_spans_across_threads() {
+        let lines = vec![
+            span_line("a", 0, 10, 1000),
+            span_line("a", 1, 10, 3000),
+            parse_json(r#"{"type":"counter","name":"c","value":7}"#).unwrap(),
+            parse_json(r#"{"type":"heartbeat","t_ms":1,"step":1,"samples_per_sec":10.0}"#).unwrap(),
+            parse_json(r#"{"type":"heartbeat","t_ms":2,"step":2,"samples_per_sec":30.0}"#).unwrap(),
+        ];
+        let metrics = stream_metrics(&lines);
+        let span = metrics.iter().find(|m| m.name == "span:a:total_ns").unwrap();
+        assert_eq!(span.value, 4000.0);
+        assert_eq!(span.samples, 20);
+        assert_eq!(span.direction, Direction::LowerIsBetter);
+        let counter = metrics.iter().find(|m| m.name == "counter:c").unwrap();
+        assert_eq!(counter.direction, Direction::Exact);
+        let hb = metrics.iter().find(|m| m.name == "heartbeat:samples_per_sec:mean").unwrap();
+        assert_eq!(hb.value, 20.0);
+        assert_eq!(hb.direction, Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn self_diff_is_clean_and_degradation_regresses() {
+        let lines = vec![span_line("gan.train_step", 0, 50, 1_000_000)];
+        let base = stream_metrics(&lines);
+        let report = diff_metrics(&base, &base, &DiffConfig::default());
+        assert_eq!(report.regressions(), 0, "{}", report.render(true));
+
+        let degraded = stream_metrics(&[span_line("gan.train_step", 0, 50, 9_000_000)]);
+        let report = diff_metrics(&base, &degraded, &DiffConfig::default());
+        assert_eq!(report.regressions(), 1, "{}", report.render(true));
+        assert!(report.render(false).contains("REGRESSED"));
+    }
+
+    #[test]
+    fn few_samples_never_gate() {
+        let base = stream_metrics(&[span_line("x", 0, 2, 100)]);
+        let bad = stream_metrics(&[span_line("x", 0, 2, 100_000)]);
+        let report = diff_metrics(&base, &bad, &DiffConfig::default());
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.rows[0].verdict, Verdict::Skipped);
+    }
+
+    #[test]
+    fn exact_counters_gate_on_any_change() {
+        let base = vec![Metric::new("counter:flops".into(), 100.0, Direction::Exact)];
+        let same = diff_metrics(&base, &base, &DiffConfig::default());
+        assert_eq!(same.regressions(), 0);
+        let changed = vec![Metric::new("counter:flops".into(), 101.0, Direction::Exact)];
+        assert_eq!(diff_metrics(&base, &changed, &DiffConfig::default()).regressions(), 1);
+    }
+
+    fn bench_doc() -> Json {
+        parse_json(
+            r#"{
+                "host_cpus": 16,
+                "gemm_serial_seconds": 0.01,
+                "gemm": [
+                    {"threads": 2, "seconds": 0.006, "speedup": 1.7, "max_abs_diff": 0.0},
+                    {"threads": 4, "seconds": 0.004, "speedup": 2.5, "max_abs_diff": 0.0}
+                ],
+                "replica": [
+                    {"replicas": 1, "seconds_per_step": 0.5, "speedup": 1.0, "losses_identical": true}
+                ],
+                "note": "text is ignored"
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bench_booleans_gate_but_timings_need_strict() {
+        let base = bench_metrics(&bench_doc());
+        // Identical: clean under both modes.
+        assert_eq!(diff_metrics(&base, &base, &DiffConfig::default()).regressions(), 0);
+
+        // 3× slower + a broken invariant.
+        let degraded = parse_json(
+            r#"{
+                "host_cpus": 16,
+                "gemm_serial_seconds": 0.01,
+                "gemm": [
+                    {"threads": 2, "seconds": 0.018, "speedup": 0.55, "max_abs_diff": 0.5},
+                    {"threads": 4, "seconds": 0.012, "speedup": 0.83, "max_abs_diff": 0.0}
+                ],
+                "replica": [
+                    {"replicas": 1, "seconds_per_step": 1.5, "speedup": 1.0, "losses_identical": false}
+                ],
+                "note": "degraded"
+            }"#,
+        )
+        .unwrap();
+        let new = bench_metrics(&degraded);
+        let relaxed = diff_metrics(&base, &new, &DiffConfig::default());
+        // Non-strict: the flipped boolean and the max_abs_diff blowup
+        // gate; absolute timings are skipped.
+        assert_eq!(relaxed.regressions(), 2, "{}", relaxed.render(true));
+        let strict =
+            diff_metrics(&base, &new, &DiffConfig { strict: true, ..DiffConfig::default() });
+        assert!(strict.regressions() > 2, "{}", strict.render(true));
+    }
+
+    #[test]
+    fn missing_leg_skips_but_missing_key_regresses() {
+        let base = bench_metrics(&bench_doc());
+        // Candidate measured threads=2 only, and dropped max_abs_diff
+        // from that leg.
+        let partial = parse_json(
+            r#"{
+                "host_cpus": 16,
+                "gemm_serial_seconds": 0.01,
+                "gemm": [
+                    {"threads": 2, "seconds": 0.006, "speedup": 1.7}
+                ],
+                "replica": [
+                    {"replicas": 1, "seconds_per_step": 0.5, "speedup": 1.0, "losses_identical": true}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let report = diff_metrics(&base, &bench_metrics(&partial), &DiffConfig::default());
+        let by_name: BTreeMap<&str, &MetricDiff> =
+            report.rows.iter().map(|r| (r.name.as_str(), r)).collect();
+        assert_eq!(
+            by_name["gemm[threads=2].max_abs_diff"].verdict,
+            Verdict::Regression,
+            "missing key inside a measured leg"
+        );
+        assert_eq!(
+            by_name["gemm[threads=4].max_abs_diff"].verdict,
+            Verdict::Skipped,
+            "whole leg not measured"
+        );
+    }
+
+    #[test]
+    fn stream_vs_report_is_an_error() {
+        let dir = std::env::temp_dir().join("cachebox-telemetry-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stream = dir.join("s.jsonl");
+        std::fs::write(
+            &stream,
+            "{\"type\":\"meta\",\"run\":\"x\",\"schema\":2,\"version\":\"0\"}\n",
+        )
+        .unwrap();
+        let report = dir.join("r.json");
+        std::fs::write(&report, "{\"host_cpus\": 1}\n").unwrap();
+        assert_eq!(load_metrics(&stream).unwrap().0, SourceKind::Stream);
+        assert_eq!(load_metrics(&report).unwrap().0, SourceKind::BenchReport);
+        assert!(diff_files(&stream, &report, &DiffConfig::default()).is_err());
+        let clean = diff_files(&stream, &stream, &DiffConfig::default()).unwrap();
+        assert_eq!(clean.regressions(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Live training heartbeats.
+//!
+//! A heartbeat is one mid-run snapshot of the optimizer loop — step,
+//! epoch, per-term losses, gradient norms, throughput, replica
+//! shard-balance percentiles, and peak RSS — written to the JSONL sink
+//! as a [`crate::Record::Heartbeat`] every `--heartbeat-every` steps.
+//! Unlike the aggregate records flushed at `finish`, heartbeats make a
+//! long run observable while it is still in flight (`tail -f` the
+//! stream, or feed it to `telemetry_report --csv` afterwards for a
+//! per-step time series).
+//!
+//! The cadence is a process-wide setting: harness binaries install it
+//! from `--heartbeat-every N` (or the `CACHEBOX_HEARTBEAT_EVERY`
+//! environment variable); `0` disables heartbeats. The GAN trainer
+//! consults [`crate::heartbeat_every`] each step.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable naming the heartbeat cadence in optimizer
+/// steps; equivalent to the harness `--heartbeat-every` flag.
+pub const HEARTBEAT_ENV_VAR: &str = "CACHEBOX_HEARTBEAT_EVERY";
+
+/// Sentinel meaning "no explicit override installed".
+const UNSET: usize = usize::MAX;
+
+/// Process-wide cadence override installed by [`set_heartbeat_every`].
+static HEARTBEAT_EVERY: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Installs the heartbeat cadence: emit one heartbeat every `steps`
+/// optimizer steps (`0` disables). Overrides the environment variable.
+pub fn set_heartbeat_every(steps: usize) {
+    HEARTBEAT_EVERY.store(steps, Ordering::Relaxed);
+}
+
+/// The active heartbeat cadence in optimizer steps: the value installed
+/// by [`set_heartbeat_every`], else `CACHEBOX_HEARTBEAT_EVERY`, else
+/// `0` (disabled). The environment is read once per process.
+pub fn heartbeat_every() -> usize {
+    let v = HEARTBEAT_EVERY.load(Ordering::Relaxed);
+    if v != UNSET {
+        return v;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var(HEARTBEAT_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Process-wide heartbeat sequence. One stream can carry heartbeats
+/// from several training runs (the perf harness trains many small
+/// models); a shared sequence keeps `step` strictly increasing across
+/// all of them, which the validator enforces.
+static HEARTBEAT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Next value of the process-wide heartbeat step sequence (1, 2, …).
+pub fn next_heartbeat_step() -> u64 {
+    HEARTBEAT_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// One heartbeat payload; the collector stamps `t_ms` on write. All
+/// fields mirror [`crate::Record::Heartbeat`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Heartbeat {
+    /// Process-wide heartbeat sequence number (strictly increasing
+    /// across every emitter — see [`next_heartbeat_step`]).
+    pub step: u64,
+    /// Epoch the step belongs to.
+    pub epoch: u64,
+    /// Discriminator BCE loss at this step.
+    pub d_loss: f64,
+    /// Generator adversarial BCE loss.
+    pub g_adv: f64,
+    /// Generator L1 reconstruction loss (unweighted).
+    pub g_l1: f64,
+    /// Discriminator global gradient L2 norm.
+    pub grad_norm_d: f64,
+    /// Generator global gradient L2 norm.
+    pub grad_norm_g: f64,
+    /// Training throughput over the step (batch samples / wall s).
+    pub samples_per_sec: f64,
+    /// Median replica-shard wall time since the last heartbeat (ns).
+    pub shard_p50_ns: f64,
+    /// 90th-percentile replica-shard wall time in the window (ns).
+    pub shard_p90_ns: f64,
+    /// Peak resident set size so far (kB; `0` when unavailable).
+    pub rss_peak_kb: u64,
+}
+
+/// Peak resident set size of the current process in kB, read from
+/// `/proc/self/status` (`VmHWM`). Returns `0` on platforms without
+/// procfs or when the field is missing — heartbeats degrade rather
+/// than fail.
+pub fn peak_rss_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest.trim().trim_end_matches("kB").trim().parse::<u64>().unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_override_wins_and_zero_disables() {
+        // The env var is absent in the test environment, so the default
+        // is 0 (disabled); an installed override then wins.
+        set_heartbeat_every(5);
+        assert_eq!(heartbeat_every(), 5);
+        set_heartbeat_every(0);
+        assert_eq!(heartbeat_every(), 0);
+    }
+
+    #[test]
+    fn heartbeat_steps_strictly_increase() {
+        let a = next_heartbeat_step();
+        let b = next_heartbeat_step();
+        assert!(b > a && a >= 1);
+    }
+
+    #[test]
+    fn peak_rss_is_sane() {
+        let kb = peak_rss_kb();
+        // On Linux a running test process has touched at least a few
+        // hundred kB; elsewhere the helper reports 0.
+        if cfg!(target_os = "linux") {
+            assert!(kb > 100, "implausible VmHWM {kb} kB");
+        }
+    }
+}

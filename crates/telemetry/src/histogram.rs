@@ -137,7 +137,14 @@ impl Histogram {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 100.0);
+        // The extremes are tracked exactly — don't let bucket
+        // interpolation inflate p0/p100 past an observed value.
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 100.0 {
+            return self.max();
+        }
         // Rank in [1, count]: the k-th smallest observation.
         let rank = (q / 100.0 * self.count as f64).max(1.0);
         let mut cumulative = 0u64;
@@ -298,6 +305,76 @@ mod tests {
         for q in [10.0, 50.0, 90.0] {
             assert_eq!(a.percentile(q), whole.percentile(q));
         }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut parts = Vec::new();
+        for shard in 0..3 {
+            let mut h = Histogram::new();
+            for v in 0..40 {
+                h.record(((shard * 40 + v) * 53 % 997) as f64);
+            }
+            parts.push(h);
+        }
+        let [a, b, c] = [&parts[0], &parts[1], &parts[2]];
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.min(), right.min());
+        assert_eq!(left.max(), right.max());
+        assert_eq!(left.sum(), right.sum());
+        assert_eq!(&left.buckets[..], &right.buckets[..]);
+        for q in [1.0, 25.0, 50.0, 75.0, 99.0] {
+            assert_eq!(left.percentile(q), right.percentile(q));
+        }
+    }
+
+    #[test]
+    fn zero_bucket_edge_percentiles_are_exact() {
+        // Bucket 0's lower bound is exactly 0: 2^(0/8) − 1.
+        assert_eq!(Histogram::bucket_lower(0), 0.0);
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0.0);
+        }
+        h.record(1000.0);
+        // p0 is the tracked exact minimum; interior percentiles may
+        // interpolate, but never past the zero bucket's upper edge.
+        assert_eq!(h.percentile(0.0), 0.0);
+        let p50 = h.percentile(50.0);
+        assert!(
+            (0.0..Histogram::bucket_lower(1)).contains(&p50),
+            "p50 {p50} escaped the zero bucket"
+        );
+        assert_eq!(h.percentile(100.0), 1000.0);
+    }
+
+    #[test]
+    fn serde_is_sparse_and_roundtrips_buckets_exactly() {
+        let mut h = Histogram::new();
+        for v in [1.0, 1.0, 500.0, 1e6] {
+            h.record(v);
+        }
+        let s = serde_json::to_string(&h).unwrap();
+        // Three distinct values → three `[index, count]` pairs, not 512
+        // slots.
+        let nonzero = h.buckets.iter().filter(|&&n| n > 0).count();
+        assert_eq!(nonzero, 3);
+        assert!(s.contains("[["), "sparse pair encoding expected: {s}");
+        assert!(s.len() < 300, "sparse encoding should stay small: {}", s.len());
+        let back: Histogram = serde_json::from_str(&s).unwrap();
+        assert_eq!(&h.buckets[..], &back.buckets[..]);
+        assert_eq!(h.count(), back.count());
+        assert_eq!(h.min(), back.min());
+        assert_eq!(h.max(), back.max());
     }
 
     #[test]

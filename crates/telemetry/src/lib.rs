@@ -58,8 +58,11 @@
 //! ```
 
 pub mod collector;
+pub mod diff;
+pub mod heartbeat;
 pub mod histogram;
 pub mod manifest;
+pub mod profile;
 pub mod record;
 pub mod summary;
 pub mod validate;
@@ -68,8 +71,13 @@ pub mod value;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub use heartbeat::{
+    heartbeat_every, next_heartbeat_step, peak_rss_kb, set_heartbeat_every, Heartbeat,
+    HEARTBEAT_ENV_VAR,
+};
 pub use histogram::Histogram;
 pub use manifest::RunManifest;
+pub use profile::Profile;
 pub use record::Record;
 pub use summary::{SpanSummary, Summary};
 pub use value::Value;
@@ -79,7 +87,8 @@ pub use value::Value;
 pub const TELEMETRY_ENV_VAR: &str = "CACHEBOX_TELEMETRY";
 
 /// Manifest/record schema version, bumped on breaking format changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the `heartbeat` record type.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Global on/off gate. Relaxed is enough: recording functions tolerate
 /// racing a concurrent `init`/`finish` (worst case a record lands in a
@@ -289,6 +298,38 @@ pub fn observe(name: &str, value: f64) {
 pub fn event(name: &str, fields: &[(&str, Value)]) {
     if enabled() {
         collector::write_event(name, fields);
+    }
+}
+
+/// Writes a training [`Heartbeat`] record straight to the JSONL sink
+/// (locks the sink — cadence-gated cold path; see
+/// [`heartbeat_every`]).
+pub fn heartbeat(hb: &Heartbeat) {
+    if enabled() {
+        collector::write_heartbeat(hb);
+    }
+}
+
+/// Attaches a runtime-derived entry to the run manifest's config map
+/// (e.g. a chunk size tuned from measured telemetry), in addition to
+/// anything set up front via [`TelemetryConfig::with_kv`]. Last write
+/// wins; a no-op while telemetry is disabled.
+pub fn manifest_kv(key: &str, value: impl Into<Value>) {
+    if enabled() {
+        collector::manifest_kv(key, value.into());
+    }
+}
+
+/// A snapshot of the named histogram as merged so far: the calling
+/// thread's buffer is flushed first, so observations from this thread
+/// and from already-exited workers (scoped GEMM shards) are included.
+/// Returns `None` while telemetry is disabled or before the first
+/// observation reaches the collector.
+pub fn histogram_snapshot(name: &str) -> Option<Histogram> {
+    if enabled() {
+        collector::histogram_snapshot(name)
+    } else {
+        None
     }
 }
 

@@ -1,0 +1,357 @@
+//! Span-tree profiler over a recorded JSONL stream.
+//!
+//! The stream's aggregate [`Record::Span`] lines carry one entry per
+//! (hierarchical path, thread ordinal) — e.g.
+//! `gan.train_step/gan.d_update/nn.conv2d.forward` on thread 0. This
+//! module reconstructs the span hierarchy from those paths, computes
+//! **self time** (a node's total minus its direct children's totals,
+//! on the same thread) next to the recorded totals, and renders:
+//!
+//! * a tree-shaped profile table with a hot-spot ranking, and
+//! * Brendan Gregg collapsed-stack lines
+//!   (`gan.train_step;gan.d_update 1234567`) for `flamegraph.pl` and
+//!   compatible tooling, weighted by self nanoseconds.
+//!
+//! Span paths only nest within one thread (a worker thread starts its
+//! own root), so self time is computed per thread and then merged
+//! across threads per path. The invariant the `telemetry_report`
+//! binary checks — Σ self over all nodes equals Σ total over the roots
+//! — holds exactly because every nanosecond of a parent's total is
+//! attributed either to a child or to the parent itself.
+
+use crate::record::Record;
+use crate::summary::{clip, fmt_count, fmt_ns};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One merged node of the span tree (one path, all threads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Full hierarchical path (`a/b/c`).
+    pub path: String,
+    /// Nesting depth (`0` for roots).
+    pub depth: usize,
+    /// Distinct thread ordinals that recorded this path.
+    pub threads: u32,
+    /// Completed scopes across all threads.
+    pub count: u64,
+    /// Total nanoseconds across all scopes and threads.
+    pub total_ns: u64,
+    /// Nanoseconds not covered by direct children (same thread).
+    pub self_ns: u64,
+}
+
+impl ProfileNode {
+    /// The last path segment.
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// A reconstructed span tree with per-node self/total times.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Nodes in depth-first tree order (each parent directly precedes
+    /// its children; siblings sort by path).
+    nodes: Vec<ProfileNode>,
+    /// Σ `total_ns` over the depth-0 roots.
+    root_total_ns: u64,
+}
+
+impl Profile {
+    /// Builds the profile from the span records of a parsed stream.
+    /// Non-span records are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation: a
+    /// duplicate (path, thread) span, or a nested path whose parent was
+    /// never recorded on the same thread (an out-of-order or corrupted
+    /// stream).
+    pub fn from_records(records: &[Record]) -> Result<Profile, String> {
+        // (thread, path) → (count, total_ns), errors on duplicates.
+        let mut per_thread: BTreeMap<(u32, String), (u64, u64)> = BTreeMap::new();
+        for record in records {
+            if let Record::Span { path, thread, count, total_ns, .. } = record {
+                let key = (*thread, path.clone());
+                if per_thread.insert(key, (*count, *total_ns)).is_some() {
+                    return Err(format!("duplicate span record {path:?} on thread {thread}"));
+                }
+            }
+        }
+
+        // Per-thread direct-children totals; parents must exist on the
+        // same thread because a nested path can only form by entering
+        // the parent span on that thread first.
+        let mut child_sum: BTreeMap<(u32, String), u64> = BTreeMap::new();
+        for ((thread, path), (_, total)) in &per_thread {
+            if let Some(cut) = path.rfind('/') {
+                let parent = (*thread, path[..cut].to_string());
+                if !per_thread.contains_key(&parent) {
+                    return Err(format!(
+                        "span {path:?} on thread {thread} has no parent {:?} record",
+                        &path[..cut]
+                    ));
+                }
+                *child_sum.entry(parent).or_insert(0) += total;
+            }
+        }
+
+        // Merge threads per path: totals and selfs add, thread count
+        // tallies distinct ordinals.
+        let mut merged: BTreeMap<String, ProfileNode> = BTreeMap::new();
+        for ((thread, path), (count, total)) in &per_thread {
+            let children = child_sum.get(&(*thread, path.clone())).copied().unwrap_or(0);
+            let self_ns = total.saturating_sub(children);
+            let node = merged.entry(path.clone()).or_insert_with(|| ProfileNode {
+                path: path.clone(),
+                depth: path.matches('/').count(),
+                threads: 0,
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            node.threads += 1;
+            node.count += count;
+            node.total_ns += total;
+            node.self_ns += self_ns;
+        }
+
+        // Depth-first tree order. Lexicographic sorting alone cannot be
+        // trusted ('.' sorts before '/', so a sibling `a.b` would split
+        // `a` from its children) — walk the explicit child lists.
+        let mut children: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut roots: Vec<&str> = Vec::new();
+        for path in merged.keys() {
+            match path.rfind('/') {
+                Some(cut) => children.entry(&path[..cut]).or_default().push(path),
+                None => roots.push(path),
+            }
+        }
+        let mut order: Vec<String> = Vec::with_capacity(merged.len());
+        let mut stack: Vec<&str> = roots.iter().rev().copied().collect();
+        while let Some(path) = stack.pop() {
+            order.push(path.to_string());
+            if let Some(kids) = children.get(path) {
+                stack.extend(kids.iter().rev());
+            }
+        }
+        let root_total_ns = roots.iter().map(|r| merged[*r].total_ns).sum();
+        let nodes = order.into_iter().map(|p| merged.remove(&p).expect("ordered node")).collect();
+        Ok(Profile { nodes, root_total_ns })
+    }
+
+    /// Reads and parses a JSONL stream, then builds the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, per-line parse errors, and the structural
+    /// errors of [`Profile::from_records`].
+    pub fn from_stream(path: &Path) -> Result<Profile, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read stream {}: {e}", path.display()))?;
+        let mut records = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let record = Record::parse_line(line)
+                .map_err(|e| format!("{}:{}: bad record: {e}", path.display(), lineno + 1))?;
+            records.push(record);
+        }
+        Profile::from_records(&records)
+    }
+
+    /// The nodes in depth-first tree order.
+    pub fn nodes(&self) -> &[ProfileNode] {
+        &self.nodes
+    }
+
+    /// Σ `total_ns` over the depth-0 roots.
+    pub fn root_total_ns(&self) -> u64 {
+        self.root_total_ns
+    }
+
+    /// Σ `self_ns` over every node; equals [`Profile::root_total_ns`]
+    /// for any stream whose span totals are internally consistent.
+    pub fn self_sum_ns(&self) -> u64 {
+        self.nodes.iter().map(|n| n.self_ns).sum()
+    }
+
+    /// The `n` nodes with the largest self time, descending (ties break
+    /// by path for determinism).
+    pub fn hotspots(&self, n: usize) -> Vec<&ProfileNode> {
+        let mut ranked: Vec<&ProfileNode> = self.nodes.iter().collect();
+        ranked.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.path.cmp(&b.path)));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// Collapsed-stack lines (`a;b;c <self_ns>`), one per node with
+    /// non-zero self time, sorted by stack — the input format of
+    /// Brendan Gregg's `flamegraph.pl`.
+    pub fn collapsed(&self) -> String {
+        let mut lines: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|n| n.self_ns > 0)
+            .map(|n| format!("{} {}", n.path.replace('/', ";"), n.self_ns))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the tree-shaped profile table plus a top-`top` hot-spot
+    /// ranking. Percentages are of the root total.
+    pub fn render(&self, top: usize) -> String {
+        let mut out = String::new();
+        if self.nodes.is_empty() {
+            out.push_str("span profile: no span records in stream\n");
+            return out;
+        }
+        let root = self.root_total_ns.max(1) as f64;
+        out.push_str(&format!(
+            "span profile — root total {} ({} nodes), self-time sum {}\n",
+            fmt_ns(self.root_total_ns),
+            self.nodes.len(),
+            fmt_ns(self.self_sum_ns()),
+        ));
+        out.push_str(&format!(
+            "{:<44} {:>9} {:>10} {:>10} {:>6} {:>4}\n",
+            "span", "count", "total", "self", "self%", "thr"
+        ));
+        for n in &self.nodes {
+            let label = format!("{}{}", "  ".repeat(n.depth), n.name());
+            out.push_str(&format!(
+                "{:<44} {:>9} {:>10} {:>10} {:>5.1}% {:>4}\n",
+                clip(&label, 44),
+                fmt_count(n.count),
+                fmt_ns(n.total_ns),
+                fmt_ns(n.self_ns),
+                100.0 * n.self_ns as f64 / root,
+                n.threads
+            ));
+        }
+        out.push_str(&format!("hot spots (top {top} by self time)\n"));
+        for (rank, n) in self.hotspots(top).iter().enumerate() {
+            out.push_str(&format!(
+                "{:>3}. {:<50} {:>10} {:>5.1}%\n",
+                rank + 1,
+                clip(&n.path, 50),
+                fmt_ns(n.self_ns),
+                100.0 * n.self_ns as f64 / root,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, thread: u32, count: u64, total_ns: u64) -> Record {
+        Record::Span {
+            path: path.into(),
+            thread,
+            count,
+            total_ns,
+            min_ns: total_ns / count.max(1),
+            max_ns: total_ns / count.max(1),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_per_thread() {
+        let profile = Profile::from_records(&[
+            span("step", 0, 10, 1_000),
+            span("step/fwd", 0, 10, 600),
+            span("step/bwd", 0, 10, 300),
+            span("step/fwd/gemm", 0, 20, 450),
+        ])
+        .unwrap();
+        let by_path: BTreeMap<&str, &ProfileNode> =
+            profile.nodes().iter().map(|n| (n.path.as_str(), n)).collect();
+        assert_eq!(by_path["step"].self_ns, 100);
+        assert_eq!(by_path["step/fwd"].self_ns, 150);
+        assert_eq!(by_path["step/bwd"].self_ns, 300);
+        assert_eq!(by_path["step/fwd/gemm"].self_ns, 450);
+        assert_eq!(profile.root_total_ns(), 1_000);
+        assert_eq!(profile.self_sum_ns(), profile.root_total_ns());
+    }
+
+    #[test]
+    fn threads_merge_per_path_and_nest_per_thread() {
+        // Thread 1's `shard` root must not be treated as a child of
+        // thread 0's `step`, and the same path on two threads merges.
+        let profile = Profile::from_records(&[
+            span("step", 0, 1, 100),
+            span("shard", 1, 1, 40),
+            span("shard", 2, 1, 60),
+        ])
+        .unwrap();
+        let shard = profile.nodes().iter().find(|n| n.path == "shard").unwrap();
+        assert_eq!(shard.threads, 2);
+        assert_eq!(shard.total_ns, 100);
+        assert_eq!(profile.root_total_ns(), 200);
+    }
+
+    #[test]
+    fn dfs_order_keeps_children_under_parents() {
+        // A sibling that sorts between a parent and its '/' children
+        // lexicographically ('.' < '/') must not split the subtree.
+        let profile = Profile::from_records(&[
+            span("a", 0, 1, 10),
+            span("a.z", 0, 1, 5),
+            span("a/kid", 0, 1, 4),
+        ])
+        .unwrap();
+        let paths: Vec<&str> = profile.nodes().iter().map(|n| n.path.as_str()).collect();
+        assert_eq!(paths, ["a", "a/kid", "a.z"]);
+        assert_eq!(profile.nodes()[1].depth, 1);
+    }
+
+    #[test]
+    fn orphan_and_duplicate_spans_are_rejected() {
+        let err = Profile::from_records(&[span("a/b", 0, 1, 10)]).unwrap_err();
+        assert!(err.contains("no parent"), "{err}");
+        let err = Profile::from_records(&[span("a", 0, 1, 10), span("a", 0, 2, 20)]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        // Same path on another thread is legal, not a duplicate.
+        assert!(Profile::from_records(&[span("a", 0, 1, 10), span("a", 1, 2, 20)]).is_ok());
+    }
+
+    #[test]
+    fn collapsed_lines_use_semicolons_and_self_weights() {
+        let profile = Profile::from_records(&[
+            span("step", 0, 1, 100),
+            span("step/fwd", 0, 1, 100), // parent has zero self → omitted
+        ])
+        .unwrap();
+        assert_eq!(profile.collapsed(), "step;fwd 100\n");
+    }
+
+    #[test]
+    fn render_and_hotspots_rank_by_self() {
+        let profile = Profile::from_records(&[
+            span("step", 0, 4, 1_000_000),
+            span("step/fwd", 0, 4, 900_000),
+        ])
+        .unwrap();
+        let hot = profile.hotspots(10);
+        assert_eq!(hot[0].path, "step/fwd");
+        let table = profile.render(5);
+        assert!(table.contains("span profile"), "{table}");
+        assert!(table.contains("  fwd"), "indented child:\n{table}");
+        assert!(table.contains("hot spots"), "{table}");
+    }
+
+    #[test]
+    fn empty_profile_renders_placeholder() {
+        let profile = Profile::from_records(&[]).unwrap();
+        assert_eq!(profile.root_total_ns(), 0);
+        assert!(profile.collapsed().is_empty());
+        assert!(profile.render(3).contains("no span records"));
+    }
+}

@@ -7,8 +7,9 @@ use std::collections::BTreeMap;
 /// One line of the telemetry event stream.
 ///
 /// The stream starts with a [`Record::Meta`], interleaves point
-/// [`Record::Event`]s and [`Record::Progress`] lines as the run
-/// executes, and ends with the aggregate [`Record::Span`],
+/// [`Record::Event`]s, [`Record::Progress`] lines, and periodic
+/// [`Record::Heartbeat`]s as the run executes, and ends with the
+/// aggregate [`Record::Span`],
 /// [`Record::Counter`], [`Record::Gauge`], and [`Record::Histogram`]
 /// records flushed by `finish`.
 ///
@@ -50,6 +51,37 @@ pub enum Record {
         t_ms: u64,
         /// The message.
         msg: String,
+    },
+    /// A periodic training heartbeat (see [`crate::heartbeat`]): one
+    /// snapshot of the optimizer loop every `--heartbeat-every` steps,
+    /// so long runs are observable while in flight.
+    Heartbeat {
+        /// Milliseconds since the run started.
+        t_ms: u64,
+        /// Global optimizer step (monotonically increasing).
+        step: u64,
+        /// Epoch the step belongs to.
+        epoch: u64,
+        /// Discriminator BCE loss at this step.
+        d_loss: f64,
+        /// Generator adversarial BCE loss.
+        g_adv: f64,
+        /// Generator L1 reconstruction loss (unweighted).
+        g_l1: f64,
+        /// Discriminator global gradient L2 norm.
+        grad_norm_d: f64,
+        /// Generator global gradient L2 norm.
+        grad_norm_g: f64,
+        /// Training throughput over the step (batch samples / wall s).
+        samples_per_sec: f64,
+        /// Median replica-shard wall time since the last heartbeat (ns;
+        /// `0` when no shard timings were observed in the window).
+        shard_p50_ns: f64,
+        /// 90th-percentile replica-shard wall time in the window (ns).
+        shard_p90_ns: f64,
+        /// Peak resident set size of the process so far (kB; `0` when
+        /// the platform exposes no measurement).
+        rss_peak_kb: u64,
     },
     /// Aggregated timings of one span path on one thread.
     Span {
@@ -142,6 +174,20 @@ mod tests {
         fields.insert("note".to_string(), Value::Str("λ=150".into()));
         roundtrip(Record::Event { t_ms: 12, name: "epoch".into(), fields });
         roundtrip(Record::Progress { t_ms: 1, msg: "training 2/10".into() });
+        roundtrip(Record::Heartbeat {
+            t_ms: 250,
+            step: 17,
+            epoch: 2,
+            d_loss: 0.69,
+            g_adv: 0.71,
+            g_l1: 0.02,
+            grad_norm_d: 1.5,
+            grad_norm_g: 3.25,
+            samples_per_sec: 128.0,
+            shard_p50_ns: 40_000.0,
+            shard_p90_ns: 55_000.0,
+            rss_peak_kb: 123_456,
+        });
         roundtrip(Record::Span {
             path: "train_step/d_forward".into(),
             thread: 2,

@@ -133,7 +133,7 @@ impl Summary {
     }
 }
 
-fn clip(s: &str, width: usize) -> String {
+pub(crate) fn clip(s: &str, width: usize) -> String {
     if s.chars().count() <= width {
         s.to_string()
     } else {
@@ -143,7 +143,7 @@ fn clip(s: &str, width: usize) -> String {
 }
 
 /// `1.23s` / `45.1ms` / `830µs` / `120ns`.
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     let ns = ns as f64;
     if ns >= 1e9 {
         format!("{:.2}s", ns / 1e9)
@@ -165,7 +165,7 @@ fn fmt_seconds(s: f64) -> String {
 }
 
 /// Compact SI counts: `1.23G` / `4.5M` / `6.7k` / `890`.
-fn fmt_count(v: u64) -> String {
+pub(crate) fn fmt_count(v: u64) -> String {
     let v = v as f64;
     if v >= 1e9 {
         format!("{:.2}G", v / 1e9)
@@ -179,7 +179,7 @@ fn fmt_count(v: u64) -> String {
 }
 
 /// Compact float for histogram cells.
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     let mag = v.abs();
     if mag >= 1e9 {
         format!("{:.2}G", v / 1e9)

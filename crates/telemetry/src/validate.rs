@@ -17,6 +17,8 @@ pub struct ValidationReport {
     pub events: u64,
     /// Progress lines.
     pub progress: u64,
+    /// Training heartbeats.
+    pub heartbeats: u64,
     /// Span aggregates.
     pub spans: u64,
     /// Counter aggregates.
@@ -32,8 +34,15 @@ pub struct ValidationReport {
 /// * every line parses as a known [`Record`];
 /// * the stream opens with a [`Record::Meta`] whose run name and schema
 ///   version match the manifest;
+/// * timestamped records (events, progress, heartbeats) carry
+///   non-decreasing `t_ms` and none appears after the aggregate tail
+///   begins — a writer that interleaves them corrupted the stream;
+/// * heartbeat losses/norms/throughput are finite and steps strictly
+///   increase;
 /// * span aggregates are internally consistent
-///   (`count > 0`, `min ≤ max ≤ total`);
+///   (`count > 0`, `min ≤ max ≤ total`), unique per `(path, thread)`,
+///   every nested path has its parent aggregate on the same thread,
+///   and direct children never total more time than their parent;
 /// * histogram percentiles are monotone within `[min, max]`;
 /// * counter records reproduce the manifest's counter map exactly;
 /// * the line count equals `manifest.records`.
@@ -55,11 +64,41 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
 
     let mut report = ValidationReport::default();
     let mut stream_counters: BTreeMap<String, u64> = BTreeMap::new();
+    // (thread, path) -> total_ns, for uniqueness and nesting checks.
+    let mut span_totals: BTreeMap<(u32, String), u64> = BTreeMap::new();
+    let mut last_t_ms = 0u64;
+    let mut last_hb_step: Option<u64> = None;
+    let mut in_aggregate_tail = false;
     for (lineno, line) in text.lines().enumerate() {
         let lineno = lineno + 1;
         let record = Record::parse_line(line)
             .map_err(|e| format!("{}:{lineno}: bad record: {e}", jsonl.display()))?;
         report.records += 1;
+        if lineno == 1 && !matches!(record, Record::Meta { .. }) {
+            return Err("stream does not open with a meta record".to_string());
+        }
+        if matches!(
+            record,
+            Record::Event { .. } | Record::Progress { .. } | Record::Heartbeat { .. }
+        ) {
+            if in_aggregate_tail {
+                return Err(format!(
+                    "line {lineno}: timestamped record after the aggregate tail \
+                     (out-of-order stream)"
+                ));
+            }
+        } else if !matches!(record, Record::Meta { .. }) {
+            in_aggregate_tail = true;
+        }
+        let mut check_t_ms = |t_ms: u64| -> Result<(), String> {
+            if t_ms < last_t_ms {
+                return Err(format!(
+                    "line {lineno}: timestamp goes backwards ({t_ms}ms after {last_t_ms}ms)"
+                ));
+            }
+            last_t_ms = t_ms;
+            Ok(())
+        };
         match record {
             Record::Meta { run, schema, .. } => {
                 if lineno != 1 {
@@ -78,9 +117,55 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
                     ));
                 }
             }
-            Record::Event { .. } => report.events += 1,
-            Record::Progress { .. } => report.progress += 1,
-            Record::Span { path, count, total_ns, min_ns, max_ns, .. } => {
+            Record::Event { t_ms, .. } => {
+                report.events += 1;
+                check_t_ms(t_ms)?;
+            }
+            Record::Progress { t_ms, .. } => {
+                report.progress += 1;
+                check_t_ms(t_ms)?;
+            }
+            Record::Heartbeat {
+                t_ms,
+                step,
+                d_loss,
+                g_adv,
+                g_l1,
+                grad_norm_d,
+                grad_norm_g,
+                samples_per_sec,
+                shard_p50_ns,
+                shard_p90_ns,
+                ..
+            } => {
+                report.heartbeats += 1;
+                check_t_ms(t_ms)?;
+                let floats = [
+                    d_loss,
+                    g_adv,
+                    g_l1,
+                    grad_norm_d,
+                    grad_norm_g,
+                    samples_per_sec,
+                    shard_p50_ns,
+                    shard_p90_ns,
+                ];
+                if floats.iter().any(|v| !v.is_finite()) {
+                    return Err(format!(
+                        "line {lineno}: heartbeat at step {step} has non-finite fields"
+                    ));
+                }
+                if let Some(prev) = last_hb_step {
+                    if step <= prev {
+                        return Err(format!(
+                            "line {lineno}: heartbeat step {step} after step {prev} \
+                             (steps must strictly increase)"
+                        ));
+                    }
+                }
+                last_hb_step = Some(step);
+            }
+            Record::Span { path, thread, count, total_ns, min_ns, max_ns } => {
                 report.spans += 1;
                 if count == 0 {
                     return Err(format!("line {lineno}: span {path:?} with zero count"));
@@ -88,6 +173,11 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
                 if min_ns > max_ns || max_ns > total_ns {
                     return Err(format!(
                         "line {lineno}: span {path:?} inconsistent: min {min_ns} max {max_ns} total {total_ns}"
+                    ));
+                }
+                if span_totals.insert((thread, path.clone()), total_ns).is_some() {
+                    return Err(format!(
+                        "line {lineno}: duplicate span aggregate for {path:?} on thread {thread}"
                     ));
                 }
             }
@@ -114,6 +204,30 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
                     ));
                 }
             }
+        }
+    }
+
+    // Structural span checks need the whole set: a nested path must have
+    // its parent on the same thread, and direct children cannot account
+    // for more time than the scope that contains them.
+    let mut child_sums: BTreeMap<(u32, &str), u64> = BTreeMap::new();
+    for ((thread, path), total) in &span_totals {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            if !span_totals.contains_key(&(*thread, parent.to_string())) {
+                return Err(format!(
+                    "span {path:?} on thread {thread} has no parent aggregate {parent:?}"
+                ));
+            }
+            *child_sums.entry((*thread, parent)).or_insert(0) += *total;
+        }
+    }
+    for ((thread, parent), sum) in &child_sums {
+        let parent_total = span_totals[&(*thread, parent.to_string())];
+        if *sum > parent_total {
+            return Err(format!(
+                "children of span {parent:?} on thread {thread} total {sum}ns, \
+                 more than the parent's {parent_total}ns"
+            ));
         }
     }
 
@@ -173,6 +287,23 @@ mod tests {
         Record::Meta { run: "v".into(), schema: SCHEMA_VERSION, version: "0".into() }.to_jsonl()
     }
 
+    fn heartbeat(t_ms: u64, step: u64) -> Record {
+        Record::Heartbeat {
+            t_ms,
+            step,
+            epoch: 0,
+            d_loss: 0.6,
+            g_adv: 0.7,
+            g_l1: 0.1,
+            grad_norm_d: 1.0,
+            grad_norm_g: 2.0,
+            samples_per_sec: 15.0,
+            shard_p50_ns: 1000.0,
+            shard_p90_ns: 2000.0,
+            rss_peak_kb: 4096,
+        }
+    }
+
     #[test]
     fn valid_stream_passes() {
         let mut m = manifest();
@@ -186,6 +317,17 @@ mod tests {
             }
             .to_jsonl(),
             Record::Progress { t_ms: 2, msg: "half way".into() }.to_jsonl(),
+            heartbeat(3, 1).to_jsonl(),
+            heartbeat(4, 2).to_jsonl(),
+            Record::Span {
+                path: "a".into(),
+                thread: 0,
+                count: 2,
+                total_ns: 100,
+                min_ns: 10,
+                max_ns: 90,
+            }
+            .to_jsonl(),
             Record::Span {
                 path: "a/b".into(),
                 thread: 0,
@@ -214,10 +356,11 @@ mod tests {
         assert_eq!(
             report,
             ValidationReport {
-                records: 7,
+                records: 10,
                 events: 1,
                 progress: 1,
-                spans: 1,
+                heartbeats: 2,
+                spans: 2,
                 counters: 1,
                 gauges: 1,
                 histograms: 1,
@@ -227,10 +370,8 @@ mod tests {
 
     #[test]
     fn record_count_mismatch_fails() {
-        let mut m = manifest();
-        m.records = 99; // will be overwritten by write_pair; adjust after
         let lines = vec![meta()];
-        let (jsonl, mpath) = write_pair("count", &lines, m);
+        let (jsonl, mpath) = write_pair("count", &lines, manifest());
         let mut bad = RunManifest::load(&mpath).unwrap();
         bad.records = 99;
         bad.save(&mpath).unwrap();
@@ -268,6 +409,129 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_span_aggregate_fails() {
+        let span = Record::Span {
+            path: "a".into(),
+            thread: 0,
+            count: 1,
+            total_ns: 10,
+            min_ns: 10,
+            max_ns: 10,
+        };
+        let lines = vec![meta(), span.to_jsonl(), span.to_jsonl()];
+        let (jsonl, mpath) = write_pair("dupspan", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("duplicate span aggregate"), "{err}");
+    }
+
+    #[test]
+    fn orphan_nested_span_fails() {
+        // `a/b` exists on thread 1, but its parent `a` only on thread 0.
+        let lines = vec![
+            meta(),
+            Record::Span {
+                path: "a".into(),
+                thread: 0,
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            }
+            .to_jsonl(),
+            Record::Span {
+                path: "a/b".into(),
+                thread: 1,
+                count: 1,
+                total_ns: 5,
+                min_ns: 5,
+                max_ns: 5,
+            }
+            .to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("orphan", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("no parent aggregate"), "{err}");
+    }
+
+    #[test]
+    fn children_exceeding_parent_fails() {
+        let lines = vec![
+            meta(),
+            Record::Span {
+                path: "a".into(),
+                thread: 0,
+                count: 1,
+                total_ns: 10,
+                min_ns: 10,
+                max_ns: 10,
+            }
+            .to_jsonl(),
+            Record::Span {
+                path: "a/b".into(),
+                thread: 0,
+                count: 1,
+                total_ns: 8,
+                min_ns: 8,
+                max_ns: 8,
+            }
+            .to_jsonl(),
+            Record::Span {
+                path: "a/c".into(),
+                thread: 0,
+                count: 1,
+                total_ns: 8,
+                min_ns: 8,
+                max_ns: 8,
+            }
+            .to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("overfull", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("more than the parent"), "{err}");
+    }
+
+    #[test]
+    fn heartbeat_corruption_fails() {
+        // Non-finite loss.
+        let mut hb = heartbeat(1, 1);
+        if let Record::Heartbeat { ref mut d_loss, .. } = hb {
+            *d_loss = f64::NAN;
+        }
+        let (jsonl, mpath) = write_pair("hbnan", &[meta(), hb.to_jsonl()], manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+
+        // Step going backwards.
+        let lines = vec![meta(), heartbeat(1, 5).to_jsonl(), heartbeat(2, 5).to_jsonl()];
+        let (jsonl, mpath) = write_pair("hbstep", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("strictly increase"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_streams_fail() {
+        // Timestamped record after the aggregate tail began.
+        let lines = vec![
+            meta(),
+            Record::Counter { name: "c".into(), value: 1 }.to_jsonl(),
+            Record::Progress { t_ms: 9, msg: "late".into() }.to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("tail", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("out-of-order"), "{err}");
+
+        // Timestamps running backwards.
+        let lines = vec![
+            meta(),
+            Record::Progress { t_ms: 10, msg: "a".into() }.to_jsonl(),
+            Record::Progress { t_ms: 4, msg: "b".into() }.to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("backwards", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
     fn non_monotone_histogram_fails() {
         let lines = vec![
             meta(),
@@ -292,6 +556,11 @@ mod tests {
     fn missing_meta_and_bad_lines_fail() {
         let lines = vec![Record::Progress { t_ms: 0, msg: "no meta".into() }.to_jsonl(), meta()];
         let (jsonl, mpath) = write_pair("meta", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("does not open with a meta record"), "{err}");
+
+        let lines = vec![meta(), meta()];
+        let (jsonl, mpath) = write_pair("twometa", &lines, manifest());
         let err = validate_files(&jsonl, &mpath).unwrap_err();
         assert!(err.contains("not at stream head"), "{err}");
 

@@ -1,0 +1,70 @@
+//! End-to-end heartbeat lifecycle: emit mid-run heartbeat records into
+//! a JSONL sink, finish, then check the stream validates, profiles, and
+//! renders through the same code paths `telemetry_report` uses.
+//!
+//! The collector is process-global (one run per process), so this binary
+//! holds exactly one test.
+
+use cachebox_telemetry as telemetry;
+
+fn beat(step: u64, epoch: u64, sps: f64) -> telemetry::Heartbeat {
+    telemetry::Heartbeat {
+        step,
+        epoch,
+        d_loss: 0.69,
+        g_adv: 0.72,
+        g_l1: 0.031,
+        grad_norm_d: 1.4,
+        grad_norm_g: 3.1,
+        samples_per_sec: sps,
+        shard_p50_ns: 42_000.0,
+        shard_p90_ns: 61_000.0,
+        rss_peak_kb: telemetry::peak_rss_kb(),
+    }
+}
+
+#[test]
+fn heartbeats_reach_the_stream_and_validate() {
+    let dir = std::env::temp_dir().join("cachebox-heartbeat-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("hb.jsonl");
+
+    telemetry::set_heartbeat_every(2);
+    assert_eq!(telemetry::heartbeat_every(), 2);
+
+    let guard = telemetry::init(
+        telemetry::TelemetryConfig::new("hb-e2e")
+            .with_jsonl(&jsonl)
+            .with_summary(false)
+            .with_kv("heartbeat_every", telemetry::heartbeat_every() as u64),
+    );
+
+    // Mimic a trainer honoring the cadence: 6 optimizer steps, a
+    // heartbeat on every second one, spans and shard timings alongside.
+    for local_step in 1u64..=6 {
+        let _span = telemetry::span("gan.train_step");
+        telemetry::observe("gan.replica.shard_ns", 50_000.0 + local_step as f64);
+        if local_step % telemetry::heartbeat_every() as u64 == 0 {
+            // The stream-facing step comes from the process-wide
+            // sequence so several trainers can share one stream.
+            let step = telemetry::next_heartbeat_step();
+            telemetry::heartbeat(&beat(step, local_step / 3, 120.0 + local_step as f64));
+        }
+    }
+
+    let summary = guard.finish();
+    // meta + 3 heartbeats + span/histogram aggregates at minimum.
+    assert!(summary.records >= 6, "records: {}", summary.records);
+
+    // The validator accepts the cadence: heartbeats counted, ordered,
+    // finite, strictly increasing in step.
+    let manifest = telemetry::RunManifest::manifest_path_for(&jsonl);
+    let report = telemetry::validate::validate_files(&jsonl, &manifest).expect("stream validates");
+    assert_eq!(report.heartbeats, 3);
+    assert!(report.spans >= 1);
+
+    // The same stream drives the profiler end to end.
+    let profile = telemetry::Profile::from_stream(&jsonl).expect("profile builds");
+    assert_eq!(profile.self_sum_ns(), profile.root_total_ns());
+    assert!(profile.render(5).contains("gan.train_step"));
+}

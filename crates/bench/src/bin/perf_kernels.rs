@@ -1,20 +1,25 @@
-//! Measures the blocked/packed GEMM against the naive oracle, the
+//! Measures the blocked/packed GEMM against the naive oracle (under
+//! both the fixed legacy blocking and the geometry-derived one), the
 //! batch-parallel conv layers against the serial loop, and derives the
 //! serial/parallel crossover threshold — asserting bitwise identity
 //! everywhere — then writes the results as JSON (see
-//! `BENCH_kernels.json` at the repo root for a recorded run).
+//! `BENCH_kernels.json` at the repo root for a recorded run). The
+//! detected cache geometry, active blocking, and dispatched microkernel
+//! are recorded so the numbers stay interpretable across hosts.
 //!
 //! ```text
 //! cargo run --release -p cachebox-bench --bin perf_kernels -- \
 //!     [--smoke] [--threads N[,N...]] [--out PATH] [--telemetry PATH]
 //! ```
 //!
-//! Build with `--features simd` to measure the AVX microkernel (the
-//! `kernel` field in the report names which microkernel ran).
+//! Build with `--features simd` to measure the SIMD microkernels (the
+//! `kernel` field in the report names which microkernel ran; AVX-512
+//! is used automatically where detected).
 
+use cachebox_nn::geometry::{self, FIXED_BLOCKING};
 use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer};
 use cachebox_nn::parallel::{self, Parallelism};
-use cachebox_nn::{blocked, gemm, Tensor};
+use cachebox_nn::{blocked, gemm, tuning, Tensor};
 use cachebox_telemetry::progress;
 use serde::Serialize;
 use std::time::Instant;
@@ -23,12 +28,19 @@ use std::time::Instant;
 struct GemmRecord {
     shape: [usize; 3],
     naive_seconds: f64,
+    /// Scalar microkernel under the geometry-derived blocking.
     blocked_seconds: f64,
     speedup: f64,
     naive_gflops: f64,
     blocked_gflops: f64,
-    /// The AVX microkernel, measured separately (`None` unless built
-    /// with `--features simd` on a CPU with AVX).
+    /// Scalar microkernel under the legacy fixed 64/256/256 blocking,
+    /// for the geometry-vs-fixed comparison.
+    fixed_blocked_seconds: f64,
+    /// `fixed_blocked_seconds / blocked_seconds`: > 1 means the
+    /// geometry-derived blocking wins.
+    geometry_speedup: f64,
+    /// The widest available SIMD microkernel, measured separately
+    /// (`None` unless built with `--features simd` on a capable CPU).
     simd_seconds: Option<f64>,
     simd_speedup: Option<f64>,
     simd_gflops: Option<f64>,
@@ -57,14 +69,59 @@ struct Threshold {
 }
 
 #[derive(Serialize)]
+struct GeometryInfo {
+    spec: String,
+    source: &'static str,
+    l1d_bytes: u64,
+    l2_bytes: u64,
+    l3_bytes: Option<u64>,
+    line_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct BlockingInfo {
+    mc: usize,
+    kc: usize,
+    nc: usize,
+    source: String,
+}
+
+#[derive(Serialize)]
 struct Report {
     host_cpus: usize,
     kernel: &'static str,
     simd_active: bool,
+    /// The cache hierarchy the blocking was derived from.
+    geometry: GeometryInfo,
+    /// The blocking active at the end of the run (analytical, or the
+    /// telemetry refinement when the shard histogram was thick enough).
+    blocking: BlockingInfo,
     gemm: Vec<GemmRecord>,
     conv: Vec<ConvRecord>,
     threshold: Threshold,
     note: String,
+}
+
+fn geometry_info() -> GeometryInfo {
+    let geo = geometry::detect();
+    GeometryInfo {
+        spec: geo.spec(),
+        source: geo.source.label(),
+        l1d_bytes: geo.l1d as u64,
+        l2_bytes: geo.l2 as u64,
+        l3_bytes: geo.l3.map(|b| b as u64),
+        line_bytes: geo.line as u64,
+    }
+}
+
+fn blocking_info() -> BlockingInfo {
+    let blk = geometry::blocking();
+    BlockingInfo {
+        mc: blk.mc,
+        kc: blk.kc,
+        nc: blk.nc,
+        source: geometry::blocking_source().to_string(),
+    }
 }
 
 fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -139,8 +196,9 @@ fn filled_tensor(shape: [usize; 4], phase: usize) -> Tensor {
     Tensor::from_vec(shape, filled(shape.iter().product(), phase))
 }
 
-/// Naive vs blocked-scalar vs blocked-AVX at one cube size,
-/// single-threaded, bitwise-checked.
+/// Naive vs blocked-scalar (fixed and geometry-derived blocking) vs
+/// the widest blocked-SIMD kernel at one cube size, single-threaded,
+/// bitwise-checked everywhere.
 fn bench_gemm(size: usize, reps: usize) -> GemmRecord {
     let (m, k, n) = (size, size, size);
     let a = filled(m * k, 1);
@@ -154,7 +212,8 @@ fn bench_gemm(size: usize, reps: usize) -> GemmRecord {
     });
 
     // Scalar microkernel (SIMD forced off so both kernels are measured
-    // regardless of build features).
+    // regardless of build features), geometry-derived blocking.
+    geometry::clear_blocking();
     blocked::set_simd_enabled(false);
     let mut out = vec![0.0f32; m * n];
     let blocked_seconds = best_of(reps, || {
@@ -164,6 +223,17 @@ fn bench_gemm(size: usize, reps: usize) -> GemmRecord {
     let mut bitwise_identical = reference == out;
     assert!(bitwise_identical, "blocked scalar GEMM diverged from naive at {size}^3");
 
+    // Same scalar kernel under the legacy fixed 64/256/256 blocking:
+    // the geometry-vs-fixed comparison the derivation has to win.
+    geometry::install_blocking(FIXED_BLOCKING, "fixed:64/256/256");
+    let fixed_blocked_seconds = best_of(reps, || {
+        out.fill(0.0);
+        blocked::gemm_acc(&a, &b, m, k, n, &mut out);
+    });
+    bitwise_identical = reference == out;
+    assert!(bitwise_identical, "fixed-blocking GEMM diverged from naive at {size}^3");
+    geometry::clear_blocking();
+
     blocked::set_simd_enabled(true);
     let (mut simd_seconds, mut simd_speedup, mut simd_gflops) = (None, None, None);
     if blocked::simd_active() {
@@ -172,18 +242,20 @@ fn bench_gemm(size: usize, reps: usize) -> GemmRecord {
             blocked::gemm_acc(&a, &b, m, k, n, &mut out);
         });
         bitwise_identical = reference == out;
-        assert!(bitwise_identical, "blocked AVX GEMM diverged from naive at {size}^3");
+        assert!(bitwise_identical, "blocked SIMD GEMM diverged from naive at {size}^3");
         simd_seconds = Some(seconds);
         simd_speedup = Some(naive_seconds / seconds);
         simd_gflops = Some(flops / seconds / 1e9);
     }
 
     let speedup = naive_seconds / blocked_seconds;
+    let geometry_speedup = fixed_blocked_seconds / blocked_seconds;
     progress!(
         "gemm {size}^3: naive {naive_seconds:.5}s, blocked {blocked_seconds:.5}s \
-         ({speedup:.2}x){}",
+         ({speedup:.2}x), fixed-blocking {fixed_blocked_seconds:.5}s \
+         (geometry {geometry_speedup:.2}x){}",
         match simd_seconds {
-            Some(s) => format!(", avx {s:.5}s ({:.2}x)", naive_seconds / s),
+            Some(s) => format!(", {} {s:.5}s ({:.2}x)", blocked::kernel_label(), naive_seconds / s),
             None => String::new(),
         }
     );
@@ -194,6 +266,8 @@ fn bench_gemm(size: usize, reps: usize) -> GemmRecord {
         speedup,
         naive_gflops: flops / naive_seconds / 1e9,
         blocked_gflops: flops / blocked_seconds / 1e9,
+        fixed_blocked_seconds,
+        geometry_speedup,
         simd_seconds,
         simd_speedup,
         simd_gflops,
@@ -301,14 +375,14 @@ fn derive_threshold(blocked_macs_per_second: f64, host_cpus: usize) -> Threshold
     progress!(
         "threshold: spawn {spawn_overhead_seconds:.2e}s, \
          {blocked_macs_per_second:.3e} MAC/s -> crossover ~{derived} MACs \
-         (default {})",
-        parallel::PAR_FLOP_THRESHOLD
+         (active {})",
+        parallel::par_flop_threshold()
     );
     Threshold {
         spawn_overhead_seconds,
         blocked_macs_per_second,
         derived_crossover_macs: derived,
-        current_default_macs: parallel::PAR_FLOP_THRESHOLD as u64,
+        current_default_macs: parallel::par_flop_threshold() as u64,
         env_var: parallel::GEMM_THRESHOLD_ENV_VAR,
         note,
     }
@@ -326,9 +400,16 @@ fn main() {
         None => cachebox_telemetry::init_from_env("perf_kernels"),
     };
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let geo = geometry::detect();
     progress!(
         "=== CacheBox kernel measurement (host cpus: {host_cpus}, kernel: {}) ===",
         blocked::kernel_label()
+    );
+    progress!(
+        "cache geometry: {} (source: {}), analytic blocking: {}",
+        geo.spec(),
+        geo.source.label(),
+        geometry::analytic_blocking().label()
     );
     if host_cpus <= 1 {
         eprintln!(
@@ -361,6 +442,20 @@ fn main() {
         &mut conv_records,
     );
 
+    // The conv legs above ran the parallel GEMM wrappers, so when
+    // telemetry is on the shard histogram now has warm-up samples:
+    // refine the analytical blocking from it (no-op otherwise — the
+    // analytical blocking stays, and either way the active choice plus
+    // geometry and kernel land in the run manifest).
+    match tuning::autotune_gemm_blocking() {
+        Some(tuned) => progress!(
+            "gemm blocking refined from {} to {} (from nn.gemm.shard_ns)",
+            geometry::analytic_blocking().label(),
+            tuned.label()
+        ),
+        None => progress!("gemm blocking stays analytical: {}", geometry::blocking().label()),
+    }
+
     // MAC rate from the largest measured cube.
     let rate = gemm_records
         .last()
@@ -375,6 +470,8 @@ fn main() {
         host_cpus,
         kernel: blocked::kernel_label(),
         simd_active: blocked::simd_active(),
+        geometry: geometry_info(),
+        blocking: blocking_info(),
         gemm: gemm_records,
         conv: conv_records,
         threshold,

@@ -64,6 +64,11 @@ struct Report {
     /// Conv batch-parallel chunk derived from the `nn.gemm.shard_ns`
     /// histogram by the autotuner; `null` when telemetry was off.
     conv_chunk: Option<usize>,
+    /// Telemetry-refined GEMM blocking (`mc=…,kc=…,nc=…`); `null` when
+    /// telemetry was off (the analytical blocking stays active).
+    gemm_blocking: Option<String>,
+    /// Provenance of the blocking active at the end of the run.
+    gemm_blocking_source: String,
     note: String,
 }
 
@@ -228,11 +233,22 @@ fn main() {
         thread_counts.iter().copied().max().unwrap_or(host_cpus).min(host_cpus.max(1)).max(1);
     // The GEMM legs above filled the `nn.gemm.shard_ns` histogram, so
     // the replica train steps below run with the telemetry-derived conv
-    // chunk — the value is also recorded in the report and manifest.
+    // chunk and GEMM blocking — both also recorded in the report and
+    // manifest.
+    if !cachebox_telemetry::enabled() {
+        eprintln!(
+            "warning: telemetry is off, so conv_chunk/gemm_blocking will be untuned \
+             (rerun with --telemetry PATH to record them)"
+        );
+    }
     let conv_chunk =
         cachebox_nn::tuning::autotune_conv_chunk(Parallelism::new(total_threads), batch_n);
     if let Some(chunk) = conv_chunk {
         progress!("conv chunk autotuned to {chunk} (from nn.gemm.shard_ns)");
+    }
+    let gemm_blocking = cachebox_nn::tuning::autotune_gemm_blocking();
+    if let Some(blocking) = gemm_blocking {
+        progress!("gemm blocking autotuned to {} (from nn.gemm.shard_ns)", blocking.label());
     }
     let batch = synth_batch(batch_n, hw);
     let mut ref_stats: Option<cachebox_gan::TrainStats> = None;
@@ -290,6 +306,8 @@ fn main() {
         replica_serial_seconds,
         replica: replica_records,
         conv_chunk,
+        gemm_blocking: gemm_blocking.map(|b| b.label()),
+        gemm_blocking_source: cachebox_nn::geometry::blocking_source().to_string(),
         note: "best-of-N wall-clock; speedups are machine-dependent (see host_cpus)".to_string(),
     };
     match cachebox::report::save_json(&out, &report) {

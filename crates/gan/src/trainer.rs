@@ -827,13 +827,16 @@ impl GanTrainer {
             history.push(avg);
             // After one full epoch the GEMM shard-time histogram has
             // enough samples to judge shard balance: derive the conv
-            // batch-parallel chunk for the remaining epochs (no-op when
-            // telemetry is off — the compiled-in default stays).
+            // batch-parallel chunk and refine the GEMM blocking for the
+            // remaining epochs (no-ops when telemetry is off — the
+            // compiled-in chunk default and the analytical blocking
+            // stay; either way the numerics are bitwise unchanged).
             if epoch == 0 {
                 let _ = cachebox_nn::tuning::autotune_conv_chunk(
                     self.parallelism,
                     self.config.batch_size,
                 );
+                let _ = cachebox_nn::tuning::autotune_gemm_blocking();
             }
         }
         history

@@ -1,4 +1,4 @@
-//! Cache-blocked, packed GEMM with an explicit 8-wide `f32` microkernel.
+//! Cache-blocked, packed GEMM with runtime-dispatched microkernels.
 //!
 //! The naive [`crate::gemm`] kernels stream the whole `k×n` B panel (and
 //! re-load/re-store every output row once per depth step), which thrashes
@@ -9,10 +9,18 @@
 //! microkernel accumulates each output tile with one memory round-trip
 //! per `KC` depth block instead of one per multiply.
 //!
+//! The block sizes `MC/KC/NC` are **not constants**: they are derived
+//! from the host's detected cache hierarchy by [`crate::geometry`]
+//! (env-overridable via `CACHEBOX_CACHE_GEOMETRY`, refinable by the
+//! telemetry autotuner in [`crate::tuning`]) and read once per GEMM
+//! call. The pre-geometry constants live on as
+//! [`crate::geometry::FIXED_BLOCKING`] for comparison benchmarks.
+//!
 //! # Determinism contract
 //!
 //! Every function here is **bitwise identical** to its naive oracle in
-//! [`crate::gemm`]. That is possible because:
+//! [`crate::gemm`], under *any* blocking and *any* microkernel. That is
+//! possible because:
 //!
 //! * each output element still accumulates its products in strictly
 //!   increasing depth (`p`) order — blocking only changes *which other*
@@ -26,17 +34,24 @@
 //!   signed-zero and NaN propagation match.
 //!
 //! The property test `blocked_gemm_bitwise_equals_naive` in
-//! `crates/nn/tests/properties.rs` asserts this across random shapes,
-//! including zero-dense inputs that exercise the skip branch.
+//! `crates/nn/tests/properties.rs` asserts this across random shapes
+//! (including zero-dense inputs that exercise the skip branch) and
+//! under synthetic geometry overrides.
 //!
 //! # SIMD
 //!
 //! The portable default microkernel is a scalar `MR×NR` register tile
 //! whose 8-wide inner lane loop auto-vectorizes. With the `simd` cargo
-//! feature on `x86_64`, an explicit AVX microkernel
-//! (`_mm256_mul_ps`/`_mm256_add_ps`, runtime-detected) replaces it; on
-//! targets without AVX the scalar kernel is used transparently, so the
-//! feature is always safe to enable. See `docs/KERNELS.md`.
+//! feature, explicit kernels are dispatched by runtime CPU detection:
+//!
+//! * **x86_64 AVX** — `f32x8` tile (`_mm256_mul_ps`/`_mm256_add_ps`);
+//! * **x86_64 AVX-512F** — `f32x16` tile (`_mm512_*`), which widens the
+//!   packed B strips to 16 lanes so each depth step feeds one `zmm`;
+//! * **aarch64 NEON** — `2×f32x4` tile covering the same 8-wide strip.
+//!
+//! On targets without the detected feature the next-narrower kernel is
+//! used transparently, so the feature is always safe to enable; all
+//! variants remain bitwise interchangeable. See `docs/KERNELS.md`.
 
 use crate::scratch;
 use cachebox_telemetry as telemetry;
@@ -44,17 +59,14 @@ use cachebox_telemetry as telemetry;
 /// Microkernel rows: independent register accumulator rows per tile.
 pub const MR: usize = 4;
 
-/// Microkernel columns: the 8-wide `f32` lane width (one AVX register).
+/// Base microkernel columns: the 8-wide `f32` lane width shared by the
+/// scalar, AVX, and NEON kernels (one AVX register / two NEON registers).
 pub const NR: usize = 8;
 
-/// Rows of A packed per block (`MC×KC` A panel stays L2-resident).
-pub const MC: usize = 64;
-
-/// Depth of one packed block (`KC×NR` B strip stays L1-resident).
-pub const KC: usize = 256;
-
-/// Columns of B packed per block (`KC×NC` B panel stays L2-resident).
-pub const NC: usize = 256;
+/// Wide microkernel columns: the 16-wide lane width of the AVX-512
+/// kernel (one `zmm` register). Packed B strips use this width whenever
+/// the wide kernel is active.
+pub const NR_WIDE: usize = 16;
 
 /// Minimum `m·k·n` MAC count for the blocked path. Below this the
 /// packing overhead outweighs the cache savings and the auto dispatch
@@ -63,38 +75,98 @@ pub const NC: usize = 256;
 /// `perf_kernels`, see `BENCH_kernels.json`).
 pub const BLOCKED_MIN_MACS: usize = 4096;
 
-/// Process-wide kill switch for the AVX microkernel (benchmarks use it
-/// to measure the scalar and SIMD kernels in one binary).
-static SIMD_DISABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
-
-/// Enables or disables the AVX microkernel at runtime. A no-op unless
-/// the crate was built with the `simd` feature; results are bitwise
-/// identical either way, so this is purely a measurement aid.
-pub fn set_simd_enabled(enabled: bool) {
-    SIMD_DISABLED.store(!enabled, std::sync::atomic::Ordering::Relaxed);
+/// The microkernel width tiers the runtime dispatch chooses between.
+/// Higher tiers are preferred when compiled in and detected; the cap
+/// set by [`set_simd_cap`] can force a lower tier for measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar tile, 8-wide auto-vectorized lane loop.
+    Scalar = 0,
+    /// Explicit 8-lane kernel: AVX on x86_64, NEON (2×`f32x4`) on
+    /// aarch64.
+    Lanes8 = 1,
+    /// Explicit 16-lane kernel: AVX-512F on x86_64.
+    Lanes16 = 2,
 }
 
-/// Whether the explicit AVX microkernel is compiled in *and* the CPU
-/// supports it at runtime (and it has not been disabled via
-/// [`set_simd_enabled`]).
-pub fn simd_active() -> bool {
+impl SimdLevel {
+    /// The packed B-strip width this level's microkernel consumes.
+    pub fn nr(self) -> usize {
+        if self == SimdLevel::Lanes16 {
+            NR_WIDE
+        } else {
+            NR
+        }
+    }
+}
+
+/// Process-wide microkernel cap (benchmarks use it to measure each tier
+/// in one binary). `u8::MAX` = uncapped.
+static SIMD_CAP: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(u8::MAX);
+
+/// Caps the microkernel dispatch at `level`. A no-op beyond what the
+/// build and the CPU support; results are bitwise identical at every
+/// level, so this is purely a measurement aid.
+pub fn set_simd_cap(level: SimdLevel) {
+    SIMD_CAP.store(level as u8, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Legacy on/off switch: `false` caps dispatch at [`SimdLevel::Scalar`],
+/// `true` removes the cap.
+pub fn set_simd_enabled(enabled: bool) {
+    SIMD_CAP.store(
+        if enabled { u8::MAX } else { SimdLevel::Scalar as u8 },
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// The microkernel tier that will actually run: the highest level that
+/// is compiled in (`simd` feature), supported by this CPU, and not
+/// excluded by [`set_simd_cap`].
+pub fn active_simd_level() -> SimdLevel {
+    let cap = SIMD_CAP.load(std::sync::atomic::Ordering::Relaxed);
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     {
-        !SIMD_DISABLED.load(std::sync::atomic::Ordering::Relaxed)
-            && std::arch::is_x86_feature_detected!("avx")
+        if cap >= SimdLevel::Lanes16 as u8 && std::arch::is_x86_feature_detected!("avx512f") {
+            return SimdLevel::Lanes16;
+        }
+        if cap >= SimdLevel::Lanes8 as u8 && std::arch::is_x86_feature_detected!("avx") {
+            return SimdLevel::Lanes8;
+        }
     }
-    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
     {
-        false
+        // NEON is baseline on aarch64; no runtime probe needed.
+        if cap >= SimdLevel::Lanes8 as u8 {
+            return SimdLevel::Lanes8;
+        }
     }
+    let _ = cap;
+    SimdLevel::Scalar
 }
 
-/// Human-readable microkernel identifier for benchmark reports.
+/// Whether an explicit SIMD microkernel is active (any tier above
+/// scalar).
+pub fn simd_active() -> bool {
+    active_simd_level() != SimdLevel::Scalar
+}
+
+/// The packed B-strip width the current dispatch will use. The
+/// geometry-derived blocking rounds `NC` to a multiple of this.
+pub fn dispatch_nr() -> usize {
+    active_simd_level().nr()
+}
+
+/// Human-readable microkernel identifier for benchmark reports and the
+/// telemetry manifest.
 pub fn kernel_label() -> &'static str {
-    if simd_active() {
-        "avx-f32x8-4x8"
-    } else {
-        "scalar-f32x8-4x8"
+    match active_simd_level() {
+        SimdLevel::Lanes16 => "avx512-f32x16-4x16",
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Lanes8 => "neon-f32x4x2-4x8",
+        #[cfg(not(target_arch = "aarch64"))]
+        SimdLevel::Lanes8 => "avx-f32x8-4x8",
+        SimdLevel::Scalar => "scalar-f32x8-4x8",
     }
 }
 
@@ -137,25 +209,34 @@ fn pack_a(a: Mat<'_>, row0: usize, col0: usize, mc: usize, kc: usize, apack: &mu
 }
 
 /// Packs the `kc×nc` block of `b` starting at `(row0, col0)` into
-/// NR-interleaved strips (`bpack[s*kc*NR + p*NR + j]`), zero-padded past
-/// `nc`.
-fn pack_b(b: Mat<'_>, row0: usize, col0: usize, kc: usize, nc: usize, bpack: &mut [f32]) {
-    for s in 0..nc.div_ceil(NR) {
-        let strip = &mut bpack[s * kc * NR..(s + 1) * kc * NR];
-        let cols = NR.min(nc - s * NR);
-        for (p, lane) in strip.chunks_exact_mut(NR).enumerate() {
+/// `nrw`-interleaved strips (`bpack[s*kc*nrw + p*nrw + j]`), zero-padded
+/// past `nc`. The strip width follows the dispatched microkernel (8
+/// lanes, or 16 when the AVX-512 kernel is active).
+fn pack_b(
+    b: Mat<'_>,
+    row0: usize,
+    col0: usize,
+    kc: usize,
+    nc: usize,
+    nrw: usize,
+    bpack: &mut [f32],
+) {
+    for s in 0..nc.div_ceil(nrw) {
+        let strip = &mut bpack[s * kc * nrw..(s + 1) * kc * nrw];
+        let cols = nrw.min(nc - s * nrw);
+        for (p, lane) in strip.chunks_exact_mut(nrw).enumerate() {
             for (j, slot) in lane.iter_mut().enumerate() {
-                *slot = if j < cols { b.at(row0 + p, col0 + s * NR + j) } else { 0.0 };
+                *slot = if j < cols { b.at(row0 + p, col0 + s * nrw + j) } else { 0.0 };
             }
         }
     }
 }
 
-/// Full `MR×NR` register-tile microkernel, portable form. The output
-/// tile lives in `acc` for the whole `kc` depth block, so each element
-/// pays one load and one store per block instead of one per multiply.
-/// The inner `NR` loop is branch-free and auto-vectorizes to 8-wide
-/// lanes.
+/// Full `MR×NR` register-tile microkernel, portable form (8-wide
+/// strips). The output tile lives in `acc` for the whole `kc` depth
+/// block, so each element pays one load and one store per block instead
+/// of one per multiply. The inner `NR` loop is branch-free and
+/// auto-vectorizes to 8-wide lanes.
 fn kernel_full_scalar<const SKIP: bool>(
     kc: usize,
     astrip: &[f32],
@@ -236,10 +317,122 @@ mod avx {
     }
 }
 
-/// Full-tile microkernel dispatch: AVX when compiled in and detected,
-/// portable scalar otherwise.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx512 {
+    //! AVX-512F form of the full-tile microkernel on 16-wide strips.
+    //! `_mm512_mul_ps` + `_mm512_add_ps` are IEEE-754 per-lane
+    //! operations (again deliberately not `_mm512_fmadd_ps`), so each
+    //! of the 16 lanes performs exactly the scalar operation sequence —
+    //! the kernel is bitwise-equal to two adjacent 8-wide tiles.
+
+    use super::{MR, NR_WIDE};
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX-512F is available, `astrip`/`bstrip` hold
+    /// at least `kc` packed lanes (16-wide B strips), and `out[off..]`
+    /// covers an `MR×NR_WIDE` tile with row stride `ldc`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn kernel_full<const SKIP: bool>(
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        out: &mut [f32],
+        off: usize,
+        ldc: usize,
+    ) {
+        debug_assert!(astrip.len() >= kc * MR && bstrip.len() >= kc * NR_WIDE);
+        debug_assert!(out.len() >= off + (MR - 1) * ldc + NR_WIDE);
+        unsafe {
+            let ap = astrip.as_ptr();
+            let bp = bstrip.as_ptr();
+            let op = out.as_mut_ptr().add(off);
+            let mut acc = [_mm512_setzero_ps(); MR];
+            for (r, reg) in acc.iter_mut().enumerate() {
+                *reg = _mm512_loadu_ps(op.add(r * ldc));
+            }
+            for p in 0..kc {
+                let bvec = _mm512_loadu_ps(bp.add(p * NR_WIDE));
+                for (r, reg) in acc.iter_mut().enumerate() {
+                    let a_v = *ap.add(p * MR + r);
+                    if SKIP && a_v == 0.0 {
+                        continue;
+                    }
+                    *reg = _mm512_add_ps(*reg, _mm512_mul_ps(_mm512_set1_ps(a_v), bvec));
+                }
+            }
+            for (r, reg) in acc.iter().enumerate() {
+                _mm512_storeu_ps(op.add(r * ldc), *reg);
+            }
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon {
+    //! NEON form of the full-tile microkernel: two `f32x4` registers
+    //! cover the same 8-wide strip as the scalar kernel. `vmulq_f32` +
+    //! `vaddq_f32` are IEEE-754 per-lane operations (not `vfmaq_f32`),
+    //! so this kernel is bitwise-equal to
+    //! [`super::kernel_full_scalar`]. NEON is baseline on aarch64, so
+    //! no runtime probe guards the call.
+
+    use super::{MR, NR};
+    use std::arch::aarch64::*;
+
+    /// # Safety
+    ///
+    /// Caller must ensure `astrip`/`bstrip` hold at least `kc` packed
+    /// lanes and `out[off..]` covers an `MR×NR` tile with row stride
+    /// `ldc`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn kernel_full<const SKIP: bool>(
+        kc: usize,
+        astrip: &[f32],
+        bstrip: &[f32],
+        out: &mut [f32],
+        off: usize,
+        ldc: usize,
+    ) {
+        debug_assert!(astrip.len() >= kc * MR && bstrip.len() >= kc * NR);
+        debug_assert!(out.len() >= off + (MR - 1) * ldc + NR);
+        unsafe {
+            let ap = astrip.as_ptr();
+            let bp = bstrip.as_ptr();
+            let op = out.as_mut_ptr().add(off);
+            let mut lo = [vdupq_n_f32(0.0); MR];
+            let mut hi = [vdupq_n_f32(0.0); MR];
+            for r in 0..MR {
+                lo[r] = vld1q_f32(op.add(r * ldc));
+                hi[r] = vld1q_f32(op.add(r * ldc + 4));
+            }
+            for p in 0..kc {
+                let b_lo = vld1q_f32(bp.add(p * NR));
+                let b_hi = vld1q_f32(bp.add(p * NR + 4));
+                for r in 0..MR {
+                    let a_v = *ap.add(p * MR + r);
+                    if SKIP && a_v == 0.0 {
+                        continue;
+                    }
+                    let av = vdupq_n_f32(a_v);
+                    lo[r] = vaddq_f32(lo[r], vmulq_f32(av, b_lo));
+                    hi[r] = vaddq_f32(hi[r], vmulq_f32(av, b_hi));
+                }
+            }
+            for r in 0..MR {
+                vst1q_f32(op.add(r * ldc), lo[r]);
+                vst1q_f32(op.add(r * ldc + 4), hi[r]);
+            }
+        }
+    }
+}
+
+/// Full-tile microkernel dispatch for the level chosen at the top of
+/// the GEMM call (so packing width and kernel always agree).
 #[inline]
 fn kernel_full<const SKIP: bool>(
+    level: SimdLevel,
     kc: usize,
     astrip: &[f32],
     bstrip: &[f32],
@@ -247,35 +440,61 @@ fn kernel_full<const SKIP: bool>(
     off: usize,
     ldc: usize,
 ) {
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    if std::arch::is_x86_feature_detected!("avx") {
-        // SAFETY: AVX just detected; strip and tile bounds are
-        // guaranteed by the macro-kernel loop (debug-asserted inside).
-        unsafe { avx::kernel_full::<SKIP>(kc, astrip, bstrip, out, off, ldc) };
-        return;
+    match level {
+        SimdLevel::Lanes16 => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            // SAFETY: Lanes16 is only returned by `active_simd_level`
+            // when AVX-512F was detected; strip and tile bounds are
+            // guaranteed by the macro-kernel loop (debug-asserted
+            // inside).
+            unsafe {
+                avx512::kernel_full::<SKIP>(kc, astrip, bstrip, out, off, ldc)
+            }
+            #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+            unreachable!("Lanes16 dispatch without the AVX-512 kernel compiled in")
+        }
+        SimdLevel::Lanes8 => {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            // SAFETY: Lanes8 is only returned when AVX was detected.
+            unsafe {
+                avx::kernel_full::<SKIP>(kc, astrip, bstrip, out, off, ldc)
+            }
+            #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+            // SAFETY: NEON is baseline on aarch64.
+            unsafe {
+                neon::kernel_full::<SKIP>(kc, astrip, bstrip, out, off, ldc)
+            }
+            #[cfg(not(all(
+                feature = "simd",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            )))]
+            kernel_full_scalar::<SKIP>(kc, astrip, bstrip, out, off, ldc)
+        }
+        SimdLevel::Scalar => kernel_full_scalar::<SKIP>(kc, astrip, bstrip, out, off, ldc),
     }
-    kernel_full_scalar::<SKIP>(kc, astrip, bstrip, out, off, ldc);
 }
 
-/// Partial-tile kernel for the `m % MR` / `n % NR` edges: same
+/// Partial-tile kernel for the `m % MR` / `n % nrw` edges: same
 /// per-element operation sequence as the full kernel, restricted to the
-/// `mr×nr` live sub-tile (packed padding lanes are never read).
+/// `mr×nr` live sub-tile of an `nrw`-wide strip (packed padding lanes
+/// are never read).
 #[allow(clippy::too_many_arguments)]
 fn kernel_edge<const SKIP: bool>(
     kc: usize,
     mr: usize,
     nr: usize,
+    nrw: usize,
     astrip: &[f32],
     bstrip: &[f32],
     out: &mut [f32],
     off: usize,
     ldc: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
+    let mut acc = [[0.0f32; NR_WIDE]; MR];
     for (r, row) in acc.iter_mut().take(mr).enumerate() {
         row[..nr].copy_from_slice(&out[off + r * ldc..off + r * ldc + nr]);
     }
-    for (avals, bvec) in astrip.chunks_exact(MR).zip(bstrip.chunks_exact(NR)).take(kc) {
+    for (avals, bvec) in astrip.chunks_exact(MR).zip(bstrip.chunks_exact(nrw)).take(kc) {
         for (r, row) in acc.iter_mut().take(mr).enumerate() {
             let a_v = avals[r];
             if SKIP && a_v == 0.0 {
@@ -294,7 +513,10 @@ fn kernel_edge<const SKIP: bool>(
 /// The blocked macro-kernel: `out[m×n] += A[m×k] × B[k×n]` where `A` and
 /// `B` are packing sources. Depth blocks (`pc`) iterate outermost-but-one
 /// so every output element sees its products in globally increasing `p`
-/// order — the heart of the bitwise contract.
+/// order — the heart of the bitwise contract. The blocking parameters
+/// and microkernel tier are read once at entry, so one call is always
+/// internally consistent even if a tuner installs a new blocking
+/// mid-flight.
 fn gemm_core<const SKIP: bool>(
     a: Mat<'_>,
     b: Mat<'_>,
@@ -303,9 +525,12 @@ fn gemm_core<const SKIP: bool>(
     n: usize,
     out: &mut [f32],
 ) {
-    let kc_max = KC.min(k);
-    let apack_len = MC.min(m).div_ceil(MR) * kc_max * MR;
-    let bpack_len = NC.min(n).div_ceil(NR) * kc_max * NR;
+    let blk = crate::geometry::blocking();
+    let level = active_simd_level();
+    let nrw = level.nr();
+    let kc_max = blk.kc.min(k);
+    let apack_len = blk.mc.min(m).div_ceil(MR) * kc_max * MR;
+    let bpack_len = blk.nc.min(n).div_ceil(nrw) * kc_max * nrw;
     let mut apack = scratch::scratch(apack_len);
     let mut bpack = scratch::scratch(bpack_len);
     if telemetry::enabled() {
@@ -317,38 +542,38 @@ fn gemm_core<const SKIP: bool>(
     }
     let mut jc = 0;
     while jc < n {
-        let nc = NC.min(n - jc);
+        let nc = blk.nc.min(n - jc);
         let mut pc = 0;
         while pc < k {
-            let kc = KC.min(k - pc);
-            pack_b(b, pc, jc, kc, nc, &mut bpack);
+            let kc = blk.kc.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, nrw, &mut bpack);
             let mut ic = 0;
             while ic < m {
-                let mc = MC.min(m - ic);
+                let mc = blk.mc.min(m - ic);
                 pack_a(a, ic, pc, mc, kc, &mut apack);
                 let mut jr = 0;
                 while jr < nc {
-                    let nr = NR.min(nc - jr);
-                    let bstrip = &bpack[(jr / NR) * kc * NR..(jr / NR + 1) * kc * NR];
+                    let nr = nrw.min(nc - jr);
+                    let bstrip = &bpack[(jr / nrw) * kc * nrw..(jr / nrw + 1) * kc * nrw];
                     let mut ir = 0;
                     while ir < mc {
                         let mr = MR.min(mc - ir);
                         let astrip = &apack[(ir / MR) * kc * MR..(ir / MR + 1) * kc * MR];
                         let off = (ic + ir) * n + jc + jr;
-                        if mr == MR && nr == NR {
-                            kernel_full::<SKIP>(kc, astrip, bstrip, out, off, n);
+                        if mr == MR && nr == nrw {
+                            kernel_full::<SKIP>(level, kc, astrip, bstrip, out, off, n);
                         } else {
-                            kernel_edge::<SKIP>(kc, mr, nr, astrip, bstrip, out, off, n);
+                            kernel_edge::<SKIP>(kc, mr, nr, nrw, astrip, bstrip, out, off, n);
                         }
                         ir += MR;
                     }
-                    jr += NR;
+                    jr += nrw;
                 }
-                ic += MC;
+                ic += blk.mc;
             }
-            pc += KC;
+            pc += blk.kc;
         }
-        jc += NC;
+        jc += blk.nc;
     }
 }
 
@@ -580,6 +805,40 @@ mod tests {
 
     #[test]
     fn kernel_label_names_a_lane_width() {
-        assert!(kernel_label().contains("f32x8"));
+        assert!(kernel_label().contains("f32x"));
+        assert!(kernel_label().contains("4x"));
+    }
+
+    #[test]
+    fn simd_cap_is_monotone_and_restores() {
+        // Capping can only lower the level, and uncapping restores it.
+        let uncapped = active_simd_level();
+        set_simd_cap(SimdLevel::Scalar);
+        assert_eq!(active_simd_level(), SimdLevel::Scalar);
+        assert!(!simd_active());
+        set_simd_cap(SimdLevel::Lanes8);
+        assert!(active_simd_level() <= SimdLevel::Lanes8);
+        set_simd_enabled(true);
+        assert_eq!(active_simd_level(), uncapped);
+    }
+
+    /// Every dispatchable microkernel tier produces the same bits on a
+    /// shape with full tiles, edge tiles, and multiple depth blocks.
+    #[test]
+    fn all_simd_levels_bitwise_identical() {
+        let (m, k, n) = (37, 300, 51);
+        let a = zero_dense(m * k, 3);
+        let b = filled(k * n, 4);
+        let bias = filled(m * n, 5);
+        set_simd_cap(SimdLevel::Scalar);
+        let mut reference = bias.clone();
+        gemm_acc(&a, &b, m, k, n, &mut reference);
+        for cap in [SimdLevel::Lanes8, SimdLevel::Lanes16] {
+            set_simd_cap(cap);
+            let mut got = bias.clone();
+            gemm_acc(&a, &b, m, k, n, &mut got);
+            assert_eq!(reference, got, "level {:?} (ran {:?})", cap, active_simd_level());
+        }
+        set_simd_enabled(true);
     }
 }

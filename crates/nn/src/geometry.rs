@@ -1,0 +1,598 @@
+//! Host cache-hierarchy detection and cache-aware GEMM blocking.
+//!
+//! CacheBox *learns* cache behaviour, so its own hottest kernel should
+//! not ignore the cache it runs on. This module discovers the host's
+//! L1d/L2/L3 geometry once per process and derives the GotoBLAS
+//! blocking parameters (`MC`, `KC`, `NC` — see [`crate::blocked`]) from
+//! it analytically, replacing the former hard-coded `64/256/256`.
+//!
+//! # Detection sources, in priority order
+//!
+//! 1. **`CACHEBOX_CACHE_GEOMETRY`** — an explicit override for tests,
+//!    CI, and cross-host reproduction: `L1d:32K,L2:512K,L3:16M`
+//!    (the `L3` entry is optional, `Line:64` may set the line size).
+//!    Malformed input is rejected **loudly** (the process panics with
+//!    the parse error rather than silently mistuning).
+//! 2. **Linux sysfs** — `/sys/devices/system/cpu/cpu0/cache/index*`.
+//! 3. **CPUID** (x86_64) — deterministic cache parameters, leaf `0x4`
+//!    (Intel) falling back to leaf `0x8000001D` (AMD).
+//! 4. **A conservative default** — 32 KiB L1d, 256 KiB L2, no L3,
+//!    64-byte lines: small enough that the derived blocking is safe on
+//!    any post-2010 x86/ARM core, at worst leaving headroom unused.
+//!
+//! The chosen source is carried in [`CacheGeometry::source`] and
+//! reported by benchmarks and the telemetry run manifest so recorded
+//! numbers stay interpretable across hosts.
+//!
+//! # Blocking derivation
+//!
+//! [`Blocking::for_geometry`] sizes the three panel parameters so each
+//! packed operand stays resident in its intended cache level (`f32` =
+//! 4 bytes; `MR`/`NR` are the microkernel tile from [`crate::blocked`]):
+//!
+//! * `KC·NR·4 ≤ ½·L1d` — the B strip the microkernel streams per tile
+//!   stays L1-resident, leaving half of L1d for the A strip and C tile;
+//! * `MC·KC·4 ≤ ½·L2` — the packed A panel stays L2-resident alongside
+//!   a share of the B panel;
+//! * `KC·NC·4 ≤ L3/threads` (or `≤ L2` when no L3 exists) — the packed
+//!   B panel fits this worker's share of the last-level cache.
+//!
+//! Results are rounded down to `MR`/`NR` multiples and clamped to sane
+//! floors and ceilings so degenerate geometries (`L1d:1K`, absent L3)
+//! still yield a valid blocking. Whatever blocking is chosen, kernel
+//! outputs are **bitwise identical** — blocking is a pure performance
+//! knob (see the determinism contract in `docs/KERNELS.md`).
+//!
+//! After enough GEMM shard timings exist, the telemetry autotuner may
+//! refine the analytical blocking ([`crate::tuning::autotune_gemm_blocking`])
+//! and [`install_blocking`] it process-wide; [`blocking`] always
+//! returns the active choice and [`blocking_source`] says where it
+//! came from.
+
+use std::sync::{OnceLock, RwLock};
+
+/// Environment variable overriding cache detection:
+/// `CACHEBOX_CACHE_GEOMETRY=L1d:32K,L2:512K,L3:16M` (L3 and `Line:`
+/// optional; sizes accept `K`/`M`/`G` suffixes or plain bytes).
+pub const GEOMETRY_ENV_VAR: &str = "CACHEBOX_CACHE_GEOMETRY";
+
+/// Where a [`CacheGeometry`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometrySource {
+    /// Parsed from [`GEOMETRY_ENV_VAR`].
+    Env,
+    /// Read from `/sys/devices/system/cpu/cpu0/cache`.
+    Sysfs,
+    /// Queried via x86 CPUID deterministic cache parameters.
+    Cpuid,
+    /// The documented conservative fallback.
+    Default,
+}
+
+impl GeometrySource {
+    /// Stable label for reports and manifests.
+    pub fn label(self) -> &'static str {
+        match self {
+            GeometrySource::Env => "env",
+            GeometrySource::Sysfs => "sysfs",
+            GeometrySource::Cpuid => "cpuid",
+            GeometrySource::Default => "default",
+        }
+    }
+}
+
+/// The host data-cache hierarchy, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// L1 data cache capacity.
+    pub l1d: usize,
+    /// Unified L2 capacity (per core on every supported host).
+    pub l2: usize,
+    /// Last-level cache capacity, when one exists (shared across cores).
+    pub l3: Option<usize>,
+    /// Cache line size.
+    pub line: usize,
+    /// Which detector produced this geometry.
+    pub source: GeometrySource,
+}
+
+/// The conservative fallback used when no detector succeeds: small
+/// enough to be safe on any modern core (a too-small assumed cache only
+/// wastes headroom; a too-large one thrashes).
+pub const DEFAULT_GEOMETRY: CacheGeometry = CacheGeometry {
+    l1d: 32 * 1024,
+    l2: 256 * 1024,
+    l3: None,
+    line: 64,
+    source: GeometrySource::Default,
+};
+
+/// Parses a size with an optional binary suffix: `32K`, `16M`, `1G`,
+/// or plain bytes. Suffixes are case-insensitive.
+pub fn parse_size(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err("empty size".to_string());
+    }
+    let (digits, shift) = match s.as_bytes()[s.len() - 1].to_ascii_uppercase() {
+        b'K' => (&s[..s.len() - 1], 10),
+        b'M' => (&s[..s.len() - 1], 20),
+        b'G' => (&s[..s.len() - 1], 30),
+        b'0'..=b'9' => (s, 0),
+        other => return Err(format!("bad size suffix {:?} in {s:?}", other as char)),
+    };
+    let n: usize = digits.trim().parse().map_err(|e| format!("bad size number in {s:?}: {e}"))?;
+    n.checked_shl(shift).filter(|&v| v > 0).ok_or_else(|| format!("size out of range: {s:?}"))
+}
+
+fn format_size(bytes: usize) -> String {
+    for (shift, suffix) in [(30u32, "G"), (20, "M"), (10, "K")] {
+        if bytes >= (1 << shift) && bytes.is_multiple_of(1 << shift) {
+            return format!("{}{suffix}", bytes >> shift);
+        }
+    }
+    bytes.to_string()
+}
+
+impl CacheGeometry {
+    /// Parses the `L1d:32K,L2:512K,L3:16M[,Line:64]` override syntax.
+    /// `L1d` and `L2` are required; `L3` and `Line` are optional.
+    /// Unknown keys, duplicate keys, zero sizes, and malformed numbers
+    /// are all rejected with a descriptive error.
+    pub fn parse(spec: &str) -> Result<CacheGeometry, String> {
+        let mut l1d = None;
+        let mut l2 = None;
+        let mut l3 = None;
+        let mut line = None;
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err(format!("empty entry in geometry spec {spec:?}"));
+            }
+            let (key, value) =
+                entry.split_once(':').ok_or_else(|| format!("entry {entry:?} is not KEY:SIZE"))?;
+            let size = parse_size(value)?;
+            let slot = match key.trim().to_ascii_lowercase().as_str() {
+                "l1d" => &mut l1d,
+                "l2" => &mut l2,
+                "l3" => &mut l3,
+                "line" => &mut line,
+                other => {
+                    return Err(format!(
+                        "unknown geometry key {other:?} (expected L1d, L2, L3, or Line)"
+                    ))
+                }
+            };
+            if slot.replace(size).is_some() {
+                return Err(format!("duplicate geometry key in {entry:?}"));
+            }
+        }
+        Ok(CacheGeometry {
+            l1d: l1d.ok_or_else(|| format!("geometry spec {spec:?} is missing L1d"))?,
+            l2: l2.ok_or_else(|| format!("geometry spec {spec:?} is missing L2"))?,
+            l3,
+            line: line.unwrap_or(64),
+            source: GeometrySource::Env,
+        })
+    }
+
+    /// The canonical spec string; `parse(g.spec())` round-trips exactly
+    /// (modulo the source, which `spec` does not encode).
+    pub fn spec(&self) -> String {
+        let mut s = format!("L1d:{},L2:{}", format_size(self.l1d), format_size(self.l2));
+        if let Some(l3) = self.l3 {
+            s.push_str(&format!(",L3:{}", format_size(l3)));
+        }
+        if self.line != 64 {
+            s.push_str(&format!(",Line:{}", self.line));
+        }
+        s
+    }
+}
+
+/// Reads one sysfs cache attribute as a trimmed string.
+fn sysfs_read(index: usize, attr: &str) -> Option<String> {
+    let path = format!("/sys/devices/system/cpu/cpu0/cache/index{index}/{attr}");
+    std::fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+}
+
+/// Walks `/sys/devices/system/cpu/cpu0/cache/index*`. Returns `None`
+/// unless both an L1 data (or unified) cache and an L2 are present.
+fn detect_sysfs() -> Option<CacheGeometry> {
+    let mut l1d = None;
+    let mut l2 = None;
+    let mut l3 = None;
+    let mut line = None;
+    for index in 0..16 {
+        let Some(level) = sysfs_read(index, "level") else { break };
+        let Some(ty) = sysfs_read(index, "type") else { break };
+        let Some(size) = sysfs_read(index, "size").and_then(|s| parse_size(&s).ok()) else {
+            continue;
+        };
+        if line.is_none() {
+            line = sysfs_read(index, "coherency_line_size").and_then(|s| s.parse().ok());
+        }
+        match (level.as_str(), ty.as_str()) {
+            ("1", "Data") | ("1", "Unified") => l1d = Some(size),
+            ("2", _) => l2 = Some(size),
+            ("3", _) => l3 = Some(size),
+            _ => {}
+        }
+    }
+    Some(CacheGeometry {
+        l1d: l1d?,
+        l2: l2?,
+        l3,
+        line: line.unwrap_or(64),
+        source: GeometrySource::Sysfs,
+    })
+}
+
+/// Queries the deterministic cache parameters CPUID leaf. Intel
+/// exposes them at leaf `0x4`; AMD mirrors the layout at
+/// `0x8000001D` (gated on the extended-leaf ceiling).
+#[cfg(target_arch = "x86_64")]
+fn detect_cpuid() -> Option<CacheGeometry> {
+    use std::arch::x86_64::__cpuid_count;
+
+    let max_basic = __cpuid_count(0, 0).eax;
+    let max_extended = __cpuid_count(0x8000_0000, 0).eax;
+    let leaf = if max_basic >= 4 {
+        Some(0x4u32)
+    } else if max_extended >= 0x8000_001D {
+        Some(0x8000_001Du32)
+    } else {
+        None
+    }?;
+
+    let mut l1d = None;
+    let mut l2 = None;
+    let mut l3 = None;
+    let mut line = None;
+    for subleaf in 0..16 {
+        // Invalid subleaves report cache type 0, ending the walk.
+        let regs = __cpuid_count(leaf, subleaf);
+        let cache_type = regs.eax & 0x1f;
+        if cache_type == 0 {
+            break; // no more caches
+        }
+        let level = (regs.eax >> 5) & 0x7;
+        let ways = ((regs.ebx >> 22) & 0x3ff) as usize + 1;
+        let partitions = ((regs.ebx >> 12) & 0x3ff) as usize + 1;
+        let line_size = (regs.ebx & 0xfff) as usize + 1;
+        let sets = regs.ecx as usize + 1;
+        let size = ways * partitions * line_size * sets;
+        if line.is_none() {
+            line = Some(line_size);
+        }
+        // type 1 = data, 3 = unified; 2 (instruction) is skipped.
+        match (level, cache_type) {
+            (1, 1) | (1, 3) => l1d = Some(size),
+            (2, 1) | (2, 3) => l2 = Some(size),
+            (3, 1) | (3, 3) => l3 = Some(size),
+            _ => {}
+        }
+    }
+    // Intel's leaf-4 fallback on AMD parts reports nothing useful;
+    // retry the AMD leaf before giving up.
+    if (l1d.is_none() || l2.is_none()) && leaf == 0x4 && max_extended >= 0x8000_001D {
+        return detect_cpuid_amd(max_extended);
+    }
+    Some(CacheGeometry {
+        l1d: l1d?,
+        l2: l2?,
+        l3,
+        line: line.unwrap_or(64),
+        source: GeometrySource::Cpuid,
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_cpuid_amd(max_extended: u32) -> Option<CacheGeometry> {
+    use std::arch::x86_64::__cpuid_count;
+    if max_extended < 0x8000_001D {
+        return None;
+    }
+    let mut l1d = None;
+    let mut l2 = None;
+    let mut l3 = None;
+    let mut line = None;
+    for subleaf in 0..16 {
+        let regs = __cpuid_count(0x8000_001D, subleaf);
+        let cache_type = regs.eax & 0x1f;
+        if cache_type == 0 {
+            break;
+        }
+        let level = (regs.eax >> 5) & 0x7;
+        let ways = ((regs.ebx >> 22) & 0x3ff) as usize + 1;
+        let partitions = ((regs.ebx >> 12) & 0x3ff) as usize + 1;
+        let line_size = (regs.ebx & 0xfff) as usize + 1;
+        let sets = regs.ecx as usize + 1;
+        let size = ways * partitions * line_size * sets;
+        if line.is_none() {
+            line = Some(line_size);
+        }
+        match (level, cache_type) {
+            (1, 1) | (1, 3) => l1d = Some(size),
+            (2, 1) | (2, 3) => l2 = Some(size),
+            (3, 1) | (3, 3) => l3 = Some(size),
+            _ => {}
+        }
+    }
+    Some(CacheGeometry {
+        l1d: l1d?,
+        l2: l2?,
+        l3,
+        line: line.unwrap_or(64),
+        source: GeometrySource::Cpuid,
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_cpuid() -> Option<CacheGeometry> {
+    None
+}
+
+/// The host cache geometry, detected once per process: env override →
+/// sysfs → CPUID → [`DEFAULT_GEOMETRY`].
+///
+/// # Panics
+///
+/// Panics when [`GEOMETRY_ENV_VAR`] is set but malformed — a typo'd
+/// override silently falling back to detection would invalidate the
+/// test or benchmark that set it.
+pub fn detect() -> &'static CacheGeometry {
+    static GEOMETRY: OnceLock<CacheGeometry> = OnceLock::new();
+    GEOMETRY.get_or_init(|| {
+        if let Ok(spec) = std::env::var(GEOMETRY_ENV_VAR) {
+            return CacheGeometry::parse(&spec).unwrap_or_else(|e| {
+                panic!("invalid {GEOMETRY_ENV_VAR}: {e}");
+            });
+        }
+        detect_sysfs().or_else(detect_cpuid).unwrap_or(DEFAULT_GEOMETRY)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Blocking derivation.
+// ---------------------------------------------------------------------
+
+/// Floor for the depth block: below this, per-block packing overhead
+/// dominates any cache effect.
+pub const KC_MIN: usize = 16;
+
+/// Ceiling for the depth block: longer accumulation runs stop helping
+/// once the strip streams from L1 anyway, and the pack buffers grow.
+pub const KC_MAX: usize = 1024;
+
+/// Ceiling for the A-panel rows per block.
+pub const MC_MAX: usize = 1024;
+
+/// Ceiling for the B-panel columns per block (bounds the packed B panel
+/// to `NC_MAX·KC_MAX·4 = 32 MiB`, inside the scratch arena's pool cap).
+pub const NC_MAX: usize = 8192;
+
+/// The three GotoBLAS blocking parameters consumed by
+/// [`crate::blocked`]: rows of A packed per block (`mc`), depth of one
+/// packed block (`kc`), and columns of B packed per block (`nc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocking {
+    /// Rows of A packed per block (`MC`): the `MC×KC` A panel targets
+    /// half of L2.
+    pub mc: usize,
+    /// Depth of one packed block (`KC`): the `KC×NR` B strip targets
+    /// half of L1d.
+    pub kc: usize,
+    /// Columns of B packed per block (`NC`): the `KC×NC` B panel
+    /// targets this worker's share of L3 (or L2 when no L3 exists).
+    pub nc: usize,
+}
+
+/// The pre-geometry-aware constants (`64/256/256`), kept as a named
+/// reference point for benchmarks and regression comparisons.
+pub const FIXED_BLOCKING: Blocking = Blocking { mc: 64, kc: 256, nc: 256 };
+
+fn round_down(value: usize, multiple: usize) -> usize {
+    (value / multiple) * multiple
+}
+
+impl Blocking {
+    /// Derives the blocking for `geo` analytically (see the module docs
+    /// for the three panel inequalities). `mr`/`nr` are the microkernel
+    /// tile dimensions, `threads` the worker count sharing the L3.
+    pub fn for_geometry(geo: &CacheGeometry, mr: usize, nr: usize, threads: usize) -> Blocking {
+        let f32s = std::mem::size_of::<f32>();
+        let (mr, nr) = (mr.max(1), nr.max(1));
+        // KC·NR·4 ≤ ½·L1d, rounded to a multiple of 8 so full-depth
+        // lane loops stay tidy.
+        let kc_raw = geo.l1d / 2 / (nr * f32s);
+        let kc = round_down(kc_raw, 8).clamp(KC_MIN, KC_MAX);
+        // MC·KC·4 ≤ ½·L2.
+        let mc_raw = geo.l2 / 2 / (kc * f32s);
+        let mc = round_down(mc_raw, mr).clamp(mr, MC_MAX);
+        // KC·NC·4 ≤ L3 share (conservative: the panel must also fit L2
+        // when the host reports no L3).
+        let budget = geo.l3.map(|l3| l3 / threads.max(1)).unwrap_or(geo.l2);
+        let nc_raw = budget / (kc * f32s);
+        let nc = round_down(nc_raw, nr).clamp(nr, NC_MAX);
+        Blocking { mc, kc, nc }
+    }
+
+    /// Clamps all three parameters into their legal ranges (used when
+    /// installing an externally supplied blocking).
+    pub fn sanitized(self, mr: usize, nr: usize) -> Blocking {
+        Blocking {
+            mc: round_down(self.mc.max(mr), mr.max(1)).clamp(mr.max(1), MC_MAX),
+            kc: self.kc.clamp(1, KC_MAX),
+            nc: round_down(self.nc.max(nr), nr.max(1)).clamp(nr.max(1), NC_MAX),
+        }
+    }
+
+    /// Compact `mc=…,kc=…,nc=…` form for reports and manifests.
+    pub fn label(&self) -> String {
+        format!("mc={},kc={},nc={}", self.mc, self.kc, self.nc)
+    }
+}
+
+/// The process-wide installed blocking override, if any, with the label
+/// of whoever installed it (e.g. the telemetry autotuner).
+static INSTALLED: RwLock<Option<(Blocking, &'static str)>> = RwLock::new(None);
+
+/// Installs `blocking` (sanitized) as the process-wide choice consumed
+/// by every subsequent blocked GEMM call. `source` names the installer
+/// for [`blocking_source`] (e.g. `"telemetry:nn.gemm.shard_ns"`).
+/// Numerics are unaffected: every blocking yields bitwise-identical
+/// output, so installs may race harmlessly with running kernels.
+pub fn install_blocking(blocking: Blocking, source: &'static str) {
+    let sane = blocking.sanitized(crate::blocked::MR, crate::blocked::NR);
+    *INSTALLED.write().expect("blocking lock poisoned") = Some((sane, source));
+}
+
+/// Removes any installed override; [`blocking`] returns to the
+/// analytical derivation.
+pub fn clear_blocking() {
+    *INSTALLED.write().expect("blocking lock poisoned") = None;
+}
+
+/// The analytical blocking for the detected geometry under the current
+/// microkernel dispatch width and thread budget.
+pub fn analytic_blocking() -> Blocking {
+    Blocking::for_geometry(
+        detect(),
+        crate::blocked::MR,
+        crate::blocked::dispatch_nr(),
+        crate::parallel::Parallelism::current().threads(),
+    )
+}
+
+/// The active blocking: the installed override when present, otherwise
+/// the analytical derivation. Read once per GEMM call.
+pub fn blocking() -> Blocking {
+    if let Some((b, _)) = *INSTALLED.read().expect("blocking lock poisoned") {
+        return b;
+    }
+    analytic_blocking()
+}
+
+/// Where the active blocking came from: the installer's label for an
+/// override, otherwise `analytic:{detection source}`.
+pub fn blocking_source() -> &'static str {
+    if let Some((_, source)) = *INSTALLED.read().expect("blocking lock poisoned") {
+        return source;
+    }
+    match detect().source {
+        GeometrySource::Env => "analytic:env",
+        GeometrySource::Sysfs => "analytic:sysfs",
+        GeometrySource::Cpuid => "analytic:cpuid",
+        GeometrySource::Default => "analytic:default",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_size_suffixes_and_rejections() {
+        assert_eq!(parse_size("32K").unwrap(), 32 * 1024);
+        assert_eq!(parse_size("16m").unwrap(), 16 << 20);
+        assert_eq!(parse_size("1G").unwrap(), 1 << 30);
+        assert_eq!(parse_size("4096").unwrap(), 4096);
+        assert!(parse_size("").is_err());
+        assert!(parse_size("0").is_err());
+        assert!(parse_size("32Q").is_err());
+        assert!(parse_size("K").is_err());
+        assert!(parse_size("-4K").is_err());
+    }
+
+    #[test]
+    fn geometry_parse_roundtrip() {
+        for spec in ["L1d:32K,L2:512K,L3:16M", "L1d:4K,L2:64K", "L1d:48K,L2:2M,L3:260M,Line:128"] {
+            let geo = CacheGeometry::parse(spec).unwrap();
+            let again = CacheGeometry::parse(&geo.spec()).unwrap();
+            assert_eq!(geo, again, "{spec}");
+        }
+        let geo = CacheGeometry::parse("l1d:32k, l2:512k").unwrap();
+        assert_eq!(geo.l1d, 32 * 1024, "keys and suffixes are case-insensitive");
+        assert_eq!(geo.l3, None);
+        assert_eq!(geo.line, 64);
+        assert_eq!(geo.source, GeometrySource::Env);
+    }
+
+    #[test]
+    fn geometry_parse_rejects_malformed_specs_loudly() {
+        for bad in [
+            "",
+            "L1d:32K",               // missing L2
+            "L2:512K",               // missing L1d
+            "L1d:32K,L2:512K,L4:1M", // unknown key
+            "L1d:32K,L2:512K,L2:1M", // duplicate key
+            "L1d:0,L2:512K",         // zero size
+            "L1d:32K,L2:512Q",       // bad suffix
+            "L1d:32K,,L2:512K",      // empty entry
+            "L1d=32K,L2=512K",       // wrong separator
+        ] {
+            assert!(CacheGeometry::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn default_blocking_matches_documented_inequalities() {
+        let b = Blocking::for_geometry(&DEFAULT_GEOMETRY, 4, 8, 1);
+        assert!(b.kc * 8 * 4 <= DEFAULT_GEOMETRY.l1d / 2, "B strip fits half L1d");
+        assert!(b.mc * b.kc * 4 <= DEFAULT_GEOMETRY.l2 / 2, "A panel fits half L2");
+        assert!(b.kc * b.nc * 4 <= DEFAULT_GEOMETRY.l2, "no L3: B panel bounded by L2");
+        assert_eq!(b.mc % 4, 0);
+        assert_eq!(b.nc % 8, 0);
+    }
+
+    #[test]
+    fn degenerate_geometries_yield_sane_floors() {
+        // Small but derivable: the formulas still apply directly.
+        let tiny = CacheGeometry::parse("L1d:1K,L2:4K").unwrap();
+        let b = Blocking::for_geometry(&tiny, 4, 8, 1);
+        assert_eq!(b.kc, KC_MIN, "1K L1d floors kc");
+        assert_eq!(b.mc, 32, "4K L2 / 2 / (16·4B) = 32 rows");
+        assert_eq!(b.nc, 64, "4K L2 / (16·4B) = 64 cols");
+
+        // Absurdly small: every parameter hits its floor.
+        let absurd = CacheGeometry::parse("L1d:64,L2:256").unwrap();
+        let b = Blocking::for_geometry(&absurd, 4, 8, 1);
+        assert_eq!(b.kc, KC_MIN);
+        assert_eq!(b.mc, 4, "mc floors at MR");
+        assert_eq!(b.nc, 8, "nc floors at NR");
+
+        let huge = CacheGeometry::parse("L1d:1G,L2:1G,L3:1G").unwrap();
+        let b = Blocking::for_geometry(&huge, 4, 8, 1);
+        assert_eq!(b.kc, KC_MAX);
+        assert_eq!(b.mc, MC_MAX);
+        assert_eq!(b.nc, NC_MAX);
+    }
+
+    #[test]
+    fn l3_share_scales_down_with_threads() {
+        let geo = CacheGeometry::parse("L1d:32K,L2:512K,L3:16M").unwrap();
+        let alone = Blocking::for_geometry(&geo, 4, 8, 1);
+        let crowded = Blocking::for_geometry(&geo, 4, 8, 8);
+        assert!(crowded.nc <= alone.nc, "more threads → smaller L3 share");
+        assert_eq!(alone.kc, crowded.kc, "kc depends only on L1d");
+    }
+
+    #[test]
+    fn sanitize_clamps_degenerate_installs() {
+        let b = Blocking { mc: 0, kc: 0, nc: 3 }.sanitized(4, 8);
+        assert_eq!(b, Blocking { mc: 4, kc: 1, nc: 8 });
+        let b = Blocking { mc: 1 << 20, kc: 1 << 20, nc: 1 << 20 }.sanitized(4, 8);
+        assert_eq!(b, Blocking { mc: MC_MAX, kc: KC_MAX, nc: NC_MAX });
+    }
+
+    #[test]
+    fn detect_returns_consistent_geometry() {
+        let geo = detect();
+        assert!(geo.l1d > 0 && geo.l2 > 0 && geo.line > 0);
+        // Whatever the source, the derived blocking must be legal.
+        let b = Blocking::for_geometry(geo, 4, 8, 2);
+        assert!((KC_MIN..=KC_MAX).contains(&b.kc));
+        assert!(b.mc >= 4 && b.nc >= 8);
+    }
+}

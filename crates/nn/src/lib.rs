@@ -17,10 +17,13 @@
 //! * [`parallel`] — row-partitioned multithreaded GEMM dispatch plus the
 //!   [`Parallelism`] thread-count plumbing shared by the trainer, the
 //!   data pipeline, and the benchmark harness.
-//! * [`blocked`] — the cache-blocked, packed GEMM with an 8-wide
-//!   microkernel that the dispatch routes every sizable product through
-//!   (AVX intrinsics behind the `simd` feature, portable 8-lane scalar
-//!   otherwise); bitwise identical to the naive [`gemm`] oracle.
+//! * [`blocked`] — the cache-blocked, packed GEMM whose microkernel is
+//!   dispatched at runtime (portable scalar, AVX `f32x8`, or AVX-512
+//!   `f32x16` behind the `simd` feature; NEON on aarch64); bitwise
+//!   identical to the naive [`gemm`] oracle in every variant.
+//! * [`geometry`] — host cache-hierarchy detection (sysfs / CPUID /
+//!   `CACHEBOX_CACHE_GEOMETRY` override) and the analytical derivation
+//!   of the GEMM blocking parameters from it.
 //! * [`scratch`] — thread-local buffer recycling backing pack panels,
 //!   im2col matrices, and [`Tensor`] storage, so steady-state training
 //!   performs no transient heap allocation (see `docs/KERNELS.md`).
@@ -64,6 +67,7 @@
 
 pub mod blocked;
 pub mod gemm;
+pub mod geometry;
 pub mod graph;
 pub mod init;
 pub mod layers;

@@ -52,19 +52,33 @@ pub const THREADS_ENV_VAR: &str = "CACHEBOX_THREADS";
 /// Environment variable overriding [`par_flop_threshold`].
 pub const GEMM_THRESHOLD_ENV_VAR: &str = "CACHEBOX_GEMM_THRESHOLD";
 
-/// Default `m·k·n` MAC count below which the dispatching wrappers stay
-/// serial. Thread spawn costs tens of microseconds, so splitting only
-/// pays once the product amortises roughly two spawns' worth of work.
-/// `perf_kernels` measures spawn overhead and the single-thread MAC rate
-/// and derives the crossover (recorded in `BENCH_kernels.json`; the
-/// reference host measured ~22 µs per worker pair at ~1.3e10 MAC/s,
-/// i.e. a ~6e5 MAC crossover — this default is the nearest power of
-/// two).
-pub const PAR_FLOP_THRESHOLD: usize = 1 << 19;
+/// Floor for the geometry-derived parallel crossover: below ~128 K MACs
+/// even zero-cost workers would each get less work than one spawn
+/// amortises (the reference host measured ~22 µs per worker pair at
+/// ~1.3e10 MAC/s — see `perf_kernels` / `BENCH_kernels.json`).
+pub const PAR_THRESHOLD_MIN: usize = 1 << 17;
+
+/// Ceiling for the geometry-derived parallel crossover: past ~8 M MACs
+/// the product no longer fits any realistic L2 and splitting always
+/// pays, however large the cache claims to be.
+pub const PAR_THRESHOLD_MAX: usize = 1 << 23;
+
+/// Derives the serial/parallel crossover from the detected cache
+/// geometry: a product whose MAC count is at or below the L2 capacity
+/// (in bytes) touches operands that one core can keep cache-resident,
+/// so a single thread streams it faster than worker spawns amortise.
+/// Clamped to [`PAR_THRESHOLD_MIN`]..[`PAR_THRESHOLD_MAX`]; the
+/// conservative 256 KiB-L2 default geometry reproduces the previously
+/// hard-coded `1 << 19` crossover exactly (512 KiB L2 ⇒ `1 << 19`
+/// measured on the reference host was the same policy at its geometry).
+pub fn derive_par_flop_threshold(geo: &crate::geometry::CacheGeometry) -> usize {
+    geo.l2.clamp(PAR_THRESHOLD_MIN, PAR_THRESHOLD_MAX)
+}
 
 /// The active serial/parallel crossover in MACs (`m·k·n`):
 /// `CACHEBOX_GEMM_THRESHOLD` if set to a positive integer, otherwise
-/// [`PAR_FLOP_THRESHOLD`]. Read once and cached for the process.
+/// derived from the detected cache geometry by
+/// [`derive_par_flop_threshold`]. Read once and cached for the process.
 pub fn par_flop_threshold() -> usize {
     static THRESHOLD: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *THRESHOLD.get_or_init(|| {
@@ -72,7 +86,7 @@ pub fn par_flop_threshold() -> usize {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
-            .unwrap_or(PAR_FLOP_THRESHOLD)
+            .unwrap_or_else(|| derive_par_flop_threshold(crate::geometry::detect()))
     })
 }
 
@@ -468,8 +482,21 @@ mod tests {
         let t = par_flop_threshold();
         assert!(t > 0);
         if std::env::var(GEMM_THRESHOLD_ENV_VAR).is_err() {
-            assert_eq!(t, PAR_FLOP_THRESHOLD);
+            assert_eq!(t, derive_par_flop_threshold(crate::geometry::detect()));
+            assert!((PAR_THRESHOLD_MIN..=PAR_THRESHOLD_MAX).contains(&t));
         }
+    }
+
+    #[test]
+    fn derived_threshold_tracks_l2_within_clamps() {
+        use crate::geometry::{CacheGeometry, DEFAULT_GEOMETRY};
+        // The conservative default geometry reproduces the historical
+        // 1<<19 constant-era behaviour order of magnitude.
+        assert_eq!(derive_par_flop_threshold(&DEFAULT_GEOMETRY), 256 * 1024);
+        let tiny = CacheGeometry::parse("L1d:4K,L2:16K").unwrap();
+        assert_eq!(derive_par_flop_threshold(&tiny), PAR_THRESHOLD_MIN);
+        let huge = CacheGeometry::parse("L1d:1M,L2:64M,L3:256M").unwrap();
+        assert_eq!(derive_par_flop_threshold(&huge), PAR_THRESHOLD_MAX);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Telemetry-driven tuning of the batch-parallel chunk size.
+//! Telemetry-driven tuning: batch-parallel chunk size and GEMM blocking.
 //!
 //! The conv layers shard a batch into `threads` contiguous chunks by
 //! default. That is optimal when every shard costs the same, but the
@@ -11,11 +11,22 @@
 //! back to the untuned `Parallelism::chunk_count` split, so the
 //! constant default is always available.
 //!
+//! The same histogram also refines the GEMM blocking:
+//! [`autotune_gemm_blocking`] starts from the analytically derived
+//! parameters ([`crate::geometry::analytic_blocking`]) and, when the
+//! observed shard imbalance says workers are fighting over the shared
+//! last-level cache, selects the candidate with a proportionally
+//! smaller B panel (and A panel under heavy skew) before installing it
+//! via [`crate::geometry::install_blocking`]. The trainer runs both
+//! tuners after epoch 0; the benches run them after their warm-up legs.
+//!
 //! Numerics are unaffected by any choice made here: batch sharding is
-//! per-sample independent and gradient reduction uses the canonical
-//! tree (`crate::reduce`), so outputs are bitwise identical for every
-//! chunk size.
+//! per-sample independent, gradient reduction uses the canonical tree
+//! (`crate::reduce`), and every GEMM blocking is bitwise-equivalent by
+//! the contract in [`crate::blocked`], so outputs are identical for
+//! every decision this module can take.
 
+use crate::geometry::{self, Blocking};
 use crate::parallel::Parallelism;
 use cachebox_telemetry::{self as telemetry, Histogram, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -122,6 +133,94 @@ pub fn autotune_conv_chunk(par: Parallelism, batch: usize) -> Option<usize> {
     Some(chunk)
 }
 
+/// Label recorded as the blocking source when the telemetry tuner
+/// installs a refinement.
+pub const GEMM_BLOCKING_TUNED_SOURCE: &str = "telemetry:nn.gemm.shard_ns";
+
+/// Selects a blocking from the imbalance-tiered candidate ladder, or
+/// `None` when the histogram is too thin to trust (fewer than
+/// [`MIN_SHARD_SAMPLES`] observations or a degenerate p50).
+///
+/// The candidates are `base` (the analytical derivation) and two
+/// shrunken variants. Balanced shards (`p90/p50 ≤ 1.25`) mean the
+/// cache-resident panels are not contended, so the analytical choice
+/// stands. A moderate tail halves `NC` — the packed B panel is the one
+/// operand shared across workers, so shrinking it relieves last-level
+/// pressure first. A heavy tail (`> 2×`) additionally halves `MC`,
+/// shrinking each worker's L2 footprint. The result is sanitized to
+/// the microkernel tile multiples, and is bitwise-neutral by contract.
+pub fn derive_gemm_blocking(base: Blocking, hist: &Histogram) -> Option<Blocking> {
+    if hist.count() < MIN_SHARD_SAMPLES {
+        return None;
+    }
+    let p50 = hist.percentile(50.0);
+    let p90 = hist.percentile(90.0);
+    if p50 <= 0.0 {
+        return None;
+    }
+    let imbalance = p90 / p50;
+    let candidate = if imbalance <= 1.25 {
+        base
+    } else if imbalance <= 2.0 {
+        Blocking { mc: base.mc, kc: base.kc, nc: (base.nc / 2).max(1) }
+    } else {
+        Blocking { mc: (base.mc / 2).max(1), kc: base.kc, nc: (base.nc / 2).max(1) }
+    };
+    Some(candidate.sanitized(crate::blocked::MR, crate::blocked::dispatch_nr()))
+}
+
+/// Records the active GEMM blocking, its provenance, the detected cache
+/// geometry, and the dispatched microkernel in the telemetry stream
+/// (gauges + manifest), so recorded runs stay interpretable across
+/// hosts. Called by the tuner and by the benches; a no-op when
+/// telemetry is disabled.
+pub fn record_gemm_blocking() {
+    if !telemetry::enabled() {
+        return;
+    }
+    let blk = geometry::blocking();
+    let geo = geometry::detect();
+    telemetry::gauge("nn.gemm.blocking.mc", blk.mc as f64);
+    telemetry::gauge("nn.gemm.blocking.kc", blk.kc as f64);
+    telemetry::gauge("nn.gemm.blocking.nc", blk.nc as f64);
+    telemetry::manifest_kv("gemm_blocking", blk.label());
+    telemetry::manifest_kv("gemm_blocking_source", geometry::blocking_source());
+    telemetry::manifest_kv("cache_geometry", geo.spec());
+    telemetry::manifest_kv("cache_geometry_source", geo.source.label());
+    telemetry::manifest_kv("gemm_kernel", crate::blocked::kernel_label());
+}
+
+/// Reads the live `nn.gemm.shard_ns` histogram, refines the analytical
+/// blocking by the imbalance-tiered candidate selection, installs the
+/// winner process-wide, and records the decision (event + gauges +
+/// `gemm_blocking`/`gemm_blocking_source` manifest fields). Returns
+/// `None` — analytical blocking retained, but still recorded in the
+/// manifest — when telemetry is off or the histogram is too thin.
+pub fn autotune_gemm_blocking() -> Option<Blocking> {
+    let result = (|| {
+        let hist = telemetry::histogram_snapshot(SHARD_HISTOGRAM)?;
+        let base = geometry::analytic_blocking();
+        let tuned = derive_gemm_blocking(base, &hist)?;
+        geometry::install_blocking(tuned, GEMM_BLOCKING_TUNED_SOURCE);
+        telemetry::event(
+            "nn.gemm.blocking_tuned",
+            &[
+                ("mc", Value::U64(tuned.mc as u64)),
+                ("kc", Value::U64(tuned.kc as u64)),
+                ("nc", Value::U64(tuned.nc as u64)),
+                ("base_mc", Value::U64(base.mc as u64)),
+                ("base_nc", Value::U64(base.nc as u64)),
+                ("shard_p50_ns", Value::F64(hist.percentile(50.0))),
+                ("shard_p90_ns", Value::F64(hist.percentile(90.0))),
+                ("samples", Value::U64(hist.count())),
+            ],
+        );
+        Some(tuned)
+    })();
+    record_gemm_blocking();
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +276,33 @@ mod tests {
         let skewed = hist_with(&[(1000.0, 13), (16_000.0, 7)]);
         assert_eq!(derive_conv_chunk(4, 32, &skewed), Some(2), "heavy tail quarters");
         assert_eq!(derive_conv_chunk(4, 4, &skewed), Some(1), "chunk never drops below 1");
+    }
+
+    #[test]
+    fn gemm_blocking_tiers_shrink_panels_and_stay_sane() {
+        let base = Blocking { mc: 128, kc: 512, nc: 1024 };
+        let nr = crate::blocked::dispatch_nr();
+
+        let thin = hist_with(&[(1000.0, 8)]);
+        assert_eq!(derive_gemm_blocking(base, &thin), None, "below MIN_SHARD_SAMPLES");
+
+        let balanced = hist_with(&[(1000.0, 20)]);
+        assert_eq!(
+            derive_gemm_blocking(base, &balanced),
+            Some(base.sanitized(4, nr)),
+            "balanced shards keep the analytical blocking"
+        );
+
+        let moderate = hist_with(&[(1000.0, 13), (1800.0, 7)]);
+        let tuned = derive_gemm_blocking(base, &moderate).unwrap();
+        assert_eq!(tuned.mc, base.mc, "moderate tail keeps mc");
+        assert!(tuned.nc <= base.nc / 2, "moderate tail halves nc");
+        assert_eq!(tuned.nc % nr, 0, "nc stays microkernel-aligned");
+
+        let skewed = hist_with(&[(1000.0, 13), (16_000.0, 7)]);
+        let tuned = derive_gemm_blocking(base, &skewed).unwrap();
+        assert!(tuned.mc <= base.mc / 2, "heavy tail also halves mc");
+        assert_eq!(tuned.mc % 4, 0, "mc stays MR-aligned");
+        assert!(tuned.nc >= nr && tuned.mc >= 4, "floors hold even when shrinking");
     }
 }

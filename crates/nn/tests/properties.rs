@@ -1,6 +1,9 @@
 //! Property-based tests for the neural-network substrate.
 
 use cachebox_nn::gemm::{col2im, gemm, gemm_a_bt_acc, gemm_at_b_acc, im2col, PatchGrid};
+use cachebox_nn::geometry::{
+    self, Blocking, CacheGeometry, GeometrySource, KC_MAX, KC_MIN, MC_MAX, NC_MAX,
+};
 use cachebox_nn::layers::{Conv2d, ConvTranspose2d, Layer, Linear};
 use cachebox_nn::parallel::{
     gemm_a_bt_acc_with, gemm_acc_with, gemm_at_b_acc_with, gemm_with, Parallelism,
@@ -206,6 +209,69 @@ proptest! {
         }
     }
 
+    /// Every geometry — including degenerate ones like a 1 KiB L1d or
+    /// an absent L3 — derives a blocking that satisfies the packing
+    /// invariants: microkernel alignment, legal floors/ceilings, and
+    /// each panel-fits-cache inequality except where a floor clamp is
+    /// binding.
+    #[test]
+    fn derived_blocking_satisfies_invariants(
+        l1d_kib in 1usize..1024,
+        l2_kib in 1usize..65536,
+        l3_mib in 0usize..1024, // 0 = absent L3
+        threads in 1usize..32,
+    ) {
+        let geo = CacheGeometry {
+            l1d: l1d_kib << 10,
+            l2: l2_kib << 10,
+            l3: (l3_mib > 0).then_some(l3_mib << 20),
+            line: 64,
+            source: GeometrySource::Env,
+        };
+        let (mr, nr) = (4usize, 8usize);
+        let b = Blocking::for_geometry(&geo, mr, nr, threads);
+        prop_assert_eq!(b.mc % mr, 0, "mc MR-aligned: {:?}", b);
+        prop_assert_eq!(b.nc % nr, 0, "nc NR-aligned: {:?}", b);
+        prop_assert!((KC_MIN..=KC_MAX).contains(&b.kc), "kc in range: {:?}", b);
+        prop_assert!((mr..=MC_MAX).contains(&b.mc), "mc in range: {:?}", b);
+        prop_assert!((nr..=NC_MAX).contains(&b.nc), "nc in range: {:?}", b);
+        // Panel inequalities hold unless the floor clamp had to win.
+        prop_assert!(
+            b.kc * nr * 4 <= geo.l1d / 2 || b.kc == KC_MIN,
+            "B strip fits half L1d: {:?} vs {}", b, geo.l1d
+        );
+        prop_assert!(
+            b.mc * b.kc * 4 <= geo.l2 / 2 || b.mc == mr,
+            "A panel fits half L2: {:?} vs {}", b, geo.l2
+        );
+        let llc_share = geo.l3.map(|l3| l3 / threads).unwrap_or(geo.l2);
+        prop_assert!(
+            b.kc * b.nc * 4 <= llc_share || b.nc == nr,
+            "B panel fits LLC share: {:?} vs {}", b, llc_share
+        );
+    }
+
+    /// `CACHEBOX_CACHE_GEOMETRY` specs round-trip exactly through
+    /// `spec()`/`parse()` for arbitrary geometries.
+    #[test]
+    fn geometry_spec_roundtrips(
+        l1d in 1usize..(1 << 24),
+        l2 in 1usize..(1 << 28),
+        l3 in 0usize..(1 << 30), // 0 = absent L3
+        line_pow in 5u32..9,     // 32..=256 byte lines
+    ) {
+        let geo = CacheGeometry {
+            l1d,
+            l2,
+            l3: (l3 > 0).then_some(l3),
+            line: 1 << line_pow,
+            source: GeometrySource::Env,
+        };
+        let parsed = CacheGeometry::parse(&geo.spec());
+        prop_assert!(parsed.is_ok(), "spec {} rejected: {:?}", geo.spec(), parsed.err());
+        prop_assert_eq!(parsed.unwrap(), geo, "spec: {}", geo.spec());
+    }
+
     /// Tensor concat/split are mutually inverse for arbitrary shapes.
     #[test]
     fn concat_split_inverse(
@@ -290,4 +356,88 @@ fn blocked_gemm_bitwise_equals_naive() {
             }
         }
     }
+}
+
+/// Blocking is a pure performance knob and the microkernel tiers are
+/// interchangeable: every dispatchable SIMD level produces bits
+/// identical to the naive oracle under blockings derived from wildly
+/// different synthetic cache geometries, on ragged multi-block shapes.
+/// (The CI geometry-matrix leg additionally covers the
+/// `CACHEBOX_CACHE_GEOMETRY` env path end to end; here the synthetic
+/// geometries are installed directly so one process can sweep several.)
+#[test]
+fn blocked_gemm_bitwise_under_synthetic_geometries_and_simd_levels() {
+    use cachebox_nn::blocked::{self, SimdLevel};
+
+    fn fill(len: usize, seed: u64, zero_dense: bool) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let bits = (state >> 33) as u32;
+                if zero_dense && bits & 1 == 0 {
+                    0.0
+                } else {
+                    (bits % 2048) as f32 / 1024.0 - 1.0
+                }
+            })
+            .collect()
+    }
+
+    // Tiny (floors everything) and huge (ceilings everything), per the
+    // CI matrix, plus the analytic blocking for whatever this host is.
+    let synthetic_specs = ["L1d:4K,L2:64K", "L1d:512K,L2:8M,L3:64M"];
+    let mut blockings: Vec<(String, Blocking)> = synthetic_specs
+        .iter()
+        .map(|spec| {
+            let geo = CacheGeometry::parse(spec).expect("valid synthetic spec");
+            (spec.to_string(), Blocking::for_geometry(&geo, 4, 8, 2))
+        })
+        .collect();
+    blockings.push(("host-analytic".to_string(), geometry::analytic_blocking()));
+
+    // Ragged shapes spanning several blocks of even the tiny blocking.
+    let shapes: &[(usize, usize, usize)] = &[(3, 5, 7), (37, 300, 51), (65, 257, 33)];
+
+    for (geo_label, blocking) in &blockings {
+        geometry::install_blocking(*blocking, "test:synthetic");
+        for level in [SimdLevel::Scalar, SimdLevel::Lanes8, SimdLevel::Lanes16] {
+            blocked::set_simd_cap(level);
+            for &(m, k, n) in shapes {
+                for zero_dense in [false, true] {
+                    let label = format!(
+                        "geometry {geo_label} ({}), cap {level:?} (ran {:?}), \
+                         m={m} k={k} n={n} zero_dense={zero_dense}",
+                        blocking.label(),
+                        blocked::active_simd_level(),
+                    );
+                    let a = fill(m * k, 7, zero_dense);
+                    let b = fill(k * n, 11, zero_dense);
+                    let bias = fill(m * n, 13, false);
+
+                    let mut expect = bias.clone();
+                    cachebox_nn::gemm::gemm_acc(&a, &b, m, k, n, &mut expect);
+                    let mut got = bias.clone();
+                    cachebox_nn::blocked::gemm_acc(&a, &b, m, k, n, &mut got);
+                    assert_eq!(expect, got, "gemm_acc not bitwise identical ({label})");
+
+                    let a_t = fill(k * m, 17, zero_dense);
+                    let mut expect = bias.clone();
+                    gemm_at_b_acc(&a_t, &b, m, k, n, &mut expect);
+                    let mut got = bias.clone();
+                    cachebox_nn::blocked::gemm_at_b_acc(&a_t, &b, m, k, n, &mut got);
+                    assert_eq!(expect, got, "gemm_at_b_acc not bitwise identical ({label})");
+
+                    let b_t = fill(n * k, 19, zero_dense);
+                    let mut expect = bias.clone();
+                    gemm_a_bt_acc(&a, &b_t, m, k, n, &mut expect);
+                    let mut got = bias.clone();
+                    cachebox_nn::blocked::gemm_a_bt_acc(&a, &b_t, m, k, n, &mut got);
+                    assert_eq!(expect, got, "gemm_a_bt_acc not bitwise identical ({label})");
+                }
+            }
+        }
+    }
+    blocked::set_simd_enabled(true);
+    geometry::clear_blocking();
 }

@@ -379,14 +379,42 @@ pub fn stream_metrics(lines: &[Json]) -> Vec<Metric> {
 }
 
 /// Extracts metrics from one `BENCH_*.json` report document. Array
-/// legs are keyed by their identity field (`threads` / `replicas`)
-/// when present, by index otherwise, so legs match across reports that
-/// measured different sweeps.
+/// legs are keyed by their identity fields (`layer` / `shape` /
+/// `threads` / `replicas`, composed when several are present), by index
+/// otherwise, so legs match across reports that measured different
+/// sweeps — and legs that share a thread count (e.g. the two conv
+/// layers) stay distinct.
 pub fn bench_metrics(doc: &Json) -> Vec<Metric> {
     let mut metrics = Vec::new();
     walk_bench("", doc, &mut metrics);
     metrics.sort_by(|a, b| a.name.cmp(&b.name));
     metrics
+}
+
+/// The composed identity of one array leg, `None` when it carries no
+/// recognised identity field.
+fn leg_identity(item: &Json) -> Option<String> {
+    let mut parts = Vec::new();
+    if let Some(Json::Str(layer)) = item.get("layer") {
+        parts.push(format!("layer={layer}"));
+    }
+    if let Some(Json::Arr(dims)) = item.get("shape") {
+        let dims: Vec<String> =
+            dims.iter().filter_map(Json::as_f64).map(|v| format!("{v}")).collect();
+        if !dims.is_empty() {
+            parts.push(format!("shape={}", dims.join("x")));
+        }
+    }
+    for k in ["threads", "replicas"] {
+        if let Some(v) = item.get(k).and_then(Json::as_f64) {
+            parts.push(format!("{k}={v}"));
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(","))
+    }
 }
 
 fn walk_bench(prefix: &str, value: &Json, out: &mut Vec<Metric>) {
@@ -403,10 +431,7 @@ fn walk_bench(prefix: &str, value: &Json, out: &mut Vec<Metric>) {
                     )),
                     Json::Arr(items) => {
                         for (i, item) in items.iter().enumerate() {
-                            let id = ["threads", "replicas"].iter().find_map(|k| {
-                                item.get(k).and_then(Json::as_f64).map(|v| format!("{k}={v}"))
-                            });
-                            let leg = id.unwrap_or_else(|| i.to_string());
+                            let leg = leg_identity(item).unwrap_or_else(|| i.to_string());
                             walk_bench(&format!("{name}[{leg}]"), item, out);
                         }
                     }
@@ -916,6 +941,35 @@ mod tests {
             Verdict::Skipped,
             "whole leg not measured"
         );
+    }
+
+    #[test]
+    fn leg_identity_composes_layer_shape_and_threads() {
+        // The kernels report has two conv legs sharing threads=1 and
+        // gemm legs identified by their shape: composed identities keep
+        // every leg's metrics distinct.
+        let doc = parse_json(
+            r#"{
+                "gemm": [
+                    {"shape": [256, 256, 256], "speedup": 3.0},
+                    {"shape": [512, 512, 512], "speedup": 3.5}
+                ],
+                "conv": [
+                    {"layer": "conv2d", "threads": 1, "forward_seconds": 0.1},
+                    {"layer": "conv_transpose2d", "threads": 1, "forward_seconds": 0.2}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let names: Vec<String> = bench_metrics(&doc).into_iter().map(|m| m.name).collect();
+        for expected in [
+            "conv[layer=conv2d,threads=1].forward_seconds",
+            "conv[layer=conv_transpose2d,threads=1].forward_seconds",
+            "gemm[shape=256x256x256].speedup",
+            "gemm[shape=512x512x512].speedup",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected} in {names:?}");
+        }
     }
 
     #[test]

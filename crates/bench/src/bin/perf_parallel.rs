@@ -48,6 +48,19 @@ struct ReplicaRecord {
 }
 
 #[derive(Serialize)]
+struct MicroBatchRecord {
+    micro_batches: usize,
+    replicas: usize,
+    seconds_per_step: f64,
+    speedup: f64,
+    losses_identical: bool,
+    /// Fraction of optimizer-step work (the streamed discriminator
+    /// update plus the previous step's deferred generator update) that
+    /// ran while forward/backward workers were still busy.
+    overlap_ratio: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     host_cpus: usize,
     gemm_shape: [usize; 3],
@@ -61,6 +74,14 @@ struct Report {
     replica_image: usize,
     replica_serial_seconds: f64,
     replica: Vec<ReplicaRecord>,
+    micro_batch: Vec<MicroBatchRecord>,
+    /// Micro-batch count the autotuner derived from the
+    /// `nn.gemm.shard_ns` histogram; `null` when telemetry was off or
+    /// the histogram argued against splitting.
+    micro_batches_tuned: Option<usize>,
+    /// Scalars per segment-streamed optimizer chunk (the tuned value,
+    /// or the default when telemetry was off).
+    pipeline_chunk: usize,
     /// Conv batch-parallel chunk derived from the `nn.gemm.shard_ns`
     /// histogram by the autotuner; `null` when telemetry was off.
     conv_chunk: Option<usize>,
@@ -82,8 +103,11 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-fn parse_args() -> (Vec<usize>, bool, std::path::PathBuf, Option<std::path::PathBuf>) {
+type Args = (Vec<usize>, Vec<usize>, bool, std::path::PathBuf, Option<std::path::PathBuf>);
+
+fn parse_args() -> Args {
     let mut threads = vec![2usize, 4, 8];
+    let mut micro = vec![1usize, 2, 3, 4, 8];
     let mut smoke = false;
     let mut out = std::path::PathBuf::from("BENCH_parallel.json");
     let mut telemetry = None;
@@ -108,6 +132,18 @@ fn parse_args() -> (Vec<usize>, bool, std::path::PathBuf, Option<std::path::Path
                     .filter(|&n| n > 1)
                     .collect();
             }
+            "--micro-batches" => {
+                micro = value("--micro-batches")
+                    .split(',')
+                    .map(|t| {
+                        t.trim().parse().unwrap_or_else(|e| {
+                            eprintln!("error: bad --micro-batches entry {t:?}: {e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .filter(|&n| n > 0)
+                    .collect();
+            }
             "--smoke" => smoke = true,
             "--out" => out = std::path::PathBuf::from(value("--out")),
             "--telemetry" => telemetry = Some(std::path::PathBuf::from(value("--telemetry"))),
@@ -121,14 +157,14 @@ fn parse_args() -> (Vec<usize>, bool, std::path::PathBuf, Option<std::path::Path
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 eprintln!(
-                    "usage: perf_parallel [--threads N[,N...]] [--smoke] [--out PATH] \
-                     [--telemetry PATH] [--heartbeat-every N]"
+                    "usage: perf_parallel [--threads N[,N...]] [--micro-batches N[,N...]] \
+                     [--smoke] [--out PATH] [--telemetry PATH] [--heartbeat-every N]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    (threads, smoke, out, telemetry)
+    (threads, micro, smoke, out, telemetry)
 }
 
 /// A deterministic synthetic batch in the generator's tanh domain.
@@ -143,16 +179,17 @@ fn synth_batch(n: usize, hw: usize) -> TrainSample {
     }
 }
 
-fn replica_trainer(hw: usize, replicas: usize, threads: usize) -> GanTrainer {
+fn replica_trainer(hw: usize, replicas: usize, micro: usize, threads: usize) -> GanTrainer {
     let g = UNetGenerator::new(UNetConfig::for_image_size(hw, 8), 11);
     let d = PatchGan::new(PatchGanConfig::new(2, 8, 1), 12);
     GanTrainer::new(g, d, TrainConfig::default())
         .with_parallelism(Parallelism::new(threads))
         .with_replicas(replicas)
+        .with_micro_batches(micro)
 }
 
 fn main() {
-    let (thread_counts, smoke, out, telemetry) = parse_args();
+    let (thread_counts, micro_counts, smoke, out, telemetry) = parse_args();
     let _telemetry = match telemetry {
         Some(path) => {
             let config = cachebox_telemetry::TelemetryConfig::new("perf_parallel")
@@ -252,24 +289,25 @@ fn main() {
     }
     let batch = synth_batch(batch_n, hw);
     let mut ref_stats: Option<cachebox_gan::TrainStats> = None;
+    let mut check_ref = |first: cachebox_gan::TrainStats| match &ref_stats {
+        None => {
+            ref_stats = Some(first);
+            true
+        }
+        Some(s0) => {
+            s0.d_loss.to_bits() == first.d_loss.to_bits()
+                && s0.g_adv.to_bits() == first.g_adv.to_bits()
+                && s0.g_l1.to_bits() == first.g_l1.to_bits()
+        }
+    };
     let mut replica_records = Vec::new();
     let mut replica_serial_seconds = 0.0;
     for r in [1usize, 2, 3, 4, 6] {
-        let mut check = replica_trainer(hw, r, total_threads);
+        let mut check = replica_trainer(hw, r, 1, total_threads);
         let first = check.train_step(&batch).expect("finite gradients");
-        let losses_identical = match &ref_stats {
-            None => {
-                ref_stats = Some(first);
-                true
-            }
-            Some(s0) => {
-                s0.d_loss.to_bits() == first.d_loss.to_bits()
-                    && s0.g_adv.to_bits() == first.g_adv.to_bits()
-                    && s0.g_l1.to_bits() == first.g_l1.to_bits()
-            }
-        };
+        let losses_identical = check_ref(first);
         assert!(losses_identical, "replica training diverged at R={r}");
-        let mut timed = replica_trainer(hw, r, total_threads);
+        let mut timed = replica_trainer(hw, r, 1, total_threads);
         timed.train_step(&batch).expect("finite gradients"); // warmup
         let seconds = best_of(if smoke { 1 } else { 3 }, || {
             for _ in 0..steps {
@@ -292,6 +330,54 @@ fn main() {
         });
     }
 
+    // ---- Micro-batch pipelined train step: each batch splits into M
+    // micro-batches whose gradient terms stream into the reducer as
+    // they finish, the discriminator's optimizer step overlaps the
+    // still-running workers, and the generator's step runs in the
+    // background of the next step's forward. Losses and weights stay
+    // bitwise invariant in M (and jointly in R × M) — only the overlap
+    // ratio and wall-clock change.
+    let micro_batches_tuned =
+        cachebox_nn::tuning::autotune_micro_batches(Parallelism::new(total_threads), batch_n);
+    if let Some(m) = micro_batches_tuned {
+        progress!("micro-batch count autotuned to {m} (from nn.gemm.shard_ns)");
+    }
+    let pipeline_chunk_tuned = cachebox_nn::tuning::autotune_pipeline_chunk();
+    if let Some(chunk) = pipeline_chunk_tuned {
+        progress!("pipeline chunk autotuned to {chunk} scalars (from nn.gemm.shard_ns)");
+    }
+    let mut micro_records = Vec::new();
+    let joint = (5usize, 3usize); // ragged joint leg: M=5 micro-batches × R=3 replicas
+    let legs = micro_counts.iter().map(|&m| (m, 1usize)).chain(std::iter::once(joint));
+    for (m, r) in legs {
+        let mut check = replica_trainer(hw, r, m, total_threads);
+        let first = check.train_step(&batch).expect("finite gradients");
+        let losses_identical = check_ref(first);
+        assert!(losses_identical, "micro-batch training diverged at M={m} R={r}");
+        let mut timed = replica_trainer(hw, r, m, total_threads);
+        timed.train_step(&batch).expect("finite gradients"); // warmup
+        let seconds = best_of(if smoke { 1 } else { 3 }, || {
+            for _ in 0..steps {
+                timed.train_step(&batch).expect("finite gradients");
+            }
+        }) / steps as f64;
+        let overlap_ratio = timed.last_overlap_ratio();
+        let speedup = replica_serial_seconds / seconds;
+        progress!(
+            "train_step batch {batch_n} M={m} R={r} ({total_threads} threads): \
+             {seconds:.4}s/step ({speedup:.2}x, losses identical: {losses_identical}, \
+             overlap {overlap_ratio:.2})"
+        );
+        micro_records.push(MicroBatchRecord {
+            micro_batches: m,
+            replicas: r,
+            seconds_per_step: seconds,
+            speedup,
+            losses_identical,
+            overlap_ratio,
+        });
+    }
+
     let report = Report {
         host_cpus,
         gemm_shape: [m, k, n],
@@ -305,6 +391,9 @@ fn main() {
         replica_image: hw,
         replica_serial_seconds,
         replica: replica_records,
+        micro_batch: micro_records,
+        micro_batches_tuned,
+        pipeline_chunk: cachebox_nn::tuning::pipeline_chunk(),
         conv_chunk,
         gemm_blocking: gemm_blocking.map(|b| b.label()),
         gemm_blocking_source: cachebox_nn::geometry::blocking_source().to_string(),

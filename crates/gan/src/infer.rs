@@ -148,30 +148,12 @@ pub fn infer_parallel(
     infer_parallel_frozen(&frozen, access_maps, params, norm, batch_size, workers)
 }
 
-/// Splits `len` items into `parts` contiguous shards whose sizes differ
-/// by at most one: the first `len % parts` shards take one extra item.
-/// When `parts > len`, the shard count is clamped to `len` so every
-/// shard stays non-empty.
-///
-/// This is the balanced partition [`infer_parallel_frozen`] uses to
-/// honor the requested worker count. (The old
-/// `chunks(len.div_ceil(workers))` scheme could spawn *fewer* workers
-/// than asked — 9 items across 4 workers became 3 chunks of 3 — and
-/// left one worker with a short tail while others idled.)
-pub fn balanced_splits(len: usize, parts: usize) -> Vec<(usize, usize)> {
-    assert!(parts > 0, "shard count must be non-zero");
-    let parts = parts.min(len.max(1));
-    let base = len / parts;
-    let extra = len % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut lo = 0;
-    for i in 0..parts {
-        let hi = lo + base + usize::from(i < extra);
-        out.push((lo, hi));
-        lo = hi;
-    }
-    out
-}
+/// The balanced partition [`infer_parallel_frozen`] uses to honor the
+/// requested worker count — now shared workspace-wide from
+/// `cachebox_nn::parallel` so `par_map` (and through it
+/// `evaluate_sweep`) shards with the same arithmetic instead of
+/// duplicating it. Re-exported here for the existing callers.
+pub use cachebox_nn::parallel::balanced_splits;
 
 /// [`infer_parallel`] over an already-frozen generator: every worker
 /// borrows the shared read-only arena and thaws a local model.

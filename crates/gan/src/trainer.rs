@@ -6,13 +6,15 @@ use crate::unet::{UNetAsLayer, UNetGenerator};
 use cachebox_nn::layers::Layer;
 use cachebox_nn::optim::Adam;
 use cachebox_nn::replica::{GradExchange, GradLane, ReplicaCtx, SyncGroup};
-use cachebox_nn::{loss, reduce, replica, Parallelism, Tensor};
+use cachebox_nn::{loss, reduce, replica, tuning, Parallelism, ParamStore, Tensor};
 use cachebox_telemetry as telemetry;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Training hyper-parameters.
@@ -187,6 +189,10 @@ fn run_shard(
 ) -> ShardOut {
     let start = Instant::now();
     let _shard = telemetry::span("gan.replica.shard");
+    // Nested per-worker span: under micro-batch pipelining each worker
+    // is one (micro-batch, replica) cell of the shard grid, and the
+    // span tree exposes those cells individually.
+    let _micro = telemetry::span("gan.micro_batch.shard");
     let _guard = replica::install(ctx);
     let shard_n = hi - lo;
     let (input_s, target_s, params_s);
@@ -257,6 +263,84 @@ fn run_shard(
     }
 }
 
+/// Provenance label recorded when [`tuning::MICRO_BATCHES_ENV_VAR`]
+/// supplies the micro-batch count.
+const MICRO_ENV_SOURCE: &str = "env:CACHEBOX_MICRO_BATCHES";
+
+/// Streams one optimizer step over `store` in batches of consecutive
+/// layer groups, each covering at least `chunk_scalars` parameters
+/// (the last batch takes whatever remains). Bitwise equivalent to one
+/// whole-store [`Adam::step_store`]: segment order and per-element
+/// math are identical, only the loop is cut — which is what lets the
+/// caller interleave the step with other pipeline work.
+fn step_segments_chunked(opt: &mut Adam, store: &mut ParamStore, chunk_scalars: usize) {
+    let _span = telemetry::span("nn.adam.step");
+    opt.begin_step();
+    let groups = store.layer_groups();
+    let mut i = 0;
+    while i < groups.len() {
+        let seg_lo = groups[i].0;
+        let mut seg_hi = groups[i].1;
+        let mut j = i + 1;
+        let (span_lo, mut span_hi) = store.scalar_span(seg_lo, seg_hi);
+        while j < groups.len() && span_hi - span_lo < chunk_scalars {
+            seg_hi = groups[j].1;
+            span_hi = store.scalar_span(seg_lo, seg_hi).1;
+            j += 1;
+        }
+        opt.step_segments(store, seg_lo, seg_hi);
+        i = j;
+    }
+}
+
+/// Outcome of the main thread's discriminator phase, run concurrently
+/// with the workers' generator backward.
+struct DPhase {
+    /// `Ok(grad_norm)` when the step was applied; `Err((layer, norm))`
+    /// when a non-finite gradient was found — in that case neither the
+    /// optimizer moments nor the step counter were touched.
+    result: Result<f32, (String, f32)>,
+    /// `(start, end)` of the main-thread fold/scan/step work, in ns
+    /// since the step began (for the overlap-ratio measurement).
+    work: (u64, u64),
+}
+
+/// Receives the two discriminator gradient terms from `exchange`,
+/// folds them through the store's double gradient arena, scans *every*
+/// layer group for non-finite values, and — only when clean — streams
+/// the Adam update segment batch by segment. Runs on the main thread
+/// while the workers are still in the generator backward, which is the
+/// tentpole overlap: the optimizer step no longer waits for the batch
+/// boundary. Both term arenas are retired to `pool` before returning.
+fn reduce_and_step_d(
+    exchange: &mut GradExchange,
+    pool: &mut Vec<Vec<f32>>,
+    store: &mut ParamStore,
+    opt: &mut Adam,
+    chunk_scalars: usize,
+    step_start: Instant,
+) -> DPhase {
+    let d_real = exchange.recv_term(pool);
+    let d_fake = exchange.recv_term(pool);
+    let work_lo = step_start.elapsed().as_nanos() as u64;
+    store.grads_mut().copy_from_slice(&d_real);
+    store.back_grads_mut().copy_from_slice(&d_fake);
+    store.accumulate_back_grads();
+    pool.extend([d_real, d_fake]);
+    // The full scan happens before any segment steps: a non-finite
+    // gradient anywhere must leave the optimizer state untouched.
+    let (norm, bad) = store.grad_norm_scan();
+    let result = match bad {
+        Some(b) => Err(b),
+        None => {
+            step_segments_chunked(opt, store, chunk_scalars);
+            Ok(norm)
+        }
+    };
+    let work_hi = step_start.elapsed().as_nanos() as u64;
+    DPhase { result, work: (work_lo, work_hi) }
+}
+
 /// One (input, target, params) batch already in tensor form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainSample {
@@ -299,6 +383,26 @@ pub struct GanTrainer {
     /// Requested data-parallel replica count, honored exactly for every
     /// batch with at least that many samples.
     replicas: usize,
+    /// Explicitly pinned micro-batch count ([`GanTrainer::with_micro_batches`]);
+    /// `None` resolves env override → tuned install → 1 per step.
+    micro_batches: Option<usize>,
+    /// [`tuning::MICRO_BATCHES_ENV_VAR`], read once at construction.
+    env_micro: Option<usize>,
+    /// Last `(count, source)` recorded to the run manifest, so the
+    /// provenance is re-recorded only when the resolution changes.
+    recorded_micro: Option<(usize, &'static str)>,
+    /// The previous step's deferred generator update: the optimizer and
+    /// parameter store travel to a background thread that streams the
+    /// Adam step while the caller prepares (or runs) the next step.
+    /// Joined by [`GanTrainer::flush_pending_g`] before anything can
+    /// read or replace the generator weights.
+    pending_g: Option<JoinHandle<(Adam, ParamStore, u64)>>,
+    /// `(overlapped_ns, work_ns)` of the most recently flushed
+    /// background generator step, folded into the next step's
+    /// `gan.pipeline.overlap_ratio`.
+    g_flushed: (u64, u64),
+    /// Overlap ratio measured at the last completed step.
+    last_overlap: f64,
     /// Monotone step counter; keys the sharding-invariant dropout masks.
     step_counter: u64,
     /// Lazily built worker copies of the generator (replicas 1..R; the
@@ -334,6 +438,12 @@ impl GanTrainer {
             config,
             parallelism: Parallelism::current(),
             replicas: 1,
+            micro_batches: None,
+            env_micro: tuning::micro_batches_from_env(),
+            recorded_micro: None,
+            pending_g: None,
+            g_flushed: (0, 0),
+            last_overlap: 0.0,
             step_counter: 0,
             g_replicas: Vec::new(),
             d_replicas: Vec::new(),
@@ -386,6 +496,97 @@ impl GanTrainer {
         self.replicas
     }
 
+    /// Splits every training batch into **exactly** `micro_batches`
+    /// micro-batches — ragged counts included — and pipelines them:
+    /// all micro-batch shards run as concurrent workers of one
+    /// batch-norm rendezvous group, gradient partials stream through
+    /// the [`GradExchange`] in fixed worker order, and the
+    /// discriminator's optimizer step starts while the workers are
+    /// still in the generator backward. Each micro-batch is further
+    /// sharded across the configured replica count, so micro-batches
+    /// and replicas compose.
+    ///
+    /// Because every worker range is a node of the canonical halving
+    /// tree over the batch, losses and post-step weights are **bitwise
+    /// identical** for any micro-batch count `1 ≤ M ≤ batch` and any
+    /// replica × micro-batch combination (see
+    /// `docs/PARALLEL_TRAINING.md`). A request larger than the batch
+    /// clamps to one sample per micro-batch (recorded by the
+    /// `gan.micro_batch.requested`/`gan.micro_batch.count` gauges) —
+    /// unlike the replica count, which is a hard capacity contract,
+    /// the micro-batch count is a scheduling hint.
+    ///
+    /// Without this call the count resolves from
+    /// [`tuning::MICRO_BATCHES_ENV_VAR`], then from any
+    /// [`tuning::autotune_micro_batches`] install, then defaults to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micro_batches` is zero.
+    pub fn with_micro_batches(mut self, micro_batches: usize) -> Self {
+        assert!(micro_batches > 0, "micro-batch count must be non-zero");
+        self.micro_batches = Some(micro_batches);
+        self
+    }
+
+    /// The micro-batch count the next step will request, before
+    /// clamping to the batch size.
+    pub fn micro_batches(&self) -> usize {
+        self.resolve_micro_batches().0
+    }
+
+    /// `(count, provenance)` of the micro-batch request: explicit
+    /// builder setting, else the environment override, else the
+    /// telemetry-tuned install, else the default of one.
+    fn resolve_micro_batches(&self) -> (usize, &'static str) {
+        if let Some(m) = self.micro_batches {
+            (m, "explicit")
+        } else if let Some(m) = self.env_micro {
+            (m, MICRO_ENV_SOURCE)
+        } else if let Some(m) = tuning::micro_batches() {
+            (m, tuning::MICRO_BATCHES_TUNED_SOURCE)
+        } else {
+            (1, "default")
+        }
+    }
+
+    /// Records the resolved micro-batch count and its provenance in the
+    /// run manifest, once per distinct resolution.
+    fn record_micro_provenance(&mut self, micro_batches: usize, source: &'static str) {
+        if self.recorded_micro == Some((micro_batches, source)) {
+            return;
+        }
+        self.recorded_micro = Some((micro_batches, source));
+        tuning::record_micro_batches(micro_batches, source);
+    }
+
+    /// Overlap fraction of the last completed step: main-thread
+    /// optimizer work that ran concurrently with replica workers (the
+    /// discriminator step) or with the caller's inter-step work (the
+    /// previous step's deferred generator update), over all such work.
+    /// `0.0` before the first step completes.
+    pub fn last_overlap_ratio(&self) -> f64 {
+        self.last_overlap
+    }
+
+    /// Lands the previous step's deferred generator update, if one is
+    /// still in flight: joins the background thread, moves the
+    /// optimizer back, and imports the stepped values into the live
+    /// generator. Called before every weight read or new step, so the
+    /// deferral is never observable — only the overlap is.
+    fn flush_pending_g(&mut self) {
+        let Some(handle) = self.pending_g.take() else {
+            return;
+        };
+        let ready = handle.is_finished();
+        let wait = Instant::now();
+        let (opt_g, g_store, work_ns) = handle.join().expect("generator optimizer thread panicked");
+        let wait_ns = if ready { 0 } else { wait.elapsed().as_nanos() as u64 };
+        self.opt_g = opt_g;
+        UNetAsLayer(&mut self.generator).import_values("", &g_store);
+        self.g_flushed = (work_ns.saturating_sub(wait_ns), work_ns);
+    }
+
     /// Overrides the heartbeat cadence for this trainer: emit one
     /// [`cachebox_telemetry::Heartbeat`] every `steps` optimizer steps
     /// (`0` disables). Without this override the trainer follows the
@@ -403,11 +604,13 @@ impl GanTrainer {
 
     /// Borrows the generator (e.g. for inference after training).
     pub fn generator_mut(&mut self) -> &mut UNetGenerator {
+        self.flush_pending_g();
         &mut self.generator
     }
 
     /// Consumes the trainer, returning the trained networks.
-    pub fn into_networks(self) -> (UNetGenerator, PatchGan) {
+    pub fn into_networks(mut self) -> (UNetGenerator, PatchGan) {
+        self.flush_pending_g();
         (self.generator, self.discriminator)
     }
 
@@ -487,8 +690,21 @@ impl GanTrainer {
         }
     }
 
-    /// One optimization step on exactly `r_eff` replicas
+    /// One pipelined optimization step on exactly `r_eff` replicas
     /// (`1 <= r_eff <= n`, already validated by the callers).
+    ///
+    /// The batch is cut into `M` micro-batches along canonical-tree
+    /// node boundaries; each micro-batch is cut again across the
+    /// replicas, and **all** resulting workers run concurrently in one
+    /// batch-norm rendezvous group (micro-batches cannot run
+    /// sequentially — every BatchNorm statistic couples the whole
+    /// batch). Gradients stream through a frontier-plan
+    /// [`GradExchange`], so the main thread folds and *steps the
+    /// discriminator* while the workers are still in the generator
+    /// backward; the generator's own step is handed to a background
+    /// thread and lands at the next weight read. Everything is bitwise
+    /// invariant in `(R, M)` because every worker range is a node of
+    /// the same halving tree an unsharded run reduces with.
     fn step_with_replicas(
         &mut self,
         batch: &TrainSample,
@@ -496,6 +712,9 @@ impl GanTrainer {
         batch_idx: usize,
         r_eff: usize,
     ) -> Result<TrainStats, TrainError> {
+        // Land the previous step's deferred generator update before
+        // this step's forwards can read the weights.
+        self.flush_pending_g();
         let _step = telemetry::span("gan.train_step");
         let step_start = Instant::now();
         // Make the trainer's thread budget visible to the conv layers'
@@ -511,23 +730,54 @@ impl GanTrainer {
         let lambda = self.config.lambda;
         let g_len = UNetAsLayer(&mut self.generator).param_count();
         let d_len = self.discriminator.param_count();
-        let group = Arc::new(SyncGroup::new(r_eff, n));
+
+        // ---- Worker plan: M micro-batch tree nodes, each sub-split
+        // across min(r_eff, |micro|) replicas. `tree_splits` midpoints
+        // are self-similar, so every sub-shard is a node of the full
+        // batch tree and the flattened list is a valid reduction
+        // frontier for any (R, M).
+        let (m_req, m_source) = self.resolve_micro_batches();
+        let m_eff = m_req.clamp(1, n);
+        self.record_micro_provenance(m_req, m_source);
+        telemetry::gauge("gan.micro_batch.requested", m_req as f64);
+        telemetry::gauge("gan.micro_batch.count", m_eff as f64);
         telemetry::gauge("gan.replica.requested", self.replicas as f64);
         telemetry::gauge("gan.replica.count", r_eff as f64);
+        let mut shards: Vec<(usize, usize)> = Vec::with_capacity(m_eff * r_eff);
+        for &(mlo, mhi) in &reduce::tree_splits(n, m_eff) {
+            let span = mhi - mlo;
+            for &(slo, shi) in &reduce::tree_splits(span, r_eff.min(span)) {
+                shards.push((mlo + slo, mlo + shi));
+            }
+        }
+        let workers = shards.len();
+        let group = Arc::new(SyncGroup::new(workers, n));
 
         // Gradient partials stream through the exchange as each loss
-        // term's backward finishes, so the main thread tree-reduces
-        // term k while the workers run term k+1's backward. An inline
-        // single-replica run buffers every term (the reducer only runs
+        // term's backward finishes, so the main thread merges term k
+        // while the workers run term k+1's backward. An inline
+        // single-worker run buffers every term (the reducer only runs
         // after the shard returns); threaded runs double-buffer.
-        let depth = if r_eff == 1 { GRAD_TERMS } else { 2 };
-        let exchange = GradExchange::new(r_eff, GRAD_TERMS, depth, &mut self.grad_pool);
+        let depth = if workers == 1 { GRAD_TERMS } else { 2 };
+        let mut exchange =
+            GradExchange::for_shards(&shards, n, GRAD_TERMS, depth, &mut self.grad_pool);
 
-        let (outs, reduced): (Vec<ShardOut>, Vec<Vec<f32>>) = if r_eff == 1 {
-            // Single replica: run the shard inline on the main thread.
+        // Export both flat stores up front: the optimizers consume
+        // these copies, so the discriminator step can stream *inside*
+        // the worker scope while the live models — mutably lent to the
+        // workers — stay at pre-step weights until the import below.
+        let mut d_store = self.discriminator.export_store();
+        let mut g_store = UNetAsLayer(&mut self.generator).export_store();
+        let chunk = tuning::pipeline_chunk();
+        // Last worker finish time (ns since step start), for the
+        // overlap measurement.
+        let workers_end = AtomicU64::new(0);
+
+        let (outs, d_phase, g_term) = if workers == 1 {
+            // Single worker: run the shard inline on the main thread.
             // The context is still installed so dropout keying and the
             // batch-norm reduction take the same code path for every
-            // replica count.
+            // worker count.
             let ctx = ReplicaCtx { group, replica: 0, sample_base: 0, step_nonce: nonce };
             let mut lane = exchange.take_lane(0);
             let out = run_shard(
@@ -544,13 +794,22 @@ impl GanTrainer {
                 &mut lane,
             );
             drop(lane);
-            let reduced = exchange.reduce_terms(&mut self.grad_pool);
-            (vec![out], reduced)
+            workers_end.store(step_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let d_phase = reduce_and_step_d(
+                &mut exchange,
+                &mut self.grad_pool,
+                &mut d_store,
+                &mut self.opt_d,
+                chunk,
+                step_start,
+            );
+            let g_term = exchange.recv_term(&mut self.grad_pool);
+            (vec![out], d_phase, g_term)
         } else {
             // Broadcast the lead weights into the cached worker models
-            // as one flat copy each. Replica models share the lead's
-            // init seed so keyed dropout masks agree across replicas.
-            while self.g_replicas.len() < r_eff - 1 {
+            // as one flat copy each. Worker models share the lead's
+            // init seed so keyed dropout masks agree across workers.
+            while self.g_replicas.len() < workers - 1 {
                 self.g_replicas
                     .push(UNetGenerator::new(*self.generator.config(), self.generator.init_seed()));
                 self.d_replicas.push(PatchGan::new(*self.discriminator.config(), 0));
@@ -559,60 +818,80 @@ impl GanTrainer {
             UNetAsLayer(&mut self.generator).read_values_flat(&mut g_vals);
             let mut d_vals = vec![0.0f32; d_len];
             self.discriminator.read_values_flat(&mut d_vals);
-            for g in &mut self.g_replicas[..r_eff - 1] {
+            for g in &mut self.g_replicas[..workers - 1] {
                 UNetAsLayer(g).write_values_flat(&g_vals);
             }
-            for d in &mut self.d_replicas[..r_eff - 1] {
+            for d in &mut self.d_replicas[..workers - 1] {
                 d.write_values_flat(&d_vals);
             }
-            // Divide the thread budget between replicas so the total
-            // worker count stays at the configured level; the budget
+            // Divide the thread budget between workers so the total
+            // thread count stays at the configured level; the budget
             // only affects scheduling, never numerics.
             let outer = self.parallelism.threads();
-            Parallelism::new((outer / r_eff).max(1)).install();
+            Parallelism::new((outer / workers).max(1)).install();
             let generator = &mut self.generator;
             let discriminator = &mut self.discriminator;
             let grad_pool = &mut self.grad_pool;
-            let gs: Vec<&mut UNetGenerator> =
-                std::iter::once(generator).chain(self.g_replicas[..r_eff - 1].iter_mut()).collect();
-            let ds: Vec<&mut PatchGan> = std::iter::once(discriminator)
-                .chain(self.d_replicas[..r_eff - 1].iter_mut())
+            let opt_d = &mut self.opt_d;
+            let gs: Vec<&mut UNetGenerator> = std::iter::once(generator)
+                .chain(self.g_replicas[..workers - 1].iter_mut())
                 .collect();
-            let splits = reduce::tree_splits(n, r_eff);
+            let ds: Vec<&mut PatchGan> = std::iter::once(discriminator)
+                .chain(self.d_replicas[..workers - 1].iter_mut())
+                .collect();
+            let workers_end = &workers_end;
             // std::thread::scope (not the crossbeam wrapper): the
-            // rendezvous barrier inside SyncGroup requires the replicas
+            // rendezvous barrier inside SyncGroup requires the workers
             // to genuinely run concurrently.
-            let (outs, reduced) = std::thread::scope(|scope| {
+            let result = std::thread::scope(|scope| {
                 let handles: Vec<_> = gs
                     .into_iter()
                     .zip(ds)
-                    .zip(splits.iter().enumerate())
-                    .map(|((g, d), (r, &(lo, hi)))| {
+                    .zip(shards.iter().enumerate())
+                    .map(|((g, d), (w, &(lo, hi)))| {
                         let group = Arc::clone(&group);
-                        let mut lane = exchange.take_lane(r);
+                        let mut lane = exchange.take_lane(w);
                         scope.spawn(move || {
                             let ctx = ReplicaCtx {
                                 group,
-                                replica: r,
+                                replica: w,
                                 sample_base: lo,
                                 step_nonce: nonce,
                             };
-                            run_shard(g, d, batch, lo, hi, n, lambda, ctx, g_len, d_len, &mut lane)
+                            let out = run_shard(
+                                g, d, batch, lo, hi, n, lambda, ctx, g_len, d_len, &mut lane,
+                            );
+                            workers_end.fetch_max(
+                                step_start.elapsed().as_nanos() as u64,
+                                Ordering::Relaxed,
+                            );
+                            out
                         })
                     })
                     .collect();
-                // The main thread is the reducer: it folds each term in
-                // fixed replica order the moment its partials are all
-                // in, concurrently with the workers' remaining terms.
-                let reduced = exchange.reduce_terms(grad_pool);
+                // The main thread is the reducer *and* the
+                // discriminator optimizer: it merges the two D terms in
+                // fixed worker order as partials arrive, then streams
+                // the D step — all while the workers run the generator
+                // backward. That is the pipeline: the optimizer no
+                // longer waits for the batch boundary.
+                let d_phase = reduce_and_step_d(
+                    &mut exchange,
+                    grad_pool,
+                    &mut d_store,
+                    opt_d,
+                    chunk,
+                    step_start,
+                );
+                let g_term = exchange.recv_term(grad_pool);
                 let outs = handles
                     .into_iter()
                     .map(|h| h.join().expect("replica worker panicked"))
                     .collect::<Vec<_>>();
-                (outs, reduced)
+                (outs, d_phase, g_term)
             });
             self.parallelism.install();
-            (outs, reduced)
+            result
         };
 
         for o in &outs {
@@ -620,17 +899,9 @@ impl GanTrainer {
             self.hb_shard.record(o.shard_ns as f64);
         }
 
-        // ---- The exchange produced one fixed-order tree total per loss
-        // term (the same halving tree the shards were split with, so
-        // every replica count reproduces the single-replica sums
-        // bitwise): real-pair D, fake-pair D, then G.
-        let mut term_iter = reduced.into_iter();
-        let d_grads = term_iter.next().expect("real-pair discriminator term");
-        let d_fake_sum = term_iter.next().expect("fake-pair discriminator term");
-        let g_grads = term_iter.next().expect("generator term");
-
         // Losses: per-sample subtotals concatenate in global sample
-        // order (shards are contiguous and ascending), then tree-sum.
+        // order (worker shards are contiguous and ascending), then
+        // tree-sum with full-batch denominators.
         let patch_total = outs[0].patch_total;
         let img_total = outs[0].img_total;
         let mut real_rows = Vec::with_capacity(n);
@@ -648,34 +919,48 @@ impl GanTrainer {
         let l_gan = reduce::tree_sum(&gan_rows) / patch_total as f32;
         let l_l1 = reduce::tree_sum(&l1_rows) / img_total as f32;
 
-        // ---- Discriminator step through the flat parameter store. The
-        // two loss-term totals stage through the store's double
-        // gradient arena: real-pass in front, fake-pass in back, folded
-        // front += back (the same orientation the tree uses).
-        let mut d_store = self.discriminator.export_store();
-        d_store.grads_mut().copy_from_slice(&d_grads);
-        d_store.back_grads_mut().copy_from_slice(&d_fake_sum);
-        d_store.accumulate_back_grads();
-        let (d_norm, d_bad) = d_store.grad_norm_scan();
-        if let Some((layer, norm)) = d_bad {
-            self.grad_pool.extend([d_grads, d_fake_sum, g_grads]);
-            return Err(TrainError::NonFiniteGrad {
-                epoch,
-                batch: batch_idx,
-                layer: format!("discriminator/{layer}"),
-                norm,
-            });
-        }
-        telemetry::gauge("gan.grad_norm.d", f64::from(d_norm));
-        self.opt_d.step_store(&mut d_store);
+        // ---- Overlap accounting: the D-phase work clipped to the last
+        // worker finish (concurrent with the G backward), plus the
+        // previous step's background G work that completed before its
+        // flush (concurrent with the caller), over all such work.
+        let DPhase { result: d_result, work: (d_lo, d_hi) } = d_phase;
+        let we = workers_end.load(Ordering::Relaxed);
+        let d_work = d_hi.saturating_sub(d_lo);
+        let d_overlap = d_hi.min(we).saturating_sub(d_lo.min(we));
+        let (g_overlap, g_work) = std::mem::take(&mut self.g_flushed);
+        let total_work = d_work + g_work;
+        self.last_overlap =
+            if total_work == 0 { 0.0 } else { (d_overlap + g_overlap) as f64 / total_work as f64 };
+        telemetry::gauge("gan.pipeline.overlap_ratio", self.last_overlap);
+
+        // ---- Discriminator outcome. On a non-finite gradient the
+        // phase skipped the step entirely, so neither the optimizer
+        // moments nor the live model have been touched.
+        let d_norm = match d_result {
+            Ok(norm) => f64::from(norm),
+            Err((layer, norm)) => {
+                self.grad_pool.push(g_term);
+                return Err(TrainError::NonFiniteGrad {
+                    epoch,
+                    batch: batch_idx,
+                    layer: format!("discriminator/{layer}"),
+                    norm,
+                });
+            }
+        };
+        telemetry::gauge("gan.grad_norm.d", d_norm);
         self.discriminator.import_values("", &d_store);
 
-        // ---- Generator step.
-        let mut g_store = UNetAsLayer(&mut self.generator).export_store();
-        g_store.grads_mut().copy_from_slice(&g_grads);
+        // ---- Generator: fold and scan synchronously (the error must
+        // surface from this call), then defer the segment-streamed
+        // step to a background thread. It overlaps whatever the caller
+        // does next — collating the next batch, this step's stats
+        // handling — and lands at the next weight read via
+        // [`GanTrainer::flush_pending_g`].
+        g_store.grads_mut().copy_from_slice(&g_term);
+        self.grad_pool.push(g_term);
         let (g_norm, g_bad) = g_store.grad_norm_scan();
         if let Some((layer, norm)) = g_bad {
-            self.grad_pool.extend([d_grads, d_fake_sum, g_grads]);
             return Err(TrainError::NonFiniteGrad {
                 epoch,
                 batch: batch_idx,
@@ -684,14 +969,15 @@ impl GanTrainer {
             });
         }
         telemetry::gauge("gan.grad_norm.g", f64::from(g_norm));
-        self.opt_g.step_store(&mut g_store);
-        UNetAsLayer(&mut self.generator).import_values("", &g_store);
-
-        // Retire the term totals back into the arena pool.
-        self.grad_pool.extend([d_grads, d_fake_sum, g_grads]);
+        let mut opt_g = std::mem::replace(&mut self.opt_g, Adam::new(self.config.lr));
+        self.pending_g = Some(std::thread::spawn(move || {
+            let work = Instant::now();
+            step_segments_chunked(&mut opt_g, &mut g_store, chunk);
+            (opt_g, g_store, work.elapsed().as_nanos() as u64)
+        }));
 
         let stats = TrainStats { d_loss: 0.5 * (l_real + l_fake), g_adv: l_gan, g_l1: l_l1 };
-        self.maybe_heartbeat(epoch, n, step_start, &stats, f64::from(d_norm), f64::from(g_norm));
+        self.maybe_heartbeat(epoch, n, step_start, &stats, d_norm, f64::from(g_norm));
         Ok(stats)
     }
 
@@ -713,7 +999,7 @@ impl GanTrainer {
             return;
         }
         // `step_counter` was already advanced past this step.
-        if self.step_counter % every as u64 != 0 {
+        if !self.step_counter.is_multiple_of(every as u64) {
             return;
         }
         let secs = step_start.elapsed().as_secs_f64().max(1e-9);
@@ -782,6 +1068,10 @@ impl GanTrainer {
         for epoch in 0..self.config.epochs {
             let epoch_start = Instant::now();
             let lr = self.config.lr_at_epoch(epoch);
+            // The generator optimizer may still be out on the previous
+            // epoch's final background step; land it before retuning
+            // the learning rate.
+            self.flush_pending_g();
             self.opt_g.set_lr(lr);
             self.opt_d.set_lr(lr);
             order.shuffle(&mut rng);
@@ -827,23 +1117,30 @@ impl GanTrainer {
             history.push(avg);
             // After one full epoch the GEMM shard-time histogram has
             // enough samples to judge shard balance: derive the conv
-            // batch-parallel chunk and refine the GEMM blocking for the
-            // remaining epochs (no-ops when telemetry is off — the
-            // compiled-in chunk default and the analytical blocking
-            // stay; either way the numerics are bitwise unchanged).
+            // batch-parallel chunk, refine the GEMM blocking, and size
+            // the training pipeline (micro-batch count + optimizer
+            // streaming chunk) for the remaining epochs. All no-ops
+            // when telemetry is off — the compiled-in defaults stay;
+            // either way the numerics are bitwise unchanged, so
+            // adopting a tuned micro-batch count mid-fit is safe. An
+            // explicit `with_micro_batches` or env override outranks
+            // the tuned install (see `resolve_micro_batches`).
             if epoch == 0 {
-                let _ = cachebox_nn::tuning::autotune_conv_chunk(
-                    self.parallelism,
-                    self.config.batch_size,
-                );
-                let _ = cachebox_nn::tuning::autotune_gemm_blocking();
+                let _ = tuning::autotune_conv_chunk(self.parallelism, self.config.batch_size);
+                let _ = tuning::autotune_gemm_blocking();
+                let _ = tuning::autotune_micro_batches(self.parallelism, self.config.batch_size);
+                let _ = tuning::autotune_pipeline_chunk();
             }
         }
+        // The last step's generator update is still in flight; land it
+        // so callers observe fully-trained weights.
+        self.flush_pending_g();
         history
     }
 
     /// Runs the trained generator in evaluation mode.
     pub fn generate(&mut self, input: &Tensor, params: Option<&Tensor>) -> Tensor {
+        self.flush_pending_g();
         self.generator.forward(input, params, false)
     }
 }
@@ -1069,6 +1366,85 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "weight {i} differs at R={r_label}");
             }
         }
+    }
+
+    #[test]
+    fn micro_batch_counts_produce_bitwise_identical_steps() {
+        let samples = toy_samples(4);
+        let norm = Normalizer::new(4);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (input, target, _params) = collate(&refs, &norm);
+        let batch = TrainSample { input, target, params: None };
+        let mut runs = Vec::new();
+        for m in [1usize, 2, 3, 4] {
+            let mut trainer = tiny_trainer(1, false, 27).with_micro_batches(m);
+            let s1 = trainer.train_step(&batch).unwrap();
+            let s2 = trainer.train_step(&batch).unwrap();
+            runs.push((s1, s2, flat_weights(&mut trainer)));
+        }
+        // The joint micro-batch × replica refinement must also match.
+        let mut joint = tiny_trainer(1, false, 27).with_micro_batches(2).with_replicas(2);
+        let j1 = joint.train_step(&batch).unwrap();
+        let j2 = joint.train_step(&batch).unwrap();
+        runs.push((j1, j2, flat_weights(&mut joint)));
+        let labels = ["M=2", "M=3", "M=4", "R=2 M=2"];
+        let (s1, s2, w) = &runs[0];
+        for (label, (r1, r2, rw)) in labels.iter().zip(runs.iter().skip(1)) {
+            for (a, b) in [(s1, r1), (s2, r2)] {
+                assert_eq!(a.d_loss.to_bits(), b.d_loss.to_bits(), "d_loss differs at {label}");
+                assert_eq!(a.g_adv.to_bits(), b.g_adv.to_bits(), "g_adv differs at {label}");
+                assert_eq!(a.g_l1.to_bits(), b.g_l1.to_bits(), "g_l1 differs at {label}");
+            }
+            assert_eq!(w.len(), rw.len());
+            for (i, (a, b)) in w.iter().zip(rw).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "weight {i} differs at {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_micro_batch_request_clamps_and_matches() {
+        // Unlike the replica count (a capacity contract), the
+        // micro-batch count is a scheduling hint: M > batch clamps to
+        // one sample per micro-batch and changes nothing bitwise.
+        let samples = toy_samples(2);
+        let norm = Normalizer::new(4);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (input, target, _params) = collate(&refs, &norm);
+        let batch = TrainSample { input, target, params: None };
+        let mut base = tiny_trainer(1, false, 29);
+        let b = base.train_step(&batch).unwrap();
+        let mut wide = tiny_trainer(1, false, 29).with_micro_batches(16);
+        assert_eq!(wide.micro_batches(), 16);
+        let w = wide.train_step(&batch).unwrap();
+        assert_eq!(b.d_loss.to_bits(), w.d_loss.to_bits());
+        assert_eq!(b.g_l1.to_bits(), w.g_l1.to_bits());
+        assert_eq!(flat_weights(&mut base), flat_weights(&mut wide));
+    }
+
+    #[test]
+    fn one_optimizer_step_and_heartbeat_unit_per_batch_under_micro_batching() {
+        let samples = toy_samples(4);
+        let norm = Normalizer::new(4);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        let (input, target, _params) = collate(&refs, &norm);
+        let batch = TrainSample { input, target, params: None };
+        let mut trainer = tiny_trainer(1, false, 31).with_micro_batches(3);
+        assert_eq!(trainer.step_counter, 0);
+        trainer.train_step(&batch).unwrap();
+        assert_eq!(trainer.step_counter, 1, "micro-batches must not multiply optimizer steps");
+        trainer.train_step(&batch).unwrap();
+        assert_eq!(trainer.step_counter, 2);
+        // The heartbeat cadence keys off the same counter, so M > 1
+        // cannot emit more than one heartbeat per optimizer step.
+        let ratio = trainer.last_overlap_ratio();
+        assert!((0.0..=1.0).contains(&ratio), "overlap ratio out of range: {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "micro-batch count must be non-zero")]
+    fn zero_micro_batches_is_rejected() {
+        let _ = tiny_trainer(1, false, 1).with_micro_batches(0);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Micro-batch invariance of pipelined training.
+//!
+//! The contract (docs/PARALLEL_TRAINING.md § micro-batch pipelining):
+//! for any micro-batch count 1 ≤ M ≤ batch — ragged counts included —
+//! and any replica count combined with it, per-step losses and
+//! post-step weights are **bitwise identical** to the unpipelined
+//! (M = 1, R = 1) run. Micro-batch shards follow the canonical halving
+//! tree, replica sub-shards refine the same tree (midpoints are
+//! self-similar), gradient terms merge along the frontier plan in
+//! fixed worker order, batch-norm statistics rendezvous over the
+//! global batch with every micro-batch's workers concurrent, and the
+//! segment-streamed optimizer steps replay the whole-arena update in
+//! identical element order — so the only thing (R, M) changes is when
+//! work happens, never what it computes.
+//!
+//! The CI micro-batch matrix additionally runs the full gan suite
+//! under `CACHEBOX_MICRO_BATCHES=1` and `=3`.
+
+use cachebox_gan::condition::CacheParams;
+use cachebox_gan::data::{Normalizer, Sample};
+use cachebox_gan::unet::UNetAsLayer;
+use cachebox_gan::{
+    GanTrainer, PatchGan, PatchGanConfig, TrainConfig, TrainStats, UNetConfig, UNetGenerator,
+};
+use cachebox_heatmap::Heatmap;
+use cachebox_nn::layers::Layer;
+
+/// A toy "cache filter" dataset: the miss map keeps only the top half
+/// of the access map, as if lower rows always hit.
+fn toy_samples(n: usize) -> Vec<Sample> {
+    (0..n)
+        .map(|k| {
+            let mut access = Heatmap::zeros(8, 8);
+            let mut miss = Heatmap::zeros(8, 8);
+            for col in 0..8 {
+                for row in 0..8 {
+                    let v = ((k + col + row) % 4) as f32;
+                    access.set(row, col, v);
+                    if row < 4 {
+                        miss.set(row, col, v);
+                    }
+                }
+            }
+            Sample { access, miss, params: CacheParams::new(64, 12) }
+        })
+        .collect()
+}
+
+/// Trains a fresh model pair for three epochs with `micro_batches`
+/// micro-batches and `replicas` replicas over `samples` toy samples in
+/// batches of `batch_size`, returning the per-epoch losses plus the
+/// final flat weights and batch-norm buffers of both networks.
+fn run_sized(
+    micro_batches: usize,
+    replicas: usize,
+    dropout: bool,
+    conditioned: bool,
+    batch_size: usize,
+    samples: usize,
+) -> (Vec<TrainStats>, Vec<f32>) {
+    let mut gc = UNetConfig::for_image_size(8, 4).with_dropout(dropout);
+    if conditioned {
+        gc = gc.with_param_features(2);
+    }
+    let g = UNetGenerator::new(gc, 17);
+    let d = PatchGan::new(PatchGanConfig::new(2, 4, 1), 18);
+    let config = TrainConfig { epochs: 3, batch_size, lr: 2e-3, ..Default::default() };
+    let mut trainer =
+        GanTrainer::new(g, d, config).with_replicas(replicas).with_micro_batches(micro_batches);
+    let history = trainer.fit(&toy_samples(samples), &Normalizer::new(4));
+    let (mut g, mut d) = trainer.into_networks();
+    let mut state = Vec::new();
+    {
+        let mut layer = UNetAsLayer(&mut g);
+        let mut w = vec![0.0f32; layer.param_count()];
+        layer.read_values_flat(&mut w);
+        state.extend_from_slice(&w);
+        let mut b = vec![0.0f32; layer.buffer_scalar_count()];
+        layer.read_buffers_flat(&mut b);
+        state.extend_from_slice(&b);
+    }
+    let mut w = vec![0.0f32; d.param_count()];
+    d.read_values_flat(&mut w);
+    state.extend_from_slice(&w);
+    let mut b = vec![0.0f32; d.buffer_scalar_count()];
+    d.read_buffers_flat(&mut b);
+    state.extend_from_slice(&b);
+    (history, state)
+}
+
+/// [`run_sized`] at the suite's default shape: batches of 4 over 8
+/// samples.
+fn run(
+    micro_batches: usize,
+    replicas: usize,
+    dropout: bool,
+    conditioned: bool,
+) -> (Vec<TrainStats>, Vec<f32>) {
+    run_sized(micro_batches, replicas, dropout, conditioned, 4, 8)
+}
+
+fn assert_bitwise_equal(
+    label: &str,
+    base: &(Vec<TrainStats>, Vec<f32>),
+    got: &(Vec<TrainStats>, Vec<f32>),
+) {
+    assert_eq!(base.0.len(), got.0.len());
+    for (epoch, (a, b)) in base.0.iter().zip(&got.0).enumerate() {
+        assert_eq!(
+            a.d_loss.to_bits(),
+            b.d_loss.to_bits(),
+            "d_loss differs at {label}, epoch {epoch}: {} vs {}",
+            a.d_loss,
+            b.d_loss
+        );
+        assert_eq!(
+            a.g_adv.to_bits(),
+            b.g_adv.to_bits(),
+            "g_adv differs at {label}, epoch {epoch}: {} vs {}",
+            a.g_adv,
+            b.g_adv
+        );
+        assert_eq!(
+            a.g_l1.to_bits(),
+            b.g_l1.to_bits(),
+            "g_l1 differs at {label}, epoch {epoch}: {} vs {}",
+            a.g_l1,
+            b.g_l1
+        );
+    }
+    assert_eq!(base.1.len(), got.1.len(), "state arenas differ in length at {label}");
+    for (i, (a, b)) in base.1.iter().zip(&got.1).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "state scalar {i} differs at {label}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn micro_batch_counts_are_bitwise_invariant() {
+    // M ∈ {2, 3, 4} over batches of 4: ragged 3 exercises uneven tree
+    // splits; 4 is the one-sample-per-micro-batch extreme.
+    let base = run(1, 1, false, false);
+    for m in [2, 3, 4] {
+        assert_bitwise_equal(&format!("M={m}"), &base, &run(m, 1, false, false));
+    }
+    assert!(base.0.iter().all(|s| s.d_loss.is_finite() && s.g_l1.is_finite()));
+}
+
+#[test]
+fn micro_batches_compose_with_replicas_bitwise() {
+    // The joint grid: each micro-batch is sub-sharded across the
+    // replicas, and the hierarchical frontier must still reproduce the
+    // whole-batch tree.
+    let base = run(1, 1, false, false);
+    for (m, r) in [(2, 2), (2, 3), (3, 2), (4, 3)] {
+        assert_bitwise_equal(&format!("M={m} R={r}"), &base, &run(m, r, false, false));
+    }
+}
+
+#[test]
+fn ragged_micro_and_replica_composition_is_bitwise_invariant() {
+    // The satellite regression shape: batches of 11 across R=3
+    // replicas and M=5 micro-batches (micro sizes 2/3/3/1/2, each
+    // sub-sharded again — a worker per (micro, replica) cell, clamped
+    // where a micro-batch is smaller than R). 22 samples also leave no
+    // tail, so every batch runs the full grid.
+    let base = run_sized(1, 1, false, false, 11, 22);
+    assert_bitwise_equal("M=5 R=3 batch=11", &base, &run_sized(5, 3, false, false, 11, 22));
+    assert_bitwise_equal("M=11 R=1 batch=11", &base, &run_sized(11, 1, false, false, 11, 22));
+}
+
+#[test]
+fn micro_batches_are_bitwise_invariant_with_dropout() {
+    // Dropout masks are keyed by (layer seed, step nonce, global
+    // sample, element), so micro-batch sharding cannot change which
+    // activations drop.
+    let base = run(1, 1, true, false);
+    for (m, r) in [(2, 1), (3, 1), (4, 1), (2, 3)] {
+        assert_bitwise_equal(&format!("M={m} R={r} dropout"), &base, &run(m, r, true, false));
+    }
+}
+
+#[test]
+fn micro_batches_are_bitwise_invariant_when_conditioned() {
+    let base = run(1, 1, false, true);
+    for (m, r) in [(2, 1), (4, 1), (3, 3)] {
+        assert_bitwise_equal(&format!("M={m} R={r} cond"), &base, &run(m, r, false, true));
+    }
+}
+
+#[test]
+fn tail_batches_stay_invariant_under_micro_batching() {
+    // 10 samples in batches of 4 leave a tail batch of 2; both the
+    // micro-batch count and the replica count clamp on that tail and
+    // the run still matches the unpipelined bits.
+    let base = run_sized(1, 1, false, false, 4, 10);
+    for (m, r) in [(3, 1), (4, 4)] {
+        assert_bitwise_equal(
+            &format!("M={m} R={r} tail"),
+            &base,
+            &run_sized(m, r, false, false, 4, 10),
+        );
+    }
+}

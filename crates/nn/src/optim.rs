@@ -85,22 +85,40 @@ impl Adam {
         self.lr = lr;
     }
 
-    /// Applies one Adam step to every segment of `store`, updating the
-    /// value arena in place. Moments are looked up by segment name and
-    /// created lazily.
+    /// Advances the shared step counter by one without touching any
+    /// parameter. Call exactly once per logical optimizer step, then
+    /// cover every segment (in any disjoint grouping and order) with
+    /// [`Adam::step_segments`] — together the streamed equivalent of
+    /// one [`Adam::step_store`] call, bitwise.
+    ///
+    /// Bias corrections derive from the counter, so a range stepped
+    /// after a stray extra `begin_step` would disagree with the rest of
+    /// the store; the trainer's pipeline calls this once per train step
+    /// and then streams layer groups through `step_segments` as their
+    /// reduced gradients land.
+    pub fn begin_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Applies the current step's Adam update to segments
+    /// `seg_lo..seg_hi` of `store`, updating the value arena in place.
+    /// Moments are looked up by segment name and created lazily.
+    /// Per-segment updates are independent, so stepping disjoint ranges
+    /// in any order composes bitwise to one whole-store step, provided
+    /// [`Adam::begin_step`] ran exactly once beforehand.
     ///
     /// # Panics
     ///
     /// Panics if a named segment's length differs from its moment
-    /// state (`"parameter layout changed between steps"`).
-    pub fn step_store(&mut self, store: &mut ParamStore) {
-        let _span = cachebox_telemetry::span("nn.adam.step");
-        self.step += 1;
+    /// state (`"parameter layout changed between steps"`), or if called
+    /// before the first [`Adam::begin_step`].
+    pub fn step_segments(&mut self, store: &mut ParamStore, seg_lo: usize, seg_hi: usize) {
+        assert!(self.step > 0, "step_segments before begin_step");
         let t = self.step;
         let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
         let bias1 = 1.0 - b1.powi(t as i32);
         let bias2 = 1.0 - b2.powi(t as i32);
-        for si in 0..store.segments().len() {
+        for si in seg_lo..seg_hi {
             let seg = store.segments()[si].clone();
             let (pm, pv) = self
                 .moments
@@ -117,6 +135,20 @@ impl Adam {
                 store.values_mut()[range.start + i] -= lr * m_hat / (v_hat.sqrt() + eps);
             }
         }
+    }
+
+    /// Applies one Adam step to every segment of `store`, updating the
+    /// value arena in place: [`Adam::begin_step`] followed by one
+    /// [`Adam::step_segments`] over the whole table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named segment's length differs from its moment
+    /// state (`"parameter layout changed between steps"`).
+    pub fn step_store(&mut self, store: &mut ParamStore) {
+        let _span = cachebox_telemetry::span("nn.adam.step");
+        self.begin_step();
+        self.step_segments(store, 0, store.segments().len());
     }
 
     /// Applies one Adam step to every parameter of `layer` by routing
@@ -188,15 +220,24 @@ impl Sgd {
         self
     }
 
-    /// Applies one SGD step to every segment of `store`.
+    /// Marks the start of one logical optimizer step. SGD keeps no
+    /// step-indexed state, so this is a no-op — it exists so the
+    /// trainer's segment-streaming pipeline can drive [`Adam`] and
+    /// [`Sgd`] through the same `begin_step` / `step_segments`
+    /// protocol.
+    pub fn begin_step(&mut self) {}
+
+    /// Applies one SGD update to segments `seg_lo..seg_hi` of `store`.
+    /// Per-segment updates are independent: stepping disjoint ranges in
+    /// any order composes bitwise to one whole-store step.
     ///
     /// # Panics
     ///
     /// Panics if a named segment's length differs from its velocity
     /// state.
-    pub fn step_store(&mut self, store: &mut ParamStore) {
+    pub fn step_segments(&mut self, store: &mut ParamStore, seg_lo: usize, seg_hi: usize) {
         let (lr, mu) = (self.lr, self.momentum);
-        for si in 0..store.segments().len() {
+        for si in seg_lo..seg_hi {
             let seg = store.segments()[si].clone();
             let vel = self.velocity.entry(seg.name.clone()).or_insert_with(|| vec![0.0; seg.len]);
             assert_eq!(vel.len(), seg.len, "parameter layout changed between steps");
@@ -206,6 +247,17 @@ impl Sgd {
                 store.values_mut()[seg.offset + i] -= lr * *v;
             }
         }
+    }
+
+    /// Applies one SGD step to every segment of `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a named segment's length differs from its velocity
+    /// state.
+    pub fn step_store(&mut self, store: &mut ParamStore) {
+        self.begin_step();
+        self.step_segments(store, 0, store.segments().len());
     }
 
     /// Applies one SGD step to every parameter of `layer`.
@@ -324,6 +376,92 @@ mod tests {
         let sa = a.export_store();
         let sb = b.export_store();
         assert_eq!(sa.values(), sb.values());
+    }
+
+    /// Builds a multi-layer store with deterministic pseudo-random
+    /// values and gradients for the streaming-oracle tests.
+    fn synthetic_store(seed: u64) -> ParamStore {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        for (name, len) in [
+            ("net/conv2d0.weight", 24),
+            ("net/conv2d0.bias", 4),
+            ("net/batch_norm2d1.gamma", 4),
+            ("net/batch_norm2d1.beta", 4),
+            ("net/linear2.weight", 12),
+            ("net/linear2.bias", 3),
+        ] {
+            let values: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let grads: Vec<f32> = (0..len).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+            store.push_segment(name, &values, &grads);
+        }
+        store
+    }
+
+    /// The segment-granular path (`begin_step` + `step_segments` over
+    /// any disjoint chunking) must reproduce the whole-arena
+    /// `step_store` oracle bitwise — values *and* exported moments —
+    /// across multiple steps. This is what lets the trainer stream
+    /// layer groups into the optimizer as their reduced gradients land.
+    #[test]
+    fn segment_granular_adam_matches_whole_store_oracle_bitwise() {
+        for chunk in [1usize, 2, 3, 4, 6] {
+            let mut oracle_store = synthetic_store(41);
+            let mut chunked_store = synthetic_store(41);
+            let mut oracle = Adam::new(0.01);
+            let mut chunked = Adam::new(0.01);
+            for step in 0..3 {
+                // Vary the gradients between steps so moments evolve.
+                for (store, _) in [(&mut oracle_store, 0), (&mut chunked_store, 1)] {
+                    for g in store.grads_mut() {
+                        *g = (*g + 0.1 * step as f32) * 0.9;
+                    }
+                }
+                oracle.step_store(&mut oracle_store);
+                chunked.begin_step();
+                let n = chunked_store.segments().len();
+                let mut lo = 0;
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    chunked.step_segments(&mut chunked_store, lo, hi);
+                    lo = hi;
+                }
+                let a: Vec<u32> = oracle_store.values().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = chunked_store.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "chunk={chunk} step={step}");
+            }
+            assert_eq!(oracle.export_state(), chunked.export_state(), "chunk={chunk}");
+        }
+    }
+
+    /// Same oracle check for SGD with momentum.
+    #[test]
+    fn segment_granular_sgd_matches_whole_store_oracle_bitwise() {
+        let mut oracle_store = synthetic_store(43);
+        let mut chunked_store = synthetic_store(43);
+        let mut oracle = Sgd::new(0.05).with_momentum(0.9);
+        let mut chunked = Sgd::new(0.05).with_momentum(0.9);
+        for _ in 0..3 {
+            oracle.step_store(&mut oracle_store);
+            chunked.begin_step();
+            let n = chunked_store.segments().len();
+            for (lo, hi) in chunked_store.layer_groups() {
+                chunked.step_segments(&mut chunked_store, lo, hi);
+            }
+            assert!(n > 0);
+            let a: Vec<u32> = oracle_store.values().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = chunked_store.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before begin_step")]
+    fn adam_step_segments_requires_begin_step() {
+        let mut store = synthetic_store(47);
+        let mut adam = Adam::new(0.01);
+        adam.step_segments(&mut store, 0, 1);
     }
 
     #[test]

@@ -176,10 +176,37 @@ pub fn inner_budget(par: Parallelism, shards: usize, macs: usize) -> Parallelism
     Parallelism::new(par.threads() / shards.max(1))
 }
 
+/// Splits `len` work items into exactly `min(parts, max(len, 1))`
+/// contiguous ranges whose sizes differ by at most one, longest shards
+/// first. This is the canonical worker-count-honoring split for
+/// *independent* work items (inference shards, sweep jobs, `par_map`
+/// chunks) — unlike `reduce::tree_splits` it carries no combining-tree
+/// contract, it just balances.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn balanced_splits(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0, "cannot split work across zero workers");
+    let parts = parts.min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut splits = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let hi = lo + base + usize::from(i < extra);
+        splits.push((lo, hi));
+        lo = hi;
+    }
+    splits
+}
+
 /// Maps `f` over `items` on up to `par.threads()` scoped threads,
-/// preserving input order in the output. Items are split into contiguous
-/// chunks, so results are assembled deterministically regardless of
-/// scheduling.
+/// preserving input order in the output. Items are split into
+/// contiguous [`balanced_splits`] ranges — exactly `chunk_count` of
+/// them, sized within one of each other — so the requested worker
+/// count is honored and results are assembled deterministically
+/// regardless of scheduling.
 ///
 /// # Panics
 ///
@@ -194,12 +221,14 @@ where
     if chunks <= 1 {
         return items.iter().map(&f).collect();
     }
-    let chunk_len = items.len().div_ceil(chunks);
     crossbeam::thread::scope(|scope| {
         let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<R>>()))
+        let handles: Vec<_> = balanced_splits(items.len(), chunks)
+            .into_iter()
+            .map(|(lo, hi)| {
+                let chunk = &items[lo..hi];
+                scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<R>>())
+            })
             .collect();
         let mut out = Vec::with_capacity(items.len());
         for handle in handles {
@@ -469,6 +498,36 @@ mod tests {
         let items: Vec<usize> = (0..100).collect();
         let out = par_map(Parallelism::new(4), &items, |&x| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_honors_ragged_worker_counts() {
+        // 9 items over 4 workers used to round up to 3-item chunks and
+        // spawn only 3 workers; balanced_splits yields 3/2/2/2.
+        for (items_n, workers) in [(9usize, 4usize), (10, 3), (5, 8), (7, 7)] {
+            let items: Vec<usize> = (0..items_n).collect();
+            let out = par_map(Parallelism::new(workers), &items, |&x| x + 1);
+            assert_eq!(out, (0..items_n).map(|x| x + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn balanced_splits_honor_worker_count_within_one() {
+        for len in 0..=20usize {
+            for parts in 1..=8usize {
+                let splits = balanced_splits(len, parts);
+                assert_eq!(splits.len(), parts.min(len.max(1)));
+                assert_eq!(splits[0].0, 0);
+                assert_eq!(splits.last().unwrap().1, len);
+                for w in splits.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "splits must be contiguous");
+                }
+                let sizes: Vec<usize> = splits.iter().map(|(lo, hi)| hi - lo).collect();
+                let max = sizes.iter().max().unwrap();
+                let min = sizes.iter().min().unwrap();
+                assert!(max - min <= 1, "len={len} parts={parts} sizes={sizes:?}");
+            }
+        }
     }
 
     #[test]

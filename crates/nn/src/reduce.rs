@@ -63,6 +63,52 @@ pub fn tree_splits(n: usize, parts: usize) -> Vec<(usize, usize)> {
     out
 }
 
+/// Merge schedule for combining a tree-node frontier's partials in
+/// shard order.
+///
+/// `shards` must be contiguous ranges covering `[0, n)` where every
+/// range is a node of the canonical halving tree — e.g. the output of
+/// [`tree_splits`], or any refinement obtained by sub-splitting some of
+/// those ranges with `tree_splits` again (sub-splitting a node with the
+/// same midpoint rule yields sub-nodes of the full tree, so the union
+/// is still a frontier). The returned vector has one entry per shard:
+/// after pushing shard `i`'s partial onto a left-to-right merge stack,
+/// perform `plan[i]` combines, each replacing the top two stack entries
+/// `L, R` with `L + R` (elementwise, left operand accumulates). After
+/// the final shard the stack holds exactly one buffer: the canonical
+/// tree total of `[0, n)`, bitwise equal to the unsharded reduction.
+///
+/// Unlike [`tree_reduce_rows`] this consumes partials strictly in shard
+/// order, one at a time, so a reducer can start combining as soon as
+/// the first shards land instead of waiting for the full set — the
+/// basis of the streamed micro-batch reduction in `replica`.
+pub fn frontier_merge_plan(n: usize, shards: &[(usize, usize)]) -> Vec<usize> {
+    assert!(!shards.is_empty(), "cannot plan over zero shards");
+    assert_eq!(shards[0].0, 0, "frontier must start at sample 0");
+    assert_eq!(shards[shards.len() - 1].1, n, "frontier must end at sample {n}");
+    fn rec(lo: usize, hi: usize, shards: &[(usize, usize)], idx: &mut usize, plan: &mut [usize]) {
+        let (slo, shi) = shards[*idx];
+        assert_eq!(slo, lo, "shard {idx} does not start on a tree-node boundary", idx = *idx);
+        if shi == hi {
+            *idx += 1;
+            return;
+        }
+        assert!(shi < hi, "shard {idx} crosses a tree-node boundary", idx = *idx);
+        let mid = lo + (hi - lo) / 2;
+        rec(lo, mid, shards, idx, plan);
+        rec(mid, hi, shards, idx, plan);
+        // Both children are now on the stack (each already collapsed to
+        // one entry); combine them right after the right child's last
+        // shard arrives.
+        plan[*idx - 1] += 1;
+    }
+    let mut plan = vec![0usize; shards.len()];
+    let mut idx = 0usize;
+    rec(0, n, shards, &mut idx, &mut plan);
+    assert_eq!(idx, shards.len(), "frontier has trailing shards past sample {n}");
+    plan
+}
+
 /// Tree-reduces `n` packed per-sample buffers of `len` floats in place.
 ///
 /// `bufs` holds sample `i`'s contribution at `i*len..(i+1)*len`; after
@@ -261,6 +307,123 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Drives a merge stack with `frontier_merge_plan`, mirroring what
+    /// the streamed reducer in `replica` does with arriving partials.
+    fn drive_plan(partials: &[Vec<f32>], plan: &[usize]) -> Vec<f32> {
+        let mut stack: Vec<Vec<f32>> = Vec::new();
+        for (partial, &merges) in partials.iter().zip(plan) {
+            stack.push(partial.clone());
+            for _ in 0..merges {
+                let right = stack.pop().unwrap();
+                let left = stack.last_mut().unwrap();
+                for (d, s) in left.iter_mut().zip(&right) {
+                    *d += *s;
+                }
+            }
+        }
+        assert_eq!(stack.len(), 1, "plan must collapse the stack to the total");
+        stack.pop().unwrap()
+    }
+
+    fn shard_partials(
+        samples: &[Vec<f32>],
+        shards: &[(usize, usize)],
+        len: usize,
+    ) -> Vec<Vec<f32>> {
+        shards
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut buf: Vec<f32> = samples[lo..hi].concat();
+                fold_samples(&mut buf, hi - lo, len);
+                buf.truncate(len);
+                buf
+            })
+            .collect()
+    }
+
+    /// The streamed in-order merge must agree bitwise with both the
+    /// unsharded fold and `tree_reduce_rows` over the same frontier.
+    #[test]
+    fn frontier_merge_plan_matches_full_fold_bitwise() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in 1..=12usize {
+            let len = 4;
+            let samples: Vec<Vec<f32>> =
+                (0..n).map(|_| (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()).collect();
+            let mut full: Vec<f32> = samples.concat();
+            fold_samples(&mut full, n, len);
+            let reference: Vec<u32> = full[..len].iter().map(|v| v.to_bits()).collect();
+
+            for parts in 1..=n {
+                let shards = tree_splits(n, parts);
+                let partials = shard_partials(&samples, &shards, len);
+                let plan = frontier_merge_plan(n, &shards);
+                let streamed = drive_plan(&partials, &plan);
+                assert_eq!(
+                    streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference,
+                    "n={n} parts={parts}"
+                );
+                let rows: Vec<&[f32]> = partials.iter().map(|p| p.as_slice()).collect();
+                let batch = tree_reduce_rows(&rows);
+                assert_eq!(
+                    streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "streamed merge must equal tree_reduce_rows, n={n} parts={parts}"
+                );
+            }
+        }
+    }
+
+    /// Hierarchical refinement: split into M micro-ranges, then split
+    /// each micro-range into up to R sub-shards. The union is still a
+    /// tree-node frontier, so the in-order merge must reproduce the
+    /// unsharded reduction — the joint R×M invariance the trainer
+    /// relies on.
+    #[test]
+    fn frontier_merge_plan_composes_across_micro_batches() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in 1..=11usize {
+            let len = 3;
+            let samples: Vec<Vec<f32>> =
+                (0..n).map(|_| (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()).collect();
+            let mut full: Vec<f32> = samples.concat();
+            fold_samples(&mut full, n, len);
+            let reference: Vec<u32> = full[..len].iter().map(|v| v.to_bits()).collect();
+
+            for m in 1..=n {
+                for r in 1..=4usize {
+                    let mut shards = Vec::new();
+                    for (mlo, mhi) in tree_splits(n, m) {
+                        let span = mhi - mlo;
+                        for (slo, shi) in tree_splits(span, r.min(span)) {
+                            shards.push((mlo + slo, mlo + shi));
+                        }
+                    }
+                    let partials = shard_partials(&samples, &shards, len);
+                    let plan = frontier_merge_plan(n, &shards);
+                    let streamed = drive_plan(&partials, &plan);
+                    assert_eq!(
+                        streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        reference,
+                        "n={n} micro={m} replicas={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tree-node boundary")]
+    fn frontier_merge_plan_rejects_non_node_shards() {
+        // [0,2) is not a node of the tree over [0,5): the root splits at 2
+        // only for even n; for n=5 the midpoint is 2 — but [2,3)+[3,5)
+        // forces [0,2)'s sibling structure, while [0,1),[1,2) are the
+        // real children of [0,2). A shard straddling a midpoint must be
+        // rejected loudly. Here [1,4) crosses the root midpoint 2.
+        frontier_merge_plan(5, &[(0, 1), (1, 4), (4, 5)]);
     }
 
     #[test]

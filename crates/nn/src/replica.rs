@@ -111,29 +111,47 @@ struct GradDeposit {
 
 /// Double-buffered gradient exchange for overlapped tree-reduction.
 ///
-/// A training step produces several *loss terms* per replica (for the
+/// A training step produces several *loss terms* per worker (for the
 /// GAN: discriminator real-pass, discriminator fake-pass, generator),
 /// each a flat gradient arena. Instead of collecting every term after
 /// the workers join, each worker [`GradLane::submit`]s term `k` the
 /// moment its backward pass finishes and immediately starts term
-/// `k + 1`; the main thread ([`GradExchange::reduce_terms`]) tree-
-/// reduces term `k` in **fixed replica order** as soon as all partials
-/// for it have arrived. The reduction of term `k` therefore overlaps
-/// the backward pass of term `k + 1`, hiding its latency — without
-/// changing a single bit of the result, because arrival order never
-/// affects the reduction order.
+/// `k + 1`; the main thread ([`GradExchange::recv_term`]) combines
+/// term `k`'s partials in **fixed worker order** — merging a prefix the
+/// moment it is contiguous, before later workers have even submitted —
+/// and hands the total back while the workers run term `k + 1`'s
+/// backward. Nothing about arrival order affects the combine order, so
+/// the result is bitwise deterministic.
+///
+/// The combine order itself comes from a [`reduce::frontier_merge_plan`]
+/// over the workers' sample ranges ([`GradExchange::for_shards`]):
+/// workers may cover any tree-node frontier of the batch — the flat
+/// `tree_splits(n, R)` sharding, or the hierarchical micro-batch ×
+/// replica refinement — and the merged total is always the canonical
+/// whole-batch tree, bitwise. [`GradExchange::new`] is the special case
+/// of one worker per frontier leaf (plain replica sharding).
 ///
 /// Each lane owns `depth` gradient arenas (`depth = 2` double-buffers a
-/// threaded run; an inline single-replica run uses `depth = terms` so
+/// threaded run; an inline single-worker run uses `depth = terms` so
 /// it never blocks). A worker that has `depth` partials in flight
-/// blocks in [`GradLane::acquire`] until the reducer finishes the
-/// oldest one and recycles its arena — bounded memory, no allocation in
-/// steady state when the pool is warm.
+/// blocks in [`GradLane::acquire`] until the reducer consumes one of
+/// its buffers and recycles an arena — bounded memory, no allocation in
+/// steady state when the pool is warm. Merged-away buffers recycle
+/// *during* the term, not after it, so stragglers never serialize the
+/// whole lane cycle.
 #[derive(Debug)]
 pub struct GradExchange {
     replicas: usize,
     terms: usize,
     depth: usize,
+    /// Merge schedule over worker indices (see
+    /// [`reduce::frontier_merge_plan`]): after worker `w`'s partial is
+    /// pushed, perform `plan[w]` left-accumulating combines.
+    plan: Vec<usize>,
+    /// Stashed deposits awaiting their turn, `pending[term][worker]`.
+    pending: Vec<Vec<Option<Vec<f32>>>>,
+    /// Next term [`GradExchange::recv_term`] will complete.
+    next_term: usize,
     // Note: the exchange deliberately does NOT keep a deposit sender of
     // its own — when every lane is gone (including a worker unwinding),
     // the reducer's `recv` errors out instead of deadlocking.
@@ -144,10 +162,11 @@ pub struct GradExchange {
 
 impl GradExchange {
     /// An exchange for `replicas` workers each producing `terms` flat
-    /// gradient partials, with `depth` arenas buffered per lane. Lane
-    /// arenas are drawn from `pool` when available (allocation-free once
-    /// warm); every arena returns to `pool` by the end of
-    /// [`GradExchange::reduce_terms`].
+    /// gradient partials, with `depth` arenas buffered per lane, each
+    /// worker one leaf of the combine tree (plain replica sharding).
+    /// Lane arenas are drawn from `pool` when available
+    /// (allocation-free once warm); every arena returns to `pool` once
+    /// all terms are reduced and the totals are handed back.
     ///
     /// # Panics
     ///
@@ -156,11 +175,39 @@ impl GradExchange {
     /// `depth >= terms`, since a lone worker has nobody to recycle its
     /// arenas while it runs).
     pub fn new(replicas: usize, terms: usize, depth: usize, pool: &mut Vec<Vec<f32>>) -> Self {
+        assert!(replicas >= 1, "exchange needs at least one worker");
+        // One unit leaf per worker: the frontier plan over unit ranges
+        // is exactly tree_reduce_rows' row-midpoint recursion.
+        let units: Vec<(usize, usize)> = (0..replicas).map(|w| (w, w + 1)).collect();
+        Self::for_shards(&units, replicas, terms, depth, pool)
+    }
+
+    /// An exchange whose workers cover the sample ranges `shards` — any
+    /// contiguous tree-node frontier of the batch `[0, n)`, e.g.
+    /// `tree_splits(n, R)` or its micro-batch × replica refinement. The
+    /// reducer combines partials with the frontier's merge plan, so the
+    /// per-term totals equal the canonical whole-batch tree reduction
+    /// bitwise for every factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero `terms`/`depth`, on a single-worker exchange
+    /// with `depth < terms` (see [`GradExchange::new`]), or if `shards`
+    /// is not a tree-node frontier of `[0, n)`.
+    pub fn for_shards(
+        shards: &[(usize, usize)],
+        n: usize,
+        terms: usize,
+        depth: usize,
+        pool: &mut Vec<Vec<f32>>,
+    ) -> Self {
+        let replicas = shards.len();
         assert!(replicas >= 1 && terms >= 1 && depth >= 1);
         assert!(
             replicas > 1 || depth >= terms,
             "an inline single-replica run must buffer every term"
         );
+        let plan = reduce::frontier_merge_plan(n, shards);
         let (deposit_tx, deposit_rx) = channel::unbounded();
         let mut return_txs = Vec::with_capacity(replicas);
         let mut lanes = Vec::with_capacity(replicas);
@@ -171,7 +218,18 @@ impl GradExchange {
             lanes.push(Some(GradLane { replica, next_term: 0, free, tx: deposit_tx.clone(), rx }));
         }
         drop(deposit_tx);
-        GradExchange { replicas, terms, depth, deposit_rx, return_txs, lanes: Mutex::new(lanes) }
+        let pending = (0..terms).map(|_| (0..replicas).map(|_| None).collect()).collect();
+        GradExchange {
+            replicas,
+            terms,
+            depth,
+            plan,
+            pending,
+            next_term: 0,
+            deposit_rx,
+            return_txs,
+            lanes: Mutex::new(lanes),
+        }
     }
 
     /// Detaches the worker-side handle for `replica`. Each lane can be
@@ -180,50 +238,91 @@ impl GradExchange {
         self.lanes.lock().unwrap()[replica].take().expect("lane already taken")
     }
 
-    /// Runs the reducer: receives `terms × replicas` partials, reduces
-    /// each term with the canonical tree over replicas in index order
-    /// the moment it is complete, and returns the per-term totals in
-    /// term order (buffers drawn from and eventually owed back to
-    /// `pool`).
+    /// Number of terms not yet reduced.
+    pub fn terms_remaining(&self) -> usize {
+        self.terms - self.next_term
+    }
+
+    /// Blocks until the next term's total is fully combined and returns
+    /// it, merging partials incrementally in worker order as they
+    /// arrive. Must run concurrently with the workers — or after an
+    /// inline single worker has already submitted everything.
     ///
-    /// Must run concurrently with the workers (it blocks until every
-    /// partial arrives) — or after an inline single worker has already
-    /// submitted everything. All arenas a lane no longer needs land in
-    /// `pool`.
-    pub fn reduce_terms(&self, pool: &mut Vec<Vec<f32>>) -> Vec<Vec<f32>> {
-        let mut pending: Vec<Vec<Option<Vec<f32>>>> =
-            (0..self.terms).map(|_| (0..self.replicas).map(|_| None).collect()).collect();
-        let mut results = Vec::with_capacity(self.terms);
-        for term in 0..self.terms {
-            while pending[term].iter().any(Option::is_none) {
-                let d = self.deposit_rx.recv().expect("gradient worker hung up");
-                assert!(d.term < self.terms, "unexpected gradient term {}", d.term);
-                let slot = &mut pending[d.term][d.replica];
-                assert!(slot.is_none(), "duplicate gradient deposit");
-                *slot = Some(d.buf);
+    /// Consumed partial buffers recycle to waiting lanes mid-term (for
+    /// terms whose arenas a lane will wait on) or retire to `pool`;
+    /// the returned total is owed back to `pool` by the caller. Calling
+    /// this `terms` times completes the exchange with every arena
+    /// accounted for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all terms were already reduced, on duplicate or
+    /// out-of-range deposits, or if a worker hangs up mid-term.
+    pub fn recv_term(&mut self, pool: &mut Vec<Vec<f32>>) -> Vec<f32> {
+        let term = self.next_term;
+        assert!(term < self.terms, "all gradient terms already reduced");
+        self.next_term += 1;
+        // Terms early enough that some lane will block waiting for an
+        // arena get their buffers recycled to lanes; later terms retire
+        // buffers to the pool (the step is ending).
+        let lanes_wait = term + self.depth < self.terms;
+        let return_txs = &self.return_txs;
+        let mut stack: Vec<Vec<f32>> = Vec::new();
+        let mut next_worker = 0usize;
+        let mut recycled = 0usize;
+        let recycle = |buf: Vec<f32>, recycled: &mut usize, pool: &mut Vec<Vec<f32>>| {
+            if lanes_wait {
+                // Arenas are interchangeable (acquire clears and
+                // resizes), so hand them back round-robin; exactly
+                // `replicas` recycle per term, one per lane. A send only
+                // fails if the lane dropped early (worker panic
+                // unwinding); losing the arena with it is harmless.
+                let _ = return_txs[*recycled].send(buf);
+                *recycled += 1;
+            } else {
+                pool.push(buf);
             }
-            let row_bufs: Vec<Vec<f32>> =
-                pending[term].iter_mut().map(|s| s.take().expect("checked above")).collect();
-            let rows: Vec<&[f32]> = row_bufs.iter().map(|b| b.as_slice()).collect();
-            let mut out = pool.pop().unwrap_or_default();
-            reduce::tree_reduce_rows_into(&rows, &mut out);
-            results.push(out);
-            for (replica, buf) in row_bufs.into_iter().enumerate() {
-                // A lane acquires one arena per term, starting with
-                // `depth` in hand: it only ever waits for the arenas of
-                // terms `0..terms - depth`. Everything else retires to
-                // the pool (a dropped lane is also fine — ignore it).
-                if term + self.depth < self.terms {
-                    // A send can only fail if the lane dropped early
-                    // (worker panic unwinding); losing the arena with it
-                    // is harmless.
-                    let _ = self.return_txs[replica].send(buf);
-                } else {
-                    pool.push(buf);
+        };
+        while next_worker < self.replicas {
+            if let Some(buf) = self.pending[term][next_worker].take() {
+                stack.push(buf);
+                for _ in 0..self.plan[next_worker] {
+                    let right = stack.pop().expect("merge plan underflow");
+                    let left = stack.last_mut().expect("merge plan underflow");
+                    assert_eq!(left.len(), right.len(), "gradient partial length mismatch");
+                    for (d, s) in left.iter_mut().zip(&right) {
+                        *d += *s;
+                    }
+                    recycle(right, &mut recycled, pool);
                 }
+                next_worker += 1;
+                continue;
             }
+            let d = self.deposit_rx.recv().expect("gradient worker hung up");
+            assert!(d.term >= term && d.term < self.terms, "unexpected gradient term {}", d.term);
+            let slot = &mut self.pending[d.term][d.replica];
+            assert!(slot.is_none(), "duplicate gradient deposit");
+            *slot = Some(d.buf);
         }
-        results
+        let total = stack.pop().expect("merge plan left no total");
+        assert!(stack.is_empty(), "merge plan left extra partials");
+        if lanes_wait {
+            // The total keeps its backing buffer (a lane arena — arenas
+            // are interchangeable); the one lane still owed a recycle
+            // this term gets a pool arena instead.
+            let spare = pool.pop().unwrap_or_default();
+            recycle(spare, &mut recycled, pool);
+            debug_assert_eq!(recycled, self.replicas);
+        }
+        total
+    }
+
+    /// Reduces every remaining term ([`GradExchange::recv_term`]) and
+    /// returns the totals in term order. The streamed equivalent of the
+    /// collect-then-reduce loop: all arenas a lane no longer needs land
+    /// in `pool`, and the returned totals are owed back to it.
+    pub fn reduce_terms(&mut self, pool: &mut Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        (0..self.terms_remaining()).map(|_| self.recv_term(pool)).collect()
     }
 }
 
@@ -392,7 +491,7 @@ mod tests {
             let mut pool: Vec<Vec<f32>> =
                 (0..replicas * depth + terms).map(|_| Vec::new()).collect();
             let seeded = pool.len();
-            let exchange = GradExchange::new(replicas, terms, depth, &mut pool);
+            let mut exchange = GradExchange::new(replicas, terms, depth, &mut pool);
             let results = if replicas == 1 {
                 // Inline: submit everything, then reduce.
                 let mut lane = exchange.take_lane(0);
@@ -442,7 +541,7 @@ mod tests {
         let mut pool: Vec<Vec<f32>> = (0..replicas * 2 + terms).map(|_| vec![0.0; 16]).collect();
         let seeded = pool.len();
         for _round in 0..2 {
-            let exchange = GradExchange::new(replicas, terms, 2, &mut pool);
+            let mut exchange = GradExchange::new(replicas, terms, 2, &mut pool);
             std::thread::scope(|scope| {
                 for r in 0..replicas {
                     let mut lane = exchange.take_lane(r);
@@ -467,6 +566,79 @@ mod tests {
     fn grad_exchange_rejects_underbuffered_inline_run() {
         let mut pool = Vec::new();
         GradExchange::new(1, 3, 2, &mut pool);
+    }
+
+    /// A micro-batch × replica frontier exchange must reduce each
+    /// term's per-shard sample partials to the canonical whole-batch
+    /// tree total bitwise, and `recv_term` must hand terms out in order
+    /// while later terms are still in flight — the streamed pipeline
+    /// the trainer drives.
+    #[test]
+    fn grad_exchange_over_shard_frontiers_matches_whole_batch_reduction() {
+        let terms = 3usize;
+        let len = 6usize;
+        for n in [5usize, 8, 11] {
+            // Per-term per-sample rows and their unsharded tree totals.
+            let samples: Vec<Vec<Vec<f32>>> = (0..terms)
+                .map(|t| {
+                    (0..n)
+                        .map(|s| (0..len).map(|i| ((t * 61 + s * 13 + i) as f32).sin()).collect())
+                        .collect()
+                })
+                .collect();
+            let expected: Vec<Vec<u32>> = (0..terms)
+                .map(|t| {
+                    let rows: Vec<&[f32]> = samples[t].iter().map(|r| r.as_slice()).collect();
+                    reduce::tree_reduce_rows(&rows).iter().map(|v| v.to_bits()).collect()
+                })
+                .collect();
+
+            for micro in [1usize, 2, 5] {
+                for replicas in [1usize, 3] {
+                    let mut shards = Vec::new();
+                    for (mlo, mhi) in reduce::tree_splits(n, micro.min(n)) {
+                        let span = mhi - mlo;
+                        for (slo, shi) in reduce::tree_splits(span, replicas.min(span)) {
+                            shards.push((mlo + slo, mlo + shi));
+                        }
+                    }
+                    let workers = shards.len();
+                    let depth = if workers == 1 { terms } else { 2 };
+                    let mut pool: Vec<Vec<f32>> =
+                        (0..workers * depth + terms).map(|_| Vec::new()).collect();
+                    let seeded = pool.len();
+                    let mut exchange =
+                        GradExchange::for_shards(&shards, n, terms, depth, &mut pool);
+                    let results: Vec<Vec<f32>> = std::thread::scope(|scope| {
+                        for (w, &(lo, hi)) in shards.iter().enumerate() {
+                            let mut lane = exchange.take_lane(w);
+                            let samples = &samples;
+                            scope.spawn(move || {
+                                for term in samples.iter().take(terms) {
+                                    let rows: Vec<&[f32]> =
+                                        term[lo..hi].iter().map(|r| r.as_slice()).collect();
+                                    let partial = reduce::tree_reduce_rows(&rows);
+                                    let mut buf = lane.acquire(len);
+                                    buf.copy_from_slice(&partial);
+                                    lane.submit(buf);
+                                }
+                            });
+                        }
+                        (0..terms).map(|_| exchange.recv_term(&mut pool)).collect()
+                    });
+                    assert_eq!(exchange.terms_remaining(), 0);
+                    for (t, got) in results.iter().enumerate() {
+                        assert_eq!(
+                            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            expected[t],
+                            "n={n} micro={micro} replicas={replicas} term={t}"
+                        );
+                    }
+                    pool.extend(results);
+                    assert_eq!(pool.len(), seeded, "arena conservation, n={n} micro={micro}");
+                }
+            }
+        }
     }
 
     /// Sharded rendezvous must reproduce the local reduction bitwise,

@@ -159,35 +159,73 @@ impl ParamStore {
         self.grads.iter().map(|&g| g as f64 * g as f64).sum::<f64>().sqrt()
     }
 
+    /// Maximal runs of consecutive segments sharing a layer path
+    /// (`weight` + `bias` of one conv, `gamma` + `beta` of one norm),
+    /// as half-open segment-index ranges in declaration order.
+    ///
+    /// These are the atomic units of the streamed gradient pipeline:
+    /// scanning, folding, and stepping whole layer groups in order
+    /// reproduces the monolithic whole-arena pass bitwise, because no
+    /// f64 norm accumulation run and no optimizer segment is ever split
+    /// mid-layer.
+    pub fn layer_groups(&self) -> Vec<(usize, usize)> {
+        let mut groups = Vec::new();
+        let mut i = 0;
+        while i < self.segments.len() {
+            let layer = layer_path(&self.segments[i].name);
+            let mut j = i + 1;
+            while j < self.segments.len() && layer_path(&self.segments[j].name) == layer {
+                j += 1;
+            }
+            groups.push((i, j));
+            i = j;
+        }
+        groups
+    }
+
+    /// The scalar span `[offset of first, end of last)` covered by a
+    /// segment-index range, e.g. one [`ParamStore::layer_groups`] entry.
+    pub fn scalar_span(&self, seg_lo: usize, seg_hi: usize) -> (usize, usize) {
+        assert!(seg_lo < seg_hi && seg_hi <= self.segments.len(), "bad segment range");
+        let first = &self.segments[seg_lo];
+        let last = &self.segments[seg_hi - 1];
+        (first.offset, last.offset + last.len)
+    }
+
+    /// Scans one layer group's gradients: squared L2 (accumulated in
+    /// `f64`, segment by segment in order) and whether every value is
+    /// finite. Summing the returned squares over
+    /// [`ParamStore::layer_groups`] in order and taking the root is
+    /// bitwise-identical to [`ParamStore::grad_norm_scan`]'s total.
+    pub fn scan_layer_group(&self, seg_lo: usize, seg_hi: usize) -> (f64, bool) {
+        let mut sq = 0.0f64;
+        let mut finite = true;
+        for seg in &self.segments[seg_lo..seg_hi] {
+            for &g in self.segment_grads(seg) {
+                finite &= g.is_finite();
+                sq += g as f64 * g as f64;
+            }
+        }
+        (sq, finite)
+    }
+
     /// Per-layer gradient diagnostics over the segment table: returns
     /// the global L2 norm and, if any gradient is non-finite, the path
     /// of the first offending layer (segment name with the trailing
     /// `.param` component stripped) with that layer's own norm.
     ///
     /// Consecutive segments sharing a layer path (`weight` + `bias`)
-    /// are grouped, matching the per-layer scan the trainer's gradient
-    /// guard performs.
+    /// are grouped ([`ParamStore::layer_groups`]), matching the
+    /// per-layer scan the trainer's gradient guard performs.
     pub fn grad_norm_scan(&self) -> (f32, Option<(String, f32)>) {
         let mut total = 0.0f64;
         let mut bad: Option<(String, f32)> = None;
-        let mut i = 0;
-        while i < self.segments.len() {
-            let layer = layer_path(&self.segments[i].name);
-            let mut sq = 0.0f64;
-            let mut finite = true;
-            let mut j = i;
-            while j < self.segments.len() && layer_path(&self.segments[j].name) == layer {
-                for &g in self.segment_grads(&self.segments[j]) {
-                    finite &= g.is_finite();
-                    sq += g as f64 * g as f64;
-                }
-                j += 1;
-            }
+        for (lo, hi) in self.layer_groups() {
+            let (sq, finite) = self.scan_layer_group(lo, hi);
             total += sq;
             if !finite && bad.is_none() {
-                bad = Some((layer.to_string(), sq.sqrt() as f32));
+                bad = Some((layer_path(&self.segments[lo].name).to_string(), sq.sqrt() as f32));
             }
-            i = j;
         }
         (total.sqrt() as f32, bad)
     }
@@ -261,6 +299,26 @@ mod tests {
         let (_, bad) = s.grad_norm_scan();
         let (layer, _) = bad.expect("NaN must be reported");
         assert_eq!(layer, "net/conv2d0");
+    }
+
+    #[test]
+    fn layer_groups_cover_segments_in_order() {
+        let s = sample_store();
+        let groups = s.layer_groups();
+        assert_eq!(groups, vec![(0, 2), (2, 3)]);
+        assert_eq!(s.scalar_span(0, 2), (0, 3));
+        assert_eq!(s.scalar_span(2, 3), (3, 5));
+
+        // Group-wise scan composes to the whole-arena scan bitwise.
+        let (total, bad) = s.grad_norm_scan();
+        assert!(bad.is_none());
+        let mut sq = 0.0f64;
+        for (lo, hi) in groups {
+            let (part, finite) = s.scan_layer_group(lo, hi);
+            assert!(finite);
+            sq += part;
+        }
+        assert_eq!((sq.sqrt() as f32).to_bits(), total.to_bits());
     }
 
     #[test]

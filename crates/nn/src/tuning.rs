@@ -20,6 +20,15 @@
 //! via [`crate::geometry::install_blocking`]. The trainer runs both
 //! tuners after epoch 0; the benches run them after their warm-up legs.
 //!
+//! Finally, the shard histogram sizes the training pipeline itself:
+//! [`autotune_micro_batches`] picks how many micro-batches a training
+//! step splits into (deeper pipelines when stragglers leave more
+//! reduction tail to hide), and [`autotune_pipeline_chunk`] picks how
+//! many parameter scalars one streamed optimizer segment batch covers.
+//! Both are pure scheduling choices — the trainer's gradient frontier
+//! (`crate::reduce::frontier_merge_plan`) keeps results bitwise
+//! invariant in the micro-batch count.
+//!
 //! Numerics are unaffected by any choice made here: batch sharding is
 //! per-sample independent, gradient reduction uses the canonical tree
 //! (`crate::reduce`), and every GEMM blocking is bitwise-equivalent by
@@ -221,6 +230,188 @@ pub fn autotune_gemm_blocking() -> Option<Blocking> {
     result
 }
 
+/// Environment override for the trainer's micro-batch count. A
+/// positive integer forces `M` for every trainer constructed in the
+/// process; the CI matrix legs use it to sweep pipelining depth
+/// without code changes.
+pub const MICRO_BATCHES_ENV_VAR: &str = "CACHEBOX_MICRO_BATCHES";
+
+/// Provenance label when the telemetry tuner picks the micro-batch
+/// count or the pipeline chunk.
+pub const MICRO_BATCHES_TUNED_SOURCE: &str = "telemetry:nn.gemm.shard_ns";
+
+/// Default pipeline chunk: how many parameter-arena scalars one
+/// optimizer segment batch covers when the step streams behind the
+/// gradient reduction. ~128 KiB of f32 — big enough to amortize the
+/// per-segment bookkeeping, small enough that the first chunks retire
+/// while later gradient terms are still being reduced.
+pub const DEFAULT_PIPELINE_CHUNK: usize = 32_768;
+
+/// Globally installed micro-batch count (`0` = none installed).
+static MICRO_BATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// Globally installed pipeline chunk (`0` = [`DEFAULT_PIPELINE_CHUNK`]).
+static PIPELINE_CHUNK: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a micro-batch count for trainers that have not pinned one
+/// explicitly. `0` clears back to "no tuned value".
+pub fn install_micro_batches(micro_batches: usize) {
+    MICRO_BATCHES.store(micro_batches, Ordering::Relaxed);
+}
+
+/// Removes any installed micro-batch count.
+pub fn clear_micro_batches() {
+    MICRO_BATCHES.store(0, Ordering::Relaxed);
+}
+
+/// The currently installed micro-batch count, if any.
+pub fn micro_batches() -> Option<usize> {
+    match MICRO_BATCHES.load(Ordering::Relaxed) {
+        0 => None,
+        m => Some(m),
+    }
+}
+
+/// Parses [`MICRO_BATCHES_ENV_VAR`]; `None` when unset, empty, or not
+/// a positive integer.
+pub fn micro_batches_from_env() -> Option<usize> {
+    std::env::var(MICRO_BATCHES_ENV_VAR).ok()?.trim().parse::<usize>().ok().filter(|&m| m > 0)
+}
+
+/// Installs a pipeline chunk (scalars per optimizer segment batch).
+/// `0` clears back to [`DEFAULT_PIPELINE_CHUNK`].
+pub fn install_pipeline_chunk(chunk: usize) {
+    PIPELINE_CHUNK.store(chunk, Ordering::Relaxed);
+}
+
+/// Restores [`DEFAULT_PIPELINE_CHUNK`].
+pub fn clear_pipeline_chunk() {
+    PIPELINE_CHUNK.store(0, Ordering::Relaxed);
+}
+
+/// The active pipeline chunk in scalars (never zero).
+pub fn pipeline_chunk() -> usize {
+    match PIPELINE_CHUNK.load(Ordering::Relaxed) {
+        0 => DEFAULT_PIPELINE_CHUNK,
+        c => c,
+    }
+}
+
+/// Derives a micro-batch count from observed shard-time imbalance, or
+/// `None` when serial, the batch cannot be split, or the histogram is
+/// too thin. Balanced shards still pipeline (`M = 2` overlaps the
+/// reduction tail with the next forward at minimal sync cost); a
+/// moderate tail quarters the batch so straggler time hides behind
+/// three other micro-batches; a heavy tail (`> 2×`) goes to eight.
+/// Always clamped to the batch so shards stay non-empty.
+pub fn derive_micro_batches(threads: usize, batch: usize, hist: &Histogram) -> Option<usize> {
+    if threads <= 1 || batch < 2 || hist.count() < MIN_SHARD_SAMPLES {
+        return None;
+    }
+    let p50 = hist.percentile(50.0);
+    let p90 = hist.percentile(90.0);
+    if p50 <= 0.0 {
+        return None;
+    }
+    let imbalance = p90 / p50;
+    let m = if imbalance <= 1.25 {
+        2
+    } else if imbalance <= 2.0 {
+        4
+    } else {
+        8
+    };
+    Some(m.min(batch))
+}
+
+/// Derives a pipeline chunk from the same imbalance signal: balanced
+/// shards keep [`DEFAULT_PIPELINE_CHUNK`]; a skewed tail means the
+/// optimizer has more idle reduction time to hide in, so finer chunks
+/// (half, then a quarter) start retiring parameter segments earlier.
+/// Floored at 1024 scalars so segment dispatch overhead stays noise.
+pub fn derive_pipeline_chunk(hist: &Histogram) -> Option<usize> {
+    if hist.count() < MIN_SHARD_SAMPLES {
+        return None;
+    }
+    let p50 = hist.percentile(50.0);
+    let p90 = hist.percentile(90.0);
+    if p50 <= 0.0 {
+        return None;
+    }
+    let imbalance = p90 / p50;
+    let chunk = if imbalance <= 1.25 {
+        DEFAULT_PIPELINE_CHUNK
+    } else if imbalance <= 2.0 {
+        DEFAULT_PIPELINE_CHUNK / 2
+    } else {
+        DEFAULT_PIPELINE_CHUNK / 4
+    };
+    Some(chunk.max(1024))
+}
+
+/// Records the micro-batch decision and its provenance in the
+/// telemetry stream (`nn.pipeline.micro_batches` gauge plus the
+/// `micro_batches`/`micro_batches_source` manifest fields). The
+/// trainer calls this with whatever source won: `"explicit"`,
+/// `"env:CACHEBOX_MICRO_BATCHES"`, [`MICRO_BATCHES_TUNED_SOURCE`], or
+/// `"default"`. No-op when telemetry is disabled.
+pub fn record_micro_batches(micro_batches: usize, source: &str) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::gauge("nn.pipeline.micro_batches", micro_batches as f64);
+    telemetry::manifest_kv("micro_batches", micro_batches as u64);
+    telemetry::manifest_kv("micro_batches_source", source);
+}
+
+/// Reads the live `nn.gemm.shard_ns` histogram, derives a micro-batch
+/// count for `batch`-sample steps under `par`, installs it for
+/// trainers that defaulted, and records the decision (event + manifest
+/// provenance). `None` — prior value retained — when telemetry is off
+/// or the histogram is too thin.
+pub fn autotune_micro_batches(par: Parallelism, batch: usize) -> Option<usize> {
+    let hist = telemetry::histogram_snapshot(SHARD_HISTOGRAM)?;
+    let m = derive_micro_batches(par.threads(), batch, &hist)?;
+    install_micro_batches(m);
+    telemetry::event(
+        "nn.pipeline.micro_batches_tuned",
+        &[
+            ("micro_batches", Value::U64(m as u64)),
+            ("shard_p50_ns", Value::F64(hist.percentile(50.0))),
+            ("shard_p90_ns", Value::F64(hist.percentile(90.0))),
+            ("samples", Value::U64(hist.count())),
+        ],
+    );
+    record_micro_batches(m, MICRO_BATCHES_TUNED_SOURCE);
+    Some(m)
+}
+
+/// Reads the live `nn.gemm.shard_ns` histogram, derives a pipeline
+/// chunk, installs it process-wide, and records the decision
+/// (`nn.pipeline.chunk_tuned` gauge/event + `pipeline_chunk` manifest
+/// fields). `None` — [`DEFAULT_PIPELINE_CHUNK`] retained — when
+/// telemetry is off or the histogram is too thin. This closes the old
+/// "pipeline chunk sizes are constants" gap: the constant is now only
+/// the cold-start fallback.
+pub fn autotune_pipeline_chunk() -> Option<usize> {
+    let hist = telemetry::histogram_snapshot(SHARD_HISTOGRAM)?;
+    let chunk = derive_pipeline_chunk(&hist)?;
+    install_pipeline_chunk(chunk);
+    telemetry::gauge("nn.pipeline.chunk_tuned", chunk as f64);
+    telemetry::event(
+        "nn.pipeline.chunk_tuned",
+        &[
+            ("chunk", Value::U64(chunk as u64)),
+            ("shard_p50_ns", Value::F64(hist.percentile(50.0))),
+            ("shard_p90_ns", Value::F64(hist.percentile(90.0))),
+            ("samples", Value::U64(hist.count())),
+        ],
+    );
+    telemetry::manifest_kv("pipeline_chunk", chunk as u64);
+    telemetry::manifest_kv("pipeline_chunk_source", MICRO_BATCHES_TUNED_SOURCE);
+    Some(chunk)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +495,60 @@ mod tests {
         assert!(tuned.mc <= base.mc / 2, "heavy tail also halves mc");
         assert_eq!(tuned.mc % 4, 0, "mc stays MR-aligned");
         assert!(tuned.nc >= nr && tuned.mc >= 4, "floors hold even when shrinking");
+    }
+
+    #[test]
+    fn micro_batch_and_pipeline_chunk_derivation_tiers() {
+        let thin = hist_with(&[(1000.0, 8)]);
+        assert_eq!(derive_micro_batches(4, 8, &thin), None, "below MIN_SHARD_SAMPLES");
+        assert_eq!(derive_pipeline_chunk(&thin), None, "below MIN_SHARD_SAMPLES");
+
+        let balanced = hist_with(&[(1000.0, 20)]);
+        assert_eq!(derive_micro_batches(1, 8, &balanced), None, "serial never pipelines");
+        assert_eq!(derive_micro_batches(4, 1, &balanced), None, "singleton batch cannot split");
+        assert_eq!(derive_micro_batches(4, 8, &balanced), Some(2), "balanced: shallow pipeline");
+        assert_eq!(derive_pipeline_chunk(&balanced), Some(DEFAULT_PIPELINE_CHUNK));
+
+        let moderate = hist_with(&[(1000.0, 13), (1800.0, 7)]);
+        assert_eq!(derive_micro_batches(4, 8, &moderate), Some(4), "moderate tail quarters");
+        assert_eq!(derive_pipeline_chunk(&moderate), Some(DEFAULT_PIPELINE_CHUNK / 2));
+
+        let skewed = hist_with(&[(1000.0, 13), (16_000.0, 7)]);
+        assert_eq!(derive_micro_batches(4, 8, &skewed), Some(8), "heavy tail: deep pipeline");
+        assert_eq!(derive_micro_batches(4, 3, &skewed), Some(3), "clamped to the batch");
+        assert_eq!(derive_pipeline_chunk(&skewed), Some(DEFAULT_PIPELINE_CHUNK / 4));
+    }
+
+    // One test covers every MICRO_BATCHES interaction (process-wide
+    // global + env var): interleaved #[test] fns would race.
+    #[test]
+    fn micro_batch_global_and_env_override() {
+        clear_micro_batches();
+        assert_eq!(micro_batches(), None);
+        install_micro_batches(3);
+        assert_eq!(micro_batches(), Some(3));
+        clear_micro_batches();
+        assert_eq!(micro_batches(), None, "clear restores the default");
+
+        std::env::remove_var(MICRO_BATCHES_ENV_VAR);
+        assert_eq!(micro_batches_from_env(), None, "unset env is no override");
+        std::env::set_var(MICRO_BATCHES_ENV_VAR, " 5 ");
+        assert_eq!(micro_batches_from_env(), Some(5), "whitespace tolerated");
+        std::env::set_var(MICRO_BATCHES_ENV_VAR, "0");
+        assert_eq!(micro_batches_from_env(), None, "zero is not a valid count");
+        std::env::set_var(MICRO_BATCHES_ENV_VAR, "many");
+        assert_eq!(micro_batches_from_env(), None, "garbage is ignored");
+        std::env::remove_var(MICRO_BATCHES_ENV_VAR);
+    }
+
+    // Same single-test rule for the PIPELINE_CHUNK global.
+    #[test]
+    fn pipeline_chunk_global_defaults_installs_and_clears() {
+        clear_pipeline_chunk();
+        assert_eq!(pipeline_chunk(), DEFAULT_PIPELINE_CHUNK, "unset falls back to the default");
+        install_pipeline_chunk(4096);
+        assert_eq!(pipeline_chunk(), 4096);
+        clear_pipeline_chunk();
+        assert_eq!(pipeline_chunk(), DEFAULT_PIPELINE_CHUNK);
     }
 }

@@ -380,7 +380,8 @@ pub fn stream_metrics(lines: &[Json]) -> Vec<Metric> {
 
 /// Extracts metrics from one `BENCH_*.json` report document. Array
 /// legs are keyed by their identity fields (`layer` / `shape` /
-/// `threads` / `replicas`, composed when several are present), by index
+/// `threads` / `replicas` / `micro_batches`, composed when several are
+/// present), by index
 /// otherwise, so legs match across reports that measured different
 /// sweeps — and legs that share a thread count (e.g. the two conv
 /// layers) stay distinct.
@@ -405,7 +406,7 @@ fn leg_identity(item: &Json) -> Option<String> {
             parts.push(format!("shape={}", dims.join("x")));
         }
     }
-    for k in ["threads", "replicas"] {
+    for k in ["threads", "replicas", "micro_batches"] {
         if let Some(v) = item.get(k).and_then(Json::as_f64) {
             parts.push(format!("{k}={v}"));
         }

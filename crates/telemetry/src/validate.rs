@@ -44,6 +44,9 @@ pub struct ValidationReport {
 ///   every nested path has its parent aggregate on the same thread,
 ///   and direct children never total more time than their parent;
 /// * histogram percentiles are monotone within `[min, max]`;
+/// * pipeline gauges stay in range — `gan.pipeline.overlap_ratio`
+///   within `[0, 1]`, `gan.micro_batch.count` at least 1 — and the
+///   manifest pairs `micro_batches` with `micro_batches_source`;
 /// * counter records reproduce the manifest's counter map exactly;
 /// * the line count equals `manifest.records`.
 ///
@@ -190,6 +193,15 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
                 if !value.is_finite() {
                     return Err(format!("line {lineno}: gauge {name:?} is not finite"));
                 }
+                if name == "gan.pipeline.overlap_ratio" && !(0.0..=1.0).contains(&value) {
+                    return Err(format!("line {lineno}: gauge {name:?} = {value} outside [0, 1]"));
+                }
+                if name == "gan.micro_batch.count" && value < 1.0 {
+                    return Err(format!(
+                        "line {lineno}: gauge {name:?} = {value}, but every step runs at \
+                         least one micro-batch"
+                    ));
+                }
             }
             Record::Histogram { name, count, min, max, p50, p90, p99, .. } => {
                 report.histograms += 1;
@@ -229,6 +241,16 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
                  more than the parent's {parent_total}ns"
             ));
         }
+    }
+
+    // Micro-batch provenance travels as a pair: a manifest that
+    // records the count must say where it came from, and a source
+    // without a count is equally meaningless.
+    let has_micro = manifest.config.contains_key("micro_batches");
+    let has_source = manifest.config.contains_key("micro_batches_source");
+    if has_micro != has_source {
+        return Err("manifest pairs micro_batches with micro_batches_source; only one is present"
+            .to_string());
     }
 
     if report.records == 0 {
@@ -568,6 +590,49 @@ mod tests {
         let (jsonl, mpath) = write_pair("parse", &lines, manifest());
         let err = validate_files(&jsonl, &mpath).unwrap_err();
         assert!(err.contains("bad record"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_gauges_out_of_range_fail() {
+        let lines = vec![
+            meta(),
+            Record::Gauge { name: "gan.pipeline.overlap_ratio".into(), value: 1.5 }.to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("overlap", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("outside [0, 1]"), "{err}");
+
+        let lines = vec![
+            meta(),
+            Record::Gauge { name: "gan.micro_batch.count".into(), value: 0.0 }.to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("microcount", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("least one micro-batch"), "{err}");
+
+        // In-range values pass.
+        let lines = vec![
+            meta(),
+            Record::Gauge { name: "gan.pipeline.overlap_ratio".into(), value: 0.42 }.to_jsonl(),
+            Record::Gauge { name: "gan.micro_batch.count".into(), value: 3.0 }.to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("pipelineok", &lines, manifest());
+        assert!(validate_files(&jsonl, &mpath).is_ok());
+    }
+
+    #[test]
+    fn unpaired_micro_batch_provenance_fails() {
+        let mut m = manifest();
+        m.config.insert("micro_batches".into(), Value::U64(3));
+        let (jsonl, mpath) = write_pair("microprov", &[meta()], m);
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("micro_batches_source"), "{err}");
+
+        let mut m = manifest();
+        m.config.insert("micro_batches".into(), Value::U64(3));
+        m.config.insert("micro_batches_source".into(), Value::Str("default".into()));
+        let (jsonl, mpath) = write_pair("microprovok", &[meta()], m);
+        assert!(validate_files(&jsonl, &mpath).is_ok());
     }
 
     #[test]

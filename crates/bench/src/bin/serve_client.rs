@@ -1,0 +1,257 @@
+//! Smoke driver for the `cachebox_serve` evaluation service.
+//!
+//! Connects to a running service, runs a short eval sweep, and —
+//! optionally — verifies the served answers bitwise against the
+//! in-process `evaluate_sweep` path, exercises a checkpoint hot-reload
+//! (writing a fresh checkpoint to disk first), and shuts the service
+//! down. Exit status is the CI gate: any mismatch, typed error, or
+//! protocol failure is fatal.
+//!
+//! ```text
+//! serve_client --addr tcp:127.0.0.1:7410 [--scale tiny] [--suite polybench]
+//!     [--count 2] [--bench-seed 3] [--sets 16] [--ways 2] [--batch 4]
+//!     [--verify-seed N] [--write-reload PATH --reload-seed N] [--shutdown]
+//! ```
+
+use cachebox::{Pipeline, Scale};
+use cachebox_gan::checkpoint::Checkpoint;
+use cachebox_gan::{UNetConfig, UNetGenerator};
+use cachebox_nn::Parallelism;
+use cachebox_serve::{Client, EvalRequest, Response, WorkloadSpec};
+use cachebox_workloads::{Suite, SuiteId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    scale: Scale,
+    suite: String,
+    count: usize,
+    bench_seed: u64,
+    sets: usize,
+    ways: usize,
+    batch: usize,
+    verify_seed: Option<u64>,
+    write_reload: Option<PathBuf>,
+    reload_seed: u64,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_client --addr tcp:HOST:PORT|unix:PATH [--scale tiny|small|experiment]\n\
+         \x20      [--suite spec|ligra|polybench] [--count N] [--bench-seed N] [--sets N]\n\
+         \x20      [--ways N] [--batch N] [--verify-seed N] [--write-reload PATH]\n\
+         \x20      [--reload-seed N] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects an unsigned integer, got {s:?}");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        scale: Scale::tiny(),
+        suite: "polybench".into(),
+        count: 2,
+        bench_seed: 3,
+        sets: 16,
+        ways: 2,
+        batch: 4,
+        verify_seed: None,
+        write_reload: None,
+        reload_seed: 7,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--scale" => {
+                args.scale = match value("--scale").as_str() {
+                    "tiny" => Scale::tiny(),
+                    "small" => Scale::small(),
+                    "experiment" => Scale::experiment(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--suite" => args.suite = value("--suite"),
+            "--count" => args.count = parse_num(&value("--count"), "--count") as usize,
+            "--bench-seed" => args.bench_seed = parse_num(&value("--bench-seed"), "--bench-seed"),
+            "--sets" => args.sets = parse_num(&value("--sets"), "--sets") as usize,
+            "--ways" => args.ways = parse_num(&value("--ways"), "--ways") as usize,
+            "--batch" => args.batch = parse_num(&value("--batch"), "--batch") as usize,
+            "--verify-seed" => {
+                args.verify_seed = Some(parse_num(&value("--verify-seed"), "--verify-seed"))
+            }
+            "--write-reload" => args.write_reload = Some(PathBuf::from(value("--write-reload"))),
+            "--reload-seed" => {
+                args.reload_seed = parse_num(&value("--reload-seed"), "--reload-seed")
+            }
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.addr.is_empty() {
+        eprintln!("--addr is required");
+        usage();
+    }
+    args
+}
+
+fn suite_id(name: &str) -> SuiteId {
+    match name {
+        "spec" => SuiteId::Spec,
+        "ligra" => SuiteId::Ligra,
+        "polybench" => SuiteId::Polybench,
+        other => {
+            eprintln!("unknown suite {other:?}");
+            usage()
+        }
+    }
+}
+
+fn fail(why: &str) -> ExitCode {
+    eprintln!("serve_client: FAIL: {why}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut client =
+        match Client::connect_with_retry(&args.addr, std::time::Duration::from_secs(10)) {
+            Ok(c) => c,
+            Err(e) => return fail(&format!("cannot connect to {}: {e}", args.addr)),
+        };
+
+    let status = match client.status() {
+        Ok(Response::Status(s)) => s,
+        other => return fail(&format!("status: unexpected reply {other:?}")),
+    };
+    eprintln!(
+        "serve_client: service up — epoch {} fingerprint {:016x}, {} workers, {} served",
+        status.epoch, status.fingerprint, status.workers, status.served
+    );
+
+    let request = EvalRequest {
+        benchmarks: (0..args.count.max(1))
+            .map(|index| WorkloadSpec { suite: args.suite.clone(), index, seed: args.bench_seed })
+            .collect(),
+        sets: args.sets,
+        ways: args.ways,
+        batch_size: Some(args.batch),
+        deadline_ms: None,
+    };
+    let (epoch0, fp0, results) = match client.eval(request.clone()) {
+        Ok(Response::Eval { epoch, fingerprint, results }) => (epoch, fingerprint, results),
+        other => return fail(&format!("eval: unexpected reply {other:?}")),
+    };
+    println!("benchmark\ttrue_rate\tpredicted_rate\terror_pp");
+    for r in &results {
+        println!(
+            "{}\t{:.6}\t{:.6}\t{:.3}",
+            r.name,
+            r.true_rate,
+            r.predicted_rate,
+            r.abs_pct_diff()
+        );
+    }
+    eprintln!(
+        "serve_client: eval of {} benchmarks served by epoch {epoch0} ({fp0:016x})",
+        results.len()
+    );
+
+    // Bitwise cross-check against the in-process sweep. Only meaningful
+    // when the service booted an untrained generator whose seed we know.
+    if let Some(seed) = args.verify_seed {
+        let pipeline = Pipeline::new(&args.scale);
+        let suite = Suite::build(suite_id(&args.suite), args.count.max(1), args.bench_seed);
+        let benches = suite.benchmarks().to_vec();
+        let config = cachebox_sim::CacheConfig::new(args.sets, args.ways);
+        let unet = UNetConfig::for_image_size(args.scale.image_size(), args.scale.ngf)
+            .with_param_features(2);
+        let mut generator = UNetGenerator::new(unet, seed);
+        let local = pipeline.evaluate_sweep(
+            Parallelism::serial(),
+            &mut generator,
+            &benches,
+            &config,
+            true,
+            args.batch,
+        );
+        if local.len() != results.len() {
+            return fail(&format!(
+                "verify: {} local rows vs {} served",
+                local.len(),
+                results.len()
+            ));
+        }
+        for (l, s) in local.iter().zip(&results) {
+            if l.name != s.name
+                || l.true_rate.to_bits() != s.true_rate.to_bits()
+                || l.predicted_rate.to_bits() != s.predicted_rate.to_bits()
+            {
+                return fail(&format!("verify: served {s:?} != local {l:?}"));
+            }
+        }
+        eprintln!("serve_client: served answers bitwise identical to in-process evaluate_sweep");
+    }
+
+    // Hot-reload leg: write a fresh checkpoint, swap it in, re-eval,
+    // and require a new fingerprint on the answers.
+    if let Some(path) = &args.write_reload {
+        let unet = UNetConfig::for_image_size(args.scale.image_size(), args.scale.ngf)
+            .with_param_features(2);
+        let mut generator = UNetGenerator::new(unet, args.reload_seed);
+        if let Err(e) = Checkpoint::capture(&mut generator).save(path) {
+            return fail(&format!("cannot write reload checkpoint: {e}"));
+        }
+        let (epoch1, fp1) = match client.reload(&path.display().to_string()) {
+            Ok(Response::Reload { epoch, fingerprint }) => (epoch, fingerprint),
+            other => return fail(&format!("reload: unexpected reply {other:?}")),
+        };
+        if epoch1 <= epoch0 {
+            return fail(&format!("reload did not advance the epoch: {epoch0} -> {epoch1}"));
+        }
+        let (epoch2, fp2, _) = match client.eval(request) {
+            Ok(Response::Eval { epoch, fingerprint, results }) => (epoch, fingerprint, results),
+            other => return fail(&format!("post-reload eval: unexpected reply {other:?}")),
+        };
+        if epoch2 != epoch1 || fp2 != fp1 {
+            return fail(&format!(
+                "post-reload eval served by epoch {epoch2} ({fp2:016x}), expected {epoch1} ({fp1:016x})"
+            ));
+        }
+        if fp1 == fp0 {
+            return fail("reload installed an arena with an unchanged fingerprint");
+        }
+        eprintln!("serve_client: reload swapped arena {fp0:016x} -> {fp1:016x} (epoch {epoch1})");
+    }
+
+    if args.shutdown {
+        match client.shutdown() {
+            Ok(Response::Shutdown) => eprintln!("serve_client: service acknowledged shutdown"),
+            other => return fail(&format!("shutdown: unexpected reply {other:?}")),
+        }
+    }
+    ExitCode::SUCCESS
+}

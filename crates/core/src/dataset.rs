@@ -253,9 +253,9 @@ impl Pipeline {
         batch_size: usize,
     ) -> Vec<BenchmarkAccuracy> {
         assert_eq!(benchmarks.len(), traces.len(), "one trace per benchmark");
-        let sims = par_map(par, traces, |t| self.pairs_from_trace(t, config));
         if par.threads() <= 1 {
             // Serial: run against the caller's generator directly.
+            let sims = par_map(par, traces, |t| self.pairs_from_trace(t, config));
             return benchmarks
                 .iter()
                 .zip(&sims)
@@ -275,6 +275,54 @@ impl Pipeline {
         // from the shared arena. Inference is eval-mode and
         // deterministic, so sharding cannot change any result.
         let frozen = FrozenGenerator::of(generator);
+        self.evaluate_sweep_frozen(
+            par,
+            &frozen,
+            benchmarks,
+            traces,
+            config,
+            conditioned,
+            batch_size,
+        )
+    }
+
+    /// Evaluates one benchmark/configuration against an already frozen
+    /// weight arena. This is the shared eval-loop entry used by the
+    /// serving front-end (`cachebox-serve`): thawing a private model
+    /// keeps the arena read-only, so any number of threads can call
+    /// this concurrently over one [`FrozenGenerator`], and the result
+    /// is bitwise identical to [`Pipeline::evaluate`] on the generator
+    /// the arena was frozen from.
+    pub fn evaluate_frozen(
+        &self,
+        frozen: &FrozenGenerator,
+        bench: &Benchmark,
+        config: &CacheConfig,
+        conditioned: bool,
+        batch_size: usize,
+    ) -> BenchmarkAccuracy {
+        let pairs = self.heatmap_pairs(bench, config);
+        let mut local = frozen.thaw();
+        self.accuracy_from_pairs(&mut local, bench, config, &pairs, conditioned, batch_size)
+    }
+
+    /// [`Pipeline::evaluate_frozen`] over many benchmarks with traces
+    /// generated up front (one per benchmark). Simulation and inference
+    /// fan out across `par` threads; each worker thaws a private model
+    /// from the shared arena, so results match the serial path exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_sweep_frozen(
+        &self,
+        par: Parallelism,
+        frozen: &FrozenGenerator,
+        benchmarks: &[Benchmark],
+        traces: &[Trace],
+        config: &CacheConfig,
+        conditioned: bool,
+        batch_size: usize,
+    ) -> Vec<BenchmarkAccuracy> {
+        assert_eq!(benchmarks.len(), traces.len(), "one trace per benchmark");
+        let sims = par_map(par, traces, |t| self.pairs_from_trace(t, config));
         let jobs: Vec<(&Benchmark, &[HeatmapPair])> =
             benchmarks.iter().zip(sims.iter().map(Vec::as_slice)).collect();
         par_map(par, &jobs, |(bench, pairs)| {
@@ -406,6 +454,40 @@ mod tests {
             assert_eq!(s.name, e.name);
             assert_eq!(s.true_rate, e.true_rate);
             assert_eq!(s.predicted_rate, e.predicted_rate);
+        }
+    }
+
+    #[test]
+    fn frozen_eval_entries_match_in_process_paths_bitwise() {
+        let scale = Scale::tiny();
+        let p = Pipeline::new(&scale);
+        let suite = Suite::build(SuiteId::Polybench, 2, 3);
+        let benches = suite.benchmarks().to_vec();
+        let config = CacheConfig::new(16, 2);
+        let mut g = UNetGenerator::new(UNetConfig::for_image_size(16, 4).with_param_features(2), 1);
+        let frozen = cachebox_gan::infer::FrozenGenerator::of(&mut g);
+
+        // Single-benchmark entry vs the mutable-generator path.
+        for b in &benches {
+            let direct = p.evaluate(&mut g, b, &config, true, 4);
+            let via_arena = p.evaluate_frozen(&frozen, b, &config, true, 4);
+            assert_eq!(direct.name, via_arena.name);
+            assert_eq!(direct.true_rate.to_bits(), via_arena.true_rate.to_bits());
+            assert_eq!(direct.predicted_rate.to_bits(), via_arena.predicted_rate.to_bits());
+        }
+
+        // Sweep entry vs evaluate_sweep, serial and parallel budgets.
+        let traces: Vec<_> = benches.iter().map(|b| p.trace(b)).collect();
+        let swept = p.evaluate_sweep(Parallelism::new(4), &mut g, &benches, &config, true, 4);
+        for par in [Parallelism::serial(), Parallelism::new(4)] {
+            let via_arena =
+                p.evaluate_sweep_frozen(par, &frozen, &benches, &traces, &config, true, 4);
+            assert_eq!(swept.len(), via_arena.len());
+            for (s, a) in swept.iter().zip(&via_arena) {
+                assert_eq!(s.name, a.name);
+                assert_eq!(s.true_rate.to_bits(), a.true_rate.to_bits());
+                assert_eq!(s.predicted_rate.to_bits(), a.predicted_rate.to_bits());
+            }
         }
     }
 

@@ -12,6 +12,7 @@ use crate::unet::{UNetAsLayer, UNetConfig, UNetGenerator};
 use cachebox_heatmap::Heatmap;
 use cachebox_nn::layers::Layer;
 use cachebox_nn::Tensor;
+use std::sync::{Arc, RwLock};
 
 /// A frozen, shareable snapshot of a trained generator: the
 /// architecture plus one flat read-only weight arena and one flat
@@ -70,6 +71,106 @@ impl FrozenGenerator {
         layer.write_values_flat(&self.values);
         layer.write_buffers_flat(&self.buffers);
         generator
+    }
+
+    /// A 64-bit fingerprint of the frozen arenas: an FNV-1a fold over
+    /// the raw weight and buffer bits (plus the architecture's init
+    /// seed). Two frozen generators with bitwise-identical weights have
+    /// equal fingerprints; any single flipped weight bit changes it.
+    /// The evaluation service echoes this in every response so a client
+    /// (and the mixed-arena stress test) can tell exactly which arena
+    /// answered.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(PRIME);
+        };
+        fold(self.seed);
+        fold(self.values.len() as u64);
+        for v in self.values.iter().chain(&self.buffers) {
+            fold(v.to_bits() as u64);
+        }
+        h
+    }
+}
+
+/// One installed generation of frozen weights: the arena itself plus a
+/// monotonically increasing epoch number and the arena's
+/// [`fingerprint`](FrozenGenerator::fingerprint), computed once at
+/// install time.
+#[derive(Debug)]
+pub struct FrozenEpoch {
+    /// The shared read-only weight arena.
+    pub generator: FrozenGenerator,
+    /// Install generation: 0 for the boot arena, +1 per swap.
+    pub epoch: u64,
+    /// [`FrozenGenerator::fingerprint`] of the arena.
+    pub fingerprint: u64,
+}
+
+/// An atomically swappable [`FrozenGenerator`] arena (ArcSwap-style
+/// epoch pointer, built on `RwLock<Arc<_>>` so no external crate is
+/// needed).
+///
+/// Readers call [`load`](ArenaSwap::load) to take a cheap `Arc` clone of
+/// the current [`FrozenEpoch`] and then work against that snapshot for
+/// as long as they like; [`install`](ArenaSwap::install) replaces the
+/// pointer *between* loads, so in-flight inference on the old arena
+/// finishes untorn — the old `Arc` stays alive until its last reader
+/// drops it. The lock is held only for the pointer clone/replace, never
+/// across inference.
+///
+/// # Example
+///
+/// ```
+/// use cachebox_gan::infer::{ArenaSwap, FrozenGenerator};
+/// use cachebox_gan::{UNetConfig, UNetGenerator};
+///
+/// let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 7);
+/// let swap = ArenaSwap::new(FrozenGenerator::of(&mut g));
+/// let before = swap.load();
+/// let mut h = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 8);
+/// swap.install(FrozenGenerator::of(&mut h));
+/// let after = swap.load();
+/// assert_eq!(before.epoch + 1, after.epoch);
+/// assert_ne!(before.fingerprint, after.fingerprint);
+/// // `before` still resolves the old arena — nothing tore.
+/// assert_eq!(before.generator.fingerprint(), before.fingerprint);
+/// ```
+#[derive(Debug)]
+pub struct ArenaSwap {
+    current: RwLock<Arc<FrozenEpoch>>,
+}
+
+impl ArenaSwap {
+    /// Installs `generator` as epoch 0.
+    pub fn new(generator: FrozenGenerator) -> Self {
+        let fingerprint = generator.fingerprint();
+        ArenaSwap {
+            current: RwLock::new(Arc::new(FrozenEpoch { generator, epoch: 0, fingerprint })),
+        }
+    }
+
+    /// The current epoch snapshot. The returned `Arc` keeps its arena
+    /// alive across any subsequent [`install`](ArenaSwap::install), so a
+    /// worker that loads once per request can never observe a mix of
+    /// two arenas.
+    pub fn load(&self) -> Arc<FrozenEpoch> {
+        Arc::clone(&self.current.read().expect("arena lock poisoned"))
+    }
+
+    /// Atomically replaces the arena, returning the new epoch snapshot.
+    /// Loads racing the install observe either the old or the new arena
+    /// in full, never a blend.
+    pub fn install(&self, generator: FrozenGenerator) -> Arc<FrozenEpoch> {
+        let fingerprint = generator.fingerprint();
+        let mut slot = self.current.write().expect("arena lock poisoned");
+        let next = Arc::new(FrozenEpoch { generator, epoch: slot.epoch + 1, fingerprint });
+        *slot = Arc::clone(&next);
+        next
     }
 }
 
@@ -404,5 +505,86 @@ mod tests {
         let mut g = UNetGenerator::new(UNetConfig::for_image_size(8, 2), 1);
         let out = infer_parallel(&mut g, &maps(3), None, &Normalizer::new(4), 2, 1).unwrap();
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_weight_bits() {
+        let config = UNetConfig::for_image_size(8, 2);
+        let mut g = UNetGenerator::new(config, 3);
+        let a = FrozenGenerator::of(&mut g);
+        // Deterministic and stable across repeated freezes.
+        assert_eq!(a.fingerprint(), FrozenGenerator::of(&mut g).fingerprint());
+        // A different seed (different weights) changes it.
+        let mut h = UNetGenerator::new(config, 4);
+        assert_ne!(a.fingerprint(), FrozenGenerator::of(&mut h).fingerprint());
+        // A single flipped weight bit changes it.
+        let mut b = a.clone();
+        b.values[0] = f32::from_bits(b.values[0].to_bits() ^ 1);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn arena_swap_bumps_epoch_and_keeps_old_readers_whole() {
+        let config = UNetConfig::for_image_size(8, 2).with_dropout(false);
+        let mut g = UNetGenerator::new(config, 1);
+        let swap = ArenaSwap::new(FrozenGenerator::of(&mut g));
+        let old = swap.load();
+        assert_eq!(old.epoch, 0);
+        let mut h = UNetGenerator::new(config, 2);
+        let new = swap.install(FrozenGenerator::of(&mut h));
+        assert_eq!(new.epoch, 1);
+        assert_eq!(swap.load().fingerprint, new.fingerprint);
+        // The old snapshot still thaws the old weights bit-exactly.
+        let x = Tensor::zeros([1, 1, 8, 8]);
+        let mut old_copy = old.generator.thaw();
+        assert_eq!(g.forward(&x, None, false), old_copy.forward(&x, None, false));
+    }
+
+    /// The serve-crate contract: hammer inference from N workers while
+    /// another thread swaps arenas in a loop. Every inference loads the
+    /// epoch pointer once, so its output must match the arena named by
+    /// the snapshot's fingerprint exactly — a mixed-arena inference
+    /// (some layers from the old weights, some from the new) would
+    /// produce a third output and fail the lookup.
+    #[test]
+    fn arena_swap_never_tears_under_concurrent_load() {
+        let config = UNetConfig::for_image_size(8, 4).with_dropout(false);
+        let norm = Normalizer::new(4);
+        let inputs = maps(2);
+        let mut frozen = Vec::new();
+        let mut expected = std::collections::HashMap::new();
+        for seed in [11u64, 22] {
+            let mut g = UNetGenerator::new(config, seed);
+            let f = FrozenGenerator::of(&mut g);
+            let out = infer_batched(&mut g, &inputs, None, &norm, 2);
+            expected.insert(f.fingerprint(), out);
+            frozen.push(f);
+        }
+        let swap = ArenaSwap::new(frozen[0].clone());
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|_| {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let epoch = swap.load();
+                        assert_eq!(epoch.generator.fingerprint(), epoch.fingerprint);
+                        let mut local = epoch.generator.thaw();
+                        let out = infer_batched(&mut local, &inputs, None, &norm, 2);
+                        assert_eq!(
+                            &out, &expected[&epoch.fingerprint],
+                            "inference mixed arenas at epoch {}",
+                            epoch.epoch
+                        );
+                    }
+                });
+            }
+            for round in 0..20 {
+                let snap = swap.install(frozen[(round + 1) % 2].clone());
+                assert_eq!(snap.epoch, round as u64 + 1);
+                std::thread::yield_now();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        })
+        .expect("stress scope panicked");
     }
 }

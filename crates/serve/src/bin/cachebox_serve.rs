@@ -1,0 +1,182 @@
+//! The evaluation-service binary.
+//!
+//! ```text
+//! cachebox_serve --listen tcp:127.0.0.1:7410 --scale tiny \
+//!     [--checkpoint model.json] [--workers 2] [--queue-depth 16] \
+//!     [--deadline-ms 30000] [--eval-threads 1] [--seed 42] \
+//!     [--telemetry serve.jsonl] [--no-summary]
+//! ```
+//!
+//! Boots with the checkpoint's weights when `--checkpoint` is given
+//! (refusing invalid files), otherwise with a deterministic untrained
+//! generator seeded from `--seed` — enough for protocol smoke tests
+//! and identical to what `Scale`-matched local code would build.
+
+use cachebox::Scale;
+use cachebox_gan::checkpoint::Checkpoint;
+use cachebox_gan::infer::FrozenGenerator;
+use cachebox_gan::{UNetConfig, UNetGenerator};
+use cachebox_serve::{Listener, Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    listen: String,
+    scale: Scale,
+    scale_name: String,
+    seed: Option<u64>,
+    checkpoint: Option<PathBuf>,
+    workers: usize,
+    queue_depth: usize,
+    deadline_ms: u64,
+    eval_threads: usize,
+    telemetry: Option<PathBuf>,
+    summary: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cachebox_serve --listen tcp:HOST:PORT|unix:PATH [--scale tiny|small|experiment]\n\
+         \x20      [--checkpoint FILE] [--workers N] [--queue-depth N] [--deadline-ms N]\n\
+         \x20      [--eval-threads N] [--seed N] [--telemetry FILE.jsonl] [--no-summary]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: String::new(),
+        scale: Scale::tiny(),
+        scale_name: "tiny".into(),
+        seed: None,
+        checkpoint: None,
+        workers: 2,
+        queue_depth: 16,
+        deadline_ms: 30_000,
+        eval_threads: 1,
+        telemetry: None,
+        summary: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--scale" => {
+                args.scale_name = value("--scale");
+                args.scale = match args.scale_name.as_str() {
+                    "tiny" => Scale::tiny(),
+                    "small" => Scale::small(),
+                    "experiment" => Scale::experiment(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        usage()
+                    }
+                };
+            }
+            "--seed" => args.seed = Some(parse_num(&value("--seed"), "--seed")),
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers") as usize,
+            "--queue-depth" => {
+                args.queue_depth = parse_num(&value("--queue-depth"), "--queue-depth") as usize
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = parse_num(&value("--deadline-ms"), "--deadline-ms")
+            }
+            "--eval-threads" => {
+                args.eval_threads = parse_num(&value("--eval-threads"), "--eval-threads") as usize
+            }
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry"))),
+            "--no-summary" => args.summary = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if args.listen.is_empty() {
+        eprintln!("--listen is required");
+        usage();
+    }
+    args
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects an unsigned integer, got {s:?}");
+        usage()
+    })
+}
+
+fn boot_arena(args: &Args) -> Result<FrozenGenerator, String> {
+    if let Some(path) = &args.checkpoint {
+        return Checkpoint::load_frozen_validated(path)
+            .map_err(|e| format!("cannot serve checkpoint {}: {e}", path.display()));
+    }
+    let seed = args.seed.unwrap_or(args.scale.seed);
+    let config =
+        UNetConfig::for_image_size(args.scale.image_size(), args.scale.ngf).with_param_features(2);
+    Ok(FrozenGenerator::of(&mut UNetGenerator::new(config, seed)))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let guard = args.telemetry.as_ref().map(|path| {
+        cachebox_telemetry::init(
+            cachebox_telemetry::TelemetryConfig::new("cachebox_serve")
+                .with_jsonl(path)
+                .with_summary(args.summary)
+                .with_threads(args.workers)
+                .with_seed(args.seed.unwrap_or(args.scale.seed))
+                .with_kv("scale", args.scale_name.clone())
+                .with_kv("listen", args.listen.clone()),
+        )
+    });
+
+    let frozen = match boot_arena(&args) {
+        Ok(f) => f,
+        Err(why) => {
+            eprintln!("cachebox_serve: {why}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match Listener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cachebox_serve: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = ServerConfig::new(args.scale);
+    config.workers = args.workers.max(1);
+    config.queue_depth = args.queue_depth.max(1);
+    config.default_deadline_ms = args.deadline_ms.max(1);
+    config.eval_threads = args.eval_threads.max(1);
+
+    eprintln!(
+        "cachebox_serve: listening on {} (scale {}, {} workers, queue {})",
+        listener.local_addr(),
+        args.scale_name,
+        config.workers,
+        config.queue_depth
+    );
+    let server = Server::new(config, frozen);
+    let result = server.run(listener);
+    if let Some(g) = guard {
+        g.finish();
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cachebox_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

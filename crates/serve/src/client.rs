@@ -1,0 +1,126 @@
+//! Blocking client for the evaluation service.
+
+use crate::proto::{encode_request, parse_response, EvalRequest, Request, Response};
+use crate::server::Conn;
+use crate::wire::{read_frame, write_frame, WireError};
+use cachebox_telemetry::diff::parse_json;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Frame codec or transport failure.
+    Wire(WireError),
+    /// The server closed the connection instead of answering.
+    Disconnected,
+    /// The reply frame was not a valid response object.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A connected client issuing one request at a time.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to `tcp:HOST:PORT` or `unix:PATH`.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level connection failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Ok(Client { conn: Conn::connect(addr)? })
+    }
+
+    /// Like [`Client::connect`] but retrying for up to `timeout` — for
+    /// racing a service that is still binding its socket.
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure once the timeout elapses.
+    pub fn connect_with_retry(addr: &str, timeout: std::time::Duration) -> std::io::Result<Client> {
+        let start = std::time::Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if start.elapsed() >= timeout => return Err(e),
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unparseable reply. A *typed* server
+    /// error arrives as `Ok(Response::Error { .. })`.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, encode_request(req).as_bytes())?;
+        let payload = read_frame(&mut self.conn)?.ok_or(ClientError::Disconnected)?;
+        let text =
+            std::str::from_utf8(&payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let json = parse_json(text).map_err(ClientError::Protocol)?;
+        parse_response(&json).map_err(ClientError::Protocol)
+    }
+
+    /// `eval` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn eval(&mut self, req: EvalRequest) -> Result<Response, ClientError> {
+        self.call(&Request::Eval(req))
+    }
+
+    /// `reload` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn reload(&mut self, path: &str) -> Result<Response, ClientError> {
+        self.call(&Request::Reload { path: path.to_string() })
+    }
+
+    /// `status` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn status(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Status)
+    }
+
+    /// `shutdown` convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,40 @@
+//! `cachebox-serve`: a long-running evaluation service.
+//!
+//! The paper's headline use case (Fig. 11 / RQ5) is answering cache
+//! design-space queries faster than a conventional simulator. The batch
+//! path — [`Pipeline::evaluate_sweep`](cachebox::Pipeline) over a
+//! frozen weight arena — already amortizes inference *within* one
+//! process, but every sweep still pays model construction and process
+//! startup, and cannot pick up a newer checkpoint. This crate keeps the
+//! whole trace→simulate→infer→score loop resident behind a socket:
+//!
+//! * **Protocol** ([`wire`], [`proto`]): length-prefixed JSON frames
+//!   over TCP or a Unix socket; `eval`, `reload`, `status`, `shutdown`
+//!   ops; typed error replies (`malformed`, `unknown_config`,
+//!   `overflow`, `deadline`, …) instead of disconnects.
+//! * **Service** ([`server`]): a bounded-queue worker pool around the
+//!   same [`evaluate_sweep_frozen`](cachebox::Pipeline::evaluate_sweep_frozen)
+//!   entry the in-process sweep uses, so served answers are bitwise
+//!   identical to local evaluation; per-request deadlines; graceful
+//!   drain.
+//! * **Hot reload**: `reload` validates a checkpoint off the worker
+//!   pool and swaps the frozen arena atomically through an epoch
+//!   pointer ([`cachebox_gan::infer::ArenaSwap`]); in-flight requests
+//!   finish on the arena they started with, and every reply names the
+//!   `(epoch, fingerprint)` that produced it.
+//! * **Client** ([`client`]): a small blocking client used by the
+//!   `serve_client` smoke driver and the integration tests.
+//!
+//! See `docs/SERVING.md` for the wire format, reload semantics, and
+//! the telemetry table.
+
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorKind, EvalRequest, Request, Response, StatusInfo, WorkloadSpec};
+pub use server::{Conn, Listener, Server, ServerConfig};
+pub use wire::{WireError, MAX_FRAME};

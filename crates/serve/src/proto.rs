@@ -1,0 +1,477 @@
+//! Request/response message types and their JSON wire forms.
+//!
+//! Payloads are JSON objects discriminated by an `"op"` field
+//! (requests) or an `"ok"` flag (responses). Encoding is hand-rolled
+//! and decoding reuses the telemetry crate's strict JSON parser, so the
+//! protocol has no serialization dependency and the same codec runs in
+//! the server, the client, and the property tests.
+//!
+//! Two representation choices worth knowing:
+//!
+//! * **Hit rates travel as shortest-roundtrip decimals.** Rust's `f64`
+//!   `Display` prints the shortest string that parses back to the same
+//!   bits, so rates cross the wire bitwise intact — the foundation of
+//!   the service's "identical to in-process `evaluate_sweep`"
+//!   guarantee.
+//! * **Arena fingerprints travel as 16-digit hex strings**, not JSON
+//!   numbers: a `u64` does not survive the f64 number pipeline above
+//!   2^53.
+
+use crate::wire::json_escape;
+use cachebox_metrics::BenchmarkAccuracy;
+use cachebox_telemetry::diff::Json;
+
+/// One benchmark identity: suite name + index + generation seed.
+/// Benchmarks are pure functions of this triple, so the server rebuilds
+/// the exact workload the client means without shipping traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Suite name: `spec`, `ligra`, or `polybench`.
+    pub suite: String,
+    /// Benchmark index within the suite.
+    pub index: usize,
+    /// Suite generation seed.
+    pub seed: u64,
+}
+
+/// An `eval` request: score the current model on `benchmarks` under one
+/// cache configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalRequest {
+    /// Workloads to score.
+    pub benchmarks: Vec<WorkloadSpec>,
+    /// Cache sets.
+    pub sets: usize,
+    /// Cache ways (associativity).
+    pub ways: usize,
+    /// Inference batch size; server default when absent.
+    pub batch_size: Option<usize>,
+    /// Per-request deadline; server default when absent.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Generate → simulate → infer → score.
+    Eval(EvalRequest),
+    /// Validate the checkpoint at `path` and hot-swap the weight arena.
+    Reload {
+        /// Checkpoint path on the server's filesystem.
+        path: String,
+    },
+    /// Service health and arena provenance.
+    Status,
+    /// Graceful drain: finish queued work, then stop.
+    Shutdown,
+}
+
+/// Machine-readable error category carried by error replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unparseable frame or request object.
+    Malformed,
+    /// The request references a suite/configuration the server cannot
+    /// build (unknown suite name, zero sets/ways, empty benchmark list).
+    UnknownConfig,
+    /// The request queue is full; retry later.
+    Overflow,
+    /// The request's deadline expired before a worker finished it.
+    Deadline,
+    /// Checkpoint validation failed; the previous arena stays installed.
+    ReloadFailed,
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::UnknownConfig => "unknown_config",
+            ErrorKind::Overflow => "overflow",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::ReloadFailed => "reload_failed",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "malformed" => ErrorKind::Malformed,
+            "unknown_config" => ErrorKind::UnknownConfig,
+            "overflow" => ErrorKind::Overflow,
+            "deadline" => ErrorKind::Deadline,
+            "reload_failed" => ErrorKind::ReloadFailed,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// `status` reply body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// Arena generation counter (0 = the boot arena).
+    pub epoch: u64,
+    /// Fingerprint of the installed arena's weights.
+    pub fingerprint: u64,
+    /// Requests answered successfully since boot.
+    pub served: u64,
+    /// Error replies since boot.
+    pub errors: u64,
+    /// Eval jobs currently queued.
+    pub queue_depth: usize,
+    /// Worker-thread count.
+    pub workers: usize,
+    /// True once a shutdown has started.
+    pub draining: bool,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Scored benchmarks, tagged with the arena that produced them.
+    Eval {
+        /// Arena generation that served this request.
+        epoch: u64,
+        /// Weight fingerprint of that arena — every result in this
+        /// reply came from this one arena (no mixed-arena inference).
+        fingerprint: u64,
+        /// Per-benchmark true/predicted hit rates.
+        results: Vec<BenchmarkAccuracy>,
+    },
+    /// Reload succeeded; the new arena's identity.
+    Reload {
+        /// New arena generation.
+        epoch: u64,
+        /// New arena fingerprint.
+        fingerprint: u64,
+    },
+    /// Service health.
+    Status(StatusInfo),
+    /// Drain acknowledged.
+    Shutdown,
+    /// Typed failure; the connection stays usable.
+    Error {
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+fn from_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad fingerprint {s:?}: {e}"))
+}
+
+fn field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn str_field(j: &Json, key: &str) -> Result<String, String> {
+    field(j, key)?.as_str().map(str::to_string).ok_or_else(|| format!("field {key:?} not a string"))
+}
+
+fn u64_field(j: &Json, key: &str) -> Result<u64, String> {
+    let v = field(j, key)?.as_f64().ok_or_else(|| format!("field {key:?} not a number"))?;
+    if v < 0.0 || v.fract() != 0.0 || v > 2f64.powi(53) {
+        return Err(format!("field {key:?} not an unsigned integer: {v}"));
+    }
+    Ok(v as u64)
+}
+
+fn usize_field(j: &Json, key: &str) -> Result<usize, String> {
+    Ok(u64_field(j, key)? as usize)
+}
+
+fn f64_field(j: &Json, key: &str) -> Result<f64, String> {
+    field(j, key)?.as_f64().ok_or_else(|| format!("field {key:?} not a number"))
+}
+
+fn bool_field(j: &Json, key: &str) -> Result<bool, String> {
+    match field(j, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("field {key:?} not a bool")),
+    }
+}
+
+fn opt_u64_field(j: &Json, key: &str) -> Result<Option<u64>, String> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(_) => u64_field(j, key).map(Some),
+    }
+}
+
+/// Encodes a request as its JSON wire form.
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Eval(e) => {
+            let benches: Vec<String> = e
+                .benchmarks
+                .iter()
+                .map(|b| {
+                    format!(
+                        r#"{{"suite":"{}","index":{},"seed":{}}}"#,
+                        json_escape(&b.suite),
+                        b.index,
+                        b.seed
+                    )
+                })
+                .collect();
+            let mut s = format!(
+                r#"{{"op":"eval","benchmarks":[{}],"sets":{},"ways":{}"#,
+                benches.join(","),
+                e.sets,
+                e.ways
+            );
+            if let Some(b) = e.batch_size {
+                s.push_str(&format!(r#","batch_size":{b}"#));
+            }
+            if let Some(d) = e.deadline_ms {
+                s.push_str(&format!(r#","deadline_ms":{d}"#));
+            }
+            s.push('}');
+            s
+        }
+        Request::Reload { path } => {
+            format!(r#"{{"op":"reload","path":"{}"}}"#, json_escape(path))
+        }
+        Request::Status => r#"{"op":"status"}"#.to_string(),
+        Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
+    }
+}
+
+/// Parses a request from its decoded JSON form.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn parse_request(j: &Json) -> Result<Request, String> {
+    let op = str_field(j, "op")?;
+    match op.as_str() {
+        "eval" => {
+            let list = match field(j, "benchmarks")? {
+                Json::Arr(items) => items,
+                _ => return Err("field \"benchmarks\" not an array".into()),
+            };
+            let benchmarks = list
+                .iter()
+                .map(|b| {
+                    Ok(WorkloadSpec {
+                        suite: str_field(b, "suite")?,
+                        index: usize_field(b, "index")?,
+                        seed: u64_field(b, "seed")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Request::Eval(EvalRequest {
+                benchmarks,
+                sets: usize_field(j, "sets")?,
+                ways: usize_field(j, "ways")?,
+                batch_size: opt_u64_field(j, "batch_size")?.map(|v| v as usize),
+                deadline_ms: opt_u64_field(j, "deadline_ms")?,
+            }))
+        }
+        "reload" => Ok(Request::Reload { path: str_field(j, "path")? }),
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Encodes a response as its JSON wire form.
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Eval { epoch, fingerprint, results } => {
+            let rows: Vec<String> = results
+                .iter()
+                .map(|r| {
+                    format!(
+                        r#"{{"name":"{}","true_rate":{},"predicted_rate":{},"error_pp":{}}}"#,
+                        json_escape(&r.name),
+                        r.true_rate,
+                        r.predicted_rate,
+                        r.abs_pct_diff()
+                    )
+                })
+                .collect();
+            format!(
+                r#"{{"ok":true,"op":"eval","epoch":{},"fingerprint":"{}","results":[{}]}}"#,
+                epoch,
+                hex(*fingerprint),
+                rows.join(",")
+            )
+        }
+        Response::Reload { epoch, fingerprint } => format!(
+            r#"{{"ok":true,"op":"reload","epoch":{},"fingerprint":"{}"}}"#,
+            epoch,
+            hex(*fingerprint)
+        ),
+        Response::Status(s) => format!(
+            concat!(
+                r#"{{"ok":true,"op":"status","epoch":{},"fingerprint":"{}","served":{},"#,
+                r#""errors":{},"queue_depth":{},"workers":{},"draining":{}}}"#
+            ),
+            s.epoch,
+            hex(s.fingerprint),
+            s.served,
+            s.errors,
+            s.queue_depth,
+            s.workers,
+            s.draining
+        ),
+        Response::Shutdown => r#"{"ok":true,"op":"shutdown"}"#.to_string(),
+        Response::Error { kind, message } => format!(
+            r#"{{"ok":false,"kind":"{}","message":"{}"}}"#,
+            kind.as_str(),
+            json_escape(message)
+        ),
+    }
+}
+
+/// Parses a response from its decoded JSON form.
+///
+/// # Errors
+///
+/// A human-readable description of the first structural problem.
+pub fn parse_response(j: &Json) -> Result<Response, String> {
+    if !bool_field(j, "ok")? {
+        let kind = str_field(j, "kind")?;
+        let kind = ErrorKind::parse(&kind).ok_or_else(|| format!("unknown error kind {kind:?}"))?;
+        return Ok(Response::Error { kind, message: str_field(j, "message")? });
+    }
+    let op = str_field(j, "op")?;
+    match op.as_str() {
+        "eval" => {
+            let list = match field(j, "results")? {
+                Json::Arr(items) => items,
+                _ => return Err("field \"results\" not an array".into()),
+            };
+            let results = list
+                .iter()
+                .map(|r| {
+                    Ok(BenchmarkAccuracy {
+                        name: str_field(r, "name")?,
+                        true_rate: f64_field(r, "true_rate")?,
+                        predicted_rate: f64_field(r, "predicted_rate")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Response::Eval {
+                epoch: u64_field(j, "epoch")?,
+                fingerprint: from_hex(&str_field(j, "fingerprint")?)?,
+                results,
+            })
+        }
+        "reload" => Ok(Response::Reload {
+            epoch: u64_field(j, "epoch")?,
+            fingerprint: from_hex(&str_field(j, "fingerprint")?)?,
+        }),
+        "status" => Ok(Response::Status(StatusInfo {
+            epoch: u64_field(j, "epoch")?,
+            fingerprint: from_hex(&str_field(j, "fingerprint")?)?,
+            served: u64_field(j, "served")?,
+            errors: u64_field(j, "errors")?,
+            queue_depth: usize_field(j, "queue_depth")?,
+            workers: usize_field(j, "workers")?,
+            draining: bool_field(j, "draining")?,
+        })),
+        "shutdown" => Ok(Response::Shutdown),
+        other => Err(format!("unknown response op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachebox_telemetry::diff::parse_json;
+
+    fn req_roundtrip(req: &Request) {
+        let json = parse_json(&encode_request(req)).expect("encoder emits valid JSON");
+        assert_eq!(&parse_request(&json).unwrap(), req);
+    }
+
+    fn resp_roundtrip(resp: &Response) {
+        let json = parse_json(&encode_response(resp)).expect("encoder emits valid JSON");
+        assert_eq!(&parse_response(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        req_roundtrip(&Request::Status);
+        req_roundtrip(&Request::Shutdown);
+        req_roundtrip(&Request::Reload { path: "/tmp/with \"quotes\"\n.json".into() });
+        req_roundtrip(&Request::Eval(EvalRequest {
+            benchmarks: vec![
+                WorkloadSpec { suite: "polybench".into(), index: 0, seed: 3 },
+                WorkloadSpec { suite: "spec".into(), index: 7, seed: 42 },
+            ],
+            sets: 16,
+            ways: 2,
+            batch_size: Some(4),
+            deadline_ms: None,
+        }));
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        resp_roundtrip(&Response::Shutdown);
+        resp_roundtrip(&Response::Reload { epoch: 3, fingerprint: u64::MAX });
+        resp_roundtrip(&Response::Error {
+            kind: ErrorKind::Deadline,
+            message: "2000 ms elapsed".into(),
+        });
+        resp_roundtrip(&Response::Status(StatusInfo {
+            epoch: 2,
+            fingerprint: 0xdead_beef,
+            served: 10,
+            errors: 1,
+            queue_depth: 0,
+            workers: 2,
+            draining: false,
+        }));
+        // Rates with long mantissas must cross the wire bitwise intact.
+        resp_roundtrip(&Response::Eval {
+            epoch: 1,
+            fingerprint: 0x0123_4567_89ab_cdef,
+            results: vec![BenchmarkAccuracy {
+                name: "poly/x".into(),
+                true_rate: 0.123_456_789_012_345_67,
+                predicted_rate: 2.0 / 3.0,
+            }],
+        });
+    }
+
+    #[test]
+    fn fingerprint_hex_preserves_all_64_bits() {
+        for fp in [0, 1, u64::MAX, 0x8000_0000_0000_0000, (1 << 53) + 1] {
+            assert_eq!(from_hex(&hex(fp)).unwrap(), fp);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for text in [
+            r#"{"op":"nope"}"#,
+            r#"{"benchmarks":[]}"#,
+            r#"{"op":"eval","benchmarks":"not a list","sets":1,"ways":1}"#,
+            r#"{"op":"eval","benchmarks":[{"suite":3}],"sets":1,"ways":1}"#,
+            r#"{"op":"reload"}"#,
+            r#"{"op":"eval","benchmarks":[],"sets":-4,"ways":1}"#,
+        ] {
+            let json = parse_json(text).unwrap();
+            assert!(parse_request(&json).is_err(), "accepted: {text}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Bounded MPMC job queue on `Mutex` + `Condvar`.
+//!
+//! Backpressure is explicit: a full queue rejects the push immediately
+//! (the server turns that into a typed `overflow` reply) instead of
+//! blocking the connection thread, and closing the queue wakes every
+//! blocked consumer so workers can drain remaining jobs and exit — the
+//! graceful-shutdown path.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the job is handed back.
+    Full(T),
+    /// The queue is closed (service draining); the job is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            capacity: capacity.max(1),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking. On success returns the queue depth
+    /// *after* the push (for the telemetry gauge).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] once
+    /// [`Bounded::close`] was called; both return the item.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues, blocking while the queue is open and empty. Returns
+    /// `None` only when the queue is closed *and* drained — a worker's
+    /// signal to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what is
+    /// left and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current depth (racy, for telemetry/status only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// True when empty at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_when_closed() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        q.close();
+        assert_eq!(q.try_push(4), Err(PushError::Closed(4)));
+        // Close still drains what was accepted, in order.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give consumers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn many_producers_one_consumer_sees_every_item() {
+        let q = Arc::new(Bounded::new(64));
+        let producers: Vec<_> = (0..4u32)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..16u32 {
+                        loop {
+                            match q.try_push(p * 100 + i) {
+                                Ok(_) => break,
+                                Err(PushError::Full(_)) => std::thread::yield_now(),
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        let mut want: Vec<u32> = (0..4).flat_map(|p| (0..16).map(move |i| p * 100 + i)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

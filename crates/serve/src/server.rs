@@ -1,0 +1,689 @@
+//! The evaluation service: listener, worker pool, and hot-reload.
+//!
+//! ## Threading model
+//!
+//! One **accept loop** (the thread that called [`Server::run`]) polls a
+//! non-blocking listener and spawns a **connection thread** per client.
+//! Connection threads parse frames, answer `status`/`reload`/
+//! `shutdown` inline, and hand `eval` jobs to a bounded queue drained
+//! by **worker threads**. The connection thread then waits on a
+//! [`ReplySlot`] with the request's deadline; whoever loses the race —
+//! the worker finishing or the deadline expiring — the client gets
+//! exactly one reply, typed either way.
+//!
+//! ## Reload semantics
+//!
+//! `reload` runs entirely on the connection thread, *off* the worker
+//! pool: the checkpoint is loaded and validated
+//! ([`Checkpoint::load_frozen_validated`]) before anything is swapped,
+//! and only then installed through the [`ArenaSwap`] epoch pointer.
+//! Workers snapshot the pointer once per request (`Arc` clone), so an
+//! in-flight eval finishes on the arena it started with — the old
+//! arena stays alive until its last reader drops — and every reply
+//! carries the `(epoch, fingerprint)` of the arena that actually
+//! produced it. A failed validation leaves the installed arena
+//! untouched and the service up.
+
+use crate::proto::{
+    encode_response, parse_request, ErrorKind, EvalRequest, Request, Response, StatusInfo,
+};
+use crate::queue::{Bounded, PushError};
+use crate::wire::{read_frame, write_frame, WireError};
+use cachebox::{Pipeline, Scale};
+use cachebox_gan::checkpoint::Checkpoint;
+use cachebox_gan::infer::{ArenaSwap, FrozenEpoch, FrozenGenerator};
+use cachebox_nn::parallel::{par_map, Parallelism};
+use cachebox_sim::CacheConfig;
+use cachebox_telemetry as telemetry;
+use cachebox_telemetry::Value;
+use cachebox_workloads::{Benchmark, Suite, SuiteId};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Tuning knobs for one service instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Pipeline sizing (geometry, trace length, normalizer).
+    pub scale: Scale,
+    /// Eval worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers `overflow`.
+    pub queue_depth: usize,
+    /// Deadline applied when a request carries none.
+    pub default_deadline_ms: u64,
+    /// Inference batch size when a request carries none.
+    pub default_batch: usize,
+    /// Whether the served generator takes cache-parameter conditioning.
+    pub conditioned: bool,
+    /// Thread budget *inside* one eval (trace gen + sweep fan-out).
+    pub eval_threads: usize,
+}
+
+impl ServerConfig {
+    /// Sensible defaults for `scale`: two workers, serial per-eval
+    /// fan-out, 16-deep queue, 30 s deadline.
+    pub fn new(scale: Scale) -> Self {
+        ServerConfig {
+            scale,
+            workers: 2,
+            queue_depth: 16,
+            default_deadline_ms: 30_000,
+            default_batch: scale.batch_size,
+            conditioned: true,
+            eval_threads: 1,
+        }
+    }
+}
+
+/// A bound service endpoint.
+pub enum Listener {
+    /// TCP endpoint.
+    Tcp(TcpListener),
+    /// Unix-domain endpoint.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    /// Binds `addr`: `tcp:HOST:PORT` (port 0 picks an ephemeral port)
+    /// or `unix:PATH` (a stale socket file at `PATH` is removed).
+    pub fn bind(addr: &str) -> std::io::Result<Listener> {
+        if let Some(hostport) = addr.strip_prefix("tcp:") {
+            return Ok(Listener::Tcp(TcpListener::bind(hostport)?));
+        }
+        #[cfg(unix)]
+        if let Some(path) = addr.strip_prefix("unix:") {
+            let p = Path::new(path);
+            if p.exists() {
+                std::fs::remove_file(p)?;
+            }
+            return Ok(Listener::Unix(std::os::unix::net::UnixListener::bind(p)?));
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("address {addr:?} is neither tcp:HOST:PORT nor unix:PATH"),
+        ))
+    }
+
+    /// The bound address in the same `tcp:`/`unix:` syntax accepted by
+    /// [`Listener::bind`] and [`Conn::connect`] — how a test discovers
+    /// the ephemeral port it was given.
+    pub fn local_addr(&self) -> String {
+        match self {
+            Listener::Tcp(l) => match l.local_addr() {
+                Ok(a) => format!("tcp:{a}"),
+                Err(_) => "tcp:?".to_string(),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.local_addr() {
+                Ok(a) => format!("unix:{}", a.as_pathname().unwrap_or(Path::new("?")).display()),
+                Err(_) => "unix:?".to_string(),
+            },
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(on),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(on),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Unix(s))
+            }
+        }
+    }
+}
+
+/// One client connection (either transport), usable as `Read + Write`.
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    /// Connects to a service address (`tcp:HOST:PORT` or `unix:PATH`).
+    pub fn connect(addr: &str) -> std::io::Result<Conn> {
+        if let Some(hostport) = addr.strip_prefix("tcp:") {
+            let s = TcpStream::connect(hostport)?;
+            s.set_nodelay(true).ok();
+            return Ok(Conn::Tcp(s));
+        }
+        #[cfg(unix)]
+        if let Some(path) = addr.strip_prefix("unix:") {
+            return Ok(Conn::Unix(std::os::unix::net::UnixStream::connect(path)?));
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("address {addr:?} is neither tcp:HOST:PORT nor unix:PATH"),
+        ))
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum SlotState {
+    Waiting,
+    Done(Response),
+    Abandoned,
+}
+
+/// Single-use rendezvous between a connection thread and a worker.
+struct ReplySlot {
+    state: Mutex<SlotState>,
+    done: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot { state: Mutex::new(SlotState::Waiting), done: Condvar::new() })
+    }
+
+    /// Worker side: deliver the response. Returns `false` when the
+    /// connection thread already gave up (deadline/disconnect) — the
+    /// response is dropped, never delivered late or to the wrong
+    /// request.
+    fn fulfill(&self, resp: Response) -> bool {
+        let mut s = self.state.lock().expect("slot lock poisoned");
+        match *s {
+            SlotState::Waiting => {
+                *s = SlotState::Done(resp);
+                drop(s);
+                self.done.notify_one();
+                true
+            }
+            SlotState::Abandoned => false,
+            SlotState::Done(_) => unreachable!("reply slot fulfilled twice"),
+        }
+    }
+
+    /// Connection side: wait for the worker until `deadline`. `None`
+    /// marks the slot abandoned — a later [`fulfill`](Self::fulfill)
+    /// becomes a no-op.
+    fn wait_until(&self, deadline: Instant) -> Option<Response> {
+        let mut s = self.state.lock().expect("slot lock poisoned");
+        loop {
+            if let SlotState::Done(_) = *s {
+                match std::mem::replace(&mut *s, SlotState::Abandoned) {
+                    SlotState::Done(resp) => return Some(resp),
+                    _ => unreachable!(),
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                *s = SlotState::Abandoned;
+                return None;
+            }
+            let (guard, _) = self.done.wait_timeout(s, deadline - now).expect("slot lock poisoned");
+            s = guard;
+        }
+    }
+}
+
+struct Job {
+    request: EvalRequest,
+    deadline: Instant,
+    enqueued: Instant,
+    slot: Arc<ReplySlot>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    pipeline: Pipeline,
+    arena: ArenaSwap,
+    queue: Bounded<Job>,
+    served: AtomicU64,
+    errors: AtomicU64,
+    draining: AtomicBool,
+    stop_accept: AtomicBool,
+}
+
+/// The evaluation service. Construct with a frozen arena, then
+/// [`run`](Server::run) it on a bound [`Listener`] — the call blocks
+/// until a client issues `shutdown` and the queue drains.
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Creates a service around an initial weight arena (epoch 0).
+    pub fn new(config: ServerConfig, initial: FrozenGenerator) -> Server {
+        let shared = Arc::new(Shared {
+            pipeline: Pipeline::new(&config.scale),
+            arena: ArenaSwap::new(initial),
+            queue: Bounded::new(config.queue_depth),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop_accept: AtomicBool::new(false),
+            config,
+        });
+        Server { shared }
+    }
+
+    /// The installed arena snapshot — lets tests and embedding code
+    /// observe `(epoch, fingerprint)` or perform an in-process swap.
+    pub fn arena(&self) -> Arc<FrozenEpoch> {
+        self.shared.arena.load()
+    }
+
+    /// Installs a new arena in-process (same path a wire `reload`
+    /// takes after validation). Returns the new snapshot.
+    pub fn install(&self, frozen: FrozenGenerator) -> Arc<FrozenEpoch> {
+        let epoch = self.shared.arena.install(frozen);
+        record_arena(&epoch);
+        epoch
+    }
+
+    /// Serves until a `shutdown` request completes: accepts clients,
+    /// fans evals across the worker pool, drains gracefully. Takes
+    /// `&self` so an embedder (or test) can keep a handle for
+    /// [`arena`](Server::arena)/[`install`](Server::install) while the
+    /// service runs on another thread.
+    pub fn run(&self, listener: Listener) -> std::io::Result<()> {
+        let shared = Arc::clone(&self.shared);
+        listener.set_nonblocking(true)?;
+        telemetry::gauge("serve.workers", shared.config.workers as f64);
+        record_arena(&shared.arena.load());
+
+        let workers: Vec<_> = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        while !shared.stop_accept.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok(conn) => {
+                    if let Conn::Tcp(s) = &conn {
+                        s.set_nodelay(true).ok();
+                    }
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || handle_conn(&shared, conn));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Queue already closed by the shutdown handler; workers drain
+        // what was accepted before the drain began, then exit.
+        for w in workers {
+            w.join().expect("worker thread panicked");
+        }
+        telemetry::flush_thread();
+        Ok(())
+    }
+}
+
+/// Publishes the installed arena's identity to the telemetry manifest —
+/// the provenance pair the stream validator checks.
+fn record_arena(epoch: &FrozenEpoch) {
+    telemetry::manifest_kv("serve_epoch", Value::U64(epoch.epoch));
+    telemetry::manifest_kv("serve_fingerprint", format!("{:016x}", epoch.fingerprint));
+}
+
+fn suite_id(name: &str) -> Option<SuiteId> {
+    Some(match name {
+        "spec" => SuiteId::Spec,
+        "ligra" => SuiteId::Ligra,
+        "polybench" => SuiteId::Polybench,
+        _ => return None,
+    })
+}
+
+/// Fast request validation on the connection thread, so configuration
+/// mistakes bounce immediately instead of occupying queue slots.
+fn validate_eval(req: &EvalRequest) -> Result<(), String> {
+    if req.benchmarks.is_empty() {
+        return Err("empty benchmark list".into());
+    }
+    if req.sets == 0 || req.ways == 0 {
+        return Err(format!("cache geometry {}s{}w has a zero dimension", req.sets, req.ways));
+    }
+    if req.batch_size == Some(0) {
+        return Err("batch_size must be positive".into());
+    }
+    for b in &req.benchmarks {
+        if suite_id(&b.suite).is_none() {
+            return Err(format!("unknown suite {:?}", b.suite));
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds the benchmarks an eval names. Benchmarks are pure
+/// functions of `(suite, index, seed)`, so this reproduces the exact
+/// workload a local `evaluate_sweep` caller would build.
+fn resolve_benchmarks(specs: &[crate::proto::WorkloadSpec]) -> Vec<Benchmark> {
+    specs
+        .iter()
+        .map(|s| {
+            let id = suite_id(&s.suite).expect("validated before enqueue");
+            Suite::build(id, s.index + 1, s.seed).benchmarks()[s.index].clone()
+        })
+        .collect()
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        telemetry::gauge("serve.queue.depth", shared.queue.len() as f64);
+        let resp = if Instant::now() >= job.deadline {
+            Response::Error {
+                kind: ErrorKind::Deadline,
+                message: "deadline expired before a worker picked the request up".into(),
+            }
+        } else {
+            run_eval(shared, &job.request)
+        };
+        telemetry::observe("serve.request.latency_ms", job.enqueued.elapsed().as_secs_f64() * 1e3);
+        job.slot.fulfill(resp);
+    }
+    telemetry::flush_thread();
+}
+
+fn run_eval(shared: &Shared, req: &EvalRequest) -> Response {
+    let _span = telemetry::span("serve.request.eval");
+    // One pointer load pins this request to a single arena: reloads
+    // landing from here on swap the pointer but cannot touch this Arc.
+    let epoch = shared.arena.load();
+    let par = Parallelism::new(shared.config.eval_threads.max(1));
+    let config = CacheConfig::new(req.sets, req.ways);
+    let batch = req.batch_size.unwrap_or(shared.config.default_batch).max(1);
+    let benches = resolve_benchmarks(&req.benchmarks);
+    let traces = par_map(par, &benches, |b| shared.pipeline.trace(b));
+    let results = shared.pipeline.evaluate_sweep_frozen(
+        par,
+        &epoch.generator,
+        &benches,
+        &traces,
+        &config,
+        shared.config.conditioned,
+        batch,
+    );
+    telemetry::counter("serve.request.benchmarks", benches.len() as u64);
+    Response::Eval { epoch: epoch.epoch, fingerprint: epoch.fingerprint, results }
+}
+
+fn handle_reload(shared: &Shared, path: &str) -> Response {
+    let _span = telemetry::span("serve.request.reload");
+    // Load + validate off the worker pool; nothing is swapped on
+    // failure and queued evals keep running on the installed arena.
+    match Checkpoint::load_frozen_validated(Path::new(path)) {
+        Ok(frozen) => {
+            let epoch = shared.arena.install(frozen);
+            record_arena(&epoch);
+            telemetry::event(
+                "serve.reload",
+                &[
+                    ("outcome", Value::Str("installed".into())),
+                    ("epoch", Value::U64(epoch.epoch)),
+                    ("fingerprint", Value::Str(format!("{:016x}", epoch.fingerprint))),
+                    ("path", Value::Str(path.to_string())),
+                ],
+            );
+            Response::Reload { epoch: epoch.epoch, fingerprint: epoch.fingerprint }
+        }
+        Err(e) => {
+            telemetry::event(
+                "serve.reload",
+                &[
+                    ("outcome", Value::Str("rejected".into())),
+                    ("path", Value::Str(path.to_string())),
+                    ("error", Value::Str(e.to_string())),
+                ],
+            );
+            Response::Error { kind: ErrorKind::ReloadFailed, message: e.to_string() }
+        }
+    }
+}
+
+fn handle_eval(shared: &Shared, req: EvalRequest) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::Error {
+            kind: ErrorKind::ShuttingDown,
+            message: "service is draining".into(),
+        };
+    }
+    if let Err(why) = validate_eval(&req) {
+        return Response::Error { kind: ErrorKind::UnknownConfig, message: why };
+    }
+    let deadline_ms = req.deadline_ms.unwrap_or(shared.config.default_deadline_ms);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    let slot = ReplySlot::new();
+    let job = Job { request: req, deadline, enqueued: Instant::now(), slot: Arc::clone(&slot) };
+    match shared.queue.try_push(job) {
+        Ok(depth) => telemetry::gauge("serve.queue.depth", depth as f64),
+        Err(PushError::Full(_)) => {
+            return Response::Error {
+                kind: ErrorKind::Overflow,
+                message: format!("queue full ({} pending)", shared.config.queue_depth),
+            };
+        }
+        Err(PushError::Closed(_)) => {
+            return Response::Error {
+                kind: ErrorKind::ShuttingDown,
+                message: "service is draining".into(),
+            };
+        }
+    }
+    slot.wait_until(deadline).unwrap_or_else(|| Response::Error {
+        kind: ErrorKind::Deadline,
+        message: format!("no worker finished within {deadline_ms} ms"),
+    })
+}
+
+fn handle_request(shared: &Shared, req: Request) -> Response {
+    match req {
+        Request::Eval(e) => handle_eval(shared, e),
+        Request::Reload { path } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                Response::Error {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "service is draining".into(),
+                }
+            } else {
+                handle_reload(shared, &path)
+            }
+        }
+        Request::Status => {
+            let _span = telemetry::span("serve.request.status");
+            let epoch = shared.arena.load();
+            Response::Status(StatusInfo {
+                epoch: epoch.epoch,
+                fingerprint: epoch.fingerprint,
+                served: shared.served.load(Ordering::SeqCst),
+                errors: shared.errors.load(Ordering::SeqCst),
+                queue_depth: shared.queue.len(),
+                workers: shared.config.workers,
+                draining: shared.draining.load(Ordering::SeqCst),
+            })
+        }
+        Request::Shutdown => {
+            let _span = telemetry::span("serve.request.shutdown");
+            shared.draining.store(true, Ordering::SeqCst);
+            // Close refuses new jobs but lets workers drain accepted
+            // ones; their connection threads still get real replies.
+            shared.queue.close();
+            shared.stop_accept.store(true, Ordering::SeqCst);
+            telemetry::event("serve.shutdown", &[("graceful", Value::Bool(true))]);
+            Response::Shutdown
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, mut conn: Conn) {
+    loop {
+        let payload = match read_frame(&mut conn) {
+            Ok(Some(p)) => p,
+            // Clean hangup between frames: the normal end of a session.
+            Ok(None) => break,
+            // Disconnect mid-frame: no one to answer.
+            Err(WireError::Truncated) | Err(WireError::Io(_)) => break,
+            // The declared length is hostile; answer once, then close —
+            // the unread body leaves the stream unsynchronized.
+            Err(e @ WireError::Oversized(_)) => {
+                let resp = Response::Error { kind: ErrorKind::Malformed, message: e.to_string() };
+                reply(shared, &mut conn, &resp).ok();
+                break;
+            }
+            Err(WireError::Malformed(_)) => unreachable!("read_frame does not parse payloads"),
+        };
+        let resp = match std::str::from_utf8(&payload)
+            .map_err(|e| e.to_string())
+            .and_then(cachebox_telemetry::diff::parse_json)
+            .and_then(|json| parse_request(&json))
+        {
+            Ok(req) => handle_request(shared, req),
+            Err(why) => Response::Error { kind: ErrorKind::Malformed, message: why },
+        };
+        if reply(shared, &mut conn, &resp).is_err() {
+            // Client vanished while we were answering; nothing left to
+            // do for this connection.
+            break;
+        }
+    }
+    telemetry::flush_thread();
+}
+
+fn reply(shared: &Shared, conn: &mut Conn, resp: &Response) -> Result<(), WireError> {
+    match resp {
+        Response::Error { kind, .. } => {
+            shared.errors.fetch_add(1, Ordering::SeqCst);
+            telemetry::counter("serve.request.error", 1);
+            telemetry::counter(&format!("serve.request.error.{}", kind.as_str()), 1);
+        }
+        _ => {
+            shared.served.fetch_add(1, Ordering::SeqCst);
+            telemetry::counter("serve.request.served", 1);
+        }
+    }
+    write_frame(conn, encode_response(resp).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listener_rejects_unknown_scheme() {
+        assert!(Listener::bind("http:127.0.0.1:80").is_err());
+        assert!(Conn::connect("quic:nowhere").is_err());
+    }
+
+    #[test]
+    fn tcp_listener_reports_ephemeral_port() {
+        let l = Listener::bind("tcp:127.0.0.1:0").unwrap();
+        let addr = l.local_addr();
+        assert!(addr.starts_with("tcp:127.0.0.1:"), "got {addr}");
+        assert!(!addr.ends_with(":0"), "ephemeral port resolved: {addr}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_listener_roundtrips_path_and_clears_stale_socket() {
+        let dir = std::env::temp_dir().join("cachebox_serve_sock_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("svc.sock");
+        let addr = format!("unix:{}", path.display());
+        let first = Listener::bind(&addr).unwrap();
+        assert_eq!(first.local_addr(), addr);
+        drop(first);
+        // The socket file lingers after drop; rebinding must clear it.
+        let second = Listener::bind(&addr).unwrap();
+        assert_eq!(second.local_addr(), addr);
+        drop(second);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reply_slot_delivers_once_and_ignores_late_fulfill() {
+        let slot = ReplySlot::new();
+        assert!(slot.fulfill(Response::Shutdown));
+        assert_eq!(
+            slot.wait_until(Instant::now() + Duration::from_millis(10)),
+            Some(Response::Shutdown)
+        );
+        // Expired waiter abandons; a late worker reply is dropped.
+        let slot = ReplySlot::new();
+        assert_eq!(slot.wait_until(Instant::now()), None);
+        assert!(!slot.fulfill(Response::Shutdown));
+    }
+
+    #[test]
+    fn eval_validation_catches_bad_configs() {
+        let ok = EvalRequest {
+            benchmarks: vec![crate::proto::WorkloadSpec {
+                suite: "polybench".into(),
+                index: 0,
+                seed: 3,
+            }],
+            sets: 16,
+            ways: 2,
+            batch_size: None,
+            deadline_ms: None,
+        };
+        assert!(validate_eval(&ok).is_ok());
+        let mut bad = ok.clone();
+        bad.benchmarks.clear();
+        assert!(validate_eval(&bad).is_err());
+        let mut bad = ok.clone();
+        bad.sets = 0;
+        assert!(validate_eval(&bad).is_err());
+        let mut bad = ok.clone();
+        bad.benchmarks[0].suite = "gap".into();
+        assert!(validate_eval(&bad).is_err());
+        let mut bad = ok;
+        bad.batch_size = Some(0);
+        assert!(validate_eval(&bad).is_err());
+    }
+}

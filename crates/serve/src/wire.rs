@@ -1,0 +1,176 @@
+//! Length-prefixed frame codec.
+//!
+//! Every message on a service connection — request or response — is one
+//! *frame*: a big-endian `u32` payload length followed by that many
+//! bytes of UTF-8 JSON. Length prefixes make message boundaries explicit
+//! (no sentinel scanning, binary-safe payloads) and let the reader
+//! reject oversized frames *before* allocating, so a hostile or confused
+//! client cannot balloon server memory with a giant length word.
+//!
+//! Frames larger than [`MAX_FRAME`] are refused on both send and
+//! receive. All failure modes are typed ([`WireError`]) so the server
+//! can answer malformed traffic with a structured error instead of
+//! disconnecting.
+
+use std::io::{Read, Write};
+
+/// Hard ceiling on one frame's payload, send and receive (1 MiB). An
+/// `eval` response for a full experiment-scale sweep is a few KiB; the
+/// margin is for future batched requests, not for trust.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Typed failures of the frame codec.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside a frame (mid-length or mid-payload): the
+    /// peer disconnected while sending, or sent a short write.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`]; carries the declared
+    /// size. The frame body was *not* read.
+    Oversized(usize),
+    /// Transport failure underneath the codec.
+    Io(std::io::Error),
+    /// The payload is not the UTF-8 JSON the protocol expects.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "stream ended inside a frame"),
+            WireError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Writes one frame: big-endian length prefix, then the payload.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the payload exceeds [`MAX_FRAME`]
+/// (nothing is written), or an I/O failure from the transport.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean end-of-stream (the
+/// peer closed between frames — the normal way a client hangs up).
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the stream ends *inside* a frame,
+/// [`WireError::Oversized`] when the prefix exceeds [`MAX_FRAME`] (the
+/// body is left unread), or an I/O failure.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut prefix = [0u8; 4];
+    // Hand-rolled first read so zero-bytes-then-EOF means "no more
+    // frames" rather than truncation.
+    let mut got = 0;
+    while got < prefix.len() {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Control characters take the `\u00XX` form.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_payloads() {
+        for payload in [&b""[..], b"{}", b"hello \xf0\x9f\x8e\x89", &[0u8; 1000]] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, payload).unwrap();
+            assert_eq!(buf.len(), 4 + payload.len());
+            let back = read_frame(&mut &buf[..]).unwrap().expect("one frame present");
+            assert_eq!(back, payload);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_partial_frame_is_truncated() {
+        assert!(read_frame(&mut &[][..]).unwrap().is_none());
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        for cut in 1..buf.len() {
+            match read_frame(&mut &buf[..cut]) {
+                Err(WireError::Truncated) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_is_rejected_on_both_sides() {
+        let big = vec![b'x'; MAX_FRAME + 1];
+        assert!(matches!(write_frame(&mut Vec::new(), &big), Err(WireError::Oversized(_))));
+        let mut evil = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        evil.extend_from_slice(b"tiny");
+        assert!(matches!(read_frame(&mut &evil[..]), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+    }
+}

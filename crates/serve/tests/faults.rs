@@ -1,0 +1,226 @@
+//! Fault-injection tests: every failure a client can inflict — expired
+//! deadlines, mid-request disconnects, hostile frames, corrupt
+//! checkpoints — must produce a typed error (or a clean hangup), leave
+//! the previous arena installed, and keep the service answering.
+
+use cachebox::Scale;
+use cachebox_gan::checkpoint::Checkpoint;
+use cachebox_gan::infer::FrozenGenerator;
+use cachebox_gan::{UNetConfig, UNetGenerator};
+use cachebox_serve::wire::{read_frame, write_frame};
+use cachebox_serve::{
+    Client, Conn, ErrorKind, EvalRequest, Listener, Response, Server, ServerConfig, WorkloadSpec,
+    MAX_FRAME,
+};
+use std::io::Write;
+use std::sync::Arc;
+
+fn frozen(seed: u64) -> FrozenGenerator {
+    let scale = Scale::tiny();
+    let config = UNetConfig::for_image_size(scale.image_size(), scale.ngf).with_param_features(2);
+    FrozenGenerator::of(&mut UNetGenerator::new(config, seed))
+}
+
+fn start() -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
+    let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr();
+    let server = Arc::new(Server::new(ServerConfig::new(Scale::tiny()), frozen(1)));
+    let handle = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run(listener).expect("serve loop"))
+    };
+    (server, addr, handle)
+}
+
+fn stop(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    assert!(matches!(client.shutdown().expect("shutdown"), Response::Shutdown));
+    handle.join().expect("server thread");
+}
+
+fn eval_request(deadline_ms: Option<u64>) -> EvalRequest {
+    EvalRequest {
+        benchmarks: vec![WorkloadSpec { suite: "polybench".into(), index: 0, seed: 3 }],
+        sets: 16,
+        ways: 2,
+        batch_size: Some(4),
+        deadline_ms,
+    }
+}
+
+/// Asserts the service still answers a real eval correctly — the
+/// "stays up" clause of every fault test.
+fn assert_service_alive(addr: &str, expect_fingerprint: u64) {
+    let mut client = Client::connect(addr).expect("connect");
+    match client.eval(eval_request(Some(30_000))).expect("eval") {
+        Response::Eval { fingerprint, results, .. } => {
+            assert_eq!(fingerprint, expect_fingerprint, "arena changed unexpectedly");
+            assert_eq!(results.len(), 1);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+#[test]
+fn expired_deadline_is_a_typed_error_not_a_hang() {
+    let (server, addr, handle) = start();
+    let fp = server.arena().fingerprint;
+
+    let mut client = Client::connect(&addr).expect("connect");
+    // A zero deadline has already expired by the time a worker (or the
+    // waiting connection thread) looks at it.
+    match client.eval(eval_request(Some(0))).expect("eval reply") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Deadline),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    // Same connection, sane deadline: full service.
+    match client.eval(eval_request(Some(30_000))).expect("eval") {
+        Response::Eval { .. } => {}
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert_service_alive(&addr, fp);
+    stop(&addr, handle);
+}
+
+#[test]
+fn mid_request_disconnects_do_not_kill_the_service() {
+    let (server, addr, handle) = start();
+    let fp = server.arena().fingerprint;
+
+    // Disconnect after a *partial* frame (2 of 4 length bytes).
+    {
+        let mut conn = Conn::connect(&addr).expect("connect");
+        conn.write_all(&[0, 0]).expect("partial prefix");
+    } // dropped here
+
+    // Disconnect right after a complete request, never reading the
+    // reply — the worker's answer hits a closed socket.
+    {
+        let mut client = Client::connect(&addr).expect("connect");
+        // Encode and send an eval without waiting for the response.
+        let req = cachebox_serve::Request::Eval(eval_request(Some(30_000)));
+        let mut conn = Conn::connect(&addr).expect("second connect");
+        write_frame(&mut conn, cachebox_serve::proto::encode_request(&req).as_bytes())
+            .expect("send");
+        drop(conn);
+        // And one normal call to interleave real traffic.
+        assert!(matches!(client.status().expect("status"), Response::Status(_)));
+    }
+
+    // Give the abandoned worker reply a moment to hit the dead socket.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    assert_service_alive(&addr, fp);
+    stop(&addr, handle);
+}
+
+#[test]
+fn corrupt_and_truncated_checkpoints_are_rejected_and_arena_survives() {
+    let dir = std::env::temp_dir().join("cachebox_serve_fault_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (server, addr, handle) = start();
+    let fp = server.arena().fingerprint;
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Garbage bytes.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, b"\x00\xffnot a checkpoint").unwrap();
+    match client.reload(&garbage.display().to_string()).expect("reload reply") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ReloadFailed),
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // A valid checkpoint cut off mid-file (when serialization is
+    // available in this environment).
+    let truncated = dir.join("truncated.json");
+    if Checkpoint::capture(&mut UNetGenerator::new(
+        UNetConfig::for_image_size(16, 4).with_param_features(2),
+        9,
+    ))
+    .save(&truncated)
+    .is_ok()
+    {
+        let bytes = std::fs::read(&truncated).unwrap();
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        match client.reload(&truncated.display().to_string()).expect("reload reply") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ReloadFailed),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    // A path that does not exist at all.
+    match client.reload(&dir.join("missing.json").display().to_string()).expect("reload reply") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ReloadFailed),
+        other => panic!("unexpected reply {other:?}"),
+    }
+
+    // Every rejection left the boot arena installed and serving.
+    match client.status().expect("status") {
+        Response::Status(s) => {
+            assert_eq!(s.epoch, 0, "failed reloads must not advance the epoch");
+            assert_eq!(s.fingerprint, fp);
+        }
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert_service_alive(&addr, fp);
+    stop(&addr, handle);
+    std::fs::remove_file(&garbage).ok();
+    std::fs::remove_file(&truncated).ok();
+}
+
+#[test]
+fn hostile_frames_get_typed_errors() {
+    let (server, addr, handle) = start();
+    let fp = server.arena().fingerprint;
+
+    // Malformed JSON payload: typed error, connection stays usable.
+    {
+        let mut conn = Conn::connect(&addr).expect("connect");
+        write_frame(&mut conn, b"this is not json").expect("send");
+        let reply = read_frame(&mut conn).expect("read").expect("reply frame");
+        let json =
+            cachebox_telemetry::diff::parse_json(std::str::from_utf8(&reply).expect("utf8 reply"))
+                .expect("reply is JSON");
+        match cachebox_serve::proto::parse_response(&json).expect("typed reply") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Malformed),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Same connection still serves valid requests.
+        write_frame(
+            &mut conn,
+            cachebox_serve::proto::encode_request(&cachebox_serve::Request::Status).as_bytes(),
+        )
+        .expect("send status");
+        assert!(read_frame(&mut conn).expect("read").is_some());
+    }
+
+    // A valid request referencing an unknown suite: typed config error.
+    {
+        let mut client = Client::connect(&addr).expect("connect");
+        let mut req = eval_request(Some(30_000));
+        req.benchmarks[0].suite = "gap".into();
+        match client.eval(req).expect("eval reply") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::UnknownConfig),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    // An oversized length prefix: one typed error, then the server
+    // closes (the unread body leaves the stream unsynchronized).
+    {
+        let mut conn = Conn::connect(&addr).expect("connect");
+        conn.write_all(&((MAX_FRAME as u32) + 1).to_be_bytes()).expect("evil prefix");
+        conn.flush().expect("flush");
+        let reply = read_frame(&mut conn).expect("read").expect("reply frame");
+        let json =
+            cachebox_telemetry::diff::parse_json(std::str::from_utf8(&reply).expect("utf8 reply"))
+                .expect("reply is JSON");
+        match cachebox_serve::proto::parse_response(&json).expect("typed reply") {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Malformed),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(read_frame(&mut conn).expect("read after error").is_none(), "server closes");
+    }
+
+    assert_service_alive(&addr, fp);
+    stop(&addr, handle);
+}

@@ -1,0 +1,192 @@
+//! Property tests for the wire codec and protocol JSON: arbitrary
+//! messages survive encode→decode bit-for-bit, and hostile bytes are
+//! rejected with typed errors — never a panic.
+
+use cachebox_metrics::BenchmarkAccuracy;
+use cachebox_serve::proto::{
+    encode_request, encode_response, parse_request, parse_response, ErrorKind, EvalRequest,
+    Request, Response, StatusInfo, WorkloadSpec,
+};
+use cachebox_serve::wire::{read_frame, write_frame, WireError, MAX_FRAME};
+use cachebox_telemetry::diff::parse_json;
+use proptest::prelude::*;
+
+// Includes quotes, backslashes, control and multi-byte characters so
+// every escaping path in the codec is exercised.
+const NAME_CHARS: &[char] =
+    &['a', 'z', '0', '9', '/', '_', '"', ' ', '\\', '\n', '\r', '\t', '\u{1}', 'é', '🎉'];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..NAME_CHARS.len(), 0..24)
+        .prop_map(|ix| ix.into_iter().map(|i| NAME_CHARS[i]).collect())
+}
+
+fn arb_suite() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("spec".to_string()),
+        Just("ligra".to_string()),
+        Just("polybench".to_string()),
+        proptest::collection::vec(0usize..26, 1..8)
+            .prop_map(|ix| ix.into_iter().map(|i| (b'a' + i as u8) as char).collect()),
+    ]
+}
+
+// Fields carried as JSON *numbers* (seeds, epochs, tallies) are
+// restricted to f64's exact-integer domain by design — the parser
+// rejects anything above 2^53 as malformed. Fingerprints cross the wire
+// as hex strings precisely so they can keep all 64 bits.
+fn arb_wire_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..(1 << 53), Just(0), Just((1 << 53) - 1)]
+}
+
+fn opt_usize() -> impl Strategy<Value = Option<usize>> {
+    prop_oneof![Just(None), (1usize..64).prop_map(Some)]
+}
+
+fn opt_u64() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), (0u64..100_000).prop_map(Some)]
+}
+
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    (arb_suite(), 0usize..64, arb_wire_u64()).prop_map(|(suite, index, seed)| WorkloadSpec {
+        suite,
+        index,
+        seed,
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Status),
+        Just(Request::Shutdown),
+        arb_name().prop_map(|path| Request::Reload { path }),
+        (
+            proptest::collection::vec(arb_workload(), 0..4),
+            1usize..4096,
+            1usize..64,
+            (opt_usize(), opt_u64()),
+        )
+            .prop_map(|(benchmarks, sets, ways, (batch_size, deadline_ms))| {
+                Request::Eval(EvalRequest { benchmarks, sets, ways, batch_size, deadline_ms })
+            }),
+    ]
+}
+
+fn arb_rate() -> impl Strategy<Value = f64> {
+    // Finite rates, including awkward mantissas; the codec must carry
+    // every one of them bitwise.
+    prop_oneof![0.0..1.0f64, Just(0.0), Just(1.0), Just(1.0 / 3.0), Just(f64::MIN_POSITIVE)]
+}
+
+fn arb_accuracy() -> impl Strategy<Value = BenchmarkAccuracy> {
+    (arb_name(), arb_rate(), arb_rate()).prop_map(|(name, true_rate, predicted_rate)| {
+        BenchmarkAccuracy { name, true_rate, predicted_rate }
+    })
+}
+
+fn arb_error_kind() -> impl Strategy<Value = ErrorKind> {
+    prop_oneof![
+        Just(ErrorKind::Malformed),
+        Just(ErrorKind::UnknownConfig),
+        Just(ErrorKind::Overflow),
+        Just(ErrorKind::Deadline),
+        Just(ErrorKind::ReloadFailed),
+        Just(ErrorKind::ShuttingDown),
+        Just(ErrorKind::Internal),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Shutdown),
+        (arb_wire_u64(), any::<u64>())
+            .prop_map(|(epoch, fingerprint)| Response::Reload { epoch, fingerprint }),
+        (arb_error_kind(), arb_name())
+            .prop_map(|(kind, message)| Response::Error { kind, message }),
+        (arb_wire_u64(), any::<u64>(), proptest::collection::vec(arb_accuracy(), 0..4)).prop_map(
+            |(epoch, fingerprint, results)| Response::Eval { epoch, fingerprint, results }
+        ),
+        (
+            (arb_wire_u64(), any::<u64>()),
+            (any::<u32>(), any::<u32>()),
+            (0usize..1000, 1usize..64, proptest::bool::ANY),
+        )
+            .prop_map(
+                |((epoch, fingerprint), (served, errors), (queue_depth, workers, draining))| {
+                    Response::Status(StatusInfo {
+                        epoch,
+                        fingerprint,
+                        served: served as u64,
+                        errors: errors as u64,
+                        queue_depth,
+                        workers,
+                        draining,
+                    })
+                }
+            ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_roundtrip_through_the_wire(req in arb_request()) {
+        let encoded = encode_request(&req);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, encoded.as_bytes()).unwrap();
+        let payload = read_frame(&mut &framed[..]).unwrap().expect("one frame");
+        let json = parse_json(std::str::from_utf8(&payload).unwrap()).expect("valid JSON");
+        prop_assert_eq!(parse_request(&json).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_wire(resp in arb_response()) {
+        let encoded = encode_response(&resp);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, encoded.as_bytes()).unwrap();
+        let payload = read_frame(&mut &framed[..]).unwrap().expect("one frame");
+        let json = parse_json(std::str::from_utf8(&payload).unwrap()).expect("valid JSON");
+        prop_assert_eq!(parse_response(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn frames_roundtrip_arbitrary_payloads(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let back = read_frame(&mut &buf[..]).unwrap().expect("one frame");
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_rejections(payload in proptest::collection::vec(any::<u8>(), 1..256), keep in 0usize..260) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let keep = keep.min(buf.len().saturating_sub(1));
+        match read_frame(&mut &buf[..keep]) {
+            Ok(None) => prop_assert_eq!(keep, 0, "clean EOF only before any byte"),
+            Err(WireError::Truncated) => prop_assert!(keep > 0),
+            other => prop_assert!(false, "unexpected: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_reader(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Whatever the bytes decode to, the reader returns — it must
+        // not panic, and any declared length beyond the cap is typed.
+        match read_frame(&mut &bytes[..]) {
+            Ok(_) | Err(WireError::Truncated) | Err(WireError::Io(_)) => {}
+            Err(WireError::Oversized(n)) => prop_assert!(n > MAX_FRAME),
+            Err(WireError::Malformed(_)) => prop_assert!(false, "read_frame does not parse"),
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_never_panic_the_request_parser(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        // Arbitrary text: either it parses as JSON and then as a
+        // request, or it is rejected with an error string — no panics.
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(json) = parse_json(&text) {
+            let _ = parse_request(&json);
+            let _ = parse_response(&json);
+        }
+    }
+}

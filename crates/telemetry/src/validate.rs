@@ -47,6 +47,10 @@ pub struct ValidationReport {
 /// * pipeline gauges stay in range — `gan.pipeline.overlap_ratio`
 ///   within `[0, 1]`, `gan.micro_batch.count` at least 1 — and the
 ///   manifest pairs `micro_batches` with `micro_batches_source`;
+/// * service gauges stay in range — `serve.queue.depth` is a
+///   non-negative integer, `serve.workers` at least 1 — and the
+///   manifest pairs `serve_epoch` with a well-formed 16-hex-digit
+///   `serve_fingerprint` (arena provenance: which weights answered);
 /// * counter records reproduce the manifest's counter map exactly;
 /// * the line count equals `manifest.records`.
 ///
@@ -202,6 +206,18 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
                          least one micro-batch"
                     ));
                 }
+                if name == "serve.queue.depth" && (value < 0.0 || value.fract() != 0.0) {
+                    return Err(format!(
+                        "line {lineno}: gauge {name:?} = {value}, but a queue depth is a \
+                         non-negative integer"
+                    ));
+                }
+                if name == "serve.workers" && value < 1.0 {
+                    return Err(format!(
+                        "line {lineno}: gauge {name:?} = {value}, but a service runs at \
+                         least one worker"
+                    ));
+                }
             }
             Record::Histogram { name, count, min, max, p50, p90, p99, .. } => {
                 report.histograms += 1;
@@ -251,6 +267,26 @@ pub fn validate_files(jsonl: &Path, manifest: &Path) -> Result<ValidationReport,
     if has_micro != has_source {
         return Err("manifest pairs micro_batches with micro_batches_source; only one is present"
             .to_string());
+    }
+
+    // Arena provenance travels as a pair too: an epoch without the
+    // weight fingerprint (or the reverse) cannot say *which* weights
+    // answered the run's requests.
+    let has_epoch = manifest.config.contains_key("serve_epoch");
+    let fingerprint = manifest.config.get("serve_fingerprint");
+    if has_epoch != fingerprint.is_some() {
+        return Err(
+            "manifest pairs serve_epoch with serve_fingerprint; only one is present".to_string()
+        );
+    }
+    if let Some(fp) = fingerprint {
+        let ok = matches!(fp, crate::value::Value::Str(s)
+            if s.len() == 16 && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+        if !ok {
+            return Err(format!(
+                "manifest serve_fingerprint {fp:?} is not a 16-digit lowercase hex string"
+            ));
+        }
     }
 
     if report.records == 0 {
@@ -632,6 +668,52 @@ mod tests {
         m.config.insert("micro_batches".into(), Value::U64(3));
         m.config.insert("micro_batches_source".into(), Value::Str("default".into()));
         let (jsonl, mpath) = write_pair("microprovok", &[meta()], m);
+        assert!(validate_files(&jsonl, &mpath).is_ok());
+    }
+
+    #[test]
+    fn serve_gauges_out_of_range_fail() {
+        let lines =
+            vec![meta(), Record::Gauge { name: "serve.queue.depth".into(), value: 2.5 }.to_jsonl()];
+        let (jsonl, mpath) = write_pair("queuedepth", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
+
+        let lines =
+            vec![meta(), Record::Gauge { name: "serve.workers".into(), value: 0.0 }.to_jsonl()];
+        let (jsonl, mpath) = write_pair("workers", &lines, manifest());
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("least one worker"), "{err}");
+
+        // In-range values pass.
+        let lines = vec![
+            meta(),
+            Record::Gauge { name: "serve.queue.depth".into(), value: 0.0 }.to_jsonl(),
+            Record::Gauge { name: "serve.workers".into(), value: 2.0 }.to_jsonl(),
+        ];
+        let (jsonl, mpath) = write_pair("serveok", &lines, manifest());
+        assert!(validate_files(&jsonl, &mpath).is_ok());
+    }
+
+    #[test]
+    fn unpaired_or_malformed_arena_provenance_fails() {
+        let mut m = manifest();
+        m.config.insert("serve_epoch".into(), Value::U64(1));
+        let (jsonl, mpath) = write_pair("arenaprov", &[meta()], m);
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("serve_fingerprint"), "{err}");
+
+        let mut m = manifest();
+        m.config.insert("serve_epoch".into(), Value::U64(1));
+        m.config.insert("serve_fingerprint".into(), Value::Str("NOT-HEX".into()));
+        let (jsonl, mpath) = write_pair("arenahex", &[meta()], m);
+        let err = validate_files(&jsonl, &mpath).unwrap_err();
+        assert!(err.contains("hex string"), "{err}");
+
+        let mut m = manifest();
+        m.config.insert("serve_epoch".into(), Value::U64(1));
+        m.config.insert("serve_fingerprint".into(), Value::Str("00ff9ce484222325".into()));
+        let (jsonl, mpath) = write_pair("arenaok", &[meta()], m);
         assert!(validate_files(&jsonl, &mpath).is_ok());
     }
 

